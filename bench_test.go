@@ -1,0 +1,214 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/eves"
+	"repro/internal/expt"
+	"repro/internal/trace"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation, one testing.B benchmark per experiment. Benchmark runs
+// use a reduced instruction budget and a stratified workload subsample
+// so `go test -bench=.` completes in minutes; cmd/experiments exposes
+// the same runners with full control over -insts and -sample.
+
+const (
+	benchInsts  = 30_000
+	benchSample = 6
+)
+
+func benchWorkloads() []string {
+	all := trace.Names()
+	out := make([]string, 0, benchSample)
+	step := float64(len(all)) / float64(benchSample)
+	for i := 0; i < benchSample; i++ {
+		out = append(out, all[int(float64(i)*step)])
+	}
+	return out
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := expt.NewContext(expt.Options{
+			Insts:     benchInsts,
+			Workloads: benchWorkloads(),
+			Seed:      0xC0FFEE,
+		})
+		res := e.Run(ctx)
+		if len(res.Lines) == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the predictor parameter table.
+func BenchmarkTableIV(b *testing.B) { benchExperiment(b, "tableiv") }
+
+// BenchmarkTableV regenerates the Listing-1 training-latency table.
+func BenchmarkTableV(b *testing.B) { benchExperiment(b, "tablev") }
+
+// BenchmarkTableVI regenerates the heterogeneous sizing exploration.
+func BenchmarkTableVI(b *testing.B) { benchExperiment(b, "tablevi") }
+
+// BenchmarkFig2 regenerates the oracle load-pattern breakdown.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates the component size sweep.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates the prediction-overlap breakdown.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates composite vs best component.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates the accuracy monitor comparison.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates the smart-training overlap breakdown.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates the smart-training speedup comparison.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates the table-fusion speedup comparison.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates the combined-benefit comparison.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates the composite-vs-EVES comparison.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates the per-workload composite-vs-EVES table.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkAblations regenerates the mechanism-ablation extension.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// BenchmarkSharedPool regenerates the decoupled-value-array extension.
+func BenchmarkSharedPool(b *testing.B) { benchExperiment(b, "sharedpool") }
+
+// BenchmarkVPsec regenerates the fault-detection extension.
+func BenchmarkVPsec(b *testing.B) { benchExperiment(b, "vpsec") }
+
+// BenchmarkWindowSweep regenerates the window-size sensitivity study.
+func BenchmarkWindowSweep(b *testing.B) { benchExperiment(b, "windowsweep") }
+
+// ---------------------------------------------------------------------
+// Microbenchmarks: raw throughput of the building blocks, useful when
+// optimizing the simulator itself.
+
+// BenchmarkPipelineBaseline measures simulated instructions per second
+// of the core model without value prediction.
+func BenchmarkPipelineBaseline(b *testing.B) {
+	w, _ := trace.ByName("gcc2k")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cpu.New(cpu.DefaultConfig(), nil).Run(w.Build(50_000), "gcc2k", "bench")
+	}
+	b.SetBytes(50_000)
+}
+
+// BenchmarkPipelineComposite measures simulation throughput with the
+// full composite predictor attached.
+func BenchmarkPipelineComposite(b *testing.B) {
+	w, _ := trace.ByName("gcc2k")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := core.NewComposite(core.CompositeConfig{
+			Entries: core.HomogeneousEntries(256), Seed: 1, AM: core.NewPCAM(64),
+		})
+		cpu.New(cpu.DefaultConfig(), cpu.NewCompositeEngine(c)).Run(w.Build(50_000), "gcc2k", "bench")
+	}
+	b.SetBytes(50_000)
+}
+
+// BenchmarkCompositeProbe measures the composite's per-load prediction
+// cost.
+func BenchmarkCompositeProbe(b *testing.B) {
+	c := core.NewComposite(core.CompositeConfig{Entries: core.HomogeneousEntries(1024), Seed: 1})
+	o := core.Outcome{PC: 0x40, Addr: 0x1000, Value: 7, Size: 8}
+	for i := 0; i < 100; i++ {
+		c.Train(o, nil, core.Validation{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk := c.Probe(core.Probe{PC: 0x40})
+		_ = lk
+	}
+}
+
+// BenchmarkEVESProbe measures EVES's per-load prediction cost.
+func BenchmarkEVESProbe(b *testing.B) {
+	e := eves.New(eves.Config{BudgetKB: 32, Seed: 1})
+	o := core.Outcome{PC: 0x40, Value: 7}
+	for i := 0; i < 200; i++ {
+		rec, _, _ := e.Probe(core.Probe{PC: o.PC})
+		e.Train(o, rec, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Probe(core.Probe{PC: 0x40})
+	}
+}
+
+// BenchmarkWorkloadGen measures trace generation throughput.
+func BenchmarkWorkloadGen(b *testing.B) {
+	w, _ := trace.ByName("v8")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen := w.Build(50_000)
+		var in trace.Inst
+		n := 0
+		for gen.Next(&in) {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("empty stream")
+		}
+	}
+	b.SetBytes(50_000)
+}
+
+// TestBenchmarkIDsCoverRegistry pins the one-bench-per-experiment
+// contract: every registered experiment has a benchmark above.
+func TestBenchmarkIDsCoverRegistry(t *testing.T) {
+	covered := map[string]bool{
+		"tableiv": true, "tablev": true, "tablevi": true,
+		"fig2": true, "fig3": true, "fig4": true, "fig5": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true,
+		"fig10": true, "fig11": true, "fig12": true,
+		"ablations": true, "sharedpool": true, "vpsec": true,
+		"windowsweep": true,
+	}
+	for _, e := range expt.Registry() {
+		if !covered[e.ID] {
+			t.Errorf("experiment %s has no benchmark", e.ID)
+		}
+	}
+	if len(covered) != len(expt.Registry()) {
+		t.Errorf("benchmark list (%d) out of sync with registry (%d)", len(covered), len(expt.Registry()))
+	}
+}
+
+// Example of the registry's discoverability.
+func ExampleRegistry() {
+	for _, e := range expt.Registry()[:3] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// tableiv
+	// tablev
+	// tablevi
+}

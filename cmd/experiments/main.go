@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5
+//	experiments -run all -insts 200000
+//	experiments -run tablevi -sample 12
+//
+// Every run is deterministic for a given -seed. Heavy sweeps (Table VI,
+// Figures 3, 5, 7-10) honour -sample to restrict the workload pool to a
+// stratified subset; -sample 0 uses all 85 workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "experiment ID (see -list), comma list, or 'all'")
+		list     = flag.Bool("list", false, "list experiments")
+		insts    = flag.Uint64("insts", 100_000, "instructions simulated per workload")
+		seed     = flag.Uint64("seed", 0xC0FFEE, "simulation seed")
+		sample   = flag.Int("sample", 16, "workload subsample for heavy sweeps (0 = all)")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments — regenerate the paper's tables and figures")
+		for _, l := range expt.Describe() {
+			fmt.Println("  " + l)
+		}
+		fmt.Println("  all      run everything")
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range expt.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	full := expt.NewContext(expt.Options{Insts: *insts, Seed: *seed, Parallel: *parallel})
+	sampled := full
+	if *sample > 0 {
+		sampled = expt.NewContext(expt.Options{
+			Insts: *insts, Seed: *seed, Parallel: *parallel,
+			Workloads: sampleWorkloads(*sample),
+		})
+	}
+
+	for _, id := range ids {
+		e, ok := expt.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		ctx := full
+		if e.Heavy && *sample > 0 {
+			ctx = sampled
+		}
+		start := time.Now()
+		res := e.Run(ctx)
+		fmt.Print(res)
+		fmt.Printf("(%d workloads × %d instructions, %.1fs)\n\n",
+			len(ctx.Pool()), ctx.Insts(), time.Since(start).Seconds())
+	}
+}
+
+// sampleWorkloads picks a stratified subset: round-robin across the
+// sorted pool so every behaviour profile stays represented.
+func sampleWorkloads(n int) []string {
+	all := trace.Names()
+	if n >= len(all) {
+		return all
+	}
+	out := make([]string, 0, n)
+	step := float64(len(all)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, all[int(float64(i)*step)])
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Command lvpgen inspects the synthetic workload suite: instruction
+// mix, static load counts, memory footprint, oracle pattern
+// classification, and (optionally) a readable dump of the stream —
+// useful when validating that a workload exercises the intended load
+// patterns.
+//
+//	lvpgen                       # summary table for all 85 workloads
+//	lvpgen -workload mcf         # one workload in detail
+//	lvpgen -workload mcf -dump 40
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/oracle"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "inspect a single workload (default: all)")
+		insts    = flag.Uint64("insts", 100_000, "instructions to analyze")
+		dump     = flag.Int("dump", 0, "print the first N instructions")
+	)
+	flag.Parse()
+
+	if *workload != "" {
+		w, ok := trace.ByName(*workload)
+		if !ok {
+			fmt.Printf("unknown workload %q\n", *workload)
+			return
+		}
+		inspect(w, *insts, *dump)
+		return
+	}
+
+	fmt.Printf("%-12s %-9s %6s %6s %6s %7s %7s %8s %8s %8s\n",
+		"workload", "profile", "load%", "store%", "br%", "statLd", "footKB",
+		"P1%", "P2%", "P3%")
+	for _, w := range trace.Workloads() {
+		s := analyze(w, *insts)
+		fmt.Printf("%-12s %-9s %5.1f%% %5.1f%% %5.1f%% %7d %6.0f %7.1f%% %7.1f%% %7.1f%%\n",
+			w.Name, w.Profile, s.loadPct, s.storePct, s.branchPct, s.staticLoads,
+			s.footprintKB, s.p1, s.p2, s.p3)
+	}
+}
+
+type summary struct {
+	loadPct, storePct, branchPct float64
+	staticLoads                  int
+	footprintKB                  float64
+	p1, p2, p3                   float64
+}
+
+func analyze(w trace.Workload, insts uint64) summary {
+	gen := w.Build(insts)
+	var in trace.Inst
+	var loads, stores, branches, total uint64
+	staticLoads := map[uint64]bool{}
+	lines := map[uint64]bool{}
+	for gen.Next(&in) {
+		total++
+		switch in.Op {
+		case trace.OpLoad:
+			loads++
+			staticLoads[in.PC] = true
+			lines[in.Addr>>6] = true
+		case trace.OpStore:
+			stores++
+			lines[in.Addr>>6] = true
+		}
+		if in.IsBranch() {
+			branches++
+		}
+	}
+	cls := oracle.Classify(w.Build(insts), 0)
+	pct := func(n uint64) float64 { return 100 * float64(n) / float64(total) }
+	return summary{
+		loadPct: pct(loads), storePct: pct(stores), branchPct: pct(branches),
+		staticLoads: len(staticLoads),
+		footprintKB: float64(len(lines)) * 64 / 1024,
+		p1:          100 * cls.Fraction(oracle.Pattern1),
+		p2:          100 * cls.Fraction(oracle.Pattern2),
+		p3:          100 * cls.Fraction(oracle.Pattern3),
+	}
+}
+
+func inspect(w trace.Workload, insts uint64, dump int) {
+	s := analyze(w, insts)
+	fmt.Printf("workload %s (profile %s, %d instructions)\n", w.Name, w.Profile, insts)
+	fmt.Printf("  mix: %.1f%% loads, %.1f%% stores, %.1f%% branches\n", s.loadPct, s.storePct, s.branchPct)
+	fmt.Printf("  static loads: %d   data footprint: %.0fKB\n", s.staticLoads, s.footprintKB)
+	fmt.Printf("  oracle: Pattern-1 %.1f%%  Pattern-2 %.1f%%  Pattern-3 %.1f%%\n", s.p1, s.p2, s.p3)
+	if dump <= 0 {
+		return
+	}
+	fmt.Println("\nfirst instructions:")
+	gen := w.Build(uint64(dump))
+	var in trace.Inst
+	i := 0
+	for gen.Next(&in) {
+		switch {
+		case in.Op == trace.OpLoad:
+			fmt.Printf("  %3d %#08x load  r%-2d <- [%#x] = %#x (%dB)\n", i, in.PC, in.Dst, in.Addr, in.Value, in.Size)
+		case in.Op == trace.OpStore:
+			fmt.Printf("  %3d %#08x store [%#x] <- %#x (%dB)\n", i, in.PC, in.Addr, in.Value, in.Size)
+		case in.IsBranch():
+			fmt.Printf("  %3d %#08x %-5s taken=%-5v -> %#x\n", i, in.PC, in.Op, in.Taken, in.Target)
+		default:
+			fmt.Printf("  %3d %#08x %-5s r%d <- r%d, r%d (lat %d)\n", i, in.PC, in.Op, in.Dst, in.Src1, in.Src2, in.Lat)
+		}
+		i++
+	}
+}

@@ -1,0 +1,179 @@
+// Command lvpsim simulates one workload on the baseline core with a
+// selectable load value predictor and prints the run's metrics.
+//
+// Usage:
+//
+//	lvpsim -workload gcc2k -predictor composite -entries 1024
+//	lvpsim -workload mcf -predictor lvp -entries 4096 -insts 500000
+//	lvpsim -workload v8 -predictor eves -budget 32
+//	lvpsim -workloads            # list workload names
+//
+// Predictors: none, lvp, sap, cvp, cap, composite, best (composite +
+// PC-AM + smart training + fusion), eves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/eves"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// buildGen returns the instruction source: a live workload generator,
+// or a recorded trace when -replay is given.
+func buildGen(workload string, insts uint64, replay string) (trace.Generator, string, error) {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, "", err
+		}
+		rd, err := trace.NewTraceReader(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return rd, replay, nil
+	}
+	w, ok := trace.ByName(workload)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown workload %q (see -workloads)", workload)
+	}
+	return w.Build(insts), w.Name, nil
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "gcc2k", "workload name")
+		listNames = flag.Bool("workloads", false, "list workload names and exit")
+		predictor = flag.String("predictor", "composite", "none|lvp|sap|cvp|cap|composite|best|eves")
+		entries   = flag.Int("entries", 1024, "table entries per component")
+		budget    = flag.Int("budget", 32, "EVES budget in KB (0 = infinite)")
+		insts     = flag.Uint64("insts", 200_000, "instructions to simulate")
+		seed      = flag.Uint64("seed", 0xC0FFEE, "simulation seed")
+		am        = flag.String("am", "pc", "accuracy monitor for composite: none|m|pc|pcinf")
+		details   = flag.Bool("details", false, "print per-component composite statistics")
+		record    = flag.String("record", "", "record the workload's trace to this file and exit")
+		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
+	)
+	flag.Parse()
+
+	if *listNames {
+		for _, n := range trace.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *record != "" {
+		w, ok := trace.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q (see -workloads)\n", *workload)
+			os.Exit(2)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := trace.WriteTrace(f, w.Build(*insts), trace.FillSeed(w.Name))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", n, w.Name, *record)
+		return
+	}
+
+	newGen := func() trace.Generator {
+		gen, _, err := buildGen(*workload, *insts, *replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return gen
+	}
+	name := *workload
+	if *replay != "" {
+		name = *replay
+	}
+
+	base := cpu.New(cpu.DefaultConfig(), nil).Run(newGen(), name, "baseline")
+	fmt.Printf("baseline:  IPC=%.3f (%d instructions, %d cycles, %d loads)\n",
+		base.IPC(), base.Instructions, base.Cycles, base.Loads)
+	if *predictor == "none" {
+		return
+	}
+
+	var (
+		engine cpu.Engine
+		comp   *core.Composite
+	)
+	mkComposite := func(e [core.NumComponents]int, amSel string, smart, fusion bool) {
+		cfg := core.CompositeConfig{Entries: e, Seed: *seed, SmartTraining: smart}
+		switch amSel {
+		case "m":
+			cfg.AM = core.NewMAM()
+		case "pc":
+			cfg.AM = core.NewPCAM(64)
+		case "pcinf":
+			cfg.AM = core.NewPCAM(0)
+		}
+		if fusion {
+			cfg.Fusion = core.DefaultFusion()
+		}
+		comp = core.NewComposite(cfg)
+		engine = cpu.NewCompositeEngine(comp)
+	}
+	single := func(c core.Component) {
+		var e [core.NumComponents]int
+		e[c] = *entries
+		mkComposite(e, "", false, false)
+	}
+	switch *predictor {
+	case "lvp":
+		single(core.CompLVP)
+	case "sap":
+		single(core.CompSAP)
+	case "cvp":
+		single(core.CompCVP)
+	case "cap":
+		single(core.CompCAP)
+	case "composite":
+		mkComposite(core.HomogeneousEntries(*entries), *am, false, false)
+	case "best":
+		mkComposite(core.HomogeneousEntries(*entries), "pc", true, true)
+	case "eves":
+		engine = eves.New(eves.Config{BudgetKB: *budget, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown predictor %q\n", *predictor)
+		os.Exit(2)
+	}
+
+	run := cpu.New(cpu.DefaultConfig(), engine).Run(newGen(), name, *predictor)
+	fmt.Printf("%-9s  IPC=%.3f  speedup=%+.2f%%  coverage=%.1f%%  accuracy=%.4f\n",
+		*predictor+":", run.IPC(), stats.Speedup(run, base), run.Coverage(), run.Accuracy())
+	fmt.Printf("           flushes: value=%d branch=%d memorder=%d\n",
+		run.VPFlushes, run.BranchFlushes, run.MemOrderFlushes)
+
+	if *details && comp != nil {
+		st := comp.Stats()
+		fmt.Printf("           predicted loads: %d of %d probes; multi-confident: %d\n",
+			st.PredictedLoads, st.Probes,
+			st.ConfidentHistogram[2]+st.ConfidentHistogram[3]+st.ConfidentHistogram[4])
+		for c := core.Component(0); c < core.NumComponents; c++ {
+			if comp.Component(c) == nil {
+				continue
+			}
+			fmt.Printf("           %v: used=%d correct=%d incorrect=%d\n",
+				c, st.UsedBy[c], st.CorrectBy[c], st.IncorrectBy[c])
+		}
+		fmt.Printf("           storage: %.2fKB\n", comp.StorageKB())
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of Sheikh & Hower,
+// "Efficient Load Value Prediction using Multiple Predictors and
+// Filters" (HPCA 2019): four component load value predictors (LVP, SAP,
+// CVP, CAP), the composite predictor with accuracy monitors, smart
+// training and table fusion, the EVES baseline, and the cycle-level
+// out-of-order core model and synthetic workload suite they are
+// evaluated on.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for the paper-vs-measured record of
+// every table and figure. The benchmarks in bench_test.go regenerate
+// each experiment; cmd/experiments renders them.
+package repro

@@ -1,0 +1,129 @@
+// Customworkload shows how to drive the simulator with your own
+// instruction stream: implement trace.Generator, hand it to the
+// pipeline, and compare predictors on it.
+//
+// The example program is a unit-conversion loop over a linked list of
+// sensor records allocated back-to-back in memory — serialized pointer
+// chasing with perfectly strided addresses, the pattern where address
+// prediction shines.
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/eves"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// sensorList is a hand-written trace.Generator: a loop that walks a
+// linked list of 64-byte records, loads a payload field from each, and
+// accumulates it.
+type sensorList struct {
+	memory  *mem.Backing
+	nodes   int
+	cur     uint64
+	emitted uint64
+	limit   uint64
+	buf     []trace.Inst
+	pos     int
+	inited  bool
+}
+
+const (
+	listBase = uint64(0x2000_0000)
+	nodeSize = 64
+	loopPC   = uint64(0x40_0000)
+)
+
+func newSensorList(nodes int, limit uint64) *sensorList {
+	return &sensorList{memory: mem.NewBacking(99), nodes: nodes, limit: limit, cur: listBase}
+}
+
+func (g *sensorList) Mem() *mem.Backing { return g.memory }
+
+func (g *sensorList) Next(out *trace.Inst) bool {
+	if g.emitted >= g.limit {
+		return false
+	}
+	if g.pos >= len(g.buf) {
+		g.buf = g.buf[:0]
+		g.pos = 0
+		g.emit()
+	}
+	*out = g.buf[g.pos]
+	g.pos++
+	g.emitted++
+	return true
+}
+
+func (g *sensorList) emit() {
+	const (
+		rPtr = trace.Reg(1)
+		rVal = trace.Reg(2)
+		rAcc = trace.Reg(3)
+	)
+	push := func(i trace.Inst) { g.buf = append(g.buf, i) }
+
+	if !g.inited {
+		// Allocate the list: node i links to node i+1 (sequential
+		// allocation), with a payload at offset 16.
+		for i := 0; i < g.nodes; i++ {
+			node := listBase + uint64(i)*nodeSize
+			next := listBase + uint64((i+1)%g.nodes)*nodeSize
+			g.memory.Write(node, 8, next)
+			g.memory.Write(node+16, 8, uint64(1000+i))
+			initPC := loopPC + 0x1000 + uint64(i%8)*8
+			push(trace.Inst{PC: initPC, Op: trace.OpStore, Src1: rPtr, Addr: node, Size: 8, Value: next, Lat: 1})
+			push(trace.Inst{PC: initPC + 4, Op: trace.OpStore, Src1: rPtr, Addr: node + 16, Size: 8, Value: uint64(1000 + i), Lat: 1})
+		}
+		g.inited = true
+	}
+
+	// while (p) { acc += p->payload; p = p->next; }
+	payload := g.memory.Read(g.cur+16, 8)
+	next := g.memory.Read(g.cur, 8)
+	push(trace.Inst{PC: loopPC, Op: trace.OpLoad, Dst: rVal, Src1: rPtr, Addr: g.cur + 16, Size: 8, Value: payload, Lat: 1})
+	push(trace.Inst{PC: loopPC + 4, Op: trace.OpALU, Dst: rAcc, Src1: rAcc, Src2: rVal, Lat: 1})
+	push(trace.Inst{PC: loopPC + 8, Op: trace.OpLoad, Dst: rPtr, Src1: rPtr, Addr: g.cur, Size: 8, Value: next, Lat: 1})
+	push(trace.Inst{PC: loopPC + 12, Op: trace.OpBranch, Src1: rPtr, Taken: true, Target: loopPC, Lat: 1})
+	g.cur = next
+}
+
+func main() {
+	const insts = 150_000
+	const nodes = 192 // 12KB list: L1-resident, so PAQ probes hit
+
+	run := func(name string, engine cpu.Engine) stats.Run {
+		return cpu.New(cpu.DefaultConfig(), engine).Run(newSensorList(nodes, insts), "sensorlist", name)
+	}
+
+	base := run("baseline", nil)
+	fmt.Printf("%-22s IPC %.3f\n", "baseline", base.IPC())
+
+	report := func(name string, engine cpu.Engine) {
+		r := run(name, engine)
+		fmt.Printf("%-22s IPC %.3f  speedup %+7.2f%%  coverage %5.1f%%  accuracy %.4f\n",
+			name, r.IPC(), stats.Speedup(r, base), r.Coverage(), r.Accuracy())
+	}
+
+	report("composite (9.6KB)", cpu.NewCompositeEngine(core.NewComposite(core.CompositeConfig{
+		Entries: core.HomogeneousEntries(256), Seed: 1, AM: core.NewPCAM(64),
+	})))
+	report("SAP alone (1K)", cpu.NewCompositeEngine(core.NewComposite(func() core.CompositeConfig {
+		var e [core.NumComponents]int
+		e[core.CompSAP] = 1024
+		return core.CompositeConfig{Entries: e, Seed: 1}
+	}())))
+	report("EVES (32KB)", eves.New(eves.Config{BudgetKB: 32, Seed: 1}))
+
+	fmt.Println("\nThe list nodes are allocated sequentially, so the traversal's")
+	fmt.Println("addresses stride even though the dependence chain is serial:")
+	fmt.Println("address predictors break the chain, while a value-only")
+	fmt.Println("predictor like EVES cannot learn the ever-changing pointers.")
+}

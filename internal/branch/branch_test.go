@@ -1,0 +1,252 @@
+package branch
+
+import "testing"
+
+// runTAGE feeds a deterministic branch stream through predict/update and
+// returns the misprediction rate over the last half (after warmup).
+func runTAGE(t *TAGE, n int, outcome func(i int, hist uint64) bool) float64 {
+	var h History
+	warm := n / 2
+	lookups, wrong := 0, 0
+	pc := uint64(0x4000)
+	for i := 0; i < n; i++ {
+		taken := outcome(i, h.Global)
+		pred := t.Predict(pc, h.Global)
+		t.Update(pc, h.Global, taken)
+		if i >= warm {
+			lookups++
+			if pred != taken {
+				wrong++
+			}
+		}
+		h.Update(pc, taken)
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(wrong) / float64(lookups)
+}
+
+func TestTAGEAlwaysTaken(t *testing.T) {
+	p := NewTAGE(DefaultTAGEConfig())
+	rate := runTAGE(p, 2000, func(int, uint64) bool { return true })
+	if rate > 0.01 {
+		t.Errorf("always-taken misprediction rate %.3f", rate)
+	}
+}
+
+func TestTAGEAlternating(t *testing.T) {
+	p := NewTAGE(DefaultTAGEConfig())
+	rate := runTAGE(p, 4000, func(i int, _ uint64) bool { return i%2 == 0 })
+	if rate > 0.05 {
+		t.Errorf("alternating pattern misprediction rate %.3f", rate)
+	}
+}
+
+func TestTAGELearnsLongPattern(t *testing.T) {
+	// Period-7 pattern requires history: a bimodal predictor would sit
+	// near the bias rate (3/7 ≈ 43% wrong for pattern with 4 takens).
+	pattern := []bool{true, true, false, true, false, false, true}
+	p := NewTAGE(DefaultTAGEConfig())
+	rate := runTAGE(p, 20000, func(i int, _ uint64) bool { return pattern[i%len(pattern)] })
+	if rate > 0.05 {
+		t.Errorf("period-7 pattern misprediction rate %.3f, want < 0.05", rate)
+	}
+}
+
+func TestTAGEHistoryCorrelated(t *testing.T) {
+	// Outcome equals the branch outcome 3 steps ago — pure history
+	// correlation, invisible to PC-only prediction.
+	p := NewTAGE(DefaultTAGEConfig())
+	rate := runTAGE(p, 20000, func(i int, hist uint64) bool { return (hist>>2)&1 == 1 })
+	if rate > 0.05 {
+		t.Errorf("history-correlated misprediction rate %.3f", rate)
+	}
+}
+
+func TestTAGEDistinctBranches(t *testing.T) {
+	p := NewTAGE(DefaultTAGEConfig())
+	var h History
+	wrong, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x4000 + (i%8)*4)
+		taken := i%8 < 4 // each PC has a fixed direction
+		pred := p.Predict(pc, h.Global)
+		p.Update(pc, h.Global, taken)
+		if i > 10000 {
+			total++
+			if pred != taken {
+				wrong++
+			}
+		}
+		h.Update(pc, taken)
+	}
+	if rate := float64(wrong) / float64(total); rate > 0.02 {
+		t.Errorf("per-PC-biased misprediction rate %.3f", rate)
+	}
+}
+
+func TestTAGEStats(t *testing.T) {
+	p := NewTAGE(DefaultTAGEConfig())
+	p.Predict(0x40, 0)
+	p.Update(0x40, 0, true)
+	st := p.StatsSnapshot()
+	if st.Lookups != 1 {
+		t.Errorf("lookups = %d", st.Lookups)
+	}
+	if Stats.Rate(Stats{}) != 0 {
+		t.Error("empty stats rate should be 0")
+	}
+}
+
+func TestTAGEReset(t *testing.T) {
+	p := NewTAGE(DefaultTAGEConfig())
+	runTAGE(p, 1000, func(int, uint64) bool { return true })
+	p.Reset()
+	if p.StatsSnapshot().Lookups != 0 {
+		t.Error("stats survived reset")
+	}
+}
+
+func TestTAGEConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-power-of-two entries")
+		}
+	}()
+	NewTAGE(TAGEConfig{BaseEntries: 100, TaggedEntries: 64, TagBits: 8, HistoryLens: []uint{4}})
+}
+
+func TestITTAGEMonomorphic(t *testing.T) {
+	p := NewITTAGE(DefaultITTAGEConfig())
+	var h History
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		pred := p.Predict(0x40, h.Global)
+		p.Update(0x40, h.Global, 0x9000)
+		if i > 10 && pred != 0x9000 {
+			wrong++
+		}
+		h.Update(0x40, true)
+	}
+	if wrong > 0 {
+		t.Errorf("monomorphic indirect mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestITTAGEHistoryCorrelatedTargets(t *testing.T) {
+	// Target alternates with a period-4 history pattern.
+	p := NewITTAGE(DefaultITTAGEConfig())
+	var h History
+	targets := []uint64{0x9000, 0x9100, 0x9200, 0x9300}
+	wrong, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		want := targets[i%4]
+		pred := p.Predict(0x40, h.Global)
+		p.Update(0x40, h.Global, want)
+		if i > 10000 {
+			total++
+			if pred != want {
+				wrong++
+			}
+		}
+		// Encode the phase into the history so ITTAGE can see it.
+		h.Update(0x40, i%4 < 2)
+		h.Update(0x44, i%2 == 0)
+	}
+	if rate := float64(wrong) / float64(total); rate > 0.10 {
+		t.Errorf("history-correlated indirect misprediction rate %.3f", rate)
+	}
+}
+
+func TestITTAGEReset(t *testing.T) {
+	p := NewITTAGE(DefaultITTAGEConfig())
+	p.Predict(0x40, 0)
+	p.Update(0x40, 0, 0x9000)
+	p.Reset()
+	if p.StatsSnapshot().Lookups != 0 {
+		t.Error("stats survived reset")
+	}
+	if got := p.Predict(0x40, 0); got != 0 {
+		t.Errorf("base table survived reset: %#x", got)
+	}
+}
+
+func TestITTAGEConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewITTAGE(ITTAGEConfig{BaseEntries: 7, TaggedEntries: 8, TagBits: 8, HistoryLens: []uint{4}})
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(16)
+	r.Push(0x100)
+	r.Push(0x200)
+	r.Push(0x300)
+	if got := r.Pop(); got != 0x300 {
+		t.Errorf("pop = %#x, want 0x300", got)
+	}
+	if got := r.Pop(); got != 0x200 {
+		t.Errorf("pop = %#x, want 0x200", got)
+	}
+	if r.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", r.Depth())
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	r := NewRAS(4)
+	if got := r.Pop(); got != 0 {
+		t.Errorf("empty pop = %#x, want 0", got)
+	}
+	if r.Depth() != 0 {
+		t.Error("depth went negative")
+	}
+}
+
+func TestRASOverflowWrapsOldest(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(0x100)
+	r.Push(0x200)
+	r.Push(0x300) // overwrites 0x100
+	if got := r.Pop(); got != 0x300 {
+		t.Errorf("pop = %#x", got)
+	}
+	if got := r.Pop(); got != 0x200 {
+		t.Errorf("pop = %#x", got)
+	}
+	// The overwritten entry is gone; a further pop underflows.
+	if got := r.Pop(); got != 0 {
+		t.Errorf("pop past overwritten entry = %#x, want 0", got)
+	}
+}
+
+func TestRASDefaultSize(t *testing.T) {
+	r := NewRAS(0)
+	for i := 0; i < 16; i++ {
+		r.Push(uint64(i))
+	}
+	if r.Depth() != 16 {
+		t.Errorf("default RAS depth = %d, want 16", r.Depth())
+	}
+}
+
+func TestHistoryUpdate(t *testing.T) {
+	var h History
+	h.Update(0x40, true)
+	h.Update(0x44, false)
+	h.Update(0x48, true)
+	if h.Global&0x7 != 0b101 {
+		t.Errorf("global history = %b, want ...101", h.Global&0x7)
+	}
+	var h2 History
+	h2.Update(0x40, true)
+	h2.Update(0x48, false)
+	h2.Update(0x44, true)
+	if h.Path == h2.Path {
+		t.Error("path history insensitive to branch PC order")
+	}
+}

@@ -1,0 +1,69 @@
+package branch
+
+// History holds the speculative branch history registers maintained by
+// the front end: the global taken/not-taken history consumed by TAGE
+// and CVP, and a path history mixing branch PCs, consumed by ITTAGE.
+type History struct {
+	// Global is the outcome history, newest bit in bit 0 (1 = taken).
+	Global uint64
+
+	// Path folds the PCs of recent branches, newest first.
+	Path uint64
+}
+
+// Update shifts a branch's outcome and PC into the histories.
+func (h *History) Update(pc uint64, taken bool) {
+	h.Global <<= 1
+	if taken {
+		h.Global |= 1
+	}
+	h.Path = (h.Path << 3) ^ ((pc >> 2) & 0x3F)
+}
+
+// RAS is the 16-entry return address stack of the baseline core
+// (Table III). It is a circular stack: pushing beyond capacity
+// overwrites the oldest entry, and popping an empty stack returns zero,
+// as a real RAS would mispredict.
+type RAS struct {
+	entries []uint64
+	top     int
+	depth   int
+}
+
+// NewRAS builds a return address stack with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		n = 16
+	}
+	return &RAS{entries: make([]uint64, n)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(retAddr uint64) {
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = retAddr
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. An underflowed stack returns 0.
+func (r *RAS) Pop() uint64 {
+	if r.depth == 0 {
+		return 0
+	}
+	v := r.entries[r.top]
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return v
+}
+
+// Depth reports the number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// Reset empties the stack.
+func (r *RAS) Reset() {
+	r.top = 0
+	r.depth = 0
+	clear(r.entries)
+}

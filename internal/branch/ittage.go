@@ -1,0 +1,141 @@
+package branch
+
+// ITTAGEConfig describes an ITTAGE indirect target predictor.
+type ITTAGEConfig struct {
+	BaseEntries   int
+	TaggedEntries int
+	TagBits       uint
+	HistoryLens   []uint
+}
+
+// DefaultITTAGEConfig approximates the paper's "32KB ITTAGE predictor".
+func DefaultITTAGEConfig() ITTAGEConfig {
+	return ITTAGEConfig{
+		BaseEntries:   2048,
+		TaggedEntries: 512,
+		TagBits:       11,
+		HistoryLens:   []uint{4, 10, 22, 48},
+	}
+}
+
+type ittageEntry struct {
+	valid  bool
+	tag    uint16
+	target uint64
+	conf   uint8 // 2-bit
+	useful uint8 // 1-bit
+}
+
+// ITTAGE predicts indirect branch targets with the TAGE principle:
+// a PC-indexed base table of last targets plus tagged tables indexed by
+// geometric samples of global history.
+type ITTAGE struct {
+	cfg    ITTAGEConfig
+	base   []uint64
+	tables [][]ittageEntry
+	stats  Stats
+
+	provider    int
+	providerIdx int
+	providerTag uint16
+	lastPred    uint64
+}
+
+// NewITTAGE builds an ITTAGE predictor from cfg.
+func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
+	if cfg.BaseEntries <= 0 || cfg.BaseEntries&(cfg.BaseEntries-1) != 0 {
+		panic("branch: base entries must be a power of two")
+	}
+	if cfg.TaggedEntries <= 0 || cfg.TaggedEntries&(cfg.TaggedEntries-1) != 0 {
+		panic("branch: tagged entries must be a power of two")
+	}
+	t := &ITTAGE{cfg: cfg, base: make([]uint64, cfg.BaseEntries)}
+	for range cfg.HistoryLens {
+		t.tables = append(t.tables, make([]ittageEntry, cfg.TaggedEntries))
+	}
+	return t
+}
+
+func (t *ITTAGE) tableIndex(i int, pc, hist uint64) int {
+	sample := hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
+	return int(mix(pc>>2, sample, uint64(i)+77) & uint64(t.cfg.TaggedEntries-1))
+}
+
+func (t *ITTAGE) tableTag(i int, pc, hist uint64) uint16 {
+	sample := hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
+	return uint16(mix(pc>>2, sample, uint64(i)^0x5555) & ((1 << t.cfg.TagBits) - 1))
+}
+
+// Predict returns the predicted target for an indirect branch at pc.
+func (t *ITTAGE) Predict(pc, hist uint64) uint64 {
+	t.stats.Lookups++
+	t.provider = -1
+	pred := t.base[(pc>>2)&uint64(t.cfg.BaseEntries-1)]
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		idx := t.tableIndex(i, pc, hist)
+		tag := t.tableTag(i, pc, hist)
+		e := &t.tables[i][idx]
+		if e.valid && e.tag == tag && e.conf >= 1 {
+			t.provider = i
+			t.providerIdx = idx
+			t.providerTag = tag
+			pred = e.target
+			break
+		}
+	}
+	t.lastPred = pred
+	return pred
+}
+
+// Update trains the predictor with the branch's actual target.
+func (t *ITTAGE) Update(pc, hist uint64, target uint64) {
+	mispred := t.lastPred != target
+	if mispred {
+		t.stats.Mispredicts++
+	}
+	baseIdx := (pc >> 2) & uint64(t.cfg.BaseEntries-1)
+	t.base[baseIdx] = target
+	if t.provider >= 0 {
+		e := &t.tables[t.provider][t.providerIdx]
+		if e.valid && e.tag == t.providerTag {
+			if e.target == target {
+				if e.conf < 3 {
+					e.conf++
+				}
+				e.useful = 1
+			} else {
+				if e.conf > 0 {
+					e.conf--
+				} else {
+					e.target = target
+					e.useful = 0
+				}
+			}
+		}
+	}
+	if mispred {
+		// Allocate in a longer-history table.
+		for i := t.provider + 1; i < len(t.tables); i++ {
+			idx := t.tableIndex(i, pc, hist)
+			e := &t.tables[i][idx]
+			if !e.valid || e.useful == 0 {
+				*e = ittageEntry{valid: true, tag: t.tableTag(i, pc, hist), target: target, conf: 1}
+				break
+			}
+			e.useful = 0
+		}
+	}
+}
+
+// StatsSnapshot returns lookup/mispredict counters.
+func (t *ITTAGE) StatsSnapshot() Stats { return t.stats }
+
+// Reset clears all predictor state.
+func (t *ITTAGE) Reset() {
+	clear(t.base)
+	for i := range t.tables {
+		clear(t.tables[i])
+	}
+	t.stats = Stats{}
+	t.provider = -1
+}

@@ -1,0 +1,301 @@
+package core
+
+// This file implements the Accuracy Monitors of Section V-B. An AM
+// throttles an entire component predictor (M-AM) or a component
+// predictor for a particular load PC (PC-AM) when its observed accuracy
+// drops, squashing confident predictions that the per-entry confidence
+// mechanism alone would have allowed.
+
+// ComponentSet is a bitset over the four component predictors.
+type ComponentSet uint8
+
+// Add includes a component in the set.
+func (s *ComponentSet) Add(c Component) { *s |= 1 << c }
+
+// Has reports whether the set includes c.
+func (s ComponentSet) Has(c Component) bool { return s&(1<<c) != 0 }
+
+// Count returns the number of components in the set.
+func (s ComponentSet) Count() int {
+	n := 0
+	for c := Component(0); c < NumComponents; c++ {
+		if s.Has(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// AccuracyMonitor is the interface shared by the AM variants. The
+// composite predictor consults Allow at prediction time (fetch) and
+// reports validation results at execute time via Record.
+type AccuracyMonitor interface {
+	// Allow reports whether comp may deliver a confident prediction for
+	// the load at pc.
+	Allow(comp Component, pc uint64) bool
+
+	// Record observes the validation of a value-predicted load:
+	// confident is the set of components that had confident predictions
+	// at fetch, correct the subset that validated correct, and flush
+	// whether the used prediction was wrong and triggered recovery.
+	Record(pc uint64, confident, correct ComponentSet, flush bool)
+
+	// Instret advances the retired-instruction count, driving epoch
+	// boundaries.
+	Instret(n uint64)
+
+	// Reset clears all monitor state.
+	Reset()
+
+	// Name identifies the variant ("M-AM", "PC-AM(64)", ...).
+	Name() string
+}
+
+// MAMEpoch is the M-AM epoch length in retired instructions.
+const MAMEpoch = 1_000_000
+
+// MAMThresholdMPKP is the mispredictions-per-kilo-predictions rate above
+// which M-AM silences a component for the next epoch.
+const MAMThresholdMPKP = 3.0
+
+// MAM is the epoch-based accuracy monitor: if a component's
+// misprediction rate within an epoch exceeds 3 MPKP, the component is
+// silenced for the following epoch. Silenced predictors continue to
+// train (the composite always trains; only prediction delivery is
+// squashed).
+type MAM struct {
+	preds    [NumComponents]uint64
+	mispreds [NumComponents]uint64
+	silenced [NumComponents]bool
+	instret  uint64
+	epoch    uint64
+}
+
+// NewMAM returns an M-AM with the paper's epoch of one million
+// instructions.
+func NewMAM() *MAM { return &MAM{epoch: MAMEpoch} }
+
+// NewMAMEpoch returns an M-AM with a custom epoch length. Simulations
+// far shorter than the paper's 100M-instruction simpoints scale the
+// epoch down proportionally so throttling decisions still happen.
+func NewMAMEpoch(epoch uint64) *MAM {
+	if epoch == 0 {
+		epoch = MAMEpoch
+	}
+	return &MAM{epoch: epoch}
+}
+
+// Name implements AccuracyMonitor.
+func (m *MAM) Name() string { return "M-AM" }
+
+// Allow implements AccuracyMonitor.
+func (m *MAM) Allow(comp Component, _ uint64) bool { return !m.silenced[comp] }
+
+// Record implements AccuracyMonitor.
+func (m *MAM) Record(_ uint64, confident, correct ComponentSet, _ bool) {
+	for c := Component(0); c < NumComponents; c++ {
+		if !confident.Has(c) {
+			continue
+		}
+		m.preds[c]++
+		if !correct.Has(c) {
+			m.mispreds[c]++
+		}
+	}
+}
+
+// Instret implements AccuracyMonitor: at each epoch boundary the
+// counters are evaluated against the MPKP threshold and reset.
+func (m *MAM) Instret(n uint64) {
+	m.instret += n
+	for m.instret >= m.epoch {
+		m.instret -= m.epoch
+		for c := Component(0); c < NumComponents; c++ {
+			mpkp := 0.0
+			if m.preds[c] > 0 {
+				mpkp = float64(m.mispreds[c]) * 1000 / float64(m.preds[c])
+			}
+			m.silenced[c] = mpkp > MAMThresholdMPKP
+			m.preds[c] = 0
+			m.mispreds[c] = 0
+		}
+	}
+}
+
+// Reset implements AccuracyMonitor.
+func (m *MAM) Reset() {
+	*m = MAM{epoch: m.epoch}
+}
+
+// PCAMAccuracyFloor is the per-PC accuracy below which PC-AM silences a
+// component for that PC.
+const PCAMAccuracyFloor = 0.95
+
+type pcamEntry struct {
+	tag       uint16
+	correct   [NumComponents]uint8
+	incorrect [NumComponents]uint8
+}
+
+// PCAM is the per-PC accuracy monitor: a direct-mapped, PC-indexed,
+// PC-tagged table allocated on value-misprediction flushes. Each entry
+// keeps narrow correct/incorrect counters per component; when any
+// counter's most significant bit sets, all eight shift right, preserving
+// the correct-to-incorrect ratio in 8 bits (Section V-B-2).
+type PCAM struct {
+	entries  []pcamEntry
+	valid    []bool
+	infinite map[uint64]*pcamEntry
+	size     int
+}
+
+// NewPCAM builds a PC-AM with the given number of entries. size <= 0
+// builds the infinite variant used as a limit study in Figure 6.
+func NewPCAM(size int) *PCAM {
+	p := &PCAM{size: size}
+	if size <= 0 {
+		p.infinite = make(map[uint64]*pcamEntry)
+		return p
+	}
+	p.entries = make([]pcamEntry, size)
+	p.valid = make([]bool, size)
+	return p
+}
+
+// Name implements AccuracyMonitor.
+func (p *PCAM) Name() string {
+	if p.infinite != nil {
+		return "PC-AM(inf)"
+	}
+	return "PC-AM(" + itoa(p.size) + ")"
+}
+
+// index hashes the low-order PC bits, e.g. (PC>>2) ^ (PC>>8) for a
+// 64-entry monitor.
+func (p *PCAM) index(pc uint64) int {
+	shift := uint(2)
+	for (1 << shift) < p.size {
+		shift++
+	}
+	return int(((pc >> 2) ^ (pc >> (2 + shift))) % uint64(p.size))
+}
+
+// tagOf folds low-order PC bits into a 10-bit partial tag,
+// (PC>>2) ^ (PC>>12).
+func tagOf(pc uint64) uint16 {
+	return uint16(((pc >> 2) ^ (pc >> 12)) & 0x3FF)
+}
+
+// find returns the monitor entry for pc, or nil.
+func (p *PCAM) find(pc uint64) *pcamEntry {
+	if p.infinite != nil {
+		return p.infinite[pc>>2]
+	}
+	i := p.index(pc)
+	if p.valid[i] && p.entries[i].tag == tagOf(pc) {
+		return &p.entries[i]
+	}
+	return nil
+}
+
+// Allow implements AccuracyMonitor: a component is silenced for a PC
+// when the monitored accuracy for that PC falls below 95%.
+func (p *PCAM) Allow(comp Component, pc uint64) bool {
+	e := p.find(pc)
+	if e == nil {
+		return true
+	}
+	c := float64(e.correct[comp])
+	i := float64(e.incorrect[comp])
+	if c+i == 0 {
+		return true
+	}
+	return c/(c+i) >= PCAMAccuracyFloor
+}
+
+// Record implements AccuracyMonitor. A misprediction flush allocates an
+// entry (possibly replacing the existing one at that index); a predicted
+// load that has an entry updates the counters of every confident
+// component, monitoring even the predictors whose prediction was not
+// used.
+func (p *PCAM) Record(pc uint64, confident, correct ComponentSet, flush bool) {
+	e := p.find(pc)
+	if e == nil {
+		if !flush {
+			return
+		}
+		if p.infinite != nil {
+			e = &pcamEntry{}
+			p.infinite[pc>>2] = e
+		} else {
+			i := p.index(pc)
+			p.entries[i] = pcamEntry{tag: tagOf(pc)}
+			p.valid[i] = true
+			e = &p.entries[i]
+		}
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		if !confident.Has(c) {
+			continue
+		}
+		if correct.Has(c) {
+			e.correct[c]++
+		} else {
+			e.incorrect[c]++
+		}
+	}
+	// Preserve relative ratios within 8-bit counters: if any counter's
+	// MSB sets, shift all eight right.
+	msb := false
+	for c := Component(0); c < NumComponents; c++ {
+		if e.correct[c] >= 0x80 || e.incorrect[c] >= 0x80 {
+			msb = true
+			break
+		}
+	}
+	if msb {
+		for c := Component(0); c < NumComponents; c++ {
+			e.correct[c] >>= 1
+			e.incorrect[c] >>= 1
+		}
+	}
+}
+
+// Instret implements AccuracyMonitor (PC-AM has no epochs).
+func (p *PCAM) Instret(uint64) {}
+
+// Reset implements AccuracyMonitor.
+func (p *PCAM) Reset() {
+	if p.infinite != nil {
+		p.infinite = make(map[uint64]*pcamEntry)
+		return
+	}
+	clear(p.entries)
+	for i := range p.valid {
+		p.valid[i] = false
+	}
+}
+
+// itoa is a minimal integer formatter that avoids pulling fmt into hot
+// paths.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

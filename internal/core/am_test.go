@@ -1,0 +1,277 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allSet() ComponentSet {
+	var s ComponentSet
+	for c := Component(0); c < NumComponents; c++ {
+		s.Add(c)
+	}
+	return s
+}
+
+func only(c Component) ComponentSet {
+	var s ComponentSet
+	s.Add(c)
+	return s
+}
+
+func TestMAMSilencesHighMispredictionRate(t *testing.T) {
+	m := NewMAM()
+	// LVP: 1000 predictions, 10 mispredictions → 10 MPKP > 3 MPKP.
+	for i := 0; i < 990; i++ {
+		m.Record(0x100, only(CompLVP), only(CompLVP), false)
+	}
+	for i := 0; i < 10; i++ {
+		m.Record(0x100, only(CompLVP), 0, true)
+	}
+	// CVP: 1000 predictions, 1 misprediction → 1 MPKP, stays enabled.
+	for i := 0; i < 999; i++ {
+		m.Record(0x100, only(CompCVP), only(CompCVP), false)
+	}
+	m.Record(0x100, only(CompCVP), 0, true)
+
+	if !m.Allow(CompLVP, 0x100) {
+		t.Error("M-AM silenced a component before the epoch boundary")
+	}
+	m.Instret(MAMEpoch)
+	if m.Allow(CompLVP, 0x100) {
+		t.Error("M-AM did not silence LVP at 10 MPKP")
+	}
+	if !m.Allow(CompCVP, 0x100) {
+		t.Error("M-AM silenced CVP at 1 MPKP")
+	}
+	// A clean next epoch re-enables.
+	for i := 0; i < 1000; i++ {
+		m.Record(0x100, only(CompLVP), only(CompLVP), false)
+	}
+	m.Instret(MAMEpoch)
+	if !m.Allow(CompLVP, 0x100) {
+		t.Error("M-AM did not re-enable LVP after a clean epoch")
+	}
+}
+
+func TestMAMZeroPredictionsStaysEnabled(t *testing.T) {
+	m := NewMAM()
+	m.Instret(MAMEpoch)
+	for c := Component(0); c < NumComponents; c++ {
+		if !m.Allow(c, 0) {
+			t.Errorf("M-AM silenced %v with zero predictions", c)
+		}
+	}
+}
+
+func TestMAMReset(t *testing.T) {
+	m := NewMAM()
+	for i := 0; i < 100; i++ {
+		m.Record(0, only(CompLVP), 0, true)
+	}
+	m.Instret(MAMEpoch)
+	if m.Allow(CompLVP, 0) {
+		t.Fatal("precondition: LVP should be silenced")
+	}
+	m.Reset()
+	if !m.Allow(CompLVP, 0) {
+		t.Error("Reset did not clear silencing")
+	}
+}
+
+func TestPCAMAllocatesOnlyOnFlush(t *testing.T) {
+	p := NewPCAM(64)
+	// Correct predictions without an entry must not allocate.
+	p.Record(0x400, only(CompLVP), only(CompLVP), false)
+	if p.find(0x400) != nil {
+		t.Error("PC-AM allocated without a flush")
+	}
+	p.Record(0x400, only(CompLVP), 0, true)
+	if p.find(0x400) == nil {
+		t.Error("PC-AM did not allocate on flush")
+	}
+}
+
+func TestPCAMSilencesInaccuratePC(t *testing.T) {
+	p := NewPCAM(64)
+	pc := uint64(0x400)
+	p.Record(pc, only(CompLVP), 0, true) // allocate
+	// 10 wrong, 10 right → 50% < 95% floor.
+	for i := 0; i < 9; i++ {
+		p.Record(pc, only(CompLVP), 0, true)
+	}
+	for i := 0; i < 10; i++ {
+		p.Record(pc, only(CompLVP), only(CompLVP), false)
+	}
+	if p.Allow(CompLVP, pc) {
+		t.Error("PC-AM allowed a 50%-accurate PC")
+	}
+	// Other PCs unaffected.
+	if !p.Allow(CompLVP, 0x89ABC) {
+		t.Error("PC-AM silenced an untracked PC")
+	}
+	// Other components at this PC: no data recorded → allowed.
+	if !p.Allow(CompCVP, pc) {
+		t.Error("PC-AM silenced a component with no recorded predictions")
+	}
+}
+
+func TestPCAMTargetedVsMAM(t *testing.T) {
+	// The motivating difference (Section V-B): one bad PC should not
+	// silence the whole component in PC-AM, but does push M-AM over its
+	// epoch threshold when it dominates mispredictions.
+	p := NewPCAM(64)
+	bad, good := uint64(0x400), uint64(0x99000)
+	p.Record(bad, only(CompLVP), 0, true)
+	for i := 0; i < 20; i++ {
+		p.Record(bad, only(CompLVP), 0, true)
+	}
+	if p.Allow(CompLVP, bad) {
+		t.Error("bad PC not silenced")
+	}
+	if !p.Allow(CompLVP, good) {
+		t.Error("good PC silenced by PC-AM")
+	}
+}
+
+func TestPCAMCounterHalvingPreservesRatio(t *testing.T) {
+	p := NewPCAM(64)
+	pc := uint64(0x400)
+	p.Record(pc, only(CompLVP), 0, true) // allocate
+	// Push the correct counter to the MSB: all counters halve, and the
+	// accuracy estimate must remain (roughly) the same.
+	for i := 0; i < 300; i++ {
+		p.Record(pc, only(CompLVP), only(CompLVP), false)
+	}
+	e := p.find(pc)
+	if e == nil {
+		t.Fatal("entry lost")
+	}
+	if e.correct[CompLVP] >= 0x80 || e.incorrect[CompLVP] >= 0x80 {
+		t.Errorf("counters not halved: correct=%d incorrect=%d", e.correct[CompLVP], e.incorrect[CompLVP])
+	}
+	if !p.Allow(CompLVP, pc) {
+		t.Error("a predominantly correct PC was silenced after halving")
+	}
+}
+
+func TestPCAMConflictReplacement(t *testing.T) {
+	p := NewPCAM(64)
+	// Two PCs with the same index but different tags: the second flush
+	// replaces the first entry.
+	a := uint64(0x1000)
+	var b uint64
+	for cand := uint64(0x1004); ; cand += 4 {
+		if p.index(cand) == p.index(a) && tagOf(cand) != tagOf(a) {
+			b = cand
+			break
+		}
+	}
+	p.Record(a, only(CompLVP), 0, true)
+	if p.find(a) == nil {
+		t.Fatal("entry for a missing")
+	}
+	p.Record(b, only(CompLVP), 0, true)
+	if p.find(a) != nil {
+		t.Error("conflicting entry not replaced")
+	}
+	if p.find(b) == nil {
+		t.Error("replacement entry missing")
+	}
+}
+
+func TestPCAMInfinite(t *testing.T) {
+	p := NewPCAM(0)
+	if p.Name() != "PC-AM(inf)" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Infinite variant has no conflicts: thousands of PCs tracked
+	// independently.
+	for i := uint64(0); i < 5000; i++ {
+		pc := 0x1000 + i*4
+		p.Record(pc, only(CompCAP), 0, true)
+		p.Record(pc, only(CompCAP), 0, true)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		pc := 0x1000 + i*4
+		if p.Allow(CompCAP, pc) {
+			t.Fatalf("pc %#x not silenced in infinite PC-AM", pc)
+		}
+	}
+}
+
+func TestPCAMMonitorsUnusedConfidentComponents(t *testing.T) {
+	// A load predicted by CVP but with SAP also confident: SAP's
+	// counters must update even though its prediction was not used.
+	p := NewPCAM(64)
+	pc := uint64(0x400)
+	var conf ComponentSet
+	conf.Add(CompCVP)
+	conf.Add(CompSAP)
+	p.Record(pc, conf, only(CompCVP), true) // CVP correct, SAP wrong, flush allocates
+	for i := 0; i < 20; i++ {
+		p.Record(pc, conf, only(CompCVP), false)
+	}
+	if p.Allow(CompSAP, pc) {
+		t.Error("PC-AM did not silence the always-wrong unused component")
+	}
+	if !p.Allow(CompCVP, pc) {
+		t.Error("PC-AM silenced the always-correct component")
+	}
+}
+
+func TestPCAMReset(t *testing.T) {
+	for _, size := range []int{64, 0} {
+		p := NewPCAM(size)
+		p.Record(0x400, only(CompLVP), 0, true)
+		for i := 0; i < 10; i++ {
+			p.Record(0x400, only(CompLVP), 0, true)
+		}
+		if p.Allow(CompLVP, 0x400) {
+			t.Fatal("precondition failed")
+		}
+		p.Reset()
+		if !p.Allow(CompLVP, 0x400) {
+			t.Errorf("Reset(size=%d) did not clear state", size)
+		}
+	}
+}
+
+// Property: PC-AM counters never exceed 8 bits regardless of the update
+// sequence (the halving rule must keep them in range).
+func TestPCAMCounterBoundsProperty(t *testing.T) {
+	p := NewPCAM(16)
+	err := quick.Check(func(pcSeed uint16, outcomes []bool) bool {
+		pc := uint64(pcSeed) << 2
+		p.Record(pc, allSet(), 0, true)
+		for _, ok := range outcomes {
+			var correct ComponentSet
+			if ok {
+				correct = allSet()
+			}
+			p.Record(pc, allSet(), correct, !ok)
+		}
+		e := p.find(pc)
+		if e == nil {
+			return true // replaced by another property iteration
+		}
+		for c := Component(0); c < NumComponents; c++ {
+			if e.correct[c] > 0x80 || e.incorrect[c] > 0x80 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 5: "5", 64: "64", -3: "-3", 1234567: "1234567"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+// CAP is the context address predictor (Section III-B-2), modeled on
+// the DLVP predictor of Sheikh, Cain & Damodaran: a single tagged table
+// indexed by a hash of the load PC and the load path history. A
+// confident hit yields a predicted address that the Predicted Address
+// Queue uses to probe the data cache.
+//
+// Entry layout (67 bits): 14-bit tag, 49-bit virtual address, 2-bit
+// confidence, 2-bit load size.
+type CAP struct {
+	tbl       *table[capPayload]
+	fpc       *FPC
+	threshold uint8
+}
+
+type capPayload struct {
+	addr     uint64 // 49-bit virtual address
+	sizeLog2 uint8  // 2-bit load size indicator
+}
+
+// CAPBitsPerEntry is the paper's storage accounting for one CAP entry.
+const CAPBitsPerEntry = 14 + 49 + 2 + 2
+
+// CAPThreshold is the (saturated) 2-bit confidence CAP requires; with
+// FPCVectorCAP it corresponds to 4 consecutive observations of the same
+// path/PC/address — the lowest threshold of the four predictors.
+const CAPThreshold = 3
+
+// NewCAP builds a context address predictor with the given number of
+// table entries (rounded up to a power of two).
+func NewCAP(entries int, seed uint64) *CAP {
+	return &CAP{
+		tbl:       newTable[capPayload](entries, 14, SplitMix64(seed^9)),
+		fpc:       NewFPC(FPCVectorCAP, SplitMix64(seed^10)),
+		threshold: CAPThreshold,
+	}
+}
+
+// Component implements Predictor.
+func (c *CAP) Component() Component { return CompCAP }
+
+func (c *CAP) hash(pc, loadPath uint64) uint64 {
+	return hashMix(pc>>2, loadPath)
+}
+
+// Predict implements Predictor.
+func (c *CAP) Predict(p Probe) (Prediction, bool) {
+	h := c.hash(p.PC, p.LoadPath)
+	e := c.tbl.lookup(c.tbl.index(h), c.tbl.tag(h))
+	if e == nil || e.conf < c.threshold {
+		return Prediction{}, false
+	}
+	return Prediction{
+		Kind:   KindAddress,
+		Source: CompCAP,
+		Addr:   e.payload.addr,
+		Size:   uint8(1) << e.payload.sizeLog2,
+	}, true
+}
+
+// Train implements Predictor: a load that completes with the same
+// address and size as the stored entry raises confidence; any change
+// overwrites the entry and resets confidence (Section III-B-2).
+func (c *CAP) Train(o Outcome) {
+	h := c.hash(o.PC, o.LoadPath)
+	idx, tag := c.tbl.index(h), c.tbl.tag(h)
+	e := c.tbl.lookup(idx, tag)
+	addr := o.Addr & vaMask
+	size := sizeLog2(o.Size)
+	if e == nil {
+		e = c.tbl.allocate(idx, tag)
+		e.payload = capPayload{addr: addr, sizeLog2: size}
+		e.conf = 0
+		return
+	}
+	if e.payload.addr == addr && e.payload.sizeLog2 == size {
+		e.conf = c.fpc.Bump(e.conf)
+		return
+	}
+	e.payload = capPayload{addr: addr, sizeLog2: size}
+	e.conf = 0
+}
+
+// Invalidate implements Predictor.
+func (c *CAP) Invalidate(o Outcome) {
+	h := c.hash(o.PC, o.LoadPath)
+	c.tbl.invalidate(c.tbl.index(h), c.tbl.tag(h))
+}
+
+// Storage implements Predictor.
+func (c *CAP) Storage() Storage {
+	return Storage{Entries: c.tbl.entries(), BitsPerItem: CAPBitsPerEntry}
+}
+
+// ResetState implements Predictor.
+func (c *CAP) ResetState() { c.tbl.flush() }

@@ -1,0 +1,328 @@
+package core
+
+import "testing"
+
+// trainComposite drives the composite's full probe→validate→train loop
+// with a memory resolver that echoes the outcome value for any correct
+// address and a sentinel otherwise.
+func trainComposite(c *Composite, o Outcome, n int) {
+	resolve := func(addr uint64, size uint8) (uint64, bool) {
+		if addr == o.Addr&vaMask {
+			return o.Value, true
+		}
+		return ^uint64(0), true
+	}
+	for i := 0; i < n; i++ {
+		lk := c.Probe(Probe{PC: o.PC, BranchHist: o.BranchHist, LoadPath: o.LoadPath})
+		c.Train(o, &lk, Validate(&lk, o, resolve))
+	}
+}
+
+func newTestComposite(opts CompositeConfig) *Composite {
+	if opts.Entries == ([NumComponents]int{}) {
+		opts.Entries = HomogeneousEntries(256)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	return NewComposite(opts)
+}
+
+func TestCompositeSelectionPriority(t *testing.T) {
+	c := newTestComposite(CompositeConfig{})
+	o := Outcome{PC: 0x100, BranchHist: 0x3, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	trainComposite(c, o, 300)
+	lk := c.Probe(Probe{PC: o.PC, BranchHist: o.BranchHist, LoadPath: o.LoadPath})
+	if !lk.Used {
+		t.Fatal("no prediction after 300 stable observations")
+	}
+	// A stable load (same value, same address) makes all four confident
+	// eventually; CVP must win the priority (value first, context-aware
+	// first).
+	if lk.Confident.Count() < 3 {
+		t.Fatalf("expected broad confidence, got %d components", lk.Confident.Count())
+	}
+	if lk.Chosen != CompCVP {
+		t.Errorf("chosen = %v, want CVP (selection priority)", lk.Chosen)
+	}
+}
+
+func TestCompositeSelectionFallsBack(t *testing.T) {
+	// With only SAP and CAP present, CAP (context-aware address) should
+	// be preferred over SAP.
+	var entries [NumComponents]int
+	entries[CompSAP] = 64
+	entries[CompCAP] = 64
+	c := NewComposite(CompositeConfig{Entries: entries, Seed: 9})
+	o := Outcome{PC: 0x100, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	trainComposite(c, o, 100)
+	lk := c.Probe(Probe{PC: o.PC, LoadPath: o.LoadPath})
+	if !lk.Used || lk.Chosen != CompCAP {
+		t.Errorf("used=%v chosen=%v, want CAP before SAP", lk.Used, lk.Chosen)
+	}
+}
+
+func TestCompositeOmittedComponents(t *testing.T) {
+	var entries [NumComponents]int
+	entries[CompLVP] = 64
+	c := NewComposite(CompositeConfig{Entries: entries, Seed: 9})
+	if c.Component(CompSAP) != nil || c.Component(CompCVP) != nil || c.Component(CompCAP) != nil {
+		t.Error("omitted components should be nil")
+	}
+	o := Outcome{PC: 0x100, Value: 55, Addr: 0x7000, Size: 8}
+	trainComposite(c, o, 300)
+	lk := c.Probe(Probe{PC: o.PC})
+	if !lk.Used || lk.Chosen != CompLVP {
+		t.Errorf("single-component composite: used=%v chosen=%v", lk.Used, lk.Chosen)
+	}
+}
+
+func TestCompositeStorageAccounting(t *testing.T) {
+	c := NewComposite(CompositeConfig{Entries: HomogeneousEntries(1024), Seed: 1})
+	// 1024 × (81 + 77 + 81 + 67) bits = 38.25KB. The paper's Table VI
+	// reports 38.21KB for this configuration (minor accounting
+	// differences); require agreement within 1%.
+	kb := c.StorageKB()
+	if kb < 37.8 || kb > 38.7 {
+		t.Errorf("homogeneous 1K composite storage = %.2fKB, want ≈ 38.25KB", kb)
+	}
+}
+
+func TestCompositeTrainAllUpdatesEveryComponent(t *testing.T) {
+	c := newTestComposite(CompositeConfig{})
+	o := Outcome{PC: 0x100, Addr: 0x7000, Value: 1, Size: 8}
+	lk := c.Probe(Probe{PC: o.PC})
+	c.Train(o, &lk, Validation{})
+	st := c.Stats()
+	if st.TrainEvents != 1 || st.TrainedComponents != 4 {
+		t.Errorf("train-all: events=%d components=%d, want 1/4", st.TrainEvents, st.TrainedComponents)
+	}
+}
+
+func TestSmartTrainingTrainsOnlyBestWhenAllCorrect(t *testing.T) {
+	c := newTestComposite(CompositeConfig{SmartTraining: true})
+	o := Outcome{PC: 0x100, BranchHist: 0x3, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	// Build up full confidence first (smart training trains all while
+	// no prediction is made).
+	trainComposite(c, o, 300)
+
+	lk := c.Probe(Probe{PC: o.PC, BranchHist: o.BranchHist, LoadPath: o.LoadPath})
+	if lk.Confident.Count() != 4 {
+		t.Skipf("need all four confident, got %d", lk.Confident.Count())
+	}
+	before := c.Stats()
+	all := allComponents()
+	c.Train(o, &lk, Validation{Consistent: all, Valued: all, Correct: all})
+	after := c.Stats()
+	trained := after.TrainedComponents - before.TrainedComponents
+	// All four correct: train LVP only (first in training order), and
+	// invalidate SAP.
+	if trained != 1 {
+		t.Errorf("smart training updated %d components, want 1", trained)
+	}
+	if after.SAPInvalidations != before.SAPInvalidations+1 {
+		t.Error("smart training did not invalidate the unchosen-but-correct SAP entry")
+	}
+	if _, ok := c.Component(CompSAP).Predict(Probe{PC: o.PC}); ok {
+		t.Error("SAP entry survived smart-training invalidation")
+	}
+}
+
+func TestSmartTrainingTrainsMispredictors(t *testing.T) {
+	c := newTestComposite(CompositeConfig{SmartTraining: true})
+	o := Outcome{PC: 0x100, BranchHist: 0x3, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	trainComposite(c, o, 300)
+	lk := c.Probe(Probe{PC: o.PC, BranchHist: o.BranchHist, LoadPath: o.LoadPath})
+	if lk.Confident.Count() < 2 {
+		t.Skip("need at least two confident components")
+	}
+	// Pretend the value changed: value predictors now mispredict, while
+	// address predictors still point at the right location (their
+	// resolved value would also change, so mark them incorrect too).
+	o2 := o
+	o2.Value = 77
+	v := Validate(&lk, o2, func(addr uint64, size uint8) (uint64, bool) {
+		return 77, true // memory already holds the new value
+	})
+	// Address predictions hit the right address and resolve the new
+	// value → correct; value predictions stale → inconsistent.
+	before := c.Stats()
+	c.Train(o2, &lk, v)
+	after := c.Stats()
+	if after.TrainedComponents == before.TrainedComponents {
+		t.Error("smart training trained nothing after mispredictions")
+	}
+	// The stale LVP entry must have been trained (reset) by the
+	// misprediction rule.
+	if pr, ok := c.Component(CompLVP).Predict(Probe{PC: o.PC}); ok && pr.Value == 55 {
+		t.Error("mispredicting LVP entry was not retrained")
+	}
+}
+
+func TestSmartTrainingTrainsAllWhenNoPrediction(t *testing.T) {
+	c := newTestComposite(CompositeConfig{SmartTraining: true})
+	o := Outcome{PC: 0x100, Addr: 0x7000, Value: 1, Size: 8}
+	lk := c.Probe(Probe{PC: o.PC}) // nothing confident yet
+	c.Train(o, &lk, Validation{})
+	st := c.Stats()
+	if st.TrainedComponents != 4 {
+		t.Errorf("no-prediction case trained %d, want all 4", st.TrainedComponents)
+	}
+}
+
+func TestCompositeNilLookupTrains(t *testing.T) {
+	c := newTestComposite(CompositeConfig{})
+	o := Outcome{PC: 0x100, Addr: 0x7000, Value: 1, Size: 8}
+	c.Train(o, nil, Validation{}) // must not panic; treated as empty lookup
+	if c.Stats().TrainEvents != 1 {
+		t.Error("nil lookup did not train")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var lk Lookup
+	lk.Confident.Add(CompLVP)
+	lk.Preds[CompLVP] = Prediction{Kind: KindValue, Source: CompLVP, Value: 10}
+	lk.Confident.Add(CompSAP)
+	lk.Preds[CompSAP] = Prediction{Kind: KindAddress, Source: CompSAP, Addr: 0x7000, Size: 8}
+	o := Outcome{PC: 1, Addr: 0x7000, Value: 10, Size: 8}
+
+	resolveHit := func(addr uint64, size uint8) (uint64, bool) { return 10, true }
+	v := Validate(&lk, o, resolveHit)
+	if !v.Correct.Has(CompLVP) || !v.Correct.Has(CompSAP) {
+		t.Errorf("Correct = %b, want LVP and SAP", v.Correct)
+	}
+	if !v.Consistent.Has(CompSAP) || !v.Valued.Has(CompSAP) {
+		t.Error("hitting, matching address prediction must be consistent and valued")
+	}
+
+	// Address right but stale data: consistent, valued, NOT correct.
+	resolveStale := func(addr uint64, size uint8) (uint64, bool) { return 99, true }
+	v = Validate(&lk, o, resolveStale)
+	if v.Correct.Has(CompSAP) {
+		t.Error("address prediction counted correct despite changed data")
+	}
+	if !v.Consistent.Has(CompSAP) || !v.Valued.Has(CompSAP) {
+		t.Error("stale-data case must stay consistent and valued")
+	}
+	if !v.Correct.Has(CompLVP) {
+		t.Error("value prediction should remain correct")
+	}
+
+	// Cache miss: no speculative value — consistent but not valued and
+	// not correct (a non-event for the accuracy monitors).
+	resolveMiss := func(addr uint64, size uint8) (uint64, bool) { return 0, false }
+	v = Validate(&lk, o, resolveMiss)
+	if v.Correct.Has(CompSAP) || v.Valued.Has(CompSAP) {
+		t.Error("probe miss must not be valued or correct")
+	}
+	if !v.Consistent.Has(CompSAP) {
+		t.Error("probe miss with matching address must stay consistent")
+	}
+
+	// Wrong address with coincidentally matching data: valued (it
+	// speculated!) but neither consistent nor correct.
+	lk.Preds[CompSAP].Addr = 0x9000
+	v = Validate(&lk, o, resolveHit)
+	if v.Correct.Has(CompSAP) || v.Consistent.Has(CompSAP) {
+		t.Error("wrong-address prediction counted correct/consistent")
+	}
+	if !v.Valued.Has(CompSAP) {
+		t.Error("wrong-address hit still delivered a value")
+	}
+
+	if v := Validate(nil, o, resolveHit); v != (Validation{}) {
+		t.Error("nil lookup must produce an empty validation")
+	}
+}
+
+func allComponents() ComponentSet {
+	var s ComponentSet
+	for c := Component(0); c < NumComponents; c++ {
+		s.Add(c)
+	}
+	return s
+}
+
+func TestCompositeStatsHistogram(t *testing.T) {
+	c := newTestComposite(CompositeConfig{})
+	o := Outcome{PC: 0x100, BranchHist: 0x3, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	trainComposite(c, o, 400)
+	st := c.Stats()
+	if st.Probes != 400 {
+		t.Errorf("probes = %d, want 400", st.Probes)
+	}
+	if st.PredictedLoads == 0 {
+		t.Error("no predicted loads recorded")
+	}
+	var histTotal uint64
+	for _, v := range st.ConfidentHistogram {
+		histTotal += v
+	}
+	if histTotal != st.PredictedLoads {
+		t.Errorf("histogram total %d != predicted loads %d", histTotal, st.PredictedLoads)
+	}
+	if st.UsedPredictions > st.PredictedLoads {
+		t.Error("used predictions exceed predicted loads")
+	}
+}
+
+func TestComponentSet(t *testing.T) {
+	var s ComponentSet
+	if s.Count() != 0 {
+		t.Error("empty set count != 0")
+	}
+	s.Add(CompLVP)
+	s.Add(CompCAP)
+	s.Add(CompCAP) // idempotent
+	if !s.Has(CompLVP) || !s.Has(CompCAP) || s.Has(CompSAP) || s.Has(CompCVP) {
+		t.Errorf("set membership wrong: %b", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("count = %d, want 2", s.Count())
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	names := map[Component]string{CompLVP: "LVP", CompSAP: "SAP", CompCVP: "CVP", CompCAP: "CAP"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Component(9).String() == "" {
+		t.Error("unknown component must still format")
+	}
+	if KindValue.String() != "value" || KindAddress.String() != "address" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestCompositeResetState(t *testing.T) {
+	c := newTestComposite(CompositeConfig{})
+	o := Outcome{PC: 0x100, BranchHist: 0x3, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	trainComposite(c, o, 300)
+	c.ResetState()
+	lk := c.Probe(Probe{PC: o.PC, BranchHist: o.BranchHist, LoadPath: o.LoadPath})
+	if lk.Confident != 0 {
+		t.Error("confidence survived ResetState")
+	}
+	st := c.Stats()
+	if st.Probes != 1 {
+		t.Errorf("stats not reset: probes = %d", st.Probes)
+	}
+}
+
+func TestLookupPrediction(t *testing.T) {
+	var lk Lookup
+	if _, ok := lk.Prediction(); ok {
+		t.Error("unused lookup returned a prediction")
+	}
+	lk.Used = true
+	lk.Chosen = CompLVP
+	lk.Preds[CompLVP] = Prediction{Kind: KindValue, Value: 7}
+	pr, ok := lk.Prediction()
+	if !ok || pr.Value != 7 {
+		t.Error("Prediction() lost the chosen prediction")
+	}
+}

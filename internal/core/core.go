@@ -1,0 +1,149 @@
+// Package core implements the load value predictors studied in
+// Sheikh & Hower, "Efficient Load Value Prediction using Multiple
+// Predictors and Filters" (HPCA 2019): the four component predictors
+// (LVP, SAP, CVP, CAP), the composite predictor that runs all four in
+// parallel, and the paper's optimizations — accuracy monitors (M-AM and
+// PC-AM), heterogeneous table sizing, smart training, and table fusion.
+//
+// All predictors are deterministic: probabilistic confidence updates use
+// a seeded xorshift generator (see FPC), so repeated runs produce
+// identical results.
+package core
+
+import "fmt"
+
+// Component identifies one of the four component load value predictors.
+type Component uint8
+
+// The four component predictors, in the paper's Table I order.
+const (
+	CompLVP Component = iota // last value prediction (context-agnostic, value)
+	CompSAP                  // stride address prediction (context-agnostic, address)
+	CompCVP                  // context value prediction (context-aware, value)
+	CompCAP                  // context address prediction (context-aware, address)
+	NumComponents
+)
+
+// String returns the paper's name for the component.
+func (c Component) String() string {
+	switch c {
+	case CompLVP:
+		return "LVP"
+	case CompSAP:
+		return "SAP"
+	case CompCVP:
+		return "CVP"
+	case CompCAP:
+		return "CAP"
+	}
+	return fmt.Sprintf("Component(%d)", uint8(c))
+}
+
+// Kind distinguishes the two load value prediction approaches of
+// Section III-A: directly predicting the value, or predicting the
+// address and probing the data cache.
+type Kind uint8
+
+const (
+	// KindValue predictions carry the speculative load value directly.
+	KindValue Kind = iota
+	// KindAddress predictions carry a predicted effective address; the
+	// pipeline forwards it to the Predicted Address Queue (PAQ), which
+	// probes the data cache for the speculative value.
+	KindAddress
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindValue {
+		return "value"
+	}
+	return "address"
+}
+
+// Probe carries everything a predictor may consult when a load is
+// fetched. Histories are snapshotted at fetch time; the identical
+// snapshot must be presented again at training time so context-aware
+// predictors index the same entries they predicted from.
+type Probe struct {
+	PC uint64
+
+	// BranchHist is the global branch path history (newest outcome in
+	// the least significant bit), maintained by the front end. CVP
+	// hashes geometric samples of it.
+	BranchHist uint64
+
+	// LoadPath is the load path history: a running hash of the PCs of
+	// recently fetched loads. CAP hashes it with the load PC.
+	LoadPath uint64
+
+	// Inflight is the number of dynamic instances of this static load
+	// that have been fetched but not yet trained. Stride predictors
+	// (SAP, E-Stride) advance their prediction by Inflight strides so
+	// back-to-back instances of a loop load predict distinct addresses.
+	Inflight int
+}
+
+// Outcome carries the architectural result of a load, presented to the
+// predictors when the load executes.
+type Outcome struct {
+	PC         uint64
+	BranchHist uint64 // snapshot taken at fetch of this load
+	LoadPath   uint64 // snapshot taken at fetch of this load
+	Addr       uint64 // effective virtual address
+	Size       uint8  // access size in bytes (1, 2, 4, 8)
+	Value      uint64 // loaded value (zero-extended)
+}
+
+// Prediction is a confident prediction produced by a component.
+type Prediction struct {
+	Kind   Kind
+	Source Component
+	Value  uint64 // valid when Kind == KindValue
+	Addr   uint64 // valid when Kind == KindAddress
+	Size   uint8  // access size hint for address predictions
+}
+
+// Predictor is the interface shared by the four component predictors.
+// Implementations are not safe for concurrent use; the simulated core
+// probes and trains them from a single goroutine, as hardware would.
+type Predictor interface {
+	// Predict returns a confident prediction for the load being
+	// fetched, if the predictor has one.
+	Predict(p Probe) (Prediction, bool)
+
+	// Train observes an executed load and updates predictor state.
+	Train(o Outcome)
+
+	// Invalidate discards any entry the predictor holds for the load.
+	// Smart training uses it to break SAP entries that were correct but
+	// deliberately not trained (Section V-D).
+	Invalidate(o Outcome)
+
+	// Component reports which of the four components this is.
+	Component() Component
+
+	// Storage reports the hardware budget of the predictor.
+	Storage() Storage
+
+	// ResetState clears all dynamic state (tables and confidence) while
+	// keeping the configuration.
+	ResetState()
+}
+
+// Storage describes a predictor's hardware cost.
+type Storage struct {
+	Entries     int // total table entries across all tables
+	BitsPerItem int // bits per entry (tag + payload + confidence)
+}
+
+// Bits returns the total number of storage bits.
+func (s Storage) Bits() int { return s.Entries * s.BitsPerItem }
+
+// KB returns the storage cost in kilobytes (1024 bytes).
+func (s Storage) KB() float64 { return float64(s.Bits()) / 8 / 1024 }
+
+// String implements fmt.Stringer.
+func (s Storage) String() string {
+	return fmt.Sprintf("%d entries × %d bits = %.2fKB", s.Entries, s.BitsPerItem, s.KB())
+}

@@ -1,0 +1,173 @@
+package core
+
+// CVP is the context value predictor (Section III-B-2), modeled on the
+// VTAGE predictor of Perais & Seznec but without the untagged last-value
+// base table (LVP already plays that role in the composite). It keeps
+// three tagged tables indexed by a hash of the load PC and geometric
+// samples of the global branch path history; a prediction comes from the
+// longest-history table with a confident hit.
+//
+// Entry layout (81 bits, same as LVP): 14-bit tag, 64-bit value, 3-bit
+// confidence.
+type CVP struct {
+	tables    []*table[cvpPayload]
+	histLens  []uint
+	fpc       *FPC
+	threshold uint8
+	pool      *SharedPool // non-nil in shared-array mode
+}
+
+type cvpPayload struct {
+	value uint64 // direct mode
+	slot  int32  // shared-array mode
+}
+
+// CVPBitsPerEntry is the paper's storage accounting for one CVP entry.
+const CVPBitsPerEntry = 14 + 64 + 3
+
+// CVPThreshold is the confidence a load must reach before CVP predicts;
+// with FPCVectorCVP it corresponds to 16 consecutive observations.
+const CVPThreshold = 4
+
+// CVPHistoryLengths are the geometric branch-path-history sample lengths
+// of the three tables, shortest first. The shortest length matches the
+// paper's Listing-1 walkthrough ("the 5-bit history of the smallest CVP
+// table").
+var CVPHistoryLengths = []uint{5, 11, 24}
+
+// NewCVP builds a context value predictor. Following the paper's
+// footnote 3, entries is the *sum* of the three table sizes; it is split
+// as half to the shortest-history table and a quarter to each of the
+// others, each rounded to a power of two.
+func NewCVP(entries int, seed uint64) *CVP {
+	if entries < 4 {
+		entries = 4
+	}
+	sizes := []int{entries / 2, entries / 4, entries / 4}
+	c := &CVP{
+		histLens:  CVPHistoryLengths,
+		fpc:       NewFPC(FPCVectorCVP, SplitMix64(seed^5)),
+		threshold: CVPThreshold,
+	}
+	for i := range c.histLens {
+		c.tables = append(c.tables, newTable[cvpPayload](sizes[i], 14, SplitMix64(seed^uint64(6+i))))
+	}
+	return c
+}
+
+// NewCVPPooled builds a context value predictor whose entries reference
+// a shared value array (the decoupled-array optimization of Section
+// III-B); the pool is typically shared with LVP.
+func NewCVPPooled(entries int, seed uint64, pool *SharedPool) *CVP {
+	c := NewCVP(entries, seed)
+	c.pool = pool
+	for _, t := range c.tables {
+		t.onEvict = func(p *cvpPayload) { pool.Release(p.slot) }
+	}
+	return c
+}
+
+func (c *CVP) value(e *entry[cvpPayload]) uint64 {
+	if c.pool != nil {
+		return c.pool.Value(e.payload.slot)
+	}
+	return e.payload.value
+}
+
+func (c *CVP) setValue(e *entry[cvpPayload], v uint64) bool {
+	if c.pool == nil {
+		e.payload.value = v
+		return true
+	}
+	slot, ok := c.pool.Acquire(v)
+	if !ok {
+		*e = entry[cvpPayload]{payload: cvpPayload{slot: PoolInvalid}}
+		return false
+	}
+	e.payload.slot = slot
+	return true
+}
+
+// Component implements Predictor.
+func (c *CVP) Component() Component { return CompCVP }
+
+// hash combines the load PC with a geometric sample of the branch path
+// history for table i.
+func (c *CVP) hash(pc, branchHist uint64, i int) uint64 {
+	sample := branchHist & ((uint64(1) << c.histLens[i]) - 1)
+	return hashMix(pc>>2, sample, uint64(i))
+}
+
+// Predict implements Predictor: the longest-history confident hit wins.
+func (c *CVP) Predict(p Probe) (Prediction, bool) {
+	for i := len(c.tables) - 1; i >= 0; i-- {
+		t := c.tables[i]
+		h := c.hash(p.PC, p.BranchHist, i)
+		e := t.lookup(t.index(h), t.tag(h))
+		if e != nil && e.conf >= c.threshold {
+			return Prediction{
+				Kind:   KindValue,
+				Source: CompCVP,
+				Value:  c.value(e),
+			}, true
+		}
+	}
+	return Prediction{}, false
+}
+
+// Train implements Predictor: all three tables are updated in the same
+// manner as LVP (Section III-B-2).
+func (c *CVP) Train(o Outcome) {
+	for i, t := range c.tables {
+		h := c.hash(o.PC, o.BranchHist, i)
+		idx, tag := t.index(h), t.tag(h)
+		e := t.lookup(idx, tag)
+		if e == nil {
+			e = t.allocate(idx, tag)
+			e.payload = cvpPayload{slot: PoolInvalid}
+			c.setValue(e, o.Value)
+			e.conf = 0
+			continue
+		}
+		if c.value(e) == o.Value {
+			e.conf = c.fpc.Bump(e.conf)
+			continue
+		}
+		if c.pool != nil {
+			c.pool.Release(e.payload.slot)
+			e.payload.slot = PoolInvalid
+		}
+		c.setValue(e, o.Value)
+		e.conf = 0
+	}
+}
+
+// Invalidate implements Predictor.
+func (c *CVP) Invalidate(o Outcome) {
+	for i, t := range c.tables {
+		h := c.hash(o.PC, o.BranchHist, i)
+		t.invalidate(t.index(h), t.tag(h))
+	}
+}
+
+// Storage implements Predictor. In shared-array mode an entry holds a
+// slot index instead of a 64-bit value (the pool's own storage is
+// accounted by the composite, once).
+func (c *CVP) Storage() Storage {
+	n := 0
+	for _, t := range c.tables {
+		n += t.entries()
+	}
+	bits := CVPBitsPerEntry
+	if c.pool != nil {
+		bits = 14 + 3 + c.pool.SlotBits()
+	}
+	return Storage{Entries: n, BitsPerItem: bits}
+}
+
+// ResetState implements Predictor.
+func (c *CVP) ResetState() {
+	for _, t := range c.tables {
+		t.flush()
+	}
+}

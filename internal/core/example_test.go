@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleComposite shows the probe → validate → train loop a core
+// integrates with: probe at fetch, validate against the executed load,
+// train at completion.
+func ExampleComposite() {
+	composite := core.NewComposite(core.CompositeConfig{
+		Entries: core.HomogeneousEntries(256),
+		Seed:    42,
+		AM:      core.NewPCAM(64),
+	})
+
+	// A load at PC 0x1000 that always returns 7: train it to
+	// confidence, then predict.
+	outcome := core.Outcome{PC: 0x1000, Addr: 0x8000, Size: 8, Value: 7}
+	resolve := func(addr uint64, size uint8) (uint64, bool) { return 7, true }
+	for i := 0; i < 100; i++ {
+		lk := composite.Probe(core.Probe{PC: outcome.PC})
+		composite.Train(outcome, &lk, core.Validate(&lk, outcome, resolve))
+	}
+
+	lk := composite.Probe(core.Probe{PC: 0x1000})
+	pred, ok := lk.Prediction()
+	fmt.Println("predicted:", ok)
+	fmt.Println("kind:", pred.Kind)
+	fmt.Println("value:", pred.Value)
+	// Output:
+	// predicted: true
+	// kind: value
+	// value: 7
+}
+
+// ExampleLVP demonstrates a single component predictor in isolation.
+func ExampleLVP() {
+	lvp := core.NewLVP(64, 1)
+	for i := 0; i < 200; i++ { // effective confidence is 64 observations
+		lvp.Train(core.Outcome{PC: 0x40, Value: 123})
+	}
+	pred, ok := lvp.Predict(core.Probe{PC: 0x40})
+	fmt.Println(ok, pred.Value)
+	// Output: true 123
+}
+
+// ExampleTableIV prints the paper's predictor parameter table.
+func ExampleTableIV() {
+	for _, row := range core.TableIV() {
+		fmt.Printf("%s: %d bits/entry, effective confidence %d\n",
+			row.Component, row.BitsPerEntry, row.EffectiveConf)
+	}
+	// Output:
+	// LVP: 81 bits/entry, effective confidence 64
+	// SAP: 77 bits/entry, effective confidence 9
+	// CVP: 81 bits/entry, effective confidence 16
+	// CAP: 67 bits/entry, effective confidence 4
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFPCEffective(t *testing.T) {
+	cases := []struct {
+		name      string
+		vector    []uint32
+		threshold uint8
+		want      int
+	}{
+		{"LVP", FPCVectorLVP, LVPThreshold, 64},
+		{"SAP", FPCVectorSAP, SAPThreshold, 9},
+		{"CVP", FPCVectorCVP, CVPThreshold, 16},
+		{"CAP", FPCVectorCAP, CAPThreshold, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := NewFPC(tc.vector, 1)
+			if got := f.Effective(tc.threshold); got != tc.want {
+				t.Errorf("Effective(%d) = %d, want %d", tc.threshold, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFPCBumpNeverDecreases(t *testing.T) {
+	f := NewFPC(FPCVectorLVP, 42)
+	conf := uint8(0)
+	for i := 0; i < 10000; i++ {
+		next := f.Bump(conf)
+		if next < conf {
+			t.Fatalf("Bump decreased confidence: %d -> %d", conf, next)
+		}
+		if next > conf+1 {
+			t.Fatalf("Bump advanced by more than one: %d -> %d", conf, next)
+		}
+		conf = next
+	}
+	if conf != f.Max() {
+		t.Errorf("after 10000 bumps confidence = %d, want saturated %d", conf, f.Max())
+	}
+}
+
+func TestFPCSaturates(t *testing.T) {
+	f := NewFPC([]uint32{1, 1}, 7)
+	if got := f.Bump(2); got != 2 {
+		t.Errorf("Bump at max = %d, want 2", got)
+	}
+	if got := f.Bump(200); got != 2 {
+		t.Errorf("Bump beyond max = %d, want clamp to 2", got)
+	}
+}
+
+// TestFPCExpectedObservations checks the statistical contract: raising a
+// counter from zero to the threshold takes, on average, Effective()
+// observations.
+func TestFPCExpectedObservations(t *testing.T) {
+	const trials = 4000
+	f := NewFPC(FPCVectorCVP, 99)
+	total := 0
+	for trial := 0; trial < trials; trial++ {
+		conf := uint8(0)
+		for conf < CVPThreshold {
+			conf = f.Bump(conf)
+			total++
+		}
+	}
+	mean := float64(total) / trials
+	want := float64(f.Effective(CVPThreshold))
+	if math.Abs(mean-want) > want*0.1 {
+		t.Errorf("mean observations to threshold = %.2f, want ≈ %.0f", mean, want)
+	}
+}
+
+func TestFPCDeterminism(t *testing.T) {
+	a := NewFPC(FPCVectorLVP, 7)
+	b := NewFPC(FPCVectorLVP, 7)
+	conf1, conf2 := uint8(0), uint8(0)
+	for i := 0; i < 1000; i++ {
+		conf1 = a.Bump(conf1)
+		conf2 = b.Bump(conf2)
+		if conf1 != conf2 {
+			t.Fatalf("same-seed FPCs diverged at step %d: %d vs %d", i, conf1, conf2)
+		}
+	}
+}
+
+func TestFPCPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty vector", func() { NewFPC(nil, 1) })
+	mustPanic("zero entry", func() { NewFPC([]uint32{1, 0}, 1) })
+}
+
+func TestFPCVectorIsCopied(t *testing.T) {
+	v := []uint32{1, 2, 3}
+	f := NewFPC(v, 1)
+	v[0] = 99
+	if got := f.Vector()[0]; got != 1 {
+		t.Errorf("FPC shares caller's vector: got %d, want 1", got)
+	}
+	out := f.Vector()
+	out[1] = 77
+	if got := f.Vector()[1]; got != 2 {
+		t.Errorf("Vector() exposes internal state: got %d, want 2", got)
+	}
+}
+
+func TestXorShiftChance(t *testing.T) {
+	x := NewXorShift64(3)
+	if x.Chance(0) {
+		t.Error("Chance(0) must be false")
+	}
+	if !x.Chance(1) {
+		t.Error("Chance(1) must be true")
+	}
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if x.Chance(8) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.125) > 0.01 {
+		t.Errorf("Chance(8) rate = %.4f, want ≈ 0.125", rate)
+	}
+}
+
+func TestXorShiftZeroSeed(t *testing.T) {
+	x := NewXorShift64(0)
+	if x.Next() == 0 && x.Next() == 0 {
+		t.Error("zero seed produced a stuck generator")
+	}
+}
+
+func TestSplitMixDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	s := uint64(0)
+	for i := 0; i < 1000; i++ {
+		s = SplitMix64(s)
+		if seen[s] {
+			t.Fatalf("SplitMix64 repeated value after %d steps", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := NewXorShift64(5)
+	err := quick.Check(func(n uint8) bool {
+		m := int(n%63) + 1
+		v := x.Intn(m)
+		return v >= 0 && v < m
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	x.Intn(0)
+}

@@ -1,0 +1,230 @@
+package core
+
+import "sort"
+
+// FusionConfig parameterizes dynamic table fusion (Section V-E).
+// The zero value is replaced by the paper's settings via DefaultFusion.
+type FusionConfig struct {
+	// EpochInstrs is the epoch length in retired instructions
+	// (1 million in the paper).
+	EpochInstrs uint64
+
+	// UsedPerKilo is the used-predictions-per-kilo-instructions rate a
+	// component must exceed in an epoch to be counted useful (20 in the
+	// paper).
+	UsedPerKilo float64
+
+	// ClassifyEpochs (N) is the number of epochs observed before
+	// donor/receiver classification (5 in the paper).
+	ClassifyEpochs int
+
+	// CycleEpochs (M >> N) is the number of epochs after which fusion
+	// reverts and the cycle repeats (25 in the paper).
+	CycleEpochs int
+}
+
+// DefaultFusion returns the paper's fusion parameters.
+func DefaultFusion() *FusionConfig {
+	return &FusionConfig{
+		EpochInstrs:    1_000_000,
+		UsedPerKilo:    20,
+		ClassifyEpochs: 5,
+		CycleEpochs:    25,
+	}
+}
+
+// fusable is implemented by component predictors whose tables can accept
+// donated ways. setTotalWays(1) restores the predictor's own storage
+// only, keeping its contents.
+type fusable interface {
+	setTotalWays(n int)
+}
+
+func (l *LVP) setTotalWays(n int) { l.tbl.setWays(n) }
+func (s *SAP) setTotalWays(n int) { s.tbl.setWays(n) }
+func (c *CAP) setTotalWays(n int) { c.tbl.setWays(n) }
+func (c *CVP) setTotalWays(n int) {
+	for _, t := range c.tables {
+		t.setWays(n)
+	}
+}
+
+// Fusion implements the table fusion mechanism: component predictors
+// that deliver few used predictions (donors) lend their entire tables to
+// productive components (receivers) as extra associative ways. Donors
+// are flushed when donated and again when fusion reverts; receivers keep
+// their own way's contents throughout (Section V-E).
+type Fusion struct {
+	cfg FusionConfig
+	c   *Composite
+
+	sinceEpoch uint64
+	epoch      int
+	usedEpoch  [NumComponents]uint64
+	usedCycle  [NumComponents]uint64
+	usefulness [NumComponents]int
+	active     bool
+	isDonor    [NumComponents]bool
+
+	// FusionEvents counts how many times fusion engaged.
+	FusionEvents int
+}
+
+func newFusion(cfg FusionConfig, c *Composite) *Fusion {
+	def := DefaultFusion()
+	if cfg.EpochInstrs == 0 {
+		cfg.EpochInstrs = def.EpochInstrs
+	}
+	if cfg.UsedPerKilo == 0 {
+		cfg.UsedPerKilo = def.UsedPerKilo
+	}
+	if cfg.ClassifyEpochs == 0 {
+		cfg.ClassifyEpochs = def.ClassifyEpochs
+	}
+	if cfg.CycleEpochs == 0 {
+		cfg.CycleEpochs = def.CycleEpochs
+	}
+	return &Fusion{cfg: cfg, c: c}
+}
+
+// donated reports whether comp's storage is currently lent out.
+func (f *Fusion) donated(comp Component) bool { return f.isDonor[comp] }
+
+// observe records a delivered prediction for usefulness accounting.
+func (f *Fusion) observe(lk *Lookup) {
+	if lk.Used {
+		f.usedEpoch[lk.Chosen]++
+		f.usedCycle[lk.Chosen]++
+	}
+}
+
+// instret advances the epoch clock.
+func (f *Fusion) instret(n uint64) {
+	f.sinceEpoch += n
+	for f.sinceEpoch >= f.cfg.EpochInstrs {
+		f.sinceEpoch -= f.cfg.EpochInstrs
+		f.endEpoch()
+	}
+}
+
+func (f *Fusion) endEpoch() {
+	threshold := uint64(f.cfg.UsedPerKilo * float64(f.cfg.EpochInstrs) / 1000)
+	for comp := Component(0); comp < NumComponents; comp++ {
+		if f.c.comps[comp] == nil {
+			continue
+		}
+		if f.usedEpoch[comp] >= threshold {
+			f.usefulness[comp]++
+		}
+		f.usedEpoch[comp] = 0
+	}
+	f.epoch++
+	if f.epoch >= f.cfg.ClassifyEpochs && !f.active {
+		f.classify()
+	}
+	if f.epoch >= f.cfg.CycleEpochs {
+		f.revert()
+	}
+}
+
+// classify splits components into donors and receivers, then fuses
+// donor tables into receivers. The paper marks a component a donor when
+// it fell below the usefulness threshold in at least one of N
+// million-instruction epochs; with epochs scaled down to short
+// simulations (DESIGN.md §5), program phases are long relative to an
+// epoch, so the classification instead compares each component's
+// cumulative used predictions this cycle against the same
+// per-kilo-instruction rate, and retries each epoch until fusion
+// engages.
+func (f *Fusion) classify() {
+	need := uint64(f.cfg.UsedPerKilo*float64(f.cfg.EpochInstrs)/1000) * uint64(f.epoch)
+	idle := need / 10
+	var donors, receivers []Component
+	for comp := Component(0); comp < NumComponents; comp++ {
+		if f.c.comps[comp] == nil {
+			continue
+		}
+		switch {
+		case f.usedCycle[comp] <= idle:
+			// Only near-idle predictors donate: misclassifying a
+			// productive component silences it for the whole cycle,
+			// which costs far more than a donated way gains.
+			donors = append(donors, comp)
+		case f.usedCycle[comp] >= need:
+			receivers = append(receivers, comp)
+		}
+	}
+	if len(donors) == 0 || len(receivers) == 0 {
+		return
+	}
+	// Receivers ranked by used predictions over the classify window;
+	// the busiest receiver gets the first donor table (Section V-E).
+	sort.Slice(receivers, func(i, j int) bool {
+		if f.usedCycle[receivers[i]] != f.usedCycle[receivers[j]] {
+			return f.usedCycle[receivers[i]] > f.usedCycle[receivers[j]]
+		}
+		return receivers[i] < receivers[j]
+	})
+	extraWays := make(map[Component]int)
+	if len(donors) >= len(receivers) {
+		// Distribute donors round-robin starting at the busiest
+		// receiver (3 donors / 1 receiver → receiver takes all three).
+		for i, d := range donors {
+			r := receivers[i%len(receivers)]
+			extraWays[r]++
+			f.donate(d)
+		}
+	} else {
+		// More receivers than donors: the busiest receivers each take
+		// one donor (1 donor / 3 receivers → top receiver only).
+		for i, d := range donors {
+			extraWays[receivers[i]]++
+			f.donate(d)
+		}
+	}
+	for r, extra := range extraWays {
+		if fb, ok := f.c.comps[r].(fusable); ok {
+			fb.setTotalWays(1 + extra)
+		}
+	}
+	f.active = true
+	f.FusionEvents++
+}
+
+// donate flushes a donor (its contents are invalid as receiver storage)
+// and marks it inactive.
+func (f *Fusion) donate(comp Component) {
+	f.c.comps[comp].ResetState()
+	f.isDonor[comp] = true
+}
+
+// revert ends the fusion cycle: receivers drop their borrowed ways
+// (keeping their own way's contents) and donors restart from a flushed
+// table.
+func (f *Fusion) revert() {
+	for comp := Component(0); comp < NumComponents; comp++ {
+		p := f.c.comps[comp]
+		if p == nil {
+			continue
+		}
+		if fb, ok := p.(fusable); ok {
+			fb.setTotalWays(1)
+		}
+		if f.isDonor[comp] {
+			p.ResetState()
+			f.isDonor[comp] = false
+		}
+		f.usefulness[comp] = 0
+		f.usedCycle[comp] = 0
+		f.usedEpoch[comp] = 0
+	}
+	f.epoch = 0
+	f.active = false
+}
+
+// reset clears all fusion state including borrowed ways.
+func (f *Fusion) reset() {
+	f.revert()
+	f.sinceEpoch = 0
+	f.FusionEvents = 0
+}

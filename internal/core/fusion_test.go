@@ -1,0 +1,212 @@
+package core
+
+import "testing"
+
+// fusionHarness builds a composite with fast fusion epochs so tests can
+// drive several classification cycles cheaply.
+func fusionHarness(t *testing.T) (*Composite, *FusionConfig) {
+	t.Helper()
+	fc := &FusionConfig{
+		EpochInstrs:    1000,
+		UsedPerKilo:    20, // threshold: 20 used predictions per epoch
+		ClassifyEpochs: 3,
+		CycleEpochs:    9,
+	}
+	c := NewComposite(CompositeConfig{
+		Entries: HomogeneousEntries(64),
+		Seed:    7,
+		Fusion:  fc,
+	})
+	return c, fc
+}
+
+// driveEpoch simulates one fusion epoch in which LVP delivers `lvpUsed`
+// used predictions and the other components deliver none.
+func driveEpoch(c *Composite, lvpUsed int, epochInstrs uint64) {
+	var lk Lookup
+	lk.Confident.Add(CompLVP)
+	lk.Allowed.Add(CompLVP)
+	lk.Chosen = CompLVP
+	lk.Used = true
+	lk.Preds[CompLVP] = Prediction{Kind: KindValue, Source: CompLVP, Value: 1}
+	for i := 0; i < lvpUsed; i++ {
+		c.fuse.observe(&lk)
+	}
+	c.Instret(epochInstrs)
+}
+
+func TestFusionClassifiesDonorsAndReceivers(t *testing.T) {
+	c, fc := fusionHarness(t)
+	// Three epochs where LVP is heavily used and others idle → LVP is
+	// the sole receiver, SAP/CVP/CAP donate.
+	for e := 0; e < fc.ClassifyEpochs; e++ {
+		driveEpoch(c, 100, fc.EpochInstrs)
+	}
+	if !c.fuse.active {
+		t.Fatal("fusion did not engage after the classify window")
+	}
+	for _, d := range []Component{CompSAP, CompCVP, CompCAP} {
+		if !c.fuse.donated(d) {
+			t.Errorf("%v should be a donor", d)
+		}
+	}
+	if c.fuse.donated(CompLVP) {
+		t.Error("LVP should be a receiver")
+	}
+	// LVP's table gained the three donor tables as extra ways.
+	lvp := c.Component(CompLVP).(*LVP)
+	if got := lvp.tbl.numWays(); got != 4 {
+		t.Errorf("receiver ways = %d, want 4 (own + 3 donors)", got)
+	}
+	// Donors' storage is lent out: they must neither predict nor train.
+	if c.trainable(CompSAP) {
+		t.Error("donated SAP still trainable")
+	}
+}
+
+func TestFusionDonorsAreFlushedAndSilent(t *testing.T) {
+	c, fc := fusionHarness(t)
+	// Give SAP a confident entry first.
+	for i := 0; i < 50; i++ {
+		c.Component(CompSAP).Train(Outcome{PC: 0x40, Addr: 0x8000 + uint64(i)*8, Size: 8})
+	}
+	if _, ok := c.Component(CompSAP).Predict(Probe{PC: 0x40}); !ok {
+		t.Fatal("precondition: SAP confident")
+	}
+	for e := 0; e < fc.ClassifyEpochs; e++ {
+		driveEpoch(c, 100, fc.EpochInstrs)
+	}
+	if !c.fuse.donated(CompSAP) {
+		t.Fatal("SAP should be a donor")
+	}
+	// The composite must not return SAP predictions while donated.
+	lk := c.Probe(Probe{PC: 0x40})
+	if lk.Confident.Has(CompSAP) {
+		t.Error("donated SAP produced a prediction through the composite")
+	}
+}
+
+func TestFusionRevertsAfterCycle(t *testing.T) {
+	c, fc := fusionHarness(t)
+	for e := 0; e < fc.CycleEpochs-1; e++ {
+		driveEpoch(c, 100, fc.EpochInstrs)
+	}
+	if !c.fuse.active {
+		t.Fatal("fusion should be active mid-cycle")
+	}
+	driveEpoch(c, 100, fc.EpochInstrs) // crosses CycleEpochs → revert
+	if c.fuse.active {
+		t.Error("fusion still active after cycle end")
+	}
+	lvp := c.Component(CompLVP).(*LVP)
+	if got := lvp.tbl.numWays(); got != 1 {
+		t.Errorf("receiver ways after revert = %d, want 1", got)
+	}
+	for comp := Component(0); comp < NumComponents; comp++ {
+		if c.fuse.donated(comp) {
+			t.Errorf("%v still marked donor after revert", comp)
+		}
+	}
+}
+
+func TestFusionNoDonorsNoFusion(t *testing.T) {
+	fc := &FusionConfig{EpochInstrs: 1000, UsedPerKilo: 1, ClassifyEpochs: 2, CycleEpochs: 6}
+	c := NewComposite(CompositeConfig{Entries: HomogeneousEntries(64), Seed: 7, Fusion: fc})
+	// Make every component useful every epoch.
+	for e := 0; e < fc.ClassifyEpochs; e++ {
+		for comp := Component(0); comp < NumComponents; comp++ {
+			var lk Lookup
+			lk.Confident.Add(comp)
+			lk.Allowed.Add(comp)
+			lk.Chosen = comp
+			lk.Used = true
+			for i := 0; i < 10; i++ {
+				c.fuse.observe(&lk)
+			}
+		}
+		c.Instret(fc.EpochInstrs)
+	}
+	if c.fuse.active {
+		t.Error("fusion engaged with no donors")
+	}
+}
+
+func TestFusionAllIdleNoFusion(t *testing.T) {
+	c, fc := fusionHarness(t)
+	for e := 0; e < fc.ClassifyEpochs; e++ {
+		driveEpoch(c, 0, fc.EpochInstrs) // nobody useful
+	}
+	if c.fuse.active {
+		t.Error("fusion engaged with no receivers")
+	}
+}
+
+func TestFusionTwoDonorsTwoReceivers(t *testing.T) {
+	c, fc := fusionHarness(t)
+	// LVP and CVP are useful; SAP and CAP idle.
+	for e := 0; e < fc.ClassifyEpochs; e++ {
+		for _, comp := range []Component{CompLVP, CompCVP} {
+			var lk Lookup
+			lk.Confident.Add(comp)
+			lk.Allowed.Add(comp)
+			lk.Chosen = comp
+			lk.Used = true
+			for i := 0; i < 100; i++ {
+				c.fuse.observe(&lk)
+			}
+		}
+		c.Instret(fc.EpochInstrs)
+	}
+	if !c.fuse.active {
+		t.Fatal("fusion did not engage")
+	}
+	lvp := c.Component(CompLVP).(*LVP)
+	cvp := c.Component(CompCVP).(*CVP)
+	if lvp.tbl.numWays() != 2 {
+		t.Errorf("LVP ways = %d, want 2", lvp.tbl.numWays())
+	}
+	for _, tbl := range cvp.tables {
+		if tbl.numWays() != 2 {
+			t.Errorf("CVP table ways = %d, want 2", tbl.numWays())
+		}
+	}
+}
+
+func TestFusionReceiverKeepsContentsAcrossRevert(t *testing.T) {
+	c, fc := fusionHarness(t)
+	// Train LVP to confidence before fusion engages.
+	o := Outcome{PC: 0x999, Value: 42}
+	for i := 0; i < 300; i++ {
+		c.Component(CompLVP).Train(o)
+	}
+	if _, ok := c.Component(CompLVP).Predict(Probe{PC: o.PC}); !ok {
+		t.Fatal("precondition: LVP confident")
+	}
+	for e := 0; e < fc.CycleEpochs; e++ {
+		driveEpoch(c, 100, fc.EpochInstrs)
+	}
+	// Cycle has reverted; receiver (LVP) data must survive.
+	if pr, ok := c.Component(CompLVP).Predict(Probe{PC: o.PC}); !ok || pr.Value != 42 {
+		t.Error("receiver lost way-0 contents across fuse/revert")
+	}
+}
+
+func TestFusionEventsCounted(t *testing.T) {
+	c, fc := fusionHarness(t)
+	for cycle := 0; cycle < 2; cycle++ {
+		for e := 0; e < fc.CycleEpochs; e++ {
+			driveEpoch(c, 100, fc.EpochInstrs)
+		}
+	}
+	if c.fuse.FusionEvents != 2 {
+		t.Errorf("FusionEvents = %d, want 2 (one per cycle)", c.fuse.FusionEvents)
+	}
+}
+
+func TestFusionDefaultsApplied(t *testing.T) {
+	c := NewComposite(CompositeConfig{Entries: HomogeneousEntries(64), Seed: 1, Fusion: &FusionConfig{}})
+	def := DefaultFusion()
+	if c.fuse.cfg != *def {
+		t.Errorf("zero FusionConfig not defaulted: %+v", c.fuse.cfg)
+	}
+}

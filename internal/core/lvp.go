@@ -1,0 +1,134 @@
+package core
+
+// LVP is the last value predictor (Lipasti et al., Section III-B-1):
+// a PC-indexed, tagged table whose entries remember the last value a
+// static load produced. A prediction is made only after the value has
+// been observed unchanged for an effective confidence of 64 consecutive
+// executions, which the paper found necessary for 99% accuracy.
+//
+// Entry layout (81 bits): 14-bit tag, 64-bit value, 3-bit confidence.
+type LVP struct {
+	tbl       *table[lvpPayload]
+	fpc       *FPC
+	threshold uint8
+	pool      *SharedPool // non-nil in shared-array mode
+}
+
+type lvpPayload struct {
+	value uint64 // direct mode
+	slot  int32  // shared-array mode
+}
+
+// LVPBitsPerEntry is the paper's storage accounting for one LVP entry.
+const LVPBitsPerEntry = 14 + 64 + 3
+
+// LVPThreshold is the confidence a load must reach before LVP predicts.
+const LVPThreshold = 7
+
+// NewLVP builds a last value predictor with the given number of table
+// entries (rounded up to a power of two).
+func NewLVP(entries int, seed uint64) *LVP {
+	return &LVP{
+		tbl:       newTable[lvpPayload](entries, 14, SplitMix64(seed^1)),
+		fpc:       NewFPC(FPCVectorLVP, SplitMix64(seed^2)),
+		threshold: LVPThreshold,
+	}
+}
+
+// NewLVPPooled builds a last value predictor whose entries reference a
+// shared value array instead of storing 64-bit values (the decoupled-
+// array optimization of Section III-B).
+func NewLVPPooled(entries int, seed uint64, pool *SharedPool) *LVP {
+	l := NewLVP(entries, seed)
+	l.pool = pool
+	l.tbl.onEvict = func(p *lvpPayload) { pool.Release(p.slot) }
+	return l
+}
+
+// value resolves an entry's predicted value in either mode.
+func (l *LVP) value(e *entry[lvpPayload]) uint64 {
+	if l.pool != nil {
+		return l.pool.Value(e.payload.slot)
+	}
+	return e.payload.value
+}
+
+// setValue installs a value into an entry, acquiring a pool slot in
+// shared-array mode. It reports false (and kills the entry) when the
+// pool is exhausted.
+func (l *LVP) setValue(e *entry[lvpPayload], v uint64) bool {
+	if l.pool == nil {
+		e.payload.value = v
+		return true
+	}
+	slot, ok := l.pool.Acquire(v)
+	if !ok {
+		*e = entry[lvpPayload]{payload: lvpPayload{slot: PoolInvalid}}
+		return false
+	}
+	e.payload.slot = slot
+	return true
+}
+
+// Component implements Predictor.
+func (l *LVP) Component() Component { return CompLVP }
+
+// Predict implements Predictor. LVP consults only the load PC.
+func (l *LVP) Predict(p Probe) (Prediction, bool) {
+	h := hashMix(p.PC >> 2)
+	e := l.tbl.lookup(l.tbl.index(h), l.tbl.tag(h))
+	if e == nil || e.conf < l.threshold {
+		return Prediction{}, false
+	}
+	return Prediction{
+		Kind:   KindValue,
+		Source: CompLVP,
+		Value:  l.value(e),
+	}, true
+}
+
+// Train implements Predictor: on a value match the confidence is
+// probabilistically increased; otherwise the entry is overwritten with
+// the new value and the confidence resets to zero.
+func (l *LVP) Train(o Outcome) {
+	h := hashMix(o.PC >> 2)
+	idx, tag := l.tbl.index(h), l.tbl.tag(h)
+	e := l.tbl.lookup(idx, tag)
+	if e == nil {
+		e = l.tbl.allocate(idx, tag)
+		e.payload = lvpPayload{slot: PoolInvalid}
+		l.setValue(e, o.Value)
+		e.conf = 0
+		return
+	}
+	if l.value(e) == o.Value {
+		e.conf = l.fpc.Bump(e.conf)
+		return
+	}
+	if l.pool != nil {
+		l.pool.Release(e.payload.slot)
+		e.payload.slot = PoolInvalid
+	}
+	l.setValue(e, o.Value)
+	e.conf = 0
+}
+
+// Invalidate implements Predictor.
+func (l *LVP) Invalidate(o Outcome) {
+	h := hashMix(o.PC >> 2)
+	l.tbl.invalidate(l.tbl.index(h), l.tbl.tag(h))
+}
+
+// Storage implements Predictor. In shared-array mode an entry holds a
+// slot index instead of a 64-bit value (the pool's own storage is
+// accounted by the composite, once).
+func (l *LVP) Storage() Storage {
+	bits := LVPBitsPerEntry
+	if l.pool != nil {
+		bits = 14 + 3 + l.pool.SlotBits()
+	}
+	return Storage{Entries: l.tbl.entries(), BitsPerItem: bits}
+}
+
+// ResetState implements Predictor.
+func (l *LVP) ResetState() { l.tbl.flush() }

@@ -1,0 +1,56 @@
+package core
+
+// ParamRow describes one row of the paper's Table IV: the tuned
+// parameters of a component predictor.
+type ParamRow struct {
+	Component     Component
+	BitsPerEntry  int      // tag + payload + confidence
+	ConfBits      int      // width of the confidence counter
+	ConfThreshold uint8    // absolute counter value required to predict
+	EffectiveConf int      // expected consecutive observations (via FPC)
+	FPCVector     []uint32 // increment denominators per confidence level
+	HistoryLens   []uint   // branch path history sample lengths (CVP only)
+	Tables        int      // number of tables
+	Predicts      Kind     // value or address
+	ContextAware  bool
+}
+
+// TableIV returns the tuned parameters of the four component predictors
+// (paper Table IV). Vectors follow the paper's construction method; see
+// DESIGN.md §5.
+func TableIV() []ParamRow {
+	lvp := NewFPC(FPCVectorLVP, 1)
+	sap := NewFPC(FPCVectorSAP, 1)
+	cvp := NewFPC(FPCVectorCVP, 1)
+	cap := NewFPC(FPCVectorCAP, 1)
+	return []ParamRow{
+		{
+			Component: CompLVP, BitsPerEntry: LVPBitsPerEntry,
+			ConfBits: 3, ConfThreshold: LVPThreshold,
+			EffectiveConf: lvp.Effective(LVPThreshold),
+			FPCVector:     FPCVectorLVP, Tables: 1,
+			Predicts: KindValue, ContextAware: false,
+		},
+		{
+			Component: CompSAP, BitsPerEntry: SAPBitsPerEntry,
+			ConfBits: 2, ConfThreshold: SAPThreshold,
+			EffectiveConf: sap.Effective(SAPThreshold),
+			FPCVector:     FPCVectorSAP, Tables: 1,
+			Predicts: KindAddress, ContextAware: false,
+		},
+		{
+			Component: CompCVP, BitsPerEntry: CVPBitsPerEntry,
+			ConfBits: 3, ConfThreshold: CVPThreshold,
+			EffectiveConf: cvp.Effective(CVPThreshold),
+			FPCVector:     FPCVectorCVP, HistoryLens: CVPHistoryLengths,
+			Tables: 3, Predicts: KindValue, ContextAware: true,
+		},
+		{
+			Component: CompCAP, BitsPerEntry: CAPBitsPerEntry,
+			ConfBits: 2, ConfThreshold: CAPThreshold,
+			EffectiveConf: cap.Effective(CAPThreshold),
+			FPCVector:     FPCVectorCAP, Tables: 1,
+			Predicts: KindAddress, ContextAware: true,
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+// SharedPool implements the storage optimization the paper points to at
+// the end of Section III-B: decoupling the value arrays from the
+// prediction tables and sharing them among predictors (as the enhanced
+// VTAGE of EVES does). Table entries then store a short slot index
+// instead of a full 64-bit value; identical values across entries and
+// predictors share one slot.
+//
+// The pool is reference-counted: entries acquire a slot when trained
+// and release it when overwritten, invalidated or evicted. When the
+// pool is full and the value is not already interned, acquisition fails
+// — the capacity pressure that trades storage for coverage, quantified
+// by the sharedpool experiment.
+type SharedPool struct {
+	values   []uint64
+	refs     []uint16
+	index    map[uint64]int32
+	free     []int32
+	failures uint64
+}
+
+// PoolInvalid marks "no slot".
+const PoolInvalid int32 = -1
+
+// NewSharedPool builds a pool with n slots.
+func NewSharedPool(n int) *SharedPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &SharedPool{
+		values: make([]uint64, n),
+		refs:   make([]uint16, n),
+		index:  make(map[uint64]int32, n),
+		free:   make([]int32, 0, n),
+	}
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, int32(i))
+	}
+	return p
+}
+
+// Acquire interns v and returns its slot, incrementing the reference
+// count. It fails (PoolInvalid, false) when the pool is full and v is
+// not already present.
+func (p *SharedPool) Acquire(v uint64) (int32, bool) {
+	if s, ok := p.index[v]; ok {
+		if p.refs[s] == ^uint16(0) {
+			// Saturated refcount: refuse further sharing of this slot
+			// rather than risking a miscount.
+			p.failures++
+			return PoolInvalid, false
+		}
+		p.refs[s]++
+		return s, true
+	}
+	if len(p.free) == 0 {
+		p.failures++
+		return PoolInvalid, false
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.values[s] = v
+	p.refs[s] = 1
+	p.index[v] = s
+	return s, true
+}
+
+// Release decrements a slot's reference count, freeing it at zero.
+// Releasing PoolInvalid is a no-op.
+func (p *SharedPool) Release(s int32) {
+	if s == PoolInvalid {
+		return
+	}
+	if p.refs[s] == 0 {
+		panic("core: SharedPool release of free slot")
+	}
+	p.refs[s]--
+	if p.refs[s] == 0 {
+		delete(p.index, p.values[s])
+		p.free = append(p.free, s)
+	}
+}
+
+// Value returns the interned value for slot s.
+func (p *SharedPool) Value(s int32) uint64 { return p.values[s] }
+
+// Live returns the number of occupied slots.
+func (p *SharedPool) Live() int { return len(p.values) - len(p.free) }
+
+// Failures returns how many acquisitions failed for lack of slots.
+func (p *SharedPool) Failures() uint64 { return p.failures }
+
+// StorageBits accounts the pool's hardware cost: 64 value bits plus an
+// 8-bit reference counter per slot (the model uses wider counters in
+// software for safety; hardware would saturate at 8 bits).
+func (p *SharedPool) StorageBits() int { return len(p.values) * (64 + 8) }
+
+// SlotBits returns the width of a slot index for this pool size — the
+// field a table entry stores instead of a 64-bit value.
+func (p *SharedPool) SlotBits() int {
+	n := len(p.values)
+	bits := 0
+	for (1 << bits) < n {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSharedPoolInterning(t *testing.T) {
+	p := NewSharedPool(4)
+	a, ok := p.Acquire(100)
+	if !ok {
+		t.Fatal("acquire failed on empty pool")
+	}
+	b, ok := p.Acquire(100)
+	if !ok || b != a {
+		t.Errorf("same value not interned: %d vs %d", a, b)
+	}
+	c, _ := p.Acquire(200)
+	if c == a {
+		t.Error("different values share a slot")
+	}
+	if p.Live() != 2 {
+		t.Errorf("live = %d, want 2", p.Live())
+	}
+	if p.Value(a) != 100 || p.Value(c) != 200 {
+		t.Error("values corrupted")
+	}
+}
+
+func TestSharedPoolRefcounting(t *testing.T) {
+	p := NewSharedPool(1)
+	a, _ := p.Acquire(7)
+	if _, ok := p.Acquire(8); ok {
+		t.Fatal("full pool accepted a new value")
+	}
+	b, _ := p.Acquire(7) // still fits: same value
+	p.Release(a)
+	if p.Live() != 1 {
+		t.Error("slot freed while referenced")
+	}
+	p.Release(b)
+	if p.Live() != 0 {
+		t.Error("slot not freed at refcount zero")
+	}
+	if _, ok := p.Acquire(8); !ok {
+		t.Error("freed slot not reusable")
+	}
+}
+
+func TestSharedPoolReleaseInvalidNoop(t *testing.T) {
+	p := NewSharedPool(2)
+	p.Release(PoolInvalid) // must not panic
+}
+
+func TestSharedPoolDoubleReleasePanics(t *testing.T) {
+	p := NewSharedPool(2)
+	s, _ := p.Acquire(1)
+	p.Release(s)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	p.Release(s)
+}
+
+func TestSharedPoolFailureCounting(t *testing.T) {
+	p := NewSharedPool(1)
+	p.Acquire(1)
+	p.Acquire(2)
+	p.Acquire(3)
+	if p.Failures() != 2 {
+		t.Errorf("failures = %d, want 2", p.Failures())
+	}
+}
+
+func TestSharedPoolSlotBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 256: 8, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := NewSharedPool(n).SlotBits(); got != want {
+			t.Errorf("SlotBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: acquire/release sequences never corrupt the value of a live
+// slot, and Live() equals the count of distinct held values.
+func TestSharedPoolProperty(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		p := NewSharedPool(8)
+		type held struct {
+			slot int32
+			val  uint64
+		}
+		var live []held
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				h := live[len(live)-1]
+				live = live[:len(live)-1]
+				if p.Value(h.slot) != h.val {
+					return false
+				}
+				p.Release(h.slot)
+				continue
+			}
+			v := uint64(op % 12)
+			if s, ok := p.Acquire(v); ok {
+				live = append(live, held{s, v})
+			}
+		}
+		distinct := map[uint64]bool{}
+		for _, h := range live {
+			if p.Value(h.slot) != h.val {
+				return false
+			}
+			distinct[h.val] = true
+		}
+		return p.Live() == len(distinct)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPooledLVPBehavesLikeDirect(t *testing.T) {
+	// With an ample pool, pooled LVP must predict identically to the
+	// direct implementation.
+	pool := NewSharedPool(256)
+	pl := NewLVPPooled(64, 1, pool)
+	dl := NewLVP(64, 1)
+	o := Outcome{PC: 0x40, Value: 0xBEEF}
+	for i := 0; i < 300; i++ {
+		pl.Train(o)
+		dl.Train(o)
+	}
+	pp, okP := pl.Predict(Probe{PC: o.PC})
+	dp, okD := dl.Predict(Probe{PC: o.PC})
+	if okP != okD || pp.Value != dp.Value {
+		t.Errorf("pooled (%v,%v) != direct (%v,%v)", pp.Value, okP, dp.Value, okD)
+	}
+}
+
+func TestPooledLVPReleasesOnValueChange(t *testing.T) {
+	pool := NewSharedPool(4)
+	l := NewLVPPooled(64, 1, pool)
+	for v := uint64(0); v < 40; v++ {
+		l.Train(Outcome{PC: 0x40, Value: v})
+	}
+	// One live value per entry (single PC): the pool must not leak.
+	if pool.Live() != 1 {
+		t.Errorf("pool live = %d after serial value changes, want 1", pool.Live())
+	}
+}
+
+func TestPooledEvictionReleasesSlots(t *testing.T) {
+	pool := NewSharedPool(512)
+	l := NewLVPPooled(16, 1, pool) // tiny table: heavy eviction
+	for pc := uint64(0); pc < 400; pc++ {
+		l.Train(Outcome{PC: 0x1000 + pc*4, Value: pc + 1000})
+	}
+	if live := pool.Live(); live > 16 {
+		t.Errorf("pool live = %d with a 16-entry table; evictions leak slots", live)
+	}
+	l.ResetState()
+	if pool.Live() != 0 {
+		t.Errorf("pool live = %d after flush, want 0", pool.Live())
+	}
+}
+
+func TestPooledExhaustionDropsCoverageNotCorrectness(t *testing.T) {
+	// A starving pool must reduce predictions, never produce wrong ones.
+	pool := NewSharedPool(4)
+	l := NewLVPPooled(256, 1, pool)
+	outs := make([]Outcome, 32)
+	for i := range outs {
+		outs[i] = Outcome{PC: 0x1000 + uint64(i)*4, Value: uint64(0xA000 + i)}
+	}
+	for round := 0; round < 300; round++ {
+		for _, o := range outs {
+			l.Train(o)
+		}
+	}
+	predicted, wrong := 0, 0
+	for _, o := range outs {
+		if pr, ok := l.Predict(Probe{PC: o.PC}); ok {
+			predicted++
+			if pr.Value != o.Value {
+				wrong++
+			}
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d wrong predictions under pool pressure", wrong)
+	}
+	if predicted > 4 {
+		t.Errorf("predicted %d loads with a 4-slot pool", predicted)
+	}
+	if pool.Failures() == 0 {
+		t.Error("no pool pressure recorded")
+	}
+}
+
+func TestCompositePooledStorageSavings(t *testing.T) {
+	direct := NewComposite(CompositeConfig{Entries: HomogeneousEntries(1024), Seed: 1})
+	pooled := NewComposite(CompositeConfig{
+		Entries: HomogeneousEntries(1024), Seed: 1, ValuePoolSlots: 512,
+	})
+	if pooled.Pool() == nil {
+		t.Fatal("pooled composite has no pool")
+	}
+	if pooled.StorageKB() >= direct.StorageKB() {
+		t.Errorf("pooled %.2fKB >= direct %.2fKB", pooled.StorageKB(), direct.StorageKB())
+	}
+	// Saving should be substantial: 2048 entries shed (64-10) bits each,
+	// minus the 512×72-bit pool.
+	if saved := direct.StorageKB() - pooled.StorageKB(); saved < 6 {
+		t.Errorf("only %.2fKB saved", saved)
+	}
+}
+
+func TestCompositePooledStillPredicts(t *testing.T) {
+	c := NewComposite(CompositeConfig{
+		Entries: HomogeneousEntries(256), Seed: 1, ValuePoolSlots: 1024,
+	})
+	o := Outcome{PC: 0x100, BranchHist: 0x3, LoadPath: 0x9, Addr: 0x7000, Value: 55, Size: 8}
+	trainComposite(c, o, 300)
+	lk := c.Probe(Probe{PC: o.PC, BranchHist: o.BranchHist, LoadPath: o.LoadPath})
+	if !lk.Used {
+		t.Fatal("pooled composite never predicted")
+	}
+	if pr, _ := lk.Prediction(); pr.Kind == KindValue && pr.Value != o.Value {
+		t.Errorf("pooled prediction value %d, want %d", pr.Value, o.Value)
+	}
+}
+
+func TestPooledFusionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pool + fusion must panic")
+		}
+	}()
+	NewComposite(CompositeConfig{
+		Entries: HomogeneousEntries(64), Seed: 1,
+		ValuePoolSlots: 64, Fusion: DefaultFusion(),
+	})
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// trainN trains p with the same outcome n times.
+func trainN(p Predictor, o Outcome, n int) {
+	for i := 0; i < n; i++ {
+		p.Train(o)
+	}
+}
+
+func TestLVPPredictsStableValue(t *testing.T) {
+	l := NewLVP(64, 1)
+	o := Outcome{PC: 0x1000, Value: 0xDEADBEEF, Addr: 0x8000, Size: 8}
+	if _, ok := l.Predict(Probe{PC: o.PC}); ok {
+		t.Fatal("LVP predicted before any training")
+	}
+	trainN(l, o, 200) // effective confidence is 64; 200 >> 64
+	pr, ok := l.Predict(Probe{PC: o.PC})
+	if !ok {
+		t.Fatal("LVP not confident after 200 stable observations")
+	}
+	if pr.Kind != KindValue || pr.Value != o.Value || pr.Source != CompLVP {
+		t.Errorf("bad prediction: %+v", pr)
+	}
+}
+
+func TestLVPValueChangeResetsConfidence(t *testing.T) {
+	l := NewLVP(64, 1)
+	o := Outcome{PC: 0x1000, Value: 5}
+	trainN(l, o, 200)
+	o.Value = 6
+	l.Train(o)
+	if _, ok := l.Predict(Probe{PC: o.PC}); ok {
+		t.Error("LVP still confident immediately after a value change")
+	}
+	trainN(l, o, 200)
+	pr, ok := l.Predict(Probe{PC: o.PC})
+	if !ok || pr.Value != 6 {
+		t.Error("LVP did not re-learn the new value")
+	}
+}
+
+func TestLVPDistinctPCs(t *testing.T) {
+	l := NewLVP(1024, 1)
+	a := Outcome{PC: 0x1000, Value: 1}
+	b := Outcome{PC: 0x2000, Value: 2}
+	for i := 0; i < 200; i++ {
+		l.Train(a)
+		l.Train(b)
+	}
+	pa, okA := l.Predict(Probe{PC: a.PC})
+	pb, okB := l.Predict(Probe{PC: b.PC})
+	if !okA || !okB || pa.Value != 1 || pb.Value != 2 {
+		t.Errorf("cross-PC interference: a=(%v,%v) b=(%v,%v)", pa.Value, okA, pb.Value, okB)
+	}
+}
+
+func TestLVPInvalidate(t *testing.T) {
+	l := NewLVP(64, 1)
+	o := Outcome{PC: 0x1000, Value: 5}
+	trainN(l, o, 200)
+	l.Invalidate(o)
+	if _, ok := l.Predict(Probe{PC: o.PC}); ok {
+		t.Error("LVP predicted from an invalidated entry")
+	}
+}
+
+func TestSAPPredictsStride(t *testing.T) {
+	s := NewSAP(64, 1)
+	base := uint64(0x10000)
+	for i := 0; i < 50; i++ {
+		s.Train(Outcome{PC: 0x40, Addr: base + uint64(i)*8, Size: 8})
+	}
+	pr, ok := s.Predict(Probe{PC: 0x40, Inflight: 0})
+	if !ok {
+		t.Fatal("SAP not confident after 50 constant-stride observations")
+	}
+	want := base + 50*8
+	if pr.Kind != KindAddress || pr.Addr != want {
+		t.Errorf("predicted addr %#x, want %#x", pr.Addr, want)
+	}
+	if pr.Size != 8 {
+		t.Errorf("predicted size %d, want 8", pr.Size)
+	}
+}
+
+func TestSAPInflightAdjustment(t *testing.T) {
+	s := NewSAP(64, 1)
+	base := uint64(0x10000)
+	for i := 0; i < 50; i++ {
+		s.Train(Outcome{PC: 0x40, Addr: base + uint64(i)*16, Size: 4})
+	}
+	pr, ok := s.Predict(Probe{PC: 0x40, Inflight: 3})
+	if !ok {
+		t.Fatal("SAP not confident")
+	}
+	want := base + 49*16 + 4*16 // last trained addr + (inflight+1) strides
+	if pr.Addr != want {
+		t.Errorf("inflight-adjusted addr %#x, want %#x", pr.Addr, want)
+	}
+}
+
+func TestSAPZeroStride(t *testing.T) {
+	s := NewSAP(64, 1)
+	for i := 0; i < 50; i++ {
+		s.Train(Outcome{PC: 0x40, Addr: 0x8000, Size: 8})
+	}
+	pr, ok := s.Predict(Probe{PC: 0x40})
+	if !ok || pr.Addr != 0x8000 {
+		t.Errorf("SAP zero-stride: ok=%v addr=%#x, want 0x8000", ok, pr.Addr)
+	}
+}
+
+func TestSAPStrideChangeResets(t *testing.T) {
+	s := NewSAP(64, 1)
+	for i := 0; i < 50; i++ {
+		s.Train(Outcome{PC: 0x40, Addr: 0x8000 + uint64(i)*8, Size: 8})
+	}
+	// Break the stride: jump far away.
+	s.Train(Outcome{PC: 0x40, Addr: 0x90000, Size: 8})
+	if _, ok := s.Predict(Probe{PC: 0x40}); ok {
+		t.Error("SAP still confident after stride break")
+	}
+}
+
+func TestSAPOverlongStrideNeverConfident(t *testing.T) {
+	s := NewSAP(64, 1)
+	// Stride 4096 does not fit the 10-bit field; SAP must not build
+	// confidence (it would predict wrong addresses if it did).
+	for i := 0; i < 200; i++ {
+		s.Train(Outcome{PC: 0x40, Addr: 0x8000 + uint64(i)*4096, Size: 8})
+	}
+	if _, ok := s.Predict(Probe{PC: 0x40}); ok {
+		t.Error("SAP confident on a stride that exceeds its stride field")
+	}
+}
+
+func TestSAPNegativeStride(t *testing.T) {
+	s := NewSAP(64, 1)
+	base := uint64(0x20000)
+	for i := 0; i < 50; i++ {
+		s.Train(Outcome{PC: 0x40, Addr: base - uint64(i)*8, Size: 8})
+	}
+	pr, ok := s.Predict(Probe{PC: 0x40})
+	if !ok {
+		t.Fatal("SAP not confident on negative stride")
+	}
+	want := base - 50*8
+	if pr.Addr != want {
+		t.Errorf("negative-stride addr %#x, want %#x", pr.Addr, want)
+	}
+}
+
+func TestCVPContextSeparation(t *testing.T) {
+	c := NewCVP(256, 1)
+	// Same PC, two different branch histories mapping to different
+	// values: CVP must learn both.
+	histA, histB := uint64(0b10101), uint64(0b01010)
+	for i := 0; i < 100; i++ {
+		c.Train(Outcome{PC: 0x40, BranchHist: histA, Value: 111})
+		c.Train(Outcome{PC: 0x40, BranchHist: histB, Value: 222})
+	}
+	pa, okA := c.Predict(Probe{PC: 0x40, BranchHist: histA})
+	pb, okB := c.Predict(Probe{PC: 0x40, BranchHist: histB})
+	if !okA || pa.Value != 111 {
+		t.Errorf("history A: ok=%v value=%d, want 111", okA, pa.Value)
+	}
+	if !okB || pb.Value != 222 {
+		t.Errorf("history B: ok=%v value=%d, want 222", okB, pb.Value)
+	}
+}
+
+func TestCVPNeedsFewerObservationsThanLVP(t *testing.T) {
+	// CVP's effective confidence (16) is below LVP's (64): after 30
+	// stable observations CVP should usually predict while LVP must not
+	// have saturated its scalar threshold... LVP's counter can only
+	// reach threshold 7 after at least 7 trainings, but its FPC makes 30
+	// observations far short of effective confidence 64 in expectation.
+	// Use determinism: with this seed CVP fires and LVP does not.
+	c := NewCVP(256, 7)
+	l := NewLVP(256, 7)
+	o := Outcome{PC: 0x80, BranchHist: 0x15, Value: 9}
+	for i := 0; i < 30; i++ {
+		c.Train(o)
+		l.Train(o)
+	}
+	if _, ok := c.Predict(Probe{PC: 0x80, BranchHist: 0x15}); !ok {
+		t.Error("CVP not confident after 30 stable observations")
+	}
+}
+
+func TestCVPStorageSplit(t *testing.T) {
+	c := NewCVP(1024, 1)
+	if got := c.Storage().Entries; got != 1024 {
+		t.Errorf("CVP total entries = %d, want 1024", got)
+	}
+	if len(c.tables) != 3 {
+		t.Fatalf("CVP tables = %d, want 3", len(c.tables))
+	}
+}
+
+func TestCAPPredictsStableAddressPerContext(t *testing.T) {
+	c := NewCAP(64, 1)
+	o := Outcome{PC: 0x40, LoadPath: 0xABCD, Addr: 0x7000, Size: 4}
+	trainN(c, o, 20) // effective confidence 4
+	pr, ok := c.Predict(Probe{PC: 0x40, LoadPath: 0xABCD})
+	if !ok {
+		t.Fatal("CAP not confident after 20 stable observations")
+	}
+	if pr.Kind != KindAddress || pr.Addr != 0x7000 || pr.Size != 4 {
+		t.Errorf("bad CAP prediction: %+v", pr)
+	}
+	if _, ok := c.Predict(Probe{PC: 0x40, LoadPath: 0x1234}); ok {
+		t.Error("CAP predicted under a different load path history")
+	}
+}
+
+func TestCAPAddressChangeResets(t *testing.T) {
+	c := NewCAP(64, 1)
+	o := Outcome{PC: 0x40, LoadPath: 0xABCD, Addr: 0x7000, Size: 4}
+	trainN(c, o, 20)
+	o.Addr = 0x9000
+	c.Train(o)
+	if _, ok := c.Predict(Probe{PC: 0x40, LoadPath: 0xABCD}); ok {
+		t.Error("CAP confident immediately after address change")
+	}
+}
+
+func TestCAPSizeChangeResets(t *testing.T) {
+	c := NewCAP(64, 1)
+	o := Outcome{PC: 0x40, LoadPath: 0xABCD, Addr: 0x7000, Size: 4}
+	trainN(c, o, 20)
+	o.Size = 8
+	c.Train(o)
+	if _, ok := c.Predict(Probe{PC: 0x40, LoadPath: 0xABCD}); ok {
+		t.Error("CAP confident immediately after size change")
+	}
+}
+
+func TestCAPHasLowestTrainingLatency(t *testing.T) {
+	// The paper orders effective confidences CAP(4) < CVP(16) < LVP(64);
+	// verify the predictors respect that ordering on a stable load.
+	firstConfident := func(p Predictor, o Outcome, probe Probe) int {
+		for i := 1; i <= 500; i++ {
+			p.Train(o)
+			if _, ok := p.Predict(probe); ok {
+				return i
+			}
+		}
+		return 501
+	}
+	o := Outcome{PC: 0x40, BranchHist: 5, LoadPath: 9, Addr: 0x7000, Value: 3, Size: 8}
+	probe := Probe{PC: 0x40, BranchHist: 5, LoadPath: 9}
+	nCAP := firstConfident(NewCAP(64, 3), o, probe)
+	nCVP := firstConfident(NewCVP(64, 3), o, probe)
+	nLVP := firstConfident(NewLVP(64, 3), o, probe)
+	if !(nCAP < nCVP && nCVP < nLVP) {
+		t.Errorf("training latencies CAP=%d CVP=%d LVP=%d, want CAP < CVP < LVP", nCAP, nCVP, nLVP)
+	}
+}
+
+func TestPredictorStorageAccounting(t *testing.T) {
+	cases := []struct {
+		p    Predictor
+		bits int
+	}{
+		{NewLVP(1024, 1), 81},
+		{NewSAP(1024, 1), 77},
+		{NewCVP(1024, 1), 81},
+		{NewCAP(1024, 1), 67},
+	}
+	for _, tc := range cases {
+		s := tc.p.Storage()
+		if s.BitsPerItem != tc.bits {
+			t.Errorf("%v: bits/entry = %d, want %d", tc.p.Component(), s.BitsPerItem, tc.bits)
+		}
+		if s.Entries != 1024 {
+			t.Errorf("%v: entries = %d, want 1024", tc.p.Component(), s.Entries)
+		}
+	}
+}
+
+func TestResetStateClearsPredictions(t *testing.T) {
+	ps := []Predictor{NewLVP(64, 1), NewSAP(64, 1), NewCVP(64, 1), NewCAP(64, 1)}
+	o := Outcome{PC: 0x40, BranchHist: 5, LoadPath: 9, Addr: 0x7000, Value: 3, Size: 8}
+	probe := Probe{PC: 0x40, BranchHist: 5, LoadPath: 9}
+	for _, p := range ps {
+		// SAP needs a stride, so train with advancing addresses for it.
+		for i := 0; i < 300; i++ {
+			oo := o
+			if p.Component() == CompSAP {
+				oo.Addr += uint64(i) * 8
+			}
+			p.Train(oo)
+		}
+		if _, ok := p.Predict(probe); !ok {
+			t.Errorf("%v: not confident before reset", p.Component())
+		}
+		p.ResetState()
+		if _, ok := p.Predict(probe); ok {
+			t.Errorf("%v: still confident after ResetState", p.Component())
+		}
+	}
+}
+
+// Property: predictions, when produced, always carry the correct source
+// component and a kind matching the predictor family.
+func TestPredictionMetadataProperty(t *testing.T) {
+	lvp, sap := NewLVP(64, 2), NewSAP(64, 2)
+	cvp, cap := NewCVP(64, 2), NewCAP(64, 2)
+	err := quick.Check(func(pc, hist, path, addr, val uint64) bool {
+		o := Outcome{PC: pc, BranchHist: hist, LoadPath: path, Addr: addr, Value: val, Size: 8}
+		probe := Probe{PC: pc, BranchHist: hist, LoadPath: path}
+		for i := 0; i < 80; i++ {
+			lvp.Train(o)
+			sap.Train(o)
+			cvp.Train(o)
+			cap.Train(o)
+		}
+		if pr, ok := lvp.Predict(probe); ok && (pr.Source != CompLVP || pr.Kind != KindValue) {
+			return false
+		}
+		if pr, ok := sap.Predict(probe); ok && (pr.Source != CompSAP || pr.Kind != KindAddress) {
+			return false
+		}
+		if pr, ok := cvp.Predict(probe); ok && (pr.Source != CompCVP || pr.Kind != KindValue) {
+			return false
+		}
+		if pr, ok := cap.Predict(probe); ok && (pr.Source != CompCAP || pr.Kind != KindAddress) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeLog2(t *testing.T) {
+	cases := []struct {
+		in   uint8
+		want uint8
+	}{{1, 0}, {2, 1}, {4, 2}, {8, 3}, {0, 0}, {16, 3}}
+	for _, tc := range cases {
+		if got := sizeLog2(tc.in); got != tc.want {
+			t.Errorf("sizeLog2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

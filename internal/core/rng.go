@@ -1,0 +1,61 @@
+package core
+
+// XorShift64 is a tiny deterministic pseudo-random generator used for
+// probabilistic confidence updates (FPC) and replacement decisions.
+// It is the xorshift64* generator: fast, stateless beyond 8 bytes, and
+// reproducible — important so that every simulation run is bit-identical
+// for a given seed.
+type XorShift64 struct {
+	state uint64
+}
+
+// NewXorShift64 returns a generator seeded with seed. A zero seed is
+// remapped to a fixed non-zero constant because the all-zero state is a
+// fixed point of the xorshift recurrence.
+func NewXorShift64(seed uint64) *XorShift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &XorShift64{state: seed}
+}
+
+// Next returns the next 64-bit pseudo-random value.
+func (x *XorShift64) Next() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Chance returns true with probability 1/denom. Chance(1) is always
+// true; Chance(0) is always false (a disabled probabilistic event).
+func (x *XorShift64) Chance(denom uint32) bool {
+	if denom == 0 {
+		return false
+	}
+	if denom == 1 {
+		return true
+	}
+	return x.Next()%uint64(denom) == 0
+}
+
+// Intn returns a pseudo-random integer in [0, n). n must be positive.
+func (x *XorShift64) Intn(n int) int {
+	if n <= 0 {
+		panic("core: Intn with non-positive n")
+	}
+	return int(x.Next() % uint64(n))
+}
+
+// SplitMix64 advances a seed with the splitmix64 finalizer. It is used
+// to derive independent sub-seeds (for example, one per predictor) from
+// a single run seed.
+func SplitMix64(seed uint64) uint64 {
+	seed += 0x9E3779B97F4A7C15
+	z := seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,137 @@
+package core
+
+// SAP is the stride address predictor (González & González, Section
+// III-B-1): a PC-indexed, tagged table that detects strided load
+// addresses (stride possibly zero) and, once confident, emits a
+// predicted address for the Predicted Address Queue to probe the data
+// cache with. Like the enhanced stride predictor in EVES, SAP advances
+// its prediction by the number of in-flight occurrences of the load so
+// that overlapping loop iterations each predict a distinct address.
+//
+// Entry layout (77 bits): 14-bit tag, 49-bit last virtual address,
+// 2-bit confidence, 10-bit stride, 2-bit load size (log2 of width).
+type SAP struct {
+	tbl       *table[sapPayload]
+	fpc       *FPC
+	threshold uint8
+}
+
+type sapPayload struct {
+	lastAddr    uint64 // 49-bit virtual address
+	stride      int16  // 10-bit signed stride
+	strideValid bool   // false while the observed stride does not fit in 10 bits
+	sizeLog2    uint8  // 2-bit load size indicator
+}
+
+// SAPBitsPerEntry is the paper's storage accounting for one SAP entry.
+const SAPBitsPerEntry = 14 + 49 + 2 + 10 + 2
+
+// SAPThreshold is the (saturated) 2-bit confidence SAP requires; with
+// FPCVectorSAP it corresponds to 9 consecutive stride confirmations.
+const SAPThreshold = 3
+
+const (
+	vaMask       = (uint64(1) << 49) - 1 // 49-bit virtual address space
+	strideMax    = 511
+	strideMin    = -512
+	sapTagBits   = 14
+	strideUnused = 0
+)
+
+// NewSAP builds a stride address predictor with the given number of
+// table entries (rounded up to a power of two).
+func NewSAP(entries int, seed uint64) *SAP {
+	return &SAP{
+		tbl:       newTable[sapPayload](entries, sapTagBits, SplitMix64(seed^3)),
+		fpc:       NewFPC(FPCVectorSAP, SplitMix64(seed^4)),
+		threshold: SAPThreshold,
+	}
+}
+
+// Component implements Predictor.
+func (s *SAP) Component() Component { return CompSAP }
+
+// Predict implements Predictor. The predicted address is the last known
+// address plus one stride per in-flight occurrence plus one, so the
+// oldest in-flight instance lands on the next element and this fetch on
+// its own slot.
+func (s *SAP) Predict(p Probe) (Prediction, bool) {
+	h := hashMix(p.PC >> 2)
+	e := s.tbl.lookup(s.tbl.index(h), s.tbl.tag(h))
+	if e == nil || e.conf < s.threshold || !e.payload.strideValid {
+		return Prediction{}, false
+	}
+	steps := int64(p.Inflight) + 1
+	addr := (e.payload.lastAddr + uint64(steps*int64(e.payload.stride))) & vaMask
+	return Prediction{
+		Kind:   KindAddress,
+		Source: CompSAP,
+		Addr:   addr,
+		Size:   uint8(1) << e.payload.sizeLog2,
+	}, true
+}
+
+// Train implements Predictor: the observed stride is the delta between
+// the executing load's address and the entry's last known address. A
+// matching stride raises confidence; a changed stride (or one that does
+// not fit the 10-bit field) resets it.
+func (s *SAP) Train(o Outcome) {
+	h := hashMix(o.PC >> 2)
+	idx, tag := s.tbl.index(h), s.tbl.tag(h)
+	e := s.tbl.lookup(idx, tag)
+	if e == nil {
+		e = s.tbl.allocate(idx, tag)
+		e.payload = sapPayload{
+			lastAddr: o.Addr & vaMask,
+			sizeLog2: sizeLog2(o.Size),
+		}
+		e.conf = 0
+		return
+	}
+	delta := int64(o.Addr&vaMask) - int64(e.payload.lastAddr)
+	fits := delta >= strideMin && delta <= strideMax
+	switch {
+	case fits && e.payload.strideValid && int16(delta) == e.payload.stride:
+		e.conf = s.fpc.Bump(e.conf)
+	case fits:
+		e.payload.stride = int16(delta)
+		e.payload.strideValid = true
+		e.conf = 0
+	default:
+		e.payload.strideValid = false
+		e.conf = 0
+	}
+	e.payload.lastAddr = o.Addr & vaMask
+	e.payload.sizeLog2 = sizeLog2(o.Size)
+}
+
+// Invalidate implements Predictor. Smart training invalidates SAP
+// entries that produced a correct prediction but were not chosen for
+// training: skipping training would break the stored stride anyway, so
+// the entry is rendered useless and is freed instead (Section V-D).
+func (s *SAP) Invalidate(o Outcome) {
+	h := hashMix(o.PC >> 2)
+	s.tbl.invalidate(s.tbl.index(h), s.tbl.tag(h))
+}
+
+// Storage implements Predictor.
+func (s *SAP) Storage() Storage {
+	return Storage{Entries: s.tbl.entries(), BitsPerItem: SAPBitsPerEntry}
+}
+
+// ResetState implements Predictor.
+func (s *SAP) ResetState() { s.tbl.flush() }
+
+// sizeLog2 encodes an access size (1, 2, 4, 8 bytes) in two bits.
+func sizeLog2(size uint8) uint8 {
+	switch {
+	case size >= 8:
+		return 3
+	case size >= 4:
+		return 2
+	case size >= 2:
+		return 1
+	default:
+		return 0
+	}
+}

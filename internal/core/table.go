@@ -1,0 +1,189 @@
+package core
+
+import "math/bits"
+
+// hashMix mixes an arbitrary number of 64-bit words into one well-mixed
+// hash using the splitmix64 finalizer. It is the common indexing/tag
+// hash for all predictor tables.
+func hashMix(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h = SplitMix64(h ^ w)
+	}
+	return h
+}
+
+// fold compresses a 64-bit hash into width bits by XOR-folding.
+func fold(h uint64, width uint) uint64 {
+	if width == 0 || width >= 64 {
+		return h
+	}
+	mask := (uint64(1) << width) - 1
+	out := uint64(0)
+	for h != 0 {
+		out ^= h & mask
+		h >>= width
+	}
+	return out
+}
+
+// entry is one slot of a predictor table. The payload layout differs per
+// predictor; valid/tag/conf are common to all four (Section III-B).
+type entry[P any] struct {
+	valid   bool
+	tag     uint16
+	conf    uint8
+	payload P
+}
+
+// table is a tagged prediction table with power-of-two sets and a
+// dynamic number of ways. Component predictors are direct-mapped
+// (one way); table fusion (Section V-E) donates whole tables to a
+// receiver as extra ways, so the way count can grow at run time.
+type table[P any] struct {
+	setBits uint
+	sets    int
+	tagBits uint
+	ways    [][]entry[P]
+	victim  *XorShift64
+
+	// onEvict, when set, observes every payload that leaves the table
+	// (replacement, invalidation, flush). Predictors whose payloads
+	// hold shared-pool slots use it to release their references.
+	onEvict func(p *P)
+}
+
+// newTable builds a direct-mapped table with the given number of
+// entries (rounded up to a power of two, minimum 1) and tag width.
+func newTable[P any](entries int, tagBits uint, seed uint64) *table[P] {
+	if entries < 1 {
+		entries = 1
+	}
+	setBits := uint(bits.Len(uint(entries - 1)))
+	sets := 1 << setBits
+	t := &table[P]{
+		setBits: setBits,
+		sets:    sets,
+		tagBits: tagBits,
+		victim:  NewXorShift64(seed),
+	}
+	t.ways = [][]entry[P]{make([]entry[P], sets)}
+	return t
+}
+
+// index maps a hash to a set number.
+func (t *table[P]) index(h uint64) int {
+	return int(fold(h, t.setBits)) & (t.sets - 1)
+}
+
+// tag derives the partial tag for a hash, decorrelated from the index
+// by a fixed salt.
+func (t *table[P]) tag(h uint64) uint16 {
+	return uint16(fold(SplitMix64(h^0xD6E8FEB86659FD93), t.tagBits))
+}
+
+// lookup returns the matching entry for (index, tag) across all ways,
+// or nil when there is no hit.
+func (t *table[P]) lookup(idx int, tag uint16) *entry[P] {
+	for w := range t.ways {
+		e := &t.ways[w][idx]
+		if e.valid && e.tag == tag {
+			return e
+		}
+	}
+	return nil
+}
+
+// allocate returns the entry to (re)use for (index, tag): a tag match if
+// present, else an invalid way, else a victim way. The returned entry is
+// marked valid with the tag installed; the caller owns payload and conf.
+func (t *table[P]) allocate(idx int, tag uint16) *entry[P] {
+	if e := t.lookup(idx, tag); e != nil {
+		return e
+	}
+	for w := range t.ways {
+		e := &t.ways[w][idx]
+		if !e.valid {
+			e.valid = true
+			e.tag = tag
+			e.conf = 0
+			return e
+		}
+	}
+	w := 0
+	if len(t.ways) > 1 {
+		w = t.victim.Intn(len(t.ways))
+	}
+	e := &t.ways[w][idx]
+	if e.valid && t.onEvict != nil {
+		t.onEvict(&e.payload)
+	}
+	*e = entry[P]{valid: true, tag: tag}
+	return e
+}
+
+// invalidate discards a matching entry if present.
+func (t *table[P]) invalidate(idx int, tag uint16) {
+	for w := range t.ways {
+		e := &t.ways[w][idx]
+		if e.valid && e.tag == tag {
+			if t.onEvict != nil {
+				t.onEvict(&e.payload)
+			}
+			*e = entry[P]{}
+			return
+		}
+	}
+}
+
+// setWays grows or shrinks the table to n ways. Added ways start
+// flushed; removed ways are discarded. Way 0 (the predictor's own
+// storage) is always retained.
+func (t *table[P]) setWays(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for len(t.ways) > n {
+		t.evictWay(len(t.ways) - 1)
+		t.ways = t.ways[:len(t.ways)-1]
+	}
+	for len(t.ways) < n {
+		t.ways = append(t.ways, make([]entry[P], t.sets))
+	}
+}
+
+// numWays reports the current associativity.
+func (t *table[P]) numWays() int { return len(t.ways) }
+
+// evictWay runs the eviction hook over a way's live entries.
+func (t *table[P]) evictWay(w int) {
+	if t.onEvict == nil {
+		return
+	}
+	for i := range t.ways[w] {
+		if t.ways[w][i].valid {
+			t.onEvict(&t.ways[w][i].payload)
+		}
+	}
+}
+
+// flush invalidates every entry in every way.
+func (t *table[P]) flush() {
+	for w := range t.ways {
+		t.evictWay(w)
+		clear(t.ways[w])
+	}
+}
+
+// flushExtraWays invalidates every way except way 0. Used when fusion
+// reverts: donated storage is flushed while the receiver's own table
+// keeps its contents (Section V-E).
+func (t *table[P]) flushExtraWays() {
+	for w := 1; w < len(t.ways); w++ {
+		t.evictWay(w)
+		clear(t.ways[w])
+	}
+}
+
+// entries reports the total entry count across ways.
+func (t *table[P]) entries() int { return t.sets * len(t.ways) }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRoundsToPowerOfTwo(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {100, 128}, {1024, 1024},
+	}
+	for _, tc := range cases {
+		tbl := newTable[uint64](tc.in, 14, 1)
+		if tbl.sets != tc.want {
+			t.Errorf("newTable(%d): sets = %d, want %d", tc.in, tbl.sets, tc.want)
+		}
+	}
+}
+
+func TestTableLookupMiss(t *testing.T) {
+	tbl := newTable[uint64](64, 14, 1)
+	if e := tbl.lookup(3, 7); e != nil {
+		t.Error("lookup on empty table returned an entry")
+	}
+}
+
+func TestTableAllocateThenLookup(t *testing.T) {
+	tbl := newTable[uint64](64, 14, 1)
+	e := tbl.allocate(5, 99)
+	e.payload = 1234
+	e.conf = 3
+	got := tbl.lookup(5, 99)
+	if got == nil {
+		t.Fatal("lookup after allocate missed")
+	}
+	if got.payload != 1234 || got.conf != 3 {
+		t.Errorf("entry state lost: payload=%d conf=%d", got.payload, got.conf)
+	}
+}
+
+func TestTableAllocateReusesMatch(t *testing.T) {
+	tbl := newTable[uint64](64, 14, 1)
+	a := tbl.allocate(5, 99)
+	a.payload = 1
+	b := tbl.allocate(5, 99)
+	if a != b {
+		t.Error("allocate with matching tag did not reuse the entry")
+	}
+	if b.payload != 1 {
+		t.Error("allocate reset payload of matching entry")
+	}
+}
+
+func TestTableConflictEvictsDirectMapped(t *testing.T) {
+	tbl := newTable[uint64](64, 14, 1)
+	tbl.allocate(5, 99).payload = 1
+	e := tbl.allocate(5, 42) // same set, different tag
+	if e.payload != 0 || e.conf != 0 {
+		t.Error("conflict allocation did not clear the entry")
+	}
+	if tbl.lookup(5, 99) != nil {
+		t.Error("old tag survived a direct-mapped conflict")
+	}
+	if tbl.lookup(5, 42) == nil {
+		t.Error("new tag missing after conflict allocation")
+	}
+}
+
+func TestTableExtraWaysAvoidConflict(t *testing.T) {
+	tbl := newTable[uint64](64, 14, 1)
+	tbl.setWays(2)
+	tbl.allocate(5, 99).payload = 1
+	tbl.allocate(5, 42).payload = 2
+	if e := tbl.lookup(5, 99); e == nil || e.payload != 1 {
+		t.Error("two-way table lost first entry on second allocation")
+	}
+	if e := tbl.lookup(5, 42); e == nil || e.payload != 2 {
+		t.Error("two-way table missing second entry")
+	}
+}
+
+func TestTableSetWaysShrinkKeepsWayZero(t *testing.T) {
+	tbl := newTable[uint64](16, 14, 1)
+	tbl.ways[0][3] = entry[uint64]{valid: true, tag: 9, payload: 7}
+	tbl.setWays(3)
+	tbl.ways[2][3] = entry[uint64]{valid: true, tag: 8, payload: 5}
+	tbl.setWays(1)
+	if tbl.numWays() != 1 {
+		t.Fatalf("numWays = %d, want 1", tbl.numWays())
+	}
+	if e := tbl.lookup(3, 9); e == nil || e.payload != 7 {
+		t.Error("way 0 contents lost on shrink")
+	}
+	if tbl.lookup(3, 8) != nil {
+		t.Error("dropped-way contents still visible")
+	}
+}
+
+func TestTableFlushExtraWays(t *testing.T) {
+	tbl := newTable[uint64](16, 14, 1)
+	tbl.setWays(2)
+	tbl.ways[0][3] = entry[uint64]{valid: true, tag: 9, payload: 7}
+	tbl.ways[1][3] = entry[uint64]{valid: true, tag: 8, payload: 5}
+	tbl.flushExtraWays()
+	if tbl.lookup(3, 9) == nil {
+		t.Error("flushExtraWays cleared way 0")
+	}
+	if tbl.lookup(3, 8) != nil {
+		t.Error("flushExtraWays left extra-way entry")
+	}
+}
+
+func TestTableFlush(t *testing.T) {
+	tbl := newTable[uint64](16, 14, 1)
+	tbl.setWays(2)
+	tbl.allocate(3, 9)
+	tbl.allocate(3, 8)
+	tbl.flush()
+	if tbl.lookup(3, 9) != nil || tbl.lookup(3, 8) != nil {
+		t.Error("flush left valid entries")
+	}
+}
+
+func TestTableEntriesAccounting(t *testing.T) {
+	tbl := newTable[uint64](64, 14, 1)
+	if tbl.entries() != 64 {
+		t.Errorf("entries = %d, want 64", tbl.entries())
+	}
+	tbl.setWays(3)
+	if tbl.entries() != 192 {
+		t.Errorf("entries after setWays(3) = %d, want 192", tbl.entries())
+	}
+}
+
+// Property: index always falls within [0, sets) and tag within the tag
+// width, for arbitrary hashes.
+func TestTableIndexTagBounds(t *testing.T) {
+	tbl := newTable[uint64](1024, 14, 1)
+	err := quick.Check(func(h uint64) bool {
+		idx := tbl.index(h)
+		tag := tbl.tag(h)
+		return idx >= 0 && idx < tbl.sets && tag < (1<<14)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an allocated (index, tag) pair is always found by lookup
+// afterwards, regardless of other allocations to different sets.
+func TestTableAllocateLookupProperty(t *testing.T) {
+	err := quick.Check(func(hashes []uint64) bool {
+		tbl := newTable[uint64](256, 14, 1)
+		for _, h := range hashes {
+			idx, tag := tbl.index(h), tbl.tag(h)
+			tbl.allocate(idx, tag)
+			if tbl.lookup(idx, tag) == nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFold(t *testing.T) {
+	if got := fold(0xFFFF, 8); got != 0 {
+		t.Errorf("fold(0xFFFF, 8) = %#x, want 0 (xor of two 0xFF)", got)
+	}
+	if got := fold(0x1234, 64); got != 0x1234 {
+		t.Errorf("fold(_, 64) must be identity, got %#x", got)
+	}
+	if got := fold(0xABCD, 0); got != 0xABCD {
+		t.Errorf("fold(_, 0) must be identity, got %#x", got)
+	}
+}

@@ -1,0 +1,196 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestDefaultConfigMatchesTableIII(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"FetchWidth", cfg.FetchWidth, 4},
+		{"IssueWidth", cfg.IssueWidth, 8},
+		{"CommitWidth", cfg.CommitWidth, 8},
+		{"LSLanes", cfg.LSLanes, 2},
+		{"ROB", cfg.ROB, 224},
+		{"IQ", cfg.IQ, 97},
+		{"LDQ", cfg.LDQ, 72},
+		{"STQ", cfg.STQ, 56},
+		{"FetchToExec", cfg.FetchToExec, 13},
+		{"RAS", cfg.RASSize, 16},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (Table III)", c.name, c.got, c.want)
+		}
+	}
+	h := cfg.Hierarchy
+	if h.L1D.SizeBytes != 64<<10 || h.L1D.Latency != 2 {
+		t.Error("L1D config departs from Table III")
+	}
+	if h.L2.SizeBytes != 512<<10 || h.L2.Latency != 16 {
+		t.Error("L2 config departs from Table III")
+	}
+	if h.L3.SizeBytes != 8<<20 || h.L3.Latency != 32 {
+		t.Error("L3 config departs from Table III")
+	}
+	if h.MemLatency != 200 {
+		t.Error("memory latency departs from Table III")
+	}
+	if h.TLB.Entries != 512 || h.TLB.Ways != 8 {
+		t.Error("TLB config departs from Table III")
+	}
+}
+
+func TestDeeperFrontEndHurts(t *testing.T) {
+	w, _ := trace.ByName("gcc2k")
+	deep := DefaultConfig()
+	deep.FetchToExec = 40
+	deepRun := New(deep, nil).Run(w.Build(60_000), "gcc2k", "deep")
+	base := New(DefaultConfig(), nil).Run(w.Build(60_000), "gcc2k", "base")
+	if deepRun.IPC() >= base.IPC() {
+		t.Errorf("40-deep front end IPC %.3f >= 13-deep %.3f (branch penalty lost)", deepRun.IPC(), base.IPC())
+	}
+}
+
+func TestPrefetcherHelpsBaseline(t *testing.T) {
+	w, _ := trace.ByName("linpack") // stride-dominated
+	off := DefaultConfig()
+	off.Hierarchy.PrefetchEnabled = false
+	offRun := New(off, nil).Run(w.Build(60_000), "linpack", "nopf")
+	on := New(DefaultConfig(), nil).Run(w.Build(60_000), "linpack", "pf")
+	if on.IPC() <= offRun.IPC() {
+		t.Errorf("prefetcher off IPC %.3f >= on %.3f", offRun.IPC(), on.IPC())
+	}
+}
+
+func TestStoreForwardingFasterThanCache(t *testing.T) {
+	// storeupdate traffic forwards from the STQ; making forwarding
+	// slower than the L2 should visibly hurt.
+	gen := func() trace.Generator { return trace.NewSingleKernel("storeupdate", 40_000, 7) }
+	fast := New(DefaultConfig(), nil).Run(gen(), "su", "fwd4")
+	slow := DefaultConfig()
+	slow.StoreForwardLat = 40
+	slowRun := New(slow, nil).Run(gen(), "su", "fwd40")
+	if slowRun.IPC() >= fast.IPC() {
+		t.Errorf("slow forwarding IPC %.3f >= fast %.3f", slowRun.IPC(), fast.IPC())
+	}
+}
+
+func TestMoreLSLanesHelpLoadHeavyCode(t *testing.T) {
+	w, _ := trace.ByName("linpack")
+	one := DefaultConfig()
+	one.LSLanes = 1
+	oneRun := New(one, nil).Run(w.Build(60_000), "linpack", "1ls")
+	two := New(DefaultConfig(), nil).Run(w.Build(60_000), "linpack", "2ls")
+	if oneRun.IPC() > two.IPC() {
+		t.Errorf("1 LS lane IPC %.3f > 2 lanes %.3f", oneRun.IPC(), two.IPC())
+	}
+}
+
+func TestSpeedupMetricPlumbing(t *testing.T) {
+	a := stats.Run{Instructions: 100, Cycles: 50}
+	b := stats.Run{Instructions: 100, Cycles: 100}
+	if stats.Speedup(a, b) != 100 {
+		t.Error("stats plumbing broken")
+	}
+}
+
+func TestReplayRecoveryModel(t *testing.T) {
+	// Replay-based recovery charges a per-misprediction penalty without
+	// redirecting fetch. On a mispredict-heavy stream it therefore sees
+	// MORE delivered (and wrong) predictions than flush-based recovery:
+	// a flush lets the in-flight window retrain before the younger
+	// probes fire, while replay keeps consuming stale confidence — the
+	// replay-storm effect that motivates the paper's flush assumption
+	// (Section III-A).
+	gen := func() trace.Generator { return trace.NewSingleKernel("flaky", 60_000, 7) }
+	mk := func() Engine {
+		var e [core.NumComponents]int
+		e[core.CompSAP] = 1024
+		return NewCompositeEngine(core.NewComposite(core.CompositeConfig{Entries: e, Seed: 1}))
+	}
+	flushRun := New(DefaultConfig(), mk()).Run(gen(), "flaky", "flush")
+	replayCfg := DefaultConfig()
+	replayCfg.ReplayRecovery = true
+	replayRun := New(replayCfg, mk()).Run(gen(), "flaky", "replay")
+	if flushRun.VPFlushes == 0 {
+		t.Skip("no mispredictions to compare recovery models on")
+	}
+	if replayRun.VPFlushes <= flushRun.VPFlushes {
+		t.Errorf("replay saw %d mispredictions, flush %d; replay must not squash in-flight predictions",
+			replayRun.VPFlushes, flushRun.VPFlushes)
+	}
+	if replayRun.IPC() == flushRun.IPC() {
+		t.Error("recovery model had no effect at all")
+	}
+
+	// On an accurate stream the two models should be near-identical.
+	genOK := func() trace.Generator { return trace.NewSingleKernel("ctxvalue", 60_000, 7) }
+	mkOK := func() Engine {
+		return NewCompositeEngine(core.NewComposite(core.CompositeConfig{Entries: core.HomogeneousEntries(1024), Seed: 1}))
+	}
+	f := New(DefaultConfig(), mkOK()).Run(genOK(), "ctx", "flush")
+	r := New(replayCfg, mkOK()).Run(genOK(), "ctx", "replay")
+	if d := f.IPC() - r.IPC(); d > 0.05*f.IPC() || d < -0.05*f.IPC() {
+		t.Errorf("accurate stream: flush %.3f vs replay %.3f IPC differ by >5%%", f.IPC(), r.IPC())
+	}
+}
+
+func TestPAQPrefetchOnMissHelps(t *testing.T) {
+	// Disabling the probe-miss prefetch must not make things faster.
+	gen := func() trace.Generator { return trace.NewSingleKernel("ringbuf", 100_000, 7) }
+	mk := func() Engine {
+		var e [core.NumComponents]int
+		e[core.CompSAP] = 1024
+		return NewCompositeEngine(core.NewComposite(core.CompositeConfig{Entries: e, Seed: 1}))
+	}
+	on := New(DefaultConfig(), mk()).Run(gen(), "rb", "pf-on")
+	cfg := DefaultConfig()
+	cfg.PAQPrefetchOnMiss = false
+	off := New(cfg, mk()).Run(gen(), "rb", "pf-off")
+	if off.IPC() > on.IPC()*1.001 {
+		t.Errorf("prefetch-off IPC %.3f > prefetch-on %.3f", off.IPC(), on.IPC())
+	}
+}
+
+func TestStoreConflictSuppressionCutsFlushes(t *testing.T) {
+	gen := func() trace.Generator { return trace.NewSingleKernel("storeupdate", 60_000, 7) }
+	mk := func() Engine {
+		var e [core.NumComponents]int
+		e[core.CompSAP] = 1024
+		return NewCompositeEngine(core.NewComposite(core.CompositeConfig{Entries: e, Seed: 1}))
+	}
+	onRun := New(DefaultConfig(), mk()).Run(gen(), "su", "supp-on")
+	cfg := DefaultConfig()
+	cfg.SuppressStoreConflicts = false
+	offRun := New(cfg, mk()).Run(gen(), "su", "supp-off")
+	if onRun.VPFlushes >= offRun.VPFlushes && offRun.VPFlushes > 0 {
+		t.Errorf("suppression on: %d flushes, off: %d — suppression ineffective",
+			onRun.VPFlushes, offRun.VPFlushes)
+	}
+}
+
+func TestPAQDepthOneThrottlesCoverage(t *testing.T) {
+	gen := func() trace.Generator { return trace.NewSingleKernel("stride", 60_000, 7) }
+	mk := func() Engine {
+		var e [core.NumComponents]int
+		e[core.CompSAP] = 1024
+		return NewCompositeEngine(core.NewComposite(core.CompositeConfig{Entries: e, Seed: 1}))
+	}
+	deep := New(DefaultConfig(), mk()).Run(gen(), "st", "deep")
+	cfg := DefaultConfig()
+	cfg.PAQDepth = 1
+	shallow := New(cfg, mk()).Run(gen(), "st", "shallow")
+	if shallow.PredictedLoads > deep.PredictedLoads {
+		t.Errorf("depth-1 PAQ delivered more (%d) than depth-24 (%d)",
+			shallow.PredictedLoads, deep.PredictedLoads)
+	}
+}

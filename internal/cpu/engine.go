@@ -1,0 +1,53 @@
+package cpu
+
+import "repro/internal/core"
+
+// Engine is the value prediction engine plugged into the core: the
+// composite predictor, a single component, EVES, or nothing. The
+// pipeline calls Probe when a load is fetched and Train when it
+// executes, handing back the opaque record from Probe so the engine can
+// match training to the prediction it made.
+type Engine interface {
+	// Probe is called at fetch for every predictable load. It returns
+	// an opaque per-load record (replayed to Train), the delivered
+	// prediction, and whether one was delivered.
+	Probe(p core.Probe) (rec any, pred core.Prediction, used bool)
+
+	// Train is called when the load executes. resolve reads the
+	// simulated memory image as the PAQ probe would have seen it, for
+	// validating address predictions.
+	Train(o core.Outcome, rec any, resolve core.AddrResolver)
+
+	// Instret advances epoch-based machinery (accuracy monitors, table
+	// fusion) by n retired instructions.
+	Instret(n uint64)
+}
+
+// CompositeEngine adapts core.Composite to the Engine interface.
+type CompositeEngine struct {
+	C *core.Composite
+}
+
+// NewCompositeEngine wraps a composite predictor as a pipeline engine.
+func NewCompositeEngine(c *core.Composite) *CompositeEngine {
+	return &CompositeEngine{C: c}
+}
+
+// Probe implements Engine.
+func (e *CompositeEngine) Probe(p core.Probe) (any, core.Prediction, bool) {
+	lk := e.C.Probe(p)
+	pred, used := lk.Prediction()
+	return &lk, pred, used
+}
+
+// Train implements Engine.
+func (e *CompositeEngine) Train(o core.Outcome, rec any, resolve core.AddrResolver) {
+	var lk *core.Lookup
+	if rec != nil {
+		lk = rec.(*core.Lookup)
+	}
+	e.C.Train(o, lk, core.Validate(lk, o, resolve))
+}
+
+// Instret implements Engine.
+func (e *CompositeEngine) Instret(n uint64) { e.C.Instret(n) }

@@ -1,0 +1,160 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// kernelSpeedup runs one isolated load-pattern kernel with and without
+// the composite predictor and returns (speedup%, vp run, composite).
+func kernelSpeedup(t *testing.T, kind string, n uint64) (float64, stats.Run, *core.Composite) {
+	t.Helper()
+	gen := trace.NewSingleKernel(kind, n, 7)
+	if gen == nil {
+		t.Fatalf("unknown kernel %q", kind)
+	}
+	base := New(DefaultConfig(), nil).Run(gen, kind, "base")
+	c := core.NewComposite(core.CompositeConfig{
+		Entries: core.HomogeneousEntries(1024),
+		Seed:    1,
+		AM:      core.NewPCAM(64),
+	})
+	vp := New(DefaultConfig(), NewCompositeEngine(c)).Run(trace.NewSingleKernel(kind, n, 7), kind, "vp")
+	return stats.Speedup(vp, base), vp, c
+}
+
+func TestSerializedPredictableKernelsSpeedUp(t *testing.T) {
+	// The kernels with predictable loads on serialized dependence
+	// chains are where value prediction pays: require substantial
+	// speedups.
+	for _, tc := range []struct {
+		kind string
+		min  float64
+	}{
+		{"seqchase", 10},
+		{"ctxvalue", 25},
+		{"callsite", 25},
+	} {
+		sp, run, _ := kernelSpeedup(t, tc.kind, 100_000)
+		if sp < tc.min {
+			t.Errorf("%s speedup = %.2f%%, want >= %.0f%%", tc.kind, sp, tc.min)
+		}
+		if run.Accuracy() < 0.97 {
+			t.Errorf("%s accuracy = %.4f", tc.kind, run.Accuracy())
+		}
+	}
+}
+
+func TestUnpredictableKernelsUnharmed(t *testing.T) {
+	// Kernels the predictors cannot capture must not be slowed down
+	// materially (confidence + AMs keep predictions quiet).
+	for _, kind := range []string{"chase", "random", "storeupdate", "flaky"} {
+		sp, _, _ := kernelSpeedup(t, kind, 100_000)
+		if sp < -1.5 {
+			t.Errorf("%s speedup = %.2f%%, want > -1.5%% (throttling failed)", kind, sp)
+		}
+	}
+}
+
+func TestCoverageKernels(t *testing.T) {
+	// Pattern-1/2 kernels are highly covered even where the win is
+	// small (their loads are not on serialized paths).
+	for _, tc := range []struct {
+		kind   string
+		minCov float64
+	}{
+		{"const", 90},
+		{"stride", 90},
+		{"listing1", 90},
+	} {
+		sp, run, _ := kernelSpeedup(t, tc.kind, 100_000)
+		if cov := run.Coverage(); cov < tc.minCov {
+			t.Errorf("%s coverage = %.1f%%, want >= %.0f%%", tc.kind, cov, tc.minCov)
+		}
+		if sp < -1.5 {
+			t.Errorf("%s speedup = %.2f%%, want non-harmful", tc.kind, sp)
+		}
+	}
+}
+
+func TestComponentSpecialization(t *testing.T) {
+	// Each pattern kernel must be served predominantly by its proxy
+	// component (Section IV-A) under the composite's selection rule.
+	cases := []struct {
+		kind string
+		want core.Component
+	}{
+		{"stride", core.CompSAP},
+		{"ctxvalue", core.CompCVP},
+	}
+	for _, tc := range cases {
+		_, _, c := kernelSpeedup(t, tc.kind, 100_000)
+		st := c.Stats()
+		var total uint64
+		for comp := core.Component(0); comp < core.NumComponents; comp++ {
+			total += st.UsedBy[comp]
+		}
+		if total == 0 {
+			t.Errorf("%s: no predictions used", tc.kind)
+			continue
+		}
+		if frac := float64(st.UsedBy[tc.want]) / float64(total); frac < 0.8 {
+			t.Errorf("%s: %v served %.0f%% of predictions, want >= 80%%", tc.kind, tc.want, 100*frac)
+		}
+	}
+}
+
+func TestCAPCoversCallsiteWithoutCVP(t *testing.T) {
+	// With the value predictors absent, the call-site kernel must be
+	// picked up by CAP via the load path history (the DLVP pattern).
+	var entries [core.NumComponents]int
+	entries[core.CompCAP] = 1024
+	entries[core.CompSAP] = 1024
+	c := core.NewComposite(core.CompositeConfig{Entries: entries, Seed: 1})
+	run := New(DefaultConfig(), NewCompositeEngine(c)).Run(
+		trace.NewSingleKernel("callsite", 100_000, 7), "callsite", "cap-only")
+	st := c.Stats()
+	if st.UsedBy[core.CompCAP] < st.UsedBy[core.CompSAP] {
+		t.Errorf("CAP used %d <= SAP %d on the call-site pattern", st.UsedBy[core.CompCAP], st.UsedBy[core.CompSAP])
+	}
+	if run.Coverage() < 30 {
+		t.Errorf("address-only coverage on callsite = %.1f%%", run.Coverage())
+	}
+}
+
+func TestRingbufAddressPredictorsOnly(t *testing.T) {
+	// The ring buffer's values are fresh every lap: value predictors
+	// must stay quiet while SAP covers the consumer loads through the
+	// cache probe.
+	base := New(DefaultConfig(), nil).Run(trace.NewSingleKernel("ringbuf", 120_000, 7), "rb", "base")
+	c := core.NewComposite(core.CompositeConfig{Entries: core.HomogeneousEntries(1024), Seed: 1, AM: core.NewPCAM(64)})
+	vp := New(DefaultConfig(), NewCompositeEngine(c)).Run(trace.NewSingleKernel("ringbuf", 120_000, 7), "rb", "vp")
+	if sp := stats.Speedup(vp, base); sp < 3 {
+		t.Errorf("ringbuf speedup = %.2f%%, want >= 3%%", sp)
+	}
+	st := c.Stats()
+	valueUsed := st.UsedBy[core.CompLVP] + st.UsedBy[core.CompCVP]
+	addrUsed := st.UsedBy[core.CompSAP] + st.UsedBy[core.CompCAP]
+	if valueUsed*5 > addrUsed {
+		t.Errorf("value predictors used %d vs address %d; fresh data should defeat them", valueUsed, addrUsed)
+	}
+	if vp.Accuracy() < 0.99 {
+		t.Errorf("ringbuf accuracy %.4f", vp.Accuracy())
+	}
+}
+
+func TestEVESCannotLearnRingbuf(t *testing.T) {
+	// The same pattern through EVES: almost no coverage (its components
+	// are value-only), little speedup. This is the structural gap the
+	// composite exploits in Figure 11.
+	base := New(DefaultConfig(), nil).Run(trace.NewSingleKernel("ringbuf", 120_000, 7), "rb", "base")
+	ev := evesEngine()
+	run := New(DefaultConfig(), ev).Run(trace.NewSingleKernel("ringbuf", 120_000, 7), "rb", "eves")
+	if cov := run.Coverage(); cov > 20 {
+		t.Errorf("EVES coverage on fresh-data ring = %.1f%%, want < 20%%", cov)
+	}
+	_ = base
+}

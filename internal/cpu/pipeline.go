@@ -1,0 +1,708 @@
+package cpu
+
+import (
+	"repro/internal/branch"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memdep"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ringSize bounds how far back per-instruction timing records are kept.
+// It comfortably exceeds every window resource (ROB 224, LDQ 72 ...).
+const ringSize = 8192
+
+type slotTiming struct {
+	seq      uint64
+	issueC   uint64
+	execDone uint64
+	commitC  uint64
+}
+
+type loadStoreTiming struct {
+	seq     uint64
+	commitC uint64
+}
+
+// storeRecord remembers the most recent store to an 8-byte word: who it
+// was, when it executed, and the word's prior contents — enough to model
+// a PAQ probe reading stale data ahead of an in-flight conflicting
+// store (the hazard DLVP's value check exists for).
+type storeRecord struct {
+	seq      uint64
+	pc       uint64
+	execDone uint64
+	prevWord uint64
+}
+
+// pendingTrain defers predictor training to the load's completion,
+// modeling the prediction-to-update latency that produces the paper's
+// training-time effects (Table V). Trainings are applied in program
+// order (commit order): a load's update becomes visible once it and
+// every older load have executed, keeping stride/context state coherent
+// under out-of-order completion.
+type pendingTrain struct {
+	trainC  uint64
+	outcome core.Outcome
+	rec     any
+	probeC  uint64 // PAQ probe cycle for address resolution
+	specSeq uint64 // the load's sequence number
+}
+
+// trainQueue is a FIFO of pending trainings in program order.
+type trainQueue struct {
+	q    []pendingTrain
+	head int
+}
+
+func (t *trainQueue) push(p pendingTrain) {
+	// In-order application: a training never becomes visible before an
+	// older one, so carry the running maximum completion cycle.
+	if n := len(t.q); n > t.head && t.q[n-1].trainC > p.trainC {
+		p.trainC = t.q[n-1].trainC
+	}
+	t.q = append(t.q, p)
+}
+
+func (t *trainQueue) peek() (pendingTrain, bool) {
+	if t.head >= len(t.q) {
+		return pendingTrain{}, false
+	}
+	return t.q[t.head], true
+}
+
+func (t *trainQueue) pop() pendingTrain {
+	p := t.q[t.head]
+	t.q[t.head] = pendingTrain{}
+	t.head++
+	if t.head == len(t.q) {
+		t.q = t.q[:0]
+		t.head = 0
+	}
+	return p
+}
+
+// Pipeline is the trace-driven core model. Create one per run.
+type Pipeline struct {
+	cfg    Config
+	hier   *mem.Hierarchy
+	tage   *branch.TAGE
+	ittage *branch.ITTAGE
+	ras    *branch.RAS
+	mdp    *memdep.Predictor
+	engine Engine
+
+	hist     branch.History
+	loadPath uint64
+
+	simMem *mem.Backing
+
+	// Fetch bandwidth accounting.
+	fetchCycle uint64
+	fetchUsed  int
+	redirectC  uint64
+
+	// Commit bandwidth accounting.
+	commitCycle uint64
+	commitUsed  int
+
+	regReady [trace.NumRegs]uint64
+
+	ring      [ringSize]slotTiming
+	loadRing  []loadStoreTiming
+	storeRing []loadStoreTiming
+	nLoads    uint64
+	nStores   uint64
+
+	laneUse map[uint64]int
+	lsUse   map[uint64]int
+	paqUse  map[uint64]int
+
+	pending    trainQueue
+	paqQueue   []uint64 // completion cycles of recent PAQ probes
+	paqHead    int
+	inflightPC map[uint64]int
+	lastStore  map[uint64]storeRecord
+	lineFill   map[uint64]uint64 // 64B line → cycle its PAQ prefetch completes
+
+	instretBatch uint64
+	run          stats.Run
+}
+
+// New builds a pipeline with the given configuration and value
+// prediction engine (nil = baseline, no value prediction).
+func New(cfg Config, engine Engine) *Pipeline {
+	return &Pipeline{
+		cfg:        cfg,
+		hier:       mem.NewHierarchy(cfg.Hierarchy),
+		tage:       branch.NewTAGE(cfg.TAGE),
+		ittage:     branch.NewITTAGE(cfg.ITTAGE),
+		ras:        branch.NewRAS(cfg.RASSize),
+		mdp:        memdep.New(cfg.MemDep),
+		engine:     engine,
+		loadRing:   make([]loadStoreTiming, cfg.LDQ+1),
+		storeRing:  make([]loadStoreTiming, cfg.STQ+1),
+		laneUse:    make(map[uint64]int),
+		lsUse:      make(map[uint64]int),
+		paqUse:     make(map[uint64]int),
+		inflightPC: make(map[uint64]int),
+		lastStore:  make(map[uint64]storeRecord),
+		lineFill:   make(map[uint64]uint64),
+	}
+}
+
+// Hierarchy exposes the memory system (for inspection in tests and
+// experiments).
+func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// Run simulates gen to completion and returns the collected metrics.
+func (p *Pipeline) Run(gen trace.Generator, workload, config string) stats.Run {
+	// The simulator's memory image starts equal to the workload's: the
+	// backing fill function is shared via Clone, and stores are applied
+	// as they execute.
+	p.simMem = gen.Mem().Clone()
+
+	p.run = stats.Run{Workload: workload, Config: config}
+	var in trace.Inst
+	var seq uint64
+	var lastCommit uint64
+	for gen.Next(&in) {
+		lastCommit = p.step(seq, &in)
+		seq++
+		if seq%4096 == 0 {
+			p.prune()
+		}
+	}
+	p.run.Instructions = seq
+	p.run.Cycles = lastCommit
+	if p.engine != nil && p.instretBatch > 0 {
+		p.engine.Instret(p.instretBatch)
+		p.instretBatch = 0
+	}
+	return p.run
+}
+
+// step processes one instruction through every pipeline stage and
+// returns its commit cycle.
+func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
+	// ---- Window backpressure ----
+	// An instruction cannot dispatch until the ROB/IQ/LDQ/STQ have
+	// space; a stalled rename stage backpressures fetch, so the stall
+	// is computed first and fed to the fetch stage as a floor. Without
+	// this feedback, fetch (and the value predictor probes that happen
+	// there) would run unboundedly ahead of execution.
+	var windowReady uint64
+	if seq >= uint64(p.cfg.ROB) {
+		if c := p.ringAt(seq - uint64(p.cfg.ROB)); c != nil && c.commitC > windowReady {
+			windowReady = c.commitC
+		}
+	}
+	if seq >= uint64(p.cfg.IQ) {
+		if c := p.ringAt(seq - uint64(p.cfg.IQ)); c != nil && c.issueC > windowReady {
+			windowReady = c.issueC
+		}
+	}
+	switch in.Op {
+	case trace.OpLoad:
+		if p.nLoads >= uint64(p.cfg.LDQ) {
+			old := p.loadRing[(p.nLoads-uint64(p.cfg.LDQ))%uint64(len(p.loadRing))]
+			if old.commitC > windowReady {
+				windowReady = old.commitC
+			}
+		}
+	case trace.OpStore:
+		if p.nStores >= uint64(p.cfg.STQ) {
+			old := p.storeRing[(p.nStores-uint64(p.cfg.STQ))%uint64(len(p.storeRing))]
+			if old.commitC > windowReady {
+				windowReady = old.commitC
+			}
+		}
+	}
+	var fetchFloor uint64
+	if windowReady > uint64(p.cfg.FetchToExec) {
+		fetchFloor = windowReady - uint64(p.cfg.FetchToExec)
+	}
+
+	// ---- Fetch ----
+	fc := p.fetch(in.PC, fetchFloor)
+
+	// ---- Rename/dispatch ----
+	dC := fc + uint64(p.cfg.FetchToExec)
+	if windowReady > dC {
+		dC = windowReady
+	}
+
+	// ---- Branch prediction (front end) ----
+	brMispred := false
+	if in.IsBranch() {
+		brMispred = p.predictBranch(in)
+	}
+
+	// ---- Value prediction probe (fetch stage, Figure 1 step 1) ----
+	var (
+		rec       any
+		pred      core.Prediction
+		delivered bool
+		specOK    bool
+		specValue uint64
+		specReady uint64
+		probeC    uint64
+		probe     core.Probe
+	)
+	isPredictableLoad := in.Op == trace.OpLoad && !in.Flags.NoPredict() && p.engine != nil
+	if in.Op == trace.OpLoad {
+		p.run.Loads++
+	}
+	if isPredictableLoad {
+		p.applyTrains(fc)
+		probe = core.Probe{
+			PC:         in.PC,
+			BranchHist: p.hist.Global,
+			LoadPath:   p.loadPath,
+			Inflight:   p.inflightPC[in.PC],
+		}
+		rec, pred, delivered = p.engine.Probe(probe)
+		p.inflightPC[in.PC]++
+		// Even when no prediction is delivered, validation of the
+		// squashed/unchosen components resolves addresses as a probe
+		// issued shortly after fetch would have.
+		probeC = fc + 2
+		if delivered {
+			switch pred.Kind {
+			case core.KindValue:
+				// Forwarded to the VPE: consumers can read it from
+				// rename onward — effectively available at dispatch.
+				specOK = true
+				specValue = pred.Value
+				specReady = dC
+				probeC = fc
+			case core.KindAddress:
+				// Loads the store-set predictor knows to conflict with
+				// in-flight stores are not speculated through the data
+				// cache: the probe would race the store's data (the
+				// conflicting-store hazard DLVP mitigates).
+				conflict := false
+				if p.cfg.SuppressStoreConflicts {
+					_, conflict = p.mdp.LoadDependence(in.PC)
+				}
+				if !conflict && p.paqAdmit(fc) {
+					// Enters the PAQ; waits for a load-pipe bubble,
+					// then probes the L1D (steps 2-4 of Figure 1).
+					probeC = p.allocLSLane(fc + 2)
+					lat, hit := p.hier.ProbeD(pred.Addr)
+					p.paqRecord(probeC + uint64(lat))
+					if hit {
+						specOK = true
+						specValue = p.probeRead(pred.Addr, pred.Size, seq, probeC)
+						specReady = probeC + uint64(lat)
+					} else if p.cfg.PAQPrefetchOnMiss {
+						// Probe miss: no speculative value, but the
+						// miss generates a data prefetch (Figure 1
+						// step 5) that accelerates the load itself.
+						fillLat := p.hier.PrefetchAccess(pred.Addr)
+						line := pred.Addr >> 6
+						done := probeC + uint64(fillLat)
+						if cur, ok := p.lineFill[line]; !ok || done < cur {
+							p.lineFill[line] = done
+						}
+					}
+				}
+			}
+		}
+	}
+	if in.Op == trace.OpLoad {
+		// The load path history shifts in each fetched load's PC,
+		// after the probe (CAP predicts from the path *leading to* the
+		// load).
+		p.loadPath = (p.loadPath << 6) ^ ((in.PC >> 2) & 0xFFF)
+	}
+
+	// ---- Source readiness ----
+	rdy := dC
+	if in.Src1 != 0 && p.regReady[in.Src1] > rdy {
+		rdy = p.regReady[in.Src1]
+	}
+	if in.Src2 != 0 && p.regReady[in.Src2] > rdy {
+		rdy = p.regReady[in.Src2]
+	}
+
+	// Store-set dependence: a load predicted to conflict waits for the
+	// flagged store's execution.
+	if in.Op == trace.OpLoad {
+		if depSeq, ok := p.mdp.LoadDependence(in.PC); ok {
+			if c := p.ringAt(depSeq); c != nil && c.execDone > rdy {
+				rdy = c.execDone
+			}
+		}
+	}
+	if in.Op == trace.OpStore {
+		p.mdp.StoreFetched(in.PC, seq)
+	}
+
+	// ---- Issue ----
+	isLS := in.Op == trace.OpLoad || in.Op == trace.OpStore
+	issueC := p.allocIssue(rdy, isLS)
+
+	// ---- Execute ----
+	var execDone uint64
+	flush := false
+	switch in.Op {
+	case trace.OpLoad:
+		execDone, flush = p.executeLoad(seq, in, issueC)
+	case trace.OpStore:
+		p.executeStore(seq, in, issueC)
+		execDone = issueC + 1
+	default:
+		lat := uint64(in.Lat)
+		if lat == 0 {
+			lat = 1
+		}
+		execDone = issueC + lat
+	}
+
+	// ---- Validate value prediction ----
+	vpCorrect := false
+	if delivered {
+		vpCorrect = specOK && specValue == in.Value
+		if specOK {
+			p.run.PredictedLoads++
+			if vpCorrect {
+				p.run.CorrectPredicted++
+			}
+		}
+		if specOK && !vpCorrect {
+			p.run.VPFlushes++
+			if p.cfg.ReplayRecovery {
+				// Selective replay: consumers of the load re-execute
+				// with the correct value after a replay penalty; the
+				// front end is not redirected.
+				execDone += uint64(p.cfg.ReplayPenalty)
+			} else {
+				// Flush-based recovery: refetch younger instructions
+				// (Figure 1 step 6), as the paper assumes.
+				flush = true
+			}
+		}
+	}
+
+	// ---- Writeback ----
+	if in.Dst != 0 {
+		ready := execDone
+		if vpCorrect && specReady < ready {
+			ready = specReady
+		}
+		p.regReady[in.Dst] = ready
+	}
+
+	// ---- Redirects ----
+	if brMispred {
+		p.run.BranchFlushes++
+		flush = true
+	}
+	if flush && execDone+1 > p.redirectC {
+		p.redirectC = execDone + 1
+	}
+
+	// ---- Train the value predictor at execute ----
+	if isPredictableLoad {
+		p.pending.push(pendingTrain{
+			trainC: execDone,
+			outcome: core.Outcome{
+				PC:         in.PC,
+				BranchHist: probe.BranchHist,
+				LoadPath:   probe.LoadPath,
+				Addr:       in.Addr,
+				Size:       in.Size,
+				Value:      in.Value,
+			},
+			rec:     rec,
+			probeC:  probeC,
+			specSeq: seq,
+		})
+	}
+
+	// ---- Commit (in order, width-limited) ----
+	cc := execDone + 1
+	if cc < p.commitCycle {
+		cc = p.commitCycle
+	}
+	if cc == p.commitCycle && p.commitUsed >= p.cfg.CommitWidth {
+		cc++
+	}
+	if cc != p.commitCycle {
+		p.commitCycle = cc
+		p.commitUsed = 0
+	}
+	p.commitUsed++
+
+	p.ring[seq%ringSize] = slotTiming{seq: seq, issueC: issueC, execDone: execDone, commitC: cc}
+	switch in.Op {
+	case trace.OpLoad:
+		p.loadRing[p.nLoads%uint64(len(p.loadRing))] = loadStoreTiming{seq: seq, commitC: cc}
+		p.nLoads++
+	case trace.OpStore:
+		p.storeRing[p.nStores%uint64(len(p.storeRing))] = loadStoreTiming{seq: seq, commitC: cc}
+		p.nStores++
+	}
+
+	if p.engine != nil {
+		p.instretBatch++
+		if p.instretBatch >= 4096 {
+			p.engine.Instret(p.instretBatch)
+			p.instretBatch = 0
+		}
+	}
+	return cc
+}
+
+// fetch returns this instruction's fetch cycle, honoring redirects,
+// window backpressure (floor), fetch width, and instruction cache
+// misses.
+func (p *Pipeline) fetch(pc uint64, floor uint64) uint64 {
+	start := p.fetchCycle
+	if p.redirectC > start {
+		start = p.redirectC
+	}
+	if floor > start {
+		start = floor
+	}
+	iLat := p.hier.InstAccess(pc)
+	if base := p.cfg.Hierarchy.L1I.Latency; iLat > base {
+		// I-cache miss: front-end bubble for the extra latency.
+		start += uint64(iLat - base)
+	}
+	if start != p.fetchCycle {
+		p.fetchCycle = start
+		p.fetchUsed = 0
+	}
+	if p.fetchUsed >= p.cfg.FetchWidth {
+		p.fetchCycle++
+		p.fetchUsed = 0
+	}
+	p.fetchUsed++
+	return p.fetchCycle
+}
+
+// executeLoad computes a load's completion, modeling store forwarding,
+// memory-ordering violations, and the data cache.
+func (p *Pipeline) executeLoad(seq uint64, in *trace.Inst, issueC uint64) (execDone uint64, flush bool) {
+	word := in.Addr >> 3
+	ls, haveStore := p.lastStore[word]
+	if haveStore && ls.seq < seq {
+		if issueC < ls.execDone {
+			// The load issued before an older conflicting store
+			// executed: memory-ordering violation. Flush, replay after
+			// the store, and train the store-set predictor.
+			p.run.MemOrderFlushes++
+			p.mdp.Violation(in.PC, ls.pc)
+			execDone = ls.execDone + uint64(p.cfg.StoreForwardLat)
+			return execDone, true
+		}
+		if recent := p.nStores > 0 && seq-ls.seq <= uint64(p.cfg.STQ)*4; recent {
+			// Store-to-load forwarding from the STQ.
+			return issueC + uint64(p.cfg.StoreForwardLat), false
+		}
+	}
+	lat := p.hier.DataAccess(in.PC, in.Addr)
+	done := issueC + uint64(lat)
+	// A PAQ prefetch in flight for this line bounds the completion: the
+	// demand access cannot finish before the fill arrives, but benefits
+	// from it afterwards.
+	if fd, ok := p.lineFill[in.Addr>>6]; ok {
+		earliest := fd
+		if hitDone := issueC + uint64(p.cfg.Hierarchy.L1D.Latency); hitDone > earliest {
+			earliest = hitDone
+		}
+		if earliest < done {
+			done = earliest
+		}
+	}
+	return done, false
+}
+
+// executeStore applies the store's memory effects and bookkeeping.
+func (p *Pipeline) executeStore(seq uint64, in *trace.Inst, issueC uint64) {
+	word := in.Addr >> 3
+	p.lastStore[word] = storeRecord{
+		seq:      seq,
+		pc:       in.PC,
+		execDone: issueC + 1,
+		prevWord: p.simMem.Read(in.Addr&^uint64(7), 8),
+	}
+	p.simMem.Write(in.Addr, in.Size, in.Value)
+	// The store's cache access shapes hierarchy state (write-allocate).
+	p.hier.DataAccess(in.PC, in.Addr)
+}
+
+// probeRead models what the PAQ's data-cache probe returns at probeC
+// for the load at loadSeq: normally the current memory image, but if an
+// older conflicting store executes only after the probe, the probe saw
+// the word's previous contents.
+func (p *Pipeline) probeRead(addr uint64, size uint8, loadSeq, probeC uint64) uint64 {
+	word := addr >> 3
+	if ls, ok := p.lastStore[word]; ok && ls.seq < loadSeq && ls.execDone > probeC {
+		off := addr & 7
+		if size == 0 || size > 8 {
+			size = 8
+		}
+		if off+uint64(size) <= 8 {
+			v := ls.prevWord >> (off * 8)
+			if size < 8 {
+				v &= (uint64(1) << (size * 8)) - 1
+			}
+			return v
+		}
+	}
+	return p.simMem.Read(addr, size)
+}
+
+// predictBranch runs the front-end predictors and returns whether the
+// branch was mispredicted. Histories advance with the actual outcome.
+func (p *Pipeline) predictBranch(in *trace.Inst) bool {
+	mispred := false
+	switch in.Op {
+	case trace.OpBranch:
+		predTaken := p.tage.Predict(in.PC, p.hist.Global)
+		p.tage.Update(in.PC, p.hist.Global, in.Taken)
+		mispred = predTaken != in.Taken
+		p.hist.Update(in.PC, in.Taken)
+	case trace.OpJump:
+		p.hist.Update(in.PC, true)
+	case trace.OpCall:
+		p.ras.Push(in.PC + 4)
+		p.hist.Update(in.PC, true)
+	case trace.OpRet:
+		mispred = p.ras.Pop() != in.Target
+		p.hist.Update(in.PC, true)
+	case trace.OpIndirect:
+		predTarget := p.ittage.Predict(in.PC, p.hist.Global)
+		p.ittage.Update(in.PC, p.hist.Global, in.Target)
+		mispred = predTarget != in.Target
+		p.hist.Update(in.PC, true)
+	}
+	return mispred
+}
+
+// applyTrains delivers pending predictor trainings, in program order,
+// whose loads have completed by cycle c — the prediction-to-update
+// latency model.
+func (p *Pipeline) applyTrains(c uint64) {
+	for {
+		t, ok := p.pending.peek()
+		if !ok || t.trainC > c {
+			return
+		}
+		p.trainOne(p.pending.pop())
+	}
+}
+
+func (p *Pipeline) trainOne(t pendingTrain) {
+	if n := p.inflightPC[t.outcome.PC]; n <= 1 {
+		delete(p.inflightPC, t.outcome.PC)
+	} else {
+		p.inflightPC[t.outcome.PC] = n - 1
+	}
+	resolve := func(addr uint64, size uint8) (uint64, bool) {
+		if !p.hier.L1D.Peek(addr) {
+			return 0, false
+		}
+		return p.probeRead(addr, size, t.specSeq, t.probeC), true
+	}
+	p.engine.Train(t.outcome, t.rec, resolve)
+}
+
+// paqAdmit reports whether the Predicted Address Queue has room for a
+// new probe at fetch cycle fc: probes whose completion is still in the
+// future occupy entries.
+func (p *Pipeline) paqAdmit(fc uint64) bool {
+	if p.cfg.PAQDepth <= 0 {
+		return true
+	}
+	// Drain completed probes.
+	for p.paqHead < len(p.paqQueue) && p.paqQueue[p.paqHead] <= fc {
+		p.paqHead++
+	}
+	if p.paqHead == len(p.paqQueue) {
+		p.paqQueue = p.paqQueue[:0]
+		p.paqHead = 0
+	}
+	return len(p.paqQueue)-p.paqHead < p.cfg.PAQDepth
+}
+
+// paqRecord notes an admitted probe's completion cycle.
+func (p *Pipeline) paqRecord(done uint64) {
+	if p.cfg.PAQDepth <= 0 {
+		return
+	}
+	if n := len(p.paqQueue); n > p.paqHead && p.paqQueue[n-1] > done {
+		done = p.paqQueue[n-1] // keep the queue monotonic
+	}
+	p.paqQueue = append(p.paqQueue, done)
+}
+
+// allocIssue finds the first cycle at or after start with issue
+// bandwidth (and a load/store lane when needed) and claims it.
+func (p *Pipeline) allocIssue(start uint64, isLS bool) uint64 {
+	for c := start; ; c++ {
+		if p.laneUse[c] >= p.cfg.IssueWidth {
+			continue
+		}
+		if isLS && p.lsUse[c] >= p.cfg.LSLanes {
+			continue
+		}
+		p.laneUse[c]++
+		if isLS {
+			p.lsUse[c]++
+		}
+		return c
+	}
+}
+
+// allocLSLane schedules a PAQ probe. Probes fill load-pipe bubbles and
+// never displace demand accesses (the PAQ "waits for bubbles in the
+// load pipeline", Section III-A); we model that as a separate probe
+// port budget of LSLanes per cycle, queued behind earlier probes.
+func (p *Pipeline) allocLSLane(start uint64) uint64 {
+	for c := start; ; c++ {
+		if p.paqUse[c] < p.cfg.LSLanes {
+			p.paqUse[c]++
+			return c
+		}
+	}
+}
+
+// ringAt returns the timing record for seq if it is still in the ring.
+func (p *Pipeline) ringAt(seq uint64) *slotTiming {
+	s := &p.ring[seq%ringSize]
+	if s.seq != seq {
+		return nil
+	}
+	return s
+}
+
+// prune discards resource-map entries that can no longer be claimed
+// (all future allocations happen at or after the current fetch cycle).
+func (p *Pipeline) prune() {
+	limit := p.fetchCycle
+	for c := range p.laneUse {
+		if c < limit {
+			delete(p.laneUse, c)
+		}
+	}
+	for c := range p.lsUse {
+		if c < limit {
+			delete(p.lsUse, c)
+		}
+	}
+	for c := range p.paqUse {
+		if c < limit {
+			delete(p.paqUse, c)
+		}
+	}
+	for line, fd := range p.lineFill {
+		if fd < limit {
+			delete(p.lineFill, line)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eves"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+const testInsts = 60_000
+
+func baselineRun(t *testing.T, workload string, n uint64) stats.Run {
+	t.Helper()
+	w, ok := trace.ByName(workload)
+	if !ok {
+		t.Fatalf("unknown workload %s", workload)
+	}
+	return New(DefaultConfig(), nil).Run(w.Build(n), workload, "base")
+}
+
+func compositeRun(t *testing.T, workload string, n uint64, cfg core.CompositeConfig) (stats.Run, *core.Composite) {
+	t.Helper()
+	w, ok := trace.ByName(workload)
+	if !ok {
+		t.Fatalf("unknown workload %s", workload)
+	}
+	c := core.NewComposite(cfg)
+	run := New(DefaultConfig(), NewCompositeEngine(c)).Run(w.Build(n), workload, "composite")
+	return run, c
+}
+
+func defaultCompositeConfig() core.CompositeConfig {
+	return core.CompositeConfig{
+		Entries: core.HomogeneousEntries(1024),
+		Seed:    1,
+		AM:      core.NewPCAM(64),
+	}
+}
+
+func TestBaselineProducesSaneIPC(t *testing.T) {
+	r := baselineRun(t, "coremark", testInsts)
+	ipc := r.IPC()
+	if ipc < 0.3 || ipc > 8 {
+		t.Errorf("baseline IPC = %.2f, outside sane range", ipc)
+	}
+	if r.Instructions != testInsts {
+		t.Errorf("instructions = %d", r.Instructions)
+	}
+	if r.Loads == 0 {
+		t.Error("no loads observed")
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	a := baselineRun(t, "gcc2k", 30_000)
+	b := baselineRun(t, "gcc2k", 30_000)
+	if a != b {
+		t.Errorf("baseline runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCompositeDeterminism(t *testing.T) {
+	a, _ := compositeRun(t, "gcc2k", 30_000, defaultCompositeConfig())
+	b, _ := compositeRun(t, "gcc2k", 30_000, defaultCompositeConfig())
+	if a != b {
+		t.Errorf("composite runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestValuePredictionSpeedsUpPredictableWorkload(t *testing.T) {
+	// An embedded workload (tight, predictable loops) must benefit from
+	// load value prediction.
+	base := baselineRun(t, "coremark", testInsts)
+	vp, _ := compositeRun(t, "coremark", testInsts, defaultCompositeConfig())
+	if sp := stats.Speedup(vp, base); sp <= 0 {
+		t.Errorf("composite speedup on coremark = %.2f%%, want > 0", sp)
+	}
+	if vp.Coverage() <= 5 {
+		t.Errorf("coverage = %.1f%%, suspiciously low", vp.Coverage())
+	}
+}
+
+func TestPredictionAccuracyNearTarget(t *testing.T) {
+	// All predictors are tuned for 99% accuracy; on the workload mix
+	// the delivered accuracy should be close to that.
+	for _, wl := range []string{"coremark", "gcc2k", "linpack", "v8"} {
+		vp, _ := compositeRun(t, wl, testInsts, defaultCompositeConfig())
+		if acc := vp.Accuracy(); vp.PredictedLoads > 500 && acc < 0.95 {
+			t.Errorf("%s: accuracy %.4f < 0.95", wl, acc)
+		}
+	}
+}
+
+func TestCompositeCoverageExceedsSingleComponent(t *testing.T) {
+	base := baselineRun(t, "gcc2k", testInsts)
+	_ = base
+	single := core.CompositeConfig{Seed: 1}
+	single.Entries[core.CompLVP] = 1024
+	lvpRun, _ := compositeRun(t, "gcc2k", testInsts, single)
+	full, _ := compositeRun(t, "gcc2k", testInsts, core.CompositeConfig{
+		Entries: core.HomogeneousEntries(1024), Seed: 1,
+	})
+	if full.Coverage() <= lvpRun.Coverage() {
+		t.Errorf("composite coverage %.1f%% <= LVP-only %.1f%%", full.Coverage(), lvpRun.Coverage())
+	}
+}
+
+func TestVPFlushesAreCounted(t *testing.T) {
+	// Workloads with flaky strides must generate at least some value
+	// misprediction flushes when no AM protects the composite.
+	cfg := core.CompositeConfig{Entries: core.HomogeneousEntries(1024), Seed: 1}
+	run, _ := compositeRun(t, "bzip2k", 120_000, cfg)
+	if run.PredictedLoads == 0 {
+		t.Fatal("no predictions delivered")
+	}
+	if run.VPFlushes == 0 {
+		t.Log("note: no VP flushes on bzip2k (acceptable but unusual)")
+	}
+	if run.CorrectPredicted+run.VPFlushes != run.PredictedLoads {
+		t.Errorf("predicted=%d correct=%d flushes=%d: inconsistent accounting",
+			run.PredictedLoads, run.CorrectPredicted, run.VPFlushes)
+	}
+}
+
+func TestBranchFlushesOccur(t *testing.T) {
+	r := baselineRun(t, "gcc2k", testInsts)
+	if r.BranchFlushes == 0 {
+		t.Error("no branch mispredictions on a branchy integer workload")
+	}
+	// But the TAGE predictor should keep the rate modest.
+	if rate := float64(r.BranchFlushes) / float64(r.Instructions) * 1000; rate > 30 {
+		t.Errorf("branch MPKI = %.1f, implausibly high", rate)
+	}
+}
+
+func TestMemoryOrderingViolationsTrainStoreSets(t *testing.T) {
+	// The store-update kernel (in int/js profiles) creates store→load
+	// conflicts; the first violation trains the store set, so
+	// violations must be rare relative to the conflicting pairs.
+	r := baselineRun(t, "perlbench", 120_000)
+	if r.MemOrderFlushes == 0 {
+		t.Skip("no ordering violations observed (timing-dependent)")
+	}
+	if r.MemOrderFlushes > r.Instructions/100 {
+		t.Errorf("ordering violations = %d, store sets not learning", r.MemOrderFlushes)
+	}
+}
+
+func TestAtomicLoadsNeverPredicted(t *testing.T) {
+	// Engines are not probed for flagged loads; verify by running a
+	// counting engine.
+	w, _ := trace.ByName("coremark")
+	ce := &countingEngine{}
+	New(DefaultConfig(), ce).Run(w.Build(testInsts), "coremark", "count")
+
+	// Independently count predictable loads in the same trace.
+	gen := w.Build(testInsts)
+	var in trace.Inst
+	predictable := 0
+	for gen.Next(&in) {
+		if in.Op == trace.OpLoad && !in.Flags.NoPredict() {
+			predictable++
+		}
+	}
+	if ce.probes != predictable {
+		t.Errorf("engine probed %d loads, want %d (flagged loads excluded)", ce.probes, predictable)
+	}
+}
+
+type countingEngine struct {
+	probes int
+	trains int
+}
+
+func (c *countingEngine) Probe(core.Probe) (any, core.Prediction, bool) {
+	c.probes++
+	return nil, core.Prediction{}, false
+}
+func (c *countingEngine) Train(core.Outcome, any, core.AddrResolver) { c.trains++ }
+func (c *countingEngine) Instret(uint64)                             {}
+
+func TestEveryProbedLoadEventuallyTrains(t *testing.T) {
+	w, _ := trace.ByName("linpack")
+	ce := &countingEngine{}
+	p := New(DefaultConfig(), ce)
+	p.Run(w.Build(testInsts), "linpack", "count")
+	p.applyTrains(^uint64(0)) // drain
+	if ce.trains != ce.probes {
+		t.Errorf("probes=%d trains=%d: trainings lost", ce.probes, ce.trains)
+	}
+}
+
+func TestTrainingLagsBehindProbes(t *testing.T) {
+	// The prediction-to-update latency: by end of run some loads are
+	// typically still awaiting training (in flight).
+	w, _ := trace.ByName("linpack")
+	ce := &countingEngine{}
+	New(DefaultConfig(), ce).Run(w.Build(testInsts), "linpack", "count")
+	if ce.trains > ce.probes {
+		t.Errorf("more trainings (%d) than probes (%d)", ce.trains, ce.probes)
+	}
+}
+
+func TestPerfectEngineNeverFlushes(t *testing.T) {
+	// An oracle engine that predicts every load's exact value must
+	// produce zero VP flushes and a speedup.
+	w, _ := trace.ByName("mcf")
+	base := baselineRun(t, "mcf", testInsts)
+	oracle := &oracleEngine{gen: w.Build(testInsts)}
+	run := New(DefaultConfig(), oracle).Run(w.Build(testInsts), "mcf", "oracle")
+	if run.VPFlushes != 0 {
+		t.Errorf("oracle engine caused %d flushes", run.VPFlushes)
+	}
+	if sp := stats.Speedup(run, base); sp <= 0 {
+		t.Errorf("oracle speedup = %.2f%%, want > 0", sp)
+	}
+	if cov := run.Coverage(); cov < 90 {
+		t.Errorf("oracle coverage = %.1f%%", cov)
+	}
+}
+
+// oracleEngine cheats by replaying a second copy of the (deterministic)
+// workload in lockstep: each Probe call corresponds to exactly one
+// predictable load in trace order, so it can emit the load's true value
+// as a "prediction". It bounds the pipeline's VP plumbing from above.
+type oracleEngine struct{ gen trace.Generator }
+
+func (o *oracleEngine) Probe(core.Probe) (any, core.Prediction, bool) {
+	var in trace.Inst
+	for o.gen.Next(&in) {
+		if in.Op == trace.OpLoad && !in.Flags.NoPredict() {
+			return nil, core.Prediction{Kind: core.KindValue, Source: core.CompLVP, Value: in.Value}, true
+		}
+	}
+	return nil, core.Prediction{}, false
+}
+func (o *oracleEngine) Train(core.Outcome, any, core.AddrResolver) {}
+func (o *oracleEngine) Instret(uint64)                             {}
+
+func TestROBLimitsIPC(t *testing.T) {
+	// A tiny window must lose IPC versus the Skylake-class window.
+	w, _ := trace.ByName("mcf")
+	small := DefaultConfig()
+	small.ROB, small.IQ, small.LDQ, small.STQ = 16, 8, 8, 8
+	smallRun := New(small, nil).Run(w.Build(testInsts), "mcf", "small")
+	big := baselineRun(t, "mcf", testInsts)
+	if smallRun.IPC() >= big.IPC() {
+		t.Errorf("ROB=16 IPC %.2f >= ROB=224 IPC %.2f", smallRun.IPC(), big.IPC())
+	}
+}
+
+func TestIssueWidthLimitsIPC(t *testing.T) {
+	w, _ := trace.ByName("coremark")
+	narrow := DefaultConfig()
+	narrow.IssueWidth, narrow.FetchWidth, narrow.CommitWidth = 1, 1, 1
+	nRun := New(narrow, nil).Run(w.Build(testInsts), "coremark", "narrow")
+	if nRun.IPC() > 1.01 {
+		t.Errorf("1-wide core IPC = %.2f > 1", nRun.IPC())
+	}
+	wide := baselineRun(t, "coremark", testInsts)
+	if wide.IPC() <= nRun.IPC() {
+		t.Errorf("wide core (%.2f) not faster than 1-wide (%.2f)", wide.IPC(), nRun.IPC())
+	}
+}
+
+func TestCommitCyclesMonotonic(t *testing.T) {
+	// Commit is in-order: cycles must never decrease across a run.
+	w, _ := trace.ByName("gzip")
+	p := New(DefaultConfig(), nil)
+	gen := w.Build(20_000)
+	p.simMem = gen.Mem().Clone()
+	p.run = stats.Run{}
+	var in trace.Inst
+	var seq, prev uint64
+	for gen.Next(&in) {
+		cc := p.step(seq, &in)
+		if cc < prev {
+			t.Fatalf("commit cycle regressed at seq %d: %d < %d", seq, cc, prev)
+		}
+		prev = cc
+		seq++
+	}
+}
+
+func TestSlowMemoryHurtsIPC(t *testing.T) {
+	w, _ := trace.ByName("mcf")
+	slow := DefaultConfig()
+	slow.Hierarchy.MemLatency = 800
+	slowRun := New(slow, nil).Run(w.Build(testInsts), "mcf", "slowmem")
+	fast := baselineRun(t, "mcf", testInsts)
+	if slowRun.IPC() >= fast.IPC() {
+		t.Errorf("800-cycle memory IPC %.3f >= 200-cycle IPC %.3f", slowRun.IPC(), fast.IPC())
+	}
+}
+
+func evesEngine() Engine {
+	return eves.New(eves.Config{BudgetKB: 32, Seed: 1})
+}

@@ -1,0 +1,182 @@
+package eves
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func trainN(e *EVES, o core.Outcome, n int) {
+	for i := 0; i < n; i++ {
+		rec, _, _ := e.Probe(core.Probe{PC: o.PC, BranchHist: o.BranchHist})
+		e.Train(o, rec, nil)
+	}
+}
+
+func TestEVESLearnsConstantValue(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	o := core.Outcome{PC: 0x40, Value: 0xABCD}
+	trainN(e, o, 400)
+	_, pred, ok := e.Probe(core.Probe{PC: o.PC})
+	if !ok {
+		t.Fatal("EVES not confident after 400 stable observations")
+	}
+	if pred.Kind != core.KindValue || pred.Value != 0xABCD {
+		t.Errorf("prediction = %+v", pred)
+	}
+}
+
+func TestEVESLearnsStridedValue(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	// A strided value sequence (e.g. a loop induction variable spilled
+	// and reloaded): E-Stride must capture it.
+	for i := 0; i < 400; i++ {
+		o := core.Outcome{PC: 0x80, Value: uint64(1000 + i*24)}
+		rec, _, _ := e.Probe(core.Probe{PC: o.PC})
+		e.Train(o, rec, nil)
+	}
+	_, pred, ok := e.Probe(core.Probe{PC: 0x80})
+	if !ok {
+		t.Fatal("EVES not confident on strided values")
+	}
+	want := uint64(1000 + 400*24)
+	if pred.Value != want {
+		t.Errorf("strided prediction = %d, want %d", pred.Value, want)
+	}
+}
+
+func TestEVESStrideInflightAdjustment(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	for i := 0; i < 400; i++ {
+		o := core.Outcome{PC: 0x80, Value: uint64(i * 8)}
+		rec, _, _ := e.Probe(core.Probe{PC: o.PC})
+		e.Train(o, rec, nil)
+	}
+	_, p0, ok0 := e.Probe(core.Probe{PC: 0x80, Inflight: 0})
+	_, p3, ok3 := e.Probe(core.Probe{PC: 0x80, Inflight: 3})
+	if !ok0 || !ok3 {
+		t.Fatal("not confident")
+	}
+	if p3.Value != p0.Value+3*8 {
+		t.Errorf("inflight adjustment: %d vs %d", p0.Value, p3.Value)
+	}
+}
+
+func TestEVESContextValues(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	histA, histB := uint64(0b1101), uint64(0b0010)
+	for i := 0; i < 400; i++ {
+		for _, c := range []struct {
+			h uint64
+			v uint64
+		}{{histA, 111}, {histB, 222}} {
+			o := core.Outcome{PC: 0x40, BranchHist: c.h, Value: c.v}
+			rec, _, _ := e.Probe(core.Probe{PC: o.PC, BranchHist: c.h})
+			e.Train(o, rec, nil)
+		}
+	}
+	_, pa, okA := e.Probe(core.Probe{PC: 0x40, BranchHist: histA})
+	_, pb, okB := e.Probe(core.Probe{PC: 0x40, BranchHist: histB})
+	if !okA || pa.Value != 111 {
+		t.Errorf("history A: ok=%v v=%d", okA, pa.Value)
+	}
+	if !okB || pb.Value != 222 {
+		t.Errorf("history B: ok=%v v=%d", okB, pb.Value)
+	}
+}
+
+func TestEVESNeverConfidentOnNoise(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	rng := core.NewXorShift64(9)
+	delivered := 0
+	for i := 0; i < 5000; i++ {
+		o := core.Outcome{PC: 0x40, Value: rng.Next()}
+		rec, _, ok := e.Probe(core.Probe{PC: o.PC})
+		if ok {
+			delivered++
+		}
+		e.Train(o, rec, nil)
+	}
+	if delivered > 50 {
+		t.Errorf("EVES delivered %d predictions on random values", delivered)
+	}
+}
+
+func TestEVESBudgets(t *testing.T) {
+	small := New(Config{BudgetKB: 8, Seed: 1})
+	big := New(Config{BudgetKB: 32, Seed: 1})
+	if small.StorageKB() > 8.01 {
+		t.Errorf("8KB config uses %.2fKB", small.StorageKB())
+	}
+	if big.StorageKB() > 32.01 {
+		t.Errorf("32KB config uses %.2fKB", big.StorageKB())
+	}
+	if big.StorageKB() <= small.StorageKB() {
+		t.Error("32KB config not larger than 8KB config")
+	}
+	inf := New(Config{BudgetKB: 0, Seed: 1})
+	if inf.StorageKB() < 1000 {
+		t.Error("infinite config suspiciously small")
+	}
+}
+
+func TestEVESCapacityPressure(t *testing.T) {
+	// The small budget must lose coverage relative to the big one when
+	// tracking many static loads.
+	cover := func(budget int) int {
+		e := New(Config{BudgetKB: budget, Seed: 1})
+		delivered := 0
+		for round := 0; round < 150; round++ {
+			for pc := uint64(0); pc < 600; pc++ {
+				o := core.Outcome{PC: 0x1000 + pc*4, Value: pc * 3}
+				rec, _, ok := e.Probe(core.Probe{PC: o.PC})
+				if ok {
+					delivered++
+				}
+				e.Train(o, rec, nil)
+			}
+		}
+		return delivered
+	}
+	small, big := cover(8), cover(32)
+	if small >= big {
+		t.Errorf("8KB coverage %d >= 32KB coverage %d", small, big)
+	}
+}
+
+func TestEVESValueChangeRetrains(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	o := core.Outcome{PC: 0x40, Value: 1}
+	trainN(e, o, 400)
+	o.Value = 2
+	trainN(e, o, 400)
+	_, pred, ok := e.Probe(core.Probe{PC: o.PC})
+	if !ok || pred.Value != 2 {
+		t.Errorf("after change: ok=%v v=%d, want 2", ok, pred.Value)
+	}
+}
+
+func TestEVESResetState(t *testing.T) {
+	e := New(Config{BudgetKB: 32, Seed: 1})
+	o := core.Outcome{PC: 0x40, Value: 1}
+	trainN(e, o, 400)
+	e.ResetState()
+	if _, _, ok := e.Probe(core.Probe{PC: o.PC}); ok {
+		t.Error("confidence survived reset")
+	}
+}
+
+func TestEVESDeterminism(t *testing.T) {
+	run := func() (uint64, bool) {
+		e := New(Config{BudgetKB: 8, Seed: 5})
+		o := core.Outcome{PC: 0x40, Value: 7}
+		trainN(e, o, 100)
+		_, p, ok := e.Probe(core.Probe{PC: o.PC})
+		return p.Value, ok
+	}
+	v1, ok1 := run()
+	v2, ok2 := run()
+	if v1 != v2 || ok1 != ok2 {
+		t.Error("same-seed EVES runs diverged")
+	}
+}

@@ -1,0 +1,129 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out: each row
+// disables one mechanism of the full system (the 9.6KB best composite on
+// the Table III core) and reports the aggregate impact. It extends the
+// paper with the sensitivity study its Section V motivates.
+func Ablations(ctx *Context) Result {
+	_, big := fig11Configs()
+	mk := ctx.BestComposite(big)
+
+	rows := []struct {
+		name string
+		cfg  func() cpu.Config
+		eng  EngineFactory
+	}{
+		{"full system", cpu.DefaultConfig, mk},
+		{"- PAQ prefetch on probe miss", func() cpu.Config {
+			c := cpu.DefaultConfig()
+			c.PAQPrefetchOnMiss = false
+			return c
+		}, mk},
+		{"- store-conflict suppression", func() cpu.Config {
+			c := cpu.DefaultConfig()
+			c.SuppressStoreConflicts = false
+			return c
+		}, mk},
+		{"replay recovery (vs flush)", func() cpu.Config {
+			c := cpu.DefaultConfig()
+			c.ReplayRecovery = true
+			return c
+		}, mk},
+		{"PAQ depth 8 (vs 24)", func() cpu.Config {
+			c := cpu.DefaultConfig()
+			c.PAQDepth = 8
+			return c
+		}, mk},
+		{"PAQ unbounded", func() cpu.Config {
+			c := cpu.DefaultConfig()
+			c.PAQDepth = 0
+			return c
+		}, mk},
+		{"- accuracy monitor", cpu.DefaultConfig, ctx.CompositeFactory(big, "", false, true)},
+		{"- table fusion", cpu.DefaultConfig, ctx.CompositeFactory(big, "pc", false, false)},
+		{"- address predictors (LVP+CVP)", cpu.DefaultConfig, func() EngineFactory {
+			var e [core.NumComponents]int
+			e[core.CompLVP] = big[core.CompLVP]
+			e[core.CompCVP] = big[core.CompCVP]
+			return ctx.CompositeFactory(e, "pc", false, false)
+		}()},
+		{"- value predictors (SAP+CAP)", cpu.DefaultConfig, func() EngineFactory {
+			var e [core.NumComponents]int
+			e[core.CompSAP] = big[core.CompSAP]
+			e[core.CompCAP] = big[core.CompCAP]
+			return ctx.CompositeFactory(e, "pc", false, false)
+		}()},
+	}
+
+	t := &table{header: []string{"Configuration", "Speedup", "Coverage", "Accuracy"}}
+	for _, row := range rows {
+		agg := Summarize(ctx.perWorkloadCfg(row.name, row.cfg(), row.eng))
+		t.add(row.name, pct(agg.Speedup), pctu(agg.Coverage), fmt.Sprintf("%.4f", agg.Accuracy))
+	}
+	return Result{
+		ID:    "Ablations",
+		Title: "Mechanism ablations on the 9.6KB composite",
+		Lines: t.lines(),
+	}
+}
+
+// perWorkloadCfg is PerWorkload with an explicit core configuration.
+// The baseline for speedup uses the same core configuration so each row
+// isolates the predictor-side mechanism.
+func (c *Context) perWorkloadCfg(config string, coreCfg cpu.Config, mk EngineFactory) []Pair {
+	out := make([]Pair, len(c.pool))
+	c.forEach(func(i int, w trace.Workload) {
+		base := cpu.New(coreCfg, nil).Run(w.Build(c.insts), w.Name, "base")
+		eng := mk(core.SplitMix64(c.seed ^ hashName(w.Name)))
+		run := cpu.New(coreCfg, eng).Run(w.Build(c.insts), w.Name, config)
+		out[i] = Pair{Workload: w.Name, Run: run, Base: base}
+	})
+	return out
+}
+
+// WindowSweep measures how the composite's benefit scales with the
+// out-of-order window: the paper motivates value prediction by the
+// growth of scheduling windows (Section I), and this extension
+// quantifies the interaction — smaller windows hide less load latency,
+// larger windows extract more MLP on their own.
+func WindowSweep(ctx *Context) Result {
+	_, big := fig11Configs()
+	mk := ctx.CompositeFactory(big, "pc", false, false)
+	t := &table{header: []string{"ROB", "IQ", "LDQ/STQ", "Baseline IPC", "Speedup", "Coverage"}}
+	for _, scale := range []struct {
+		name     string
+		rob, iq  int
+		ldq, stq int
+	}{
+		{"half", 112, 48, 36, 28},
+		{"Skylake (Table III)", 224, 97, 72, 56},
+		{"double", 448, 194, 144, 112},
+		{"quad", 896, 388, 288, 224},
+	} {
+		cfg := cpu.DefaultConfig()
+		cfg.ROB, cfg.IQ, cfg.LDQ, cfg.STQ = scale.rob, scale.iq, scale.ldq, scale.stq
+		pairs := ctx.perWorkloadCfg("win-"+scale.name, cfg, mk)
+		agg := Summarize(pairs)
+		baseIPC := 0.0
+		for _, p := range pairs {
+			baseIPC += p.Base.IPC()
+		}
+		baseIPC /= float64(len(pairs))
+		t.add(fmt.Sprintf("%d (%s)", scale.rob, scale.name), fmt.Sprint(scale.iq),
+			fmt.Sprintf("%d/%d", scale.ldq, scale.stq),
+			fmt.Sprintf("%.3f", baseIPC), pct(agg.Speedup), pctu(agg.Coverage))
+	}
+	return Result{
+		ID:    "WindowSweep",
+		Title: "Extension: composite benefit vs out-of-order window size",
+		Lines: t.lines(),
+	}
+}

@@ -1,0 +1,74 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper table or figure.
+type Runner func(*Context) Result
+
+// Experiment couples a runner with metadata.
+type Experiment struct {
+	ID    string
+	Title string
+	Heavy bool // sweeps that benefit from a reduced workload pool
+	Run   Runner
+}
+
+// Registry lists every reproducible experiment, in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "tableiv", Title: "Table IV: predictor parameters", Run: TableIV},
+		{ID: "tablev", Title: "Table V: Listing-1 training latency", Run: TableV},
+		{ID: "tablevi", Title: "Table VI: heterogeneous sizing exploration", Heavy: true, Run: TableVI},
+		{ID: "fig2", Title: "Figure 2: load breakdown by pattern", Run: Fig2},
+		{ID: "fig3", Title: "Figure 3: component speedup vs size", Heavy: true, Run: Fig3},
+		{ID: "fig4", Title: "Figure 4: prediction overlap", Run: Fig4},
+		{ID: "fig5", Title: "Figure 5: composite vs best component", Heavy: true, Run: Fig5},
+		{ID: "fig6", Title: "Figure 6: accuracy monitors", Run: Fig6},
+		{ID: "fig7", Title: "Figure 7: smart training overlap reduction", Heavy: true, Run: Fig7},
+		{ID: "fig8", Title: "Figure 8: smart training speedup", Heavy: true, Run: Fig8},
+		{ID: "fig9", Title: "Figure 9: table fusion speedup", Heavy: true, Run: Fig9},
+		{ID: "fig10", Title: "Figure 10: combined benefit vs best component", Heavy: true, Run: Fig10},
+		{ID: "fig11", Title: "Figure 11: composite vs EVES", Run: Fig11},
+		{ID: "fig12", Title: "Figure 12: per-workload composite vs EVES", Run: Fig12},
+		{ID: "ablations", Title: "Extension: mechanism ablations", Heavy: true, Run: Ablations},
+		{ID: "sharedpool", Title: "Extension: decoupled shared value arrays", Heavy: true, Run: SharedPool},
+		{ID: "vpsec", Title: "Extension: fault detection via predictor overlap", Heavy: true, Run: VPsec},
+		{ID: "windowsweep", Title: "Extension: benefit vs OoO window size", Heavy: true, Run: WindowSweep},
+	}
+}
+
+// ByID returns the registered experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns a one-line description per experiment.
+func Describe() []string {
+	var out []string
+	for _, e := range Registry() {
+		heavy := ""
+		if e.Heavy {
+			heavy = " (heavy sweep)"
+		}
+		out = append(out, fmt.Sprintf("%-8s %s%s", e.ID, e.Title, heavy))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is a rendered experiment: a paper table or figure regenerated
+// as text rows.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) lines() []string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	format := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	out := []string{format(t.header)}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	out = append(out, format(sep))
+	for _, row := range t.rows {
+		out = append(out, format(row))
+	}
+	return out
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%+.2f%%", v) }
+func pctu(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// bar renders a proportional ASCII bar for a non-negative value against
+// a maximum, used to give the figure outputs their visual shape.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n == 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// SharedPool evaluates the storage optimization the paper defers at the
+// end of Section III-B: decoupling LVP/CVP's value arrays into one
+// shared, reference-counted pool. For each pool size it reports the
+// storage saved against the direct 1K-entry composite and the coverage/
+// speedup cost of pool pressure.
+func SharedPool(ctx *Context) Result {
+	entries := core.HomogeneousEntries(256) // the 9.6KB configuration
+	mkDirect := func(seed uint64) cpu.Engine {
+		return cpu.NewCompositeEngine(core.NewComposite(core.CompositeConfig{
+			Entries: entries, Seed: seed, AM: core.NewPCAM(64),
+		}))
+	}
+	directKB := core.NewComposite(core.CompositeConfig{Entries: entries, Seed: 1}).StorageKB()
+	dir := Summarize(ctx.PerWorkload("pool-direct", mkDirect))
+
+	t := &table{header: []string{"Configuration", "Storage", "Saved", "Speedup", "Coverage", "Accuracy"}}
+	t.add("direct value arrays", fmt.Sprintf("%.2fKB", directKB), "-",
+		pct(dir.Speedup), pctu(dir.Coverage), fmt.Sprintf("%.4f", dir.Accuracy))
+
+	for _, slots := range []int{16, 48, 128, 256} {
+		slots := slots
+		mk := func(seed uint64) cpu.Engine {
+			return cpu.NewCompositeEngine(core.NewComposite(core.CompositeConfig{
+				Entries: entries, Seed: seed, AM: core.NewPCAM(64),
+				ValuePoolSlots: slots,
+			}))
+		}
+		kb := core.NewComposite(core.CompositeConfig{
+			Entries: entries, Seed: 1, ValuePoolSlots: slots,
+		}).StorageKB()
+		a := Summarize(ctx.PerWorkload(fmt.Sprintf("pool-%d", slots), mk))
+		t.add(fmt.Sprintf("shared pool, %d slots", slots),
+			fmt.Sprintf("%.2fKB", kb),
+			fmt.Sprintf("%.1f%%", 100*(1-kb/directKB)),
+			pct(a.Speedup), pctu(a.Coverage), fmt.Sprintf("%.4f", a.Accuracy))
+	}
+	return Result{
+		ID:    "SharedPool",
+		Title: "Extension: decoupled shared value arrays (Section III-B optimization)",
+		Lines: t.lines(),
+	}
+}

@@ -1,0 +1,90 @@
+// Package mem models the baseline core's memory system (paper Table
+// III): a sparse backing memory with deterministic contents, a
+// three-level cache hierarchy with 64B/128B lines, a 512-entry 8-way
+// TLB, and a stride-based hardware prefetcher.
+//
+// The backing memory doubles as the architectural memory image for the
+// synthetic workloads: generators write program data through it and read
+// load values from it, so that address-predicting value predictors
+// (SAP, CAP) — which obtain speculative values by probing the data cache
+// at a predicted address — observe values consistent with what the loads
+// themselves return.
+package mem
+
+// Backing is a sparse, byte-addressable memory. Locations never written
+// return a deterministic pseudo-random fill derived from the address and
+// the seed, so "cold" data is stable across reads but uncorrelated
+// between addresses (an unwritten region behaves like initialized,
+// unpredictable program data).
+type Backing struct {
+	words map[uint64]uint64 // keyed by addr >> 3
+	seed  uint64
+}
+
+// NewBacking returns an empty backing memory with the given fill seed.
+func NewBacking(seed uint64) *Backing {
+	return &Backing{words: make(map[uint64]uint64), seed: seed}
+}
+
+// fill produces the deterministic contents of an unwritten 8-byte word.
+func (b *Backing) fill(wordIdx uint64) uint64 {
+	z := wordIdx*0x9E3779B97F4A7C15 + b.seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// word returns the current contents of the 8-byte word containing addr.
+func (b *Backing) word(wordIdx uint64) uint64 {
+	if w, ok := b.words[wordIdx]; ok {
+		return w
+	}
+	return b.fill(wordIdx)
+}
+
+// Read returns size bytes at addr, zero-extended, little-endian. Reads
+// may straddle an 8-byte word boundary.
+func (b *Backing) Read(addr uint64, size uint8) uint64 {
+	if size == 0 || size > 8 {
+		size = 8
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint64(i)
+		byteVal := (b.word(a>>3) >> ((a & 7) * 8)) & 0xFF
+		v |= byteVal << (i * 8)
+	}
+	return v
+}
+
+// Write stores the low size bytes of val at addr, little-endian.
+func (b *Backing) Write(addr uint64, size uint8, val uint64) {
+	if size == 0 || size > 8 {
+		size = 8
+	}
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint64(i)
+		w := b.word(a >> 3)
+		shift := (a & 7) * 8
+		w &^= uint64(0xFF) << shift
+		w |= ((val >> (i * 8)) & 0xFF) << shift
+		b.words[a>>3] = w
+	}
+}
+
+// Footprint reports the number of 8-byte words explicitly written.
+func (b *Backing) Footprint() int { return len(b.words) }
+
+// Clone returns an independent copy sharing the same fill function.
+// The simulator clones the workload's architectural memory so that its
+// own copy (updated at store commit) can diverge from the generator's.
+func (b *Backing) Clone() *Backing {
+	c := &Backing{words: make(map[uint64]uint64, len(b.words)), seed: b.seed}
+	for k, v := range b.words {
+		c.words[k] = v
+	}
+	return c
+}
+
+// Reset discards all written data.
+func (b *Backing) Reset() { clear(b.words) }

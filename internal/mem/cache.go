@@ -1,0 +1,151 @@
+package mem
+
+import "math/bits"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Latency   int // access latency in cycles on a hit at this level
+}
+
+// CacheStats counts accesses per cache.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Fills     uint64
+	Evictions uint64
+}
+
+// Accesses returns hits + misses.
+func (s CacheStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns the hit fraction, or 1 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses())
+}
+
+type cacheLine struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement. Only tags
+// are modeled; data always comes from the backing memory (the hierarchy
+// model determines latency, not contents).
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setShift uint
+	setMask  uint64
+	clock    uint64
+	stats    CacheStats
+}
+
+// NewCache builds a cache from cfg. Size, line size and ways must yield
+// a power-of-two set count.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("mem: invalid cache geometry")
+	}
+	if cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		panic("mem: cache size must be a multiple of line size × ways")
+	}
+	nSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic("mem: cache set count must be a positive power of two")
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]cacheLine, nSets),
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(nSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+func (c *Cache) indexTag(addr uint64) (int, uint64) {
+	line := addr >> c.setShift
+	return int(line & c.setMask), line >> uint(bits.Len64(c.setMask))
+}
+
+// Lookup probes the cache without allocating on a miss. It updates LRU
+// state and hit/miss counters.
+func (c *Cache) Lookup(addr uint64) bool {
+	c.clock++
+	idx, tag := c.indexTag(addr)
+	for w := range c.sets[idx] {
+		l := &c.sets[idx][w]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Peek reports whether addr is resident without disturbing LRU state or
+// counters (used by the PAQ probe model and by tests).
+func (c *Cache) Peek(addr uint64) bool {
+	idx, tag := c.indexTag(addr)
+	for w := range c.sets[idx] {
+		l := &c.sets[idx][w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing addr, evicting the LRU way if
+// needed. Filling an already-resident line just refreshes its LRU
+// position.
+func (c *Cache) Fill(addr uint64) {
+	c.clock++
+	idx, tag := c.indexTag(addr)
+	victim := 0
+	for w := range c.sets[idx] {
+		l := &c.sets[idx][w]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.clock
+			return
+		}
+		if !l.valid {
+			victim = w
+			break
+		}
+		if l.lastUse < c.sets[idx][victim].lastUse {
+			victim = w
+		}
+	}
+	if c.sets[idx][victim].valid {
+		c.stats.Evictions++
+	}
+	c.sets[idx][victim] = cacheLine{valid: true, tag: tag, lastUse: c.clock}
+	c.stats.Fills++
+}
+
+// Flush invalidates the entire cache.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		clear(c.sets[i])
+	}
+	c.clock = 0
+}

@@ -1,0 +1,85 @@
+package mem
+
+// StridePrefetcher is the baseline core's stride-based hardware data
+// prefetcher (Table III). It keeps a small PC-indexed table of recent
+// load addresses; when a load PC exhibits a stable line-granular stride,
+// the prefetcher requests the next few lines ahead of the demand stream.
+type StridePrefetcher struct {
+	entries []pfEntry
+	mask    uint64
+	degree  int
+	stats   PrefetchStats
+}
+
+type pfEntry struct {
+	valid    bool
+	tag      uint32
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+}
+
+// PrefetchStats counts prefetcher activity.
+type PrefetchStats struct {
+	Issued uint64
+}
+
+// NewStridePrefetcher builds a prefetcher with a power-of-two entry
+// table and the given prefetch degree (lines fetched ahead).
+func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("mem: prefetcher entries must be a positive power of two")
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &StridePrefetcher{
+		entries: make([]pfEntry, entries),
+		mask:    uint64(entries - 1),
+		degree:  degree,
+	}
+}
+
+// Stats returns the prefetcher counters.
+func (p *StridePrefetcher) Stats() PrefetchStats { return p.stats }
+
+// Observe trains on a demand access and returns the addresses to
+// prefetch (possibly none). The caller fills those lines into the cache
+// hierarchy.
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	idx := (pc >> 2) & p.mask
+	tag := uint32(pc >> 2 >> len64(p.mask))
+	e := &p.entries[idx]
+	if !e.valid || e.tag != tag {
+		*e = pfEntry{valid: true, tag: tag, lastAddr: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	switch {
+	case stride == e.stride && stride != 0:
+		if e.conf < 3 {
+			e.conf++
+		}
+	case stride == 0:
+		// Repeated address: neither confirm nor break the stride.
+	default:
+		e.stride = stride
+		e.conf = 0
+	}
+	e.lastAddr = addr
+	if e.conf < 2 || e.stride == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		out = append(out, uint64(int64(addr)+e.stride*int64(i)))
+	}
+	p.stats.Issued += uint64(len(out))
+	return out
+}
+
+// Reset clears all prefetcher state.
+func (p *StridePrefetcher) Reset() {
+	clear(p.entries)
+	p.stats = PrefetchStats{}
+}

@@ -1,0 +1,99 @@
+package mem
+
+// TLBConfig describes the translation lookaside buffer (Table III:
+// 512-entry, 8-way set-associative).
+type TLBConfig struct {
+	Entries     int
+	Ways        int
+	PageBytes   int
+	WalkLatency int // page-walk penalty on a miss, in cycles
+}
+
+// DefaultTLBConfig returns the baseline core's TLB parameters.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{Entries: 512, Ways: 8, PageBytes: 4096, WalkLatency: 24}
+}
+
+type tlbEntry struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// TLB is a set-associative translation lookaside buffer. As with the
+// caches, only residency and latency are modeled; the simulator uses
+// virtual addresses throughout.
+type TLB struct {
+	cfg     TLBConfig
+	sets    [][]tlbEntry
+	setMask uint64
+	shift   uint
+	clock   uint64
+	stats   CacheStats
+}
+
+// NewTLB builds a TLB from cfg.
+func NewTLB(cfg TLBConfig) *TLB {
+	nSets := cfg.Entries / cfg.Ways
+	if nSets <= 0 || nSets&(nSets-1) != 0 {
+		panic("mem: TLB set count must be a positive power of two")
+	}
+	shift := uint(0)
+	for (1 << shift) < cfg.PageBytes {
+		shift++
+	}
+	t := &TLB{cfg: cfg, sets: make([][]tlbEntry, nSets), setMask: uint64(nSets - 1), shift: shift}
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, cfg.Ways)
+	}
+	return t
+}
+
+// Stats returns hit/miss counters.
+func (t *TLB) Stats() CacheStats { return t.stats }
+
+// Access translates addr: it returns the added latency (zero on a hit,
+// the walk penalty on a miss) and installs the translation.
+func (t *TLB) Access(addr uint64) int {
+	t.clock++
+	page := addr >> t.shift
+	idx := int(page & t.setMask)
+	tag := page >> uint(len64(t.setMask))
+	victim := 0
+	for w := range t.sets[idx] {
+		e := &t.sets[idx][w]
+		if e.valid && e.tag == tag {
+			e.lastUse = t.clock
+			t.stats.Hits++
+			return 0
+		}
+		if !e.valid {
+			victim = w
+		} else if t.sets[idx][victim].valid && e.lastUse < t.sets[idx][victim].lastUse {
+			victim = w
+		}
+	}
+	t.stats.Misses++
+	if t.sets[idx][victim].valid {
+		t.stats.Evictions++
+	}
+	t.sets[idx][victim] = tlbEntry{valid: true, tag: tag, lastUse: t.clock}
+	t.stats.Fills++
+	return t.cfg.WalkLatency
+}
+
+// Flush invalidates all translations.
+func (t *TLB) Flush() {
+	for i := range t.sets {
+		clear(t.sets[i])
+	}
+}
+
+func len64(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

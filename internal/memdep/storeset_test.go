@@ -1,0 +1,120 @@
+package memdep
+
+import "testing"
+
+func TestNoDependenceWithoutTraining(t *testing.T) {
+	p := New(DefaultConfig())
+	p.StoreFetched(0x100, 1)
+	if _, ok := p.LoadDependence(0x200); ok {
+		t.Error("untrained load predicted dependent")
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	p := New(DefaultConfig())
+	loadPC, storePC := uint64(0x200), uint64(0x100)
+	p.Violation(loadPC, storePC)
+	p.StoreFetched(storePC, 42)
+	seq, ok := p.LoadDependence(loadPC)
+	if !ok || seq != 42 {
+		t.Errorf("dependence = (%d, %v), want (42, true)", seq, ok)
+	}
+}
+
+func TestStoreExecutedClearsDependence(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x200, 0x100)
+	p.StoreFetched(0x100, 42)
+	p.StoreExecuted(0x100, 42)
+	if _, ok := p.LoadDependence(0x200); ok {
+		t.Error("dependence survived store execution")
+	}
+}
+
+func TestStoreExecutedOnlyClearsOwnSeq(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x200, 0x100)
+	p.StoreFetched(0x100, 42)
+	p.StoreFetched(0x100, 50) // newer instance
+	p.StoreExecuted(0x100, 42)
+	seq, ok := p.LoadDependence(0x200)
+	if !ok || seq != 50 {
+		t.Errorf("dependence = (%d, %v), want newest store (50, true)", seq, ok)
+	}
+}
+
+func TestSetMergeRule(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x200, 0x100) // set 1
+	p.Violation(0x300, 0x110) // set 2
+	// Now a violation between members of both sets merges them (lower
+	// ID wins).
+	p.Violation(0x200, 0x110)
+	// A store from the old set 2 must now satisfy loads of set 1.
+	p.StoreFetched(0x110, 7)
+	if seq, ok := p.LoadDependence(0x200); !ok || seq != 7 {
+		t.Errorf("merged-set dependence = (%d, %v)", seq, ok)
+	}
+}
+
+func TestViolationWithExistingLoadSet(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x200, 0x100)
+	p.Violation(0x200, 0x140) // load has a set; store joins it
+	p.StoreFetched(0x140, 9)
+	if seq, ok := p.LoadDependence(0x200); !ok || seq != 9 {
+		t.Errorf("dependence = (%d, %v)", seq, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x200, 0x100)
+	p.StoreFetched(0x100, 1)
+	p.LoadDependence(0x200)
+	st := p.StatsSnapshot()
+	if st.Violations != 1 || st.Dependences != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Violation(0x200, 0x100)
+	p.StoreFetched(0x100, 1)
+	p.Reset()
+	if _, ok := p.LoadDependence(0x200); ok {
+		t.Error("dependence survived reset")
+	}
+	if p.StatsSnapshot() != (Stats{}) {
+		t.Error("stats survived reset")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{SSITEntries: 100})
+}
+
+func TestMergeTransitivityProperty(t *testing.T) {
+	// After chaining violations a-b, b-c, c-d ... all PCs share one set:
+	// a store from any member satisfies a load from any other.
+	p := New(DefaultConfig())
+	pcs := []uint64{0x100, 0x200, 0x300, 0x400, 0x500}
+	for i := 0; i+1 < len(pcs); i++ {
+		p.Violation(pcs[i], pcs[i+1])
+	}
+	for _, storePC := range pcs {
+		p.StoreFetched(storePC, 77)
+		for _, loadPC := range pcs {
+			if seq, ok := p.LoadDependence(loadPC); !ok || seq != 77 {
+				t.Fatalf("load %#x does not wait for store %#x after merges", loadPC, storePC)
+			}
+		}
+		p.StoreExecuted(storePC, 77)
+	}
+}

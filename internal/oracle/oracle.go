@@ -1,0 +1,123 @@
+// Package oracle implements the paper's infinite-resource load
+// classification (Section IV-A, Figure 2): every static load is placed
+// in exactly one of three ordered, exclusive patterns using perfect
+// memory of past values and addresses:
+//
+//	Pattern-1 (LVP proxy): the load PC highly correlates with the value
+//	Pattern-2 (SAP proxy): the load PC highly correlates with the address
+//	Pattern-3 (CVP/CAP proxy): everything else
+//
+// The ordering encodes the paper's preference: value prediction before
+// address prediction (no cache access needed) and context-unaware
+// before context-aware (better storage efficiency).
+package oracle
+
+import "repro/internal/trace"
+
+// Pattern is the oracle class of a load.
+type Pattern uint8
+
+// The three patterns of Figure 2.
+const (
+	Pattern1 Pattern = iota + 1 // PC → value correlation (LVP proxy)
+	Pattern2                    // PC → address correlation (SAP proxy)
+	Pattern3                    // all other loads (CVP/CAP proxy)
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Pattern1:
+		return "Pattern-1 (LVP)"
+	case Pattern2:
+		return "Pattern-2 (SAP)"
+	case Pattern3:
+		return "Pattern-3 (CVP/CAP)"
+	}
+	return "Pattern-?"
+}
+
+// DefaultThreshold is the correlation fraction above which a static
+// load counts as "highly correlated".
+const DefaultThreshold = 0.90
+
+type pcState struct {
+	count    uint64
+	lastVal  uint64
+	valHits  uint64
+	lastAddr uint64
+	stride   int64
+	addrHits uint64
+}
+
+// Classification aggregates dynamic load counts per pattern.
+type Classification struct {
+	Dynamic     [4]uint64 // indexed by Pattern; [0] unused
+	StaticLoads int
+	TotalLoads  uint64
+}
+
+// Fraction returns the share of dynamic loads in pattern p.
+func (c Classification) Fraction(p Pattern) float64 {
+	if c.TotalLoads == 0 {
+		return 0
+	}
+	return float64(c.Dynamic[p]) / float64(c.TotalLoads)
+}
+
+// Classify consumes gen and classifies every static load with perfect
+// (infinite-resource) last-value and stride-address predictors, then
+// attributes each static load's dynamic instances to its pattern.
+// threshold ≤ 0 selects DefaultThreshold.
+func Classify(gen trace.Generator, threshold float64) Classification {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	states := make(map[uint64]*pcState)
+	var in trace.Inst
+	for gen.Next(&in) {
+		if in.Op != trace.OpLoad {
+			continue
+		}
+		st := states[in.PC]
+		if st == nil {
+			st = &pcState{}
+			states[in.PC] = st
+		}
+		if st.count > 0 {
+			if in.Value == st.lastVal {
+				st.valHits++
+			}
+			newStride := int64(in.Addr) - int64(st.lastAddr)
+			if st.count > 1 && newStride == st.stride {
+				st.addrHits++
+			}
+			st.stride = newStride
+		}
+		st.lastVal = in.Value
+		st.lastAddr = in.Addr
+		st.count++
+	}
+
+	var c Classification
+	c.StaticLoads = len(states)
+	for _, st := range states {
+		c.TotalLoads += st.count
+		c.Dynamic[classify(st, threshold)] += st.count
+	}
+	return c
+}
+
+func classify(st *pcState, threshold float64) Pattern {
+	if st.count < 2 {
+		return Pattern3
+	}
+	denom := float64(st.count - 1)
+	if float64(st.valHits)/denom >= threshold {
+		return Pattern1
+	}
+	if st.count >= 3 && float64(st.addrHits)/float64(st.count-2) >= threshold {
+		return Pattern2
+	}
+	return Pattern3
+}

@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestClassifySingleKernels(t *testing.T) {
+	cases := []struct {
+		kind string
+		want Pattern
+	}{
+		{"const", Pattern1},    // PC → value
+		{"stride", Pattern2},   // PC → address
+		{"ctxvalue", Pattern3}, // context-dependent
+		{"chase", Pattern3},
+		{"random", Pattern3},
+	}
+	for _, tc := range cases {
+		gen := trace.NewSingleKernel(tc.kind, 50_000, 7)
+		c := Classify(gen, 0)
+		if c.TotalLoads == 0 {
+			t.Fatalf("%s: no loads", tc.kind)
+		}
+		if f := c.Fraction(tc.want); f < 0.5 {
+			t.Errorf("%s: fraction in %v = %.2f, want >= 0.5 (got P1=%.2f P2=%.2f P3=%.2f)",
+				tc.kind, tc.want, f, c.Fraction(Pattern1), c.Fraction(Pattern2), c.Fraction(Pattern3))
+		}
+	}
+}
+
+func TestClassifyExclusiveAndComplete(t *testing.T) {
+	w, _ := trace.ByName("gcc2k")
+	c := Classify(w.Build(50_000), 0)
+	sum := c.Dynamic[Pattern1] + c.Dynamic[Pattern2] + c.Dynamic[Pattern3]
+	if sum != c.TotalLoads {
+		t.Errorf("patterns not exhaustive: %d classified of %d loads", sum, c.TotalLoads)
+	}
+	if c.StaticLoads == 0 {
+		t.Error("no static loads recorded")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// A load that is BOTH value-stable and address-stable must land in
+	// Pattern-1 (the patterns are ordered and exclusive).
+	gen := trace.NewSingleKernel("const", 20_000, 7)
+	c := Classify(gen, 0)
+	if c.Fraction(Pattern1) < 0.9 {
+		t.Errorf("const loads: Pattern-1 fraction = %.2f, want >= 0.9", c.Fraction(Pattern1))
+	}
+	if c.Dynamic[Pattern2] > c.Dynamic[Pattern1]/10 {
+		t.Error("value-stable loads leaked into Pattern-2 despite priority")
+	}
+}
+
+func TestListing1IsPattern1(t *testing.T) {
+	// Listing-1 inner loads always return 0: highest-priority pattern
+	// even though the addresses also stride (Section IV-A).
+	c := Classify(trace.NewListing1(30_000, 16), 0)
+	if f := c.Fraction(Pattern1); f < 0.5 {
+		t.Errorf("Listing-1 Pattern-1 fraction = %.2f (P2=%.2f P3=%.2f)",
+			f, c.Fraction(Pattern2), c.Fraction(Pattern3))
+	}
+}
+
+func TestAggregateBreakdownRoughlyEven(t *testing.T) {
+	// Figure 2's headline: across the mix the three patterns are
+	// "almost evenly split". Allow a generous band per pattern.
+	var total [4]uint64
+	var loads uint64
+	for _, w := range trace.Workloads() {
+		c := Classify(w.Build(20_000), 0)
+		for p := Pattern1; p <= Pattern3; p++ {
+			total[p] += c.Dynamic[p]
+		}
+		loads += c.TotalLoads
+	}
+	for p := Pattern1; p <= Pattern3; p++ {
+		f := float64(total[p]) / float64(loads)
+		if f < 0.10 || f > 0.65 {
+			t.Errorf("%v aggregate fraction = %.2f, outside [0.10, 0.65]", p, f)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Pattern1.String() == "" || Pattern2.String() == "" || Pattern3.String() == "" {
+		t.Error("pattern names empty")
+	}
+	if Pattern(9).String() != "Pattern-?" {
+		t.Error("unknown pattern should format as Pattern-?")
+	}
+}
+
+func TestFractionEmpty(t *testing.T) {
+	var c Classification
+	if c.Fraction(Pattern1) != 0 {
+		t.Error("empty classification fraction should be 0")
+	}
+}

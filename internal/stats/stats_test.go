@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPC(t *testing.T) {
+	r := Run{Instructions: 1000, Cycles: 500}
+	if r.IPC() != 2 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	if (Run{}).IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	r := Run{Loads: 200, PredictedLoads: 50}
+	if r.Coverage() != 25 {
+		t.Errorf("coverage = %v", r.Coverage())
+	}
+	if (Run{}).Coverage() != 0 {
+		t.Error("no-loads coverage should be 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	r := Run{PredictedLoads: 100, CorrectPredicted: 99}
+	if r.Accuracy() != 0.99 {
+		t.Errorf("accuracy = %v", r.Accuracy())
+	}
+	if (Run{}).Accuracy() != 1 {
+		t.Error("no-prediction accuracy should be 1")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Run{Instructions: 1000, Cycles: 1000}
+	faster := Run{Instructions: 1000, Cycles: 800}
+	if got := Speedup(faster, base); math.Abs(got-25) > 1e-9 {
+		t.Errorf("speedup = %v, want 25", got)
+	}
+	if got := Speedup(base, base); got != 0 {
+		t.Errorf("self speedup = %v", got)
+	}
+	if got := Speedup(faster, Run{}); got != 0 {
+		t.Errorf("zero-base speedup = %v", got)
+	}
+}
+
+func TestSpeedupSign(t *testing.T) {
+	err := quick.Check(func(c1, c2 uint32) bool {
+		a := Run{Instructions: 1000, Cycles: uint64(c1%100000) + 1}
+		b := Run{Instructions: 1000, Cycles: uint64(c2%100000) + 1}
+		sp := Speedup(a, b)
+		switch {
+		case a.Cycles < b.Cycles:
+			return sp > 0
+		case a.Cycles > b.Cycles:
+			return sp < 0
+		default:
+			return sp == 0
+		}
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	if GeoMeanSpeedup(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	// Two ratios 1.21 and 1.0 → geomean = 1.1 → +10%.
+	got := GeoMeanSpeedup([]float64{1.21, 1.0})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("geomean speedup = %v, want 10", got)
+	}
+	// Non-positive ratios are skipped, not fatal.
+	got = GeoMeanSpeedup([]float64{-1, 0, 1.21, 1.0})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("geomean with junk = %v, want 10", got)
+	}
+	if GeoMeanSpeedup([]float64{0}) != 0 {
+		t.Error("all-junk geomean should be 0")
+	}
+}
+
+func TestGeoMeanBelowArithmeticForSpread(t *testing.T) {
+	ratios := []float64{1.5, 1.0, 1.0, 1.0}
+	geo := GeoMeanSpeedup(ratios)
+	arith := 100 * (Mean(ratios) - 1)
+	if geo >= arith {
+		t.Errorf("geomean %v >= arithmetic %v", geo, arith)
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := Run{Workload: "mcf", Config: "composite", Instructions: 10, Cycles: 5,
+		Loads: 4, PredictedLoads: 2, CorrectPredicted: 2}
+	s := r.String()
+	for _, want := range []string{"mcf", "composite", "IPC=2.000", "coverage=50.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import "repro/internal/mem"
+
+// emitter buffers micro-ops produced by kernels and performs the
+// architectural memory accesses that keep load values consistent with
+// the backing image.
+type emitter struct {
+	mem *mem.Backing
+	buf []Inst
+}
+
+func newEmitter(m *mem.Backing) *emitter {
+	return &emitter{mem: m, buf: make([]Inst, 0, 256)}
+}
+
+// alu emits a register computation with latency 1.
+func (e *emitter) alu(pc uint64, dst, s1, s2 Reg) {
+	e.buf = append(e.buf, Inst{PC: pc, Op: OpALU, Dst: dst, Src1: s1, Src2: s2, Lat: 1})
+}
+
+// aluLat emits a register computation with an explicit latency
+// (multiply ≈ 3, divide ≈ 12).
+func (e *emitter) aluLat(pc uint64, dst, s1, s2 Reg, lat uint8) {
+	e.buf = append(e.buf, Inst{PC: pc, Op: OpALU, Dst: dst, Src1: s1, Src2: s2, Lat: lat})
+}
+
+// load emits a load of size bytes at addr into dst, with addrReg as the
+// address-generation dependence. The loaded value is read from the
+// backing memory.
+func (e *emitter) load(pc uint64, dst, addrReg Reg, addr uint64, size uint8) uint64 {
+	v := e.mem.Read(addr, size)
+	e.buf = append(e.buf, Inst{
+		PC: pc, Op: OpLoad, Dst: dst, Src1: addrReg,
+		Addr: addr, Size: size, Value: v, Lat: 1,
+	})
+	return v
+}
+
+// loadFlagged is load with memory-ordering flags (excluded from value
+// prediction).
+func (e *emitter) loadFlagged(pc uint64, dst, addrReg Reg, addr uint64, size uint8, f Flags) uint64 {
+	v := e.mem.Read(addr, size)
+	e.buf = append(e.buf, Inst{
+		PC: pc, Op: OpLoad, Dst: dst, Src1: addrReg,
+		Addr: addr, Size: size, Value: v, Lat: 1, Flags: f,
+	})
+	return v
+}
+
+// store emits a store of val (sourced from dataReg) and updates the
+// backing memory.
+func (e *emitter) store(pc uint64, dataReg, addrReg Reg, addr uint64, size uint8, val uint64) {
+	e.mem.Write(addr, size, val)
+	e.buf = append(e.buf, Inst{
+		PC: pc, Op: OpStore, Src1: addrReg, Src2: dataReg,
+		Addr: addr, Size: size, Value: val, Lat: 1,
+	})
+}
+
+// branch emits a conditional branch. condReg is the register the
+// direction depends on (creates the data→control dependence).
+func (e *emitter) branch(pc uint64, condReg Reg, taken bool, target uint64) {
+	e.buf = append(e.buf, Inst{
+		PC: pc, Op: OpBranch, Src1: condReg, Taken: taken, Target: target, Lat: 1,
+	})
+}
+
+// call emits a direct call.
+func (e *emitter) call(pc, target uint64) {
+	e.buf = append(e.buf, Inst{PC: pc, Op: OpCall, Taken: true, Target: target, Lat: 1})
+}
+
+// ret emits a return to target.
+func (e *emitter) ret(pc, target uint64) {
+	e.buf = append(e.buf, Inst{PC: pc, Op: OpRet, Taken: true, Target: target, Lat: 1})
+}
+
+// indirect emits an indirect branch to target, dependent on targetReg.
+func (e *emitter) indirect(pc uint64, targetReg Reg, target uint64) {
+	e.buf = append(e.buf, Inst{PC: pc, Op: OpIndirect, Src1: targetReg, Taken: true, Target: target, Lat: 1})
+}

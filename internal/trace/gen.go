@@ -1,0 +1,83 @@
+package trace
+
+import "repro/internal/mem"
+
+// kernelSlot pairs a kernel with its scheduling weight.
+type kernelSlot struct {
+	k      kernel
+	weight int
+}
+
+// Gen interleaves a set of kernels into one deterministic instruction
+// stream. Kernels run in weighted bursts (a loop nest executes for a
+// while, then control moves on), which is how real programs interleave
+// their inner loops.
+type Gen struct {
+	memory *mem.Backing
+	em     *emitter
+	slots  []kernelSlot
+
+	cur       int
+	burstLeft int
+	burstUnit int
+
+	buf    []Inst
+	bufPos int
+
+	emitted uint64
+	limit   uint64
+}
+
+// newGen builds a generator producing at most limit instructions.
+func newGen(memory *mem.Backing, limit uint64, burstUnit int, slots []kernelSlot) *Gen {
+	if burstUnit <= 0 {
+		burstUnit = 200
+	}
+	g := &Gen{memory: memory, em: newEmitter(memory), slots: slots, limit: limit, burstUnit: burstUnit}
+	if len(slots) == 0 {
+		panic("trace: generator needs at least one kernel")
+	}
+	g.burstLeft = slots[0].weight * burstUnit
+	return g
+}
+
+// Mem implements Generator.
+func (g *Gen) Mem() *mem.Backing { return g.memory }
+
+// Next implements Generator.
+func (g *Gen) Next(inst *Inst) bool {
+	if g.emitted >= g.limit {
+		return false
+	}
+	for g.bufPos >= len(g.buf) {
+		g.refill()
+	}
+	*inst = g.buf[g.bufPos]
+	g.bufPos++
+	g.emitted++
+	return true
+}
+
+func (g *Gen) refill() {
+	g.em.buf = g.em.buf[:0]
+	g.bufPos = 0
+	slot := &g.slots[g.cur]
+	slot.k.emit(g.em)
+	g.buf = g.em.buf
+	g.burstLeft -= len(g.buf)
+	if g.burstLeft <= 0 {
+		g.cur = (g.cur + 1) % len(g.slots)
+		g.burstLeft = g.slots[g.cur].weight * g.burstUnit
+	}
+}
+
+// Collect drains up to n instructions from gen into a slice (testing
+// and analysis helper).
+func Collect(gen Generator, n int) []Inst {
+	out := make([]Inst, 0, n)
+	var in Inst
+	for len(out) < n && gen.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}

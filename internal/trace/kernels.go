@@ -1,0 +1,619 @@
+package trace
+
+// A kernel is a small program state machine that appends one loop
+// iteration (or comparable chunk) of micro-ops per emit call. Each
+// kernel models one of the load-behaviour classes the paper's component
+// predictors target (Section IV-A):
+//
+//	constKernel       Pattern-1: PC correlates with the load value (LVP)
+//	listing1Kernel    the paper's Listing-1 memset + sweep loop
+//	strideKernel      Pattern-2: PC correlates with the load address (SAP)
+//	ctxValueKernel    Pattern-3: value correlates with branch history (CVP)
+//	callsiteKernel    Pattern-3: address correlates with load path (CAP)
+//	storeUpdateKernel store-to-load traffic (conflicting stores)
+//	chaseKernel       serialized pointer chasing, largely unpredictable
+//	flakyKernel       short-lived strides that break confidence
+//	randomKernel      unpredictable addresses and values, cache-hostile
+//	aluKernel         non-memory dependency chains and biased branches
+type kernel interface {
+	emit(e *emitter)
+}
+
+// xs is the kernels' private deterministic RNG.
+type xs uint64
+
+func (x *xs) next() uint64 {
+	s := uint64(*x)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	*x = xs(s)
+	return s * 0x2545F4914F6CDD1D
+}
+
+func (x *xs) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// regWindow hands each kernel a disjoint register range so kernels do
+// not create artificial cross-kernel dependences.
+type regWindow struct{ base Reg }
+
+func (r regWindow) reg(i int) Reg { return r.base + Reg(i) }
+
+// constKernel models global-pointer reloads: each static load always
+// reads the same never-rewritten slot (the classic last-value pattern),
+// and the loaded value is a base pointer feeding a dependent data load —
+// so predicting the constant un-serializes the address computation.
+type constKernel struct {
+	pc     uint64
+	rw     regWindow
+	slots  []uint64 // constant slot addresses (hold base pointers)
+	data   uint64   // data region the base pointers point into
+	i      int
+	inited bool
+}
+
+func newConstKernel(pc uint64, rw regWindow, region uint64, nConsts int) *constKernel {
+	k := &constKernel{pc: pc, rw: rw, data: region + 1<<20}
+	for i := 0; i < nConsts; i++ {
+		k.slots = append(k.slots, region+uint64(i)*64)
+	}
+	return k
+}
+
+func (k *constKernel) emit(e *emitter) {
+	base, val, cnt := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	if !k.inited {
+		// Plant the base pointers once; the slots are never rewritten,
+		// so each const load's value is stable forever after.
+		for j, slot := range k.slots {
+			ipc := k.pc + 0x300 + uint64(j%8)*8
+			e.alu(ipc, base, base, 0)
+			e.store(ipc+4, base, 0, slot, 8, k.data+uint64(j)*4096)
+		}
+		k.inited = true
+	}
+	j := k.i % len(k.slots)
+	pc := k.pc + uint64(j)*32
+	ptr := e.load(pc, base, 0, k.slots[j], 8)    // reload the global pointer
+	e.load(pc+4, val, base, ptr+uint64(j)*16, 8) // dependent field access
+	e.alu(pc+8, cnt, cnt, val)
+	e.branch(pc+12, cnt, true, k.pc)
+	k.i++
+}
+
+// listing1Kernel is the paper's Listing 1: an outer loop that memsets
+// an N-element array and an inner loop that reads it back. After the
+// memset the loads all return zero — Pattern-1 by the paper's priority
+// ordering — while the addresses stride through the array.
+type listing1Kernel struct {
+	pc       uint64
+	rw       regWindow
+	base     uint64
+	n        int // inner trip count (N)
+	elemSize uint8
+
+	phase int // 0 = memset, 1 = inner loop
+	i     int
+	outer int
+}
+
+func newListing1Kernel(pc uint64, rw regWindow, base uint64, n int) *listing1Kernel {
+	return &listing1Kernel{pc: pc, rw: rw, base: base, n: n, elemSize: 4}
+}
+
+func (k *listing1Kernel) emit(e *emitter) {
+	idx, val, sum := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	addr := k.base + uint64(k.i)*uint64(k.elemSize)
+	if k.phase == 0 {
+		// memset(A, 0, N*sizeof(*A)): one store per element.
+		e.alu(k.pc, idx, idx, 0)
+		e.store(k.pc+4, 0, idx, addr, k.elemSize, 0)
+		e.branch(k.pc+8, idx, k.i < k.n-1, k.pc)
+		if k.i++; k.i == k.n {
+			k.phase, k.i = 1, 0
+		}
+		return
+	}
+	// for (i = 0; i < N; i++) { a += A[i]; }
+	inner := k.pc + 0x40
+	e.alu(inner, idx, idx, 0)
+	e.load(inner+4, val, idx, addr, k.elemSize)
+	e.alu(inner+8, sum, sum, val)
+	e.branch(inner+12, idx, k.i < k.n-1, inner)
+	if k.i++; k.i == k.n {
+		k.phase, k.i = 0, 0
+		k.outer++
+	}
+}
+
+// strideKernel sweeps a large array with a fixed element stride. The
+// data is cold backing fill — effectively unique per element — so the
+// value is unpredictable but the address is perfectly strided
+// (Pattern-2). The sweep restarts when it reaches the end, breaking the
+// stride once per pass.
+type strideKernel struct {
+	pc     uint64
+	rw     regWindow
+	base   uint64
+	length int
+	stride uint64
+	size   uint8
+	i      int
+}
+
+func newStrideKernel(pc uint64, rw regWindow, base uint64, length int, stride uint64, size uint8) *strideKernel {
+	return &strideKernel{pc: pc, rw: rw, base: base, length: length, stride: stride, size: size}
+}
+
+func (k *strideKernel) emit(e *emitter) {
+	idx, val, acc := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	addr := k.base + uint64(k.i)*k.stride
+	e.alu(k.pc, idx, idx, 0)
+	e.load(k.pc+4, val, idx, addr, k.size)
+	e.alu(k.pc+8, acc, acc, val)
+	e.aluLat(k.pc+12, acc, acc, val, 3) // multiply-accumulate consumer
+	e.branch(k.pc+16, idx, k.i < k.length-1, k.pc)
+	if k.i++; k.i == k.length {
+		k.i = 0
+	}
+}
+
+// ctxValueKernel walks a short, permuted cycle of table slots inside a
+// counted inner loop: each load's address is the previous load's value
+// (a serialized chain), the values are fixed per inner-loop position,
+// and the loop branch pattern pins the position into the branch
+// history. LVP fails (the value changes every iteration), SAP fails
+// (the permutation has no stride), CAP fails (the load path history is
+// constant in steady state) — but CVP learns value-per-history and
+// breaks the chain (Pattern-3, value flavour).
+type ctxValueKernel struct {
+	pc     uint64
+	rw     regWindow
+	base   uint64
+	n      int
+	step   int
+	cur    uint64 // current slot index (the previous load's value)
+	inited bool
+}
+
+func newCtxValueKernel(pc uint64, rw regWindow, base uint64, n int) *ctxValueKernel {
+	return &ctxValueKernel{pc: pc, rw: rw, base: base, n: n}
+}
+
+func (k *ctxValueKernel) emit(e *emitter) {
+	idx, acc := k.rw.reg(0), k.rw.reg(1)
+	if !k.inited {
+		// Lay out a fixed permutation cycle: slot perm[j] holds the
+		// index of slot perm[j+1]. Seeded by the table base so every
+		// instance differs but deterministically.
+		rng := xs(k.base | 1)
+		perm := make([]uint64, k.n)
+		for j := range perm {
+			perm[j] = uint64(j)
+		}
+		for j := k.n - 1; j > 0; j-- {
+			o := rng.intn(j + 1)
+			perm[j], perm[o] = perm[o], perm[j]
+		}
+		for j := 0; j < k.n; j++ {
+			ipc := k.pc + 0x200 + uint64(j%8)*8
+			e.alu(ipc, idx, idx, 0)
+			e.store(ipc+4, idx, 0, k.base+perm[j]*8, 8, perm[(j+1)%k.n])
+		}
+		k.cur = perm[0]
+		k.inited = true
+	}
+	// idx = T[idx]: serialized through the loaded value.
+	next := e.load(k.pc, idx, idx, k.base+k.cur*8, 8)
+	e.alu(k.pc+4, acc, acc, idx)
+	e.branch(k.pc+8, acc, k.step < k.n-1, k.pc)
+	k.cur = next
+	if k.step++; k.step == k.n {
+		k.step = 0
+	}
+}
+
+// callsiteKernel models a shared routine whose load address depends on
+// the call site: each site performs its own site-local loads (imprinting
+// the load path history) before the shared load reads through a
+// site-specific pointer. The pointed-to data is rewritten periodically,
+// so the shared load's value drifts — the cache probe still returns the
+// current value, which is CAP's advantage (Pattern-3, address flavour).
+type callsiteKernel struct {
+	pc          uint64
+	rw          regWindow
+	sites       int
+	ptrs        []uint64 // per-site target addresses
+	locals      []uint64 // per-site local data addresses
+	i           int
+	site        int
+	epoch       uint64
+	updateEvery int
+}
+
+func newCallsiteKernel(pc uint64, rw regWindow, region uint64, sites, updateEvery int) *callsiteKernel {
+	k := &callsiteKernel{pc: pc, rw: rw, sites: sites, updateEvery: updateEvery}
+	for s := 0; s < sites; s++ {
+		k.ptrs = append(k.ptrs, region+0x1000+uint64(s)*256)
+		k.locals = append(k.locals, region+uint64(s)*64)
+	}
+	return k
+}
+
+func (k *callsiteKernel) emit(e *emitter) {
+	ptr, tmp, data, siteSel := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2), k.rw.reg(3)
+
+	if k.updateEvery > 0 && k.i%(k.sites*k.updateEvery) == 0 {
+		// Occasional producer phase: re-bind every site's object — the
+		// slot at ptrs[s] now points at a different data block. The
+		// shared load's *address* stays put while its *value* drifts:
+		// CAP's probe returns the freshly bound pointer, value
+		// predictors must retrain (the DLVP advantage).
+		k.epoch++
+		for s := 0; s < k.sites; s++ {
+			spc := k.pc + 0x400 + uint64(s)*8
+			e.alu(spc, tmp, tmp, 0)
+			newBlock := k.ptrs[s] + 0x4000 + (k.epoch%4)*0x800
+			e.store(spc+4, tmp, 0, k.ptrs[s], 8, newBlock)
+		}
+	}
+
+	site := k.site % k.sites
+
+	// Site-local preamble: a load unique to this call site (imprints
+	// the load path history). Its address depends on the previous
+	// iteration's dispatch value — the loop-carried serialization of an
+	// interpreter/vtable dispatch loop.
+	sitePC := k.pc + uint64(site)*0x40
+	e.buf = append(e.buf, Inst{
+		PC: sitePC, Op: OpLoad, Dst: tmp, Src1: siteSel,
+		Addr: k.locals[site], Size: 8,
+		Value: e.mem.Read(k.locals[site], 8), Lat: 1,
+	})
+	e.alu(sitePC+4, ptr, tmp, 0)
+	e.call(sitePC+8, k.pc+0x200)
+
+	// Shared routine: the object load's address depends on the caller;
+	// the field access depends on the object; the next dispatch depends
+	// on the field. Every link is a load something in the composite can
+	// predict.
+	shared := k.pc + 0x200
+	obj := e.load(shared, tmp, ptr, k.ptrs[site], 8)
+	field := e.load(shared+4, data, tmp, obj+16, 8)
+	e.alu(shared+8, siteSel, data, 0) // compute next dispatch target
+	e.ret(shared+12, sitePC+12)
+
+	k.site = int(field % uint64(k.sites))
+	k.i++
+}
+
+// storeUpdateKernel writes a location and reads it back shortly after:
+// classic store-to-load forwarding traffic with ever-changing values.
+// Value predictors cannot learn it; address predictors lock onto the
+// fixed address but risk reading stale data, reproducing the
+// conflicting-store hazard that motivates DLVP's checks.
+type storeUpdateKernel struct {
+	pc  uint64
+	rw  regWindow
+	loc uint64
+	ctr uint64
+}
+
+func newStoreUpdateKernel(pc uint64, rw regWindow, loc uint64) *storeUpdateKernel {
+	return &storeUpdateKernel{pc: pc, rw: rw, loc: loc}
+}
+
+func (k *storeUpdateKernel) emit(e *emitter) {
+	v, w, acc := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	k.ctr++
+	e.alu(k.pc, v, v, 0) // produce the new value
+	e.store(k.pc+4, v, 0, k.loc, 8, k.ctr)
+	e.alu(k.pc+8, w, acc, 0)
+	e.load(k.pc+12, w, 0, k.loc, 8) // reads the just-stored counter
+	e.alu(k.pc+16, acc, acc, w)
+	e.branch(k.pc+20, acc, true, k.pc)
+}
+
+// chaseKernel walks a pointer ring: each load's address is the previous
+// load's value, a serialized dependence chain. With a permuted ring the
+// stream defeats all four predictors — this is the latency-bound,
+// mcf-like behaviour where value prediction cannot help.
+type chaseKernel struct {
+	pc     uint64
+	rw     regWindow
+	base   uint64
+	n      int
+	cur    uint64
+	inited bool
+	rng    xs
+}
+
+func newChaseKernel(pc uint64, rw regWindow, base uint64, n int, seed uint64) *chaseKernel {
+	return &chaseKernel{pc: pc, rw: rw, base: base, n: n, rng: xs(seed | 1)}
+}
+
+func (k *chaseKernel) emit(e *emitter) {
+	if !k.inited {
+		// Build a random ring permutation of n slots, 64 bytes apart.
+		perm := make([]int, k.n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := k.n - 1; i > 0; i-- {
+			j := k.rng.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		slot := func(i int) uint64 { return k.base + uint64(i)*64 }
+		ptr := k.rw.reg(0)
+		for i := 0; i < k.n; i++ {
+			ipc := k.pc + 0x200 + uint64(i%16)*8
+			e.alu(ipc, ptr, ptr, 0)
+			e.store(ipc+4, ptr, 0, slot(perm[i]), 8, slot(perm[(i+1)%k.n]))
+		}
+		k.cur = slot(perm[0])
+		k.inited = true
+	}
+	p, acc := k.rw.reg(0), k.rw.reg(1)
+	next := e.load(k.pc, p, p, k.cur, 8) // p = *p
+	e.alu(k.pc+4, acc, acc, p)
+	e.branch(k.pc+8, acc, true, k.pc)
+	k.cur = next
+}
+
+// seqChaseKernel walks a linked list whose nodes were allocated
+// sequentially: each node's next pointer is the following slot. The
+// traversal is a serialized load→load dependence chain (each address is
+// the previous value), but the *addresses* stride perfectly — exactly
+// the case where address prediction breaks the serialization and buys
+// large speedups. The chain restarts at the ring end, breaking the
+// stride once per lap.
+type seqChaseKernel struct {
+	pc     uint64
+	rw     regWindow
+	base   uint64
+	n      int
+	stride uint64
+	cur    uint64
+	inited bool
+}
+
+func newSeqChaseKernel(pc uint64, rw regWindow, base uint64, n int, stride uint64) *seqChaseKernel {
+	return &seqChaseKernel{pc: pc, rw: rw, base: base, n: n, stride: stride}
+}
+
+func (k *seqChaseKernel) emit(e *emitter) {
+	ptr := k.rw.reg(0)
+	if !k.inited {
+		for i := 0; i < k.n; i++ {
+			next := k.base + uint64((i+1)%k.n)*k.stride
+			ipc := k.pc + 0x200 + uint64(i%16)*8
+			e.alu(ipc, ptr, ptr, 0)
+			e.store(ipc+4, ptr, 0, k.base+uint64(i)*k.stride, 8, next)
+		}
+		k.cur = k.base
+		k.inited = true
+	}
+	acc, t1 := k.rw.reg(1), k.rw.reg(2)
+	next := e.load(k.pc, ptr, ptr, k.cur, 8) // p = p->next, serialized
+	// Per-node work: depends on the node, not on previous iterations,
+	// so the pointer chain stays the critical path while the extra
+	// instructions keep the in-flight iteration count shallow.
+	e.alu(k.pc+4, t1, ptr, 0)
+	e.aluLat(k.pc+8, t1, t1, ptr, 3)
+	e.alu(k.pc+12, acc, acc, t1)
+	e.branch(k.pc+16, acc, true, k.pc)
+	k.cur = next
+}
+
+// indirectKernel computes B[A[i]]: the index-array load strides
+// perfectly (SAP territory) and feeds the address of the data load.
+// Predicting the index load's value — by probing the cache at its
+// predicted address — un-serializes the pair, the headline case of the
+// DLVP work the paper builds on (reference [3]).
+type indirectKernel struct {
+	pc     uint64
+	rw     regWindow
+	aBase  uint64
+	bBase  uint64
+	n      int
+	i      int
+	inited bool
+	rng    xs
+}
+
+func newIndirectKernel(pc uint64, rw regWindow, region uint64, n int, seed uint64) *indirectKernel {
+	return &indirectKernel{pc: pc, rw: rw, aBase: region, bBase: region + 4<<20, n: n, rng: xs(seed | 1)}
+}
+
+func (k *indirectKernel) emit(e *emitter) {
+	idx, t, v, acc := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2), k.rw.reg(3)
+	if !k.inited {
+		// Fill the index array once with fixed pseudo-random indices.
+		for j := 0; j < k.n; j++ {
+			ipc := k.pc + 0x200 + uint64(j%16)*8
+			e.alu(ipc, t, t, 0)
+			e.store(ipc+4, t, 0, k.aBase+uint64(j)*8, 8, k.rng.next()%uint64(k.n))
+		}
+		k.inited = true
+	}
+	e.alu(k.pc, idx, idx, 0)
+	tv := e.load(k.pc+4, t, idx, k.aBase+uint64(k.i)*8, 8) // t = A[i], strided
+	e.load(k.pc+8, v, t, k.bBase+tv*8, 8)                  // v = B[t], depends on t
+	e.alu(k.pc+12, acc, acc, v)
+	e.branch(k.pc+16, idx, k.i < k.n-1, k.pc)
+	if k.i++; k.i == k.n {
+		k.i = 0
+	}
+}
+
+// ringbufKernel is a producer/consumer ring buffer: each lap, a
+// producer pass stores fresh values into every slot, then a consumer
+// pass reads them back sequentially, branches on the value, and makes a
+// value-dependent table access. The consumer's addresses stride
+// perfectly (SAP territory) while its *values* are new every lap — so
+// value predictors (LVP, CVP, E-Stride, E-VTAGE) can never learn them,
+// but an address prediction's cache probe returns the freshly produced
+// data and resolves the data-dependent branch early. This is the
+// fresh-data-at-recurring-addresses pattern that separates address
+// prediction from value prediction.
+type ringbufKernel struct {
+	pc    uint64
+	rw    regWindow
+	base  uint64
+	table uint64
+	n     int
+	i     int
+	phase int // 0 = produce, 1 = consume
+	rng   xs
+}
+
+func newRingbufKernel(pc uint64, rw regWindow, region uint64, n int, seed uint64) *ringbufKernel {
+	return &ringbufKernel{pc: pc, rw: rw, base: region, table: region + 1<<20, n: n, rng: xs(seed | 1)}
+}
+
+func (k *ringbufKernel) emit(e *emitter) {
+	v, t, acc := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	if k.phase == 0 {
+		// Producer: fresh value into slot i.
+		e.alu(k.pc, v, v, acc)
+		e.store(k.pc+4, v, 0, k.base+uint64(k.i)*8, 8, k.rng.next())
+		e.branch(k.pc+8, v, k.i < k.n-1, k.pc)
+		if k.i++; k.i == k.n {
+			k.phase, k.i = 1, 0
+		}
+		return
+	}
+	// Consumer: sequential read, value-dependent branch and gather.
+	cpc := k.pc + 0x100
+	val := e.load(cpc, v, 0, k.base+uint64(k.i)*8, 8)
+	e.branch(cpc+4, v, val&3 != 0, cpc+16) // ≈75% taken, data-dependent
+	e.load(cpc+8, t, v, k.table+(val&63)*64, 8)
+	e.alu(cpc+12, acc, acc, t)
+	e.branch(cpc+16, acc, k.i < k.n-1, cpc)
+	if k.i++; k.i == k.n {
+		k.phase, k.i = 0, 0
+	}
+}
+
+// flakyKernel produces short-lived strides: runs just long enough for
+// SAP to gain confidence, then a new random base breaks them. It is the
+// misprediction generator that motivates the accuracy monitors.
+type flakyKernel struct {
+	pc     uint64
+	rw     regWindow
+	region uint64
+	runLen int
+	rng    xs
+	base   uint64
+	i      int
+	limit  int
+}
+
+func newFlakyKernel(pc uint64, rw regWindow, region uint64, runLen int, seed uint64) *flakyKernel {
+	k := &flakyKernel{pc: pc, rw: rw, region: region, runLen: runLen, rng: xs(seed | 1)}
+	k.newRun()
+	return k
+}
+
+func (k *flakyKernel) newRun() {
+	k.base = k.region + uint64(k.rng.intn(1024))*8
+	k.limit = k.runLen + k.rng.intn(k.runLen)
+	k.i = 0
+}
+
+func (k *flakyKernel) emit(e *emitter) {
+	idx, val := k.rw.reg(0), k.rw.reg(1)
+	addr := k.base + uint64(k.i)*8
+	e.alu(k.pc, idx, idx, 0)
+	e.load(k.pc+4, val, idx, addr, 8)
+	e.alu(k.pc+8, idx, val, idx)
+	e.branch(k.pc+12, idx, true, k.pc)
+	if k.i++; k.i >= k.limit {
+		k.newRun()
+	}
+}
+
+// randomKernel issues loads at pseudo-random addresses across a large
+// region: unpredictable addresses and values, plus data-dependent
+// branches that stress the branch predictor. Models hash/graph access.
+type randomKernel struct {
+	pc     uint64
+	rw     regWindow
+	region uint64
+	span   uint64
+	rng    xs
+}
+
+func newRandomKernel(pc uint64, rw regWindow, region, span uint64, seed uint64) *randomKernel {
+	return &randomKernel{pc: pc, rw: rw, region: region, span: span, rng: xs(seed | 1)}
+}
+
+func (k *randomKernel) emit(e *emitter) {
+	idx, val, acc := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	addr := k.region + (k.rng.next()%k.span)&^uint64(7)
+	e.alu(k.pc, idx, idx, 0)
+	e.load(k.pc+4, val, idx, addr, 8)
+	e.alu(k.pc+8, acc, acc, val)
+	// Data-dependent but biased branch (≈75% taken): hard for TAGE,
+	// not a guaranteed flush per iteration.
+	e.branch(k.pc+12, val, (e.mem.Read(addr, 8)>>3)&3 != 0, k.pc)
+}
+
+// aluKernel is the non-memory filler: dependency chains of varying
+// latency and a well-biased loop branch.
+type aluKernel struct {
+	pc uint64
+	rw regWindow
+	i  int
+}
+
+func newALUKernel(pc uint64, rw regWindow) *aluKernel {
+	return &aluKernel{pc: pc, rw: rw}
+}
+
+func (k *aluKernel) emit(e *emitter) {
+	a, b, c := k.rw.reg(0), k.rw.reg(1), k.rw.reg(2)
+	e.alu(k.pc, a, a, b)
+	e.alu(k.pc+4, b, a, c)
+	if k.i%7 == 0 {
+		e.aluLat(k.pc+8, c, b, a, 12) // occasional divide
+	} else {
+		e.aluLat(k.pc+8, c, b, a, 3) // multiply
+	}
+	e.alu(k.pc+12, a, c, b)
+	e.branch(k.pc+16, a, k.i%16 != 15, k.pc)
+	k.i++
+}
+
+// atomicKernel emits occasional atomic/exclusive accesses, which the VP
+// engine must refuse to predict (Section III-A).
+type atomicKernel struct {
+	pc  uint64
+	rw  regWindow
+	loc uint64
+	i   int
+}
+
+func newAtomicKernel(pc uint64, rw regWindow, loc uint64) *atomicKernel {
+	return &atomicKernel{pc: pc, rw: rw, loc: loc}
+}
+
+func (k *atomicKernel) emit(e *emitter) {
+	v, acc := k.rw.reg(0), k.rw.reg(1)
+	e.loadFlagged(k.pc, v, 0, k.loc, 8, FlagExclusive)
+	e.alu(k.pc+4, v, v, 0)
+	e.store(k.pc+8, v, 0, k.loc, 8, uint64(k.i))
+	e.alu(k.pc+12, acc, acc, v)
+	e.branch(k.pc+16, acc, true, k.pc)
+	k.i++
+}
+
+var _ = []kernel{
+	(*constKernel)(nil), (*listing1Kernel)(nil), (*strideKernel)(nil),
+	(*ctxValueKernel)(nil), (*callsiteKernel)(nil), (*storeUpdateKernel)(nil),
+	(*chaseKernel)(nil), (*flakyKernel)(nil), (*randomKernel)(nil),
+	(*aluKernel)(nil), (*atomicKernel)(nil),
+}

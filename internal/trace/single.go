@@ -1,0 +1,43 @@
+package trace
+
+import "repro/internal/mem"
+
+// KernelGen builds single-kernel generators for white-box testing from
+// other packages' test suites via the exported helpers below.
+func kernelGen(seed uint64, limit uint64, build func(rw regWindow) kernel) Generator {
+	memory := mem.NewBacking(seed)
+	k := build(regWindow{base: 1})
+	return newGen(memory, limit, 1<<30, []kernelSlot{{k: k, weight: 1}})
+}
+
+// NewSingleKernel exposes named single-kernel workloads for tests and
+// experiments that need isolated load patterns.
+func NewSingleKernel(kind string, limit uint64, seed uint64) Generator {
+	switch kind {
+	case "const":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newConstKernel(0x40_0000, rw, 0x1000_0000, 4) })
+	case "stride":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newStrideKernel(0x40_0000, rw, 0x1000_0000, 8192, 8, 8) })
+	case "seqchase":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newSeqChaseKernel(0x40_0000, rw, 0x1000_0000, 256, 64) })
+	case "chase":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newChaseKernel(0x40_0000, rw, 0x1000_0000, 2048, seed) })
+	case "indirect":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newIndirectKernel(0x40_0000, rw, 0x1000_0000, 1024, seed) })
+	case "ctxvalue":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newCtxValueKernel(0x40_0000, rw, 0x1000_0000, 12) })
+	case "callsite":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newCallsiteKernel(0x40_0000, rw, 0x1000_0000, 3, 200) })
+	case "listing1":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newListing1Kernel(0x40_0000, rw, 0x1000_0000, 16) })
+	case "flaky":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newFlakyKernel(0x40_0000, rw, 0x1000_0000, 14, seed) })
+	case "ringbuf":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newRingbufKernel(0x40_0000, rw, 0x1000_0000, 2048, seed) })
+	case "storeupdate":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newStoreUpdateKernel(0x40_0000, rw, 0x1000_0000) })
+	case "random":
+		return kernelGen(seed, limit, func(rw regWindow) kernel { return newRandomKernel(0x40_0000, rw, 0x1000_0000, 1<<21, seed) })
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Workload is a named synthetic benchmark standing in for one of the
+// paper's 85 workloads (Table II / Figure 12). Build constructs a fresh
+// deterministic generator producing at most n instructions.
+type Workload struct {
+	Name    string
+	Profile string
+	Build   func(n uint64) Generator
+}
+
+// profile names group workloads by the behaviour class of their source
+// suite, mirroring the paper's benchmark pool.
+const (
+	profMedia    = "media"    // streaming codecs: strided + constant tables
+	profFP       = "fp"       // SPEC FP: long strided sweeps, mul/div chains
+	profInt      = "int"      // SPEC INT: branchy, mixed predictability
+	profPointer  = "pointer"  // pointer chasing, graph/sparse codes
+	profJS       = "js"       // browser/JS: polymorphic call sites, objects
+	profEmbedded = "embedded" // EEMBC: small tight loops, very regular
+)
+
+// workloadTable maps every workload name from the paper's Figure 12 to
+// a behaviour profile.
+var workloadTable = []struct {
+	name    string
+	profile string
+}{
+	{"a2time", profEmbedded}, {"aifirf", profEmbedded}, {"apsi", profFP},
+	{"astar", profPointer}, {"avmshell", profJS}, {"basefp", profEmbedded},
+	{"bezier", profMedia}, {"browsermark", profJS}, {"bzip2k", profInt},
+	{"bzip2k6", profInt}, {"calculix", profFP}, {"canrdr", profEmbedded},
+	{"cjpeg", profMedia}, {"codeload", profPointer}, {"coremark", profEmbedded},
+	{"crafty", profInt}, {"dealII", profFP}, {"dither", profMedia},
+	{"djpeg", profMedia}, {"dromaeo", profJS}, {"earleyboyer", profJS},
+	{"eon", profInt}, {"equake", profFP}, {"facerec", profFP},
+	{"fbital", profEmbedded}, {"filecycler", profPointer}, {"fma3d", profFP},
+	{"gamess", profFP}, {"gap", profInt}, {"gbemu", profJS},
+	{"gcc2k", profInt}, {"gcc2k6", profInt}, {"gobmk", profInt},
+	{"gromacs", profFP}, {"gzip", profInt}, {"h264ref", profMedia},
+	{"hmmer", profInt}, {"huffde", profMedia}, {"ibench", profJS},
+	{"iirflt", profEmbedded}, {"leslie3d", profFP}, {"linpack", profFP},
+	{"lucas", profFP}, {"mandreel", profJS}, {"matrix", profFP},
+	{"mcf", profPointer}, {"mesa", profFP}, {"mp3player", profMedia},
+	{"mp4dec", profMedia}, {"mp4enc", profMedia}, {"mpeg2dec", profMedia},
+	{"mpeg2enc", profMedia}, {"mplayer", profMedia}, {"namd", profFP},
+	{"nat", profPointer}, {"omnetpp", profPointer}, {"parser", profInt},
+	{"pdfjs", profJS}, {"perlbench", profInt}, {"perlbmk", profInt},
+	{"pktcheck", profEmbedded}, {"pntrch", profPointer}, {"povray", profFP},
+	{"regexp", profJS}, {"rotate", profMedia}, {"routelookup", profPointer},
+	{"rspeed", profEmbedded}, {"scimark", profFP}, {"sjeng", profInt},
+	{"soplex", profPointer}, {"sphinx3", profFP}, {"splay", profPointer},
+	{"sunspider", profJS}, {"tonto", profFP}, {"twolf", profInt},
+	{"typescript", profJS}, {"v8", profJS}, {"v8shell", profJS},
+	{"vortex", profInt}, {"vpr", profInt}, {"wrf", profFP},
+	{"wupwise", profFP}, {"xalancbmk", profPointer}, {"zeusmp", profFP},
+	{"zlib", profInt},
+}
+
+// fnv1a hashes a workload name into its jitter seed.
+func fnv1a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Workloads returns the full benchmark pool, sorted by name.
+func Workloads() []Workload {
+	out := make([]Workload, 0, len(workloadTable))
+	for _, row := range workloadTable {
+		out = append(out, newWorkload(row.name, row.profile))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, row := range workloadTable {
+		if row.name == name {
+			return newWorkload(row.name, row.profile), true
+		}
+	}
+	return Workload{}, false
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+func newWorkload(name, profile string) Workload {
+	return Workload{
+		Name:    name,
+		Profile: profile,
+		Build: func(n uint64) Generator {
+			return buildProfile(name, profile, n)
+		},
+	}
+}
+
+// region returns the base address of a kernel's private memory region.
+// Regions are 16MB apart, comfortably exceeding any working set.
+func region(i int) uint64 { return 0x1000_0000 + uint64(i)*(16<<20) }
+
+// buildProfile instantiates the kernel mix for a workload. The name
+// hash jitters working-set sizes, trip counts and weights so the 85
+// workloads form a spread of behaviours rather than six identical
+// clones — matching the per-workload variance in the paper's Figure 12.
+func buildProfile(name, profile string, n uint64) Generator {
+	seed := fnv1a(name)
+	r := xs(seed | 1)
+	jit := func(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+	memory := mem.NewBacking(seed)
+	var slots []kernelSlot
+	ki := 0
+	add := func(weight int, mk func(pc uint64, rw regWindow, reg uint64) kernel) {
+		pc := 0x40_0000 + uint64(ki)*0x1_0000
+		rw := regWindow{base: Reg(1 + (ki*3)%28)}
+		if weight > 0 {
+			slots = append(slots, kernelSlot{k: mk(pc, rw, region(ki)), weight: weight})
+		}
+		ki++
+	}
+	// addN instantiates several copies of a kernel family with
+	// independent PCs, registers and memory regions — real programs
+	// have many loop nests of each flavour, which is what pressures
+	// finite predictor tables and produces the capacity knees of
+	// Figure 3.
+	addN := func(copies, weight int, mk func(pc uint64, rw regWindow, reg uint64) kernel) {
+		for c := 0; c < copies; c++ {
+			add(weight, mk)
+		}
+	}
+
+	stride := func(length, strideLo, strideHi int, size uint8) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newStrideKernel(pc, rw, reg, jit(length/2, length), uint64(jit(strideLo, strideHi)), size)
+		}
+	}
+	indirect := func(n int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newIndirectKernel(pc, rw, reg, jit(n/2, n), seed^pc)
+		}
+	}
+	consts := func(lo, hi int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newConstKernel(pc, rw, reg, jit(lo, hi))
+		}
+	}
+	listing1 := func() func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newListing1Kernel(pc, rw, reg, jit(64, 128))
+		}
+	}
+	ctxval := func(lo, hi int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newCtxValueKernel(pc, rw, reg, jit(lo, hi))
+		}
+	}
+	seqchase := func(lo, hi int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newSeqChaseKernel(pc, rw, reg, jit(lo, hi), 64)
+		}
+	}
+	chase := func(lo, hi int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newChaseKernel(pc, rw, reg, jit(lo, hi), seed^pc)
+		}
+	}
+	callsite := func(sitesHi int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newCallsiteKernel(pc, rw, reg, jit(2, sitesHi), jit(24, 64))
+		}
+	}
+	ringbuf := func(lo, hi int) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newRingbufKernel(pc, rw, reg, jit(lo, hi), seed^pc)
+		}
+	}
+	flaky := func() func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newFlakyKernel(pc, rw, reg, jit(30, 60), seed^pc)
+		}
+	}
+	random := func(span uint64) func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newRandomKernel(pc, rw, reg, span, seed^pc)
+		}
+	}
+	alu := func() func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newALUKernel(pc, rw)
+		}
+	}
+	storeupd := func() func(uint64, regWindow, uint64) kernel {
+		return func(pc uint64, rw regWindow, reg uint64) kernel {
+			return newStoreUpdateKernel(pc, rw, reg)
+		}
+	}
+
+	switch profile {
+	case profMedia:
+		addN(4, jit(2, 3), stride(16384, 2, 8, 4))
+		addN(2, 2, indirect(1024))
+		addN(2, 2, consts(8, 16))
+		addN(2, 2, listing1())
+		addN(2, jit(1, 2), ctxval(8, 16))
+		addN(2, 2, alu())
+		addN(1, 1, flaky())
+	case profFP:
+		addN(5, jit(2, 3), stride(65536, 8, 8, 8))
+		addN(3, 2, indirect(1536))
+		addN(1, 2, ringbuf(1024, 2048))
+		addN(2, 2, consts(8, 20))
+		addN(3, 2, alu())
+		addN(2, 1, ctxval(6, 12))
+		addN(1, 1, random(1<<19))
+	case profInt:
+		addN(3, 2, consts(10, 20))
+		addN(3, 2, ctxval(8, 16))
+		addN(1, 3, seqchase(160, 288))
+		addN(3, 3, ringbuf(1024, 2048))
+		addN(1, 1, flaky())
+		addN(1, 1, random(1<<19))
+		addN(2, 2, stride(2048, 1, 4, 4))
+		addN(2, 2, alu())
+		addN(1, 1, storeupd())
+	case profPointer:
+		addN(2, 3, seqchase(160, 288))
+		addN(1, 2, ringbuf(1024, 2048))
+		addN(3, 2, chase(256, 512))
+		addN(2, 2, indirect(1024))
+		addN(1, 1, random(1<<19))
+		addN(2, 2, callsite(4))
+		addN(1, 1, consts(4, 10))
+		addN(1, 1, alu())
+	case profJS:
+		addN(4, jit(2, 3), callsite(6))
+		addN(3, 2, ctxval(8, 16))
+		addN(2, 2, consts(8, 20))
+		addN(1, 3, seqchase(160, 288))
+		addN(2, 2, ringbuf(512, 1536))
+		addN(1, 1, storeupd())
+		addN(1, 1, chase(96, 256))
+		addN(1, 1, random(1<<19))
+		addN(1, 1, alu())
+	case profEmbedded:
+		addN(3, 2, listing1())
+		addN(3, 2, stride(2048, 2, 4, 4))
+		addN(1, 3, seqchase(160, 256))
+		addN(2, 2, ringbuf(512, 1024))
+		addN(2, 2, consts(4, 12))
+		addN(2, 2, ctxval(6, 12))
+		addN(1, 1, alu())
+	default:
+		panic(fmt.Sprintf("trace: unknown profile %q", profile))
+	}
+	// Every workload carries a sliver of atomic/exclusive accesses:
+	// the VP engine must leave them unpredicted (Section III-A).
+	add(1, func(pc uint64, rw regWindow, reg uint64) kernel {
+		return newAtomicKernel(pc, rw, reg)
+	})
+
+	return newGen(memory, n, 1200, slots)
+}
+
+// NewListing1 builds a standalone Listing-1 generator (outer loop over
+// memset + N-element inner sweep), used by the Table V analysis.
+func NewListing1(n uint64, innerN int) Generator {
+	memory := mem.NewBacking(0x11571)
+	k := newListing1Kernel(0x40_0000, regWindow{base: 1}, 0x1000_0000, innerN)
+	return newGen(memory, n, 1<<30, []kernelSlot{{k: k, weight: 1}})
+}
