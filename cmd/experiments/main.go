@@ -52,13 +52,21 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 
-	full := expt.NewContext(expt.Options{Insts: *insts, Seed: *seed, Parallel: *parallel})
+	full, err := expt.NewContextErr(expt.Options{Insts: *insts, Seed: *seed, Parallel: *parallel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	sampled := full
 	if *sample > 0 {
-		sampled = expt.NewContext(expt.Options{
+		sampled, err = expt.NewContextErr(expt.Options{
 			Insts: *insts, Seed: *seed, Parallel: *parallel,
 			Workloads: sampleWorkloads(*sample),
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	for _, id := range ids {

@@ -1,0 +1,89 @@
+// Command lvpd runs the simulator as a resident job service: clients
+// POST simulation requests to /v1/jobs, poll GET /v1/jobs/{id} for
+// results, and scrape /metrics for fleet observability. See README.md
+// ("Running as a service") for the endpoint reference.
+//
+// Usage:
+//
+//	lvpd -addr :8080
+//	lvpd -addr :8080 -workers 8 -queue 128 -cache 4096 -job-timeout 1m
+//
+// The daemon drains in-flight jobs on SIGINT/SIGTERM, cancelling
+// whatever is still running once -drain-timeout elapses.
+package main
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "job queue depth (full queue returns 429)")
+		cacheSize    = flag.Int("cache", 1024, "result cache entries")
+		defaultInsts = flag.Uint64("insts", 200_000, "default per-job instruction budget")
+		maxInsts     = flag.Int64("max-insts", 5_000_000, "per-job instruction budget cap (-1 = unlimited)")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "default per-job simulation deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheSize:    *cacheSize,
+		DefaultInsts: *defaultInsts,
+		MaxInsts:     *maxInsts,
+		JobTimeout:   *jobTimeout,
+		Logger:       log,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Info("lvpd listening", "addr", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Error("http server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down", "drain_timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Warn("job drain incomplete", "err", err)
+	}
+	log.Info("bye")
+}

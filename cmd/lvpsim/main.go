@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/eves"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -58,6 +60,7 @@ func main() {
 		details   = flag.Bool("details", false, "print per-component composite statistics")
 		record    = flag.String("record", "", "record the workload's trace to this file and exit")
 		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
+		jsonOut   = flag.Bool("json", false, "emit the run result as one JSON object on stdout")
 	)
 	flag.Parse()
 
@@ -104,10 +107,29 @@ func main() {
 		name = *replay
 	}
 
+	// emitJSON prints the run/baseline pair in the service's response
+	// schema (internal/server.RunResult), keeping CLI and daemon
+	// outputs field-for-field identical.
+	emitJSON := func(run, base stats.Run, comp *core.Composite) {
+		res := server.NewRunResult(run, base, comp)
+		res.Predictor = *predictor // echo the flag, not the run's config label
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	base := cpu.New(cpu.DefaultConfig(), nil).Run(newGen(), name, "baseline")
-	fmt.Printf("baseline:  IPC=%.3f (%d instructions, %d cycles, %d loads)\n",
-		base.IPC(), base.Instructions, base.Cycles, base.Loads)
+	if !*jsonOut {
+		fmt.Printf("baseline:  IPC=%.3f (%d instructions, %d cycles, %d loads)\n",
+			base.IPC(), base.Instructions, base.Cycles, base.Loads)
+	}
 	if *predictor == "none" {
+		if *jsonOut {
+			emitJSON(base, base, nil)
+		}
 		return
 	}
 
@@ -157,6 +179,10 @@ func main() {
 	}
 
 	run := cpu.New(cpu.DefaultConfig(), engine).Run(newGen(), name, *predictor)
+	if *jsonOut {
+		emitJSON(run, base, comp)
+		return
+	}
 	fmt.Printf("%-9s  IPC=%.3f  speedup=%+.2f%%  coverage=%.1f%%  accuracy=%.4f\n",
 		*predictor+":", run.IPC(), stats.Speedup(run, base), run.Coverage(), run.Accuracy())
 	fmt.Printf("           flushes: value=%d branch=%d memorder=%d\n",

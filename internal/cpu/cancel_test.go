@@ -1,0 +1,69 @@
+package cpu
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// cancellingGen wraps a generator and fires cancel after n instructions
+// have been produced, making the mid-run cancellation point
+// deterministic.
+type cancellingGen struct {
+	trace.Generator
+	n      uint64
+	seen   uint64
+	cancel context.CancelFunc
+}
+
+func (g *cancellingGen) Next(in *trace.Inst) bool {
+	if g.seen == g.n {
+		g.cancel()
+	}
+	g.seen++
+	return g.Generator.Next(in)
+}
+
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, _ := trace.ByName("gcc2k")
+	r := New(DefaultConfig(), nil).RunCtx(ctx, w.Build(1_000_000), w.Name, "base")
+	if !r.Aborted {
+		t.Fatal("run under a cancelled context not marked Aborted")
+	}
+	if r.Instructions != 0 {
+		t.Fatalf("cancelled-before-start run simulated %d instructions, want 0", r.Instructions)
+	}
+}
+
+func TestRunCtxCancelsWithinOneInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, _ := trace.ByName("gcc2k")
+	const at = 20_000
+	gen := &cancellingGen{Generator: w.Build(10_000_000), n: at, cancel: cancel}
+	r := New(DefaultConfig(), nil).RunCtx(ctx, gen, w.Name, "base")
+	if !r.Aborted {
+		t.Fatal("cancelled run not marked Aborted")
+	}
+	if r.Instructions < at {
+		t.Fatalf("run stopped at %d instructions, before the cancellation point %d", r.Instructions, at)
+	}
+	if r.Instructions > at+cancelCheckInterval {
+		t.Fatalf("run continued %d instructions past cancellation, want <= one check interval (%d)",
+			r.Instructions-at, cancelCheckInterval)
+	}
+}
+
+func TestRunCtxCompleteRunNotAborted(t *testing.T) {
+	w, _ := trace.ByName("gcc2k")
+	r := New(DefaultConfig(), nil).RunCtx(context.Background(), w.Build(30_000), w.Name, "base")
+	if r.Aborted {
+		t.Fatal("uncancelled run marked Aborted")
+	}
+	if r.Instructions != 30_000 {
+		t.Fatalf("instructions = %d, want 30000", r.Instructions)
+	}
+}

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"context"
+
 	"repro/internal/branch"
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -156,18 +158,46 @@ func New(cfg Config, engine Engine) *Pipeline {
 // experiments).
 func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
 
+// cancelCheckInterval is how many instructions run between context
+// cancellation checks in RunCtx. It bounds how long a cancelled
+// simulation keeps running: one check interval at most.
+const cancelCheckInterval = 8192
+
 // Run simulates gen to completion and returns the collected metrics.
 func (p *Pipeline) Run(gen trace.Generator, workload, config string) stats.Run {
+	return p.RunCtx(context.Background(), gen, workload, config)
+}
+
+// RunCtx simulates gen to completion or until ctx is cancelled,
+// whichever comes first, and returns the collected metrics.
+// Cancellation is checked every cancelCheckInterval instructions (and
+// once before the first), so a cancelled run returns within one
+// interval with Aborted set and metrics covering the simulated prefix.
+func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, config string) stats.Run {
 	// The simulator's memory image starts equal to the workload's: the
 	// backing fill function is shared via Clone, and stores are applied
 	// as they execute.
 	p.simMem = gen.Mem().Clone()
 
 	p.run = stats.Run{Workload: workload, Config: config}
+	done := ctx.Done()
 	var in trace.Inst
 	var seq uint64
 	var lastCommit uint64
-	for gen.Next(&in) {
+	for {
+		if done != nil && seq%cancelCheckInterval == 0 {
+			select {
+			case <-done:
+				p.run.Aborted = true
+			default:
+			}
+			if p.run.Aborted {
+				break
+			}
+		}
+		if !gen.Next(&in) {
+			break
+		}
 		lastCommit = p.step(seq, &in)
 		seq++
 		if seq%4096 == 0 {

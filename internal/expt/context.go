@@ -9,6 +9,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,10 +49,23 @@ type Context struct {
 
 	mu        sync.Mutex
 	baselines map[string]stats.Run
+	inflight  map[string]chan struct{}
 }
 
-// NewContext builds a context from opts.
+// NewContext builds a context from opts. It panics on an unknown
+// workload name; services handling untrusted input should use
+// NewContextErr instead.
 func NewContext(opts Options) *Context {
+	c, err := NewContextErr(opts)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// NewContextErr builds a context from opts, reporting unknown workload
+// names as an error instead of panicking.
+func NewContextErr(opts Options) (*Context, error) {
 	c := &Context{
 		insts: opts.Insts,
 		seed:  opts.Seed,
@@ -72,13 +86,14 @@ func NewContext(opts Options) *Context {
 		for _, name := range opts.Workloads {
 			w, ok := trace.ByName(name)
 			if !ok {
-				panic(fmt.Sprintf("expt: unknown workload %q", name))
+				return nil, fmt.Errorf("expt: unknown workload %q", name)
 			}
 			c.pool = append(c.pool, w)
 		}
 	}
 	c.baselines = make(map[string]stats.Run)
-	return c
+	c.inflight = make(map[string]chan struct{})
+	return c, nil
 }
 
 // Insts returns the per-workload instruction budget.
@@ -92,17 +107,53 @@ func (c *Context) Pool() []trace.Workload { return c.pool }
 
 // Baseline simulates (or returns the cached) no-VP run for w.
 func (c *Context) Baseline(w trace.Workload) stats.Run {
+	return c.BaselineCtx(context.Background(), w)
+}
+
+// HasBaseline reports whether the named workload's baseline is already
+// cached (i.e. BaselineCtx would return without simulating).
+func (c *Context) HasBaseline(name string) bool {
 	c.mu.Lock()
-	if r, ok := c.baselines[w.Name]; ok {
+	defer c.mu.Unlock()
+	_, ok := c.baselines[name]
+	return ok
+}
+
+// BaselineCtx simulates (or returns the cached) no-VP run for w. The
+// baseline for each workload is simulated at most once: concurrent
+// callers for the same uncached workload wait for the in-flight run
+// instead of recomputing it. Aborted runs (ctx cancelled mid-simulation)
+// are returned to the caller but never cached.
+func (c *Context) BaselineCtx(ctx context.Context, w trace.Workload) stats.Run {
+	for {
+		c.mu.Lock()
+		if r, ok := c.baselines[w.Name]; ok {
+			c.mu.Unlock()
+			return r
+		}
+		if ch, ok := c.inflight[w.Name]; ok {
+			c.mu.Unlock()
+			select {
+			case <-ch:
+				continue // re-check the cache; the run may have aborted
+			case <-ctx.Done():
+				return stats.Run{Workload: w.Name, Config: "base", Aborted: true}
+			}
+		}
+		ch := make(chan struct{})
+		c.inflight[w.Name] = ch
 		c.mu.Unlock()
+
+		r := cpu.New(cpu.DefaultConfig(), nil).RunCtx(ctx, w.Build(c.insts), w.Name, "base")
+		c.mu.Lock()
+		delete(c.inflight, w.Name)
+		if !r.Aborted {
+			c.baselines[w.Name] = r
+		}
+		c.mu.Unlock()
+		close(ch)
 		return r
 	}
-	c.mu.Unlock()
-	r := cpu.New(cpu.DefaultConfig(), nil).Run(w.Build(c.insts), w.Name, "base")
-	c.mu.Lock()
-	c.baselines[w.Name] = r
-	c.mu.Unlock()
-	return r
 }
 
 // EngineFactory builds a fresh engine per run (engines are stateful and
@@ -111,18 +162,43 @@ type EngineFactory func(workloadSeed uint64) cpu.Engine
 
 // RunOne simulates workload w with a fresh engine.
 func (c *Context) RunOne(w trace.Workload, config string, mk EngineFactory) stats.Run {
-	eng := mk(core.SplitMix64(c.seed ^ hashName(w.Name)))
-	return cpu.New(cpu.DefaultConfig(), eng).Run(w.Build(c.insts), w.Name, config)
+	return c.RunOneCtx(context.Background(), w, config, mk)
+}
+
+// RunOneCtx simulates workload w with a fresh engine under ctx;
+// cancellation aborts the run within one check interval.
+func (c *Context) RunOneCtx(ctx context.Context, w trace.Workload, config string, mk EngineFactory) stats.Run {
+	return c.RunEngineCtx(ctx, w, config, mk(c.EngineSeed(w)))
+}
+
+// EngineSeed returns the per-workload engine seed derived from the
+// context seed — the seed RunOne hands to its factory. Exposed so
+// callers that need to keep the engine (e.g. to inspect per-component
+// statistics after the run) can build it themselves.
+func (c *Context) EngineSeed(w trace.Workload) uint64 {
+	return core.SplitMix64(c.seed ^ hashName(w.Name))
+}
+
+// RunEngineCtx simulates workload w with the supplied engine under ctx.
+// The engine must be fresh (engines are stateful and single-threaded).
+func (c *Context) RunEngineCtx(ctx context.Context, w trace.Workload, config string, eng cpu.Engine) stats.Run {
+	return cpu.New(cpu.DefaultConfig(), eng).RunCtx(ctx, w.Build(c.insts), w.Name, config)
 }
 
 // PerWorkload runs the engine configuration on every pool workload in
 // parallel and returns per-workload (run, baseline) pairs in pool
 // order.
 func (c *Context) PerWorkload(config string, mk EngineFactory) []Pair {
+	return c.PerWorkloadCtx(context.Background(), config, mk)
+}
+
+// PerWorkloadCtx is PerWorkload under a context: cancelling ctx aborts
+// the in-flight simulations and marks their pairs' runs Aborted.
+func (c *Context) PerWorkloadCtx(ctx context.Context, config string, mk EngineFactory) []Pair {
 	out := make([]Pair, len(c.pool))
 	c.forEach(func(i int, w trace.Workload) {
-		base := c.Baseline(w)
-		run := c.RunOne(w, config, mk)
+		base := c.BaselineCtx(ctx, w)
+		run := c.RunOneCtx(ctx, w, config, mk)
 		out[i] = Pair{Workload: w.Name, Run: run, Base: base}
 	})
 	return out

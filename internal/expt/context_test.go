@@ -1,0 +1,166 @@
+package expt
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestSummarizeEmptyNonNil(t *testing.T) {
+	if Summarize([]Pair{}) != (Aggregate{}) {
+		t.Fatal("Summarize of an empty (non-nil) slice should be the zero aggregate")
+	}
+}
+
+func TestSummarizeSkipsZeroIPCBaselines(t *testing.T) {
+	mk := func(insts, cycles uint64, loads, pred, correct uint64) stats.Run {
+		return stats.Run{
+			Instructions: insts, Cycles: cycles,
+			Loads: loads, PredictedLoads: pred, CorrectPredicted: correct,
+		}
+	}
+	pairs := []Pair{
+		// 10% faster than baseline.
+		{Workload: "a", Run: mk(1000, 500, 100, 50, 50), Base: mk(1000, 550, 100, 0, 0)},
+		// Zero-IPC baseline: must not contribute to the speedup mean,
+		// but still counts in the coverage/accuracy averages.
+		{Workload: "b", Run: mk(1000, 500, 100, 100, 100), Base: stats.Run{}},
+	}
+	agg := Summarize(pairs)
+	want := 100 * (float64(1000)/500/(float64(1000)/550) - 1)
+	if diff := agg.Speedup - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Speedup = %g, want %g (zero-IPC baseline must be skipped)", agg.Speedup, want)
+	}
+	if agg.Coverage != 75 { // (50% + 100%) / 2
+		t.Errorf("Coverage = %g, want 75", agg.Coverage)
+	}
+	if agg.Accuracy != 1 {
+		t.Errorf("Accuracy = %g, want 1", agg.Accuracy)
+	}
+}
+
+func TestNewContextErrUnknownWorkload(t *testing.T) {
+	_, err := NewContextErr(Options{Workloads: []string{"no-such-workload"}})
+	if err == nil {
+		t.Fatal("NewContextErr accepted an unknown workload")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewContext did not panic on an unknown workload")
+		}
+	}()
+	NewContext(Options{Workloads: []string{"no-such-workload"}})
+}
+
+// TestBaselineSingleflight exercises the duplicated-baseline fix: many
+// concurrent callers for the same uncached workload must agree on one
+// result (the race detector guards the bookkeeping).
+func TestBaselineSingleflight(t *testing.T) {
+	c := NewContext(Options{Insts: 20_000})
+	w := c.Pool()[0]
+	const callers = 8
+	results := make([]stats.Run, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Baseline(w)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different baseline: %+v vs %+v", i, results[i], results[0])
+		}
+	}
+	if !c.HasBaseline(w.Name) {
+		t.Fatal("baseline not cached after concurrent calls")
+	}
+}
+
+// TestBaselineWaitsForInflight pins the singleflight contract directly:
+// a caller that finds an in-flight marker blocks until it clears, then
+// returns the cached run instead of recomputing.
+func TestBaselineWaitsForInflight(t *testing.T) {
+	c := NewContext(Options{Insts: 20_000})
+	w := c.Pool()[0]
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.inflight[w.Name] = ch
+	c.mu.Unlock()
+
+	got := make(chan stats.Run, 1)
+	go func() { got <- c.BaselineCtx(context.Background(), w) }()
+	select {
+	case r := <-got:
+		t.Fatalf("second caller did not wait for the in-flight run; got %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	want := stats.Run{Workload: w.Name, Config: "base", Instructions: 42, Cycles: 21}
+	c.mu.Lock()
+	c.baselines[w.Name] = want
+	delete(c.inflight, w.Name)
+	c.mu.Unlock()
+	close(ch)
+
+	if r := <-got; r != want {
+		t.Fatalf("waiter recomputed instead of using the cached run: %+v", r)
+	}
+}
+
+func TestBaselineCtxCancelledWaiter(t *testing.T) {
+	c := NewContext(Options{Insts: 20_000})
+	w := c.Pool()[0]
+	c.mu.Lock()
+	c.inflight[w.Name] = make(chan struct{}) // never closed
+	c.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := c.BaselineCtx(ctx, w)
+	if !r.Aborted {
+		t.Fatalf("cancelled waiter returned a non-aborted run: %+v", r)
+	}
+}
+
+func TestBaselineAbortedNotCached(t *testing.T) {
+	c := NewContext(Options{Insts: 200_000})
+	w := c.Pool()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := c.BaselineCtx(ctx, w)
+	if !r.Aborted {
+		t.Fatal("baseline under a cancelled context not aborted")
+	}
+	if c.HasBaseline(w.Name) {
+		t.Fatal("aborted baseline was cached")
+	}
+	// A later call with a live context simulates and caches normally.
+	r2 := c.Baseline(w)
+	if r2.Aborted || r2.Instructions == 0 {
+		t.Fatalf("recovery run after abort looks wrong: %+v", r2)
+	}
+	if !c.HasBaseline(w.Name) {
+		t.Fatal("complete baseline not cached")
+	}
+}
+
+func TestPerWorkloadCtxCancelled(t *testing.T) {
+	c := NewContext(Options{Insts: 500_000, Workloads: sampleNames(3)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	pairs := c.PerWorkloadCtx(ctx, "composite", c.CompositeFactory([4]int{64, 64, 64, 64}, "", false, false))
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("cancelled PerWorkloadCtx took %v", el)
+	}
+	for _, p := range pairs {
+		if !p.Run.Aborted {
+			t.Fatalf("pair %q not marked aborted", p.Workload)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package obs is a minimal, dependency-free observability layer for the
+// serving side of the repo: an atomic counter/gauge/histogram registry
+// with Prometheus text-format exposition. It implements just enough of
+// the exposition format (HELP/TYPE lines, labels, cumulative histogram
+// buckets) for standard scrapers; it is not a general metrics library.
+//
+// All metric operations are lock-free after registration and safe for
+// concurrent use; registration itself takes a registry-wide mutex and is
+// idempotent (registering the same name+labels twice returns the same
+// metric).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style. Bounds are the inclusive upper edges of each bucket; a +Inf
+// bucket is implicit.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets are default latency buckets in seconds, spanning fast
+// cache hits (~ms) through long simulations (minutes).
+var DefBuckets = []float64{
+	.001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// metric is one registered time series: a family name, an optional
+// label set, and the backing instrument.
+type metric struct {
+	labels string // rendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	series []*metric
+}
+
+// Registry holds registered metrics and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Labels is an ordered label set: pairs of key, value.
+type Labels []string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(l); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l[i], l[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(name, help, kind string, labels Labels) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	ls := labels.render()
+	for _, m := range f.series {
+		if m.labels == ls {
+			return m
+		}
+	}
+	m := &metric{labels: ls}
+	f.series = append(f.series, m)
+	return m
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	m := r.lookup(name, help, "counter", Labels(labels))
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	m := r.lookup(name, help, "gauge", Labels(labels))
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	m := r.lookup(name, help, "histogram", Labels(labels))
+	if m.h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		m.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}
+	return m.h
+}
+
+// WriteTo renders every registered metric in Prometheus text format, in
+// registration order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.series {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.c.Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.g.Value())
+			case "histogram":
+				writeHistogram(&b, f.name, m)
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeHistogram(b *strings.Builder, name string, m *metric) {
+	h := m.h
+	// Re-render the label set with le appended per bucket.
+	base := strings.TrimSuffix(strings.TrimPrefix(m.labels, "{"), "}")
+	bucketLabels := func(le string) string {
+		if base == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", base, le)
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(formatBound(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, m.labels, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, m.labels, h.Count())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// minimal decimal representation.
+func formatBound(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format (for mounting at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}

@@ -1,0 +1,234 @@
+// Package server exposes the simulator as a concurrent job service: a
+// stdlib-only net/http daemon with a bounded FIFO queue feeding a
+// worker pool, an LRU result cache keyed by the canonical request hash,
+// per-job cancellation, and an obs-backed metrics/health layer. The
+// request/response types here are also the schema cmd/lvpsim -json
+// emits, so CLI and service outputs stay in sync.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Predictor family names accepted by JobRequest.Predictor.
+var predictorNames = map[string]bool{
+	"none": true, "lvp": true, "sap": true, "cvp": true, "cap": true,
+	"composite": true, "best": true, "eves": true,
+}
+
+// JobRequest describes one simulation: a workload, a predictor family
+// and its sizing, an instruction budget, and a seed. The zero value of
+// every optional field selects the server default.
+type JobRequest struct {
+	// Workload is the workload name (see GET /v1/workloads).
+	Workload string `json:"workload"`
+
+	// Predictor is one of none|lvp|sap|cvp|cap|composite|best|eves.
+	Predictor string `json:"predictor"`
+
+	// Entries sizes the component tables (composite families); 0 means
+	// 1024 per component.
+	Entries int `json:"entries,omitempty"`
+
+	// BudgetKB is the EVES storage budget in KB (0 = server default 32;
+	// -1 = infinite).
+	BudgetKB int `json:"budget_kb,omitempty"`
+
+	// AM selects the composite accuracy monitor: ""|none|m|pc|pcinf
+	// ("" = pc).
+	AM string `json:"am,omitempty"`
+
+	// Insts is the instruction budget (0 = server default).
+	Insts uint64 `json:"insts,omitempty"`
+
+	// Seed drives predictor randomness (0 = server default).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// TimeoutMS bounds the job's simulation time; 0 means the server
+	// default. The timeout is not part of the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Normalize fills defaulted fields in place so that equivalent requests
+// hash identically. maxInsts > 0 clamps the budget.
+func (r *JobRequest) Normalize(defaultInsts, maxInsts uint64) {
+	if r.Predictor == "" {
+		r.Predictor = "composite"
+	}
+	if r.Entries == 0 {
+		r.Entries = 1024
+	}
+	if r.BudgetKB == 0 {
+		r.BudgetKB = 32
+	}
+	if r.AM == "" {
+		r.AM = "pc"
+	}
+	if r.Insts == 0 {
+		r.Insts = defaultInsts
+	}
+	if maxInsts > 0 && r.Insts > maxInsts {
+		r.Insts = maxInsts
+	}
+	if r.Seed == 0 {
+		r.Seed = 0xC0FFEE
+	}
+}
+
+// Validate reports whether the (normalized) request names a known
+// workload and predictor family.
+func (r *JobRequest) Validate() error {
+	if _, ok := trace.ByName(r.Workload); !ok {
+		return fmt.Errorf("unknown workload %q", r.Workload)
+	}
+	if !predictorNames[r.Predictor] {
+		return fmt.Errorf("unknown predictor %q (want none|lvp|sap|cvp|cap|composite|best|eves)", r.Predictor)
+	}
+	if r.Entries < 0 {
+		return fmt.Errorf("entries must be >= 0")
+	}
+	return nil
+}
+
+// CacheKey returns the canonical hash identifying the simulation this
+// request asks for. Everything that changes the result participates;
+// the timeout does not.
+func (r JobRequest) CacheKey() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s|%d|%d",
+		r.Workload, r.Predictor, r.Entries, r.BudgetKB, r.AM, r.Insts, r.Seed)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FlushCounts breaks recovery events out by cause.
+type FlushCounts struct {
+	Value    uint64 `json:"value"`
+	Branch   uint64 `json:"branch"`
+	MemOrder uint64 `json:"mem_order"`
+}
+
+// ComponentResult is one composite component's contribution.
+type ComponentResult struct {
+	Name      string `json:"name"`
+	Used      uint64 `json:"used"`
+	Correct   uint64 `json:"correct"`
+	Incorrect uint64 `json:"incorrect"`
+}
+
+// RunResult is the outcome of one simulation: headline metrics against
+// the no-VP baseline plus the optional per-component breakdown. It is
+// the payload of GET /v1/jobs/{id} and of lvpsim -json.
+type RunResult struct {
+	Workload     string  `json:"workload"`
+	Predictor    string  `json:"predictor"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	BaselineIPC  float64 `json:"baseline_ipc"`
+	SpeedupPct   float64 `json:"speedup_pct"`
+	CoveragePct  float64 `json:"coverage_pct"`
+	Accuracy     float64 `json:"accuracy"`
+
+	Flushes FlushCounts `json:"flushes"`
+
+	// Components is the per-component breakdown (composite families
+	// only).
+	Components []ComponentResult `json:"components,omitempty"`
+
+	// StorageKB is the predictor's storage budget, when known.
+	StorageKB float64 `json:"storage_kb,omitempty"`
+}
+
+// NewRunResult assembles the response payload from a configured run,
+// its baseline, and (optionally) the composite whose engine produced
+// the run.
+func NewRunResult(run, base stats.Run, comp *core.Composite) RunResult {
+	res := RunResult{
+		Workload:     run.Workload,
+		Predictor:    run.Config,
+		Instructions: run.Instructions,
+		Cycles:       run.Cycles,
+		IPC:          run.IPC(),
+		BaselineIPC:  base.IPC(),
+		SpeedupPct:   stats.Speedup(run, base),
+		CoveragePct:  run.Coverage(),
+		Accuracy:     run.Accuracy(),
+		Flushes: FlushCounts{
+			Value:    run.VPFlushes,
+			Branch:   run.BranchFlushes,
+			MemOrder: run.MemOrderFlushes,
+		},
+	}
+	if comp != nil {
+		st := comp.Stats()
+		for c := core.Component(0); c < core.NumComponents; c++ {
+			if comp.Component(c) == nil {
+				continue
+			}
+			res.Components = append(res.Components, ComponentResult{
+				Name:      c.String(),
+				Used:      st.UsedBy[c],
+				Correct:   st.CorrectBy[c],
+				Incorrect: st.IncorrectBy[c],
+			})
+		}
+		res.StorageKB = comp.StorageKB()
+	}
+	return res
+}
+
+// CompositeFromEngine unwraps the composite behind an engine, when
+// there is one (for the per-component breakdown).
+func CompositeFromEngine(eng cpu.Engine) *core.Composite {
+	if ce, ok := eng.(*cpu.CompositeEngine); ok {
+		return ce.C
+	}
+	return nil
+}
+
+// Job states reported by JobStatus.State.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+
+	// Error explains failed/canceled states.
+	Error string `json:"error,omitempty"`
+
+	// Result is set once State is done.
+	Result *RunResult `json:"result,omitempty"`
+
+	// CacheHit marks a job answered from the result cache without
+	// simulating.
+	CacheHit bool `json:"cache_hit,omitempty"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func marshalError(msg string) []byte {
+	b, _ := json.Marshal(errorBody{Error: msg})
+	return b
+}

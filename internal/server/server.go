@@ -1,0 +1,613 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Config tunes the job service. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// Workers is the simulation worker pool size (default GOMAXPROCS).
+	Workers int
+
+	// QueueDepth bounds the FIFO of accepted-but-unstarted jobs
+	// (default 64). A full queue rejects submissions with 429.
+	QueueDepth int
+
+	// CacheSize is the result LRU capacity (default 1024 entries).
+	CacheSize int
+
+	// DefaultInsts is the instruction budget applied to requests that
+	// leave Insts at 0 (default 200k).
+	DefaultInsts uint64
+
+	// MaxInsts clamps per-request budgets (default 5M; -1 = unlimited).
+	MaxInsts int64
+
+	// JobTimeout is the per-job simulation deadline applied when a
+	// request has no timeout_ms (default 2 minutes).
+	JobTimeout time.Duration
+
+	// RetainedJobs bounds how many finished jobs stay queryable
+	// (default 4096); older finished jobs are forgotten FIFO.
+	RetainedJobs int
+
+	// Logger receives structured request and job logs (default
+	// slog.Default).
+	Logger *slog.Logger
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultInsts == 0 {
+		c.DefaultInsts = 200_000
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 5_000_000
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.RetainedJobs <= 0 {
+		c.RetainedJobs = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// job is one tracked simulation request.
+type job struct {
+	id  string
+	req JobRequest
+	key string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	result   *RunResult
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// transition moves the job to state under its lock; it is a no-op once
+// the job reached a terminal state (done/failed/canceled win over later
+// worker-side transitions).
+func (j *job) transition(state, errMsg string, result *RunResult) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.result = result
+	switch state {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCanceled:
+		j.finished = time.Now()
+		close(j.done)
+	}
+	return true
+}
+
+// status snapshots the job for JSON rendering.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Error:    j.errMsg,
+		Result:   j.result,
+		CacheHit: j.cacheHit,
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// simKey identifies an expt.Context: contexts cache baselines, so one
+// is kept per (instruction budget, seed) combination.
+type simKey struct {
+	insts uint64
+	seed  uint64
+}
+
+// Server is the simulation-as-a-service daemon core: handlers, queue,
+// worker pool, caches, and metrics. Create with New, start the workers
+// with Start, mount Handler on an http.Server, and stop with Shutdown.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	// lifeCtx parents every job context; lifeStop aborts all
+	// simulations (used as the shutdown hard stop).
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
+
+	queue     chan *job
+	wg        sync.WaitGroup
+	accepting atomic.Bool
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // finished-job retention FIFO
+	nextID   uint64
+	simCtxs  map[simKey]*expt.Context
+	queueLen int
+
+	cache *resultCache
+
+	mAccepted   *obs.Counter
+	mDone       *obs.Counter
+	mFailed     *obs.Counter
+	mCanceled   *obs.Counter
+	mRejected   *obs.Counter
+	mCacheHits  *obs.Counter
+	mCacheMiss  *obs.Counter
+	mQueueDepth *obs.Gauge
+	mInflight   *obs.Gauge
+	mJobDur     *obs.Histogram
+	mSimInsts   *obs.Counter
+}
+
+// New builds a server from cfg. Call Start before serving requests.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		reg:     reg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		simCtxs: make(map[simKey]*expt.Context),
+		cache:   newResultCache(cfg.CacheSize),
+
+		mAccepted:   reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "accepted"),
+		mDone:       reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "done"),
+		mFailed:     reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "failed"),
+		mCanceled:   reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "canceled"),
+		mRejected:   reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "rejected"),
+		mCacheHits:  reg.Counter("lvpd_cache_hits_total", "Jobs answered from the result cache."),
+		mCacheMiss:  reg.Counter("lvpd_cache_misses_total", "Jobs that required simulation."),
+		mQueueDepth: reg.Gauge("lvpd_queue_depth", "Accepted jobs waiting for a worker."),
+		mInflight:   reg.Gauge("lvpd_jobs_inflight", "Jobs currently simulating."),
+		mJobDur:     reg.Histogram("lvpd_job_duration_seconds", "Wall time from dequeue to completion.", nil),
+		mSimInsts:   reg.Counter("lvpd_sim_instructions_total", "Instructions simulated (rate gives sim instructions/sec)."),
+	}
+	s.lifeCtx, s.lifeStop = context.WithCancel(context.Background())
+	s.routes()
+	return s
+}
+
+// Registry exposes the metrics registry (for tests and embedding).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	s.accepting.Store(true)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.mu.Lock()
+				s.queueLen--
+				s.mu.Unlock()
+				s.mQueueDepth.Add(-1)
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and running jobs are given until ctx's deadline to finish, then all
+// remaining simulations are cancelled. Blocks until the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.accepting.Store(false)
+	s.mu.Lock()
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.log.Warn("shutdown deadline reached; cancelling in-flight jobs")
+		s.lifeStop()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the HTTP handler tree with request logging applied.
+func (s *Server) Handler() http.Handler {
+	return s.logMiddleware(s.mux)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.reg.Counter("lvpd_http_requests_total", "HTTP requests by status code.",
+			"code", fmt.Sprintf("%d", rec.code)).Inc()
+		s.log.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"code", rec.code,
+			"dur_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(marshalError(msg))
+	w.Write([]byte("\n"))
+}
+
+// handleSubmit implements POST /v1/jobs: validate, answer from cache,
+// or enqueue with backpressure (429 + Retry-After when the queue is
+// full — the service sheds load instead of buffering unboundedly).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.accepting.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var maxInsts uint64
+	if s.cfg.MaxInsts > 0 {
+		maxInsts = uint64(s.cfg.MaxInsts)
+	}
+	req.Normalize(s.cfg.DefaultInsts, maxInsts)
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	j := s.newJob(req)
+
+	// Cache: identical requests are answered without re-simulating.
+	if res, ok := s.cache.Get(j.key); ok {
+		s.mCacheHits.Inc()
+		j.mu.Lock()
+		j.cacheHit = true
+		j.mu.Unlock()
+		j.transition(StateDone, "", &res)
+		s.mDone.Inc()
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	s.mCacheMiss.Inc()
+
+	// Enqueue under the server lock so Shutdown's close(queue) cannot
+	// race the send.
+	s.mu.Lock()
+	if !s.accepting.Load() {
+		s.mu.Unlock()
+		s.dropJob(j)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.queueLen++
+		s.mu.Unlock()
+		s.mQueueDepth.Add(1)
+		s.mAccepted.Inc()
+		writeJSON(w, http.StatusAccepted, j.status())
+	default:
+		s.mu.Unlock()
+		s.dropJob(j)
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
+	}
+}
+
+// newJob registers a fresh queued job.
+func (s *Server) newJob(req JobRequest) *job {
+	ctx, cancel := context.WithCancel(s.lifeCtx)
+	s.mu.Lock()
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j-%06d", s.nextID),
+		req:     req,
+		key:     req.CacheKey(),
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	// Forget the oldest retained jobs beyond the cap; skip any still
+	// queued or running (they are bounded by QueueDepth + Workers).
+	for len(s.order) > s.cfg.RetainedJobs {
+		old := s.jobs[s.order[0]]
+		if old != nil {
+			old.mu.Lock()
+			terminal := old.state == StateDone || old.state == StateFailed || old.state == StateCanceled
+			old.mu.Unlock()
+			if !terminal {
+				break
+			}
+			delete(s.jobs, old.id)
+		}
+		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+	return j
+}
+
+// dropJob unregisters a job that never entered the queue.
+func (s *Server) dropJob(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCancelJob implements DELETE /v1/jobs/{id}: cancel a queued or
+// running job. The worker observes the cancelled context within one
+// check interval and records the job as canceled.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	// A still-queued job can be settled immediately; a running one is
+	// settled by its worker.
+	if j.transition(StateCanceled, "canceled by client", nil) {
+		s.mCanceled.Inc()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": trace.Names()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	depth := s.queueLen
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"queue_depth":   depth,
+		"jobs_inflight": s.mInflight.Value(),
+		"cache_entries": s.cache.Len(),
+	})
+}
+
+// simCtx returns the shared expt.Context for an (insts, seed)
+// combination; contexts cache baseline runs and deduplicate concurrent
+// baseline requests per workload.
+func (s *Server) simCtx(insts, seed uint64) *expt.Context {
+	key := simKey{insts: insts, seed: seed}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.simCtxs[key]; ok {
+		return c
+	}
+	c, err := expt.NewContextErr(expt.Options{Insts: insts, Seed: seed, Workloads: nil})
+	if err != nil {
+		// Unreachable: an empty workload list cannot fail.
+		panic(err)
+	}
+	s.simCtxs[key] = c
+	return c
+}
+
+// engineFactory maps a validated request to an expt engine factory
+// (nil for the baseline-only "none" family).
+func (s *Server) engineFactory(sctx *expt.Context, req JobRequest) expt.EngineFactory {
+	single := func(c core.Component) expt.EngineFactory {
+		return sctx.SingleFactory(c, req.Entries)
+	}
+	am := req.AM
+	if am == "none" {
+		am = ""
+	}
+	switch req.Predictor {
+	case "lvp":
+		return single(core.CompLVP)
+	case "sap":
+		return single(core.CompSAP)
+	case "cvp":
+		return single(core.CompCVP)
+	case "cap":
+		return single(core.CompCAP)
+	case "composite":
+		return sctx.CompositeFactory(core.HomogeneousEntries(req.Entries), am, false, false)
+	case "best":
+		return sctx.BestComposite(core.HomogeneousEntries(req.Entries))
+	case "eves":
+		kb := req.BudgetKB
+		if kb < 0 {
+			kb = 0 // -1 means infinite, which EVES spells 0
+		}
+		return expt.EVESFactory(kb)
+	}
+	return nil
+}
+
+// runJob executes one dequeued job: baseline (deduplicated per
+// workload), configured run, cache fill, and metrics.
+func (s *Server) runJob(j *job) {
+	if !j.transition(StateRunning, "", nil) {
+		return // canceled while queued
+	}
+	s.mInflight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.mInflight.Add(-1)
+		s.mJobDur.Observe(time.Since(start).Seconds())
+	}()
+
+	timeout := s.cfg.JobTimeout
+	if j.req.TimeoutMS > 0 {
+		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+
+	w, _ := trace.ByName(j.req.Workload) // validated at submit
+	sctx := s.simCtx(j.req.Insts, j.req.Seed)
+
+	baseCached := sctx.HasBaseline(w.Name)
+	base := sctx.BaselineCtx(ctx, w)
+	if base.Aborted {
+		s.settleAborted(j, ctx)
+		return
+	}
+	if !baseCached {
+		s.mSimInsts.Add(base.Instructions)
+	}
+
+	var res RunResult
+	if j.req.Predictor == "none" {
+		res = NewRunResult(base, base, nil)
+	} else {
+		eng := s.engineFactory(sctx, j.req)(sctx.EngineSeed(w))
+		run := sctx.RunEngineCtx(ctx, w, j.req.Predictor, eng)
+		s.mSimInsts.Add(run.Instructions)
+		if run.Aborted {
+			s.settleAborted(j, ctx)
+			return
+		}
+		res = NewRunResult(run, base, CompositeFromEngine(eng))
+	}
+
+	// The run's config label tracks the engine ("base" for the none
+	// family); the response should echo the requested predictor.
+	res.Predictor = j.req.Predictor
+
+	s.cache.Put(j.key, res)
+	if j.transition(StateDone, "", &res) {
+		s.mDone.Inc()
+		s.log.Info("job done", "id", j.id, "workload", j.req.Workload,
+			"predictor", j.req.Predictor, "speedup_pct", res.SpeedupPct,
+			"dur_ms", time.Since(start).Milliseconds())
+	}
+}
+
+// settleAborted records why a job's simulation stopped early.
+func (s *Server) settleAborted(j *job, ctx context.Context) {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		if j.transition(StateFailed, "job deadline exceeded", nil) {
+			s.mFailed.Inc()
+		}
+	default:
+		if j.transition(StateCanceled, "canceled", nil) {
+			s.mCanceled.Inc()
+		}
+	}
+	s.log.Info("job aborted", "id", j.id, "reason", ctx.Err())
+}

@@ -1,0 +1,445 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	if cfg.DefaultInsts == 0 {
+		cfg.DefaultInsts = 20_000
+	}
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req JobRequest) (*http.Response, JobStatus) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	}
+	return resp, st
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls the job until it reaches a terminal state or one of
+// the wanted states, failing the test on timeout.
+func waitState(t *testing.T, ts *httptest.Server, id string, timeout time.Duration, want ...string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getJob(t, ts, id)
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			t.Fatalf("job %s reached terminal state %q (err=%q), wanted one of %v", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q after %v, wanted one of %v", id, st.State, timeout, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, st := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "composite", Insts: 20_000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("fresh job state = %q, want queued", st.State)
+	}
+	final := waitState(t, ts, st.ID, 30*time.Second, StateDone)
+	r := final.Result
+	if r == nil {
+		t.Fatal("done job has no result")
+	}
+	if r.Workload != "gcc2k" || r.Predictor != "composite" {
+		t.Errorf("result identifies %s/%s, want gcc2k/composite", r.Workload, r.Predictor)
+	}
+	if r.Instructions != 20_000 || r.IPC <= 0 || r.BaselineIPC <= 0 {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if len(r.Components) == 0 {
+		t.Error("composite result missing per-component breakdown")
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Error("done job missing started/finished timestamps")
+	}
+}
+
+func TestRepeatRequestServedFromCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	req := JobRequest{Workload: "mcf", Predictor: "lvp", Entries: 512, Insts: 20_000}
+	_, st1 := submit(t, ts, req)
+	first := waitState(t, ts, st1.ID, 30*time.Second, StateDone)
+
+	resp, st2 := submit(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit status = %d, want 200", resp.StatusCode)
+	}
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("cached submit state=%q cacheHit=%v, want done/true", st2.State, st2.CacheHit)
+	}
+	if !reflect.DeepEqual(st2.Result, first.Result) {
+		t.Errorf("cached result differs from original:\n%+v\n%+v", st2.Result, first.Result)
+	}
+	if got := s.mCacheHits.Value(); got != 1 {
+		t.Errorf("cache hit counter = %d, want 1", got)
+	}
+	// The second request must not have simulated: exactly one job's
+	// worth of cache misses.
+	if got := s.mCacheMiss.Value(); got != 1 {
+		t.Errorf("cache miss counter = %d, want 1", got)
+	}
+	if !strings.Contains(metricsText(t, ts), "lvpd_cache_hits_total 1") {
+		t.Error("/metrics missing lvpd_cache_hits_total 1")
+	}
+}
+
+// TestBackpressure floods a 1-worker, depth-2 server: the long job
+// occupies the worker, two more fill the queue, and further distinct
+// submissions must be rejected with 429 + Retry-After while accepted
+// jobs still complete correctly.
+func TestBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, MaxInsts: -1})
+
+	// Occupy the worker with a job far too long to finish during the
+	// test; it is cancelled at the end.
+	_, blocker := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "none", Insts: 500_000_000})
+	waitState(t, ts, blocker.ID, 10*time.Second, StateRunning)
+
+	workloads := []string{"mcf", "xalancbmk", "sjeng", "povray", "soplex", "wrf"}
+	type outcome struct {
+		code  int
+		retry string
+		id    string
+	}
+	results := make([]outcome, len(workloads))
+	var wg sync.WaitGroup
+	for i, w := range workloads {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			resp, st := submit(t, ts, JobRequest{Workload: w, Predictor: "lvp", Insts: 20_000})
+			results[i] = outcome{code: resp.StatusCode, retry: resp.Header.Get("Retry-After"), id: st.ID}
+		}(i, w)
+	}
+	wg.Wait()
+
+	var accepted, rejected int
+	for _, r := range results {
+		switch r.code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+			if r.retry == "" {
+				t.Error("429 response missing Retry-After")
+			}
+		default:
+			t.Errorf("unexpected submit status %d", r.code)
+		}
+	}
+	if accepted != 2 || rejected != len(workloads)-2 {
+		t.Fatalf("accepted=%d rejected=%d, want 2/%d (queue depth 2, worker busy)",
+			accepted, rejected, len(workloads)-2)
+	}
+
+	// Release the worker; accepted jobs must complete with results.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+	if _, err := ts.Client().Do(delReq); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.code != http.StatusAccepted {
+			continue
+		}
+		st := waitState(t, ts, r.id, 30*time.Second, StateDone)
+		if st.Result == nil || st.Result.Instructions != 20_000 {
+			t.Errorf("accepted job %s finished without a plausible result: %+v", r.id, st.Result)
+		}
+	}
+}
+
+// TestCancelMidSimulation verifies DELETE stops a running job promptly
+// and that the simulation goroutine does not leak.
+func TestCancelMidSimulation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: -1})
+
+	// Warm up a keep-alive connection so its goroutines are part of the
+	// baseline, not mistaken for a leak.
+	if resp, err := ts.Client().Get(ts.URL + "/healthz"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	before := runtime.NumGoroutine()
+
+	_, st := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "composite", Insts: 500_000_000})
+	waitState(t, ts, st.ID, 10*time.Second, StateRunning)
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	start := time.Now()
+	resp, err := ts.Client().Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	final := waitState(t, ts, st.ID, 10*time.Second, StateCanceled)
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("cancellation took %v", el)
+	}
+	if final.Result != nil {
+		t.Error("cancelled job has a result")
+	}
+
+	// The worker returns to its queue loop; total goroutines settle
+	// back to the pre-submit level (idle HTTP connections are closed
+	// before comparing).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ts.Client().CloseIdleConnections()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: -1})
+	_, st := submit(t, ts, JobRequest{
+		Workload: "gcc2k", Predictor: "none", Insts: 500_000_000, TimeoutMS: 200,
+	})
+	final := waitState(t, ts, st.ID, 20*time.Second, StateFailed)
+	if !strings.Contains(final.Error, "deadline") {
+		t.Errorf("timeout error = %q, want mention of deadline", final.Error)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown workload", `{"workload":"nope","predictor":"lvp"}`, 400},
+		{"unknown predictor", `{"workload":"gcc2k","predictor":"nope"}`, 400},
+		{"malformed json", `{"workload":`, 400},
+		{"unknown field", `{"workload":"gcc2k","bogus":1}`, 400},
+	}
+	for _, c := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job GET status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, st := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "lvp", Insts: 20_000})
+	waitState(t, ts, st.ID, 30*time.Second, StateDone)
+
+	out := metricsText(t, ts)
+	for _, want := range []string{
+		"# TYPE lvpd_jobs_total counter",
+		`lvpd_jobs_total{state="done"} 1`,
+		"# TYPE lvpd_queue_depth gauge",
+		"lvpd_queue_depth 0",
+		"# TYPE lvpd_job_duration_seconds histogram",
+		"lvpd_job_duration_seconds_bucket",
+		"lvpd_job_duration_seconds_count 1",
+		"lvpd_cache_misses_total 1",
+		"lvpd_sim_instructions_total",
+		"lvpd_http_requests_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health status = %v", health["status"])
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := ts.Client().Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Workloads []string `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Workloads) < 50 {
+		t.Errorf("workload list suspiciously short: %d", len(body.Workloads))
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	cfg := Config{Workers: 1, DefaultInsts: 20_000}
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, st := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "lvp"})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain shutdown failed: %v", err)
+	}
+	// The queued job was drained, not dropped.
+	final := getJob(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job state after drain = %q, want done", final.State)
+	}
+	// New submissions are refused.
+	resp, _ := submit(t, ts, JobRequest{Workload: "mcf", Predictor: "lvp"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	a := JobRequest{Workload: "gcc2k"}
+	a.Normalize(200_000, 0)
+	b := JobRequest{Workload: "gcc2k", Predictor: "composite", Entries: 1024, BudgetKB: 32, AM: "pc", Insts: 200_000, Seed: 0xC0FFEE, TimeoutMS: 5000}
+	b.Normalize(200_000, 0)
+	if a.CacheKey() != b.CacheKey() {
+		t.Error("equivalent requests hash differently")
+	}
+	c := b
+	c.Entries = 2048
+	if c.CacheKey() == b.CacheKey() {
+		t.Error("different entries hash identically")
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", RunResult{Workload: "a"})
+	c.Put("b", RunResult{Workload: "b"})
+	c.Get("a") // refresh a
+	c.Put("c", RunResult{Workload: "c"})
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU kept the least recently used entry")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("LRU evicted the recently used entry")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("LRU lost the newest entry")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func ExampleJobRequest_CacheKey() {
+	r := JobRequest{Workload: "gcc2k"}
+	r.Normalize(200_000, 0)
+	fmt.Println(len(r.CacheKey()))
+	// Output: 16
+}

@@ -23,6 +23,11 @@ type Run struct {
 	VPFlushes        uint64 // value-misprediction recovery flushes
 	BranchFlushes    uint64 // branch-misprediction redirects
 	MemOrderFlushes  uint64 // memory-ordering violation flushes
+
+	// Aborted marks a run cut short by context cancellation: the counts
+	// above cover only the instructions simulated before the abort, so
+	// the run must not be cached or aggregated as a complete result.
+	Aborted bool
 }
 
 // IPC returns instructions per cycle.
