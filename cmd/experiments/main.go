@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -31,8 +32,21 @@ func main() {
 		seed     = flag.Uint64("seed", 0xC0FFEE, "simulation seed")
 		sample   = flag.Int("sample", 16, "workload subsample for heavy sweeps (0 = all)")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *list || *run == "" {
 		fmt.Println("experiments — regenerate the paper's tables and figures")

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/eves"
+	"repro/internal/prof"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -61,8 +62,21 @@ func main() {
 		record    = flag.String("record", "", "record the workload's trace to this file and exit")
 		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
 		jsonOut   = flag.Bool("json", false, "emit the run result as one JSON object on stdout")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *listNames {
 		for _, n := range trace.Names() {
@@ -121,7 +135,11 @@ func main() {
 		}
 	}
 
-	base := cpu.New(cpu.DefaultConfig(), nil).Run(newGen(), name, "baseline")
+	// One pooled pipeline serves both runs: Reset swaps the engine in
+	// without reallocating the core's tables.
+	pipe := cpu.Acquire(cpu.DefaultConfig(), nil)
+	defer cpu.Release(pipe)
+	base := pipe.Run(newGen(), name, "baseline")
 	if !*jsonOut {
 		fmt.Printf("baseline:  IPC=%.3f (%d instructions, %d cycles, %d loads)\n",
 			base.IPC(), base.Instructions, base.Cycles, base.Loads)
@@ -178,7 +196,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := cpu.New(cpu.DefaultConfig(), engine).Run(newGen(), name, *predictor)
+	pipe.Reset(cpu.DefaultConfig(), engine)
+	run := pipe.Run(newGen(), name, *predictor)
 	if *jsonOut {
 		emitJSON(run, base, comp)
 		return

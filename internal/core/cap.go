@@ -94,4 +94,4 @@ func (c *CAP) Storage() Storage {
 }
 
 // ResetState implements Predictor.
-func (c *CAP) ResetState() { c.tbl.flush() }
+func (c *CAP) ResetState() { c.tbl.flush(); c.fpc.Reset() }

@@ -170,4 +170,5 @@ func (c *CVP) ResetState() {
 	for _, t := range c.tables {
 		t.flush()
 	}
+	c.fpc.Reset()
 }

@@ -34,6 +34,10 @@ func NewFPC(vector []uint32, seed uint64) *FPC {
 // Max returns the saturating maximum counter value.
 func (f *FPC) Max() uint8 { return uint8(len(f.vector)) }
 
+// Reset rewinds the policy's RNG to its seed (part of a predictor's
+// ResetState: probabilistic bumps must replay identically).
+func (f *FPC) Reset() { f.rng.Reset() }
+
 // Bump probabilistically advances a confidence counter and returns its
 // new value. At saturation the counter is returned unchanged.
 func (f *FPC) Bump(conf uint8) uint8 {

@@ -131,4 +131,4 @@ func (l *LVP) Storage() Storage {
 }
 
 // ResetState implements Predictor.
-func (l *LVP) ResetState() { l.tbl.flush() }
+func (l *LVP) ResetState() { l.tbl.flush(); l.fpc.Reset() }

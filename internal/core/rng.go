@@ -7,6 +7,7 @@ package core
 // for a given seed.
 type XorShift64 struct {
 	state uint64
+	seed  uint64
 }
 
 // NewXorShift64 returns a generator seeded with seed. A zero seed is
@@ -16,8 +17,12 @@ func NewXorShift64(seed uint64) *XorShift64 {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &XorShift64{state: seed}
+	return &XorShift64{state: seed, seed: seed}
 }
+
+// Reset rewinds the generator to its initial seed, so a component that
+// resets all of its dynamic state reproduces a fresh run bit for bit.
+func (x *XorShift64) Reset() { x.state = x.seed }
 
 // Next returns the next 64-bit pseudo-random value.
 func (x *XorShift64) Next() uint64 {

@@ -120,7 +120,7 @@ func (s *SAP) Storage() Storage {
 }
 
 // ResetState implements Predictor.
-func (s *SAP) ResetState() { s.tbl.flush() }
+func (s *SAP) ResetState() { s.tbl.flush(); s.fpc.Reset() }
 
 // sizeLog2 encodes an access size (1, 2, 4, 8 bytes) in two bits.
 func sizeLog2(size uint8) uint8 {

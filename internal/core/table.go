@@ -173,6 +173,10 @@ func (t *table[P]) flush() {
 		t.evictWay(w)
 		clear(t.ways[w])
 	}
+	// flush only runs from ResetState (never mid-simulation), so the
+	// victim RNG rewinds with the contents: a reset predictor must
+	// replay a fresh predictor's replacement decisions exactly.
+	t.victim.Reset()
 }
 
 // flushExtraWays invalidates every way except way 0. Used when fusion

@@ -1,0 +1,132 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eves"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// goldenInsts is the per-run budget of the differential test. It spans
+// many prune periods (4096) and table compactions, so the ring/table
+// replacements are exercised through their reclamation paths.
+const goldenInsts = 6000
+
+// goldenSeed derives the per-workload predictor seed.
+func goldenSeed(name string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return core.SplitMix64(0xC0FFEE ^ h)
+}
+
+// goldenEngines returns matched engine factories: index 0 feeds the
+// reference pipeline, index 1 the refactored one. Both must be freshly
+// built per run with the same seed so predictor state evolves
+// identically.
+var goldenEngines = []struct {
+	name string
+	mk   func(seed uint64) Engine
+}{
+	{"baseline", func(uint64) Engine { return nil }},
+	{"composite", func(seed uint64) Engine {
+		return NewCompositeEngine(core.NewComposite(core.CompositeConfig{
+			Entries: core.HomogeneousEntries(256),
+			Seed:    seed,
+			AM:      core.NewPCAM(64),
+		}))
+	}},
+	{"eves", func(seed uint64) Engine {
+		return eves.New(eves.Config{BudgetKB: 32, Seed: seed})
+	}},
+}
+
+// TestGoldenDifferential pins the refactored (ring-buffer, pooled)
+// pipeline bit-identical to the frozen map-based reference for every
+// workload under baseline, composite, and EVES engines. The refactored
+// side runs through Acquire/Release, so pipeline reuse across
+// heterogeneous workloads is covered by the same oracle.
+func TestGoldenDifferential(t *testing.T) {
+	pool := trace.Workloads()
+	if testing.Short() {
+		pool = pool[:10]
+	}
+	cfg := DefaultConfig()
+	for _, eng := range goldenEngines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			for _, w := range pool {
+				seed := goldenSeed(w.Name)
+				want := newRefPipeline(cfg, eng.mk(seed)).
+					Run(w.Build(goldenInsts), w.Name, eng.name)
+
+				p := Acquire(cfg, eng.mk(seed))
+				got := p.Run(w.Build(goldenInsts), w.Name, eng.name)
+				clobbers := p.resourceClobbers()
+				Release(p)
+
+				if got != want {
+					t.Fatalf("%s/%s: refactored run diverged\n got: %+v\nwant: %+v",
+						eng.name, w.Name, got, want)
+				}
+				if clobbers != 0 {
+					t.Fatalf("%s/%s: %d cycle-ring clobbers (ring undersized)",
+						eng.name, w.Name, clobbers)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenDifferentialWideWindow repeats the differential check under
+// the largest window-sweep configuration (4x the Skylake-class window),
+// which stresses the cycle rings' horizon sizing the hardest.
+func TestGoldenDifferentialWideWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROB, cfg.IQ, cfg.LDQ, cfg.STQ = 896, 388, 288, 224
+	for _, name := range []string{"gcc2k", "mcf", "linpack"} {
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		seed := goldenSeed(w.Name)
+		mk := goldenEngines[1].mk // composite exercises every table
+		want := newRefPipeline(cfg, mk(seed)).Run(w.Build(goldenInsts), w.Name, "wide")
+
+		p := Acquire(cfg, mk(seed))
+		got := p.Run(w.Build(goldenInsts), w.Name, "wide")
+		clobbers := p.resourceClobbers()
+		Release(p)
+
+		if got != want {
+			t.Fatalf("%s: wide-window run diverged\n got: %+v\nwant: %+v", w.Name, got, want)
+		}
+		if clobbers != 0 {
+			t.Fatalf("%s: %d cycle-ring clobbers under wide window", w.Name, clobbers)
+		}
+	}
+}
+
+// TestRefPipelineMatchesKnownAccounting sanity-checks the frozen
+// reference itself: its accounting identity must hold, so a bug pasted
+// into the oracle cannot silently validate the refactor.
+func TestRefPipelineMatchesKnownAccounting(t *testing.T) {
+	w, _ := trace.ByName("gcc2k")
+	seed := goldenSeed(w.Name)
+	run := newRefPipeline(DefaultConfig(), goldenEngines[1].mk(seed)).
+		Run(w.Build(goldenInsts), w.Name, "ref")
+	if run.Instructions != goldenInsts {
+		t.Fatalf("ref simulated %d instructions, want %d", run.Instructions, goldenInsts)
+	}
+	if run.CorrectPredicted+run.VPFlushes != run.PredictedLoads {
+		t.Fatalf("ref accounting inconsistent: %+v", run)
+	}
+	if run.IPC() <= 0 || run.IPC() > float64(DefaultConfig().IssueWidth) {
+		t.Fatalf("ref IPC %.3f out of range", run.IPC())
+	}
+	var _ stats.Run = run
+}

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"context"
+	"reflect"
 
 	"repro/internal/branch"
 	"repro/internal/core"
@@ -47,9 +48,10 @@ type storeRecord struct {
 type pendingTrain struct {
 	trainC  uint64
 	outcome core.Outcome
-	rec     any
+	rec     uint64 // engine record handle from Probe
 	probeC  uint64 // PAQ probe cycle for address resolution
 	specSeq uint64 // the load's sequence number
+	fcAt    uint64 // fetch cycle when queued (a lower bound on probeC)
 }
 
 // trainQueue is a FIFO of pending trainings in program order.
@@ -85,7 +87,11 @@ func (t *trainQueue) pop() pendingTrain {
 	return p
 }
 
-// Pipeline is the trace-driven core model. Create one per run.
+// Pipeline is the trace-driven core model. A pipeline serves one run at
+// a time; Reset (or the package's Acquire/Release pool) recycles it for
+// the next run without re-allocating the hierarchy, predictors, or
+// rings. The steady-state per-instruction path performs no map
+// operations and no heap allocations.
 type Pipeline struct {
 	cfg    Config
 	hier   *mem.Hierarchy
@@ -117,16 +123,26 @@ type Pipeline struct {
 	nLoads    uint64
 	nStores   uint64
 
-	laneUse map[uint64]int
-	lsUse   map[uint64]int
-	paqUse  map[uint64]int
+	// Per-cycle resource claims (issue bandwidth, load/store lanes, PAQ
+	// probe ports), formerly cycle-keyed maps.
+	laneUse cycleRing
+	lsUse   cycleRing
+	paqUse  cycleRing
 
-	pending    trainQueue
-	paqQueue   []uint64 // completion cycles of recent PAQ probes
-	paqHead    int
-	inflightPC map[uint64]int
-	lastStore  map[uint64]storeRecord
-	lineFill   map[uint64]uint64 // 64B line → cycle its PAQ prefetch completes
+	pending  trainQueue
+	paqQueue []uint64 // completion cycles of recent PAQ probes
+	paqHead  int
+
+	// Bounded open-addressing tables, formerly maps (see rings.go).
+	inflight  countTable // pc → in-flight probed loads
+	lastStore storeTable // word → most recent store
+	lineFill  fillTable  // 64B line → cycle its PAQ prefetch completes
+
+	// Reusable address resolver: trainOne parameterizes the closure via
+	// these fields instead of allocating a fresh closure per training.
+	trainSeq    uint64
+	trainProbeC uint64
+	resolve     core.AddrResolver
 
 	instretBatch uint64
 	run          stats.Run
@@ -135,28 +151,94 @@ type Pipeline struct {
 // New builds a pipeline with the given configuration and value
 // prediction engine (nil = baseline, no value prediction).
 func New(cfg Config, engine Engine) *Pipeline {
-	return &Pipeline{
-		cfg:        cfg,
-		hier:       mem.NewHierarchy(cfg.Hierarchy),
-		tage:       branch.NewTAGE(cfg.TAGE),
-		ittage:     branch.NewITTAGE(cfg.ITTAGE),
-		ras:        branch.NewRAS(cfg.RASSize),
-		mdp:        memdep.New(cfg.MemDep),
-		engine:     engine,
-		loadRing:   make([]loadStoreTiming, cfg.LDQ+1),
-		storeRing:  make([]loadStoreTiming, cfg.STQ+1),
-		laneUse:    make(map[uint64]int),
-		lsUse:      make(map[uint64]int),
-		paqUse:     make(map[uint64]int),
-		inflightPC: make(map[uint64]int),
-		lastStore:  make(map[uint64]storeRecord),
-		lineFill:   make(map[uint64]uint64),
+	p := &Pipeline{}
+	p.build(cfg, engine)
+	return p
+}
+
+// build (re)constructs every config-sized structure.
+func (p *Pipeline) build(cfg Config, engine Engine) {
+	p.cfg = cfg
+	p.hier = mem.NewHierarchy(cfg.Hierarchy)
+	p.tage = branch.NewTAGE(cfg.TAGE)
+	p.ittage = branch.NewITTAGE(cfg.ITTAGE)
+	p.ras = branch.NewRAS(cfg.RASSize)
+	p.mdp = memdep.New(cfg.MemDep)
+	p.engine = engine
+	p.loadRing = make([]loadStoreTiming, cfg.LDQ+1)
+	p.storeRing = make([]loadStoreTiming, cfg.STQ+1)
+	n := cycleRingSize(cfg)
+	p.laneUse = newCycleRing(n)
+	p.lsUse = newCycleRing(n)
+	p.paqUse = newCycleRing(n)
+	p.lastStore = newStoreTable(4096)
+	p.lineFill = newFillTable(16384)
+	p.inflight = newCountTable(4096)
+	p.simMem = nil
+	if p.resolve == nil {
+		p.resolve = func(addr uint64, size uint8) (uint64, bool) {
+			if !p.hier.L1D.Peek(addr) {
+				return 0, false
+			}
+			return p.probeRead(addr, size, p.trainSeq, p.trainProbeC), true
+		}
 	}
+}
+
+// configEqual compares configurations, including the branch predictors'
+// history-length slices (which make Config non-comparable with ==).
+// Called once per Reset, so reflection cost is irrelevant.
+func configEqual(a, b Config) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// Reset prepares the pipeline for a fresh run with cfg and engine,
+// reusing every allocation when cfg matches the previous run's
+// configuration. A reset pipeline behaves bit-identically to a newly
+// constructed one.
+func (p *Pipeline) Reset(cfg Config, engine Engine) {
+	if p.hier == nil || !configEqual(cfg, p.cfg) {
+		p.build(cfg, engine)
+	} else {
+		p.hier.Reset()
+		p.tage.Reset()
+		p.ittage.Reset()
+		p.ras.Reset()
+		p.mdp.Reset()
+		p.laneUse.reset()
+		p.lsUse.reset()
+		p.paqUse.reset()
+		p.lastStore.reset()
+		p.lineFill.reset()
+		p.inflight.reset()
+		p.engine = engine
+	}
+	p.hist = branch.History{}
+	p.loadPath = 0
+	p.fetchCycle, p.fetchUsed, p.redirectC = 0, 0, 0
+	p.commitCycle, p.commitUsed = 0, 0
+	p.regReady = [trace.NumRegs]uint64{}
+	clear(p.ring[:])
+	p.nLoads, p.nStores = 0, 0
+	p.pending.q = p.pending.q[:0]
+	p.pending.head = 0
+	p.paqQueue = p.paqQueue[:0]
+	p.paqHead = 0
+	p.trainSeq, p.trainProbeC = 0, 0
+	p.instretBatch = 0
+	p.run = stats.Run{}
 }
 
 // Hierarchy exposes the memory system (for inspection in tests and
 // experiments).
 func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// resourceClobbers reports how often a cycle ring overwrote a live
+// future claim — always zero when the rings are sized correctly (the
+// golden test asserts this).
+func (p *Pipeline) resourceClobbers() uint64 {
+	return p.laneUse.clobbers + p.lsUse.clobbers + p.paqUse.clobbers
+}
 
 // cancelCheckInterval is how many instructions run between context
 // cancellation checks in RunCtx. It bounds how long a cancelled
@@ -176,8 +258,13 @@ func (p *Pipeline) Run(gen trace.Generator, workload, config string) stats.Run {
 func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, config string) stats.Run {
 	// The simulator's memory image starts equal to the workload's: the
 	// backing fill function is shared via Clone, and stores are applied
-	// as they execute.
-	p.simMem = gen.Mem().Clone()
+	// as they execute. A reused pipeline copies into its existing image
+	// instead of allocating a new one.
+	if p.simMem == nil {
+		p.simMem = gen.Mem().Clone()
+	} else {
+		p.simMem.CopyFrom(gen.Mem())
+	}
 
 	p.run = stats.Run{Workload: workload, Config: config}
 	done := ctx.Done()
@@ -271,7 +358,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 
 	// ---- Value prediction probe (fetch stage, Figure 1 step 1) ----
 	var (
-		rec       any
+		rec       uint64
 		pred      core.Prediction
 		delivered bool
 		specOK    bool
@@ -290,10 +377,10 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 			PC:         in.PC,
 			BranchHist: p.hist.Global,
 			LoadPath:   p.loadPath,
-			Inflight:   p.inflightPC[in.PC],
+			Inflight:   p.inflight.get(in.PC),
 		}
 		rec, pred, delivered = p.engine.Probe(probe)
-		p.inflightPC[in.PC]++
+		p.inflight.inc(in.PC)
 		// Even when no prediction is delivered, validation of the
 		// squashed/unchosen components resolves addresses as a probe
 		// issued shortly after fetch would have.
@@ -331,11 +418,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 						// miss generates a data prefetch (Figure 1
 						// step 5) that accelerates the load itself.
 						fillLat := p.hier.PrefetchAccess(pred.Addr)
-						line := pred.Addr >> 6
-						done := probeC + uint64(fillLat)
-						if cur, ok := p.lineFill[line]; !ok || done < cur {
-							p.lineFill[line] = done
-						}
+						p.lineFill.putMin(pred.Addr>>6, probeC+uint64(fillLat))
 					}
 				}
 			}
@@ -449,6 +532,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 			rec:     rec,
 			probeC:  probeC,
 			specSeq: seq,
+			fcAt:    fc,
 		})
 	}
 
@@ -518,7 +602,7 @@ func (p *Pipeline) fetch(pc uint64, floor uint64) uint64 {
 // memory-ordering violations, and the data cache.
 func (p *Pipeline) executeLoad(seq uint64, in *trace.Inst, issueC uint64) (execDone uint64, flush bool) {
 	word := in.Addr >> 3
-	ls, haveStore := p.lastStore[word]
+	ls, haveStore := p.lastStore.get(word)
 	if haveStore && ls.seq < seq {
 		if issueC < ls.execDone {
 			// The load issued before an older conflicting store
@@ -539,7 +623,7 @@ func (p *Pipeline) executeLoad(seq uint64, in *trace.Inst, issueC uint64) (execD
 	// A PAQ prefetch in flight for this line bounds the completion: the
 	// demand access cannot finish before the fill arrives, but benefits
 	// from it afterwards.
-	if fd, ok := p.lineFill[in.Addr>>6]; ok {
+	if fd, ok := p.lineFill.get(in.Addr >> 6); ok {
 		earliest := fd
 		if hitDone := issueC + uint64(p.cfg.Hierarchy.L1D.Latency); hitDone > earliest {
 			earliest = hitDone
@@ -551,15 +635,38 @@ func (p *Pipeline) executeLoad(seq uint64, in *trace.Inst, issueC uint64) (execD
 	return done, false
 }
 
+// storeFloor returns a cycle every future lastStore comparison happens
+// at or after: the fetch cycle is monotonic and bounds future loads'
+// issue/probe cycles, and queued trainings' probe cycles are bounded
+// below by the oldest queued training's fetch cycle (trainings drain in
+// FIFO order and each probeC is >= its own fetch cycle).
+func (p *Pipeline) storeFloor() uint64 {
+	floor := p.fetchCycle
+	if t, ok := p.pending.peek(); ok && t.fcAt < floor {
+		floor = t.fcAt
+	}
+	return floor
+}
+
 // executeStore applies the store's memory effects and bookkeeping.
 func (p *Pipeline) executeStore(seq uint64, in *trace.Inst, issueC uint64) {
+	if p.lastStore.crowded() {
+		// Evict records no future read can observe: the store executed
+		// at or before every future comparison cycle (no violation, no
+		// stale-probe window) and is too old to forward from the STQ.
+		floor := p.storeFloor()
+		stq4 := uint64(p.cfg.STQ) * 4
+		p.lastStore.compact(func(r storeRecord) bool {
+			return r.execDone > floor || seq-r.seq <= stq4
+		})
+	}
 	word := in.Addr >> 3
-	p.lastStore[word] = storeRecord{
+	p.lastStore.put(word, storeRecord{
 		seq:      seq,
 		pc:       in.PC,
 		execDone: issueC + 1,
 		prevWord: p.simMem.Read(in.Addr&^uint64(7), 8),
-	}
+	})
 	p.simMem.Write(in.Addr, in.Size, in.Value)
 	// The store's cache access shapes hierarchy state (write-allocate).
 	p.hier.DataAccess(in.PC, in.Addr)
@@ -571,7 +678,7 @@ func (p *Pipeline) executeStore(seq uint64, in *trace.Inst, issueC uint64) {
 // the word's previous contents.
 func (p *Pipeline) probeRead(addr uint64, size uint8, loadSeq, probeC uint64) uint64 {
 	word := addr >> 3
-	if ls, ok := p.lastStore[word]; ok && ls.seq < loadSeq && ls.execDone > probeC {
+	if ls, ok := p.lastStore.get(word); ok && ls.seq < loadSeq && ls.execDone > probeC {
 		off := addr & 7
 		if size == 0 || size > 8 {
 			size = 8
@@ -628,18 +735,9 @@ func (p *Pipeline) applyTrains(c uint64) {
 }
 
 func (p *Pipeline) trainOne(t pendingTrain) {
-	if n := p.inflightPC[t.outcome.PC]; n <= 1 {
-		delete(p.inflightPC, t.outcome.PC)
-	} else {
-		p.inflightPC[t.outcome.PC] = n - 1
-	}
-	resolve := func(addr uint64, size uint8) (uint64, bool) {
-		if !p.hier.L1D.Peek(addr) {
-			return 0, false
-		}
-		return p.probeRead(addr, size, t.specSeq, t.probeC), true
-	}
-	p.engine.Train(t.outcome, t.rec, resolve)
+	p.inflight.dec(t.outcome.PC)
+	p.trainSeq, p.trainProbeC = t.specSeq, t.probeC
+	p.engine.Train(t.outcome, t.rec, p.resolve)
 }
 
 // paqAdmit reports whether the Predicted Address Queue has room for a
@@ -675,15 +773,15 @@ func (p *Pipeline) paqRecord(done uint64) {
 // bandwidth (and a load/store lane when needed) and claims it.
 func (p *Pipeline) allocIssue(start uint64, isLS bool) uint64 {
 	for c := start; ; c++ {
-		if p.laneUse[c] >= p.cfg.IssueWidth {
+		if p.laneUse.get(c) >= p.cfg.IssueWidth {
 			continue
 		}
-		if isLS && p.lsUse[c] >= p.cfg.LSLanes {
+		if isLS && p.lsUse.get(c) >= p.cfg.LSLanes {
 			continue
 		}
-		p.laneUse[c]++
+		p.laneUse.inc(c)
 		if isLS {
-			p.lsUse[c]++
+			p.lsUse.inc(c)
 		}
 		return c
 	}
@@ -695,8 +793,8 @@ func (p *Pipeline) allocIssue(start uint64, isLS bool) uint64 {
 // port budget of LSLanes per cycle, queued behind earlier probes.
 func (p *Pipeline) allocLSLane(start uint64) uint64 {
 	for c := start; ; c++ {
-		if p.paqUse[c] < p.cfg.LSLanes {
-			p.paqUse[c]++
+		if p.paqUse.get(c) < p.cfg.LSLanes {
+			p.paqUse.inc(c)
 			return c
 		}
 	}
@@ -711,28 +809,11 @@ func (p *Pipeline) ringAt(seq uint64) *slotTiming {
 	return s
 }
 
-// prune discards resource-map entries that can no longer be claimed
-// (all future allocations happen at or after the current fetch cycle).
+// prune runs on the historical 4096-instruction cadence. The cycle
+// rings and the store/inflight tables reclaim space on their own; only
+// the line-fill table must evict here, because its stale entries are
+// architecturally visible and the map implementation dropped them
+// exactly at this cadence.
 func (p *Pipeline) prune() {
-	limit := p.fetchCycle
-	for c := range p.laneUse {
-		if c < limit {
-			delete(p.laneUse, c)
-		}
-	}
-	for c := range p.lsUse {
-		if c < limit {
-			delete(p.lsUse, c)
-		}
-	}
-	for c := range p.paqUse {
-		if c < limit {
-			delete(p.paqUse, c)
-		}
-	}
-	for line, fd := range p.lineFill {
-		if fd < limit {
-			delete(p.lineFill, line)
-		}
-	}
+	p.lineFill.compactBelow(p.fetchCycle)
 }

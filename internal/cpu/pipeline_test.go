@@ -174,11 +174,11 @@ type countingEngine struct {
 	trains int
 }
 
-func (c *countingEngine) Probe(core.Probe) (any, core.Prediction, bool) {
+func (c *countingEngine) Probe(core.Probe) (uint64, core.Prediction, bool) {
 	c.probes++
-	return nil, core.Prediction{}, false
+	return 0, core.Prediction{}, false
 }
-func (c *countingEngine) Train(core.Outcome, any, core.AddrResolver) { c.trains++ }
+func (c *countingEngine) Train(core.Outcome, uint64, core.AddrResolver) { c.trains++ }
 func (c *countingEngine) Instret(uint64)                             {}
 
 func TestEveryProbedLoadEventuallyTrains(t *testing.T) {
@@ -227,16 +227,16 @@ func TestPerfectEngineNeverFlushes(t *testing.T) {
 // as a "prediction". It bounds the pipeline's VP plumbing from above.
 type oracleEngine struct{ gen trace.Generator }
 
-func (o *oracleEngine) Probe(core.Probe) (any, core.Prediction, bool) {
+func (o *oracleEngine) Probe(core.Probe) (uint64, core.Prediction, bool) {
 	var in trace.Inst
 	for o.gen.Next(&in) {
 		if in.Op == trace.OpLoad && !in.Flags.NoPredict() {
-			return nil, core.Prediction{Kind: core.KindValue, Source: core.CompLVP, Value: in.Value}, true
+			return 0, core.Prediction{Kind: core.KindValue, Source: core.CompLVP, Value: in.Value}, true
 		}
 	}
-	return nil, core.Prediction{}, false
+	return 0, core.Prediction{}, false
 }
-func (o *oracleEngine) Train(core.Outcome, any, core.AddrResolver) {}
+func (o *oracleEngine) Train(core.Outcome, uint64, core.AddrResolver) {}
 func (o *oracleEngine) Instret(uint64)                             {}
 
 func TestROBLimitsIPC(t *testing.T) {

@@ -1,0 +1,28 @@
+package cpu
+
+import "sync"
+
+// pipelinePool recycles pipelines across runs. A pipeline owns several
+// megabytes of hierarchy, predictor, and ring state whose construction
+// dominated short runs before pooling; Reset reuses all of it when the
+// configuration matches (and rebuilds in place when it does not).
+var pipelinePool = sync.Pool{New: func() any { return &Pipeline{} }}
+
+// Acquire returns a reset pipeline for cfg and engine, recycling a
+// pooled one when available. The caller must Release it after the run.
+func Acquire(cfg Config, engine Engine) *Pipeline {
+	p := pipelinePool.Get().(*Pipeline)
+	p.Reset(cfg, engine)
+	return p
+}
+
+// Release returns p to the pool. The pipeline must not be used after
+// release. The engine reference is dropped so pooled pipelines never
+// retain predictors; the simulated memory image is kept for reuse.
+func Release(p *Pipeline) {
+	if p == nil {
+		return
+	}
+	p.engine = nil
+	pipelinePool.Put(p)
+}

@@ -1,0 +1,90 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func compositeForTest(seed uint64) Engine {
+	return NewCompositeEngine(core.NewComposite(core.CompositeConfig{
+		Entries: core.HomogeneousEntries(256),
+		Seed:    seed,
+		AM:      core.NewPCAM(64),
+	}))
+}
+
+// TestPipelineDeterminism: same seed + workload → bit-identical
+// stats.Run across two independently constructed pipelines.
+func TestPipelineDeterminism(t *testing.T) {
+	w, _ := trace.ByName("gcc2k")
+	a := New(DefaultConfig(), compositeForTest(7)).Run(w.Build(goldenInsts), w.Name, "det")
+	b := New(DefaultConfig(), compositeForTest(7)).Run(w.Build(goldenInsts), w.Name, "det")
+	if a != b {
+		t.Fatalf("two fresh pipelines diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// TestResetReuseBitIdentical: a pipeline reused via Reset — including
+// after a run under a different configuration — must reproduce a fresh
+// pipeline's results exactly.
+func TestResetReuseBitIdentical(t *testing.T) {
+	w, _ := trace.ByName("mcf")
+	cfg := DefaultConfig()
+	fresh := New(cfg, compositeForTest(7)).Run(w.Build(goldenInsts), w.Name, "fresh")
+
+	p := New(cfg, compositeForTest(7))
+	p.Run(w.Build(goldenInsts), w.Name, "first")
+
+	// Same config: everything is reused in place.
+	p.Reset(cfg, compositeForTest(7))
+	if got := p.Run(w.Build(goldenInsts), w.Name, "fresh"); got != fresh {
+		t.Fatalf("same-config Reset diverged:\n got: %+v\nwant: %+v", got, fresh)
+	}
+
+	// Different config in between: Reset rebuilds, then a reset back to
+	// cfg must still match.
+	small := cfg
+	small.ROB, small.IQ, small.LDQ, small.STQ = 16, 8, 8, 8
+	p.Reset(small, nil)
+	p.Run(w.Build(goldenInsts), w.Name, "small")
+	p.Reset(cfg, compositeForTest(7))
+	if got := p.Run(w.Build(goldenInsts), w.Name, "fresh"); got != fresh {
+		t.Fatalf("cross-config Reset diverged:\n got: %+v\nwant: %+v", got, fresh)
+	}
+}
+
+// TestPoolConcurrentReuse hammers Acquire/Release from many goroutines
+// (run under -race in CI): every rerun of the same workload+seed must
+// stay bit-identical while pipelines migrate between goroutines.
+func TestPoolConcurrentReuse(t *testing.T) {
+	workloads := []string{"gcc2k", "mcf", "linpack", "coremark"}
+	want := make(map[string]any)
+	for _, name := range workloads {
+		w, _ := trace.ByName(name)
+		want[name] = New(DefaultConfig(), compositeForTest(goldenSeed(name))).
+			Run(w.Build(goldenInsts), name, "pool")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		name := workloads[i%len(workloads)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, _ := trace.ByName(name)
+			for j := 0; j < 3; j++ {
+				p := Acquire(DefaultConfig(), compositeForTest(goldenSeed(name)))
+				got := p.Run(w.Build(goldenInsts), name, "pool")
+				Release(p)
+				if got != want[name] {
+					t.Errorf("%s: pooled run diverged:\n got: %+v\nwant: %+v", name, got, want[name])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

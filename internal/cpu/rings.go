@@ -1,0 +1,415 @@
+package cpu
+
+// This file holds the fixed-size structures that replaced the pipeline's
+// cycle-keyed and resource-keyed maps (see DESIGN.md, "Hot-path data
+// structures"). They are semantically equivalent to the maps they
+// replaced — the differential golden test in refpipe_test.go pins the
+// refactored pipeline bit-identical to the map-based reference — but
+// keep the per-instruction path free of map operations and allocations.
+
+// mix64 is SplitMix64's finalizer, used to hash open-addressing keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// cycleRing counts resource claims per cycle over a sliding window of
+// future cycles. A slot is valid for cycle c only when its tag matches
+// c's high bits; a stale tag reads as zero, exactly like a pruned map
+// entry. Correctness needs the window (the ring size) to exceed the
+// farthest distance between two live claimed cycles — cycleRingSize
+// derives that bound from the core configuration. inc records a clobber
+// when it ever overwrites a slot tagged for a *future* cycle, so
+// undersizing is detectable rather than silent.
+type cycleRing struct {
+	tags     []uint32
+	counts   []uint16
+	mask     uint64
+	shift    uint
+	clobbers uint64
+}
+
+func newCycleRing(size int) cycleRing {
+	shift := uint(0)
+	for 1<<shift < size {
+		shift++
+	}
+	return cycleRing{
+		tags:   make([]uint32, size),
+		counts: make([]uint16, size),
+		mask:   uint64(size - 1),
+		shift:  shift,
+	}
+}
+
+func (r *cycleRing) get(c uint64) int {
+	i := c & r.mask
+	if r.tags[i] != uint32(c>>r.shift) {
+		return 0
+	}
+	return int(r.counts[i])
+}
+
+func (r *cycleRing) inc(c uint64) {
+	i := c & r.mask
+	t := uint32(c >> r.shift)
+	if r.tags[i] != t {
+		if r.tags[i] > t {
+			r.clobbers++
+		}
+		r.tags[i] = t
+		r.counts[i] = 1
+		return
+	}
+	r.counts[i]++
+}
+
+func (r *cycleRing) reset() {
+	clear(r.tags)
+	clear(r.counts)
+}
+
+// cycleRingSize returns the claim window for cfg: the farthest a claimed
+// cycle can sit ahead of the current fetch cycle is bounded by a full
+// window of maximum-latency instructions (every hop in a dependence
+// chain that advances readiness must come from an instruction still in
+// the ROB; older producers are capped by commit-driven fetch
+// backpressure to within FetchToExec of fetch).
+func cycleRingSize(cfg Config) int {
+	h := cfg.Hierarchy
+	// Worst-case single-instruction latency: a demand miss walking the
+	// TLB and every cache level to memory, plus replay/forwarding
+	// charges; +128 covers TLB walk and redirect slack.
+	lat := h.MemLatency + h.L3.Latency + h.L2.Latency + h.L1D.Latency +
+		cfg.ReplayPenalty + cfg.StoreForwardLat + 128
+	span := cfg.ROB*(lat+1) + cfg.FetchToExec + 8192
+	size := 1 << 12
+	for size < span {
+		size <<= 1
+	}
+	return size
+}
+
+// storeTable is a bounded open-addressing map word→storeRecord standing
+// in for the lastStore map. Entries are removed only by compact, which
+// rebuilds every probe chain, so linear probing stays correct between
+// compactions. The pipeline compacts with a liveness predicate under
+// which dropped entries are unobservable (see storeFloor).
+type storeTable struct {
+	keys []uint64
+	live []bool
+	vals []storeRecord
+	mask uint64
+	n    int
+
+	scratchK []uint64
+	scratchV []storeRecord
+}
+
+func newStoreTable(size int) storeTable {
+	return storeTable{
+		keys:     make([]uint64, size),
+		live:     make([]bool, size),
+		vals:     make([]storeRecord, size),
+		mask:     uint64(size - 1),
+		scratchK: make([]uint64, 0, size/2),
+		scratchV: make([]storeRecord, 0, size/2),
+	}
+}
+
+func (t *storeTable) get(key uint64) (storeRecord, bool) {
+	i := mix64(key) & t.mask
+	for {
+		if !t.live[i] {
+			return storeRecord{}, false
+		}
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *storeTable) put(key uint64, v storeRecord) {
+	i := mix64(key) & t.mask
+	for {
+		if !t.live[i] {
+			t.live[i] = true
+			t.keys[i] = key
+			t.vals[i] = v
+			t.n++
+			return
+		}
+		if t.keys[i] == key {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// crowded reports whether the table is at least half full; the caller
+// must compact (and the table then grows itself if compaction did not
+// help) before inserting more.
+func (t *storeTable) crowded() bool { return 2*t.n >= len(t.keys) }
+
+// compact rebuilds the table keeping only entries keep accepts, doubling
+// the arrays while the survivors alone would keep it crowded (a safety
+// valve — with window-bounded liveness the default sizing never grows).
+func (t *storeTable) compact(keep func(storeRecord) bool) {
+	t.scratchK = t.scratchK[:0]
+	t.scratchV = t.scratchV[:0]
+	for i, lv := range t.live {
+		if lv && keep(t.vals[i]) {
+			t.scratchK = append(t.scratchK, t.keys[i])
+			t.scratchV = append(t.scratchV, t.vals[i])
+		}
+	}
+	size := len(t.keys)
+	for 2*len(t.scratchK) >= size {
+		size *= 2
+	}
+	if size != len(t.keys) {
+		t.keys = make([]uint64, size)
+		t.live = make([]bool, size)
+		t.vals = make([]storeRecord, size)
+		t.mask = uint64(size - 1)
+	} else {
+		clear(t.live)
+	}
+	t.n = 0
+	for j, k := range t.scratchK {
+		t.put(k, t.scratchV[j])
+	}
+}
+
+func (t *storeTable) reset() {
+	clear(t.live)
+	t.n = 0
+}
+
+// fillTable is a bounded open-addressing map line→fill-completion-cycle
+// standing in for the lineFill map. Stale entries are architecturally
+// visible (they bound a demand load's completion), so — unlike
+// storeTable — entries are dropped only on the prune cadence with the
+// same `fd < fetchCycle` predicate the map used, keeping eviction timing
+// bit-identical.
+type fillTable struct {
+	keys []uint64
+	live []bool
+	vals []uint64
+	mask uint64
+	n    int
+
+	scratchK []uint64
+	scratchV []uint64
+}
+
+func newFillTable(size int) fillTable {
+	return fillTable{
+		keys:     make([]uint64, size),
+		live:     make([]bool, size),
+		vals:     make([]uint64, size),
+		mask:     uint64(size - 1),
+		scratchK: make([]uint64, 0, size/2),
+		scratchV: make([]uint64, 0, size/2),
+	}
+}
+
+func (t *fillTable) get(key uint64) (uint64, bool) {
+	i := mix64(key) & t.mask
+	for {
+		if !t.live[i] {
+			return 0, false
+		}
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// putMin inserts key→done, keeping the earlier completion when the line
+// already has a pending fill. Between prunes insertions may only grow
+// the table (never evict), preserving map semantics.
+func (t *fillTable) putMin(key, done uint64) {
+	if 2*(t.n+1) >= len(t.keys) {
+		t.grow()
+	}
+	i := mix64(key) & t.mask
+	for {
+		if !t.live[i] {
+			t.live[i] = true
+			t.keys[i] = key
+			t.vals[i] = done
+			t.n++
+			return
+		}
+		if t.keys[i] == key {
+			if done < t.vals[i] {
+				t.vals[i] = done
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *fillTable) grow() {
+	oldK, oldL, oldV := t.keys, t.live, t.vals
+	size := len(oldK) * 2
+	t.keys = make([]uint64, size)
+	t.live = make([]bool, size)
+	t.vals = make([]uint64, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+	for i, lv := range oldL {
+		if lv {
+			t.putMin(oldK[i], oldV[i])
+		}
+	}
+}
+
+// compactBelow drops entries whose fill completes before limit — the
+// prune() predicate.
+func (t *fillTable) compactBelow(limit uint64) {
+	t.scratchK = t.scratchK[:0]
+	t.scratchV = t.scratchV[:0]
+	for i, lv := range t.live {
+		if lv && t.vals[i] >= limit {
+			t.scratchK = append(t.scratchK, t.keys[i])
+			t.scratchV = append(t.scratchV, t.vals[i])
+		}
+	}
+	clear(t.live)
+	t.n = 0
+	for j, k := range t.scratchK {
+		t.putMin(k, t.scratchV[j])
+	}
+}
+
+func (t *fillTable) reset() {
+	clear(t.live)
+	t.n = 0
+}
+
+// countTable is a bounded open-addressing map pc→count standing in for
+// the inflightPC map. A count that reaches zero is indistinguishable
+// from an absent entry (get returns 0 either way), so zero-count slots
+// can be reclaimed at any compaction without observable effect; they
+// stay in place between compactions to keep probe chains intact.
+type countTable struct {
+	keys   []uint64
+	used   []bool
+	counts []int32
+	mask   uint64
+	n      int
+
+	scratchK []uint64
+	scratchC []int32
+}
+
+func newCountTable(size int) countTable {
+	return countTable{
+		keys:     make([]uint64, size),
+		used:     make([]bool, size),
+		counts:   make([]int32, size),
+		mask:     uint64(size - 1),
+		scratchK: make([]uint64, 0, size/2),
+		scratchC: make([]int32, 0, size/2),
+	}
+}
+
+func (t *countTable) get(key uint64) int {
+	i := mix64(key) & t.mask
+	for {
+		if !t.used[i] {
+			return 0
+		}
+		if t.keys[i] == key {
+			return int(t.counts[i])
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *countTable) inc(key uint64) {
+	if 2*(t.n+1) >= len(t.keys) {
+		t.compact()
+	}
+	i := mix64(key) & t.mask
+	for {
+		if !t.used[i] {
+			t.used[i] = true
+			t.keys[i] = key
+			t.counts[i] = 1
+			t.n++
+			return
+		}
+		if t.keys[i] == key {
+			t.counts[i]++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *countTable) dec(key uint64) {
+	i := mix64(key) & t.mask
+	for {
+		if !t.used[i] {
+			return
+		}
+		if t.keys[i] == key {
+			if t.counts[i] > 0 {
+				t.counts[i]--
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// compact reclaims zero-count slots, doubling if the live entries alone
+// would keep the table crowded.
+func (t *countTable) compact() {
+	t.scratchK = t.scratchK[:0]
+	t.scratchC = t.scratchC[:0]
+	for i, u := range t.used {
+		if u && t.counts[i] > 0 {
+			t.scratchK = append(t.scratchK, t.keys[i])
+			t.scratchC = append(t.scratchC, t.counts[i])
+		}
+	}
+	size := len(t.keys)
+	for 2*(len(t.scratchK)+1) >= size {
+		size *= 2
+	}
+	if size != len(t.keys) {
+		t.keys = make([]uint64, size)
+		t.used = make([]bool, size)
+		t.counts = make([]int32, size)
+		t.mask = uint64(size - 1)
+	} else {
+		clear(t.used)
+	}
+	t.n = 0
+	for j, k := range t.scratchK {
+		i := mix64(k) & t.mask
+		for t.used[i] {
+			i = (i + 1) & t.mask
+		}
+		t.used[i] = true
+		t.keys[i] = k
+		t.counts[i] = t.scratchC[j]
+		t.n++
+	}
+}
+
+func (t *countTable) reset() {
+	clear(t.used)
+	t.n = 0
+}

@@ -73,8 +73,18 @@ type EVES struct {
 	stride     []strideEntry
 	strideMask uint64
 
+	// Per-load record ring: Probe hands the pipeline a handle into it,
+	// Train dereferences the handle (see cpu.Engine's record contract).
+	recs    []lookup
+	recNext uint64
+
 	rng *core.XorShift64
 }
+
+// recRingSize mirrors cpu.RecRingSize (not imported, to keep this
+// package's dependency on the pipeline one-directional): records must
+// outlive the pipeline's training backlog, bounded by the ROB.
+const recRingSize = 4096
 
 // vtage confidence threshold (saturating 3-bit counter, probabilistic
 // increments giving a high effective confidence).
@@ -105,6 +115,7 @@ func New(cfg Config) *EVES {
 	e.tagMask = uint64(taggedEntries - 1)
 	e.stride = make([]strideEntry, strideEntries)
 	e.strideMask = uint64(strideEntries - 1)
+	e.recs = make([]lookup, recRingSize)
 	return e
 }
 
@@ -160,8 +171,11 @@ type lookup struct {
 }
 
 // Probe implements the Engine Probe hook.
-func (e *EVES) Probe(p core.Probe) (any, core.Prediction, bool) {
-	lk := &lookup{provider: -2}
+func (e *EVES) Probe(p core.Probe) (uint64, core.Prediction, bool) {
+	h := e.recNext
+	e.recNext++
+	lk := &e.recs[h&(recRingSize-1)]
+	*lk = lookup{provider: -2}
 
 	// E-VTAGE: longest-history tagged hit, else base table.
 	for i := numTagged - 1; i >= 0; i-- {
@@ -205,9 +219,9 @@ func (e *EVES) Probe(p core.Probe) (any, core.Prediction, bool) {
 		lk.usedVal = lk.strideVal
 	}
 	if !lk.used {
-		return lk, core.Prediction{}, false
+		return h, core.Prediction{}, false
 	}
-	return lk, core.Prediction{
+	return h, core.Prediction{
 		Kind:   core.KindValue,
 		Source: core.CompLVP, // value-kind; component tag unused by the pipeline
 		Value:  lk.usedVal,
@@ -215,12 +229,8 @@ func (e *EVES) Probe(p core.Probe) (any, core.Prediction, bool) {
 }
 
 // Train implements the Engine Train hook.
-func (e *EVES) Train(o core.Outcome, rec any, _ core.AddrResolver) {
-	var lk *lookup
-	if rec != nil {
-		lk = rec.(*lookup)
-	}
-	e.trainVTAGE(o, lk)
+func (e *EVES) Train(o core.Outcome, rec uint64, _ core.AddrResolver) {
+	e.trainVTAGE(o, &e.recs[rec&(recRingSize-1)])
 	e.trainStride(o)
 }
 
@@ -332,4 +342,5 @@ func (e *EVES) ResetState() {
 		clear(e.tagged[i])
 	}
 	clear(e.stride)
+	e.rng.Reset()
 }

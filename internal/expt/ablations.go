@@ -81,9 +81,12 @@ func Ablations(ctx *Context) Result {
 func (c *Context) perWorkloadCfg(config string, coreCfg cpu.Config, mk EngineFactory) []Pair {
 	out := make([]Pair, len(c.pool))
 	c.forEach(func(i int, w trace.Workload) {
-		base := cpu.New(coreCfg, nil).Run(w.Build(c.insts), w.Name, "base")
+		p := cpu.Acquire(coreCfg, nil)
+		base := p.Run(w.Build(c.insts), w.Name, "base")
 		eng := mk(core.SplitMix64(c.seed ^ hashName(w.Name)))
-		run := cpu.New(coreCfg, eng).Run(w.Build(c.insts), w.Name, config)
+		p.Reset(coreCfg, eng)
+		run := p.Run(w.Build(c.insts), w.Name, config)
+		cpu.Release(p)
 		out[i] = Pair{Workload: w.Name, Run: run, Base: base}
 	})
 	return out

@@ -144,7 +144,9 @@ func (c *Context) BaselineCtx(ctx context.Context, w trace.Workload) stats.Run {
 		c.inflight[w.Name] = ch
 		c.mu.Unlock()
 
-		r := cpu.New(cpu.DefaultConfig(), nil).RunCtx(ctx, w.Build(c.insts), w.Name, "base")
+		p := cpu.Acquire(cpu.DefaultConfig(), nil)
+		r := p.RunCtx(ctx, w.Build(c.insts), w.Name, "base")
+		cpu.Release(p)
 		c.mu.Lock()
 		delete(c.inflight, w.Name)
 		if !r.Aborted {
@@ -181,8 +183,12 @@ func (c *Context) EngineSeed(w trace.Workload) uint64 {
 
 // RunEngineCtx simulates workload w with the supplied engine under ctx.
 // The engine must be fresh (engines are stateful and single-threaded).
+// Pipelines come from the package pool, so repeated runs reuse the
+// hierarchy, branch predictors, and scheduling rings.
 func (c *Context) RunEngineCtx(ctx context.Context, w trace.Workload, config string, eng cpu.Engine) stats.Run {
-	return cpu.New(cpu.DefaultConfig(), eng).RunCtx(ctx, w.Build(c.insts), w.Name, config)
+	p := cpu.Acquire(cpu.DefaultConfig(), eng)
+	defer cpu.Release(p)
+	return p.RunCtx(ctx, w.Build(c.insts), w.Name, config)
 }
 
 // PerWorkload runs the engine configuration on every pool workload in
@@ -221,18 +227,24 @@ type Aggregate struct {
 	Accuracy float64 // arithmetic mean accuracy
 }
 
-// Summarize aggregates pairs.
+// Summarize aggregates pairs. Pairs containing an aborted run (either
+// side) are skipped: stats.Run documents that aborted runs cover an
+// arbitrary prefix and must not be aggregated.
 func Summarize(pairs []Pair) Aggregate {
 	ratios := make([]float64, 0, len(pairs))
 	var cov, acc float64
+	var n float64
 	for _, p := range pairs {
+		if p.Run.Aborted || p.Base.Aborted {
+			continue
+		}
 		if b := p.Base.IPC(); b > 0 {
 			ratios = append(ratios, p.Run.IPC()/b)
 		}
 		cov += p.Run.Coverage()
 		acc += p.Run.Accuracy()
+		n++
 	}
-	n := float64(len(pairs))
 	if n == 0 {
 		return Aggregate{}
 	}

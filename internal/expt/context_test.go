@@ -42,6 +42,33 @@ func TestSummarizeSkipsZeroIPCBaselines(t *testing.T) {
 	}
 }
 
+func TestSummarizeSkipsAbortedRuns(t *testing.T) {
+	mk := func(insts, cycles uint64, loads, pred, correct uint64) stats.Run {
+		return stats.Run{
+			Instructions: insts, Cycles: cycles,
+			Loads: loads, PredictedLoads: pred, CorrectPredicted: correct,
+		}
+	}
+	good := Pair{Workload: "a", Run: mk(1000, 500, 100, 50, 50), Base: mk(1000, 550, 100, 0, 0)}
+	abortedRun := good
+	abortedRun.Workload = "b"
+	abortedRun.Run.Aborted = true
+	abortedRun.Run.Cycles = 1 // absurd prefix metrics that would skew every mean
+	abortedBase := good
+	abortedBase.Workload = "c"
+	abortedBase.Base.Aborted = true
+	abortedBase.Base.Cycles = 1
+
+	want := Summarize([]Pair{good})
+	got := Summarize([]Pair{good, abortedRun, abortedBase})
+	if got != want {
+		t.Errorf("aborted pairs leaked into the aggregate: got %+v, want %+v", got, want)
+	}
+	if all := Summarize([]Pair{abortedRun, abortedBase}); all != (Aggregate{}) {
+		t.Errorf("all-aborted input should aggregate to zero, got %+v", all)
+	}
+}
+
 func TestNewContextErrUnknownWorkload(t *testing.T) {
 	_, err := NewContextErr(Options{Workloads: []string{"no-such-workload"}})
 	if err == nil {

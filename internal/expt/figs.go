@@ -138,7 +138,9 @@ func (c *Context) compositeAggregate(config string, entries [core.NumComponents]
 			cfg.Fusion = core.DefaultFusion()
 		}
 		comp := core.NewComposite(cfg)
-		run := cpu.New(cpu.DefaultConfig(), cpu.NewCompositeEngine(comp)).Run(w.Build(c.insts), w.Name, config)
+		p := cpu.Acquire(cpu.DefaultConfig(), cpu.NewCompositeEngine(comp))
+		run := p.Run(w.Build(c.insts), w.Name, config)
+		cpu.Release(p)
 		pairs[i] = Pair{Workload: w.Name, Run: run, Base: base}
 		comps[i] = comp
 	})

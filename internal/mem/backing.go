@@ -43,32 +43,49 @@ func (b *Backing) word(wordIdx uint64) uint64 {
 }
 
 // Read returns size bytes at addr, zero-extended, little-endian. Reads
-// may straddle an 8-byte word boundary.
+// may straddle an 8-byte word boundary. The access touches at most two
+// words (one or two map lookups) rather than one per byte.
 func (b *Backing) Read(addr uint64, size uint8) uint64 {
 	if size == 0 || size > 8 {
 		size = 8
 	}
-	var v uint64
-	for i := uint8(0); i < size; i++ {
-		a := addr + uint64(i)
-		byteVal := (b.word(a>>3) >> ((a & 7) * 8)) & 0xFF
-		v |= byteVal << (i * 8)
+	w0 := addr >> 3
+	off := (addr & 7) * 8
+	nbits := uint64(size) * 8
+	v := b.word(w0) >> off
+	if off+nbits > 64 {
+		v |= b.word(w0+1) << (64 - off)
+	}
+	if nbits < 64 {
+		v &= (uint64(1) << nbits) - 1
 	}
 	return v
 }
 
-// Write stores the low size bytes of val at addr, little-endian.
+// Write stores the low size bytes of val at addr, little-endian,
+// touching at most two words.
 func (b *Backing) Write(addr uint64, size uint8, val uint64) {
 	if size == 0 || size > 8 {
 		size = 8
 	}
-	for i := uint8(0); i < size; i++ {
-		a := addr + uint64(i)
-		w := b.word(a >> 3)
-		shift := (a & 7) * 8
-		w &^= uint64(0xFF) << shift
-		w |= ((val >> (i * 8)) & 0xFF) << shift
-		b.words[a>>3] = w
+	w0 := addr >> 3
+	off := (addr & 7) * 8
+	nbits := uint64(size) * 8
+	if nbits < 64 {
+		val &= (uint64(1) << nbits) - 1
+	}
+	n0 := nbits // bits landing in the first word
+	if n0 > 64-off {
+		n0 = 64 - off
+	}
+	mask0 := ^uint64(0)
+	if n0 < 64 {
+		mask0 = (uint64(1) << n0) - 1
+	}
+	b.words[w0] = b.word(w0)&^(mask0<<off) | (val&mask0)<<off
+	if rem := nbits - n0; rem > 0 {
+		maskR := (uint64(1) << rem) - 1
+		b.words[w0+1] = b.word(w0+1)&^maskR | (val>>n0)&maskR
 	}
 }
 
@@ -84,6 +101,17 @@ func (b *Backing) Clone() *Backing {
 		c.words[k] = v
 	}
 	return c
+}
+
+// CopyFrom makes b an independent copy of src (seed and contents),
+// reusing b's map storage — the allocation-free counterpart of Clone
+// for pooled pipelines.
+func (b *Backing) CopyFrom(src *Backing) {
+	b.seed = src.seed
+	clear(b.words)
+	for k, v := range src.words {
+		b.words[k] = v
+	}
 }
 
 // Reset discards all written data.

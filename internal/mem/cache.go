@@ -149,3 +149,10 @@ func (c *Cache) Flush() {
 	}
 	c.clock = 0
 }
+
+// Reset flushes the cache and zeroes its statistics, restoring the
+// just-constructed state.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.stats = CacheStats{}
+}

@@ -9,6 +9,7 @@ type StridePrefetcher struct {
 	mask    uint64
 	degree  int
 	stats   PrefetchStats
+	out     []uint64 // reused Observe result buffer
 }
 
 type pfEntry struct {
@@ -37,6 +38,7 @@ func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
 		entries: make([]pfEntry, entries),
 		mask:    uint64(entries - 1),
 		degree:  degree,
+		out:     make([]uint64, 0, degree),
 	}
 }
 
@@ -45,7 +47,8 @@ func (p *StridePrefetcher) Stats() PrefetchStats { return p.stats }
 
 // Observe trains on a demand access and returns the addresses to
 // prefetch (possibly none). The caller fills those lines into the cache
-// hierarchy.
+// hierarchy. The returned slice is reused by the next Observe call and
+// must be consumed before then.
 func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	idx := (pc >> 2) & p.mask
 	tag := uint32(pc >> 2 >> len64(p.mask))
@@ -70,10 +73,11 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	if e.conf < 2 || e.stride == 0 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.out[:0]
 	for i := 1; i <= p.degree; i++ {
 		out = append(out, uint64(int64(addr)+e.stride*int64(i)))
 	}
+	p.out = out
 	p.stats.Issued += uint64(len(out))
 	return out
 }

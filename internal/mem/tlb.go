@@ -89,6 +89,13 @@ func (t *TLB) Flush() {
 	}
 }
 
+// Reset flushes the TLB and zeroes its statistics, restoring the
+// just-constructed state.
+func (t *TLB) Reset() {
+	t.Flush()
+	t.stats = CacheStats{}
+}
+
 func len64(v uint64) int {
 	n := 0
 	for v != 0 {

@@ -120,7 +120,7 @@ func (p *Predictor) StatsSnapshot() Stats { return p.stats }
 // Reset clears all predictor state.
 func (p *Predictor) Reset() {
 	clear(p.ssit)
-	p.lfst = make(map[uint32]lfstEntry)
+	clear(p.lfst) // keep the map's storage for pooled reuse
 	p.nextID = 0
 	p.stats = Stats{}
 }

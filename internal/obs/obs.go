@@ -92,6 +92,7 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fg     func() float64 // derived gauge, evaluated at scrape time
 }
 
 // family groups series sharing a metric name.
@@ -175,6 +176,17 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	return m.g
 }
 
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. Use it for metrics derived from other instruments (ratios,
+// rates); fn must be safe for concurrent use. Re-registering the same
+// name+labels keeps the first fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	m := r.lookup(name, help, "gauge", Labels(labels))
+	if m.fg == nil && m.g == nil {
+		m.fg = fn
+	}
+}
+
 // Histogram registers (or fetches) a histogram with the given bucket
 // bounds (nil = DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
@@ -212,7 +224,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			case "counter":
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.c.Value())
 			case "gauge":
-				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.g.Value())
+				if m.fg != nil {
+					fmt.Fprintf(&b, "%s%s %g\n", f.name, m.labels, m.fg())
+				} else {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.g.Value())
+				}
 			case "histogram":
 				writeHistogram(&b, f.name, m)
 			}

@@ -33,6 +33,40 @@ func TestCounterGauge(t *testing.T) {
 	}
 }
 
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	insts := r.Counter("sim_instructions_total", "instructions")
+	secs := 0.0
+	r.GaugeFunc("sim_mips", "derived throughput", func() float64 {
+		if secs <= 0 {
+			return 0
+		}
+		return float64(insts.Value()) / 1e6 / secs
+	})
+
+	render := func() string {
+		var b strings.Builder
+		r.WriteTo(&b)
+		return b.String()
+	}
+	if out := render(); !strings.Contains(out, "# TYPE sim_mips gauge") || !strings.Contains(out, "sim_mips 0") {
+		t.Errorf("initial render missing zero gauge:\n%s", out)
+	}
+
+	// The function is re-evaluated at every scrape.
+	insts.Add(3_000_000)
+	secs = 2
+	if out := render(); !strings.Contains(out, "sim_mips 1.5") {
+		t.Errorf("derived gauge not recomputed at scrape:\n%s", out)
+	}
+
+	// Re-registration keeps the first function.
+	r.GaugeFunc("sim_mips", "derived throughput", func() float64 { return -1 })
+	if out := render(); !strings.Contains(out, "sim_mips 1.5") {
+		t.Errorf("re-registration replaced the gauge function:\n%s", out)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", "latency", []float64{1, 10, 100})

@@ -1,0 +1,58 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags
+// into a command: Start begins a CPU profile, and the returned stop
+// function ends it and writes a heap profile. Both commands in this
+// repo share it so profiling a slow sweep is one flag away:
+//
+//	lvpsim -workload gcc2k -insts 2000000 -cpuprofile cpu.out
+//	experiments -run fig5 -memprofile mem.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two (possibly empty) output
+// paths. The returned stop function must run once at exit: it stops
+// the CPU profile and writes the heap profile after a final GC so the
+// snapshot reflects live memory, not collectible garbage. stop is
+// never nil, even when both paths are empty.
+func Start(cpuProfile, memProfile string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		cpuFile, err = os.Create(cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("closing CPU profile: %w", err)
+			}
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				return fmt.Errorf("creating heap profile: %w", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("closing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -145,6 +145,17 @@ type RunResult struct {
 
 	// StorageKB is the predictor's storage budget, when known.
 	StorageKB float64 `json:"storage_kb,omitempty"`
+
+	// SimInstructions counts the instructions simulated to produce
+	// this result: the configured run plus the baseline when the job
+	// had to simulate it (a baseline already cached in the shared
+	// context is not re-counted). Cache-hit responses replay the
+	// producing job's value; JobStatus.CacheHit distinguishes them.
+	SimInstructions uint64 `json:"sim_instructions,omitempty"`
+
+	// SimMIPS is the producing job's simulation throughput in millions
+	// of instructions per wall-clock second.
+	SimMIPS float64 `json:"sim_mips,omitempty"`
 }
 
 // NewRunResult assembles the response payload from a configured run,

@@ -218,6 +218,19 @@ func New(cfg Config) *Server {
 		mJobDur:     reg.Histogram("lvpd_job_duration_seconds", "Wall time from dequeue to completion.", nil),
 		mSimInsts:   reg.Counter("lvpd_sim_instructions_total", "Instructions simulated (rate gives sim instructions/sec)."),
 	}
+	// Derived throughput: simulated instructions per wall-clock second
+	// spent simulating, in millions. Computed at scrape time from the
+	// instruction counter and the job-duration histogram sum, so it
+	// needs no extra bookkeeping on the hot path.
+	reg.GaugeFunc("lvpd_sim_mips",
+		"Simulator throughput: simulated instructions per second of job wall time, in millions.",
+		func() float64 {
+			secs := s.mJobDur.Sum()
+			if secs <= 0 {
+				return 0
+			}
+			return float64(s.mSimInsts.Value()) / 1e6 / secs
+		})
 	s.lifeCtx, s.lifeStop = context.WithCancel(context.Background())
 	s.routes()
 	return s
@@ -566,8 +579,10 @@ func (s *Server) runJob(j *job) {
 		s.settleAborted(j, ctx)
 		return
 	}
+	var simInsts uint64
 	if !baseCached {
 		s.mSimInsts.Add(base.Instructions)
+		simInsts += base.Instructions
 	}
 
 	var res RunResult
@@ -577,6 +592,7 @@ func (s *Server) runJob(j *job) {
 		eng := s.engineFactory(sctx, j.req)(sctx.EngineSeed(w))
 		run := sctx.RunEngineCtx(ctx, w, j.req.Predictor, eng)
 		s.mSimInsts.Add(run.Instructions)
+		simInsts += run.Instructions
 		if run.Aborted {
 			s.settleAborted(j, ctx)
 			return
@@ -587,6 +603,11 @@ func (s *Server) runJob(j *job) {
 	// The run's config label tracks the engine ("base" for the none
 	// family); the response should echo the requested predictor.
 	res.Predictor = j.req.Predictor
+
+	res.SimInstructions = simInsts
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		res.SimMIPS = float64(simInsts) / 1e6 / secs
+	}
 
 	s.cache.Put(j.key, res)
 	if j.transition(StateDone, "", &res) {

@@ -128,6 +128,14 @@ func TestJobLifecycle(t *testing.T) {
 	if len(r.Components) == 0 {
 		t.Error("composite result missing per-component breakdown")
 	}
+	// First job for this (insts, seed) context: it simulated both the
+	// baseline and the configured run.
+	if r.SimInstructions != 40_000 {
+		t.Errorf("SimInstructions = %d, want 40000 (baseline + run)", r.SimInstructions)
+	}
+	if r.SimMIPS <= 0 {
+		t.Errorf("SimMIPS = %g, want > 0", r.SimMIPS)
+	}
 	if final.Started == nil || final.Finished == nil {
 		t.Error("done job missing started/finished timestamps")
 	}
@@ -333,11 +341,21 @@ func TestMetricsAndHealth(t *testing.T) {
 		"lvpd_job_duration_seconds_bucket",
 		"lvpd_job_duration_seconds_count 1",
 		"lvpd_cache_misses_total 1",
-		"lvpd_sim_instructions_total",
+		"lvpd_sim_instructions_total 40000", // baseline + lvp run, 20k each
 		"lvpd_http_requests_total",
+		"# TYPE lvpd_sim_mips gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The derived throughput gauge must be positive once a job has run.
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, "lvpd_sim_mips "); ok {
+			var mips float64
+			if _, err := fmt.Sscanf(v, "%g", &mips); err != nil || mips <= 0 {
+				t.Errorf("lvpd_sim_mips = %q, want a positive value", v)
+			}
 		}
 	}
 

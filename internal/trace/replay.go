@@ -1,0 +1,52 @@
+package trace
+
+import "repro/internal/mem"
+
+// Replay is an in-memory recording of a generator's instruction stream
+// that can be rewound and consumed again without re-running the
+// kernels. It exists for steady-state benchmarking and repeated-run
+// tooling: generation costs both time and allocations (the emitter's
+// buffers, the kernels' working state), and a Replay moves all of that
+// out of the measured region — Rewind and every Next are allocation
+// free.
+type Replay struct {
+	insts []Inst
+	mem   *mem.Backing
+	pos   int
+}
+
+// Record drains gen (up to max instructions; 0 means the generator's
+// own end of stream) into a replayable trace. The architectural memory
+// image is snapshotted before the first instruction is generated, so a
+// replayed run observes the same Run-start image a fresh generator
+// would present.
+func Record(gen Generator, max uint64) *Replay {
+	r := &Replay{mem: gen.Mem().Clone()}
+	var in Inst
+	for (max == 0 || uint64(len(r.insts)) < max) && gen.Next(&in) {
+		r.insts = append(r.insts, in)
+	}
+	return r
+}
+
+// Mem implements Generator. Unlike a live generator, the image is the
+// Run-start snapshot and does not advance with the stream; consumers
+// that apply stores must do so on their own copy (the pipeline does).
+// The image is shared across rewinds, so callers must not mutate it.
+func (r *Replay) Mem() *mem.Backing { return r.mem }
+
+// Next implements Generator.
+func (r *Replay) Next(in *Inst) bool {
+	if r.pos >= len(r.insts) {
+		return false
+	}
+	*in = r.insts[r.pos]
+	r.pos++
+	return true
+}
+
+// Rewind restarts the stream from the first instruction.
+func (r *Replay) Rewind() { r.pos = 0 }
+
+// Len returns the number of recorded instructions.
+func (r *Replay) Len() int { return len(r.insts) }
