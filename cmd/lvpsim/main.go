@@ -1,15 +1,23 @@
-// Command lvpsim simulates one workload on the baseline core with a
+// Command lvpsim simulates one workload on a configurable core with a
 // selectable load value predictor and prints the run's metrics.
+//
+// The simulation is described by a declarative spec (internal/spec):
+// flags compile into it, -spec loads one from JSON (full machine and
+// predictor control), -preset starts from a named configuration, and
+// -dump-spec prints the resolved spec without simulating.
 //
 // Usage:
 //
 //	lvpsim -workload gcc2k -predictor composite -entries 1024
 //	lvpsim -workload mcf -predictor lvp -entries 4096 -insts 500000
 //	lvpsim -workload v8 -predictor eves -budget 32
-//	lvpsim -workloads            # list workload names
+//	lvpsim -spec sim.json              # run a saved spec
+//	lvpsim -preset best-9.6KB -workload gcc2k
+//	lvpsim -workload gcc2k -dump-spec  # print the canonical spec JSON
+//	lvpsim -workloads                  # list workload names
 //
 // Predictors: none, lvp, sap, cvp, cap, composite, best (composite +
-// PC-AM + smart training + fusion), eves.
+// PC-AM + fusion), eves.
 package main
 
 import (
@@ -20,9 +28,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/eves"
 	"repro/internal/prof"
 	"repro/internal/server"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -48,6 +56,78 @@ func buildGen(workload string, insts uint64, replay string) (trace.Generator, st
 	return w.Build(insts), w.Name, nil
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// buildSpec resolves flags (and -spec/-preset) into the canonical
+// simulation spec plus the predictor label responses echo. Explicitly
+// set flags override fields of a loaded spec or preset.
+func buildSpec(specFile, preset string, fs *flag.FlagSet,
+	workload *string, predictor *string, entries, budget *int, am *string,
+	insts, seed *uint64) (spec.Sim, string) {
+
+	var sim spec.Sim
+	switch {
+	case specFile != "":
+		b, err := os.ReadFile(specFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(b, &sim); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", specFile, err))
+		}
+	case preset != "":
+		p, ok := spec.Preset(preset)
+		if !ok {
+			fatal(fmt.Errorf("unknown preset %q (one of %v)", preset, spec.PresetNames()))
+		}
+		sim = p
+	}
+
+	// Flags the user actually set win over the loaded spec; with no
+	// -spec/-preset the flag defaults describe the whole simulation.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fromFlags := specFile == "" && preset == ""
+	override := func(name string) bool { return fromFlags || set[name] }
+
+	if override("workload") || sim.Workload.Name == "" {
+		sim.Workload.Name = *workload
+	}
+	if override("insts") || sim.Workload.Insts == 0 {
+		sim.Workload.Insts = *insts
+	}
+	if override("seed") || sim.Run.Seed == 0 {
+		sim.Run.Seed = *seed
+	}
+	label := string(sim.Predictor.Family)
+	if fromFlags || set["predictor"] {
+		sim.Predictor = spec.PredictorSpec{
+			Family:     spec.Family(*predictor),
+			EntriesPer: *entries,
+		}
+		switch sim.Predictor.Family {
+		case spec.FamilyComposite, spec.FamilyBest:
+			sim.Predictor.AM = spec.AMMode(*am)
+		case spec.FamilyEVES:
+			kb := *budget
+			if kb == 0 {
+				kb = -1 // this CLI has always spelled "infinite" as 0
+			}
+			sim.Predictor.BudgetKB = kb
+		}
+		label = *predictor
+	}
+
+	sim.Normalize(spec.Defaults{})
+	if label == "" {
+		label = string(sim.Predictor.Family)
+	}
+	return sim, label
+}
+
 func main() {
 	var (
 		workload  = flag.String("workload", "gcc2k", "workload name")
@@ -58,6 +138,9 @@ func main() {
 		insts     = flag.Uint64("insts", 200_000, "instructions to simulate")
 		seed      = flag.Uint64("seed", 0xC0FFEE, "simulation seed")
 		am        = flag.String("am", "pc", "accuracy monitor for composite: none|m|pc|pcinf")
+		specFile  = flag.String("spec", "", "load the simulation spec from this JSON file (flags you set override it)")
+		preset    = flag.String("preset", "", "start from a named spec preset (see internal/spec)")
+		dumpSpec  = flag.Bool("dump-spec", false, "print the resolved canonical spec as JSON and exit")
 		details   = flag.Bool("details", false, "print per-component composite statistics")
 		record    = flag.String("record", "", "record the workload's trace to this file and exit")
 		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
@@ -85,18 +168,38 @@ func main() {
 		return
 	}
 
+	sim, label := buildSpec(*specFile, *preset, flag.CommandLine,
+		workload, predictor, entries, budget, am, insts, seed)
+	if *replay != "" {
+		// Replayed traces are not named workloads; validate the rest.
+		if err := sim.ValidateConfig(); err != nil {
+			fatal(err)
+		}
+	} else if err := sim.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *dumpSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sim); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "canonical hash: %s\n", sim.CanonicalHash())
+		return
+	}
+
 	if *record != "" {
-		w, ok := trace.ByName(*workload)
+		w, ok := trace.ByName(sim.Workload.Name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q (see -workloads)\n", *workload)
-			os.Exit(2)
+			fatal(fmt.Errorf("unknown workload %q (see -workloads)", sim.Workload.Name))
 		}
 		f, err := os.Create(*record)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		n, err := trace.WriteTrace(f, w.Build(*insts), trace.FillSeed(w.Name))
+		n, err := trace.WriteTrace(f, w.Build(sim.Workload.Insts), trace.FillSeed(w.Name))
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -109,14 +212,13 @@ func main() {
 	}
 
 	newGen := func() trace.Generator {
-		gen, _, err := buildGen(*workload, *insts, *replay)
+		gen, _, err := buildGen(sim.Workload.Name, sim.Workload.Insts, *replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		return gen
 	}
-	name := *workload
+	name := sim.Workload.Name
 	if *replay != "" {
 		name = *replay
 	}
@@ -126,7 +228,7 @@ func main() {
 	// outputs field-for-field identical.
 	emitJSON := func(run, base stats.Run, comp *core.Composite) {
 		res := server.NewRunResult(run, base, comp)
-		res.Predictor = *predictor // echo the flag, not the run's config label
+		res.Predictor = label // echo the request, not the run's config label
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
@@ -136,74 +238,40 @@ func main() {
 	}
 
 	// One pooled pipeline serves both runs: Reset swaps the engine in
-	// without reallocating the core's tables.
-	pipe := cpu.Acquire(cpu.DefaultConfig(), nil)
+	// without reallocating the core's tables. The machine comes from
+	// the spec (Table III plus the spec's deltas).
+	cfg := sim.Machine.Config()
+	pipe := cpu.Acquire(cfg, nil)
 	defer cpu.Release(pipe)
 	base := pipe.Run(newGen(), name, "baseline")
 	if !*jsonOut {
 		fmt.Printf("baseline:  IPC=%.3f (%d instructions, %d cycles, %d loads)\n",
 			base.IPC(), base.Instructions, base.Cycles, base.Loads)
 	}
-	if *predictor == "none" {
+	if sim.Predictor.Family == spec.FamilyNone {
 		if *jsonOut {
 			emitJSON(base, base, nil)
 		}
 		return
 	}
 
-	var (
-		engine cpu.Engine
-		comp   *core.Composite
-	)
-	mkComposite := func(e [core.NumComponents]int, amSel string, smart, fusion bool) {
-		cfg := core.CompositeConfig{Entries: e, Seed: *seed, SmartTraining: smart}
-		switch amSel {
-		case "m":
-			cfg.AM = core.NewMAM()
-		case "pc":
-			cfg.AM = core.NewPCAM(64)
-		case "pcinf":
-			cfg.AM = core.NewPCAM(0)
-		}
-		if fusion {
-			cfg.Fusion = core.DefaultFusion()
-		}
-		comp = core.NewComposite(cfg)
-		engine = cpu.NewCompositeEngine(comp)
+	// The spec registry is the single mapping from predictor specs to
+	// engines; epoch-based machinery (M-AM, fusion) is scaled to the
+	// run length exactly as in the experiments and the daemon.
+	engine, err := spec.NewEngine(sim.Predictor, sim.Workload.Insts, sim.Run.Seed)
+	if err != nil {
+		fatal(err)
 	}
-	single := func(c core.Component) {
-		var e [core.NumComponents]int
-		e[c] = *entries
-		mkComposite(e, "", false, false)
-	}
-	switch *predictor {
-	case "lvp":
-		single(core.CompLVP)
-	case "sap":
-		single(core.CompSAP)
-	case "cvp":
-		single(core.CompCVP)
-	case "cap":
-		single(core.CompCAP)
-	case "composite":
-		mkComposite(core.HomogeneousEntries(*entries), *am, false, false)
-	case "best":
-		mkComposite(core.HomogeneousEntries(*entries), "pc", true, true)
-	case "eves":
-		engine = eves.New(eves.Config{BudgetKB: *budget, Seed: *seed})
-	default:
-		fmt.Fprintf(os.Stderr, "unknown predictor %q\n", *predictor)
-		os.Exit(2)
-	}
+	comp := server.CompositeFromEngine(engine)
 
-	pipe.Reset(cpu.DefaultConfig(), engine)
-	run := pipe.Run(newGen(), name, *predictor)
+	pipe.Reset(cfg, engine)
+	run := pipe.Run(newGen(), name, label)
 	if *jsonOut {
 		emitJSON(run, base, comp)
 		return
 	}
 	fmt.Printf("%-9s  IPC=%.3f  speedup=%+.2f%%  coverage=%.1f%%  accuracy=%.4f\n",
-		*predictor+":", run.IPC(), stats.Speedup(run, base), run.Coverage(), run.Accuracy())
+		label+":", run.IPC(), stats.Speedup(run, base), run.Coverage(), run.Accuracy())
 	fmt.Printf("           flushes: value=%d branch=%d memorder=%d\n",
 		run.VPFlushes, run.BranchFlushes, run.MemOrderFlushes)
 

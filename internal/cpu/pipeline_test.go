@@ -179,7 +179,7 @@ func (c *countingEngine) Probe(core.Probe) (uint64, core.Prediction, bool) {
 	return 0, core.Prediction{}, false
 }
 func (c *countingEngine) Train(core.Outcome, uint64, core.AddrResolver) { c.trains++ }
-func (c *countingEngine) Instret(uint64)                             {}
+func (c *countingEngine) Instret(uint64)                                {}
 
 func TestEveryProbedLoadEventuallyTrains(t *testing.T) {
 	w, _ := trace.ByName("linpack")
@@ -237,7 +237,7 @@ func (o *oracleEngine) Probe(core.Probe) (uint64, core.Prediction, bool) {
 	return 0, core.Prediction{}, false
 }
 func (o *oracleEngine) Train(core.Outcome, uint64, core.AddrResolver) {}
-func (o *oracleEngine) Instret(uint64)                             {}
+func (o *oracleEngine) Instret(uint64)                                {}
 
 func TestROBLimitsIPC(t *testing.T) {
 	// A tiny window must lose IPC versus the Skylake-class window.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -47,19 +48,19 @@ func Ablations(ctx *Context) Result {
 			c.PAQDepth = 0
 			return c
 		}, mk},
-		{"- accuracy monitor", cpu.DefaultConfig, ctx.CompositeFactory(big, "", false, true)},
-		{"- table fusion", cpu.DefaultConfig, ctx.CompositeFactory(big, "pc", false, false)},
+		{"- accuracy monitor", cpu.DefaultConfig, ctx.CompositeFactory(big, spec.AMNone, false, true)},
+		{"- table fusion", cpu.DefaultConfig, ctx.CompositeFactory(big, spec.AMPC, false, false)},
 		{"- address predictors (LVP+CVP)", cpu.DefaultConfig, func() EngineFactory {
 			var e [core.NumComponents]int
 			e[core.CompLVP] = big[core.CompLVP]
 			e[core.CompCVP] = big[core.CompCVP]
-			return ctx.CompositeFactory(e, "pc", false, false)
+			return ctx.CompositeFactory(e, spec.AMPC, false, false)
 		}()},
 		{"- value predictors (SAP+CAP)", cpu.DefaultConfig, func() EngineFactory {
 			var e [core.NumComponents]int
 			e[core.CompSAP] = big[core.CompSAP]
 			e[core.CompCAP] = big[core.CompCAP]
-			return ctx.CompositeFactory(e, "pc", false, false)
+			return ctx.CompositeFactory(e, spec.AMPC, false, false)
 		}()},
 	}
 
@@ -99,7 +100,7 @@ func (c *Context) perWorkloadCfg(config string, coreCfg cpu.Config, mk EngineFac
 // larger windows extract more MLP on their own.
 func WindowSweep(ctx *Context) Result {
 	_, big := fig11Configs()
-	mk := ctx.CompositeFactory(big, "pc", false, false)
+	mk := ctx.CompositeFactory(big, spec.AMPC, false, false)
 	t := &table{header: []string{"ROB", "IQ", "LDQ/STQ", "Baseline IPC", "Speedup", "Coverage"}}
 	for _, scale := range []struct {
 		name     string

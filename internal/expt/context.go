@@ -16,7 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/eves"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -110,28 +110,51 @@ func (c *Context) Baseline(w trace.Workload) stats.Run {
 	return c.BaselineCtx(context.Background(), w)
 }
 
-// HasBaseline reports whether the named workload's baseline is already
-// cached (i.e. BaselineCtx would return without simulating).
+// HasBaseline reports whether the named workload's Table III baseline
+// is already cached (i.e. BaselineCtx would return without simulating).
 func (c *Context) HasBaseline(name string) bool {
+	return c.HasBaselineMachine(name, spec.MachineSpec{})
+}
+
+// HasBaselineMachine reports whether the named workload's baseline on
+// machine m is already cached.
+func (c *Context) HasBaselineMachine(name string, m spec.MachineSpec) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.baselines[name]
+	_, ok := c.baselines[baselineKey(name, m)]
 	return ok
 }
 
-// BaselineCtx simulates (or returns the cached) no-VP run for w. The
-// baseline for each workload is simulated at most once: concurrent
-// callers for the same uncached workload wait for the in-flight run
-// instead of recomputing it. Aborted runs (ctx cancelled mid-simulation)
-// are returned to the caller but never cached.
+// baselineKey identifies a baseline run: the workload name, suffixed
+// with the machine's canonical hash when it deviates from Table III.
+func baselineKey(name string, m spec.MachineSpec) string {
+	if h := m.Hash(); h != "" {
+		return name + "@" + h
+	}
+	return name
+}
+
+// BaselineCtx simulates (or returns the cached) no-VP run for w on the
+// Table III machine.
 func (c *Context) BaselineCtx(ctx context.Context, w trace.Workload) stats.Run {
+	return c.BaselineMachineCtx(ctx, w, spec.MachineSpec{})
+}
+
+// BaselineMachineCtx simulates (or returns the cached) no-VP run for w
+// on the machine described by m. The baseline for each (workload,
+// machine) pair is simulated at most once: concurrent callers for the
+// same uncached pair wait for the in-flight run instead of recomputing
+// it. Aborted runs (ctx cancelled mid-simulation) are returned to the
+// caller but never cached.
+func (c *Context) BaselineMachineCtx(ctx context.Context, w trace.Workload, m spec.MachineSpec) stats.Run {
+	key := baselineKey(w.Name, m)
 	for {
 		c.mu.Lock()
-		if r, ok := c.baselines[w.Name]; ok {
+		if r, ok := c.baselines[key]; ok {
 			c.mu.Unlock()
 			return r
 		}
-		if ch, ok := c.inflight[w.Name]; ok {
+		if ch, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
 			select {
 			case <-ch:
@@ -141,16 +164,16 @@ func (c *Context) BaselineCtx(ctx context.Context, w trace.Workload) stats.Run {
 			}
 		}
 		ch := make(chan struct{})
-		c.inflight[w.Name] = ch
+		c.inflight[key] = ch
 		c.mu.Unlock()
 
-		p := cpu.Acquire(cpu.DefaultConfig(), nil)
+		p := cpu.Acquire(m.Config(), nil)
 		r := p.RunCtx(ctx, w.Build(c.insts), w.Name, "base")
 		cpu.Release(p)
 		c.mu.Lock()
-		delete(c.inflight, w.Name)
+		delete(c.inflight, key)
 		if !r.Aborted {
-			c.baselines[w.Name] = r
+			c.baselines[key] = r
 		}
 		c.mu.Unlock()
 		close(ch)
@@ -181,12 +204,19 @@ func (c *Context) EngineSeed(w trace.Workload) uint64 {
 	return core.SplitMix64(c.seed ^ hashName(w.Name))
 }
 
-// RunEngineCtx simulates workload w with the supplied engine under ctx.
-// The engine must be fresh (engines are stateful and single-threaded).
-// Pipelines come from the package pool, so repeated runs reuse the
-// hierarchy, branch predictors, and scheduling rings.
+// RunEngineCtx simulates workload w with the supplied engine under ctx
+// on the Table III machine. The engine must be fresh (engines are
+// stateful and single-threaded). Pipelines come from the package pool,
+// so repeated runs reuse the hierarchy, branch predictors, and
+// scheduling rings.
 func (c *Context) RunEngineCtx(ctx context.Context, w trace.Workload, config string, eng cpu.Engine) stats.Run {
-	p := cpu.Acquire(cpu.DefaultConfig(), eng)
+	return c.RunEngineCfgCtx(ctx, w, config, eng, cpu.DefaultConfig())
+}
+
+// RunEngineCfgCtx is RunEngineCtx with an explicit core configuration
+// (e.g. one materialized from a spec.MachineSpec).
+func (c *Context) RunEngineCfgCtx(ctx context.Context, w trace.Workload, config string, eng cpu.Engine, cfg cpu.Config) stats.Run {
+	p := cpu.Acquire(cfg, eng)
 	defer cpu.Release(p)
 	return p.RunCtx(ctx, w.Build(c.insts), w.Name, config)
 }
@@ -286,52 +316,36 @@ func hashName(s string) uint64 {
 	return h
 }
 
-// Composite engine factories used across experiments.
+// Engine factories used across experiments. All of them delegate to
+// the spec registry (internal/spec), the single place that maps
+// predictor descriptions to engines — epoch-based machinery (M-AM,
+// table fusion) is scaled to the context's run length there.
 
-// epochInstrs scales the paper's one-million-instruction epochs (M-AM,
-// table fusion) to the context's run length: the paper simulates 100M
-// instructions per workload, so epoch-based machinery keeps the same
-// epochs-per-run proportion here.
-func (c *Context) epochInstrs() uint64 {
-	e := c.insts / 20
-	if e < 2000 {
-		e = 2000
-	}
-	return e
-}
-
-// compositeConfig builds the core configuration for one run.
-func (c *Context) compositeConfig(entries [core.NumComponents]int, am string, smart, fusion bool, seed uint64) core.CompositeConfig {
-	cfg := core.CompositeConfig{
-		Entries:       entries,
-		Seed:          seed,
-		SmartTraining: smart,
-	}
-	switch am {
-	case "m":
-		cfg.AM = core.NewMAMEpoch(c.epochInstrs())
-	case "pc":
-		cfg.AM = core.NewPCAM(64)
-	case "pcinf":
-		cfg.AM = core.NewPCAM(0)
-	}
-	if fusion {
-		cfg.Fusion = &core.FusionConfig{
-			EpochInstrs:    c.epochInstrs() / 2,
-			UsedPerKilo:    20,
-			ClassifyEpochs: 5,
-			CycleEpochs:    25,
+// Factory builds an engine factory for a normalized predictor spec.
+// It is the one bridge from declarative specs to runnable engines; the
+// convenience factories below are thin wrappers over it.
+func (c *Context) Factory(p spec.PredictorSpec) EngineFactory {
+	return func(seed uint64) cpu.Engine {
+		eng, err := spec.NewEngine(p, c.insts, seed)
+		if err != nil {
+			// Unreachable for specs built by the wrappers below;
+			// services validate untrusted specs before reaching here.
+			panic("expt: " + err.Error())
 		}
+		return eng
 	}
-	return cfg
 }
 
 // CompositeFactory builds a composite engine factory (AM/fusion epochs
 // scaled to the context's run length).
-func (c *Context) CompositeFactory(entries [core.NumComponents]int, am string, smart, fusion bool) EngineFactory {
-	return func(seed uint64) cpu.Engine {
-		return cpu.NewCompositeEngine(core.NewComposite(c.compositeConfig(entries, am, smart, fusion, seed)))
-	}
+func (c *Context) CompositeFactory(entries [core.NumComponents]int, am spec.AMMode, smart, fusion bool) EngineFactory {
+	return c.Factory(spec.PredictorSpec{
+		Family:        spec.FamilyComposite,
+		Entries:       entries,
+		AM:            am,
+		SmartTraining: smart,
+		Fusion:        fusion,
+	})
 }
 
 // SingleFactory builds an engine with one component predictor of the
@@ -339,14 +353,21 @@ func (c *Context) CompositeFactory(entries [core.NumComponents]int, am string, s
 func (c *Context) SingleFactory(comp core.Component, entries int) EngineFactory {
 	var e [core.NumComponents]int
 	e[comp] = entries
-	return c.CompositeFactory(e, "", false, false)
+	return c.CompositeFactory(e, spec.AMNone, false, false)
 }
 
 // EVESFactory builds an EVES engine with the given budget (0 =
 // infinite).
 func EVESFactory(budgetKB int) EngineFactory {
 	return func(seed uint64) cpu.Engine {
-		return eves.New(eves.Config{BudgetKB: budgetKB, Seed: seed})
+		// BudgetKB passes through un-normalized, so 0 keeps its legacy
+		// "infinite" meaning here (spec.Normalize would read 0 as "use
+		// the 32KB default").
+		eng, err := spec.NewEngine(spec.PredictorSpec{Family: spec.FamilyEVES, BudgetKB: budgetKB}, 0, seed)
+		if err != nil {
+			panic("expt: " + err.Error())
+		}
+		return eng
 	}
 }
 
@@ -357,15 +378,31 @@ func EVESFactory(budgetKB int) EngineFactory {
 // performance (see EXPERIMENTS.md), and the paper's "maximum benefit"
 // configuration is whichever optimization set wins.
 func (c *Context) BestComposite(entries [core.NumComponents]int) EngineFactory {
-	return c.CompositeFactory(entries, "pc", false, true)
+	return c.CompositeFactory(entries, spec.AMPC, false, true)
 }
 
 // CompositeStorageKB computes the storage of a composite configuration
 // without building predictors for a run.
 func CompositeStorageKB(entries [core.NumComponents]int) float64 {
-	bits := entries[core.CompLVP]*core.LVPBitsPerEntry +
-		entries[core.CompSAP]*core.SAPBitsPerEntry +
-		entries[core.CompCVP]*core.CVPBitsPerEntry +
-		entries[core.CompCAP]*core.CAPBitsPerEntry
-	return float64(bits) / 8 / 1024
+	return spec.StorageKB(spec.PredictorSpec{Family: spec.FamilyComposite, Entries: entries})
+}
+
+// RunSim runs a full normalized spec — predictor and machine — over
+// the pool in parallel and returns per-workload pairs against the
+// spec's machine's own baseline. The instruction budget and seed come
+// from the context, not the spec's workload/run sections; config
+// labels the runs.
+func (c *Context) RunSim(sim spec.Sim, config string) []Pair {
+	mk := c.Factory(sim.Predictor)
+	cfg := sim.Machine.Config()
+	out := make([]Pair, len(c.pool))
+	c.forEach(func(i int, w trace.Workload) {
+		base := c.BaselineMachineCtx(context.Background(), w, sim.Machine)
+		run := base
+		if sim.Predictor.Family != spec.FamilyNone {
+			run = c.RunEngineCfgCtx(context.Background(), w, config, mk(c.EngineSeed(w)), cfg)
+		}
+		out[i] = Pair{Workload: w.Name, Run: run, Base: base}
+	})
+	return out
 }

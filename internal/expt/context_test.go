@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
@@ -181,7 +182,7 @@ func TestPerWorkloadCtxCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	pairs := c.PerWorkloadCtx(ctx, "composite", c.CompositeFactory([4]int{64, 64, 64, 64}, "", false, false))
+	pairs := c.PerWorkloadCtx(ctx, "composite", c.CompositeFactory([4]int{64, 64, 64, 64}, spec.AMNone, false, false))
 	if el := time.Since(start); el > 10*time.Second {
 		t.Fatalf("cancelled PerWorkloadCtx took %v", el)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 )
 
 // sampleNames picks a stratified subset of the pool for quicker sweeps.
@@ -44,7 +45,7 @@ func TestComponentAccuracyTuning(t *testing.T) {
 // complementarity result).
 func TestCompositeCoverageExceedsComponents(t *testing.T) {
 	ctx := NewContext(Options{Insts: 60_000, Workloads: sampleNames(12)})
-	compAgg := Summarize(ctx.PerWorkload("comp", ctx.CompositeFactory(core.HomogeneousEntries(256), "pc", false, false)))
+	compAgg := Summarize(ctx.PerWorkload("comp", ctx.CompositeFactory(core.HomogeneousEntries(256), spec.AMPC, false, false)))
 	for _, comp := range allComponents {
 		a := Summarize(ctx.PerWorkload("single", ctx.SingleFactory(comp, 1024)))
 		if compAgg.Coverage <= a.Coverage {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/spec"
 )
 
 func tinyCtx() *Context {
@@ -174,7 +175,7 @@ func TestBaselineCached(t *testing.T) {
 
 func TestPerWorkloadOrderAndDeterminism(t *testing.T) {
 	ctx := tinyCtx()
-	mk := ctx.CompositeFactory(core.HomogeneousEntries(64), "pc", false, false)
+	mk := ctx.CompositeFactory(core.HomogeneousEntries(64), spec.AMPC, false, false)
 	a := ctx.PerWorkload("det", mk)
 	b := ctx.PerWorkload("det", mk)
 	if len(a) != len(ctx.Pool()) {
@@ -210,8 +211,8 @@ func TestFig6OrderingOnSample(t *testing.T) {
 	// The AM ordering (PC-AM >= no-AM accuracy) must hold even on a
 	// small sample.
 	ctx := NewContext(Options{Insts: 40_000, Workloads: sampleNames(6)})
-	noAM := Summarize(ctx.PerWorkload("a", ctx.CompositeFactory(core.HomogeneousEntries(256), "", false, false)))
-	pcAM := Summarize(ctx.PerWorkload("b", ctx.CompositeFactory(core.HomogeneousEntries(256), "pc", false, false)))
+	noAM := Summarize(ctx.PerWorkload("a", ctx.CompositeFactory(core.HomogeneousEntries(256), spec.AMNone, false, false)))
+	pcAM := Summarize(ctx.PerWorkload("b", ctx.CompositeFactory(core.HomogeneousEntries(256), spec.AMPC, false, false)))
 	if pcAM.Accuracy < noAM.Accuracy {
 		t.Errorf("PC-AM accuracy %.4f < no-AM %.4f", pcAM.Accuracy, noAM.Accuracy)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/oracle"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -114,30 +115,25 @@ func componentNames() []string {
 }
 
 // compositeAggregate runs a composite configuration over the pool and
-// sums the per-workload composite statistics.
-func (c *Context) compositeAggregate(config string, entries [core.NumComponents]int, am string, smart, fusion bool) (core.CompositeStats, []Pair) {
+// sums the per-workload composite statistics. Predictors are built
+// through the spec registry, so epoch-based machinery (M-AM, fusion)
+// is scaled to the run length exactly as in the factory-driven
+// experiments — this path previously built unscaled paper-epoch
+// monitors and diverged from Context.CompositeFactory.
+func (c *Context) compositeAggregate(config string, entries [core.NumComponents]int, am spec.AMMode, smart, fusion bool) (core.CompositeStats, []Pair) {
 	var agg core.CompositeStats
 	pairs := make([]Pair, len(c.pool))
 	comps := make([]*core.Composite, len(c.pool))
+	ps := spec.PredictorSpec{
+		Family:        spec.FamilyComposite,
+		Entries:       entries,
+		AM:            am,
+		SmartTraining: smart,
+		Fusion:        fusion,
+	}
 	c.forEach(func(i int, w trace.Workload) {
 		base := c.Baseline(w)
-		cfg := core.CompositeConfig{
-			Entries:       entries,
-			Seed:          core.SplitMix64(c.seed ^ hashName(w.Name)),
-			SmartTraining: smart,
-		}
-		switch am {
-		case "m":
-			cfg.AM = core.NewMAM()
-		case "pc":
-			cfg.AM = core.NewPCAM(64)
-		case "pcinf":
-			cfg.AM = core.NewPCAM(0)
-		}
-		if fusion {
-			cfg.Fusion = core.DefaultFusion()
-		}
-		comp := core.NewComposite(cfg)
+		comp := core.NewComposite(spec.CompositeConfig(ps, c.insts, core.SplitMix64(c.seed^hashName(w.Name))))
 		p := cpu.Acquire(cpu.DefaultConfig(), cpu.NewCompositeEngine(comp))
 		run := p.Run(w.Build(c.insts), w.Name, config)
 		cpu.Release(p)
@@ -169,7 +165,7 @@ func (c *Context) compositeAggregate(config string, entries [core.NumComponents]
 // Fig4 reports how many components are simultaneously confident per
 // predicted load for the 1K-entry composite (paper Figure 4).
 func Fig4(ctx *Context) Result {
-	st, _ := ctx.compositeAggregate("fig4", core.HomogeneousEntries(1024), "", false, false)
+	st, _ := ctx.compositeAggregate("fig4", core.HomogeneousEntries(1024), spec.AMNone, false, false)
 	t := &table{header: []string{"Bucket", "% of predicted loads"}}
 	denom := float64(st.PredictedLoads)
 	if denom == 0 {
@@ -194,7 +190,7 @@ func Fig5(ctx *Context) Result {
 	t := &table{header: []string{"Total entries", "Composite", "Best component", "Composite vs best"}}
 	for _, total := range compositeTotals {
 		comp := ctx.AvgSpeedup(fmt.Sprintf("comp-%d", total),
-			ctx.CompositeFactory(core.HomogeneousEntries(total/4), "", false, false))
+			ctx.CompositeFactory(core.HomogeneousEntries(total/4), spec.AMNone, false, false))
 		best, bestName := -1e9, ""
 		for _, c := range allComponents {
 			sp := ctx.AvgSpeedup(fmt.Sprintf("%v-%d", c, total), ctx.SingleFactory(c, total))
@@ -212,11 +208,14 @@ func Fig5(ctx *Context) Result {
 func Fig6(ctx *Context) Result {
 	entries := core.HomogeneousEntries(1024)
 	t := &table{header: []string{"Configuration", "Speedup", "Coverage", "Accuracy"}}
-	for _, cfg := range []struct{ name, am string }{
-		{"composite (no AM)", ""},
-		{"composite + M-AM", "m"},
-		{"composite + PC-AM(64)", "pc"},
-		{"composite + PC-AM(inf)", "pcinf"},
+	for _, cfg := range []struct {
+		name string
+		am   spec.AMMode
+	}{
+		{"composite (no AM)", spec.AMNone},
+		{"composite + M-AM", spec.AMM},
+		{"composite + PC-AM(64)", spec.AMPC},
+		{"composite + PC-AM(inf)", spec.AMPCInf},
 	} {
 		pairs := ctx.PerWorkload("fig6-"+cfg.name, ctx.CompositeFactory(entries, cfg.am, false, false))
 		a := Summarize(pairs)
@@ -235,7 +234,7 @@ func Fig7(ctx *Context) Result {
 			name  string
 			smart bool
 		}{{"train-all", false}, {"smart", true}} {
-			st, _ := ctx.compositeAggregate(fmt.Sprintf("fig7-%d-%s", total, mode.name), entries, "pc", mode.smart, false)
+			st, _ := ctx.compositeAggregate(fmt.Sprintf("fig7-%d-%s", total, mode.name), entries, spec.AMPC, mode.smart, false)
 			denom := float64(st.PredictedLoads)
 			if denom == 0 {
 				denom = 1
@@ -261,8 +260,8 @@ func Fig8(ctx *Context) Result {
 	t := &table{header: []string{"Total entries", "Train-all", "Smart training", "Delta"}}
 	for _, total := range compositeTotals {
 		entries := core.HomogeneousEntries(total / 4)
-		off := ctx.AvgSpeedup(fmt.Sprintf("fig8-off-%d", total), ctx.CompositeFactory(entries, "pc", false, false))
-		on := ctx.AvgSpeedup(fmt.Sprintf("fig8-on-%d", total), ctx.CompositeFactory(entries, "pc", true, false))
+		off := ctx.AvgSpeedup(fmt.Sprintf("fig8-off-%d", total), ctx.CompositeFactory(entries, spec.AMPC, false, false))
+		on := ctx.AvgSpeedup(fmt.Sprintf("fig8-on-%d", total), ctx.CompositeFactory(entries, spec.AMPC, true, false))
 		t.add(fmt.Sprint(total), pct(off), pct(on), pct(on-off))
 	}
 	return Result{ID: "Fig8", Title: "Speedup from smart training", Lines: t.lines()}
@@ -274,8 +273,8 @@ func Fig9(ctx *Context) Result {
 	t := &table{header: []string{"Total entries", "No fusion", "Fusion", "Delta"}}
 	for _, total := range compositeTotals {
 		entries := core.HomogeneousEntries(total / 4)
-		off := ctx.AvgSpeedup(fmt.Sprintf("fig9-off-%d", total), ctx.CompositeFactory(entries, "pc", true, false))
-		on := ctx.AvgSpeedup(fmt.Sprintf("fig9-on-%d", total), ctx.CompositeFactory(entries, "pc", true, true))
+		off := ctx.AvgSpeedup(fmt.Sprintf("fig9-off-%d", total), ctx.CompositeFactory(entries, spec.AMPC, true, false))
+		on := ctx.AvgSpeedup(fmt.Sprintf("fig9-on-%d", total), ctx.CompositeFactory(entries, spec.AMPC, true, true))
 		t.add(fmt.Sprint(total), pct(off), pct(on), pct(on-off))
 	}
 	return Result{ID: "Fig9", Title: "Speedup from table fusion", Lines: t.lines()}

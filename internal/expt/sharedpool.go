@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/cpu"
+	"repro/internal/spec"
 )
 
 // SharedPool evaluates the storage optimization the paper defers at the
@@ -14,30 +14,29 @@ import (
 // speedup cost of pool pressure.
 func SharedPool(ctx *Context) Result {
 	entries := core.HomogeneousEntries(256) // the 9.6KB configuration
-	mkDirect := func(seed uint64) cpu.Engine {
-		return cpu.NewCompositeEngine(core.NewComposite(core.CompositeConfig{
-			Entries: entries, Seed: seed, AM: core.NewPCAM(64),
-		}))
+	poolSpec := func(slots int) spec.PredictorSpec {
+		return spec.PredictorSpec{
+			Family:         spec.FamilyComposite,
+			Entries:        entries,
+			AM:             spec.AMPC,
+			ValuePoolSlots: slots,
+		}
 	}
-	directKB := core.NewComposite(core.CompositeConfig{Entries: entries, Seed: 1}).StorageKB()
-	dir := Summarize(ctx.PerWorkload("pool-direct", mkDirect))
+	storageKB := func(slots int) float64 {
+		return core.NewComposite(core.CompositeConfig{
+			Entries: entries, Seed: 1, ValuePoolSlots: slots,
+		}).StorageKB()
+	}
+	directKB := storageKB(0)
+	dir := Summarize(ctx.PerWorkload("pool-direct", ctx.Factory(poolSpec(0))))
 
 	t := &table{header: []string{"Configuration", "Storage", "Saved", "Speedup", "Coverage", "Accuracy"}}
 	t.add("direct value arrays", fmt.Sprintf("%.2fKB", directKB), "-",
 		pct(dir.Speedup), pctu(dir.Coverage), fmt.Sprintf("%.4f", dir.Accuracy))
 
 	for _, slots := range []int{16, 48, 128, 256} {
-		slots := slots
-		mk := func(seed uint64) cpu.Engine {
-			return cpu.NewCompositeEngine(core.NewComposite(core.CompositeConfig{
-				Entries: entries, Seed: seed, AM: core.NewPCAM(64),
-				ValuePoolSlots: slots,
-			}))
-		}
-		kb := core.NewComposite(core.CompositeConfig{
-			Entries: entries, Seed: 1, ValuePoolSlots: slots,
-		}).StorageKB()
-		a := Summarize(ctx.PerWorkload(fmt.Sprintf("pool-%d", slots), mk))
+		kb := storageKB(slots)
+		a := Summarize(ctx.PerWorkload(fmt.Sprintf("pool-%d", slots), ctx.Factory(poolSpec(slots))))
 		t.add(fmt.Sprintf("shared pool, %d slots", slots),
 			fmt.Sprintf("%.2fKB", kb),
 			fmt.Sprintf("%.1f%%", 100*(1-kb/directKB)),

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
 
@@ -153,7 +154,7 @@ func TableVI(ctx *Context) Result {
 		var homog HetConfig
 		homogEntries := core.HomogeneousEntries(bucket / 4)
 		for _, entries := range combos {
-			sp := ctx.AvgSpeedup(fmt.Sprintf("het%v", entries), ctx.CompositeFactory(entries, "pc", false, false))
+			sp := ctx.AvgSpeedup(fmt.Sprintf("het%v", entries), ctx.CompositeFactory(entries, spec.AMPC, false, false))
 			hc := HetConfig{Entries: entries, Speedup: sp}
 			if sp > best.Speedup {
 				best = hc

@@ -9,30 +9,41 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/spec"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
-// Predictor family names accepted by JobRequest.Predictor.
-var predictorNames = map[string]bool{
-	"none": true, "lvp": true, "sap": true, "cvp": true, "cap": true,
-	"composite": true, "best": true, "eves": true,
-}
-
-// JobRequest describes one simulation: a workload, a predictor family
-// and its sizing, an instruction budget, and a seed. The zero value of
-// every optional field selects the server default.
+// JobRequest describes one simulation. The declarative form sets Spec
+// (or Preset) — the machine/predictor/workload/run description of
+// internal/spec — while the flat fields keep the original API working.
+// Both forms resolve to one spec.Sim, and the spec's canonical hash is
+// the job's cache identity, so however a simulation is spelled,
+// equivalent requests share a cache entry.
 type JobRequest struct {
+	// Spec is the full declarative simulation spec. When set it wins
+	// over the flat fields below (Workload/Insts/Seed still fill
+	// empty spec fields for convenience). Mutually exclusive with
+	// Preset and Machine.
+	Spec *spec.Sim `json:"spec,omitempty"`
+
+	// Preset names a starting spec (see GET /v1/presets, e.g.
+	// "best-9.6KB"); flat fields fill the workload and run.
+	Preset string `json:"preset,omitempty"`
+
+	// Machine applies machine-config deltas over the paper's Table III
+	// baseline to the flat form or preset (e.g. {"rob":512,
+	// "paq_depth":8}).
+	Machine *spec.MachineSpec `json:"machine,omitempty"`
+
 	// Workload is the workload name (see GET /v1/workloads).
-	Workload string `json:"workload"`
+	Workload string `json:"workload,omitempty"`
 
 	// Predictor is one of none|lvp|sap|cvp|cap|composite|best|eves.
-	Predictor string `json:"predictor"`
+	Predictor string `json:"predictor,omitempty"`
 
 	// Entries sizes the component tables (composite families); 0 means
 	// 1024 per component.
@@ -43,7 +54,8 @@ type JobRequest struct {
 	BudgetKB int `json:"budget_kb,omitempty"`
 
 	// AM selects the composite accuracy monitor: ""|none|m|pc|pcinf
-	// ("" = pc).
+	// ("" = pc). Single-component families ignore it, as they always
+	// have.
 	AM string `json:"am,omitempty"`
 
 	// Insts is the instruction budget (0 = server default).
@@ -53,59 +65,82 @@ type JobRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 
 	// TimeoutMS bounds the job's simulation time; 0 means the server
-	// default. The timeout is not part of the cache key.
+	// default. The timeout is not part of the cache identity.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// Normalize fills defaulted fields in place so that equivalent requests
-// hash identically. maxInsts > 0 clamps the budget.
-func (r *JobRequest) Normalize(defaultInsts, maxInsts uint64) {
-	if r.Predictor == "" {
-		r.Predictor = "composite"
+// rawSpec assembles the un-normalized spec.Sim the request describes.
+func (r JobRequest) rawSpec() (spec.Sim, error) {
+	var sim spec.Sim
+	switch {
+	case r.Spec != nil:
+		if r.Preset != "" {
+			return sim, fmt.Errorf("spec and preset are mutually exclusive")
+		}
+		if r.Machine != nil {
+			return sim, fmt.Errorf("machine and spec are mutually exclusive (set spec.machine)")
+		}
+		sim = *r.Spec
+	case r.Preset != "":
+		p, ok := spec.Preset(r.Preset)
+		if !ok {
+			return sim, fmt.Errorf("unknown preset %q (see GET /v1/presets)", r.Preset)
+		}
+		sim = p
+	default:
+		sim.Predictor = spec.PredictorSpec{
+			Family:     spec.Family(r.Predictor),
+			EntriesPer: r.Entries,
+			BudgetKB:   r.BudgetKB,
+		}
+		// The flat AM field only ever applied to the composite
+		// families; single components and EVES ignore it.
+		switch sim.Predictor.Family {
+		case "", spec.FamilyComposite, spec.FamilyBest:
+			sim.Predictor.AM = spec.AMMode(r.AM)
+		}
 	}
-	if r.Entries == 0 {
-		r.Entries = 1024
+	if r.Machine != nil {
+		sim.Machine = *r.Machine
 	}
-	if r.BudgetKB == 0 {
-		r.BudgetKB = 32
+	if sim.Workload.Name == "" {
+		sim.Workload.Name = r.Workload
 	}
-	if r.AM == "" {
-		r.AM = "pc"
+	if sim.Workload.Insts == 0 {
+		sim.Workload.Insts = r.Insts
 	}
-	if r.Insts == 0 {
-		r.Insts = defaultInsts
+	if sim.Run.Seed == 0 {
+		sim.Run.Seed = r.Seed
 	}
-	if maxInsts > 0 && r.Insts > maxInsts {
-		r.Insts = maxInsts
-	}
-	if r.Seed == 0 {
-		r.Seed = 0xC0FFEE
-	}
+	return sim, nil
 }
 
-// Validate reports whether the (normalized) request names a known
-// workload and predictor family.
-func (r *JobRequest) Validate() error {
-	if _, ok := trace.ByName(r.Workload); !ok {
-		return fmt.Errorf("unknown workload %q", r.Workload)
+// ResolveSpec normalizes the request into its canonical spec under the
+// server defaults and validates it. The spec's CanonicalHash is the
+// job's cache key: everything that changes the result participates,
+// the timeout does not, and equivalent spellings (flat fields vs
+// explicit spec, any JSON key order, defaults written out vs omitted)
+// produce the same key.
+func (r JobRequest) ResolveSpec(d spec.Defaults) (spec.Sim, error) {
+	sim, err := r.rawSpec()
+	if err != nil {
+		return sim, err
 	}
-	if !predictorNames[r.Predictor] {
-		return fmt.Errorf("unknown predictor %q (want none|lvp|sap|cvp|cap|composite|best|eves)", r.Predictor)
+	sim.Normalize(d)
+	if err := sim.Validate(); err != nil {
+		return sim, err
 	}
-	if r.Entries < 0 {
-		return fmt.Errorf("entries must be >= 0")
-	}
-	return nil
+	return sim, nil
 }
 
-// CacheKey returns the canonical hash identifying the simulation this
-// request asks for. Everything that changes the result participates;
-// the timeout does not.
-func (r JobRequest) CacheKey() string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%d|%d|%s|%d|%d",
-		r.Workload, r.Predictor, r.Entries, r.BudgetKB, r.AM, r.Insts, r.Seed)
-	return fmt.Sprintf("%016x", h.Sum64())
+// Label returns the predictor name responses echo: the requested
+// spelling for flat requests ("best" stays "best"), the canonical
+// family otherwise.
+func (r JobRequest) Label(sim spec.Sim) string {
+	if r.Spec == nil && r.Preset == "" && r.Predictor != "" {
+		return r.Predictor
+	}
+	return string(sim.Predictor.Family)
 }
 
 // FlushCounts breaks recovery events out by cause.
@@ -205,19 +240,25 @@ func CompositeFromEngine(eng cpu.Engine) *core.Composite {
 	return nil
 }
 
-// Job states reported by JobStatus.State.
+// Job states reported by JobStatus.State. StateRejected appears only
+// in sweep responses, for points the full queue shed.
 const (
 	StateQueued   = "queued"
 	StateRunning  = "running"
 	StateDone     = "done"
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
+	StateRejected = "rejected"
 )
 
 // JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
 type JobStatus struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+
+	// SpecHash is the canonical hash of the job's resolved spec — the
+	// result-cache key.
+	SpecHash string `json:"spec_hash,omitempty"`
 
 	// Error explains failed/canceled states.
 	Error string `json:"error,omitempty"`

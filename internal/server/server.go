@@ -13,11 +13,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/obs"
+	"repro/internal/spec"
 	"repro/internal/trace"
 )
+
+// defaultSeed fills Run.Seed when a request leaves it at 0.
+const defaultSeed = 0xC0FFEE
 
 // Config tunes the job service. Zero values select the defaults noted
 // per field.
@@ -79,11 +82,14 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// job is one tracked simulation request.
+// job is one tracked simulation request: a resolved canonical spec
+// plus the response label and per-job timeout.
 type job struct {
-	id  string
-	req JobRequest
-	key string
+	id        string
+	sim       spec.Sim
+	label     string
+	timeoutMS int64
+	key       string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -129,6 +135,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:       j.id,
 		State:    j.state,
+		SpecHash: j.key,
 		Error:    j.errMsg,
 		Result:   j.result,
 		CacheHit: j.cacheHit,
@@ -291,6 +298,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
@@ -342,9 +351,19 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	w.Write([]byte("\n"))
 }
 
-// handleSubmit implements POST /v1/jobs: validate, answer from cache,
-// or enqueue with backpressure (429 + Retry-After when the queue is
-// full — the service sheds load instead of buffering unboundedly).
+// specDefaults exposes the server's request defaults as spec defaults.
+func (s *Server) specDefaults() spec.Defaults {
+	var maxInsts uint64
+	if s.cfg.MaxInsts > 0 {
+		maxInsts = uint64(s.cfg.MaxInsts)
+	}
+	return spec.Defaults{Insts: s.cfg.DefaultInsts, MaxInsts: maxInsts, Seed: defaultSeed}
+}
+
+// handleSubmit implements POST /v1/jobs: resolve the request into its
+// canonical spec, answer from cache, or enqueue with backpressure
+// (429 + Retry-After when the queue is full — the service sheds load
+// instead of buffering unboundedly).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -357,19 +376,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	var maxInsts uint64
-	if s.cfg.MaxInsts > 0 {
-		maxInsts = uint64(s.cfg.MaxInsts)
-	}
-	req.Normalize(s.cfg.DefaultInsts, maxInsts)
-	if err := req.Validate(); err != nil {
+	sim, err := req.ResolveSpec(s.specDefaults())
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	j := s.newJob(req)
+	j, code := s.admit(sim, req.Label(sim), req.TimeoutMS)
+	switch code {
+	case http.StatusOK, http.StatusAccepted:
+		writeJSON(w, code, j.status())
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, code, "job queue full; retry later")
+	default:
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	}
+}
 
-	// Cache: identical requests are answered without re-simulating.
+// admit registers a job for a resolved spec and routes it: answered
+// from the result cache (StatusOK), enqueued (StatusAccepted), or shed
+// (StatusTooManyRequests / StatusServiceUnavailable, with the job
+// unregistered again). Shared by POST /v1/jobs and POST /v1/sweeps.
+func (s *Server) admit(sim spec.Sim, label string, timeoutMS int64) (*job, int) {
+	j := s.newJob(sim, label, timeoutMS)
+
+	// Cache: equivalent requests are answered without re-simulating.
 	if res, ok := s.cache.Get(j.key); ok {
 		s.mCacheHits.Inc()
 		j.mu.Lock()
@@ -377,8 +409,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 		j.transition(StateDone, "", &res)
 		s.mDone.Inc()
-		writeJSON(w, http.StatusOK, j.status())
-		return
+		return j, http.StatusOK
 	}
 	s.mCacheMiss.Inc()
 
@@ -388,8 +419,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting.Load() {
 		s.mu.Unlock()
 		s.dropJob(j)
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
+		return j, http.StatusServiceUnavailable
 	}
 	select {
 	case s.queue <- j:
@@ -397,30 +427,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.mQueueDepth.Add(1)
 		s.mAccepted.Inc()
-		writeJSON(w, http.StatusAccepted, j.status())
+		return j, http.StatusAccepted
 	default:
 		s.mu.Unlock()
 		s.dropJob(j)
 		s.mRejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
+		return j, http.StatusTooManyRequests
 	}
 }
 
 // newJob registers a fresh queued job.
-func (s *Server) newJob(req JobRequest) *job {
+func (s *Server) newJob(sim spec.Sim, label string, timeoutMS int64) *job {
 	ctx, cancel := context.WithCancel(s.lifeCtx)
 	s.mu.Lock()
 	s.nextID++
 	j := &job{
-		id:      fmt.Sprintf("j-%06d", s.nextID),
-		req:     req,
-		key:     req.CacheKey(),
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("j-%06d", s.nextID),
+		sim:       sim,
+		label:     label,
+		timeoutMS: timeoutMS,
+		key:       sim.CanonicalHash(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -517,41 +548,10 @@ func (s *Server) simCtx(insts, seed uint64) *expt.Context {
 	return c
 }
 
-// engineFactory maps a validated request to an expt engine factory
-// (nil for the baseline-only "none" family).
-func (s *Server) engineFactory(sctx *expt.Context, req JobRequest) expt.EngineFactory {
-	single := func(c core.Component) expt.EngineFactory {
-		return sctx.SingleFactory(c, req.Entries)
-	}
-	am := req.AM
-	if am == "none" {
-		am = ""
-	}
-	switch req.Predictor {
-	case "lvp":
-		return single(core.CompLVP)
-	case "sap":
-		return single(core.CompSAP)
-	case "cvp":
-		return single(core.CompCVP)
-	case "cap":
-		return single(core.CompCAP)
-	case "composite":
-		return sctx.CompositeFactory(core.HomogeneousEntries(req.Entries), am, false, false)
-	case "best":
-		return sctx.BestComposite(core.HomogeneousEntries(req.Entries))
-	case "eves":
-		kb := req.BudgetKB
-		if kb < 0 {
-			kb = 0 // -1 means infinite, which EVES spells 0
-		}
-		return expt.EVESFactory(kb)
-	}
-	return nil
-}
-
 // runJob executes one dequeued job: baseline (deduplicated per
-// workload), configured run, cache fill, and metrics.
+// workload × machine), configured run on the spec's machine, cache
+// fill, and metrics. Engines come from the spec registry — the only
+// place predictor families are interpreted.
 func (s *Server) runJob(j *job) {
 	if !j.transition(StateRunning, "", nil) {
 		return // canceled while queued
@@ -564,17 +564,17 @@ func (s *Server) runJob(j *job) {
 	}()
 
 	timeout := s.cfg.JobTimeout
-	if j.req.TimeoutMS > 0 {
-		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+	if j.timeoutMS > 0 {
+		timeout = time.Duration(j.timeoutMS) * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(j.ctx, timeout)
 	defer cancel()
 
-	w, _ := trace.ByName(j.req.Workload) // validated at submit
-	sctx := s.simCtx(j.req.Insts, j.req.Seed)
+	w, _ := trace.ByName(j.sim.Workload.Name) // validated at submit
+	sctx := s.simCtx(j.sim.Workload.Insts, j.sim.Run.Seed)
 
-	baseCached := sctx.HasBaseline(w.Name)
-	base := sctx.BaselineCtx(ctx, w)
+	baseCached := sctx.HasBaselineMachine(w.Name, j.sim.Machine)
+	base := sctx.BaselineMachineCtx(ctx, w, j.sim.Machine)
 	if base.Aborted {
 		s.settleAborted(j, ctx)
 		return
@@ -586,11 +586,18 @@ func (s *Server) runJob(j *job) {
 	}
 
 	var res RunResult
-	if j.req.Predictor == "none" {
+	if j.sim.Predictor.Family == spec.FamilyNone {
 		res = NewRunResult(base, base, nil)
 	} else {
-		eng := s.engineFactory(sctx, j.req)(sctx.EngineSeed(w))
-		run := sctx.RunEngineCtx(ctx, w, j.req.Predictor, eng)
+		eng, err := spec.NewEngine(j.sim.Predictor, j.sim.Workload.Insts, sctx.EngineSeed(w))
+		if err != nil {
+			// Unreachable: the spec was validated at submit.
+			if j.transition(StateFailed, err.Error(), nil) {
+				s.mFailed.Inc()
+			}
+			return
+		}
+		run := sctx.RunEngineCfgCtx(ctx, w, j.label, eng, j.sim.Machine.Config())
 		s.mSimInsts.Add(run.Instructions)
 		simInsts += run.Instructions
 		if run.Aborted {
@@ -602,7 +609,10 @@ func (s *Server) runJob(j *job) {
 
 	// The run's config label tracks the engine ("base" for the none
 	// family); the response should echo the requested predictor.
-	res.Predictor = j.req.Predictor
+	res.Predictor = j.label
+	if res.StorageKB == 0 {
+		res.StorageKB = spec.StorageKB(j.sim.Predictor)
+	}
 
 	res.SimInstructions = simInsts
 	if secs := time.Since(start).Seconds(); secs > 0 {
@@ -612,8 +622,8 @@ func (s *Server) runJob(j *job) {
 	s.cache.Put(j.key, res)
 	if j.transition(StateDone, "", &res) {
 		s.mDone.Inc()
-		s.log.Info("job done", "id", j.id, "workload", j.req.Workload,
-			"predictor", j.req.Predictor, "speedup_pct", res.SpeedupPct,
+		s.log.Info("job done", "id", j.id, "workload", j.sim.Workload.Name,
+			"predictor", j.label, "spec", j.key, "speedup_pct", res.SpeedupPct,
 			"dur_ms", time.Since(start).Milliseconds())
 	}
 }

@@ -15,6 +15,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/spec"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -420,18 +422,37 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestCacheKeyCanonicalization proves the cache identity is the spec's
+// canonical hash: flat defaults written out, the equivalent explicit
+// spec, and the bare request all resolve to one key, while a real
+// difference changes it.
 func TestCacheKeyCanonicalization(t *testing.T) {
-	a := JobRequest{Workload: "gcc2k"}
-	a.Normalize(200_000, 0)
-	b := JobRequest{Workload: "gcc2k", Predictor: "composite", Entries: 1024, BudgetKB: 32, AM: "pc", Insts: 200_000, Seed: 0xC0FFEE, TimeoutMS: 5000}
-	b.Normalize(200_000, 0)
-	if a.CacheKey() != b.CacheKey() {
-		t.Error("equivalent requests hash differently")
+	d := spec.Defaults{Insts: 200_000, Seed: 0xC0FFEE}
+	resolve := func(r JobRequest) string {
+		t.Helper()
+		sim, err := r.ResolveSpec(d)
+		if err != nil {
+			t.Fatalf("ResolveSpec: %v", err)
+		}
+		return sim.CanonicalHash()
 	}
-	c := b
-	c.Entries = 2048
-	if c.CacheKey() == b.CacheKey() {
+	a := resolve(JobRequest{Workload: "gcc2k"})
+	b := resolve(JobRequest{Workload: "gcc2k", Predictor: "composite", Entries: 1024, AM: "pc", Insts: 200_000, Seed: 0xC0FFEE, TimeoutMS: 5000})
+	if a != b {
+		t.Error("equivalent flat requests hash differently")
+	}
+	c := resolve(JobRequest{Spec: &spec.Sim{
+		Workload:  spec.WorkloadSpec{Name: "gcc2k"},
+		Predictor: spec.PredictorSpec{Family: spec.FamilyComposite, EntriesPer: 1024, AM: spec.AMPC},
+	}})
+	if c != a {
+		t.Error("explicit spec hashes differently from the equivalent flat request")
+	}
+	if resolve(JobRequest{Workload: "gcc2k", Entries: 2048}) == b {
 		t.Error("different entries hash identically")
+	}
+	if resolve(JobRequest{Workload: "gcc2k", Machine: &spec.MachineSpec{ROB: 512}}) == a {
+		t.Error("different machine hashes identically")
 	}
 }
 
@@ -455,9 +476,9 @@ func TestLRUCacheEviction(t *testing.T) {
 	}
 }
 
-func ExampleJobRequest_CacheKey() {
+func ExampleJobRequest_ResolveSpec() {
 	r := JobRequest{Workload: "gcc2k"}
-	r.Normalize(200_000, 0)
-	fmt.Println(len(r.CacheKey()))
+	sim, _ := r.ResolveSpec(spec.Defaults{Insts: 200_000, Seed: 0xC0FFEE})
+	fmt.Println(len(sim.CanonicalHash()))
 	// Output: 16
 }

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestOrderedJSONSharesCacheEntry proves the cache key is canonical:
+// two differently-ordered JSON encodings of the same spec — and the
+// equivalent legacy flat request — hit one cache entry.
+func TestOrderedJSONSharesCacheEntry(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	first := `{"spec":{"workload":{"name":"gcc2k","insts":20000},"predictor":{"am":"pc","family":"composite"}}}`
+	resp, body := postJSON(t, ts, "/v1/jobs", first)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d (%s), want 202", resp.StatusCode, body)
+	}
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	waitState(t, ts, st.ID, 30*time.Second, StateDone)
+
+	// Same spec, keys in a different order at every level.
+	reordered := `{"spec":{"predictor":{"family":"composite","am":"pc"},"workload":{"insts":20000,"name":"gcc2k"}}}`
+	resp2, body2 := postJSON(t, ts, "/v1/jobs", reordered)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("reordered submit status = %d (%s), want 200 (cache hit)", resp2.StatusCode, body2)
+	}
+	var st2 JobStatus
+	json.Unmarshal(body2, &st2)
+	if !st2.CacheHit || st2.SpecHash != st.SpecHash {
+		t.Errorf("reordered spec: cacheHit=%v hash=%q, want hit with hash %q", st2.CacheHit, st2.SpecHash, st.SpecHash)
+	}
+
+	// The legacy flat spelling of the same simulation also hits.
+	flat := `{"workload":"gcc2k","predictor":"composite","insts":20000,"am":"pc"}`
+	resp3, body3 := postJSON(t, ts, "/v1/jobs", flat)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("flat submit status = %d (%s), want 200 (cache hit)", resp3.StatusCode, body3)
+	}
+	if got := s.mCacheHits.Value(); got != 2 {
+		t.Errorf("cache hits = %d, want 2", got)
+	}
+	if got := s.mCacheMiss.Value(); got != 1 {
+		t.Errorf("cache misses = %d, want 1 (only the first request simulated)", got)
+	}
+}
+
+// TestMachineSpecChangesResult exercises full machine-config control:
+// a job on a non-default machine returns different stats than the
+// Table III default, while a machine spec that spells out the defaults
+// is recognized as the default (cache hit, same stats).
+func TestMachineSpecChangesResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	_, st := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "composite", Insts: 20_000})
+	def := waitState(t, ts, st.ID, 30*time.Second, StateDone)
+
+	// A window small enough to bind at this run length plus a
+	// one-deep prefetch queue: both deltas are observable in cycles.
+	paq := 1
+	resp, stM := submit(t, ts, JobRequest{
+		Workload: "gcc2k", Predictor: "composite", Insts: 20_000,
+		Machine: &spec.MachineSpec{ROB: 32, PAQDepth: &paq},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("machine-spec submit status = %d, want 202 (distinct simulation)", resp.StatusCode)
+	}
+	if stM.SpecHash == def.SpecHash {
+		t.Error("non-default machine shares the default machine's spec hash")
+	}
+	mod := waitState(t, ts, stM.ID, 30*time.Second, StateDone)
+	if mod.Result.Cycles == def.Result.Cycles {
+		t.Errorf("rob=32/paq_depth=1 run has identical cycles (%d) to the Table III machine", mod.Result.Cycles)
+	}
+	if mod.Result.Instructions != def.Result.Instructions {
+		t.Errorf("machine change altered the instruction budget: %d vs %d",
+			mod.Result.Instructions, def.Result.Instructions)
+	}
+
+	// Spelling out the Table III defaults is the default machine.
+	resp2, st2 := submit(t, ts, JobRequest{
+		Workload: "gcc2k", Predictor: "composite", Insts: 20_000,
+		Machine: &spec.MachineSpec{ROB: 224, IQ: 97},
+	})
+	if resp2.StatusCode != http.StatusOK || !st2.CacheHit {
+		t.Errorf("default-spelled machine: status=%d cacheHit=%v, want 200/hit", resp2.StatusCode, st2.CacheHit)
+	}
+	if !equalResults(st2.Result, def.Result) {
+		t.Error("default-spelled machine returned different stats than the default")
+	}
+}
+
+func equalResults(a, b *RunResult) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return bytes.Equal(ab, bb)
+}
+
+// TestSweepExpansion posts a 2×2 sweep and verifies expansion order,
+// distinct cache identities, completion, and that re-posting the same
+// sweep is answered entirely from cache with 200.
+func TestSweepExpansion(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	body := `{
+		"template": {"workload": "gcc2k", "insts": 20000},
+		"axes": {"predictors": ["lvp", "composite"], "seeds": [1, 2]}
+	}`
+	resp, raw := postJSON(t, ts, "/v1/sweeps", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status = %d (%s), want 202", resp.StatusCode, raw)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(raw, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count != 4 || sw.Queued != 4 || len(sw.Jobs) != 4 {
+		t.Fatalf("sweep expansion = %+v, want 4 queued jobs", sw)
+	}
+	hashes := map[string]bool{}
+	for _, j := range sw.Jobs {
+		hashes[j.SpecHash] = true
+	}
+	if len(hashes) != 4 {
+		t.Errorf("sweep points share spec hashes: %v", hashes)
+	}
+	for i, j := range sw.Jobs {
+		st := waitState(t, ts, j.ID, 30*time.Second, StateDone)
+		wantPred := []string{"lvp", "lvp", "composite", "composite"}[i]
+		if st.Result == nil || st.Result.Predictor != wantPred {
+			t.Errorf("point %d: predictor = %v, want %s (expansion order, last axis fastest)", i, st.Result, wantPred)
+		}
+	}
+
+	resp2, raw2 := postJSON(t, ts, "/v1/sweeps", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat sweep status = %d (%s), want 200 (all cached)", resp2.StatusCode, raw2)
+	}
+	var sw2 SweepResponse
+	json.Unmarshal(raw2, &sw2)
+	if sw2.Cached != 4 || sw2.Queued != 0 {
+		t.Errorf("repeat sweep = %+v, want 4 cached", sw2)
+	}
+
+	// A bad axis value rejects the whole sweep up front.
+	resp3, raw3 := postJSON(t, ts, "/v1/sweeps",
+		`{"template": {"workload": "gcc2k"}, "axes": {"predictors": ["lvp", "nope"]}}`)
+	if resp3.StatusCode != http.StatusBadRequest || !strings.Contains(string(raw3), "point 1") {
+		t.Errorf("invalid sweep: status=%d body=%s, want 400 naming point 1", resp3.StatusCode, raw3)
+	}
+
+	// Oversized expansions are refused before any admission.
+	big := `{"template": {"workload": "gcc2k"}, "axes": {"seeds": [` +
+		strings.TrimSuffix(strings.Repeat("1,", maxSweepPoints+1), ",") + `]}}`
+	resp4, _ := postJSON(t, ts, "/v1/sweeps", big)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized sweep status = %d, want 400", resp4.StatusCode)
+	}
+}
+
+// TestSweepBackpressure fills a 1-worker, depth-2 server and posts a
+// sweep larger than the remaining queue space: the response must be
+// 429 + Retry-After with the overflow points marked rejected while the
+// admitted points survive and complete.
+func TestSweepBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, MaxInsts: -1})
+
+	_, blocker := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "none", Insts: 500_000_000})
+	waitState(t, ts, blocker.ID, 10*time.Second, StateRunning)
+
+	body := `{
+		"template": {"predictor": "lvp", "insts": 20000},
+		"axes": {"workloads": ["mcf", "xalancbmk", "sjeng", "povray", "soplex"]}
+	}`
+	resp, raw := postJSON(t, ts, "/v1/sweeps", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflowing sweep status = %d (%s), want 429", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 sweep response missing Retry-After")
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(raw, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Queued != 2 || sw.Rejected != 3 {
+		t.Fatalf("sweep = %+v, want 2 queued / 3 rejected (queue depth 2, worker busy)", sw)
+	}
+	for _, j := range sw.Jobs {
+		if j.State == StateRejected && j.ID != "" {
+			t.Errorf("rejected point kept a job id %q", j.ID)
+		}
+	}
+
+	// Release the worker; the admitted points must complete.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.ID, nil)
+	if _, err := ts.Client().Do(delReq); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range sw.Jobs {
+		if j.State != StateQueued {
+			continue
+		}
+		st := waitState(t, ts, j.ID, 30*time.Second, StateDone)
+		if st.Result == nil || st.Result.Instructions != 20_000 {
+			t.Errorf("admitted sweep point %s finished without a plausible result", j.ID)
+		}
+	}
+}
+
+// TestPresets covers GET /v1/presets and submitting a job by preset
+// name.
+func TestPresets(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/presets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Presets []struct {
+			Name        string   `json:"name"`
+			Description string   `json:"description"`
+			Spec        spec.Sim `json:"spec"`
+		} `json:"presets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range body.Presets {
+		names[p.Name] = true
+		if p.Description == "" {
+			t.Errorf("preset %s has no description", p.Name)
+		}
+	}
+	for _, want := range []string{"table3", "best-9.6KB", "eves-32KB"} {
+		if !names[want] {
+			t.Errorf("preset list missing %q", want)
+		}
+	}
+
+	_, st := submit(t, ts, JobRequest{Preset: "best-9.6KB", Workload: "gcc2k", Insts: 20_000})
+	final := waitState(t, ts, st.ID, 30*time.Second, StateDone)
+	if final.Result == nil || final.Result.Predictor != "composite" {
+		t.Fatalf("preset job result = %+v, want the canonical composite family", final.Result)
+	}
+	if len(final.Result.Components) == 0 {
+		t.Error("preset composite result missing per-component breakdown")
+	}
+
+	resp2, _ := submit(t, ts, JobRequest{Preset: "no-such", Workload: "gcc2k"})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown preset status = %d, want 400", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// maxSweepPoints caps how many jobs one POST /v1/sweeps may expand to.
+const maxSweepPoints = 256
+
+// SweepAxes lists the values each swept dimension takes. Empty axes
+// keep the template's value; the expansion is the cartesian product of
+// the non-empty axes, applied to the template spec before
+// normalization (so e.g. a swept "best" family still expands to its
+// composite canonical form).
+type SweepAxes struct {
+	// Workloads overrides the workload name.
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Predictors overrides the predictor family.
+	Predictors []string `json:"predictors,omitempty"`
+
+	// EntriesPer overrides the per-component table sizing (it replaces
+	// any explicit per-component entries in the template).
+	EntriesPer []int `json:"entries,omitempty"`
+
+	// AMs overrides the accuracy monitor mode.
+	AMs []string `json:"ams,omitempty"`
+
+	// BudgetsKB overrides the EVES storage budget.
+	BudgetsKB []int `json:"budgets_kb,omitempty"`
+
+	// Seeds overrides the run seed.
+	Seeds []uint64 `json:"seeds,omitempty"`
+
+	// Machines overrides the whole machine spec per point.
+	Machines []spec.MachineSpec `json:"machines,omitempty"`
+}
+
+// SweepRequest expands a job template across axis lists into one
+// cached job per cartesian point.
+type SweepRequest struct {
+	Template JobRequest `json:"template"`
+	Axes     SweepAxes  `json:"axes"`
+}
+
+// SweepResponse reports the expanded jobs in expansion order (last
+// axis fastest). Each entry is a regular job status: done for cache
+// hits, queued for admitted work, or rejected for points the full
+// queue shed — resubmit those points after Retry-After.
+type SweepResponse struct {
+	Count    int         `json:"count"`
+	Cached   int         `json:"cached"`
+	Queued   int         `json:"queued"`
+	Rejected int         `json:"rejected"`
+	Jobs     []JobStatus `json:"jobs"`
+}
+
+// sweepPoint is one expanded configuration plus the predictor label
+// its responses echo ("" = derive from the normalized family).
+type sweepPoint struct {
+	sim   spec.Sim
+	label string
+}
+
+// expand returns the cartesian expansion of the template across the
+// axes as un-normalized specs.
+func (r SweepRequest) expand() ([]sweepPoint, error) {
+	base, err := r.Template.rawSpec()
+	if err != nil {
+		return nil, fmt.Errorf("template: %w", err)
+	}
+	points := []sweepPoint{{sim: base}}
+	mul := func(n int, apply func(p *sweepPoint, i int)) {
+		if n == 0 {
+			return
+		}
+		next := make([]sweepPoint, 0, len(points)*n)
+		for _, p := range points {
+			for i := 0; i < n; i++ {
+				q := p
+				apply(&q, i)
+				next = append(next, q)
+			}
+		}
+		points = next
+	}
+	mul(len(r.Axes.Workloads), func(p *sweepPoint, i int) {
+		p.sim.Workload.Name = r.Axes.Workloads[i]
+	})
+	mul(len(r.Axes.Predictors), func(p *sweepPoint, i int) {
+		p.sim.Predictor.Family = spec.Family(r.Axes.Predictors[i])
+		p.label = r.Axes.Predictors[i]
+	})
+	mul(len(r.Axes.EntriesPer), func(p *sweepPoint, i int) {
+		p.sim.Predictor.EntriesPer = r.Axes.EntriesPer[i]
+		p.sim.Predictor.Entries = [core.NumComponents]int{}
+	})
+	mul(len(r.Axes.AMs), func(p *sweepPoint, i int) {
+		p.sim.Predictor.AM = spec.AMMode(r.Axes.AMs[i])
+	})
+	mul(len(r.Axes.BudgetsKB), func(p *sweepPoint, i int) {
+		p.sim.Predictor.BudgetKB = r.Axes.BudgetsKB[i]
+	})
+	mul(len(r.Axes.Seeds), func(p *sweepPoint, i int) {
+		p.sim.Run.Seed = r.Axes.Seeds[i]
+	})
+	mul(len(r.Axes.Machines), func(p *sweepPoint, i int) {
+		p.sim.Machine = r.Axes.Machines[i]
+	})
+	if len(points) > maxSweepPoints {
+		return nil, fmt.Errorf("sweep expands to %d jobs, max %d", len(points), maxSweepPoints)
+	}
+	return points, nil
+}
+
+// handleSweep implements POST /v1/sweeps: expand the template across
+// the axes, validate every point, then admit each point through the
+// same cache/queue path as POST /v1/jobs. The response is 200 when
+// every point was answered from cache, 202 when any point was queued,
+// and 429 (+ Retry-After) when backpressure shed any point.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.accepting.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	points, err := req.expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Validate the whole sweep before admitting any of it, so a bad
+	// axis value cannot leave a half-submitted sweep behind.
+	d := s.specDefaults()
+	sims := make([]spec.Sim, len(points))
+	labels := make([]string, len(points))
+	for i, p := range points {
+		sim := p.sim
+		sim.Normalize(d)
+		if err := sim.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
+			return
+		}
+		sims[i] = sim
+		if p.label != "" {
+			labels[i] = p.label
+		} else {
+			labels[i] = req.Template.Label(sim)
+		}
+	}
+
+	resp := SweepResponse{Count: len(sims), Jobs: make([]JobStatus, len(sims))}
+	code := http.StatusOK
+	for i, sim := range sims {
+		j, c := s.admit(sim, labels[i], req.Template.TimeoutMS)
+		switch c {
+		case http.StatusOK:
+			resp.Cached++
+			resp.Jobs[i] = j.status()
+		case http.StatusAccepted:
+			resp.Queued++
+			if code == http.StatusOK {
+				code = http.StatusAccepted
+			}
+			resp.Jobs[i] = j.status()
+		default: // queue full or shutting down: the point was shed
+			resp.Rejected++
+			code = http.StatusTooManyRequests
+			resp.Jobs[i] = JobStatus{
+				State:    StateRejected,
+				SpecHash: sim.CanonicalHash(),
+				Error:    "job queue full; resubmit this point later",
+			}
+		}
+	}
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, resp)
+}
+
+// handlePresets implements GET /v1/presets: the named starting specs
+// of internal/spec, usable as JobRequest.Preset.
+func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
+	type presetInfo struct {
+		Name        string   `json:"name"`
+		Description string   `json:"description"`
+		Spec        spec.Sim `json:"spec"`
+	}
+	out := make([]presetInfo, 0, len(spec.PresetNames()))
+	for _, n := range spec.PresetNames() {
+		sim, _ := spec.Preset(n)
+		out = append(out, presetInfo{Name: n, Description: spec.PresetDescription(n), Spec: sim})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"presets": out})
+}

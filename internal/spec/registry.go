@@ -1,0 +1,160 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/eves"
+)
+
+// This file is the single registry from specs to simulator objects:
+// MachineSpec → cpu.Config and PredictorSpec → engine. Every layer
+// (expt runners, the daemon, the CLIs) builds engines only through
+// here, so epoch scaling and family semantics cannot diverge between
+// callers — the bug class this registry replaced (figs.go built
+// unscaled 1M-instruction M-AM epochs while expt.Context scaled them
+// to the run length).
+
+// Config materializes the machine: the Table III baseline with the
+// spec's deltas applied.
+func (m MachineSpec) Config() cpu.Config {
+	cfg := cpu.DefaultConfig()
+	apply := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	apply(&cfg.FetchWidth, m.FetchWidth)
+	apply(&cfg.FetchToExec, m.FetchToExec)
+	apply(&cfg.IssueWidth, m.IssueWidth)
+	apply(&cfg.CommitWidth, m.CommitWidth)
+	apply(&cfg.LSLanes, m.LSLanes)
+	apply(&cfg.ROB, m.ROB)
+	apply(&cfg.IQ, m.IQ)
+	apply(&cfg.LDQ, m.LDQ)
+	apply(&cfg.STQ, m.STQ)
+	apply(&cfg.StoreForwardLat, m.StoreForwardLat)
+	if m.PAQDepth != nil {
+		cfg.PAQDepth = *m.PAQDepth
+	}
+	if m.PAQPrefetchOnMiss != nil {
+		cfg.PAQPrefetchOnMiss = *m.PAQPrefetchOnMiss
+	}
+	if m.SuppressStoreConflicts != nil {
+		cfg.SuppressStoreConflicts = *m.SuppressStoreConflicts
+	}
+	cfg.ReplayRecovery = m.ReplayRecovery
+	apply(&cfg.ReplayPenalty, m.ReplayPenalty)
+	if m.L1DKB != 0 {
+		cfg.Hierarchy.L1D.SizeBytes = m.L1DKB << 10
+	}
+	if m.L2KB != 0 {
+		cfg.Hierarchy.L2.SizeBytes = m.L2KB << 10
+	}
+	if m.L3KB != 0 {
+		cfg.Hierarchy.L3.SizeBytes = m.L3KB << 10
+	}
+	apply(&cfg.Hierarchy.MemLatency, m.MemLatency)
+	apply(&cfg.Hierarchy.PrefetchDegree, m.PrefetchDegree)
+	if m.PrefetchEnabled != nil {
+		cfg.Hierarchy.PrefetchEnabled = *m.PrefetchEnabled
+	}
+	return cfg
+}
+
+// EpochInstrs scales the paper's one-million-instruction epochs (M-AM,
+// table fusion) to the run length: the paper simulates 100M
+// instructions per workload, so epoch-based machinery keeps the same
+// epochs-per-run proportion here, floored so throttling decisions still
+// happen on very short runs.
+func EpochInstrs(insts uint64) uint64 {
+	e := insts / 20
+	if e < 2000 {
+		e = 2000
+	}
+	return e
+}
+
+// Monitor builds the accuracy monitor for the mode, with epoch-based
+// variants scaled to the run length. Returns nil for none.
+func (m AMMode) Monitor(insts uint64) core.AccuracyMonitor {
+	switch m {
+	case AMM:
+		return core.NewMAMEpoch(EpochInstrs(insts))
+	case AMPC:
+		return core.NewPCAM(64)
+	case AMPCInf:
+		return core.NewPCAM(0)
+	}
+	return nil
+}
+
+// CompositeConfig lowers a composite-family predictor spec to the core
+// configuration for one run of the given length. The spec must be
+// normalized and of a composite family (composite or a single
+// component); other families are a caller bug.
+func CompositeConfig(p PredictorSpec, insts, seed uint64) core.CompositeConfig {
+	switch p.Family {
+	case FamilyNone, FamilyEVES:
+		panic("spec: CompositeConfig called for family " + string(p.Family))
+	}
+	cfg := core.CompositeConfig{
+		Entries:        p.Entries,
+		Seed:           seed,
+		AM:             p.AM.Monitor(insts),
+		SmartTraining:  p.SmartTraining,
+		ValuePoolSlots: p.ValuePoolSlots,
+	}
+	if p.Fusion {
+		cfg.Fusion = &core.FusionConfig{
+			EpochInstrs:    EpochInstrs(insts) / 2,
+			UsedPerKilo:    20,
+			ClassifyEpochs: 5,
+			CycleEpochs:    25,
+		}
+	}
+	return cfg
+}
+
+// NewEngine builds a fresh engine for a normalized predictor spec:
+// nil (no value prediction) for the none family, a composite for the
+// composite families, EVES for eves. insts scales epoch-based
+// machinery; seed drives predictor randomness. Engines are stateful
+// and single-threaded — build one per run.
+func NewEngine(p PredictorSpec, insts, seed uint64) (cpu.Engine, error) {
+	switch p.Family {
+	case FamilyNone:
+		return nil, nil
+	case FamilyEVES:
+		kb := p.BudgetKB
+		if kb < 0 {
+			kb = 0 // eves spells "infinite" as 0
+		}
+		return eves.New(eves.Config{BudgetKB: kb, Seed: seed}), nil
+	case FamilyLVP, FamilySAP, FamilyCVP, FamilyCAP, FamilyComposite:
+		return cpu.NewCompositeEngine(core.NewComposite(CompositeConfig(p, insts, seed))), nil
+	}
+	return nil, fmt.Errorf("unknown predictor family %q", p.Family)
+}
+
+// StorageKB returns the predictor's storage budget in KB, without
+// building it: the composite component-table accounting, or the EVES
+// budget (-1 budgets report 0, "unbounded"). The spec must be
+// normalized.
+func StorageKB(p PredictorSpec) float64 {
+	switch p.Family {
+	case FamilyNone:
+		return 0
+	case FamilyEVES:
+		if p.BudgetKB < 0 {
+			return 0
+		}
+		return float64(p.BudgetKB)
+	}
+	bits := p.Entries[core.CompLVP]*core.LVPBitsPerEntry +
+		p.Entries[core.CompSAP]*core.SAPBitsPerEntry +
+		p.Entries[core.CompCVP]*core.CVPBitsPerEntry +
+		p.Entries[core.CompCAP]*core.CAPBitsPerEntry
+	return float64(bits) / 8 / 1024
+}

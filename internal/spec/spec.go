@@ -1,0 +1,501 @@
+// Package spec defines the declarative simulation specification shared
+// by every layer of the system: the CLIs compile their flags into it,
+// the daemon accepts it over the wire (and normalizes legacy flat
+// requests into it), and the experiment runners express their
+// configuration points with it. A Sim is serializable (JSON),
+// validated, and canonically hashable, so equivalent requests — however
+// they were spelled — map to the same cache entry and the same engine.
+//
+// The spec is a *delta* encoding: every zero field means "the paper's
+// default" (Table III for the machine, the evaluation defaults for the
+// predictor), so the zero value of Sim plus a workload name is a
+// complete, valid simulation. Normalize canonicalizes a spec in place
+// (filling defaults, folding sugar families like "best" into their
+// composite expansion, and erasing fields that restate defaults);
+// CanonicalHash then hashes the canonical JSON encoding, which is
+// deterministic because Go marshals struct fields in declaration order.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Family names a predictor family. The sugar family "best" (the
+// paper's fully-optimized composite: PC-AM throttling plus table
+// fusion) is canonicalized by Normalize into its composite expansion,
+// so "best" and the equivalent explicit composite hash identically.
+type Family string
+
+// The predictor families.
+const (
+	FamilyNone      Family = "none"
+	FamilyLVP       Family = "lvp"
+	FamilySAP       Family = "sap"
+	FamilyCVP       Family = "cvp"
+	FamilyCAP       Family = "cap"
+	FamilyComposite Family = "composite"
+	FamilyBest      Family = "best"
+	FamilyEVES      Family = "eves"
+)
+
+// families is the acceptance set for validation.
+var families = map[Family]bool{
+	FamilyNone: true, FamilyLVP: true, FamilySAP: true, FamilyCVP: true,
+	FamilyCAP: true, FamilyComposite: true, FamilyBest: true, FamilyEVES: true,
+}
+
+// Component returns the core component a single-component family
+// models, and whether the family is single-component.
+func (f Family) Component() (core.Component, bool) {
+	switch f {
+	case FamilyLVP:
+		return core.CompLVP, true
+	case FamilySAP:
+		return core.CompSAP, true
+	case FamilyCVP:
+		return core.CompCVP, true
+	case FamilyCAP:
+		return core.CompCAP, true
+	}
+	return 0, false
+}
+
+// AMMode selects the composite's accuracy monitor (Section V-B).
+type AMMode string
+
+// The accuracy monitor modes. The empty string is normalized to the
+// family's default (PC-AM(64) for composites, none for single
+// components, matching the evaluation's defaults).
+const (
+	AMNone  AMMode = "none"
+	AMM     AMMode = "m"     // M-AM, epoch-based, scaled to the run length
+	AMPC    AMMode = "pc"    // PC-AM with 64 entries
+	AMPCInf AMMode = "pcinf" // PC-AM, infinite (limit study)
+)
+
+var amModes = map[AMMode]bool{AMNone: true, AMM: true, AMPC: true, AMPCInf: true}
+
+// MachineSpec describes the simulated core as deltas over the paper's
+// Table III baseline: every zero (or nil) field keeps the default noted
+// in its comment. Pointer fields distinguish "unset" from a meaningful
+// zero/false (e.g. PAQDepth 0 = unbounded).
+type MachineSpec struct {
+	// Front end and widths.
+	FetchWidth  int `json:"fetch_width,omitempty"`   // 4
+	FetchToExec int `json:"fetch_to_exec,omitempty"` // 13 cycles
+	IssueWidth  int `json:"issue_width,omitempty"`   // 8
+	CommitWidth int `json:"commit_width,omitempty"`  // 8
+	LSLanes     int `json:"ls_lanes,omitempty"`      // 2
+
+	// Window sizes.
+	ROB int `json:"rob,omitempty"` // 224
+	IQ  int `json:"iq,omitempty"`  // 97
+	LDQ int `json:"ldq,omitempty"` // 72
+	STQ int `json:"stq,omitempty"` // 56
+
+	StoreForwardLat int `json:"store_forward_lat,omitempty"` // 4 cycles
+
+	// Value-prediction plumbing (DESIGN.md §5a).
+	PAQDepth               *int  `json:"paq_depth,omitempty"`                // 24; 0 = unbounded
+	PAQPrefetchOnMiss      *bool `json:"paq_prefetch_on_miss,omitempty"`     // true
+	SuppressStoreConflicts *bool `json:"suppress_store_conflicts,omitempty"` // true
+	ReplayRecovery         bool  `json:"replay_recovery,omitempty"`          // false (paper: flush)
+	ReplayPenalty          int   `json:"replay_penalty,omitempty"`           // 12 cycles
+
+	// Hierarchy knobs (geometry beyond sizes keeps Table III).
+	L1DKB           int   `json:"l1d_kb,omitempty"`           // 64
+	L2KB            int   `json:"l2_kb,omitempty"`            // 512
+	L3KB            int   `json:"l3_kb,omitempty"`            // 8192
+	MemLatency      int   `json:"mem_latency,omitempty"`      // 200 cycles
+	PrefetchDegree  int   `json:"prefetch_degree,omitempty"`  // 4
+	PrefetchEnabled *bool `json:"prefetch_enabled,omitempty"` // true
+}
+
+// Normalize erases fields that restate a Table III default, so a spec
+// that spells out the baseline hashes identically to the zero spec.
+func (m *MachineSpec) Normalize() {
+	zeroIf(&m.FetchWidth, 4)
+	zeroIf(&m.FetchToExec, 13)
+	zeroIf(&m.IssueWidth, 8)
+	zeroIf(&m.CommitWidth, 8)
+	zeroIf(&m.LSLanes, 2)
+	zeroIf(&m.ROB, 224)
+	zeroIf(&m.IQ, 97)
+	zeroIf(&m.LDQ, 72)
+	zeroIf(&m.STQ, 56)
+	zeroIf(&m.StoreForwardLat, 4)
+	if m.PAQDepth != nil && *m.PAQDepth == 24 {
+		m.PAQDepth = nil
+	}
+	nilIfBool(&m.PAQPrefetchOnMiss, true)
+	nilIfBool(&m.SuppressStoreConflicts, true)
+	zeroIf(&m.ReplayPenalty, 12)
+	zeroIf(&m.L1DKB, 64)
+	zeroIf(&m.L2KB, 512)
+	zeroIf(&m.L3KB, 8192)
+	zeroIf(&m.MemLatency, 200)
+	zeroIf(&m.PrefetchDegree, 4)
+	nilIfBool(&m.PrefetchEnabled, true)
+}
+
+func zeroIf(v *int, def int) {
+	if *v == def {
+		*v = 0
+	}
+}
+
+func nilIfBool(v **bool, def bool) {
+	if *v != nil && **v == def {
+		*v = nil
+	}
+}
+
+// IsDefault reports whether the (normalized) machine is the Table III
+// baseline.
+func (m MachineSpec) IsDefault() bool {
+	n := m
+	n.Normalize()
+	return n == MachineSpec{}
+}
+
+// Hash returns a short canonical hash of the machine deltas; the
+// default machine hashes to the empty string (so cache keys for the
+// baseline machine stay stable across spec versions).
+func (m MachineSpec) Hash() string {
+	n := m
+	n.Normalize()
+	if n == (MachineSpec{}) {
+		return ""
+	}
+	return hashJSON(n)
+}
+
+// Validate rejects machine deltas the core model cannot simulate.
+func (m MachineSpec) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"fetch_width", m.FetchWidth}, {"fetch_to_exec", m.FetchToExec},
+		{"issue_width", m.IssueWidth}, {"commit_width", m.CommitWidth},
+		{"ls_lanes", m.LSLanes}, {"rob", m.ROB}, {"iq", m.IQ},
+		{"ldq", m.LDQ}, {"stq", m.STQ}, {"store_forward_lat", m.StoreForwardLat},
+		{"replay_penalty", m.ReplayPenalty}, {"mem_latency", m.MemLatency},
+		{"prefetch_degree", m.PrefetchDegree},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("machine: %s must be >= 0", f.name)
+		}
+	}
+	if m.PAQDepth != nil && *m.PAQDepth < 0 {
+		return fmt.Errorf("machine: paq_depth must be >= 0 (0 = unbounded)")
+	}
+	// Cache sizes must keep a power-of-two set count with Table III
+	// geometry (64B/128B lines, 4/8/16 ways).
+	for _, c := range []struct {
+		name           string
+		kb, line, ways int
+	}{
+		{"l1d_kb", m.L1DKB, 64, 4},
+		{"l2_kb", m.L2KB, 128, 8},
+		{"l3_kb", m.L3KB, 128, 16},
+	} {
+		if c.kb == 0 {
+			continue
+		}
+		if c.kb < 0 {
+			return fmt.Errorf("machine: %s must be > 0", c.name)
+		}
+		bytes := c.kb << 10
+		if bytes%(c.line*c.ways) != 0 {
+			return fmt.Errorf("machine: %s (%dKB) must be a multiple of line size × ways (%dB)", c.name, c.kb, c.line*c.ways)
+		}
+		sets := bytes / c.line / c.ways
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("machine: %s (%dKB) must give a power-of-two set count, got %d sets", c.name, c.kb, sets)
+		}
+	}
+	return nil
+}
+
+// PredictorSpec describes the load value predictor: a family plus the
+// composite's per-component sizing and filter/optimization knobs, or
+// the EVES storage budget.
+type PredictorSpec struct {
+	// Family is one of none|lvp|sap|cvp|cap|composite|best|eves
+	// ("" = composite).
+	Family Family `json:"family,omitempty"`
+
+	// Entries sizes the component tables [LVP, SAP, CVP, CAP]. All
+	// zeros selects 1024 entries per present component.
+	Entries [core.NumComponents]int `json:"entries"`
+
+	// EntriesPer is scalar sugar: N entries for every component of a
+	// composite (or the single component of a single family). Normalize
+	// expands it into Entries and clears it.
+	EntriesPer int `json:"entries_per,omitempty"`
+
+	// AM selects the accuracy monitor ("" = pc for composites, none for
+	// single components).
+	AM AMMode `json:"am,omitempty"`
+
+	// SmartTraining enables the selective training policy (Section V-D).
+	SmartTraining bool `json:"smart_training,omitempty"`
+
+	// Fusion enables dynamic table fusion (Section V-E), with epochs
+	// scaled to the run length like the accuracy monitors.
+	Fusion bool `json:"fusion,omitempty"`
+
+	// ValuePoolSlots switches LVP/CVP to the decoupled shared value
+	// array of Section III-B with this many 64-bit slots (0 = direct
+	// per-entry values). Incompatible with fusion.
+	ValuePoolSlots int `json:"value_pool_slots,omitempty"`
+
+	// BudgetKB is the EVES storage budget in KB (eves family only;
+	// 0 = 32, any negative value = infinite, canonicalized to -1).
+	BudgetKB int `json:"budget_kb,omitempty"`
+}
+
+// Normalize canonicalizes the predictor: defaults are filled, the
+// "best" sugar family is expanded, sizing sugar is resolved, and
+// fields meaningless for the family are erased so equivalent specs
+// hash identically.
+func (p *PredictorSpec) Normalize() {
+	if p.Family == "" {
+		p.Family = FamilyComposite
+	}
+	if p.Family == FamilyBest {
+		p.Family = FamilyComposite
+		p.AM = AMPC
+		p.Fusion = true
+	}
+	switch p.Family {
+	case FamilyNone:
+		*p = PredictorSpec{Family: FamilyNone}
+		return
+	case FamilyEVES:
+		kb := p.BudgetKB
+		if kb == 0 {
+			kb = 32
+		}
+		if kb < 0 {
+			kb = -1
+		}
+		*p = PredictorSpec{Family: FamilyEVES, BudgetKB: kb}
+		return
+	}
+	// Composite families (including the four single-component ones).
+	p.BudgetKB = 0
+	per := p.EntriesPer
+	p.EntriesPer = 0
+	if comp, ok := p.Family.Component(); ok {
+		n := p.Entries[comp]
+		if per > 0 {
+			n = per
+		}
+		if n == 0 {
+			n = 1024
+		}
+		p.Entries = [core.NumComponents]int{}
+		p.Entries[comp] = n
+		if p.AM == "" {
+			p.AM = AMNone
+		}
+		return
+	}
+	// Full composite.
+	if per > 0 {
+		p.Entries = core.HomogeneousEntries(per)
+	}
+	if p.Entries == ([core.NumComponents]int{}) {
+		p.Entries = core.HomogeneousEntries(1024)
+	}
+	if p.AM == "" {
+		p.AM = AMPC
+	}
+}
+
+// Validate rejects unknown families/modes and inconsistent knobs. Call
+// after Normalize.
+func (p PredictorSpec) Validate() error {
+	if !families[p.Family] {
+		return fmt.Errorf("unknown predictor family %q (want none|lvp|sap|cvp|cap|composite|best|eves)", p.Family)
+	}
+	for _, n := range p.Entries {
+		if n < 0 {
+			return fmt.Errorf("entries must be >= 0")
+		}
+	}
+	if p.EntriesPer < 0 {
+		return fmt.Errorf("entries_per must be >= 0")
+	}
+	if p.ValuePoolSlots < 0 {
+		return fmt.Errorf("value_pool_slots must be >= 0")
+	}
+	if p.AM != "" && !amModes[p.AM] {
+		return fmt.Errorf("unknown accuracy monitor %q (want none|m|pc|pcinf)", p.AM)
+	}
+	if p.Fusion && p.ValuePoolSlots > 0 {
+		return fmt.Errorf("table fusion is incompatible with shared value arrays")
+	}
+	return nil
+}
+
+// WorkloadSpec names the workload and its instruction budget.
+type WorkloadSpec struct {
+	// Name is a workload from trace.Workloads (see GET /v1/workloads).
+	Name string `json:"name"`
+
+	// Insts is the instruction budget (0 = the caller's default).
+	Insts uint64 `json:"insts,omitempty"`
+}
+
+// RunSpec holds per-run knobs that change the result without changing
+// what is being measured.
+type RunSpec struct {
+	// Seed drives all predictor randomness (0 = the caller's default).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Sim is the complete declarative description of one simulation.
+type Sim struct {
+	Machine   MachineSpec   `json:"machine"`
+	Predictor PredictorSpec `json:"predictor"`
+	Workload  WorkloadSpec  `json:"workload"`
+	Run       RunSpec       `json:"run"`
+}
+
+// Defaults supplies the caller's environment-level defaults applied by
+// Normalize: a zero Defaults leaves zero budget/seed fields in place.
+type Defaults struct {
+	// Insts fills Workload.Insts when zero.
+	Insts uint64
+
+	// MaxInsts clamps Workload.Insts when positive.
+	MaxInsts uint64
+
+	// Seed fills Run.Seed when zero.
+	Seed uint64
+}
+
+// Normalize canonicalizes the spec in place under the given defaults.
+// Normalization is idempotent: normalizing a normalized spec is a
+// no-op, so hashes computed after Normalize are stable.
+func (s *Sim) Normalize(d Defaults) {
+	s.Machine.Normalize()
+	s.Predictor.Normalize()
+	if s.Workload.Insts == 0 {
+		s.Workload.Insts = d.Insts
+	}
+	if d.MaxInsts > 0 && s.Workload.Insts > d.MaxInsts {
+		s.Workload.Insts = d.MaxInsts
+	}
+	if s.Run.Seed == 0 {
+		s.Run.Seed = d.Seed
+	}
+}
+
+// Validate rejects specs the system cannot simulate. Call after
+// Normalize.
+func (s Sim) Validate() error {
+	if _, ok := trace.ByName(s.Workload.Name); !ok {
+		return fmt.Errorf("unknown workload %q", s.Workload.Name)
+	}
+	return s.ValidateConfig()
+}
+
+// ValidateConfig validates everything except the workload name, for
+// callers simulating recorded traces instead of named workloads.
+func (s Sim) ValidateConfig() error {
+	if err := s.Predictor.Validate(); err != nil {
+		return err
+	}
+	return s.Machine.Validate()
+}
+
+// CanonicalHash returns the spec's canonical identity: a short hex hash
+// of the canonical JSON encoding. The receiver must already be
+// normalized (Normalize makes equivalent spellings encode identically;
+// Go marshals struct fields in declaration order, so the encoding is
+// deterministic regardless of how the incoming JSON ordered its keys).
+func (s Sim) CanonicalHash() string {
+	return hashJSON(s)
+}
+
+func hashJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable: specs contain only marshalable fields.
+		panic("spec: canonical marshal failed: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// preset is one named point of the paper's evaluation matrix.
+type preset struct {
+	desc string
+	sim  Sim
+}
+
+// presets maps preset names to specs. Machine defaults are Table III
+// throughout; the composite entries come from the Table VI winners.
+var presets = map[string]preset{
+	"table3": {
+		desc: "Table III machine, default composite (PC-AM, 1K entries/component)",
+		sim:  Sim{Predictor: PredictorSpec{Family: FamilyComposite}},
+	},
+	"best-9.6KB": {
+		desc: "the paper's headline 9.6KB composite: Table VI 1K-budget winner + PC-AM + fusion",
+		sim: Sim{Predictor: PredictorSpec{
+			Family:  FamilyBest,
+			Entries: [core.NumComponents]int{256, 256, 256, 256},
+		}},
+	},
+	"best-3.6KB": {
+		desc: "the Table VI 512-budget winner + PC-AM + fusion",
+		sim: Sim{Predictor: PredictorSpec{
+			Family:  FamilyBest,
+			Entries: [core.NumComponents]int{64, 256, 128, 64},
+		}},
+	},
+	"eves-8KB": {
+		desc: "EVES (CVP-1 winner) at the paper's 8KB comparison point",
+		sim:  Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: 8}},
+	},
+	"eves-32KB": {
+		desc: "EVES (CVP-1 winner) at the paper's 32KB comparison point",
+		sim:  Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: 32}},
+	},
+	"eves-inf": {
+		desc: "EVES with unbounded storage (limit study)",
+		sim:  Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: -1}},
+	},
+}
+
+// Preset returns the named preset spec (not yet normalized), if it
+// exists. Preset specs leave the workload unset; callers fill it in.
+func Preset(name string) (Sim, bool) {
+	p, ok := presets[name]
+	return p.sim, ok
+}
+
+// PresetNames lists the preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PresetDescription returns the one-line description of a preset.
+func PresetDescription(name string) string { return presets[name].desc }

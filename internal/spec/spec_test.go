@@ -1,0 +1,313 @@
+package spec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+func intp(v int) *int    { return &v }
+func boolp(v bool) *bool { return &v }
+
+// norm normalizes a copy and returns it.
+func norm(s Sim) Sim {
+	s.Normalize(Defaults{})
+	return s
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sims := []Sim{
+		{}, // zero spec is valid JSON too
+		{
+			Machine: MachineSpec{
+				ROB: 512, IQ: 128, PAQDepth: intp(0),
+				PAQPrefetchOnMiss: boolp(false), ReplayRecovery: true,
+				L1DKB: 32, MemLatency: 400, PrefetchEnabled: boolp(false),
+			},
+			Predictor: PredictorSpec{
+				Family:  FamilyComposite,
+				Entries: [core.NumComponents]int{64, 256, 128, 64},
+				AM:      AMM, SmartTraining: true,
+			},
+			Workload: WorkloadSpec{Name: "gcc2k", Insts: 1_000_000},
+			Run:      RunSpec{Seed: 42},
+		},
+		{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: -1}},
+	}
+	for i, sim := range sims {
+		b, err := json.Marshal(sim)
+		if err != nil {
+			t.Fatalf("sim %d: marshal: %v", i, err)
+		}
+		var back Sim
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("sim %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(sim, back) {
+			t.Errorf("sim %d: round trip changed the spec:\n%+v\n%+v", i, sim, back)
+		}
+	}
+}
+
+// TestNormalizeCanonicalizes verifies that equivalent spellings
+// normalize to the same canonical spec (and therefore hash).
+func TestNormalizeCanonicalizes(t *testing.T) {
+	w := WorkloadSpec{Name: "gcc2k", Insts: 20_000}
+	cases := []struct {
+		name string
+		a, b Sim
+	}{
+		{"defaults spelled out vs omitted",
+			Sim{Workload: w},
+			Sim{
+				Machine:   MachineSpec{ROB: 224, IQ: 97, L1DKB: 64, PAQDepth: intp(24), PrefetchEnabled: boolp(true)},
+				Predictor: PredictorSpec{Family: FamilyComposite, EntriesPer: 1024, AM: AMPC},
+				Workload:  w,
+			}},
+		{"best sugar vs explicit composite",
+			Sim{Predictor: PredictorSpec{Family: FamilyBest}, Workload: w},
+			Sim{Predictor: PredictorSpec{Family: FamilyComposite, AM: AMPC, Fusion: true}, Workload: w}},
+		{"entries_per vs per-component entries",
+			Sim{Predictor: PredictorSpec{EntriesPer: 256}, Workload: w},
+			Sim{Predictor: PredictorSpec{Entries: core.HomogeneousEntries(256)}, Workload: w}},
+		{"eves default budget",
+			Sim{Predictor: PredictorSpec{Family: FamilyEVES}, Workload: w},
+			Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: 32}, Workload: w}},
+		{"eves negative budgets collapse to -1",
+			Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: -5}, Workload: w},
+			Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: -1}, Workload: w}},
+		{"single family ignores other slots' sizing sugar",
+			Sim{Predictor: PredictorSpec{Family: FamilyLVP}, Workload: w},
+			Sim{Predictor: PredictorSpec{Family: FamilyLVP, EntriesPer: 1024}, Workload: w}},
+		{"none family erases everything else",
+			Sim{Predictor: PredictorSpec{Family: FamilyNone}, Workload: w},
+			Sim{Predictor: PredictorSpec{Family: FamilyNone, EntriesPer: 512, AM: AMM, Fusion: true, BudgetKB: 8}, Workload: w}},
+	}
+	for _, c := range cases {
+		na, nb := norm(c.a), norm(c.b)
+		if !reflect.DeepEqual(na, nb) {
+			t.Errorf("%s: normalized specs differ:\n%+v\n%+v", c.name, na, nb)
+		}
+		if na.CanonicalHash() != nb.CanonicalHash() {
+			t.Errorf("%s: canonical hashes differ", c.name)
+		}
+		// Normalization must be idempotent or hashes drift.
+		again := na
+		again.Normalize(Defaults{})
+		if !reflect.DeepEqual(na, again) {
+			t.Errorf("%s: Normalize is not idempotent: %+v vs %+v", c.name, na, again)
+		}
+	}
+}
+
+// TestCanonicalHashIgnoresJSONKeyOrder decodes two differently-ordered
+// encodings of one spec and checks they share a canonical hash.
+func TestCanonicalHashIgnoresJSONKeyOrder(t *testing.T) {
+	a := `{"workload":{"name":"gcc2k","insts":20000},"predictor":{"am":"pc","family":"composite"},"machine":{"rob":512,"iq":128}}`
+	b := `{"machine":{"iq":128,"rob":512},"predictor":{"family":"composite","am":"pc"},"workload":{"insts":20000,"name":"gcc2k"}}`
+	var sa, sb Sim
+	if err := json.Unmarshal([]byte(a), &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &sb); err != nil {
+		t.Fatal(err)
+	}
+	sa.Normalize(Defaults{})
+	sb.Normalize(Defaults{})
+	if sa.CanonicalHash() != sb.CanonicalHash() {
+		t.Error("differently-ordered encodings of one spec hash differently")
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	base := norm(Sim{Workload: WorkloadSpec{Name: "gcc2k", Insts: 20_000}})
+	mutations := []func(*Sim){
+		func(s *Sim) { s.Machine.ROB = 512 },
+		func(s *Sim) { s.Machine.PAQDepth = intp(0) },
+		func(s *Sim) { s.Machine.PrefetchEnabled = boolp(false) },
+		func(s *Sim) { s.Predictor.Entries[core.CompSAP] = 2048 },
+		func(s *Sim) { s.Predictor.AM = AMM },
+		func(s *Sim) { s.Predictor.Fusion = true },
+		func(s *Sim) { s.Workload.Name = "mcf" },
+		func(s *Sim) { s.Workload.Insts = 40_000 },
+		func(s *Sim) { s.Run.Seed = 7 },
+	}
+	seen := map[string]int{base.CanonicalHash(): -1}
+	for i, mut := range mutations {
+		s := base
+		mut(&s)
+		s.Normalize(Defaults{})
+		h := s.CanonicalHash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %d collides with %d", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestDefaultsFillAndClamp(t *testing.T) {
+	s := Sim{Workload: WorkloadSpec{Name: "gcc2k"}}
+	s.Normalize(Defaults{Insts: 200_000, MaxInsts: 5_000_000, Seed: 0xC0FFEE})
+	if s.Workload.Insts != 200_000 || s.Run.Seed != 0xC0FFEE {
+		t.Errorf("defaults not filled: %+v", s)
+	}
+	s = Sim{Workload: WorkloadSpec{Name: "gcc2k", Insts: 10_000_000}}
+	s.Normalize(Defaults{Insts: 200_000, MaxInsts: 5_000_000})
+	if s.Workload.Insts != 5_000_000 {
+		t.Errorf("budget not clamped: %d", s.Workload.Insts)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sim  Sim
+		want string // substring of the error; "" = valid
+	}{
+		{"valid default", Sim{Workload: WorkloadSpec{Name: "gcc2k"}}, ""},
+		{"unknown workload", Sim{Workload: WorkloadSpec{Name: "nope"}}, "unknown workload"},
+		{"unknown family", Sim{Predictor: PredictorSpec{Family: "quantum"}, Workload: WorkloadSpec{Name: "gcc2k"}}, "unknown predictor family"},
+		{"unknown am", Sim{Predictor: PredictorSpec{AM: "psychic"}, Workload: WorkloadSpec{Name: "gcc2k"}}, "unknown accuracy monitor"},
+		{"negative entries", Sim{Predictor: PredictorSpec{Entries: [core.NumComponents]int{-1, 0, 0, 0}}, Workload: WorkloadSpec{Name: "gcc2k"}}, "entries must be"},
+		{"fusion with value pool", Sim{Predictor: PredictorSpec{Fusion: true, ValuePoolSlots: 64}, Workload: WorkloadSpec{Name: "gcc2k"}}, "incompatible"},
+		{"negative rob", Sim{Machine: MachineSpec{ROB: -4}, Workload: WorkloadSpec{Name: "gcc2k"}}, "rob must be"},
+		{"negative paq", Sim{Machine: MachineSpec{PAQDepth: intp(-1)}, Workload: WorkloadSpec{Name: "gcc2k"}}, "paq_depth"},
+		{"non-power-of-two cache sets", Sim{Machine: MachineSpec{L1DKB: 100}, Workload: WorkloadSpec{Name: "gcc2k"}}, "power-of-two"},
+		{"cache not multiple of line*ways", Sim{Machine: MachineSpec{L3KB: 3}, Workload: WorkloadSpec{Name: "gcc2k"}}, "multiple of"},
+	}
+	for _, c := range cases {
+		sim := c.sim
+		sim.Normalize(Defaults{Insts: 20_000})
+		err := sim.Validate()
+		switch {
+		case c.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		case c.want != "" && err == nil:
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.want)
+		case c.want != "" && !strings.Contains(err.Error(), c.want):
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMachineSpecConfig(t *testing.T) {
+	def := MachineSpec{}.Config()
+	if !reflect.DeepEqual(def, cpu.DefaultConfig()) {
+		t.Errorf("zero machine is not the Table III default:\n%+v\n%+v", def, cpu.DefaultConfig())
+	}
+	paq := 0
+	pf := false
+	m := MachineSpec{
+		ROB: 512, LSLanes: 1, PAQDepth: &paq, PrefetchEnabled: &pf,
+		ReplayRecovery: true, L1DKB: 32, MemLatency: 400,
+	}
+	cfg := m.Config()
+	if cfg.ROB != 512 || cfg.LSLanes != 1 || cfg.PAQDepth != 0 || !cfg.ReplayRecovery {
+		t.Errorf("deltas not applied: %+v", cfg)
+	}
+	if cfg.Hierarchy.L1D.SizeBytes != 32<<10 || cfg.Hierarchy.MemLatency != 400 || cfg.Hierarchy.PrefetchEnabled {
+		t.Errorf("hierarchy deltas not applied: %+v", cfg.Hierarchy)
+	}
+	// Untouched fields keep Table III.
+	if cfg.IQ != cpu.DefaultConfig().IQ || cfg.Hierarchy.L2.SizeBytes != cpu.DefaultConfig().Hierarchy.L2.SizeBytes {
+		t.Errorf("unset fields drifted from the default: %+v", cfg)
+	}
+	if (MachineSpec{}).Hash() != "" {
+		t.Error("default machine hash is not empty")
+	}
+	if (MachineSpec{ROB: 224}).Hash() != "" {
+		t.Error("default-restating machine hash is not empty")
+	}
+	if m.Hash() == "" {
+		t.Error("non-default machine hashes empty")
+	}
+}
+
+func TestEpochInstrs(t *testing.T) {
+	if got := EpochInstrs(100_000_000); got != 5_000_000 {
+		t.Errorf("EpochInstrs(100M) = %d, want 5M (paper proportion)", got)
+	}
+	if got := EpochInstrs(1_000); got != 2000 {
+		t.Errorf("EpochInstrs(1k) = %d, want the 2000 floor", got)
+	}
+}
+
+func TestNewEngineFamilies(t *testing.T) {
+	mk := func(p PredictorSpec) PredictorSpec {
+		p.Normalize()
+		return p
+	}
+	if eng, err := NewEngine(mk(PredictorSpec{Family: FamilyNone}), 20_000, 1); err != nil || eng != nil {
+		t.Errorf("none family: engine=%v err=%v, want nil/nil", eng, err)
+	}
+	for _, fam := range []Family{FamilyLVP, FamilySAP, FamilyCVP, FamilyCAP, FamilyComposite, FamilyEVES} {
+		eng, err := NewEngine(mk(PredictorSpec{Family: fam}), 20_000, 1)
+		if err != nil || eng == nil {
+			t.Errorf("family %s: engine=%v err=%v", fam, eng, err)
+		}
+	}
+	if _, err := NewEngine(PredictorSpec{Family: "quantum"}, 20_000, 1); err == nil {
+		t.Error("unknown family built an engine")
+	}
+}
+
+func TestStorageKB(t *testing.T) {
+	p := PredictorSpec{Family: FamilyComposite, Entries: core.HomogeneousEntries(1024)}
+	want := core.NewComposite(core.CompositeConfig{Entries: p.Entries, Seed: 1}).StorageKB()
+	if got := StorageKB(p); got != want {
+		t.Errorf("composite storage = %g, want %g (core accounting)", got, want)
+	}
+	if got := StorageKB(PredictorSpec{Family: FamilyEVES, BudgetKB: 32}); got != 32 {
+		t.Errorf("eves storage = %g, want 32", got)
+	}
+	if got := StorageKB(PredictorSpec{Family: FamilyEVES, BudgetKB: -1}); got != 0 {
+		t.Errorf("infinite eves storage = %g, want 0", got)
+	}
+	if got := StorageKB(PredictorSpec{Family: FamilyNone}); got != 0 {
+		t.Errorf("none storage = %g, want 0", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	if len(names) == 0 {
+		t.Fatal("no presets")
+	}
+	if !sortedStrings(names) {
+		t.Errorf("preset names not sorted: %v", names)
+	}
+	for _, n := range names {
+		sim, ok := Preset(n)
+		if !ok {
+			t.Fatalf("preset %q vanished", n)
+		}
+		if PresetDescription(n) == "" {
+			t.Errorf("preset %q has no description", n)
+		}
+		sim.Normalize(Defaults{Insts: 20_000})
+		if err := sim.ValidateConfig(); err != nil {
+			t.Errorf("preset %q does not validate: %v", n, err)
+		}
+	}
+	// table3 is the zero spec by another name.
+	table3, _ := Preset("table3")
+	if norm(table3).CanonicalHash() != norm(Sim{}).CanonicalHash() {
+		t.Error("table3 preset differs from the zero spec")
+	}
+	if _, ok := Preset("no-such"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
