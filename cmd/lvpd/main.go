@@ -8,20 +8,36 @@
 //	lvpd -addr :8080
 //	lvpd -addr :8080 -workers 8 -queue 128 -cache 4096 -job-timeout 1m
 //
+// With -cluster the same binary becomes a sweep coordinator instead:
+// it runs no simulations itself, but fans sweep points out across a
+// fleet of ordinary lvpd workers registered via POST
+// /v1/cluster/workers. A worker can self-register at startup with
+// -join (and -advertise when its own -addr is not dialable as-is):
+//
+//	lvpd -cluster -addr :9000
+//	lvpd -addr :8081 -join http://coordinator:9000 -advertise http://worker1:8081
+//
+// See README.md ("Running a cluster") for the full walkthrough.
+//
 // The daemon drains in-flight jobs on SIGINT/SIGTERM, cancelling
 // whatever is still running once -drain-timeout elapses.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -35,7 +51,21 @@ func main() {
 		maxInsts     = flag.Int64("max-insts", 5_000_000, "per-job instruction budget cap (-1 = unlimited)")
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "default per-job simulation deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
+		maxSweepPts  = flag.Int("max-sweep-points", 0, "sweep expansion cap (0 = mode default)")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON")
+
+		// Coordinator mode.
+		clusterMode   = flag.Bool("cluster", false, "run as a sweep coordinator instead of a simulation worker")
+		workerSlots   = flag.Int("worker-slots", 4, "cluster: concurrent dispatches per worker")
+		pointDeadline = flag.Duration("point-deadline", 5*time.Minute, "cluster: per-dispatch-attempt deadline")
+		pointRetries  = flag.Int("point-retries", 5, "cluster: retries per point before it is marked failed")
+		healthEvery   = flag.Duration("health-interval", 2*time.Second, "cluster: worker health probe period")
+		quarAfter     = flag.Int("quarantine-after", 3, "cluster: consecutive failures before a worker is quarantined")
+		quarCooldown  = flag.Duration("quarantine-cooldown", 30*time.Second, "cluster: circuit-open duration before a half-open probe")
+
+		// Worker self-registration.
+		joinURL      = flag.String("join", "", "coordinator URL to register with at startup (worker mode)")
+		advertiseURL = flag.String("advertise", "", "URL the coordinator should dial for this worker (default derived from -addr)")
 	)
 	flag.Parse()
 
@@ -45,15 +75,38 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheSize:    *cacheSize,
-		DefaultInsts: *defaultInsts,
-		MaxInsts:     *maxInsts,
-		JobTimeout:   *jobTimeout,
-		Logger:       log,
+	if *clusterMode {
+		runCoordinator(log, coordinatorFlags{
+			addr:          *addr,
+			defaultInsts:  *defaultInsts,
+			maxInsts:      *maxInsts,
+			cacheSize:     *cacheSize,
+			maxSweepPts:   *maxSweepPts,
+			workerSlots:   *workerSlots,
+			pointDeadline: *pointDeadline,
+			pointRetries:  *pointRetries,
+			healthEvery:   *healthEvery,
+			quarAfter:     *quarAfter,
+			quarCooldown:  *quarCooldown,
+			drainTimeout:  *drainTimeout,
+		})
+		return
+	}
+
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultInsts:   *defaultInsts,
+		MaxInsts:       *maxInsts,
+		JobTimeout:     *jobTimeout,
+		MaxSweepPoints: *maxSweepPts,
+		Logger:         log,
 	})
+	if err != nil {
+		log.Error("bad configuration", "err", err)
+		os.Exit(2)
+	}
 	srv.Start()
 
 	httpSrv := &http.Server{
@@ -68,6 +121,10 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Info("lvpd listening", "addr", *addr)
+
+	if *joinURL != "" {
+		go selfRegister(ctx, log, *joinURL, advertised(*advertiseURL, *addr))
+	}
 
 	select {
 	case err := <-errCh:
@@ -86,4 +143,125 @@ func main() {
 		log.Warn("job drain incomplete", "err", err)
 	}
 	log.Info("bye")
+}
+
+type coordinatorFlags struct {
+	addr          string
+	defaultInsts  uint64
+	maxInsts      int64
+	cacheSize     int
+	maxSweepPts   int
+	workerSlots   int
+	pointDeadline time.Duration
+	pointRetries  int
+	healthEvery   time.Duration
+	quarAfter     int
+	quarCooldown  time.Duration
+	drainTimeout  time.Duration
+}
+
+func runCoordinator(log *slog.Logger, f coordinatorFlags) {
+	coord, err := cluster.New(cluster.Config{
+		DefaultInsts:       f.defaultInsts,
+		MaxInsts:           f.maxInsts,
+		CacheSize:          f.cacheSize,
+		MaxSweepPoints:     f.maxSweepPts,
+		WorkerSlots:        f.workerSlots,
+		PointDeadline:      f.pointDeadline,
+		PointRetries:       f.pointRetries,
+		HealthInterval:     f.healthEvery,
+		QuarantineAfter:    f.quarAfter,
+		QuarantineCooldown: f.quarCooldown,
+		Logger:             log,
+	})
+	if err != nil {
+		log.Error("bad configuration", "err", err)
+		os.Exit(2)
+	}
+	coord.Start()
+
+	httpSrv := &http.Server{
+		Addr:              f.addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Info("lvpd coordinator listening", "addr", f.addr)
+
+	select {
+	case err := <-errCh:
+		log.Error("http server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Info("shutting down", "drain_timeout", f.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), f.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Warn("http shutdown", "err", err)
+	}
+	if err := coord.Shutdown(drainCtx); err != nil {
+		log.Warn("sweep drain incomplete", "err", err)
+	}
+	log.Info("bye")
+}
+
+// advertised derives the URL the coordinator should dial for this
+// worker: -advertise verbatim when set, otherwise -addr with a
+// localhost host filled in for bare ":8080"-style listen addresses.
+func advertised(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// selfRegister registers this worker with the coordinator, retrying
+// with a flat delay until it succeeds or the process is shutting down.
+// Registration is idempotent on the coordinator, so retrying after an
+// ambiguous failure is safe.
+func selfRegister(ctx context.Context, log *slog.Logger, coordinator, advertise string) {
+	body, _ := json.Marshal(map[string]string{"url": advertise})
+	target := strings.TrimSuffix(coordinator, "/") + "/v1/cluster/workers"
+	for {
+		err := postRegistration(ctx, target, body)
+		if err == nil {
+			log.Info("registered with coordinator", "coordinator", coordinator, "advertise", advertise)
+			return
+		}
+		log.Warn("coordinator registration failed; retrying", "coordinator", coordinator, "err", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+func postRegistration(ctx context.Context, target string, body []byte) error {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("coordinator returned %d", resp.StatusCode)
+	}
+	return nil
 }

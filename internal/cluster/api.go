@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST   /v1/cluster/workers      register (or reactivate) a worker
+//	GET    /v1/cluster/workers      list workers with state and load
+//	DELETE /v1/cluster/workers/{id} drain a worker (steals its points)
+//	POST   /v1/sweeps               submit a sweep for distributed execution
+//	GET    /v1/sweeps               list retained sweeps (summaries)
+//	GET    /v1/sweeps/{id}          aggregated sweep status with points
+//	GET    /healthz                 coordinator liveness + fleet summary
+//	GET    /metrics                 Prometheus-style metrics
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// RegisterRequest is the POST /v1/cluster/workers body.
+type RegisterRequest struct {
+	URL string `json:"url"`
+}
+
+// ClusterHealth is the GET /healthz body: coordinator liveness plus a
+// fleet roll-up.
+type ClusterHealth struct {
+	Status             string `json:"status"`
+	Workers            int    `json:"workers"`
+	ActiveWorkers      int    `json:"active_workers"`
+	QuarantinedWorkers int    `json:"quarantined_workers,omitempty"`
+	PointsInflight     int64  `json:"points_inflight"`
+	Sweeps             int    `json:"sweeps"`
+	CacheEntries       int    `json:"cache_entries"`
+}
+
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("POST /v1/cluster/workers", c.handleRegisterWorker)
+	c.mux.HandleFunc("GET /v1/cluster/workers", c.handleListWorkers)
+	c.mux.HandleFunc("DELETE /v1/cluster/workers/{id}", c.handleDrainWorker)
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleStartSweep)
+	c.mux.HandleFunc("GET /v1/sweeps", c.handleListSweeps)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleSweepStatus)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.Handle("GET /metrics", c.reg.Handler())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad register body: %v", err)
+		return
+	}
+	if req.URL == "" {
+		writeError(w, http.StatusBadRequest, "register body needs a url field")
+		return
+	}
+	st, created, err := c.RegisterWorker(r.Context(), req.URL)
+	if err != nil {
+		var probeFailed bool
+		var we *workerError
+		if errors.As(err, &we) {
+			probeFailed = true
+		}
+		if probeFailed || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusBadGateway, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Coordinator) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+}
+
+func (c *Coordinator) handleDrainWorker(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.DrainWorker(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no worker %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleStartSweep(w http.ResponseWriter, r *http.Request) {
+	var req server.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep body: %v", err)
+		return
+	}
+	st, err := c.StartSweep(req)
+	if err != nil {
+		if !c.accepting.Load() {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == "done" { // every point cached at submit
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Coordinator) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": c.SweepStatuses()})
+}
+
+func (c *Coordinator) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.SweepStatusByID(r.PathValue("id"), true)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	h := ClusterHealth{
+		Status:       "ok",
+		Workers:      len(c.workers),
+		Sweeps:       len(c.sweeps),
+		CacheEntries: c.cache.Len(),
+	}
+	for _, wk := range c.workers {
+		switch wk.state {
+		case WorkerActive:
+			h.ActiveWorkers++
+		case WorkerQuarantined:
+			h.QuarantinedWorkers++
+		}
+	}
+	c.mu.Unlock()
+	h.PointsInflight = c.mInflight.Value()
+	writeJSON(w, http.StatusOK, h)
+}
+
+// LoggedHandler wraps the API with one structured access-log line per
+// request.
+func (c *Coordinator) LoggedHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		c.mux.ServeHTTP(w, r)
+		c.log.Debug("http", "method", r.Method, "path", r.URL.Path, "dur", time.Since(start))
+	})
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// errShed marks a worker's 429: the worker is healthy but its queue is
+// full, so the attempt is retryable without blaming the worker.
+var errShed = errors.New("worker shed the job (queue full)")
+
+// permanentError marks a failure no retry can fix (the worker rejected
+// the spec as invalid); the point fails immediately.
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// workerError marks a transport-level or server-side failure that
+// counts against the worker's circuit breaker.
+type workerError struct{ err error }
+
+func (e *workerError) Error() string { return e.err.Error() }
+func (e *workerError) Unwrap() error { return e.err }
+
+// apiClient drives one stock lvpd worker through its public HTTP API.
+type apiClient struct {
+	base string
+	hc   *http.Client
+}
+
+// errorMessage extracts the {"error": ...} envelope, falling back to
+// the raw body.
+func errorMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+func (a apiClient) do(ctx context.Context, method, path string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, a.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return 0, nil, &workerError{err}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return resp.StatusCode, nil, &workerError{err}
+	}
+	return resp.StatusCode, b, nil
+}
+
+// submitJob posts one canonical spec to the worker and returns the
+// created (or cache-answered) job status.
+func (a apiClient) submitJob(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	code, body, err := a.do(ctx, http.MethodPost, "/v1/jobs", req)
+	if err != nil {
+		return st, err
+	}
+	switch {
+	case code == http.StatusOK || code == http.StatusAccepted:
+		if err := json.Unmarshal(body, &st); err != nil {
+			return st, &workerError{fmt.Errorf("undecodable submit response: %w", err)}
+		}
+		return st, nil
+	case code == http.StatusTooManyRequests:
+		return st, errShed
+	case code == http.StatusBadRequest:
+		// The worker rejected the spec itself; retrying elsewhere cannot
+		// help (workers share the validation code).
+		return st, &permanentError{fmt.Sprintf("worker rejected spec: %s", errorMessage(body))}
+	default:
+		return st, &workerError{fmt.Errorf("submit returned %d: %s", code, errorMessage(body))}
+	}
+}
+
+// getJob fetches a job's status from the worker.
+func (a apiClient) getJob(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	code, body, err := a.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	if code != http.StatusOK {
+		// 404 included: a restarted worker forgot the job — re-dispatch.
+		return st, &workerError{fmt.Errorf("job %s lookup returned %d: %s", id, code, errorMessage(body))}
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, &workerError{fmt.Errorf("undecodable job status: %w", err)}
+	}
+	return st, nil
+}
+
+// cancelJob best-effort cancels a job the coordinator no longer wants
+// (the attempt was stolen or timed out).
+func (a apiClient) cancelJob(ctx context.Context, id string) error {
+	_, _, err := a.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	return err
+}
+
+// health probes the worker's /healthz.
+func (a apiClient) health(ctx context.Context) (server.Health, error) {
+	var h server.Health
+	code, body, err := a.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	if code != http.StatusOK {
+		return h, fmt.Errorf("healthz returned %d", code)
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return h, fmt.Errorf("undecodable healthz: %w", err)
+	}
+	return h, nil
+}

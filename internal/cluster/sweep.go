@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/spec"
+)
+
+// Point states reported by PointStatus.State.
+const (
+	PointPending = "pending"
+	PointRunning = "running"
+	PointDone    = "done"
+	PointFailed  = "failed"
+)
+
+// sweep is one accepted POST /v1/sweeps: its unique points plus the
+// expansion bookkeeping. Guarded by the coordinator mutex.
+type sweep struct {
+	id      string
+	created time.Time
+	total   int // expanded points, duplicates included
+	deduped int // expansions collapsed onto an earlier point
+	cached  int // unique points answered from the shared cache at submit
+	points  []*point
+}
+
+// point is one unique spec hash within a sweep. Guarded by the
+// coordinator mutex.
+type point struct {
+	hash     string
+	sim      spec.Sim
+	label    string
+	count    int // expansions sharing this hash
+	state    string
+	cacheHit bool
+	attempts int
+	steals   int
+	workerID string
+	errMsg   string
+	result   *server.RunResult
+	finished time.Time
+}
+
+// PointStatus is the JSON view of one unique sweep point.
+type PointStatus struct {
+	SpecHash string     `json:"spec_hash"`
+	Workload string     `json:"workload"`
+	Label    string     `json:"predictor,omitempty"`
+	Count    int        `json:"count"`
+	State    string     `json:"state"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
+	Steals   int        `json:"steals,omitempty"`
+	Worker   string     `json:"worker,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	Result *server.RunResult `json:"result,omitempty"`
+}
+
+// SweepStatus is the aggregated view of a sweep: counts by point state
+// plus (optionally) every unique point. Completions stream into it as
+// workers finish, so polling GET /v1/sweeps/{id} follows the sweep
+// live.
+type SweepStatus struct {
+	ID      string    `json:"id"`
+	State   string    `json:"state"` // running | done
+	Created time.Time `json:"created"`
+
+	Total   int `json:"total"`
+	Unique  int `json:"unique"`
+	Deduped int `json:"deduped,omitempty"`
+	Cached  int `json:"cached,omitempty"`
+
+	Pending int `json:"pending"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+
+	Points []PointStatus `json:"points,omitempty"`
+}
+
+// statusLocked snapshots the sweep. Caller holds c.mu.
+func (sw *sweep) statusLocked(includePoints bool) SweepStatus {
+	st := SweepStatus{
+		ID:      sw.id,
+		Created: sw.created,
+		Total:   sw.total,
+		Unique:  len(sw.points),
+		Deduped: sw.deduped,
+		Cached:  sw.cached,
+	}
+	for _, pt := range sw.points {
+		switch pt.state {
+		case PointPending:
+			st.Pending++
+		case PointRunning:
+			st.Running++
+		case PointDone:
+			st.Done++
+		case PointFailed:
+			st.Failed++
+		}
+		if includePoints {
+			ps := PointStatus{
+				SpecHash: pt.hash,
+				Workload: pt.sim.Workload.Name,
+				Label:    pt.label,
+				Count:    pt.count,
+				State:    pt.state,
+				CacheHit: pt.cacheHit,
+				Attempts: pt.attempts,
+				Steals:   pt.steals,
+				Worker:   pt.workerID,
+				Error:    pt.errMsg,
+				Result:   pt.result,
+			}
+			if !pt.finished.IsZero() {
+				t := pt.finished
+				ps.Finished = &t
+			}
+			st.Points = append(st.Points, ps)
+		}
+	}
+	if st.Pending+st.Running == 0 {
+		st.State = "done"
+	} else {
+		st.State = "running"
+	}
+	return st
+}
+
+// terminalLocked reports whether every point reached a terminal state.
+// Caller holds c.mu.
+func (sw *sweep) terminalLocked() bool {
+	for _, pt := range sw.points {
+		if pt.state != PointDone && pt.state != PointFailed {
+			return false
+		}
+	}
+	return true
+}
+
+// StartSweep expands, dedups, and launches a sweep: points whose spec
+// hash is already in the shared cache are answered immediately,
+// duplicate hashes collapse onto one dispatch, and every remaining
+// point gets a dispatch goroutine. The returned status is the submit-
+// time snapshot (without per-point detail).
+func (c *Coordinator) StartSweep(req server.SweepRequest) (SweepStatus, error) {
+	if !c.accepting.Load() {
+		return SweepStatus{}, fmt.Errorf("coordinator is shutting down")
+	}
+	points, err := req.Expand(c.defaults(), c.cfg.MaxSweepPoints)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+
+	c.mu.Lock()
+	c.nextSweep++
+	sw := &sweep{
+		id:      fmt.Sprintf("s-%04d", c.nextSweep),
+		created: time.Now(),
+		total:   len(points),
+	}
+	seen := make(map[string]*point, len(points))
+	var launch []*point
+	for _, p := range points {
+		if pt, ok := seen[p.Hash]; ok {
+			pt.count++
+			sw.deduped++
+			c.mPtsDeduped.Inc()
+			continue
+		}
+		pt := &point{hash: p.Hash, sim: p.Sim, label: p.Label, count: 1, state: PointPending}
+		if res, ok := c.cache.Get(p.Hash); ok {
+			pt.state = PointDone
+			pt.cacheHit = true
+			pt.result = &res
+			pt.finished = time.Now()
+			sw.cached++
+			c.mPtsCached.Inc()
+		} else {
+			launch = append(launch, pt)
+		}
+		seen[p.Hash] = pt
+		sw.points = append(sw.points, pt)
+	}
+	c.sweeps[sw.id] = sw
+	c.order = append(c.order, sw.id)
+	c.pruneSweepsLocked()
+	status := sw.statusLocked(false)
+	c.runners.Add(len(launch))
+	c.mu.Unlock()
+
+	for _, pt := range launch {
+		go c.runPoint(sw, pt)
+	}
+	c.log.Info("sweep accepted", "sweep", sw.id, "total", sw.total,
+		"unique", len(sw.points), "cached", sw.cached, "deduped", sw.deduped)
+	return status, nil
+}
+
+// pruneSweepsLocked forgets the oldest finished sweeps beyond the
+// retention cap. Caller holds c.mu.
+func (c *Coordinator) pruneSweepsLocked() {
+	for len(c.order) > c.cfg.RetainedSweeps {
+		old := c.sweeps[c.order[0]]
+		if old != nil && !old.terminalLocked() {
+			break
+		}
+		delete(c.sweeps, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// SweepStatusByID returns a sweep's aggregated status.
+func (c *Coordinator) SweepStatusByID(id string, includePoints bool) (SweepStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return SweepStatus{}, false
+	}
+	return sw.statusLocked(includePoints), true
+}
+
+// SweepStatuses lists retained sweeps, oldest first, without per-point
+// detail.
+func (c *Coordinator) SweepStatuses() []SweepStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SweepStatus, 0, len(c.order))
+	for _, id := range c.order {
+		if sw := c.sweeps[id]; sw != nil {
+			out = append(out, sw.statusLocked(false))
+		}
+	}
+	return out
+}

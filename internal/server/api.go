@@ -275,6 +275,40 @@ type JobStatus struct {
 	Finished *time.Time `json:"finished,omitempty"`
 }
 
+// JobSummary is one row of GET /v1/jobs: enough to inspect a backlog
+// (state + spec hash) without shipping result payloads.
+type JobSummary struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	SpecHash  string     `json:"spec_hash,omitempty"`
+	Workload  string     `json:"workload,omitempty"`
+	Predictor string     `json:"predictor,omitempty"`
+	CacheHit  bool       `json:"cache_hit,omitempty"`
+	Created   time.Time  `json:"created"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// JobList is the response of GET /v1/jobs: retained jobs most recent
+// first, paginated by offset/limit. Total counts every retained job,
+// so offset >= total means the listing is exhausted.
+type JobList struct {
+	Jobs   []JobSummary `json:"jobs"`
+	Total  int          `json:"total"`
+	Offset int          `json:"offset"`
+	Limit  int          `json:"limit"`
+}
+
+// Health is the GET /healthz payload. The cluster coordinator reads it
+// when probing workers: QueueDepth feeds load-aware scheduling and
+// SimMIPS is re-exported as the per-worker throughput metric.
+type Health struct {
+	Status       string  `json:"status"`
+	QueueDepth   int     `json:"queue_depth"`
+	JobsInflight int64   `json:"jobs_inflight"`
+	CacheEntries int     `json:"cache_entries"`
+	SimMIPS      float64 `json:"sim_mips,omitempty"`
+}
+
 // errorBody is the JSON error envelope for non-2xx responses.
 type errorBody struct {
 	Error string `json:"error"`

@@ -5,9 +5,12 @@ import (
 	"sync"
 )
 
-// resultCache is a fixed-capacity LRU of completed RunResults keyed by
-// the canonical request hash. Safe for concurrent use.
-type resultCache struct {
+// ResultCache is a fixed-capacity LRU of completed RunResults keyed by
+// the canonical spec hash. Safe for concurrent use. It backs the
+// per-daemon result cache and the cluster coordinator's shared cache:
+// because the key is the spec's canonical hash, every node that caches
+// a result for a key holds an interchangeable value.
+type ResultCache struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recent
@@ -19,11 +22,13 @@ type cacheEntry struct {
 	res RunResult
 }
 
-func newResultCache(capacity int) *resultCache {
+// NewResultCache returns an empty cache holding at most capacity
+// entries (minimum 1).
+func NewResultCache(capacity int) *ResultCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &resultCache{
+	return &ResultCache{
 		cap: capacity,
 		ll:  list.New(),
 		m:   make(map[string]*list.Element, capacity),
@@ -31,7 +36,7 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // Get returns the cached result for key, refreshing its recency.
-func (c *resultCache) Get(key string) (RunResult, bool) {
+func (c *ResultCache) Get(key string) (RunResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -44,7 +49,7 @@ func (c *resultCache) Get(key string) (RunResult, bool) {
 
 // Put stores res under key, evicting the least recently used entry when
 // over capacity.
-func (c *resultCache) Put(key string, res RunResult) {
+func (c *ResultCache) Put(key string, res RunResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -61,7 +66,7 @@ func (c *resultCache) Put(key string, res RunResult) {
 }
 
 // Len returns the number of cached results.
-func (c *resultCache) Len() int {
+func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()

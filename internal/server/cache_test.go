@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestResultCacheConcurrent hammers one small cache from many
+// goroutines with overlapping keys so Get, Put (insert and update), and
+// eviction all race; run under -race it proves the cache's locking.
+// Every hit must return the value stored under that key, and the cache
+// must never exceed its capacity.
+func TestResultCacheConcurrent(t *testing.T) {
+	const (
+		capacity   = 8
+		goroutines = 16
+		keys       = 32 // 4x capacity: constant eviction pressure
+		ops        = 2000
+	)
+	c := NewResultCache(capacity)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := (g*31 + i*7) % keys
+				key := fmt.Sprintf("k-%02d", k)
+				if i%3 == 0 {
+					c.Put(key, RunResult{Workload: key, Cycles: uint64(k)})
+					continue
+				}
+				res, ok := c.Get(key)
+				if ok && (res.Workload != key || res.Cycles != uint64(k)) {
+					select {
+					case errs <- fmt.Sprintf("Get(%s) returned entry for %q", key, res.Workload):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if n := c.Len(); n > capacity {
+		t.Errorf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	// Every key present after the storm still maps to its own value.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k-%02d", k)
+		if res, ok := c.Get(key); ok && res.Workload != key {
+			t.Errorf("post-storm Get(%s) = entry for %q", key, res.Workload)
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,8 +21,19 @@ import (
 	"repro/internal/trace"
 )
 
-// defaultSeed fills Run.Seed when a request leaves it at 0.
-const defaultSeed = 0xC0FFEE
+// DefaultSeed fills Run.Seed when a request leaves it at 0. It is
+// exported so the cluster coordinator canonicalizes specs under the
+// same defaults as the workers it dispatches to — a prerequisite for
+// spec hashes agreeing across the fleet.
+const DefaultSeed = 0xC0FFEE
+
+// defaultMaxSweepPoints is the default cap on one sweep's expansion.
+const defaultMaxSweepPoints = 256
+
+// maxSweepPointsCeiling rejects absurd MaxSweepPoints configurations:
+// beyond a million points per sweep the expansion itself (validation,
+// response payload) is the problem, not the cap.
+const maxSweepPointsCeiling = 1 << 20
 
 // Config tunes the job service. Zero values select the defaults noted
 // per field.
@@ -50,9 +63,29 @@ type Config struct {
 	// (default 4096); older finished jobs are forgotten FIFO.
 	RetainedJobs int
 
+	// MaxSweepPoints caps how many jobs one POST /v1/sweeps may expand
+	// to (default 256). Cluster coordinators raise it: their sweeps fan
+	// out across workers instead of one queue.
+	MaxSweepPoints int
+
 	// Logger receives structured request and job logs (default
 	// slog.Default).
 	Logger *slog.Logger
+}
+
+// Validate rejects configurations the server cannot honor. New calls
+// it; it is exported for callers that assemble configs from flags and
+// want the error before constructing anything.
+func (c Config) Validate() error {
+	if c.MaxSweepPoints < 0 {
+		return fmt.Errorf("server: MaxSweepPoints must be >= 0 (0 = default %d), got %d",
+			defaultMaxSweepPoints, c.MaxSweepPoints)
+	}
+	if c.MaxSweepPoints > maxSweepPointsCeiling {
+		return fmt.Errorf("server: MaxSweepPoints %d exceeds the %d ceiling — expansions that large should be split into multiple sweeps",
+			c.MaxSweepPoints, maxSweepPointsCeiling)
+	}
+	return nil
 }
 
 func (c *Config) applyDefaults() {
@@ -76,6 +109,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RetainedJobs <= 0 {
 		c.RetainedJobs = 4096
+	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = defaultMaxSweepPoints
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -152,6 +188,26 @@ func (j *job) status() JobStatus {
 	return st
 }
 
+// summary snapshots the job as one row of GET /v1/jobs.
+func (j *job) summary() JobSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sum := JobSummary{
+		ID:        j.id,
+		State:     j.state,
+		SpecHash:  j.key,
+		Workload:  j.sim.Workload.Name,
+		Predictor: j.label,
+		CacheHit:  j.cacheHit,
+		Created:   j.created,
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		sum.Finished = &t
+	}
+	return sum
+}
+
 // simKey identifies an expt.Context: contexts cache baselines, so one
 // is kept per (instruction budget, seed) combination.
 type simKey struct {
@@ -184,7 +240,12 @@ type Server struct {
 	simCtxs  map[simKey]*expt.Context
 	queueLen int
 
-	cache *resultCache
+	cache *ResultCache
+
+	// drainEWMA holds the float64 bits of an exponentially weighted
+	// moving average of recent job durations, the basis of the
+	// Retry-After estimate returned with 429 responses.
+	drainEWMA atomic.Uint64
 
 	mAccepted   *obs.Counter
 	mDone       *obs.Counter
@@ -199,8 +260,12 @@ type Server struct {
 	mSimInsts   *obs.Counter
 }
 
-// New builds a server from cfg. Call Start before serving requests.
-func New(cfg Config) *Server {
+// New builds a server from cfg, rejecting invalid configurations. Call
+// Start before serving requests.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.applyDefaults()
 	reg := obs.NewRegistry()
 	s := &Server{
@@ -211,7 +276,7 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
 		simCtxs: make(map[simKey]*expt.Context),
-		cache:   newResultCache(cfg.CacheSize),
+		cache:   NewResultCache(cfg.CacheSize),
 
 		mAccepted:   reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "accepted"),
 		mDone:       reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "done"),
@@ -240,7 +305,7 @@ func New(cfg Config) *Server {
 		})
 	s.lifeCtx, s.lifeStop = context.WithCancel(context.Background())
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Registry exposes the metrics registry (for tests and embedding).
@@ -296,6 +361,7 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
@@ -357,7 +423,7 @@ func (s *Server) specDefaults() spec.Defaults {
 	if s.cfg.MaxInsts > 0 {
 		maxInsts = uint64(s.cfg.MaxInsts)
 	}
-	return spec.Defaults{Insts: s.cfg.DefaultInsts, MaxInsts: maxInsts, Seed: defaultSeed}
+	return spec.Defaults{Insts: s.cfg.DefaultInsts, MaxInsts: maxInsts, Seed: DefaultSeed}
 }
 
 // handleSubmit implements POST /v1/jobs: resolve the request into its
@@ -387,11 +453,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case http.StatusOK, http.StatusAccepted:
 		writeJSON(w, code, j.status())
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, code, "job queue full; retry later")
 	default:
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	}
+}
+
+// noteJobDuration folds one finished job's wall time into the drain
+// EWMA (alpha 0.25: a few jobs of history, responsive to phase
+// changes).
+func (s *Server) noteJobDuration(secs float64) {
+	for {
+		old := s.drainEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := secs
+		if prev > 0 {
+			next = 0.75*prev + 0.25*secs
+		}
+		if s.drainEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a shed client should wait for
+// queue space: the backlog ahead of it divided by the recent drain
+// rate (workers draining jobs of EWMA duration each).
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	depth := s.queueLen
+	s.mu.Unlock()
+	return retryAfterEstimate(depth, s.cfg.Workers, math.Float64frombits(s.drainEWMA.Load()))
+}
+
+// retryAfterEstimate is the pure Retry-After formula: ceil((depth+1) ×
+// ewmaSecs / workers), clamped to [1, 60]. With no completed jobs yet
+// (ewmaSecs 0) there is no evidence the queue drains slowly, so the
+// historical 1-second hint stands.
+func retryAfterEstimate(depth, workers int, ewmaSecs float64) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	if ewmaSecs <= 0 || depth < 0 {
+		return 1
+	}
+	eta := int(math.Ceil(float64(depth+1) * ewmaSecs / float64(workers)))
+	if eta < 1 {
+		return 1
+	}
+	if eta > 60 {
+		return 60
+	}
+	return eta
 }
 
 // admit registers a job for a resolved spec and routes it: answered
@@ -482,6 +596,47 @@ func (s *Server) dropJob(j *job) {
 	s.mu.Unlock()
 }
 
+// handleListJobs implements GET /v1/jobs: a paginated listing of
+// retained jobs, most recent first, as compact summaries (state + spec
+// hash, no result payloads). Coordinators and operators use it to
+// inspect a worker's backlog; ?limit= (default 50, max 500) and
+// ?offset= page through it.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	limit, offset := 50, 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 500 {
+			writeError(w, http.StatusBadRequest, "limit must be an integer in [1, 500]")
+			return
+		}
+		limit = n
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
+			return
+		}
+		offset = n
+	}
+
+	s.mu.Lock()
+	// s.order is oldest-first and may name jobs dropped before they were
+	// ever queued; walk it backwards, skipping the gaps.
+	live := make([]*job, 0, len(s.jobs))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if j := s.jobs[s.order[i]]; j != nil {
+			live = append(live, j)
+		}
+	}
+	list := JobList{Total: len(live), Offset: offset, Limit: limit, Jobs: []JobSummary{}}
+	for i := offset; i < len(live) && i < offset+limit; i++ {
+		list.Jobs = append(list.Jobs, live[i].summary())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j := s.jobs[r.PathValue("id")]
@@ -521,12 +676,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	depth := s.queueLen
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"queue_depth":   depth,
-		"jobs_inflight": s.mInflight.Value(),
-		"cache_entries": s.cache.Len(),
-	})
+	h := Health{
+		Status:       "ok",
+		QueueDepth:   depth,
+		JobsInflight: s.mInflight.Value(),
+		CacheEntries: s.cache.Len(),
+	}
+	if secs := s.mJobDur.Sum(); secs > 0 {
+		h.SimMIPS = float64(s.mSimInsts.Value()) / 1e6 / secs
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // simCtx returns the shared expt.Context for an (insts, seed)
@@ -560,7 +719,9 @@ func (s *Server) runJob(j *job) {
 	start := time.Now()
 	defer func() {
 		s.mInflight.Add(-1)
-		s.mJobDur.Observe(time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		s.mJobDur.Observe(secs)
+		s.noteJobDuration(secs)
 	}()
 
 	timeout := s.cfg.JobTimeout

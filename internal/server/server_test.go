@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -25,7 +26,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.DefaultInsts == 0 {
 		cfg.DefaultInsts = 20_000
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -209,8 +213,8 @@ func TestBackpressure(t *testing.T) {
 			accepted++
 		case http.StatusTooManyRequests:
 			rejected++
-			if r.retry == "" {
-				t.Error("429 response missing Retry-After")
+			if n, err := strconv.Atoi(r.retry); err != nil || n < 1 || n > 60 {
+				t.Errorf("429 Retry-After = %q, want an integer in [1, 60]", r.retry)
 			}
 		default:
 			t.Errorf("unexpected submit status %d", r.code)
@@ -399,7 +403,10 @@ func TestWorkloadsEndpoint(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	cfg := Config{Workers: 1, DefaultInsts: 20_000}
 	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -457,7 +464,7 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 }
 
 func TestLRUCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := NewResultCache(2)
 	c.Put("a", RunResult{Workload: "a"})
 	c.Put("b", RunResult{Workload: "b"})
 	c.Get("a") // refresh a
@@ -474,6 +481,142 @@ func TestLRUCacheEviction(t *testing.T) {
 	if c.Len() != 2 {
 		t.Errorf("len = %d, want 2", c.Len())
 	}
+}
+
+// TestRetryAfterEstimate pins the backpressure hint formula: backlog ÷
+// recent drain rate, clamped to [1, 60], falling back to 1 second when
+// nothing has completed yet.
+func TestRetryAfterEstimate(t *testing.T) {
+	cases := []struct {
+		name    string
+		depth   int
+		workers int
+		ewma    float64
+		want    int
+	}{
+		{"no history yet", 10, 4, 0, 1},
+		{"fast jobs round up to 1s", 3, 4, 0.01, 1},
+		{"backlog divided across workers", 7, 4, 2.0, 4}, // (7+1)*2/4
+		{"single worker", 3, 1, 1.5, 6},                  // (3+1)*1.5
+		{"clamped at 60", 100, 1, 30, 60},
+		{"zero workers treated as one", 1, 0, 2.0, 4},
+		{"negative depth falls back", -1, 4, 2.0, 1},
+	}
+	for _, c := range cases {
+		if got := retryAfterEstimate(c.depth, c.workers, c.ewma); got != c.want {
+			t.Errorf("%s: retryAfterEstimate(%d, %d, %g) = %d, want %d",
+				c.name, c.depth, c.workers, c.ewma, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterTracksBacklog proves the 429 hint is derived, not
+// hardcoded: after slow jobs raise the duration EWMA, a saturated
+// queue's Retry-After must exceed the old constant 1.
+func TestRetryAfterTracksBacklog(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	// Pretend eight 10-second jobs are queued behind a slow history.
+	s.noteJobDuration(10.0)
+	s.mu.Lock()
+	s.queueLen = 8
+	s.mu.Unlock()
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Errorf("Retry-After = %d, want 60 (9 jobs x 10s, one worker, clamped)", got)
+	}
+	s.mu.Lock()
+	s.queueLen = 2
+	s.mu.Unlock()
+	if got := s.retryAfterSeconds(); got != 30 {
+		t.Errorf("Retry-After = %d, want 30 (3 jobs x 10s, one worker)", got)
+	}
+}
+
+// TestConfigValidation covers the MaxSweepPoints config field: invalid
+// values are rejected by New with a clear error, and a small configured
+// cap is enforced by the sweep endpoint.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MaxSweepPoints: -1}); err == nil ||
+		!strings.Contains(err.Error(), "MaxSweepPoints") {
+		t.Errorf("New(MaxSweepPoints: -1) err = %v, want a MaxSweepPoints error", err)
+	}
+	if _, err := New(Config{MaxSweepPoints: 1 << 21}); err == nil ||
+		!strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("New(MaxSweepPoints: 1<<21) err = %v, want a ceiling error", err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 1, MaxSweepPoints: 2})
+	resp, raw := postJSON(t, ts, "/v1/sweeps",
+		`{"template": {"workload": "gcc2k"}, "axes": {"seeds": [1, 2, 3]}}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(raw), "max 2") {
+		t.Errorf("3-point sweep on a max-2 server: status=%d body=%s, want 400 naming the cap", resp.StatusCode, raw)
+	}
+	resp2, _ := postJSON(t, ts, "/v1/sweeps",
+		`{"template": {"workload": "gcc2k", "insts": 20000}, "axes": {"seeds": [1, 2]}}`)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Errorf("2-point sweep on a max-2 server: status=%d, want 202", resp2.StatusCode)
+	}
+}
+
+// TestListJobs covers GET /v1/jobs: recency ordering, pagination, and
+// parameter validation.
+func TestListJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	workloads := []string{"gcc2k", "mcf", "sjeng"}
+	ids := make([]string, len(workloads))
+	for i, wl := range workloads {
+		_, st := submit(t, ts, JobRequest{Workload: wl, Predictor: "lvp", Insts: 20_000})
+		ids[i] = st.ID
+		waitState(t, ts, st.ID, 30*time.Second, StateDone)
+	}
+
+	var list JobList
+	get := func(query string, wantCode int) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET /v1/jobs%s status = %d, want %d", query, resp.StatusCode, wantCode)
+		}
+		if wantCode == http.StatusOK {
+			list = JobList{}
+			if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	get("", http.StatusOK)
+	if list.Total != 3 || len(list.Jobs) != 3 {
+		t.Fatalf("list = total %d / %d rows, want 3/3", list.Total, len(list.Jobs))
+	}
+	// Most recent first, each with state + spec hash.
+	for i, j := range list.Jobs {
+		if j.ID != ids[len(ids)-1-i] {
+			t.Errorf("row %d = %s, want %s (most recent first)", i, j.ID, ids[len(ids)-1-i])
+		}
+		if j.State != StateDone || j.SpecHash == "" || j.Workload == "" {
+			t.Errorf("row %d missing fields: %+v", i, j)
+		}
+	}
+
+	get("?limit=2", http.StatusOK)
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != ids[2] {
+		t.Errorf("limit=2 returned %d rows starting %s", len(list.Jobs), list.Jobs[0].ID)
+	}
+	get("?limit=2&offset=2", http.StatusOK)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != ids[0] || list.Total != 3 {
+		t.Errorf("offset page = %+v, want the oldest job only", list.Jobs)
+	}
+	get("?offset=99", http.StatusOK)
+	if len(list.Jobs) != 0 {
+		t.Errorf("past-the-end offset returned %d rows", len(list.Jobs))
+	}
+	get("?limit=0", http.StatusBadRequest)
+	get("?limit=9999", http.StatusBadRequest)
+	get("?offset=-1", http.StatusBadRequest)
 }
 
 func ExampleJobRequest_ResolveSpec() {

@@ -171,7 +171,7 @@ func TestSweepExpansion(t *testing.T) {
 
 	// Oversized expansions are refused before any admission.
 	big := `{"template": {"workload": "gcc2k"}, "axes": {"seeds": [` +
-		strings.TrimSuffix(strings.Repeat("1,", maxSweepPoints+1), ",") + `]}}`
+		strings.TrimSuffix(strings.Repeat("1,", defaultMaxSweepPoints+1), ",") + `]}}`
 	resp4, _ := postJSON(t, ts, "/v1/sweeps", big)
 	if resp4.StatusCode != http.StatusBadRequest {
 		t.Errorf("oversized sweep status = %d, want 400", resp4.StatusCode)

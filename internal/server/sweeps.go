@@ -4,13 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/spec"
 )
-
-// maxSweepPoints caps how many jobs one POST /v1/sweeps may expand to.
-const maxSweepPoints = 256
 
 // SweepAxes lists the values each swept dimension takes. Empty axes
 // keep the template's value; the expansion is the cartesian product of
@@ -67,9 +65,48 @@ type sweepPoint struct {
 	label string
 }
 
+// Point is one validated sweep point: the canonical spec, the label
+// its responses echo, and the spec hash — the idempotency key cluster
+// dispatch retries and dedups on.
+type Point struct {
+	Sim   spec.Sim
+	Label string
+	Hash  string
+}
+
+// Expand returns the sweep's validated cartesian expansion under
+// defaults d, capped at max points (0 = the package default). Every
+// point's Sim is canonical and its Hash is the result-cache key, so
+// callers — the local sweep handler and the cluster coordinator alike
+// — can dedup and dispatch points by hash. A single invalid point
+// fails the whole expansion, so a bad axis value can never leave a
+// half-submitted sweep behind.
+func (r SweepRequest) Expand(d spec.Defaults, max int) ([]Point, error) {
+	if max <= 0 {
+		max = defaultMaxSweepPoints
+	}
+	raw, err := r.expand(max)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(raw))
+	for i, p := range raw {
+		sim, hash, err := p.sim.Canonical(d)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		label := p.label
+		if label == "" {
+			label = r.Template.Label(sim)
+		}
+		points[i] = Point{Sim: sim, Label: label, Hash: hash}
+	}
+	return points, nil
+}
+
 // expand returns the cartesian expansion of the template across the
 // axes as un-normalized specs.
-func (r SweepRequest) expand() ([]sweepPoint, error) {
+func (r SweepRequest) expand(max int) ([]sweepPoint, error) {
 	base, err := r.Template.rawSpec()
 	if err != nil {
 		return nil, fmt.Errorf("template: %w", err)
@@ -112,8 +149,8 @@ func (r SweepRequest) expand() ([]sweepPoint, error) {
 	mul(len(r.Axes.Machines), func(p *sweepPoint, i int) {
 		p.sim.Machine = r.Axes.Machines[i]
 	})
-	if len(points) > maxSweepPoints {
-		return nil, fmt.Errorf("sweep expands to %d jobs, max %d", len(points), maxSweepPoints)
+	if len(points) > max {
+		return nil, fmt.Errorf("sweep expands to %d jobs, max %d", len(points), max)
 	}
 	return points, nil
 }
@@ -135,36 +172,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	points, err := req.expand()
+	points, err := req.Expand(s.specDefaults(), s.cfg.MaxSweepPoints)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	// Validate the whole sweep before admitting any of it, so a bad
-	// axis value cannot leave a half-submitted sweep behind.
-	d := s.specDefaults()
-	sims := make([]spec.Sim, len(points))
-	labels := make([]string, len(points))
-	for i, p := range points {
-		sim := p.sim
-		sim.Normalize(d)
-		if err := sim.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("point %d: %v", i, err))
-			return
-		}
-		sims[i] = sim
-		if p.label != "" {
-			labels[i] = p.label
-		} else {
-			labels[i] = req.Template.Label(sim)
-		}
-	}
-
-	resp := SweepResponse{Count: len(sims), Jobs: make([]JobStatus, len(sims))}
+	resp := SweepResponse{Count: len(points), Jobs: make([]JobStatus, len(points))}
 	code := http.StatusOK
-	for i, sim := range sims {
-		j, c := s.admit(sim, labels[i], req.Template.TimeoutMS)
+	for i, p := range points {
+		j, c := s.admit(p.Sim, p.Label, req.Template.TimeoutMS)
 		switch c {
 		case http.StatusOK:
 			resp.Cached++
@@ -180,13 +197,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusTooManyRequests
 			resp.Jobs[i] = JobStatus{
 				State:    StateRejected,
-				SpecHash: sim.CanonicalHash(),
+				SpecHash: p.Hash,
 				Error:    "job queue full; resubmit this point later",
 			}
 		}
 	}
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, code, resp)
 }

@@ -429,6 +429,22 @@ func (s Sim) CanonicalHash() string {
 	return hashJSON(s)
 }
 
+// Canonical normalizes and validates a copy of s under defaults d,
+// returning the canonical spec and its hash. The hash is the system's
+// idempotency key: any two nodes that canonicalize the same simulation
+// — a retry after a timeout, a re-dispatch after a worker death, a
+// duplicate point inside a sweep — arrive at the same key and therefore
+// the same cache entry, so executing a spec more than once is always
+// safe and the results are interchangeable.
+func (s Sim) Canonical(d Defaults) (Sim, string, error) {
+	n := s
+	n.Normalize(d)
+	if err := n.Validate(); err != nil {
+		return n, "", err
+	}
+	return n, n.CanonicalHash(), nil
+}
+
 func hashJSON(v any) string {
 	b, err := json.Marshal(v)
 	if err != nil {

@@ -162,6 +162,46 @@ func TestDefaultsFillAndClamp(t *testing.T) {
 	}
 }
 
+// TestCanonical proves the Canonical helper is the idempotency key the
+// distributed layers rely on: equivalent spellings share a key, the
+// receiver is untouched, canonicalization is idempotent, and invalid
+// specs never receive a key.
+func TestCanonical(t *testing.T) {
+	d := Defaults{Insts: 200_000, Seed: 0xC0FFEE}
+	flat := Sim{Workload: WorkloadSpec{Name: "gcc2k"}}
+	spelled := Sim{
+		Workload:  WorkloadSpec{Name: "gcc2k", Insts: 200_000},
+		Predictor: PredictorSpec{Family: FamilyComposite, EntriesPer: 1024, AM: AMPC},
+		Run:       RunSpec{Seed: 0xC0FFEE},
+	}
+	n1, h1, err := flat.Canonical(d)
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	n2, h2, err := spelled.Canonical(d)
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if h1 != h2 {
+		t.Errorf("equivalent spellings got different keys: %s vs %s", h1, h2)
+	}
+	if !reflect.DeepEqual(n1, n2) {
+		t.Errorf("equivalent spellings canonicalized differently:\n%+v\n%+v", n1, n2)
+	}
+	if spelled.Predictor.EntriesPer != 1024 {
+		t.Error("Canonical mutated its receiver")
+	}
+	// Idempotent: canonicalizing the canonical form is a fixed point.
+	n3, h3, err := n1.Canonical(d)
+	if err != nil || h3 != h1 || !reflect.DeepEqual(n3, n1) {
+		t.Errorf("Canonical is not idempotent: hash %s vs %s, err %v", h3, h1, err)
+	}
+	// Invalid specs get an error and no key.
+	if _, h, err := (Sim{Workload: WorkloadSpec{Name: "nope"}}).Canonical(d); err == nil || h != "" {
+		t.Errorf("invalid spec: hash=%q err=%v, want empty hash and an error", h, err)
+	}
+}
+
 func TestValidationErrors(t *testing.T) {
 	cases := []struct {
 		name string
