@@ -131,6 +131,10 @@ func BenchmarkPipelineBaseline(b *testing.B) {
 	defer cpu.Release(p)
 	b.SetBytes(benchPipelineInsts)
 	b.ReportAllocs()
+	// One warmup run so the simulated-memory clone happens before the
+	// measurement: the gate asserts the steady state allocates nothing,
+	// even at -benchtime=1x.
+	p.Run(rep, "gcc2k", "bench")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep.Rewind()
@@ -155,6 +159,7 @@ func BenchmarkPipelineComposite(b *testing.B) {
 	defer cpu.Release(p)
 	b.SetBytes(benchPipelineInsts)
 	b.ReportAllocs()
+	p.Run(rep, "gcc2k", "bench") // warmup: clone the memory image outside the measurement
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep.Rewind()
@@ -163,6 +168,41 @@ func BenchmarkPipelineComposite(b *testing.B) {
 		if r := p.Run(rep, "gcc2k", "bench"); r.Instructions != benchPipelineInsts {
 			b.Fatalf("short run: %+v", r)
 		}
+	}
+}
+
+// BenchmarkPipelineProgress measures simulation throughput with the
+// composite predictor AND the live progress probe attached at a tight
+// cadence — the observability configuration lvpd runs jobs under. The
+// -benchmem gate asserts the probe keeps the steady state at 0
+// allocs/op (TestProgressProbeZeroAlloc in internal/cpu is the hard
+// assertion of the same invariant).
+func BenchmarkPipelineProgress(b *testing.B) {
+	w, _ := trace.ByName("gcc2k")
+	rep := trace.Record(w.Build(benchPipelineInsts), 0)
+	comp := core.NewComposite(core.CompositeConfig{
+		Entries: core.HomogeneousEntries(256), Seed: 1, AM: core.NewMAMEpoch(10_000),
+	})
+	eng := cpu.NewCompositeEngine(comp)
+	cfg := cpu.DefaultConfig()
+	p := cpu.Acquire(cfg, eng)
+	defer cpu.Release(p)
+	var pr cpu.Progress
+	b.SetBytes(benchPipelineInsts)
+	b.ReportAllocs()
+	p.Run(rep, "gcc2k", "bench") // warmup: clone the memory image outside the measurement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Rewind()
+		comp.ResetState()
+		p.Reset(cfg, eng)
+		p.SetProgress(&pr, 4096)
+		if r := p.Run(rep, "gcc2k", "bench"); r.Instructions != benchPipelineInsts {
+			b.Fatalf("short run: %+v", r)
+		}
+	}
+	if s, ok := pr.Load(); !ok || s.Instructions != benchPipelineInsts {
+		b.Fatalf("probe published nothing useful: %+v ok=%v", s, ok)
 	}
 }
 

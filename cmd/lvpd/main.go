@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 )
 
@@ -52,7 +53,9 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "default per-job simulation deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain deadline")
 		maxSweepPts  = flag.Int("max-sweep-points", 0, "sweep expansion cap (0 = mode default)")
-		logJSON      = flag.Bool("log-json", false, "emit logs as JSON")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON (deprecated: use -log-format=json)")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 
 		// Coordinator mode.
 		clusterMode   = flag.Bool("cluster", false, "run as a sweep coordinator instead of a simulation worker")
@@ -69,11 +72,11 @@ func main() {
 	)
 	flag.Parse()
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+	log, err := buildLogger(*logFormat, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	log := slog.New(handler)
 
 	if *clusterMode {
 		runCoordinator(log, coordinatorFlags{
@@ -93,6 +96,12 @@ func main() {
 		return
 	}
 
+	// In a fleet, name this worker's spans by the URL the coordinator
+	// dials so merged traces get one track per worker.
+	serviceName := ""
+	if *joinURL != "" {
+		serviceName = advertised(*advertiseURL, *addr)
+	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -101,6 +110,7 @@ func main() {
 		MaxInsts:       *maxInsts,
 		JobTimeout:     *jobTimeout,
 		MaxSweepPoints: *maxSweepPts,
+		ServiceName:    serviceName,
 		Logger:         log,
 	})
 	if err != nil {
@@ -143,6 +153,40 @@ func main() {
 		log.Warn("job drain incomplete", "err", err)
 	}
 	log.Info("bye")
+}
+
+// buildLogger assembles the process logger: text or JSON at the chosen
+// level, wrapped with trace correlation so every line logged under a
+// traced request carries trace_id/span_id. The deprecated -log-json
+// flag still forces JSON.
+func buildLogger(format, level string, forceJSON bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("lvpd: -log-level must be debug, info, warn, or error; got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var handler slog.Handler
+	switch strings.ToLower(format) {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	case "text", "":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+		if forceJSON {
+			handler = slog.NewJSONHandler(os.Stderr, opts)
+		}
+	default:
+		return nil, fmt.Errorf("lvpd: -log-format must be text or json, got %q", format)
+	}
+	return slog.New(otrace.NewLogHandler(handler)), nil
 }
 
 type coordinatorFlags struct {

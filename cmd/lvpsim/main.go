@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/prof"
 	"repro/internal/server"
 	"repro/internal/spec"
@@ -145,6 +147,7 @@ func main() {
 		record    = flag.String("record", "", "record the workload's trace to this file and exit")
 		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
 		jsonOut   = flag.Bool("json", false, "emit the run result as one JSON object on stdout")
+		traceOut  = flag.String("trace-out", "", "write this run's spans as Chrome trace-event JSON to this file (view in Perfetto)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -223,6 +226,44 @@ func main() {
 		name = *replay
 	}
 
+	// With -trace-out the CLI records the same span shapes the daemon
+	// does (a root with baseline/run children) and writes them as Chrome
+	// trace-event JSON on the way out.
+	var tracer *otrace.Recorder
+	rootCtx := context.Background()
+	if *traceOut != "" {
+		tracer = otrace.NewRecorder("lvpsim", 0)
+		var root *otrace.Span
+		rootCtx, root = tracer.StartSpan(rootCtx, "lvpsim",
+			otrace.String("workload", name), otrace.String("predictor", label))
+		defer func() {
+			root.Finish()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			err = otrace.WriteChrome(f, otrace.ChromeEvents(tracer.Service(), tracer.TraceSpans(root.TraceID)))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (open in Perfetto / chrome://tracing)\n", *traceOut)
+		}()
+	}
+	// phaseSpan opens a child span under the root, or a no-op without
+	// -trace-out; the returned func finishes it.
+	phaseSpan := func(phase string) func() {
+		if tracer == nil {
+			return func() {}
+		}
+		_, s := tracer.StartSpan(rootCtx, phase)
+		return s.Finish
+	}
+
 	// emitJSON prints the run/baseline pair in the service's response
 	// schema (internal/server.RunResult), keeping CLI and daemon
 	// outputs field-for-field identical.
@@ -243,7 +284,9 @@ func main() {
 	cfg := sim.Machine.Config()
 	pipe := cpu.Acquire(cfg, nil)
 	defer cpu.Release(pipe)
+	endBase := phaseSpan("baseline")
 	base := pipe.Run(newGen(), name, "baseline")
+	endBase()
 	if !*jsonOut {
 		fmt.Printf("baseline:  IPC=%.3f (%d instructions, %d cycles, %d loads)\n",
 			base.IPC(), base.Instructions, base.Cycles, base.Loads)
@@ -265,7 +308,9 @@ func main() {
 	comp := server.CompositeFromEngine(engine)
 
 	pipe.Reset(cfg, engine)
+	endRun := phaseSpan("run")
 	run := pipe.Run(newGen(), name, label)
+	endRun()
 	if *jsonOut {
 		emitJSON(run, base, comp)
 		return

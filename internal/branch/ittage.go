@@ -1,11 +1,23 @@
 package branch
 
+import "slices"
+
 // ITTAGEConfig describes an ITTAGE indirect target predictor.
 type ITTAGEConfig struct {
 	BaseEntries   int
 	TaggedEntries int
 	TagBits       uint
 	HistoryLens   []uint
+}
+
+// Equal reports whether two configurations describe the same predictor
+// (history-length slices compared by content). Allocation-free, for
+// hot-path callers that would otherwise reach for reflect.DeepEqual.
+func (c ITTAGEConfig) Equal(o ITTAGEConfig) bool {
+	return c.BaseEntries == o.BaseEntries &&
+		c.TaggedEntries == o.TaggedEntries &&
+		c.TagBits == o.TagBits &&
+		slices.Equal(c.HistoryLens, o.HistoryLens)
 }
 
 // DefaultITTAGEConfig approximates the paper's "32KB ITTAGE predictor".

@@ -5,6 +5,8 @@
 // consume.
 package branch
 
+import "slices"
+
 // TAGEConfig describes a TAGE predictor.
 type TAGEConfig struct {
 	BaseEntries   int    // bimodal base predictor entries
@@ -13,6 +15,18 @@ type TAGEConfig struct {
 	HistoryLens   []uint // geometric global-history lengths, shortest first
 	UseAltBits    uint   // width of the use-alt-on-newly-allocated counter
 	Seed          uint64
+}
+
+// Equal reports whether two configurations describe the same predictor
+// (history-length slices compared by content). Allocation-free, for
+// hot-path callers that would otherwise reach for reflect.DeepEqual.
+func (c TAGEConfig) Equal(o TAGEConfig) bool {
+	return c.BaseEntries == o.BaseEntries &&
+		c.TaggedEntries == o.TaggedEntries &&
+		c.TagBits == o.TagBits &&
+		c.UseAltBits == o.UseAltBits &&
+		c.Seed == o.Seed &&
+		slices.Equal(c.HistoryLens, o.HistoryLens)
 }
 
 // DefaultTAGEConfig approximates the paper's "state-of-art 32KB TAGE

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
+	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 )
 
@@ -20,8 +22,15 @@ import (
 //	GET    /v1/sweeps               list retained sweeps (summaries)
 //	GET    /v1/sweeps/{id}          aggregated sweep status with points
 //	GET    /healthz                 coordinator liveness + fleet summary
+//	GET    /readyz                  readiness: accepting and has active workers
+//	GET    /debug/traces            recent coordinator-side traces
+//	GET    /debug/traces/{id}       one trace, merged across coordinator and workers
 //	GET    /metrics                 Prometheus-style metrics
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+//
+// Trace propagation middleware wraps the tree, so a POST /v1/sweeps
+// carrying a traceparent header ties the whole distributed execution
+// into the submitter's trace.
+func (c *Coordinator) Handler() http.Handler { return c.tracer.Middleware(c.mux) }
 
 // RegisterRequest is the POST /v1/cluster/workers body.
 type RegisterRequest struct {
@@ -48,6 +57,9 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("GET /v1/sweeps", c.handleListSweeps)
 	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleSweepStatus)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	c.mux.Handle("GET /debug/traces", c.tracer.IndexHandler())
+	c.mux.HandleFunc("GET /debug/traces/{id}", c.handleMergedTrace)
 	c.mux.Handle("GET /metrics", c.reg.Handler())
 }
 
@@ -115,7 +127,7 @@ func (c *Coordinator) handleStartSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad sweep body: %v", err)
 		return
 	}
-	st, err := c.StartSweep(req)
+	st, err := c.StartSweep(r.Context(), req)
 	if err != nil {
 		if !c.accepting.Load() {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -165,12 +177,78 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// handleReadyz reports whether the coordinator can usefully accept a
+// sweep right now: it is not draining and at least one worker is
+// active. Liveness stays on /healthz, which answers 200 regardless.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !c.accepting.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	c.mu.Lock()
+	active := 0
+	for _, wk := range c.workers {
+		if wk.state == WorkerActive {
+			active++
+		}
+	}
+	c.mu.Unlock()
+	if active == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "no active workers", "active_workers": 0,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "active_workers": active})
+}
+
+// handleMergedTrace serves one trace as Chrome trace-event JSON with
+// the coordinator's own spans merged with the matching spans fetched
+// from every registered worker's /debug/traces/{id}. Workers that no
+// longer remember the trace (ring eviction, restart) or fail the fetch
+// are skipped — a partial trace beats none.
+func (c *Coordinator) handleMergedTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events := otrace.ChromeEvents(c.tracer.Service(), c.tracer.TraceSpans(id))
+
+	c.mu.Lock()
+	urls := make([]string, 0, len(c.workers))
+	for _, wk := range c.workers {
+		urls = append(urls, wk.url)
+	}
+	c.mu.Unlock()
+	sort.Strings(urls)
+
+	for _, u := range urls {
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.HealthTimeout)
+		code, body, err := (apiClient{base: u, hc: c.hc}).do(ctx, http.MethodGet, "/debug/traces/"+id, nil)
+		cancel()
+		if err != nil || code != http.StatusOK {
+			continue
+		}
+		var part struct {
+			TraceEvents []otrace.Event `json:"traceEvents"`
+		}
+		if json.Unmarshal(body, &part) != nil {
+			continue
+		}
+		events = append(events, part.TraceEvents...)
+	}
+
+	if len(events) == 0 {
+		writeError(w, http.StatusNotFound, "no trace %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = otrace.WriteChrome(w, events)
+}
+
 // LoggedHandler wraps the API with one structured access-log line per
 // request.
 func (c *Coordinator) LoggedHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return c.tracer.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		c.mux.ServeHTTP(w, r)
-		c.log.Debug("http", "method", r.Method, "path", r.URL.Path, "dur", time.Since(start))
-	})
+		c.log.DebugContext(r.Context(), "http", "method", r.Method, "path", r.URL.Path, "dur", time.Since(start))
+	}))
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 
+	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 )
 
@@ -63,6 +64,9 @@ func (a apiClient) do(ctx context.Context, method, path string, body any) (int, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace (a dispatch span, typically) so the
+	// worker's spans join it; a no-op when ctx carries none.
+	otrace.Inject(req)
 	resp, err := a.hc.Do(req)
 	if err != nil {
 		return 0, nil, &workerError{err}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/spec"
 )
@@ -113,6 +114,11 @@ type Config struct {
 	// Logger receives structured coordinator logs (default
 	// slog.Default).
 	Logger *slog.Logger
+
+	// ServiceName labels the coordinator's spans in trace exports
+	// (default "lvpd-coordinator"), distinguishing its track from the
+	// workers' in a merged Perfetto view.
+	ServiceName string
 }
 
 // Validate rejects configurations the coordinator cannot honor.
@@ -184,17 +190,21 @@ func (c *Config) applyDefaults() {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.ServiceName == "" {
+		c.ServiceName = "lvpd-coordinator"
+	}
 }
 
 // Coordinator owns the worker registry, the sweep state, and the
 // dispatch machinery. Create with New, start the health prober with
 // Start, mount Handler on an http.Server, and stop with Shutdown.
 type Coordinator struct {
-	cfg Config
-	log *slog.Logger
-	reg *obs.Registry
-	mux *http.ServeMux
-	hc  *http.Client
+	cfg    Config
+	log    *slog.Logger
+	reg    *obs.Registry
+	tracer *otrace.Recorder
+	mux    *http.ServeMux
+	hc     *http.Client
 
 	// lifeCtx parents every dispatch attempt and the health prober;
 	// lifeStop is the shutdown hard stop.
@@ -240,6 +250,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:     cfg,
 		log:     cfg.Logger,
 		reg:     reg,
+		tracer:  otrace.NewRecorder(cfg.ServiceName, 0),
 		mux:     http.NewServeMux(),
 		hc:      &http.Client{},
 		workers: make(map[string]*worker),
@@ -264,6 +275,9 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Registry exposes the metrics registry (for tests and embedding).
 func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Tracer exposes the coordinator's span recorder (for tests).
+func (c *Coordinator) Tracer() *otrace.Recorder { return c.tracer }
 
 // defaults returns the spec defaults sweep points normalize under.
 // They must match the workers' defaults for hashes to agree fleet-wide.

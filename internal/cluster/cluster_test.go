@@ -349,7 +349,7 @@ func TestSweepDedupAndCacheReuse(t *testing.T) {
 		Template: server.JobRequest{Workload: "gcc2k", Predictor: "lvp", Insts: 20_000},
 		Axes:     server.SweepAxes{Seeds: []uint64{7, 7}}, // same hash twice
 	}
-	st, err := coord.StartSweep(req)
+	st, err := coord.StartSweep(context.Background(), req)
 	if err != nil {
 		t.Fatalf("StartSweep: %v", err)
 	}
@@ -534,7 +534,7 @@ func TestDrainStealsInflightPoints(t *testing.T) {
 		t.Fatalf("register w1: %v", err)
 	}
 
-	st, err := coord.StartSweep(server.SweepRequest{
+	st, err := coord.StartSweep(context.Background(), server.SweepRequest{
 		Template: server.JobRequest{Insts: 20_000},
 		Axes: server.SweepAxes{
 			Workloads:  []string{"gcc2k", "mcf", "sjeng", "povray"},

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 )
 
@@ -48,7 +49,7 @@ func (c *Coordinator) runPoint(sw *sweep, pt *point) {
 			continue
 		}
 		c.notePointRunning(sw, pt, att.w)
-		res, err := c.attemptOnce(att, pt)
+		res, err := c.attemptOnce(sw, att, pt)
 		stolen := c.releaseAttempt(att)
 		if err == nil {
 			c.cache.Put(pt.hash, res)
@@ -171,9 +172,21 @@ func (c *Coordinator) releaseAttempt(att *attempt) bool {
 // deadline passes, or the attempt is cancelled. Worker blame
 // (circuit-breaker accounting) is applied here; the caller only
 // classifies the returned error as permanent, stolen, or retryable.
-func (c *Coordinator) attemptOnce(att *attempt, pt *point) (server.RunResult, error) {
+// The attempt runs inside a "dispatch" span parented on the sweep's
+// root span; the submit POST carries its traceparent, so the worker's
+// job/baseline/run spans join the same trace.
+func (c *Coordinator) attemptOnce(sw *sweep, att *attempt, pt *point) (server.RunResult, error) {
 	ctx, cancel := context.WithTimeout(att.ctx, c.cfg.PointDeadline)
 	defer cancel()
+	ctx, span := c.tracer.StartSpan(otrace.ContextWithSpan(ctx, sw.span), "dispatch",
+		otrace.String("spec", pt.hash),
+		otrace.String("worker", att.w.id),
+		otrace.String("worker_url", att.w.url))
+	start := time.Now()
+	defer func() {
+		att.w.mDispatchDur.Observe(time.Since(start).Seconds())
+		span.Finish()
+	}()
 	cl := apiClient{base: att.w.url, hc: c.hc}
 
 	sim := pt.sim
@@ -223,6 +236,12 @@ func (c *Coordinator) attemptOnce(att *attempt, pt *point) (server.RunResult, er
 			c.classifyAttemptError(att, err)
 			return server.RunResult{}, err
 		}
+		if st.Progress != nil {
+			// Re-export the worker's live view through the sweep status.
+			c.mu.Lock()
+			pt.progress = st.Progress
+			c.mu.Unlock()
+		}
 	}
 }
 
@@ -260,6 +279,7 @@ func (c *Coordinator) notePointRunning(sw *sweep, pt *point, w *worker) {
 func (c *Coordinator) settlePoint(sw *sweep, pt *point, res *server.RunResult, errMsg string) {
 	c.mu.Lock()
 	pt.finished = time.Now()
+	pt.progress = nil
 	if res != nil {
 		pt.state = PointDone
 		pt.result = res
@@ -271,6 +291,9 @@ func (c *Coordinator) settlePoint(sw *sweep, pt *point, res *server.RunResult, e
 	done := sw.terminalLocked()
 	st := sw.statusLocked(false)
 	c.mu.Unlock()
+	if done {
+		sw.span.Finish()
+	}
 
 	if res != nil {
 		c.mPtsDone.Inc()

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
+	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/spec"
 )
@@ -25,6 +28,13 @@ type sweep struct {
 	deduped int // expansions collapsed onto an earlier point
 	cached  int // unique points answered from the shared cache at submit
 	points  []*point
+
+	// span is the sweep's root span, open from submit until the last
+	// point settles; every dispatch attempt parents on it, so the whole
+	// distributed execution shares one trace. Set once before the
+	// dispatch goroutines launch, never reassigned (safe to read
+	// without the mutex).
+	span *otrace.Span
 }
 
 // point is one unique spec hash within a sweep. Guarded by the
@@ -42,6 +52,11 @@ type point struct {
 	errMsg   string
 	result   *server.RunResult
 	finished time.Time
+
+	// progress is the latest ProgressView the dispatch poll observed on
+	// the point's worker; re-exported through SweepStatus while the
+	// point runs.
+	progress *server.ProgressView
 }
 
 // PointStatus is the JSON view of one unique sweep point.
@@ -58,6 +73,10 @@ type PointStatus struct {
 	Error    string     `json:"error,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 
+	// Progress is the live view re-exported from the point's worker
+	// (running points only).
+	Progress *server.ProgressView `json:"progress,omitempty"`
+
 	Result *server.RunResult `json:"result,omitempty"`
 }
 
@@ -69,6 +88,11 @@ type SweepStatus struct {
 	ID      string    `json:"id"`
 	State   string    `json:"state"` // running | done
 	Created time.Time `json:"created"`
+
+	// TraceID names the sweep's distributed trace: coordinator dispatch
+	// spans plus (merged at GET /debug/traces/{id}) the workers' job
+	// spans.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Total   int `json:"total"`
 	Unique  int `json:"unique"`
@@ -92,6 +116,9 @@ func (sw *sweep) statusLocked(includePoints bool) SweepStatus {
 		Unique:  len(sw.points),
 		Deduped: sw.deduped,
 		Cached:  sw.cached,
+	}
+	if sw.span != nil {
+		st.TraceID = sw.span.TraceID
 	}
 	for _, pt := range sw.points {
 		switch pt.state {
@@ -117,6 +144,9 @@ func (sw *sweep) statusLocked(includePoints bool) SweepStatus {
 				Worker:   pt.workerID,
 				Error:    pt.errMsg,
 				Result:   pt.result,
+			}
+			if pt.state == PointRunning {
+				ps.Progress = pt.progress
 			}
 			if !pt.finished.IsZero() {
 				t := pt.finished
@@ -148,8 +178,11 @@ func (sw *sweep) terminalLocked() bool {
 // hash is already in the shared cache are answered immediately,
 // duplicate hashes collapse onto one dispatch, and every remaining
 // point gets a dispatch goroutine. The returned status is the submit-
-// time snapshot (without per-point detail).
-func (c *Coordinator) StartSweep(req server.SweepRequest) (SweepStatus, error) {
+// time snapshot (without per-point detail). ctx seeds the sweep's
+// trace: when it carries a span (e.g. the submit request arrived with
+// a traceparent header), the sweep joins that trace; otherwise the
+// sweep roots a fresh one.
+func (c *Coordinator) StartSweep(ctx context.Context, req server.SweepRequest) (SweepStatus, error) {
 	if !c.accepting.Load() {
 		return SweepStatus{}, fmt.Errorf("coordinator is shutting down")
 	}
@@ -165,6 +198,9 @@ func (c *Coordinator) StartSweep(req server.SweepRequest) (SweepStatus, error) {
 		created: time.Now(),
 		total:   len(points),
 	}
+	_, sw.span = c.tracer.StartSpan(ctx, "sweep",
+		otrace.String("sweep_id", sw.id),
+		otrace.String("total", strconv.Itoa(len(points))))
 	seen := make(map[string]*point, len(points))
 	var launch []*point
 	for _, p := range points {
@@ -193,7 +229,11 @@ func (c *Coordinator) StartSweep(req server.SweepRequest) (SweepStatus, error) {
 	c.pruneSweepsLocked()
 	status := sw.statusLocked(false)
 	c.runners.Add(len(launch))
+	done := sw.terminalLocked() // every point cached at submit
 	c.mu.Unlock()
+	if done {
+		sw.span.Finish()
+	}
 
 	for _, pt := range launch {
 		go c.runPoint(sw, pt)

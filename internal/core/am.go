@@ -127,6 +127,24 @@ func (m *MAM) Reset() {
 	*m = MAM{epoch: m.epoch}
 }
 
+// LiveMPKP returns the running mispredictions-per-kilo-predictions of
+// the current (incomplete) epoch per component, plus the set of
+// components currently silenced (decided at the previous epoch
+// boundary). It allocates nothing and exists for live telemetry; the
+// silencing decision itself only ever happens at epoch boundaries.
+// Callers must run on the simulation goroutine (MAM is not locked).
+func (m *MAM) LiveMPKP() (mpkp [NumComponents]float64, silenced ComponentSet) {
+	for c := Component(0); c < NumComponents; c++ {
+		if m.preds[c] > 0 {
+			mpkp[c] = float64(m.mispreds[c]) * 1000 / float64(m.preds[c])
+		}
+		if m.silenced[c] {
+			silenced.Add(c)
+		}
+	}
+	return mpkp, silenced
+}
+
 // PCAMAccuracyFloor is the per-PC accuracy below which PC-AM silences a
 // component for that PC.
 const PCAMAccuracyFloor = 0.95

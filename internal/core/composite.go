@@ -301,6 +301,10 @@ func (c *Composite) StorageKB() float64 {
 // Stats returns a snapshot of the composite's counters.
 func (c *Composite) Stats() CompositeStats { return c.stats }
 
+// AM returns the attached accuracy monitor, or nil (for telemetry;
+// composite behaviour is only reachable through Probe/Train).
+func (c *Composite) AM() AccuracyMonitor { return c.am }
+
 // ResetState clears all dynamic predictor, AM, and fusion state.
 func (c *Composite) ResetState() {
 	for _, p := range c.comps {

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -193,4 +195,59 @@ func TestPAQDepthOneThrottlesCoverage(t *testing.T) {
 		t.Errorf("depth-1 PAQ delivered more (%d) than depth-24 (%d)",
 			shallow.PredictedLoads, deep.PredictedLoads)
 	}
+}
+
+// TestConfigEqualCoversEveryField perturbs each Config field (including
+// nested struct fields and slice elements) via reflection and asserts
+// configEqual notices. This is the drift guard for the hand-rolled
+// comparison in pipeline.go: a new field that configEqual ignores fails
+// here.
+func TestConfigEqualCoversEveryField(t *testing.T) {
+	base := DefaultConfig()
+	if !configEqual(base, DefaultConfig()) {
+		t.Fatal("default configs compare unequal")
+	}
+
+	var perturb func(v reflect.Value, path string)
+	perturb = func(v reflect.Value, path string) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				perturb(v.Field(i), path+"."+v.Type().Field(i).Name)
+			}
+		case reflect.Slice:
+			for i := 0; i < v.Len(); i++ {
+				perturb(v.Index(i), fmt.Sprintf("%s[%d]", path, i))
+			}
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			old := v.Int()
+			v.SetInt(old + 1)
+			defer v.SetInt(old)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			old := v.Uint()
+			v.SetUint(old + 1)
+			defer v.SetUint(old)
+		case reflect.Bool:
+			old := v.Bool()
+			v.SetBool(!old)
+			defer v.SetBool(old)
+		case reflect.String:
+			old := v.String()
+			v.SetString(old + "x")
+			defer v.SetString(old)
+		case reflect.Float32, reflect.Float64:
+			old := v.Float()
+			v.SetFloat(old + 1)
+			defer v.SetFloat(old)
+		default:
+			t.Fatalf("field %s has unsupported kind %s; teach the test and configEqual about it", path, v.Kind())
+			return
+		}
+		if v.Kind() != reflect.Struct && v.Kind() != reflect.Slice {
+			if configEqual(base, DefaultConfig()) {
+				t.Errorf("configEqual missed a change to %s", path)
+			}
+		}
+	}
+	perturb(reflect.ValueOf(&base).Elem(), "Config")
 }

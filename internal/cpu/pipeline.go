@@ -2,7 +2,7 @@ package cpu
 
 import (
 	"context"
-	"reflect"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/core"
@@ -146,6 +146,18 @@ type Pipeline struct {
 
 	instretBatch uint64
 	run          stats.Run
+
+	// Scratch instruction slot for the run loop. A local would escape
+	// to the heap through the gen.Next interface call, costing one
+	// allocation per run.
+	in trace.Inst
+
+	// Progress probe (see progress.go). progLeft counts down to the
+	// next publication; zero cadence means no probe attached.
+	progress  *Progress
+	progEvery uint64
+	progLeft  uint64
+	progStart int64
 }
 
 // New builds a pipeline with the given configuration and value
@@ -185,11 +197,34 @@ func (p *Pipeline) build(cfg Config, engine Engine) {
 	}
 }
 
-// configEqual compares configurations, including the branch predictors'
-// history-length slices (which make Config non-comparable with ==).
-// Called once per Reset, so reflection cost is irrelevant.
+// configEqual compares configurations field by field. Hand-rolled
+// rather than reflect.DeepEqual so the pooled steady state (Reset with
+// an identical Config every run) allocates nothing; the branch
+// predictor sub-configs carry history-length slices, which rule out
+// plain ==. TestConfigEqualCoversEveryField perturbs each field via
+// reflection, so a new Config field that this function ignores fails
+// the suite rather than silently aliasing distinct configurations.
 func configEqual(a, b Config) bool {
-	return reflect.DeepEqual(a, b)
+	return a.FetchWidth == b.FetchWidth &&
+		a.FetchToExec == b.FetchToExec &&
+		a.IssueWidth == b.IssueWidth &&
+		a.CommitWidth == b.CommitWidth &&
+		a.LSLanes == b.LSLanes &&
+		a.ROB == b.ROB &&
+		a.IQ == b.IQ &&
+		a.LDQ == b.LDQ &&
+		a.STQ == b.STQ &&
+		a.StoreForwardLat == b.StoreForwardLat &&
+		a.Hierarchy == b.Hierarchy &&
+		a.TAGE.Equal(b.TAGE) &&
+		a.ITTAGE.Equal(b.ITTAGE) &&
+		a.RASSize == b.RASSize &&
+		a.MemDep == b.MemDep &&
+		a.PAQDepth == b.PAQDepth &&
+		a.PAQPrefetchOnMiss == b.PAQPrefetchOnMiss &&
+		a.SuppressStoreConflicts == b.SuppressStoreConflicts &&
+		a.ReplayRecovery == b.ReplayRecovery &&
+		a.ReplayPenalty == b.ReplayPenalty
 }
 
 // Reset prepares the pipeline for a fresh run with cfg and engine,
@@ -227,6 +262,42 @@ func (p *Pipeline) Reset(cfg Config, engine Engine) {
 	p.trainSeq, p.trainProbeC = 0, 0
 	p.instretBatch = 0
 	p.run = stats.Run{}
+	p.progress, p.progEvery, p.progLeft, p.progStart = nil, 0, 0, 0
+}
+
+// SetProgress attaches a progress slot the next run publishes live
+// snapshots into, every `every` instructions (<= 0 means
+// DefaultProgressInterval). Call after Reset/Acquire and before Run;
+// Reset detaches the slot so pooled pipelines never publish into a
+// previous owner's slot. The probe costs one counter decrement per
+// instruction plus a fixed set of atomic stores per publication, and
+// allocates nothing.
+func (p *Pipeline) SetProgress(pr *Progress, every int) {
+	p.progress = pr
+	if every <= 0 {
+		every = DefaultProgressInterval
+	}
+	p.progEvery = uint64(every)
+}
+
+// publishProgress snapshots the run so far into the attached slot.
+func (p *Pipeline) publishProgress(insts, cycles uint64) {
+	s := ProgressSnapshot{
+		Instructions:     insts,
+		Cycles:           cycles,
+		Loads:            p.run.Loads,
+		PredictedLoads:   p.run.PredictedLoads,
+		CorrectPredicted: p.run.CorrectPredicted,
+		VPFlushes:        p.run.VPFlushes,
+		StartedNano:      p.progStart,
+		UpdatedNano:      time.Now().UnixNano(),
+	}
+	if ts, ok := p.engine.(TelemetrySource); ok {
+		t := ts.Telemetry()
+		s.Used, s.Correct, s.Incorrect = t.Used, t.Correct, t.Incorrect
+		s.MPKP, s.Silenced = t.MPKP, t.Silenced
+	}
+	p.progress.publish(&s)
 }
 
 // Hierarchy exposes the memory system (for inspection in tests and
@@ -267,8 +338,11 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 	}
 
 	p.run = stats.Run{Workload: workload, Config: config}
+	if p.progress != nil {
+		p.progStart = time.Now().UnixNano()
+		p.progLeft = p.progEvery
+	}
 	done := ctx.Done()
-	var in trace.Inst
 	var seq uint64
 	var lastCommit uint64
 	for {
@@ -282,13 +356,20 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 				break
 			}
 		}
-		if !gen.Next(&in) {
+		if !gen.Next(&p.in) {
 			break
 		}
-		lastCommit = p.step(seq, &in)
+		lastCommit = p.step(seq, &p.in)
 		seq++
 		if seq%4096 == 0 {
 			p.prune()
+		}
+		if p.progress != nil {
+			p.progLeft--
+			if p.progLeft == 0 {
+				p.progLeft = p.progEvery
+				p.publishProgress(seq, lastCommit)
+			}
 		}
 	}
 	p.run.Instructions = seq
@@ -296,6 +377,9 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 	if p.engine != nil && p.instretBatch > 0 {
 		p.engine.Instret(p.instretBatch)
 		p.instretBatch = 0
+	}
+	if p.progress != nil {
+		p.publishProgress(seq, lastCommit)
 	}
 	return p.run
 }

@@ -1,0 +1,170 @@
+package cpu
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// EngineTelemetry is a live counter snapshot a value prediction engine
+// can expose mid-run: per-component predictions used, validation
+// results, and the accuracy monitor's current-epoch view. All fields
+// are value arrays so taking a snapshot allocates nothing.
+type EngineTelemetry struct {
+	Used      [core.NumComponents]uint64
+	Correct   [core.NumComponents]uint64
+	Incorrect [core.NumComponents]uint64
+	MPKP      [core.NumComponents]float64
+	Silenced  core.ComponentSet
+}
+
+// TelemetrySource is implemented by engines that can report live
+// telemetry. The pipeline's progress probe consults it on the
+// simulation goroutine only; implementations need no locking beyond
+// what Probe/Train already require.
+type TelemetrySource interface {
+	Telemetry() EngineTelemetry
+}
+
+// Telemetry implements TelemetrySource.
+func (e *CompositeEngine) Telemetry() EngineTelemetry {
+	st := e.C.Stats()
+	t := EngineTelemetry{Used: st.UsedBy, Correct: st.CorrectBy, Incorrect: st.IncorrectBy}
+	if m, ok := e.C.AM().(*core.MAM); ok {
+		t.MPKP, t.Silenced = m.LiveMPKP()
+	}
+	return t
+}
+
+// ProgressSnapshot is one consistent mid-run observation of a pipeline.
+type ProgressSnapshot struct {
+	Instructions     uint64
+	Cycles           uint64
+	Loads            uint64
+	PredictedLoads   uint64
+	CorrectPredicted uint64
+	VPFlushes        uint64
+	StartedNano      int64 // run start, UnixNano
+	UpdatedNano      int64 // snapshot publication time, UnixNano
+
+	Used      [core.NumComponents]uint64
+	Correct   [core.NumComponents]uint64
+	Incorrect [core.NumComponents]uint64
+	MPKP      [core.NumComponents]float64
+	Silenced  core.ComponentSet
+}
+
+// SimMIPS returns the simulation rate in millions of simulated
+// instructions per wall-clock second, over the run so far.
+func (s ProgressSnapshot) SimMIPS() float64 {
+	el := s.UpdatedNano - s.StartedNano
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.Instructions) / 1e6 / (float64(el) / 1e9)
+}
+
+// Word layout of the seqlock slot. Scalars first, then the
+// per-component blocks, then the silenced bitset.
+const (
+	pwInstructions = iota
+	pwCycles
+	pwLoads
+	pwPredicted
+	pwCorrectPred
+	pwVPFlushes
+	pwStartedNano
+	pwUpdatedNano
+	pwUsed     // 4 words
+	pwCorrect  = pwUsed + int(core.NumComponents)
+	pwIncorr   = pwCorrect + int(core.NumComponents)
+	pwMPKP     = pwIncorr + int(core.NumComponents)
+	pwSilenced = pwMPKP + int(core.NumComponents)
+
+	progressWords = pwSilenced + 1
+)
+
+// Progress is a single-writer seqlock slot the pipeline publishes
+// snapshots into and any number of goroutines read from without
+// blocking the writer. The words are individually atomic (so the race
+// detector is satisfied) and the sequence counter makes the set of
+// words consistent: the writer bumps it to odd, stores every word,
+// bumps it to even; a reader retries until it sees the same even
+// sequence on both sides of its copy. Publishing performs a fixed
+// number of atomic stores and no allocation.
+type Progress struct {
+	seq   atomic.Uint64
+	words [progressWords]atomic.Uint64
+}
+
+// publish stores a snapshot. Single writer only (the simulation
+// goroutine).
+func (p *Progress) publish(s *ProgressSnapshot) {
+	p.seq.Add(1) // odd: readers back off
+	p.words[pwInstructions].Store(s.Instructions)
+	p.words[pwCycles].Store(s.Cycles)
+	p.words[pwLoads].Store(s.Loads)
+	p.words[pwPredicted].Store(s.PredictedLoads)
+	p.words[pwCorrectPred].Store(s.CorrectPredicted)
+	p.words[pwVPFlushes].Store(s.VPFlushes)
+	p.words[pwStartedNano].Store(uint64(s.StartedNano))
+	p.words[pwUpdatedNano].Store(uint64(s.UpdatedNano))
+	for c := 0; c < int(core.NumComponents); c++ {
+		p.words[pwUsed+c].Store(s.Used[c])
+		p.words[pwCorrect+c].Store(s.Correct[c])
+		p.words[pwIncorr+c].Store(s.Incorrect[c])
+		p.words[pwMPKP+c].Store(math.Float64bits(s.MPKP[c]))
+	}
+	p.words[pwSilenced].Store(uint64(s.Silenced))
+	p.seq.Add(1) // even: snapshot visible
+}
+
+// Clear empties the slot: Load reports no snapshot until the next
+// publication. Like publish it is single-writer — call it only when no
+// run is publishing into the slot (e.g. between the phases of a job
+// that reuses one slot for its baseline and configured runs).
+func (p *Progress) Clear() {
+	p.seq.Add(1) // odd: invalidate reads that raced the clear
+	for i := range p.words {
+		p.words[i].Store(0)
+	}
+	p.seq.Store(0) // "never published"
+}
+
+// Load returns the latest published snapshot. ok is false when nothing
+// has been published yet.
+func (p *Progress) Load() (s ProgressSnapshot, ok bool) {
+	for {
+		s1 := p.seq.Load()
+		if s1 == 0 {
+			return ProgressSnapshot{}, false
+		}
+		if s1&1 == 1 {
+			continue // writer mid-publish
+		}
+		s.Instructions = p.words[pwInstructions].Load()
+		s.Cycles = p.words[pwCycles].Load()
+		s.Loads = p.words[pwLoads].Load()
+		s.PredictedLoads = p.words[pwPredicted].Load()
+		s.CorrectPredicted = p.words[pwCorrectPred].Load()
+		s.VPFlushes = p.words[pwVPFlushes].Load()
+		s.StartedNano = int64(p.words[pwStartedNano].Load())
+		s.UpdatedNano = int64(p.words[pwUpdatedNano].Load())
+		for c := 0; c < int(core.NumComponents); c++ {
+			s.Used[c] = p.words[pwUsed+c].Load()
+			s.Correct[c] = p.words[pwCorrect+c].Load()
+			s.Incorrect[c] = p.words[pwIncorr+c].Load()
+			s.MPKP[c] = math.Float64frombits(p.words[pwMPKP+c].Load())
+		}
+		s.Silenced = core.ComponentSet(p.words[pwSilenced].Load())
+		if p.seq.Load() == s1 {
+			return s, true
+		}
+	}
+}
+
+// DefaultProgressInterval is the publication cadence SetProgress uses
+// for every <= 0: frequent enough for sub-second liveness at typical
+// simulation rates, rare enough to be invisible in profiles.
+const DefaultProgressInterval = 32768

@@ -147,6 +147,16 @@ func (c *Context) BaselineCtx(ctx context.Context, w trace.Workload) stats.Run {
 // it. Aborted runs (ctx cancelled mid-simulation) are returned to the
 // caller but never cached.
 func (c *Context) BaselineMachineCtx(ctx context.Context, w trace.Workload, m spec.MachineSpec) stats.Run {
+	return c.BaselineMachineProgressCtx(ctx, w, m, nil, 0)
+}
+
+// BaselineMachineProgressCtx is BaselineMachineCtx with a live progress
+// slot: when this caller ends up simulating the baseline (cache miss,
+// no other run in flight), the pipeline publishes a snapshot into pr
+// every `every` instructions. Callers answered from the cache or from
+// another caller's in-flight run observe no publications — the slot
+// reports whatever it last held.
+func (c *Context) BaselineMachineProgressCtx(ctx context.Context, w trace.Workload, m spec.MachineSpec, pr *cpu.Progress, every int) stats.Run {
 	key := baselineKey(w.Name, m)
 	for {
 		c.mu.Lock()
@@ -168,6 +178,10 @@ func (c *Context) BaselineMachineCtx(ctx context.Context, w trace.Workload, m sp
 		c.mu.Unlock()
 
 		p := cpu.Acquire(m.Config(), nil)
+		if pr != nil {
+			// Attach after Acquire: the pool's Reset detaches slots.
+			p.SetProgress(pr, every)
+		}
 		r := p.RunCtx(ctx, w.Build(c.insts), w.Name, "base")
 		cpu.Release(p)
 		c.mu.Lock()
@@ -216,8 +230,20 @@ func (c *Context) RunEngineCtx(ctx context.Context, w trace.Workload, config str
 // RunEngineCfgCtx is RunEngineCtx with an explicit core configuration
 // (e.g. one materialized from a spec.MachineSpec).
 func (c *Context) RunEngineCfgCtx(ctx context.Context, w trace.Workload, config string, eng cpu.Engine, cfg cpu.Config) stats.Run {
+	return c.RunEngineCfgProgressCtx(ctx, w, config, eng, cfg, nil, 0)
+}
+
+// RunEngineCfgProgressCtx is RunEngineCfgCtx with a live progress slot:
+// the pipeline publishes a snapshot (run counters plus the engine's
+// per-component telemetry) into pr every `every` instructions. Pass a
+// nil pr for no probe; every <= 0 selects cpu.DefaultProgressInterval.
+func (c *Context) RunEngineCfgProgressCtx(ctx context.Context, w trace.Workload, config string, eng cpu.Engine, cfg cpu.Config, pr *cpu.Progress, every int) stats.Run {
 	p := cpu.Acquire(cfg, eng)
 	defer cpu.Release(p)
+	if pr != nil {
+		// Attach after Acquire: the pool's Reset detaches slots.
+		p.SetProgress(pr, every)
+	}
 	return p.RunCtx(ctx, w.Build(c.insts), w.Name, config)
 }
 

@@ -13,6 +13,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -103,17 +104,58 @@ type family struct {
 	series []*metric
 }
 
+// DefaultMaxSeries bounds the number of distinct time series a registry
+// accepts. Unbounded label cardinality is the classic way a metrics
+// layer eats a process: one label value per job ID and the scrape
+// payload grows without limit. Past the cap, new series still return
+// working instruments but are not rendered, and obs_dropped_series_total
+// counts them.
+const DefaultMaxSeries = 8192
+
 // Registry holds registered metrics and renders them in Prometheus text
 // format. The zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
-	order    []string
+	mu        sync.Mutex
+	families  map[string]*family
+	order     []string
+	nSeries   int
+	maxSeries int
+	dropped   *Counter
+	log       *slog.Logger
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default series cap.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	r := &Registry{families: make(map[string]*family), maxSeries: DefaultMaxSeries}
+	r.dropped = r.Counter("obs_dropped_series_total",
+		"Series rejected by the registry-wide label-cardinality cap.")
+	return r
+}
+
+// SetMaxSeries replaces the series cap (n <= 0 means unlimited).
+// Already-registered series are kept either way.
+func (r *Registry) SetMaxSeries(n int) {
+	r.mu.Lock()
+	r.maxSeries = n
+	r.mu.Unlock()
+}
+
+// SetLogger sets the logger used to report scrape write failures; nil
+// reverts to slog.Default().
+func (r *Registry) SetLogger(log *slog.Logger) {
+	r.mu.Lock()
+	r.log = log
+	r.mu.Unlock()
+}
+
+func (r *Registry) logger() *slog.Logger {
+	r.mu.Lock()
+	log := r.log
+	r.mu.Unlock()
+	if log == nil {
+		return slog.Default()
+	}
+	return log
 }
 
 // Labels is an ordered label set: pairs of key, value.
@@ -135,44 +177,61 @@ func (l Labels) render() string {
 	return b.String()
 }
 
-func (r *Registry) lookup(name, help, kind string, labels Labels) *metric {
+// lookup finds or creates the series for name+labels. init runs under
+// the registry mutex so instruments are fully built before any scrape
+// can observe the series. Past the series cap, the returned metric is
+// detached: it works as an instrument but is never rendered.
+func (r *Registry) lookup(name, help, kind string, labels Labels, init func(*metric)) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	ls := labels.render()
 	f, ok := r.families[name]
+	if ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+		}
+		for _, m := range f.series {
+			if m.labels == ls {
+				init(m)
+				return m
+			}
+		}
+	}
+	m := &metric{labels: ls}
+	init(m)
+	if r.maxSeries > 0 && r.nSeries >= r.maxSeries {
+		if r.dropped != nil {
+			r.dropped.Inc()
+		}
+		return m
+	}
 	if !ok {
 		f = &family{name: name, help: help, kind: kind}
 		r.families[name] = f
 		r.order = append(r.order, name)
 	}
-	if f.kind != kind {
-		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
-	}
-	ls := labels.render()
-	for _, m := range f.series {
-		if m.labels == ls {
-			return m
-		}
-	}
-	m := &metric{labels: ls}
 	f.series = append(f.series, m)
+	r.nSeries++
 	return m
 }
 
 // Counter registers (or fetches) a counter.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	m := r.lookup(name, help, "counter", Labels(labels))
-	if m.c == nil {
-		m.c = &Counter{}
-	}
+	m := r.lookup(name, help, "counter", Labels(labels), func(m *metric) {
+		if m.c == nil {
+			m.c = &Counter{}
+		}
+	})
 	return m.c
 }
 
 // Gauge registers (or fetches) a gauge.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	m := r.lookup(name, help, "gauge", Labels(labels))
-	if m.g == nil {
-		m.g = &Gauge{}
-	}
+	m := r.lookup(name, help, "gauge", Labels(labels), func(m *metric) {
+		if m.g == nil {
+			m.g = &Gauge{}
+		}
+	})
 	return m.g
 }
 
@@ -181,35 +240,54 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 // rates); fn must be safe for concurrent use. Re-registering the same
 // name+labels keeps the first fn.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
-	m := r.lookup(name, help, "gauge", Labels(labels))
-	if m.fg == nil && m.g == nil {
-		m.fg = fn
-	}
+	r.lookup(name, help, "gauge", Labels(labels), func(m *metric) {
+		if m.fg == nil && m.g == nil {
+			m.fg = fn
+		}
+	})
 }
 
 // Histogram registers (or fetches) a histogram with the given bucket
 // bounds (nil = DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
-	m := r.lookup(name, help, "histogram", Labels(labels))
-	if m.h == nil {
-		if bounds == nil {
-			bounds = DefBuckets
+	m := r.lookup(name, help, "histogram", Labels(labels), func(m *metric) {
+		if m.h == nil {
+			b := bounds
+			if b == nil {
+				b = DefBuckets
+			}
+			bs := make([]float64, len(b))
+			copy(bs, b)
+			sort.Float64s(bs)
+			m.h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
 		}
-		b := make([]float64, len(bounds))
-		copy(b, bounds)
-		sort.Float64s(b)
-		m.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
-	}
+	})
 	return m.h
+}
+
+// famSnapshot is a scrape-time copy of one family: the series slice is
+// copied under the registry mutex so concurrent registration (which
+// appends to family.series) cannot race the render loop.
+type famSnapshot struct {
+	name   string
+	help   string
+	kind   string
+	series []*metric
 }
 
 // WriteTo renders every registered metric in Prometheus text format, in
 // registration order.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.order))
+	fams := make([]famSnapshot, 0, len(r.order))
 	for _, name := range r.order {
-		fams = append(fams, r.families[name])
+		f := r.families[name]
+		fams = append(fams, famSnapshot{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: append([]*metric(nil), f.series...),
+		})
 	}
 	r.mu.Unlock()
 
@@ -266,10 +344,15 @@ func formatBound(f float64) string {
 }
 
 // Handler returns an http.Handler serving the registry in Prometheus
-// text format (for mounting at /metrics).
+// text format (for mounting at /metrics). A write failure mid-scrape
+// (usually the scraper hanging up) leaves the payload truncated; the
+// handler logs it so the truncation is visible rather than silent.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WriteTo(w)
+		if n, err := r.WriteTo(w); err != nil {
+			r.logger().Warn("metrics scrape truncated",
+				"written_bytes", n, "err", err, "remote", req.RemoteAddr)
+		}
 	})
 }

@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"fmt"
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -158,3 +161,132 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", h.Count())
 	}
 }
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escaping", "v", `quote " backslash \ newline `+"\n"+` done`).Inc()
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `esc_total{v="quote \" backslash \\ newline \n done"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing %q:\n%s", want, out)
+	}
+	// The rendered value must stay one exposition line: a raw newline in
+	// a label value corrupts every line after it.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "esc_total") && !strings.HasPrefix(line, "obs_dropped_series_total") {
+			t.Fatalf("stray exposition line %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramWithLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 2}, "worker", `w"1`)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{worker="w\"1",le="1"} 1`,
+		`lat_seconds_bucket{worker="w\"1",le="2"} 2`,
+		`lat_seconds_bucket{worker="w\"1",le="+Inf"} 3`,
+		`lat_seconds_sum{worker="w\"1"} 11`,
+		`lat_seconds_count{worker="w\"1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRegisterWhileScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("reg_total", "r", "g", fmt.Sprintf("%d-%d", g, i%50)).Inc()
+				r.Histogram("reg_h", "rh", []float64{1}, "g", fmt.Sprintf("%d-%d", g, i%50)).Observe(1)
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSeriesCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSeries(4) // 1 slot already used by obs_dropped_series_total
+	var kept []*Counter
+	for i := 0; i < 10; i++ {
+		kept = append(kept, r.Counter("capped_total", "c", "i", fmt.Sprintf("%d", i)))
+	}
+	// Every caller still gets a usable instrument.
+	for _, c := range kept {
+		c.Inc()
+	}
+	// Re-registering a retained series returns the same instrument, and
+	// does not count as a new drop.
+	if r.Counter("capped_total", "c", "i", "0") != kept[0] {
+		t.Fatal("re-registration of retained series returned a new counter")
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "capped_total{"); got != 3 {
+		t.Fatalf("rendered %d capped_total series, want 3:\n%s", got, out)
+	}
+	if !strings.Contains(out, "obs_dropped_series_total 7") {
+		t.Fatalf("output missing obs_dropped_series_total 7:\n%s", out)
+	}
+}
+
+func TestHandlerLogsWriteError(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	var buf strings.Builder
+	r.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	r.Handler().ServeHTTP(failingWriter{httptest.NewRecorder()}, req)
+	if !strings.Contains(buf.String(), "metrics scrape truncated") {
+		t.Fatalf("handler did not log the write failure; log: %q", buf.String())
+	}
+}
+
+type failingWriter struct{ *httptest.ResponseRecorder }
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// WriteString shadows the recorder's promoted StringWriter so
+// io.WriteString cannot route around the failing Write.
+func (failingWriter) WriteString(string) (int, error) { return 0, io.ErrClosedPipe }

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Event is one Chrome trace-event JSON object. The exporter emits "X"
+// (complete) events for spans and "M" (metadata) events naming the
+// process, which is the minimal vocabulary Perfetto needs to render a
+// trace with named tracks.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`            // microseconds
+	Dur  int64          `json:"dur,omitempty"` // microseconds, X events
+	Pid  uint32         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavour of the Chrome trace format
+// (the array flavour lacks room for metadata).
+type chromeTrace struct {
+	TraceEvents []Event `json:"traceEvents"`
+}
+
+// servicePid derives a stable per-service pid so spans from different
+// processes land on different named tracks when merged into one export.
+func servicePid(service string) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, service)
+	p := h.Sum32() & 0x7FFFFFFF
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// spanTid derives a per-span tid. Chrome "X" events on the same
+// pid/tid row must not overlap in time; giving each span its own row
+// sidesteps that entirely and still renders a readable flame view in
+// Perfetto (rows are grouped by pid).
+func spanTid(spanID string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, spanID)
+	return h.Sum64()
+}
+
+// ChromeEvents converts spans recorded under service into trace
+// events, including the process_name metadata event.
+func ChromeEvents(service string, spans []*Span) []Event {
+	if len(spans) == 0 {
+		return nil
+	}
+	pid := servicePid(service)
+	events := make([]Event, 0, len(spans)+1)
+	events = append(events, Event{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  pid,
+		Args: map[string]any{"name": service},
+	})
+	for _, s := range spans {
+		args := map[string]any{
+			"trace_id": s.TraceID,
+			"span_id":  s.SpanID,
+		}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := s.End.Sub(s.Start).Microseconds()
+		if dur < 1 {
+			dur = 1
+		}
+		events = append(events, Event{
+			Name: s.Name,
+			Cat:  service,
+			Ph:   "X",
+			Ts:   s.Start.UnixMicro(),
+			Dur:  dur,
+			Pid:  pid,
+			Tid:  spanTid(s.SpanID),
+			Args: args,
+		})
+	}
+	return events
+}
+
+// WriteChrome writes events as a Chrome trace-event JSON object.
+func WriteChrome(w io.Writer, events []Event) error {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph == "M" != (events[j].Ph == "M") {
+			return events[i].Ph == "M"
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+// TraceSummary is one entry in the recent-traces index.
+type TraceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Root    string    `json:"root"` // name of the earliest span (the root when retained)
+	Spans   int       `json:"spans"`
+	Start   time.Time `json:"start"`
+	DurMS   float64   `json:"dur_ms"` // earliest start to latest end among retained spans
+}
+
+// Summaries indexes the retained spans by trace, most recent first.
+func (r *Recorder) Summaries() []TraceSummary {
+	type agg struct {
+		root      string
+		rootIsTop bool
+		spans     int
+		start     time.Time
+		end       time.Time
+	}
+	byID := make(map[string]*agg)
+	var order []string
+	for _, s := range r.Spans() {
+		a := byID[s.TraceID]
+		if a == nil {
+			a = &agg{start: s.Start, end: s.End}
+			byID[s.TraceID] = a
+			order = append(order, s.TraceID)
+		}
+		a.spans++
+		// Prefer a true root span's name; otherwise keep the earliest.
+		if s.ParentID == "" && !a.rootIsTop {
+			a.root, a.rootIsTop = s.Name, true
+		} else if a.root == "" || (!a.rootIsTop && s.Start.Before(a.start)) {
+			a.root = s.Name
+		}
+		if s.Start.Before(a.start) {
+			a.start = s.Start
+		}
+		if s.End.After(a.end) {
+			a.end = s.End
+		}
+	}
+	out := make([]TraceSummary, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		a := byID[id]
+		out = append(out, TraceSummary{
+			TraceID: id,
+			Root:    a.root,
+			Spans:   a.spans,
+			Start:   a.start,
+			DurMS:   float64(a.end.Sub(a.start).Microseconds()) / 1e3,
+		})
+	}
+	return out
+}
+
+// IndexHandler serves the recent-traces index as JSON.
+func (r *Recorder) IndexHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"traces": r.Summaries()})
+	})
+}
+
+// ExportHandler serves one trace as Chrome trace-event JSON, looking
+// the trace ID up in the request's {id} path value.
+func (r *Recorder) ExportHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		spans := r.TraceSpans(id)
+		if len(spans) == 0 {
+			http.Error(w, `{"error":"no spans for trace"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteChrome(w, ChromeEvents(r.service, spans))
+	})
+}

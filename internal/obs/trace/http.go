@@ -1,0 +1,42 @@
+package trace
+
+import "net/http"
+
+// TraceparentHeader is the W3C propagation header the fleet uses.
+const TraceparentHeader = "traceparent"
+
+// TraceIDHeader is the response header the middleware sets so clients
+// learn the trace ID assigned to their request.
+const TraceIDHeader = "X-Trace-Id"
+
+// Middleware wraps next so that mutating requests (anything but GET and
+// HEAD) run inside a span recorded in r, parented on an incoming
+// traceparent header when present. Read-only requests pass through
+// untouched: health probes and status polls arrive at a rate that would
+// otherwise wash real work out of the span ring.
+func (r *Recorder) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method == http.MethodGet || req.Method == http.MethodHead {
+			next.ServeHTTP(w, req)
+			return
+		}
+		ctx := req.Context()
+		if sc, ok := ParseTraceparent(req.Header.Get(TraceparentHeader)); ok {
+			ctx = ContextWithRemote(ctx, sc)
+		}
+		ctx, span := r.StartSpan(ctx, req.Method+" "+req.URL.Path,
+			String("http.method", req.Method),
+			String("http.path", req.URL.Path))
+		defer span.Finish()
+		w.Header().Set(TraceIDHeader, span.TraceID)
+		next.ServeHTTP(w, req.WithContext(ctx))
+	})
+}
+
+// Inject copies the context's span position into req's traceparent
+// header; a no-op when ctx carries no trace.
+func Inject(req *http.Request) {
+	if sc := ContextSpanContext(req.Context()); sc.Valid() {
+		req.Header.Set(TraceparentHeader, sc.Traceparent())
+	}
+}

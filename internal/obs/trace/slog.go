@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler decorates another slog handler with trace_id/span_id
+// attributes taken from the log call's context, correlating log lines
+// with the trace that produced them.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner with trace correlation.
+func NewLogHandler(inner slog.Handler) *LogHandler { return &LogHandler{inner: inner} }
+
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sc := ContextSpanContext(ctx); sc.Valid() {
+		rec.AddAttrs(slog.String("trace_id", sc.TraceID), slog.String("span_id", sc.SpanID))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,287 @@
+// Package trace is a minimal, dependency-free distributed tracing layer
+// for the serving side of the repo: spans with IDs, parent links, and
+// attributes, recorded into a fixed-size lock-free ring; W3C traceparent
+// propagation over HTTP; and export as Chrome trace-event JSON that
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// It implements just enough of distributed tracing for the lvpd fleet —
+// one trace covering coordinator dispatch, worker job lifecycle, and
+// pipeline runs — and is not a general tracing library. Spans are owned
+// by one goroutine until End, which publishes them into the recorder's
+// ring with a single atomic store; recording never blocks and never
+// takes a lock, so it is safe on request paths.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute (string key/value; values are rendered
+// into the Chrome export's args).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds an Attr.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// SpanContext identifies a position in a trace: the trace ID shared by
+// every span of the trace and the ID of one span within it. The zero
+// value is "no context" (Valid reports false).
+type SpanContext struct {
+	TraceID string // 32 lowercase hex digits
+	SpanID  string // 16 lowercase hex digits
+}
+
+// Valid reports whether the context names a real trace position.
+func (sc SpanContext) Valid() bool {
+	return len(sc.TraceID) == 32 && len(sc.SpanID) == 16 &&
+		sc.TraceID != strings.Repeat("0", 32) && sc.SpanID != strings.Repeat("0", 16)
+}
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00, sampled flag set).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Only version
+// 00 is accepted; the sampled flag is ignored (everything the fleet
+// sees is recorded).
+func ParseTraceparent(h string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: strings.ToLower(parts[1]), SpanID: strings.ToLower(parts[2])}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one timed operation within a trace. A span is mutated only by
+// the goroutine that started it, until End publishes it to the
+// recorder; recorded spans are immutable.
+type Span struct {
+	Name     string
+	TraceID  string
+	SpanID   string
+	ParentID string // empty for root spans
+	Start    time.Time
+	End      time.Time
+	Attrs    []Attr
+
+	rec   *Recorder
+	ended atomic.Bool
+}
+
+// Context returns the span's position for propagation (traceparent
+// injection, parenting child spans across API boundaries).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID}
+}
+
+// SetAttr appends an attribute. Must only be called by the span's owner
+// before Finish.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// Finish stamps the end time and publishes the span into its recorder's
+// ring. Finishing twice is a no-op.
+func (s *Span) Finish() {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.End = time.Now()
+	if s.rec != nil {
+		s.rec.record(s)
+	}
+}
+
+// idState seeds span/trace ID generation: a process-unique counter
+// whirled through SplitMix64. IDs are unique within a process and
+// collision-resistant across the fleet (the counter is seeded from the
+// process start time).
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()))
+}
+
+func nextID() uint64 {
+	for {
+		z := idState.Add(0x9E3779B97F4A7C15)
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+func hex64(v uint64) string {
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceID returns a fresh 128-bit trace ID as 32 hex digits.
+func NewTraceID() string { return hex64(nextID()) + hex64(nextID()) }
+
+// NewSpanID returns a fresh 64-bit span ID as 16 hex digits.
+func NewSpanID() string { return hex64(nextID()) }
+
+// ctxKey keys the span stored in a context.
+type ctxKey struct{}
+
+// remoteKey keys a remote parent SpanContext stored in a context (a
+// propagated traceparent that has no local Span object).
+type remoteKey struct{}
+
+// ContextWithSpan returns ctx carrying span; children started from the
+// returned context parent onto it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextWithRemote returns ctx carrying a remote parent context (e.g.
+// a parsed traceparent, or a span context saved across a queue hop).
+// Spans started from the returned context join sc's trace.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// ContextSpanContext returns the propagation context carried by ctx: the
+// local span's if one is present, else any remote parent.
+func ContextSpanContext(ctx context.Context) SpanContext {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.Context()
+	}
+	sc, _ := ctx.Value(remoteKey{}).(SpanContext)
+	return sc
+}
+
+// Recorder keeps the most recent finished spans in a fixed-size ring.
+// Recording is lock-free (one atomic increment plus one atomic pointer
+// store); readers snapshot the ring without blocking writers. The zero
+// value is not usable; call NewRecorder.
+type Recorder struct {
+	service string
+	slots   []atomic.Pointer[Span]
+	next    atomic.Uint64
+}
+
+// DefaultCapacity is the span ring size NewRecorder uses for capacity
+// <= 0.
+const DefaultCapacity = 4096
+
+// NewRecorder returns a recorder labelled with the service name that
+// appears as the process name in Chrome exports.
+func NewRecorder(service string, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if service == "" {
+		service = "lvpd"
+	}
+	return &Recorder{service: service, slots: make([]atomic.Pointer[Span], capacity)}
+}
+
+// Service returns the recorder's process label.
+func (r *Recorder) Service() string { return r.service }
+
+// StartSpan starts a span named name, parented on the context's span
+// (local or remote) when one is present, and returns the child context
+// carrying it. Always pair with span.Finish().
+func (r *Recorder) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	s := &Span{
+		Name:   name,
+		SpanID: NewSpanID(),
+		Start:  time.Now(),
+		Attrs:  attrs,
+		rec:    r,
+	}
+	if parent := ContextSpanContext(ctx); parent.Valid() {
+		s.TraceID = parent.TraceID
+		s.ParentID = parent.SpanID
+	} else {
+		s.TraceID = NewTraceID()
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// record publishes a finished span into the ring, overwriting the
+// oldest entry once full.
+func (r *Recorder) record(s *Span) {
+	idx := r.next.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(s)
+}
+
+// Spans snapshots every retained span, oldest first.
+func (r *Recorder) Spans() []*Span {
+	n := r.next.Load()
+	cap64 := uint64(len(r.slots))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]*Span, 0, cap64)
+	for i := start; i < n; i++ {
+		if s := r.slots[i%cap64].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, oldest first.
+func (r *Recorder) TraceSpans(traceID string) []*Span {
+	var out []*Span
+	for _, s := range r.Spans() {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}

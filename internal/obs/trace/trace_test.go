@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if !sc.Valid() {
+		t.Fatalf("generated context invalid: %+v", sc)
+	}
+	hdr := sc.Traceparent()
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip %q: got %+v ok=%v, want %+v", hdr, got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // wrong version
+		"00-0af7651916cd43dd8448eb211c80319x-b7ad6b7169203331-01", // non-hex
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", h)
+		}
+	}
+	// Uppercase hex is tolerated and canonicalised.
+	sc, ok := ParseTraceparent("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01")
+	if !ok || sc.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("uppercase traceparent: got %+v ok=%v", sc, ok)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		id := NewSpanID()
+		if len(id) != 16 {
+			t.Fatalf("span id %q has length %d", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span id %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	rec := NewRecorder("test", 16)
+	ctx, root := rec.StartSpan(context.Background(), "root")
+	ctx2, child := rec.StartSpan(ctx, "child")
+	_, grand := rec.StartSpan(ctx2, "grandchild")
+
+	if root.ParentID != "" {
+		t.Errorf("root has parent %q", root.ParentID)
+	}
+	if child.TraceID != root.TraceID || child.ParentID != root.SpanID {
+		t.Errorf("child not parented on root: %+v vs %+v", child, root)
+	}
+	if grand.TraceID != root.TraceID || grand.ParentID != child.SpanID {
+		t.Errorf("grandchild not parented on child")
+	}
+
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	spans := rec.TraceSpans(root.TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+}
+
+func TestRemoteParenting(t *testing.T) {
+	rec := NewRecorder("test", 16)
+	remote := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, s := rec.StartSpan(ctx, "local")
+	if s.TraceID != remote.TraceID || s.ParentID != remote.SpanID {
+		t.Fatalf("span %+v not parented on remote %+v", s, remote)
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	rec := NewRecorder("test", 4)
+	for i := 0; i < 10; i++ {
+		_, s := rec.StartSpan(context.Background(), fmt.Sprintf("s%d", i))
+		s.Finish()
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 6+i); s.Name != want {
+			t.Errorf("slot %d = %q, want %q", i, s.Name, want)
+		}
+	}
+}
+
+func TestDoubleFinishRecordsOnce(t *testing.T) {
+	rec := NewRecorder("test", 8)
+	_, s := rec.StartSpan(context.Background(), "once")
+	s.Finish()
+	s.Finish()
+	if got := len(rec.Spans()); got != 1 {
+		t.Fatalf("double finish recorded %d spans, want 1", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	rec := NewRecorder("test", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, s := rec.StartSpan(context.Background(), "work")
+				s.SetAttr("i", "x")
+				s.Finish()
+				rec.Spans() // concurrent reads
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(rec.Spans()); got != 64 {
+		t.Fatalf("full ring holds %d spans, want 64", got)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	rec := NewRecorder("lvpd-test", 16)
+	ctx, root := rec.StartSpan(context.Background(), "sweep", String("points", "3"))
+	_, child := rec.StartSpan(ctx, "dispatch")
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, ChromeEvents(rec.Service(), rec.TraceSpans(root.TraceID))); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var out struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Args["name"] != "lvpd-test" {
+				t.Errorf("process_name = %v", ev.Args["name"])
+			}
+		case "X":
+			complete++
+			if ev.Dur < 1 {
+				t.Errorf("event %q has dur %d < 1", ev.Name, ev.Dur)
+			}
+			if ev.Args["trace_id"] != root.TraceID {
+				t.Errorf("event %q trace_id = %v", ev.Name, ev.Args["trace_id"])
+			}
+		}
+	}
+	if meta != 1 || complete != 2 {
+		t.Fatalf("export has %d metadata + %d complete events, want 1 + 2", meta, complete)
+	}
+}
+
+func TestExportHandlers(t *testing.T) {
+	rec := NewRecorder("test", 16)
+	_, s := rec.StartSpan(context.Background(), "job")
+	s.Finish()
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/traces", rec.IndexHandler())
+	mux.Handle("GET /debug/traces/{id}", rec.ExportHandler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx struct {
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatalf("index decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(idx.Traces) != 1 || idx.Traces[0].TraceID != s.TraceID {
+		t.Fatalf("index = %+v, want 1 entry for %s", idx.Traces, s.TraceID)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/traces/" + s.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+
+	resp2, err := http.Get(ts.URL + "/debug/traces/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d, want 404", resp2.StatusCode)
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	rec := NewRecorder("test", 16)
+	var sawCtx SpanContext
+	h := rec.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawCtx = ContextSpanContext(r.Context())
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// GET passes through untraced.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(TraceIDHeader) != "" {
+		t.Errorf("GET response carries %s", TraceIDHeader)
+	}
+	if len(rec.Spans()) != 0 {
+		t.Fatalf("GET recorded %d spans", len(rec.Spans()))
+	}
+
+	// POST with a traceparent joins the remote trace.
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader("{}"))
+	req.Header.Set(TraceparentHeader, parent.Traceparent())
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(TraceIDHeader); got != parent.TraceID {
+		t.Errorf("%s = %q, want parent trace %q", TraceIDHeader, got, parent.TraceID)
+	}
+	if sawCtx.TraceID != parent.TraceID {
+		t.Errorf("handler ctx trace %q, want %q", sawCtx.TraceID, parent.TraceID)
+	}
+	spans := rec.TraceSpans(parent.TraceID)
+	if len(spans) != 1 || spans[0].ParentID != parent.SpanID {
+		t.Fatalf("middleware spans = %+v, want 1 parented on %s", spans, parent.SpanID)
+	}
+}
+
+func TestInject(t *testing.T) {
+	rec := NewRecorder("test", 16)
+	ctx, s := rec.StartSpan(context.Background(), "client")
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, "http://example/v1/jobs", nil)
+	Inject(req)
+	got, ok := ParseTraceparent(req.Header.Get(TraceparentHeader))
+	if !ok || got != s.Context() {
+		t.Fatalf("injected %q, want %+v", req.Header.Get(TraceparentHeader), s.Context())
+	}
+
+	// No trace in context: header stays unset.
+	req2, _ := http.NewRequest(http.MethodPost, "http://example/v1/jobs", nil)
+	Inject(req2)
+	if req2.Header.Get(TraceparentHeader) != "" {
+		t.Fatal("Inject set traceparent without a trace in context")
+	}
+}
+
+func TestLogHandler(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(NewLogHandler(slog.NewJSONHandler(&buf, nil)))
+
+	rec := NewRecorder("test", 16)
+	ctx, s := rec.StartSpan(context.Background(), "job")
+	log.InfoContext(ctx, "inside span")
+	log.Info("outside span")
+	s.Finish()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines", len(lines))
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["trace_id"] != s.TraceID || first["span_id"] != s.SpanID {
+		t.Errorf("traced line missing ids: %v", first)
+	}
+	if _, ok := second["trace_id"]; ok {
+		t.Errorf("untraced line has trace_id: %v", second)
+	}
+}

@@ -240,6 +240,65 @@ func CompositeFromEngine(eng cpu.Engine) *core.Composite {
 	return nil
 }
 
+// ComponentProgress is one predictor component's live counters in a
+// ProgressView: predictions used so far, validation outcomes, and the
+// accuracy monitor's current-epoch view (mispredictions per kilo
+// prediction plus whether the monitor has silenced the component).
+type ComponentProgress struct {
+	Name      string  `json:"name"`
+	Used      uint64  `json:"used"`
+	Correct   uint64  `json:"correct"`
+	Incorrect uint64  `json:"incorrect"`
+	MPKP      float64 `json:"mpkp"`
+	Silenced  bool    `json:"silenced,omitempty"`
+}
+
+// ProgressView is a running job's live progress as reported by
+// GET /v1/jobs/{id} and streamed by GET /v1/jobs/{id}/events: which
+// phase the job is in (baseline|run), how far through the phase's
+// instruction budget it is, the simulation rate, and the per-component
+// predictor telemetry (run phase of composite-family jobs only).
+type ProgressView struct {
+	Phase             string  `json:"phase"`
+	Instructions      uint64  `json:"instructions"`
+	TotalInstructions uint64  `json:"total_instructions"`
+	Pct               float64 `json:"pct"`
+	Cycles            uint64  `json:"cycles"`
+	SimMIPS           float64 `json:"sim_mips"`
+
+	Components []ComponentProgress `json:"components,omitempty"`
+}
+
+// NewProgressView renders one progress snapshot for a phase with the
+// given instruction budget. Components with no activity are omitted.
+func NewProgressView(phase string, total uint64, s cpu.ProgressSnapshot) ProgressView {
+	pv := ProgressView{
+		Phase:             phase,
+		Instructions:      s.Instructions,
+		TotalInstructions: total,
+		Cycles:            s.Cycles,
+		SimMIPS:           s.SimMIPS(),
+	}
+	if total > 0 {
+		pv.Pct = 100 * float64(s.Instructions) / float64(total)
+	}
+	for c := core.Component(0); c < core.NumComponents; c++ {
+		if s.Used[c] == 0 && s.Correct[c] == 0 && s.Incorrect[c] == 0 &&
+			s.MPKP[c] == 0 && !s.Silenced.Has(c) {
+			continue
+		}
+		pv.Components = append(pv.Components, ComponentProgress{
+			Name:      c.String(),
+			Used:      s.Used[c],
+			Correct:   s.Correct[c],
+			Incorrect: s.Incorrect[c],
+			MPKP:      s.MPKP[c],
+			Silenced:  s.Silenced.Has(c),
+		})
+	}
+	return pv
+}
+
 // Job states reported by JobStatus.State. StateRejected appears only
 // in sweep responses, for points the full queue shed.
 const (
@@ -269,6 +328,16 @@ type JobStatus struct {
 	// CacheHit marks a job answered from the result cache without
 	// simulating.
 	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// TraceID names the trace the job's spans were recorded under (the
+	// submitter's trace when the submit request carried a traceparent
+	// header, a fresh one otherwise). Set once the job starts running;
+	// the trace is exportable at GET /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Progress is the live mid-run view (running jobs only, once the
+	// first snapshot has been published).
+	Progress *ProgressView `json:"progress,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`

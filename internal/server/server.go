@@ -15,8 +15,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/expt"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -71,6 +73,19 @@ type Config struct {
 	// Logger receives structured request and job logs (default
 	// slog.Default).
 	Logger *slog.Logger
+
+	// ServiceName labels this process's spans in trace exports
+	// (default "lvpd"). Cluster workers set it to their advertised URL
+	// so merged traces attribute spans to the right process.
+	ServiceName string
+
+	// ProgressInterval is the instruction cadence of the per-job live
+	// progress probe (default cpu.DefaultProgressInterval).
+	ProgressInterval int
+
+	// ProgressPoll is how often GET /v1/jobs/{id}/events samples a
+	// running job's progress slot (default 150ms).
+	ProgressPoll time.Duration
 }
 
 // Validate rejects configurations the server cannot honor. New calls
@@ -116,6 +131,15 @@ func (c *Config) applyDefaults() {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.ServiceName == "" {
+		c.ServiceName = "lvpd"
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = cpu.DefaultProgressInterval
+	}
+	if c.ProgressPoll <= 0 {
+		c.ProgressPoll = 150 * time.Millisecond
+	}
 }
 
 // job is one tracked simulation request: a resolved canonical spec
@@ -127,6 +151,14 @@ type job struct {
 	timeoutMS int64
 	key       string
 
+	// parent is the submitter's span context, captured from the submit
+	// request's traceparent header; the job span joins that trace.
+	parent otrace.SpanContext
+
+	// prog is the live progress slot the job's simulations publish
+	// into; one slot serves both phases (Clear between them).
+	prog cpu.Progress
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -135,10 +167,22 @@ type job struct {
 	errMsg   string
 	result   *RunResult
 	cacheHit bool
+	traceID  string // trace the job span recorded under
+	phase    string // "baseline" | "run" while running
 	created  time.Time
 	started  time.Time
 	finished time.Time
 	done     chan struct{}
+}
+
+// startPhase empties the progress slot and labels the phase the job's
+// next simulation belongs to. Called from the job's worker goroutine
+// only, between simulations, so clearing cannot race a publisher.
+func (j *job) startPhase(phase string) {
+	j.prog.Clear()
+	j.mu.Lock()
+	j.phase = phase
+	j.mu.Unlock()
 }
 
 // transition moves the job to state under its lock; it is a no-op once
@@ -175,7 +219,14 @@ func (j *job) status() JobStatus {
 		Error:    j.errMsg,
 		Result:   j.result,
 		CacheHit: j.cacheHit,
+		TraceID:  j.traceID,
 		Created:  j.created,
+	}
+	if j.state == StateRunning && j.phase != "" {
+		if snap, ok := j.prog.Load(); ok {
+			pv := NewProgressView(j.phase, j.sim.Workload.Insts, snap)
+			st.Progress = &pv
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -219,10 +270,11 @@ type simKey struct {
 // worker pool, caches, and metrics. Create with New, start the workers
 // with Start, mount Handler on an http.Server, and stop with Shutdown.
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	reg *obs.Registry
-	mux *http.ServeMux
+	cfg    Config
+	log    *slog.Logger
+	reg    *obs.Registry
+	tracer *otrace.Recorder
+	mux    *http.ServeMux
 
 	// lifeCtx parents every job context; lifeStop aborts all
 	// simulations (used as the shutdown hard stop).
@@ -272,6 +324,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		log:     cfg.Logger,
 		reg:     reg,
+		tracer:  otrace.NewRecorder(cfg.ServiceName, 0),
 		mux:     http.NewServeMux(),
 		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
@@ -310,6 +363,10 @@ func New(cfg Config) (*Server, error) {
 
 // Registry exposes the metrics registry (for tests and embedding).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the span recorder (for tests and for coordinators
+// that merge worker traces into their own).
+func (s *Server) Tracer() *otrace.Recorder { return s.tracer }
 
 // Start launches the worker pool.
 func (s *Server) Start() {
@@ -354,20 +411,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Handler returns the HTTP handler tree with request logging applied.
+// Handler returns the HTTP handler tree with request logging and trace
+// propagation applied. The trace middleware is outermost so a submit
+// request's traceparent header is on the context before any handler
+// (or log line) runs.
 func (s *Server) Handler() http.Handler {
-	return s.logMiddleware(s.mux)
+	return s.tracer.Middleware(s.logMiddleware(s.mux))
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /debug/traces", s.tracer.IndexHandler())
+	s.mux.Handle("GET /debug/traces/{id}", s.tracer.ExportHandler())
 	s.mux.Handle("GET /metrics", s.reg.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -387,6 +451,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE streams (which flush per
+// event) survive the logging wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (s *Server) logMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -394,7 +466,7 @@ func (s *Server) logMiddleware(next http.Handler) http.Handler {
 		next.ServeHTTP(rec, r)
 		s.reg.Counter("lvpd_http_requests_total", "HTTP requests by status code.",
 			"code", fmt.Sprintf("%d", rec.code)).Inc()
-		s.log.Info("http",
+		s.log.InfoContext(r.Context(), "http",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"code", rec.code,
@@ -448,7 +520,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, code := s.admit(sim, req.Label(sim), req.TimeoutMS)
+	j, code := s.admit(sim, req.Label(sim), req.TimeoutMS, otrace.ContextSpanContext(r.Context()))
 	switch code {
 	case http.StatusOK, http.StatusAccepted:
 		writeJSON(w, code, j.status())
@@ -512,8 +584,10 @@ func retryAfterEstimate(depth, workers int, ewmaSecs float64) int {
 // from the result cache (StatusOK), enqueued (StatusAccepted), or shed
 // (StatusTooManyRequests / StatusServiceUnavailable, with the job
 // unregistered again). Shared by POST /v1/jobs and POST /v1/sweeps.
-func (s *Server) admit(sim spec.Sim, label string, timeoutMS int64) (*job, int) {
-	j := s.newJob(sim, label, timeoutMS)
+// parent is the submitter's span context (zero when the request
+// carried no traceparent); the job's spans join its trace.
+func (s *Server) admit(sim spec.Sim, label string, timeoutMS int64, parent otrace.SpanContext) (*job, int) {
+	j := s.newJob(sim, label, timeoutMS, parent)
 
 	// Cache: equivalent requests are answered without re-simulating.
 	if res, ok := s.cache.Get(j.key); ok {
@@ -551,7 +625,7 @@ func (s *Server) admit(sim spec.Sim, label string, timeoutMS int64) (*job, int) 
 }
 
 // newJob registers a fresh queued job.
-func (s *Server) newJob(sim spec.Sim, label string, timeoutMS int64) *job {
+func (s *Server) newJob(sim spec.Sim, label string, timeoutMS int64, parent otrace.SpanContext) *job {
 	ctx, cancel := context.WithCancel(s.lifeCtx)
 	s.mu.Lock()
 	s.nextID++
@@ -560,6 +634,7 @@ func (s *Server) newJob(sim spec.Sim, label string, timeoutMS int64) *job {
 		sim:       sim,
 		label:     label,
 		timeoutMS: timeoutMS,
+		parent:    parent,
 		key:       sim.CanonicalHash(),
 		ctx:       ctx,
 		cancel:    cancel,
@@ -688,6 +763,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// handleReadyz implements GET /readyz, the readiness half of the
+// health pair: 200 while the server accepts submissions, 503 once a
+// drain has begun. Load balancers and cluster coordinators use it to
+// stop routing work to a draining process; /healthz stays the liveness
+// probe (and keeps its informational payload).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.accepting.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // simCtx returns the shared expt.Context for an (insts, seed)
 // combination; contexts cache baseline runs and deduplicate concurrent
 // baseline requests per workload.
@@ -731,11 +819,33 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithTimeout(j.ctx, timeout)
 	defer cancel()
 
+	// The job span joins the submitter's trace when the submit request
+	// carried a traceparent, and roots a fresh trace otherwise; the
+	// baseline and configured-run phases become child spans.
+	ctx = otrace.ContextWithRemote(ctx, j.parent)
+	ctx, span := s.tracer.StartSpan(ctx, "job",
+		otrace.String("job_id", j.id),
+		otrace.String("workload", j.sim.Workload.Name),
+		otrace.String("predictor", j.label),
+		otrace.String("spec", j.key),
+	)
+	defer func() {
+		span.SetAttr("state", j.status().State)
+		span.Finish()
+	}()
+	j.mu.Lock()
+	j.traceID = span.TraceID
+	j.mu.Unlock()
+
 	w, _ := trace.ByName(j.sim.Workload.Name) // validated at submit
 	sctx := s.simCtx(j.sim.Workload.Insts, j.sim.Run.Seed)
 
 	baseCached := sctx.HasBaselineMachine(w.Name, j.sim.Machine)
-	base := sctx.BaselineMachineCtx(ctx, w, j.sim.Machine)
+	j.startPhase("baseline")
+	bctx, bspan := s.tracer.StartSpan(ctx, "baseline",
+		otrace.String("cached", strconv.FormatBool(baseCached)))
+	base := sctx.BaselineMachineProgressCtx(bctx, w, j.sim.Machine, &j.prog, s.cfg.ProgressInterval)
+	bspan.Finish()
 	if base.Aborted {
 		s.settleAborted(j, ctx)
 		return
@@ -758,7 +868,10 @@ func (s *Server) runJob(j *job) {
 			}
 			return
 		}
-		run := sctx.RunEngineCfgCtx(ctx, w, j.label, eng, j.sim.Machine.Config())
+		j.startPhase("run")
+		rctx, rspan := s.tracer.StartSpan(ctx, "run")
+		run := sctx.RunEngineCfgProgressCtx(rctx, w, j.label, eng, j.sim.Machine.Config(), &j.prog, s.cfg.ProgressInterval)
+		rspan.Finish()
 		s.mSimInsts.Add(run.Instructions)
 		simInsts += run.Instructions
 		if run.Aborted {
@@ -783,7 +896,7 @@ func (s *Server) runJob(j *job) {
 	s.cache.Put(j.key, res)
 	if j.transition(StateDone, "", &res) {
 		s.mDone.Inc()
-		s.log.Info("job done", "id", j.id, "workload", j.sim.Workload.Name,
+		s.log.InfoContext(ctx, "job done", "id", j.id, "workload", j.sim.Workload.Name,
 			"predictor", j.label, "spec", j.key, "speedup_pct", res.SpeedupPct,
 			"dur_ms", time.Since(start).Milliseconds())
 	}
@@ -801,5 +914,5 @@ func (s *Server) settleAborted(j *job, ctx context.Context) {
 			s.mCanceled.Inc()
 		}
 	}
-	s.log.Info("job aborted", "id", j.id, "reason", ctx.Err())
+	s.log.InfoContext(ctx, "job aborted", "id", j.id, "reason", ctx.Err())
 }

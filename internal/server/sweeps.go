@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/spec"
 )
 
@@ -181,7 +182,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	resp := SweepResponse{Count: len(points), Jobs: make([]JobStatus, len(points))}
 	code := http.StatusOK
 	for i, p := range points {
-		j, c := s.admit(p.Sim, p.Label, req.Template.TimeoutMS)
+		j, c := s.admit(p.Sim, p.Label, req.Template.TimeoutMS, otrace.ContextSpanContext(r.Context()))
 		switch c {
 		case http.StatusOK:
 			resp.Cached++
