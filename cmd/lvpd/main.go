@@ -19,6 +19,14 @@
 //
 // See README.md ("Running a cluster") for the full walkthrough.
 //
+// With -data-dir the process journals every accepted job and sweep to
+// a write-ahead log under that directory and retains finished results
+// in a result warehouse; a restart with the same directory resumes
+// whatever the log still owes (see README.md "Durability"). With
+// -tenants-file the /v1/ API requires per-tenant API keys and applies
+// quotas and weighted fair queueing (README.md "Multi-tenant
+// operation").
+//
 // The daemon drains in-flight jobs on SIGINT/SIGTERM, cancelling
 // whatever is still running once -drain-timeout elapses.
 package main
@@ -40,6 +48,7 @@ import (
 	"repro/internal/cluster"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -57,6 +66,10 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 
+		// Durability and multi-tenancy (both modes).
+		dataDir     = flag.String("data-dir", "", "durable store directory (WAL + result warehouse); empty = in-memory only")
+		tenantsFile = flag.String("tenants-file", "", "JSON tenants file enabling API-key auth, quotas, and fair queueing")
+
 		// Coordinator mode.
 		clusterMode   = flag.Bool("cluster", false, "run as a sweep coordinator instead of a simulation worker")
 		workerSlots   = flag.Int("worker-slots", 4, "cluster: concurrent dispatches per worker")
@@ -65,10 +78,12 @@ func main() {
 		healthEvery   = flag.Duration("health-interval", 2*time.Second, "cluster: worker health probe period")
 		quarAfter     = flag.Int("quarantine-after", 3, "cluster: consecutive failures before a worker is quarantined")
 		quarCooldown  = flag.Duration("quarantine-cooldown", 30*time.Second, "cluster: circuit-open duration before a half-open probe")
+		workerAPIKey  = flag.String("worker-api-key", "", "cluster: API key presented to workers on every dispatch (list it in their -tenants-file as a proxy tenant)")
 
 		// Worker self-registration.
 		joinURL      = flag.String("join", "", "coordinator URL to register with at startup (worker mode)")
 		advertiseURL = flag.String("advertise", "", "URL the coordinator should dial for this worker (default derived from -addr)")
+		joinAPIKey   = flag.String("join-api-key", "", "API key presented when self-registering with a key-protected coordinator")
 	)
 	flag.Parse()
 
@@ -76,6 +91,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		tenants, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			log.Error("bad tenants file", "err", err)
+			os.Exit(2)
+		}
 	}
 
 	if *clusterMode {
@@ -92,6 +116,9 @@ func main() {
 			quarAfter:     *quarAfter,
 			quarCooldown:  *quarCooldown,
 			drainTimeout:  *drainTimeout,
+			dataDir:       *dataDir,
+			workerAPIKey:  *workerAPIKey,
+			tenants:       tenants,
 		})
 		return
 	}
@@ -111,6 +138,8 @@ func main() {
 		JobTimeout:     *jobTimeout,
 		MaxSweepPoints: *maxSweepPts,
 		ServiceName:    serviceName,
+		DataDir:        *dataDir,
+		Tenants:        tenants,
 		Logger:         log,
 	})
 	if err != nil {
@@ -133,7 +162,7 @@ func main() {
 	log.Info("lvpd listening", "addr", *addr)
 
 	if *joinURL != "" {
-		go selfRegister(ctx, log, *joinURL, advertised(*advertiseURL, *addr))
+		go selfRegister(ctx, log, *joinURL, advertised(*advertiseURL, *addr), *joinAPIKey)
 	}
 
 	select {
@@ -202,6 +231,9 @@ type coordinatorFlags struct {
 	quarAfter     int
 	quarCooldown  time.Duration
 	drainTimeout  time.Duration
+	dataDir       string
+	workerAPIKey  string
+	tenants       *tenant.Registry
 }
 
 func runCoordinator(log *slog.Logger, f coordinatorFlags) {
@@ -216,6 +248,9 @@ func runCoordinator(log *slog.Logger, f coordinatorFlags) {
 		HealthInterval:     f.healthEvery,
 		QuarantineAfter:    f.quarAfter,
 		QuarantineCooldown: f.quarCooldown,
+		DataDir:            f.dataDir,
+		WorkerAPIKey:       f.workerAPIKey,
+		Tenants:            f.tenants,
 		Logger:             log,
 	})
 	if err != nil {
@@ -273,11 +308,11 @@ func advertised(advertise, addr string) string {
 // with a flat delay until it succeeds or the process is shutting down.
 // Registration is idempotent on the coordinator, so retrying after an
 // ambiguous failure is safe.
-func selfRegister(ctx context.Context, log *slog.Logger, coordinator, advertise string) {
+func selfRegister(ctx context.Context, log *slog.Logger, coordinator, advertise, apiKey string) {
 	body, _ := json.Marshal(map[string]string{"url": advertise})
 	target := strings.TrimSuffix(coordinator, "/") + "/v1/cluster/workers"
 	for {
-		err := postRegistration(ctx, target, body)
+		err := postRegistration(ctx, target, body, apiKey)
 		if err == nil {
 			log.Info("registered with coordinator", "coordinator", coordinator, "advertise", advertise)
 			return
@@ -291,7 +326,7 @@ func selfRegister(ctx context.Context, log *slog.Logger, coordinator, advertise 
 	}
 }
 
-func postRegistration(ctx context.Context, target string, body []byte) error {
+func postRegistration(ctx context.Context, target string, body []byte, apiKey string) error {
 	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, target, bytes.NewReader(body))
@@ -299,6 +334,9 @@ func postRegistration(ctx context.Context, target string, body []byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// buildDaemon compiles the lvpd binary once per test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lvpd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe port: %v", err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+// startDaemon launches the built binary and waits for /healthz.
+func startDaemon(t *testing.T, bin string, port int, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{"-addr", fmt.Sprintf("127.0.0.1:%d", port)}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start lvpd: %v", err)
+	}
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	_, _ = cmd.Process.Wait()
+	t.Fatalf("lvpd on port %d never became healthy", port)
+	return nil
+}
+
+func killHard(cmd *exec.Cmd) {
+	_ = cmd.Process.Kill() // SIGKILL: no drain, no WAL settle
+	_, _ = cmd.Process.Wait()
+}
+
+// crashSweep is the 6-point sweep the crash test journals and resumes.
+func crashSweep() []byte {
+	return []byte(`{
+		"template": {"insts": 1000000},
+		"axes": {"workloads": ["gcc2k", "mcf"], "predictors": ["lvp", "sap", "cvp"]}
+	}`)
+}
+
+// submitSweep posts the sweep and returns the accepted spec hashes.
+func submitSweep(t *testing.T, base string) []string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(crashSweep()))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep submit: %d: %s", resp.StatusCode, body)
+	}
+	var sr server.SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decode sweep response: %v", err)
+	}
+	if sr.Rejected != 0 {
+		t.Fatalf("sweep shed %d points; the test needs all accepted", sr.Rejected)
+	}
+	hashes := make([]string, 0, len(sr.Jobs))
+	for _, j := range sr.Jobs {
+		if j.SpecHash == "" {
+			t.Fatalf("job without spec hash: %+v", j)
+		}
+		hashes = append(hashes, j.SpecHash)
+	}
+	return hashes
+}
+
+// awaitRuns polls GET /v1/runs until every hash has a retained result.
+func awaitRuns(t *testing.T, base string, hashes []string) map[string]server.RunResult {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/runs?limit=500")
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		var list server.RunList
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode run list: %v", err)
+		}
+		got := make(map[string]server.RunResult, len(list.Runs))
+		for _, r := range list.Runs {
+			if r.Result != nil {
+				got[r.SpecHash] = *r.Result
+			}
+		}
+		all := true
+		for _, h := range hashes {
+			if _, ok := got[h]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return got
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	jobs, _ := http.Get(base + "/v1/jobs")
+	var dump []byte
+	if jobs != nil {
+		dump, _ = io.ReadAll(jobs.Body)
+		jobs.Body.Close()
+	}
+	t.Fatalf("runs never completed; job state: %s", dump)
+	return nil
+}
+
+// stripTiming zeroes the wall-clock-dependent result fields; everything
+// else is a pure function of the canonical spec and must match exactly
+// across processes.
+func stripTiming(r server.RunResult) server.RunResult {
+	r.SimInstructions = 0
+	r.SimMIPS = 0
+	return r
+}
+
+// TestCrashRecoveryEndToEnd is the durability acceptance test at the
+// process level: a real lvpd daemon accepts a sweep, dies from SIGKILL
+// mid-execution, restarts on the same -data-dir, and must finish every
+// accepted point with results bit-identical to an undisturbed run.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and runs the real binary")
+	}
+	bin := buildDaemon(t)
+
+	dataDir := t.TempDir()
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	daemonArgs := []string{"-data-dir", dataDir, "-workers", "1", "-queue", "64", "-max-insts", "5000000"}
+
+	// Generation 1: accept the sweep, then die without warning. The 202
+	// means every point is fsynced in the WAL.
+	gen1 := startDaemon(t, bin, port, daemonArgs...)
+	hashes := submitSweep(t, base)
+	if len(hashes) != 6 {
+		killHard(gen1)
+		t.Fatalf("expected 6 sweep points, got %d", len(hashes))
+	}
+	killHard(gen1)
+
+	// Generation 2: same data dir. Replay must finish all six points.
+	gen2 := startDaemon(t, bin, port, daemonArgs...)
+	defer killHard(gen2)
+	recovered := awaitRuns(t, base, hashes)
+
+	// Reference: an undisturbed daemon running the same sweep.
+	refPort := freePort(t)
+	refBase := fmt.Sprintf("http://127.0.0.1:%d", refPort)
+	ref := startDaemon(t, bin, refPort, "-data-dir", t.TempDir(), "-workers", "1", "-queue", "64", "-max-insts", "5000000")
+	defer killHard(ref)
+	refHashes := submitSweep(t, refBase)
+	reference := awaitRuns(t, refBase, refHashes)
+
+	for _, h := range hashes {
+		want, ok := reference[h]
+		if !ok {
+			t.Fatalf("reference run missing hash %s", h)
+		}
+		if got := recovered[h]; !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+			t.Errorf("recovered result for %s is not bit-identical:\n got %+v\nwant %+v", h, got, want)
+		}
+	}
+}

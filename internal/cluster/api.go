@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 // Handler returns the coordinator's HTTP API:
@@ -29,8 +31,45 @@ import (
 //
 // Trace propagation middleware wraps the tree, so a POST /v1/sweeps
 // carrying a traceparent header ties the whole distributed execution
-// into the submitter's trace.
-func (c *Coordinator) Handler() http.Handler { return c.tracer.Middleware(c.mux) }
+// into the submitter's trace. Tenant authentication guards the /v1/
+// surface when the coordinator runs with a tenants file.
+func (c *Coordinator) Handler() http.Handler {
+	return c.tracer.Middleware(c.authMiddleware(c.mux))
+}
+
+// authMiddleware resolves the request's tenant and stores it in the
+// context, mirroring the worker daemon's middleware: only /v1/ needs a
+// key; health, metrics, and debug stay open. Worker self-registration
+// (POST /v1/cluster/workers) therefore also needs a key in
+// multi-tenant mode — workers pass it with -join-api-key.
+func (c *Coordinator) authMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := tenant.KeyFromAuth(r.Header.Get("Authorization"), r.Header.Get("X-API-Key"))
+		tn, ok := c.tenants.Authenticate(key)
+		if !ok {
+			c.mAuthFailed.Inc()
+			writeError(w, http.StatusUnauthorized, "missing or unknown API key")
+			return
+		}
+		if name := r.Header.Get("X-Lvpd-Tenant"); name != "" && name != tn.Name {
+			if !tn.Proxy {
+				writeError(w, http.StatusForbidden, "tenant is not allowed to attribute work to others")
+				return
+			}
+			attributed, ok := c.tenants.ByName(name)
+			if !ok {
+				writeError(w, http.StatusForbidden, "unknown tenant in X-Lvpd-Tenant")
+				return
+			}
+			tn = attributed
+		}
+		next.ServeHTTP(w, r.WithContext(tenant.NewContext(r.Context(), tn)))
+	})
+}
 
 // RegisterRequest is the POST /v1/cluster/workers body.
 type RegisterRequest struct {
@@ -129,11 +168,14 @@ func (c *Coordinator) handleStartSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := c.StartSweep(r.Context(), req)
 	if err != nil {
-		if !c.accepting.Load() {
+		switch {
+		case !c.accepting.Load():
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
-			return
+		case errors.Is(err, errDurability):
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
 		}
-		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	code := http.StatusAccepted
@@ -221,7 +263,7 @@ func (c *Coordinator) handleMergedTrace(w http.ResponseWriter, r *http.Request) 
 
 	for _, u := range urls {
 		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.HealthTimeout)
-		code, body, err := (apiClient{base: u, hc: c.hc}).do(ctx, http.MethodGet, "/debug/traces/"+id, nil)
+		code, body, err := c.workerClient(u, nil).do(ctx, http.MethodGet, "/debug/traces/"+id, nil)
 		cancel()
 		if err != nil || code != http.StatusOK {
 			continue
@@ -246,9 +288,10 @@ func (c *Coordinator) handleMergedTrace(w http.ResponseWriter, r *http.Request) 
 // LoggedHandler wraps the API with one structured access-log line per
 // request.
 func (c *Coordinator) LoggedHandler() http.Handler {
+	authed := c.authMiddleware(c.mux)
 	return c.tracer.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		c.mux.ServeHTTP(w, r)
+		authed.ServeHTTP(w, r)
 		c.log.DebugContext(r.Context(), "http", "method", r.Method, "path", r.URL.Path, "dur", time.Since(start))
 	}))
 }

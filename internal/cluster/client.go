@@ -34,6 +34,25 @@ func (e *workerError) Unwrap() error { return e.err }
 type apiClient struct {
 	base string
 	hc   *http.Client
+
+	// apiKey, when set, authenticates every request (Authorization:
+	// Bearer). tenantName, when set, attributes the work to that tenant
+	// via X-Lvpd-Tenant — the worker honors it only for Proxy-flagged
+	// keys.
+	apiKey     string
+	tenantName string
+}
+
+// workerClient builds the API client for one worker URL: the
+// coordinator's worker credential plus, in multi-tenant mode, the
+// sweep's tenant attribution (nil sw or single-tenant mode sends no
+// attribution header, so open workers stay compatible).
+func (c *Coordinator) workerClient(url string, sw *sweep) apiClient {
+	cl := apiClient{base: url, hc: c.hc, apiKey: c.cfg.WorkerAPIKey}
+	if sw != nil && !c.tenants.Open() {
+		cl.tenantName = sw.tenant
+	}
+	return cl
 }
 
 // errorMessage extracts the {"error": ...} envelope, falling back to
@@ -63,6 +82,12 @@ func (a apiClient) do(ctx context.Context, method, path string, body any) (int, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if a.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+a.apiKey)
+	}
+	if a.tenantName != "" {
+		req.Header.Set("X-Lvpd-Tenant", a.tenantName)
 	}
 	// Propagate the caller's trace (a dispatch span, typically) so the
 	// worker's spans join it; a no-op when ctx carries none.

@@ -43,6 +43,8 @@ import (
 	otrace "repro/internal/obs/trace"
 	"repro/internal/server"
 	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Config tunes the coordinator. Zero values select the defaults noted
@@ -110,6 +112,23 @@ type Config struct {
 	// circuit stays open before a half-open probe (default 30s).
 	QuarantineAfter    int
 	QuarantineCooldown time.Duration
+
+	// DataDir enables sweep durability: every accepted sweep and point
+	// settlement is WAL-logged under this directory, finished results
+	// land in the result warehouse, and a restarted coordinator resumes
+	// whatever points the log still owes. Empty disables persistence
+	// (the pre-durability behavior).
+	DataDir string
+
+	// WorkerAPIKey is presented to workers as Authorization: Bearer on
+	// every dispatch. Required when the fleet runs with -tenants-file;
+	// list it there as a Proxy-flagged tenant so dispatched points keep
+	// their submitting tenant's attribution (X-Lvpd-Tenant).
+	WorkerAPIKey string
+
+	// Tenants authenticates the coordinator's own API clients and
+	// attributes sweeps. nil runs single-tenant (no key required).
+	Tenants *tenant.Registry
 
 	// Logger receives structured coordinator logs (default
 	// slog.Default).
@@ -199,12 +218,18 @@ func (c *Config) applyDefaults() {
 // dispatch machinery. Create with New, start the health prober with
 // Start, mount Handler on an http.Server, and stop with Shutdown.
 type Coordinator struct {
-	cfg    Config
-	log    *slog.Logger
-	reg    *obs.Registry
-	tracer *otrace.Recorder
-	mux    *http.ServeMux
-	hc     *http.Client
+	cfg     Config
+	log     *slog.Logger
+	reg     *obs.Registry
+	tracer  *otrace.Recorder
+	mux     *http.ServeMux
+	hc      *http.Client
+	tenants *tenant.Registry
+
+	// st is the durable sweep store (nil without DataDir). resume holds
+	// the points the WAL still owed at Open; Start dispatches them.
+	st     *store.Store
+	resume []resumedPoint
 
 	// lifeCtx parents every dispatch attempt and the health prober;
 	// lifeStop is the shutdown hard stop.
@@ -236,6 +261,18 @@ type Coordinator struct {
 	mPtsFailed   *obs.Counter
 	mPtsCached   *obs.Counter
 	mPtsDeduped  *obs.Counter
+	mAuthFailed  *obs.Counter
+
+	// Per-tenant fan-out attribution, keyed by tenant name.
+	mTenantSweeps map[string]*obs.Counter
+	mTenantPoints map[string]*obs.Counter
+}
+
+// resumedPoint is one owed point recovered from the WAL, waiting for
+// Start to dispatch it.
+type resumedPoint struct {
+	sw *sweep
+	pt *point
 }
 
 // New builds a coordinator from cfg, rejecting invalid configurations.
@@ -245,6 +282,10 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = tenant.Single()
+	}
 	reg := obs.NewRegistry()
 	c := &Coordinator{
 		cfg:     cfg,
@@ -253,6 +294,7 @@ func New(cfg Config) (*Coordinator, error) {
 		tracer:  otrace.NewRecorder(cfg.ServiceName, 0),
 		mux:     http.NewServeMux(),
 		hc:      &http.Client{},
+		tenants: tenants,
 		workers: make(map[string]*worker),
 		byURL:   make(map[string]*worker),
 		sweeps:  make(map[string]*sweep),
@@ -267,9 +309,29 @@ func New(cfg Config) (*Coordinator, error) {
 		mPtsFailed:   reg.Counter("lvpc_points_total", "Sweep points by outcome.", "state", "failed"),
 		mPtsCached:   reg.Counter("lvpc_points_total", "Sweep points by outcome.", "state", "cached"),
 		mPtsDeduped:  reg.Counter("lvpc_points_total", "Sweep points by outcome.", "state", "deduped"),
+		mAuthFailed:  reg.Counter("lvpc_auth_failures_total", "Requests rejected for a missing or unknown API key."),
+
+		mTenantSweeps: make(map[string]*obs.Counter),
+		mTenantPoints: make(map[string]*obs.Counter),
+	}
+	for _, tn := range tenants.Tenants() {
+		name := tn.Name
+		c.mTenantSweeps[name] = reg.Counter("lvpc_tenant_sweeps_total", "Sweeps accepted by tenant.", "tenant", name)
+		c.mTenantPoints[name] = reg.Counter("lvpc_tenant_points_done_total", "Sweep points finished by tenant.", "tenant", name)
 	}
 	c.lifeCtx, c.lifeStop = context.WithCancel(context.Background())
 	c.routes()
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c.st = st
+		if err := c.replaySweeps(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -289,10 +351,18 @@ func (c *Coordinator) defaults() spec.Defaults {
 	return spec.Defaults{Insts: c.cfg.DefaultInsts, MaxInsts: maxInsts, Seed: c.cfg.Seed}
 }
 
-// Start launches the health prober and opens the coordinator for
-// sweeps.
+// Start launches the health prober, dispatches whatever points the WAL
+// still owed at Open, and opens the coordinator for sweeps.
 func (c *Coordinator) Start() {
 	c.accepting.Store(true)
+	if n := len(c.resume); n > 0 {
+		c.runners.Add(n)
+		for _, rp := range c.resume {
+			go c.runPoint(rp.sw, rp.pt)
+		}
+		c.log.Info("resuming owed sweep points from the WAL", "points", n)
+		c.resume = nil
+	}
 	c.probeWG.Add(1)
 	go c.prober()
 }
@@ -317,5 +387,10 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.lifeStop()
 	<-done
 	c.probeWG.Wait()
+	if c.st != nil {
+		if cerr := c.st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }

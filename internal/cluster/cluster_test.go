@@ -51,15 +51,20 @@ func newWorker(t *testing.T) (*httptest.Server, *server.Server) {
 // probe/poll periods and a sub-second quarantine cycle.
 func fastConfig() Config {
 	return Config{
-		DefaultInsts:       20_000,
-		WorkerSlots:        2,
-		PointDeadline:      30 * time.Second,
-		PointRetries:       8,
-		BackoffBase:        5 * time.Millisecond,
-		BackoffMax:         50 * time.Millisecond,
-		PollInterval:       3 * time.Millisecond,
-		HealthInterval:     15 * time.Millisecond,
-		HealthTimeout:      250 * time.Millisecond,
+		DefaultInsts:   20_000,
+		WorkerSlots:    2,
+		PointDeadline:  30 * time.Second,
+		PointRetries:   8,
+		BackoffBase:    5 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		PollInterval:   3 * time.Millisecond,
+		HealthInterval: 15 * time.Millisecond,
+		// Generous probe timeout: on a starved single-CPU runner a busy
+		// worker can take hundreds of ms to answer /healthz, and a too-
+		// tight bound quarantines healthy workers into a steal storm.
+		// Dead-worker tests are unaffected (connection refused is
+		// immediate regardless of timeout).
+		HealthTimeout:      2 * time.Second,
 		QuarantineAfter:    2,
 		QuarantineCooldown: 200 * time.Millisecond,
 		Logger:             quietLogger(),

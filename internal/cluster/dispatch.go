@@ -37,7 +37,9 @@ func (c *Coordinator) runPoint(sw *sweep, pt *point) {
 	maxSteals := 4 * (c.cfg.PointRetries + 1)
 	for {
 		if c.lifeCtx.Err() != nil {
-			c.settlePoint(sw, pt, nil, "coordinator shutting down")
+			// Not persisted: an accepted point the shutdown abandons is
+			// still owed, and the WAL re-dispatches it on restart.
+			c.abandonPoint(sw, pt, "coordinator shutting down")
 			return
 		}
 		att := c.acquireWorker()
@@ -187,7 +189,7 @@ func (c *Coordinator) attemptOnce(sw *sweep, att *attempt, pt *point) (server.Ru
 		att.w.mDispatchDur.Observe(time.Since(start).Seconds())
 		span.Finish()
 	}()
-	cl := apiClient{base: att.w.url, hc: c.hc}
+	cl := c.workerClient(att.w.url, sw)
 
 	sim := pt.sim
 	st, err := cl.submitJob(ctx, server.JobRequest{Spec: &sim})
@@ -275,8 +277,27 @@ func (c *Coordinator) notePointRunning(sw *sweep, pt *point, w *worker) {
 	pt.attempts++
 }
 
-// settlePoint finalizes a point as done (res != nil) or failed.
+// settlePoint finalizes a point as done (res != nil) or failed, and
+// records the settlement durably.
 func (c *Coordinator) settlePoint(sw *sweep, pt *point, res *server.RunResult, errMsg string) {
+	done := c.markSettled(sw, pt, res, errMsg)
+	c.persistPoint(sw, pt, res, errMsg, done)
+	if res != nil {
+		if ctr := c.mTenantPoints[sw.tenant]; ctr != nil {
+			ctr.Inc()
+		}
+	}
+}
+
+// abandonPoint finalizes a point the shutdown cancelled WITHOUT
+// persisting: the WAL keeps owing it, so the next start re-dispatches.
+func (c *Coordinator) abandonPoint(sw *sweep, pt *point, errMsg string) {
+	c.markSettled(sw, pt, nil, errMsg)
+}
+
+// markSettled applies a point's terminal transition to the in-memory
+// sweep state and reports whether it was the sweep's last open point.
+func (c *Coordinator) markSettled(sw *sweep, pt *point, res *server.RunResult, errMsg string) bool {
 	c.mu.Lock()
 	pt.finished = time.Now()
 	pt.progress = nil
@@ -306,4 +327,5 @@ func (c *Coordinator) settlePoint(sw *sweep, pt *point, res *server.RunResult, e
 			"unique", st.Unique, "done", st.Done, "failed", st.Failed,
 			"cached", st.Cached, "deduped", st.Deduped)
 	}
+	return done
 }

@@ -105,7 +105,7 @@ func (c *Coordinator) RegisterWorker(ctx context.Context, rawURL string) (Worker
 	// would only be quarantined moments later.
 	probeCtx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
 	defer cancel()
-	h, err := (apiClient{base: base, hc: c.hc}).health(probeCtx)
+	h, err := c.workerClient(base, nil).health(probeCtx)
 	if err != nil {
 		return WorkerStatus{}, false, fmt.Errorf("worker %s failed its registration health probe: %w", base, err)
 	}
@@ -278,7 +278,7 @@ func (c *Coordinator) probeAll() {
 
 	for _, w := range targets {
 		ctx, cancel := context.WithTimeout(c.lifeCtx, c.cfg.HealthTimeout)
-		h, err := (apiClient{base: w.url, hc: c.hc}).health(ctx)
+		h, err := c.workerClient(w.url, nil).health(ctx)
 		cancel()
 		if err != nil {
 			c.noteWorkerFailure(w, err)

@@ -23,6 +23,7 @@ const (
 // expansion bookkeeping. Guarded by the coordinator mutex.
 type sweep struct {
 	id      string
+	tenant  string // submitting tenant (attribution, WAL, worker proxying)
 	created time.Time
 	total   int // expanded points, duplicates included
 	deduped int // expansions collapsed onto an earlier point
@@ -86,6 +87,7 @@ type PointStatus struct {
 // live.
 type SweepStatus struct {
 	ID      string    `json:"id"`
+	Tenant  string    `json:"tenant,omitempty"`
 	State   string    `json:"state"` // running | done
 	Created time.Time `json:"created"`
 
@@ -111,6 +113,7 @@ type SweepStatus struct {
 func (sw *sweep) statusLocked(includePoints bool) SweepStatus {
 	st := SweepStatus{
 		ID:      sw.id,
+		Tenant:  sw.tenant,
 		Created: sw.created,
 		Total:   sw.total,
 		Unique:  len(sw.points),
@@ -186,20 +189,33 @@ func (c *Coordinator) StartSweep(ctx context.Context, req server.SweepRequest) (
 	if !c.accepting.Load() {
 		return SweepStatus{}, fmt.Errorf("coordinator is shutting down")
 	}
-	points, err := req.Expand(c.defaults(), c.cfg.MaxSweepPoints)
+	tn := c.requestTenant(ctx)
+	maxPoints := c.cfg.MaxSweepPoints
+	if tn.MaxSweepPoints > 0 && tn.MaxSweepPoints < maxPoints {
+		maxPoints = tn.MaxSweepPoints
+	}
+	points, err := req.Expand(c.defaults(), maxPoints)
 	if err != nil {
 		return SweepStatus{}, err
 	}
 
 	c.mu.Lock()
 	c.nextSweep++
+	id := fmt.Sprintf("s-%04d", c.nextSweep)
+	c.mu.Unlock()
+
+	// Expansion bookkeeping happens on locals: the sweep is invisible
+	// until it is published below, after the WAL accepted it, so the
+	// fsync never runs under the coordinator mutex.
 	sw := &sweep{
-		id:      fmt.Sprintf("s-%04d", c.nextSweep),
+		id:      id,
+		tenant:  tn.Name,
 		created: time.Now(),
 		total:   len(points),
 	}
 	_, sw.span = c.tracer.StartSpan(ctx, "sweep",
 		otrace.String("sweep_id", sw.id),
+		otrace.String("tenant", sw.tenant),
 		otrace.String("total", strconv.Itoa(len(points))))
 	seen := make(map[string]*point, len(points))
 	var launch []*point
@@ -211,7 +227,7 @@ func (c *Coordinator) StartSweep(ctx context.Context, req server.SweepRequest) (
 			continue
 		}
 		pt := &point{hash: p.Hash, sim: p.Sim, label: p.Label, count: 1, state: PointPending}
-		if res, ok := c.cache.Get(p.Hash); ok {
+		if res, ok := c.lookupResult(p.Hash); ok {
 			pt.state = PointDone
 			pt.cacheHit = true
 			pt.result = &res
@@ -224,6 +240,16 @@ func (c *Coordinator) StartSweep(ctx context.Context, req server.SweepRequest) (
 		seen[p.Hash] = pt
 		sw.points = append(sw.points, pt)
 	}
+
+	// Durable before accepted: once the client sees the 202, a restart
+	// owes the sweep.
+	if err := c.persistSweepStarted(sw); err != nil {
+		sw.span.Finish()
+		c.log.Error("sweep rejected: wal append failed", "sweep", sw.id, "err", err)
+		return SweepStatus{}, fmt.Errorf("%w: %v", errDurability, err)
+	}
+
+	c.mu.Lock()
 	c.sweeps[sw.id] = sw
 	c.order = append(c.order, sw.id)
 	c.pruneSweepsLocked()
@@ -233,12 +259,16 @@ func (c *Coordinator) StartSweep(ctx context.Context, req server.SweepRequest) (
 	c.mu.Unlock()
 	if done {
 		sw.span.Finish()
+		c.persistSweepDone(sw)
+	}
+	if ctr := c.mTenantSweeps[sw.tenant]; ctr != nil {
+		ctr.Inc()
 	}
 
 	for _, pt := range launch {
 		go c.runPoint(sw, pt)
 	}
-	c.log.Info("sweep accepted", "sweep", sw.id, "total", sw.total,
+	c.log.Info("sweep accepted", "sweep", sw.id, "tenant", sw.tenant, "total", sw.total,
 		"unique", len(sw.points), "cached", sw.cached, "deduped", sw.deduped)
 	return status, nil
 }

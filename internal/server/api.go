@@ -319,6 +319,10 @@ type JobStatus struct {
 	// result-cache key.
 	SpecHash string `json:"spec_hash,omitempty"`
 
+	// Tenant names the tenant the job is attributed to ("default" in
+	// single-tenant deployments).
+	Tenant string `json:"tenant,omitempty"`
+
 	// Error explains failed/canceled states.
 	Error string `json:"error,omitempty"`
 
@@ -350,6 +354,7 @@ type JobSummary struct {
 	ID        string     `json:"id"`
 	State     string     `json:"state"`
 	SpecHash  string     `json:"spec_hash,omitempty"`
+	Tenant    string     `json:"tenant,omitempty"`
 	Workload  string     `json:"workload,omitempty"`
 	Predictor string     `json:"predictor,omitempty"`
 	CacheHit  bool       `json:"cache_hit,omitempty"`

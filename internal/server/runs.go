@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+)
+
+// RunView is one warehouse record rendered by GET /v1/runs: the
+// retained result plus its attribution and trace linkage. Unlike the
+// job listing (bounded, forgets old jobs), the warehouse retains every
+// finished spec hash for the life of the data directory.
+type RunView struct {
+	SpecHash  string     `json:"spec_hash"`
+	Tenant    string     `json:"tenant,omitempty"`
+	Workload  string     `json:"workload,omitempty"`
+	Predictor string     `json:"predictor,omitempty"`
+	TraceID   string     `json:"trace_id,omitempty"`
+	Time      string     `json:"time"`
+	Result    *RunResult `json:"result,omitempty"`
+}
+
+// RunList is the response of GET /v1/runs.
+type RunList struct {
+	Runs  []RunView `json:"runs"`
+	Total int       `json:"total"`
+}
+
+// RunDiff is the response of GET /v1/runs/diff: the two results and
+// the headline metric deltas (B minus A).
+type RunDiff struct {
+	A     RunView   `json:"a"`
+	B     RunView   `json:"b"`
+	Delta DiffDelta `json:"delta"`
+}
+
+// DiffDelta holds B-minus-A deltas of the comparable result metrics.
+type DiffDelta struct {
+	SpeedupPct  float64 `json:"speedup_pct"`
+	IPC         float64 `json:"ipc"`
+	CoveragePct float64 `json:"coverage_pct"`
+	Accuracy    float64 `json:"accuracy"`
+	Cycles      int64   `json:"cycles"`
+}
+
+// warehouse returns the result warehouse, or nil with a rendered error
+// when the daemon runs without a data directory.
+func (s *Server) warehouse(w http.ResponseWriter) *store.Warehouse {
+	if s.st == nil {
+		writeError(w, http.StatusNotFound, "no result warehouse: daemon started without -data-dir")
+		return nil
+	}
+	return s.st.Warehouse()
+}
+
+func newRunView(rec store.RunRecord) RunView {
+	v := RunView{
+		SpecHash:  rec.SpecHash,
+		Tenant:    rec.Tenant,
+		Workload:  rec.Workload,
+		Predictor: rec.Predictor,
+		TraceID:   rec.TraceID,
+		Time:      rec.Time.Format(time.RFC3339),
+	}
+	var res RunResult
+	if err := json.Unmarshal(rec.Result, &res); err == nil {
+		v.Result = &res
+	}
+	return v
+}
+
+// handleListRuns implements GET /v1/runs: the warehouse listing, most
+// recent first, filterable by ?spec_hash=, ?tenant=, ?workload=,
+// ?predictor=, and bounded by ?limit= (default 50, max 500).
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	wh := s.warehouse(w)
+	if wh == nil {
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 500 {
+			writeError(w, http.StatusBadRequest, "limit must be an integer in [1, 500]")
+			return
+		}
+		limit = n
+	}
+	q := r.URL.Query()
+	recs := wh.List(store.Filter{
+		SpecHash:  q.Get("spec_hash"),
+		Tenant:    q.Get("tenant"),
+		Workload:  q.Get("workload"),
+		Predictor: q.Get("predictor"),
+		Limit:     limit,
+	})
+	list := RunList{Runs: make([]RunView, 0, len(recs)), Total: wh.Len()}
+	for _, rec := range recs {
+		list.Runs = append(list.Runs, newRunView(rec))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleGetRun implements GET /v1/runs/{hash}: one retained result by
+// canonical spec hash.
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	wh := s.warehouse(w)
+	if wh == nil {
+		return
+	}
+	rec, ok := wh.Get(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained run for that spec hash")
+		return
+	}
+	writeJSON(w, http.StatusOK, newRunView(rec))
+}
+
+// handleDiffRuns implements GET /v1/runs/diff?a=HASH&b=HASH: fetch two
+// retained results and report the headline metric deltas (b minus a) —
+// the quickest way to compare two configurations that already ran.
+func (s *Server) handleDiffRuns(w http.ResponseWriter, r *http.Request) {
+	wh := s.warehouse(w)
+	if wh == nil {
+		return
+	}
+	aHash, bHash := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if aHash == "" || bHash == "" {
+		writeError(w, http.StatusBadRequest, "diff needs ?a= and ?b= spec hashes")
+		return
+	}
+	aRec, ok := wh.Get(aHash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained run for spec hash a="+aHash)
+		return
+	}
+	bRec, ok := wh.Get(bHash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained run for spec hash b="+bHash)
+		return
+	}
+	diff := RunDiff{A: newRunView(aRec), B: newRunView(bRec)}
+	if diff.A.Result == nil || diff.B.Result == nil {
+		writeError(w, http.StatusInternalServerError, "retained result payload is unreadable")
+		return
+	}
+	ra, rb := diff.A.Result, diff.B.Result
+	diff.Delta = DiffDelta{
+		SpeedupPct:  rb.SpeedupPct - ra.SpeedupPct,
+		IPC:         rb.IPC - ra.IPC,
+		CoveragePct: rb.CoveragePct - ra.CoveragePct,
+		Accuracy:    rb.Accuracy - ra.Accuracy,
+		Cycles:      int64(rb.Cycles) - int64(ra.Cycles),
+	}
+	writeJSON(w, http.StatusOK, diff)
+}

@@ -11,6 +11,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,8 @@ import (
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -86,6 +89,19 @@ type Config struct {
 	// ProgressPoll is how often GET /v1/jobs/{id}/events samples a
 	// running job's progress slot (default 150ms).
 	ProgressPoll time.Duration
+
+	// DataDir enables durability. When set, accepted jobs are recorded
+	// in a write-ahead log under this directory before the submitter
+	// sees 202, finished results are retained in a warehouse keyed by
+	// canonical spec hash (served at GET /v1/runs), and a restart
+	// replays the log: every accepted-but-unfinished job is re-enqueued.
+	// Empty = in-memory only (the pre-durability behavior).
+	DataDir string
+
+	// Tenants is the tenant registry: API keys, weights, and quotas.
+	// nil = single-tenant mode (no authentication; one default tenant
+	// owns the whole queue).
+	Tenants *tenant.Registry
 }
 
 // Validate rejects configurations the server cannot honor. New calls
@@ -150,6 +166,7 @@ type job struct {
 	label     string
 	timeoutMS int64
 	key       string
+	tenant    string
 
 	// parent is the submitter's span context, captured from the submit
 	// request's traceparent header; the job span joins that trace.
@@ -216,6 +233,7 @@ func (j *job) status() JobStatus {
 		ID:       j.id,
 		State:    j.state,
 		SpecHash: j.key,
+		Tenant:   j.tenant,
 		Error:    j.errMsg,
 		Result:   j.result,
 		CacheHit: j.cacheHit,
@@ -247,6 +265,7 @@ func (j *job) summary() JobSummary {
 		ID:        j.id,
 		State:     j.state,
 		SpecHash:  j.key,
+		Tenant:    j.tenant,
 		Workload:  j.sim.Workload.Name,
 		Predictor: j.label,
 		CacheHit:  j.cacheHit,
@@ -281,16 +300,25 @@ type Server struct {
 	lifeCtx  context.Context
 	lifeStop context.CancelFunc
 
-	queue     chan *job
+	// sched replaces the old global FIFO channel: a weighted fair
+	// queueing scheduler over per-tenant queues. Workers block in
+	// Dequeue; Shutdown closes it.
+	sched     *tenant.WFQ
+	tenants   *tenant.Registry
 	wg        sync.WaitGroup
 	accepting atomic.Bool
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // finished-job retention FIFO
-	nextID   uint64
-	simCtxs  map[simKey]*expt.Context
-	queueLen int
+	// st is the durable store (nil without DataDir). crashed is a test
+	// hook: once set, no further WAL or warehouse writes happen, so a
+	// subsequent Shutdown leaves the store exactly as a SIGKILL would.
+	st      *store.Store
+	crashed atomic.Bool
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // finished-job retention FIFO
+	nextID  uint64
+	simCtxs map[simKey]*expt.Context
 
 	cache *ResultCache
 
@@ -310,15 +338,30 @@ type Server struct {
 	mInflight   *obs.Gauge
 	mJobDur     *obs.Histogram
 	mSimInsts   *obs.Counter
+	mThrottled  *obs.Counter
+	mAuthFailed *obs.Counter
+
+	// Per-tenant counters, keyed by tenant name (registry is immutable,
+	// so the maps are built once in New and read without locking).
+	mTenantDispatched map[string]*obs.Counter
+	mTenantAccepted   map[string]*obs.Counter
+	mTenantRejected   map[string]*obs.Counter
+	mTenantSimInsts   map[string]*obs.Counter
 }
 
 // New builds a server from cfg, rejecting invalid configurations. Call
-// Start before serving requests.
+// Start before serving requests. With DataDir set, New also opens the
+// WAL, replays it, and re-enqueues every job that was accepted but not
+// finished when the previous process died.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = tenant.Single()
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:     cfg,
@@ -326,7 +369,8 @@ func New(cfg Config) (*Server, error) {
 		reg:     reg,
 		tracer:  otrace.NewRecorder(cfg.ServiceName, 0),
 		mux:     http.NewServeMux(),
-		queue:   make(chan *job, cfg.QueueDepth),
+		sched:   tenant.NewWFQ(),
+		tenants: tenants,
 		jobs:    make(map[string]*job),
 		simCtxs: make(map[simKey]*expt.Context),
 		cache:   NewResultCache(cfg.CacheSize),
@@ -342,6 +386,24 @@ func New(cfg Config) (*Server, error) {
 		mInflight:   reg.Gauge("lvpd_jobs_inflight", "Jobs currently simulating."),
 		mJobDur:     reg.Histogram("lvpd_job_duration_seconds", "Wall time from dequeue to completion.", nil),
 		mSimInsts:   reg.Counter("lvpd_sim_instructions_total", "Instructions simulated (rate gives sim instructions/sec)."),
+		mThrottled:  reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "throttled"),
+		mAuthFailed: reg.Counter("lvpd_auth_failures_total", "Requests rejected for a missing or unknown API key."),
+
+		mTenantDispatched: make(map[string]*obs.Counter),
+		mTenantAccepted:   make(map[string]*obs.Counter),
+		mTenantRejected:   make(map[string]*obs.Counter),
+		mTenantSimInsts:   make(map[string]*obs.Counter),
+	}
+	for _, tn := range tenants.Tenants() {
+		name := tn.Name
+		s.mTenantAccepted[name] = reg.Counter("lvpd_tenant_jobs_total", "Per-tenant jobs by state.", "tenant", name, "state", "accepted")
+		s.mTenantRejected[name] = reg.Counter("lvpd_tenant_jobs_total", "Per-tenant jobs by state.", "tenant", name, "state", "rejected")
+		s.mTenantDispatched[name] = reg.Counter("lvpd_tenant_jobs_total", "Per-tenant jobs by state.", "tenant", name, "state", "dispatched")
+		s.mTenantSimInsts[name] = reg.Counter("lvpd_tenant_sim_instructions_total", "Instructions simulated on behalf of the tenant.", "tenant", name)
+		reg.GaugeFunc("lvpd_tenant_queue_depth",
+			"Accepted jobs waiting for a worker, per tenant.",
+			func() float64 { return float64(s.sched.TenantLen(name)) },
+			"tenant", name)
 	}
 	// Derived throughput: simulated instructions per wall-clock second
 	// spent simulating, in millions. Computed at scrape time from the
@@ -358,6 +420,17 @@ func New(cfg Config) (*Server, error) {
 		})
 	s.lifeCtx, s.lifeStop = context.WithCancel(context.Background())
 	s.routes()
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		if err := s.replay(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -368,18 +441,25 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // that merge worker traces into their own).
 func (s *Server) Tracer() *otrace.Recorder { return s.tracer }
 
-// Start launches the worker pool.
+// Start launches the worker pool. Workers pull from the WFQ scheduler,
+// which hands out the queued job with the smallest virtual finish tag —
+// tenants with work queued are served in proportion to their weights.
 func (s *Server) Start() {
 	s.accepting.Store(true)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
-				s.mu.Lock()
-				s.queueLen--
-				s.mu.Unlock()
+			for {
+				p, ok := s.sched.Dequeue()
+				if !ok {
+					return
+				}
+				j := p.(*job)
 				s.mQueueDepth.Add(-1)
+				if c := s.mTenantDispatched[j.tenant]; c != nil {
+					c.Inc()
+				}
 				s.runJob(j)
 			}
 		}()
@@ -388,35 +468,87 @@ func (s *Server) Start() {
 
 // Shutdown drains the service: no new submissions are accepted, queued
 // and running jobs are given until ctx's deadline to finish, then all
-// remaining simulations are cancelled. Blocks until the workers exit.
+// remaining simulations are cancelled. Blocks until the workers exit,
+// then closes the durable store (unless a simulated crash froze it).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.accepting.Store(false)
-	s.mu.Lock()
-	close(s.queue)
-	s.mu.Unlock()
+	s.sched.Close()
 
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.log.Warn("shutdown deadline reached; cancelling in-flight jobs")
 		s.lifeStop()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.st != nil && !s.crashed.Load() {
+		if cerr := s.st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
-// Handler returns the HTTP handler tree with request logging and trace
-// propagation applied. The trace middleware is outermost so a submit
-// request's traceparent header is on the context before any handler
-// (or log line) runs.
+// Handler returns the HTTP handler tree with request logging, trace
+// propagation, and tenant authentication applied. The trace middleware
+// is outermost so a submit request's traceparent header is on the
+// context before any handler (or log line) runs; auth is innermost so
+// failures still show up in the request log.
 func (s *Server) Handler() http.Handler {
-	return s.tracer.Middleware(s.logMiddleware(s.mux))
+	return s.tracer.Middleware(s.logMiddleware(s.authMiddleware(s.mux)))
+}
+
+// authMiddleware resolves the request's tenant and stores it in the
+// context. Only the /v1/ API surface requires a key; health, metrics,
+// and debug endpoints stay open (they carry no tenant data and probes
+// have no credentials). In single-tenant mode every request maps to
+// the default tenant. A Proxy-flagged tenant (the coordinator's worker
+// credential) may attribute its work to another tenant via the
+// X-Lvpd-Tenant header.
+func (s *Server) authMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := tenant.KeyFromAuth(r.Header.Get("Authorization"), r.Header.Get("X-API-Key"))
+		tn, ok := s.tenants.Authenticate(key)
+		if !ok {
+			s.mAuthFailed.Inc()
+			writeError(w, http.StatusUnauthorized, "missing or unknown API key")
+			return
+		}
+		if name := r.Header.Get("X-Lvpd-Tenant"); name != "" && name != tn.Name {
+			if !tn.Proxy {
+				writeError(w, http.StatusForbidden, "tenant is not allowed to attribute work to others")
+				return
+			}
+			attributed, ok := s.tenants.ByName(name)
+			if !ok {
+				writeError(w, http.StatusForbidden, "unknown tenant in X-Lvpd-Tenant")
+				return
+			}
+			tn = attributed
+		}
+		next.ServeHTTP(w, r.WithContext(tenant.NewContext(r.Context(), tn)))
+	})
+}
+
+// requestTenant resolves the tenant the auth middleware attached;
+// requests that bypass Handler (tests hitting s.mux directly) fall
+// back to the default tenant.
+func (s *Server) requestTenant(r *http.Request) *tenant.Tenant {
+	if tn := tenant.FromContext(r.Context()); tn != nil {
+		return tn
+	}
+	return s.tenants.Default()
 }
 
 func (s *Server) routes() {
@@ -426,6 +558,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /v1/runs/diff", s.handleDiffRuns)
+	s.mux.HandleFunc("GET /v1/runs/{hash}", s.handleGetRun)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -520,13 +655,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, code := s.admit(sim, req.Label(sim), req.TimeoutMS, otrace.ContextSpanContext(r.Context()))
+	tn := s.requestTenant(r)
+	j, code, retryAfter := s.admit(tn, sim, req.Label(sim), req.TimeoutMS, otrace.ContextSpanContext(r.Context()))
 	switch code {
 	case http.StatusOK, http.StatusAccepted:
 		writeJSON(w, code, j.status())
 	case http.StatusTooManyRequests:
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, code, "job queue full; retry later")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeError(w, code, "tenant queue share or instruction budget exhausted; retry later")
+	case http.StatusInternalServerError:
+		writeError(w, code, "durable store write failed")
 	default:
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 	}
@@ -550,13 +688,22 @@ func (s *Server) noteJobDuration(secs float64) {
 }
 
 // retryAfterSeconds estimates how long a shed client should wait for
-// queue space: the backlog ahead of it divided by the recent drain
-// rate (workers draining jobs of EWMA duration each).
-func (s *Server) retryAfterSeconds() int {
-	s.mu.Lock()
-	depth := s.queueLen
-	s.mu.Unlock()
-	return retryAfterEstimate(depth, s.cfg.Workers, math.Float64frombits(s.drainEWMA.Load()))
+// queue space: the tenant's own backlog divided by the drain rate of
+// the worker share its weight entitles it to (workers draining jobs of
+// EWMA duration each). Single jobs and sweep points shed by a full
+// queue both return this same estimate.
+func (s *Server) retryAfterSeconds(tn *tenant.Tenant) int {
+	depth := s.sched.TenantLen(tn.Name)
+	workers := s.cfg.Workers
+	if !s.tenants.Open() {
+		// The tenant only contends for its weight share of the pool.
+		share := float64(tn.EffectiveWeight()) / float64(s.tenants.TotalWeight())
+		workers = int(float64(s.cfg.Workers)*share + 0.5)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return retryAfterEstimate(depth, workers, math.Float64frombits(s.drainEWMA.Load()))
 }
 
 // retryAfterEstimate is the pure Retry-After formula: ceil((depth+1) ×
@@ -581,51 +728,102 @@ func retryAfterEstimate(depth, workers int, ewmaSecs float64) int {
 }
 
 // admit registers a job for a resolved spec and routes it: answered
-// from the result cache (StatusOK), enqueued (StatusAccepted), or shed
-// (StatusTooManyRequests / StatusServiceUnavailable, with the job
-// unregistered again). Shared by POST /v1/jobs and POST /v1/sweeps.
-// parent is the submitter's span context (zero when the request
-// carried no traceparent); the job's spans join its trace.
-func (s *Server) admit(sim spec.Sim, label string, timeoutMS int64, parent otrace.SpanContext) (*job, int) {
-	j := s.newJob(sim, label, timeoutMS, parent)
+// from the result cache or warehouse (StatusOK), enqueued
+// (StatusAccepted), or shed (StatusTooManyRequests with a Retry-After
+// hint / StatusServiceUnavailable / StatusInternalServerError, with
+// the job unregistered again). Shared by POST /v1/jobs and POST
+// /v1/sweeps. parent is the submitter's span context (zero when the
+// request carried no traceparent); the job's spans join its trace.
+func (s *Server) admit(tn *tenant.Tenant, sim spec.Sim, label string, timeoutMS int64, parent otrace.SpanContext) (*job, int, int) {
+	j := s.newJob(tn, sim, label, timeoutMS, parent)
 
 	// Cache: equivalent requests are answered without re-simulating.
-	if res, ok := s.cache.Get(j.key); ok {
+	if res, ok := s.lookupResult(j.key); ok {
 		s.mCacheHits.Inc()
 		j.mu.Lock()
 		j.cacheHit = true
 		j.mu.Unlock()
 		j.transition(StateDone, "", &res)
 		s.mDone.Inc()
-		return j, http.StatusOK
+		return j, http.StatusOK, 0
 	}
 	s.mCacheMiss.Inc()
 
-	// Enqueue under the server lock so Shutdown's close(queue) cannot
-	// race the send.
-	s.mu.Lock()
-	if !s.accepting.Load() {
-		s.mu.Unlock()
+	// Admission budget: a tenant over its insts/sec rate is shed before
+	// anything is queued or persisted.
+	if ra := s.tenants.ChargeInsts(tn, sim.Workload.Insts, time.Now()); ra > 0 {
 		s.dropJob(j)
-		return j, http.StatusServiceUnavailable
+		s.mThrottled.Inc()
+		if c := s.mTenantRejected[tn.Name]; c != nil {
+			c.Inc()
+		}
+		return j, http.StatusTooManyRequests, ra
 	}
-	select {
-	case s.queue <- j:
-		s.queueLen++
-		s.mu.Unlock()
-		s.mQueueDepth.Add(1)
-		s.mAccepted.Inc()
-		return j, http.StatusAccepted
-	default:
-		s.mu.Unlock()
+
+	if !s.accepting.Load() {
+		s.dropJob(j)
+		return j, http.StatusServiceUnavailable, 0
+	}
+	err := s.sched.Enqueue(tn, j, float64(sim.Workload.Insts), s.tenants.QueueCap(tn, s.cfg.QueueDepth))
+	switch {
+	case errors.Is(err, tenant.ErrTenantFull):
 		s.dropJob(j)
 		s.mRejected.Inc()
-		return j, http.StatusTooManyRequests
+		if c := s.mTenantRejected[tn.Name]; c != nil {
+			c.Inc()
+		}
+		return j, http.StatusTooManyRequests, s.retryAfterSeconds(tn)
+	case err != nil:
+		s.dropJob(j)
+		return j, http.StatusServiceUnavailable, 0
 	}
+
+	s.mQueueDepth.Add(1)
+
+	// Durability: the accepted event must be on disk before the
+	// submitter sees 202 — an accepted job survives any crash after
+	// this point. On a write failure the job is pulled back out of the
+	// queue (unless a worker already grabbed it, in which case it runs
+	// with a cancelled context and settles as canceled).
+	if perr := s.persistAccepted(j); perr != nil {
+		s.log.Error("wal append failed; shedding job", "id", j.id, "err", perr)
+		if s.sched.Remove(func(p any) bool { return p == j }) {
+			s.mQueueDepth.Add(-1)
+		}
+		s.dropJob(j)
+		return j, http.StatusInternalServerError, 0
+	}
+	s.mAccepted.Inc()
+	if c := s.mTenantAccepted[tn.Name]; c != nil {
+		c.Inc()
+	}
+	return j, http.StatusAccepted, 0
+}
+
+// lookupResult consults the in-memory LRU, then the warehouse (which
+// retains every finished run beyond the LRU's capacity), promoting
+// warehouse hits back into the LRU.
+func (s *Server) lookupResult(key string) (RunResult, bool) {
+	if res, ok := s.cache.Get(key); ok {
+		return res, true
+	}
+	if s.st == nil {
+		return RunResult{}, false
+	}
+	rec, ok := s.st.Warehouse().Get(key)
+	if !ok {
+		return RunResult{}, false
+	}
+	var res RunResult
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return RunResult{}, false
+	}
+	s.cache.Put(key, res)
+	return res, true
 }
 
 // newJob registers a fresh queued job.
-func (s *Server) newJob(sim spec.Sim, label string, timeoutMS int64, parent otrace.SpanContext) *job {
+func (s *Server) newJob(tn *tenant.Tenant, sim spec.Sim, label string, timeoutMS int64, parent otrace.SpanContext) *job {
 	ctx, cancel := context.WithCancel(s.lifeCtx)
 	s.mu.Lock()
 	s.nextID++
@@ -634,6 +832,7 @@ func (s *Server) newJob(sim spec.Sim, label string, timeoutMS int64, parent otra
 		sim:       sim,
 		label:     label,
 		timeoutMS: timeoutMS,
+		tenant:    tn.Name,
 		parent:    parent,
 		key:       sim.CanonicalHash(),
 		ctx:       ctx,
@@ -675,9 +874,18 @@ func (s *Server) dropJob(j *job) {
 // retained jobs, most recent first, as compact summaries (state + spec
 // hash, no result payloads). Coordinators and operators use it to
 // inspect a worker's backlog; ?limit= (default 50, max 500) and
-// ?offset= page through it.
+// ?offset= page through it, ?state= and ?tenant= filter it (offset
+// and total apply to the filtered listing).
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	limit, offset := 50, 0
+	stateFilter := r.URL.Query().Get("state")
+	switch stateFilter {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateRejected:
+	default:
+		writeError(w, http.StatusBadRequest, "state must be one of queued, running, done, failed, canceled, rejected")
+		return
+	}
+	tenantFilter := r.URL.Query().Get("tenant")
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 || n > 500 {
@@ -700,9 +908,22 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	// ever queued; walk it backwards, skipping the gaps.
 	live := make([]*job, 0, len(s.jobs))
 	for i := len(s.order) - 1; i >= 0; i-- {
-		if j := s.jobs[s.order[i]]; j != nil {
-			live = append(live, j)
+		j := s.jobs[s.order[i]]
+		if j == nil {
+			continue
 		}
+		if tenantFilter != "" && j.tenant != tenantFilter {
+			continue
+		}
+		if stateFilter != "" {
+			j.mu.Lock()
+			match := j.state == stateFilter
+			j.mu.Unlock()
+			if !match {
+				continue
+			}
+		}
+		live = append(live, j)
 	}
 	list := JobList{Total: len(live), Offset: offset, Limit: limit, Jobs: []JobSummary{}}
 	for i := offset; i < len(live) && i < offset+limit; i++ {
@@ -736,9 +957,11 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j.cancel()
 	// A still-queued job can be settled immediately; a running one is
-	// settled by its worker.
+	// settled by its worker. Either way the cancellation is durable:
+	// a canceled job must not resurrect on restart.
 	if j.transition(StateCanceled, "canceled by client", nil) {
 		s.mCanceled.Inc()
+		s.persistTerminal(j, StateCanceled, "canceled by client", nil)
 	}
 	writeJSON(w, http.StatusOK, j.status())
 }
@@ -748,12 +971,9 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	depth := s.queueLen
-	s.mu.Unlock()
 	h := Health{
 		Status:       "ok",
-		QueueDepth:   depth,
+		QueueDepth:   s.sched.Len(),
 		JobsInflight: s.mInflight.Value(),
 		CacheEntries: s.cache.Len(),
 	}
@@ -855,6 +1075,11 @@ func (s *Server) runJob(j *job) {
 		s.mSimInsts.Add(base.Instructions)
 		simInsts += base.Instructions
 	}
+	defer func() {
+		if c := s.mTenantSimInsts[j.tenant]; c != nil && simInsts > 0 {
+			c.Add(simInsts)
+		}
+	}()
 
 	var res RunResult
 	if j.sim.Predictor.Family == spec.FamilyNone {
@@ -865,6 +1090,7 @@ func (s *Server) runJob(j *job) {
 			// Unreachable: the spec was validated at submit.
 			if j.transition(StateFailed, err.Error(), nil) {
 				s.mFailed.Inc()
+				s.persistTerminal(j, StateFailed, err.Error(), nil)
 			}
 			return
 		}
@@ -896,18 +1122,24 @@ func (s *Server) runJob(j *job) {
 	s.cache.Put(j.key, res)
 	if j.transition(StateDone, "", &res) {
 		s.mDone.Inc()
+		s.persistTerminal(j, StateDone, "", &res)
 		s.log.InfoContext(ctx, "job done", "id", j.id, "workload", j.sim.Workload.Name,
 			"predictor", j.label, "spec", j.key, "speedup_pct", res.SpeedupPct,
 			"dur_ms", time.Since(start).Milliseconds())
 	}
 }
 
-// settleAborted records why a job's simulation stopped early.
+// settleAborted records why a job's simulation stopped early. A
+// deadline abort is terminal (persisted, never replayed); a
+// cancellation during shutdown is NOT persisted unless the client
+// asked for it — the accepted event stays unfinished in the WAL and
+// the job is re-enqueued on restart.
 func (s *Server) settleAborted(j *job, ctx context.Context) {
 	switch {
 	case errors.Is(ctx.Err(), context.DeadlineExceeded):
 		if j.transition(StateFailed, "job deadline exceeded", nil) {
 			s.mFailed.Inc()
+			s.persistTerminal(j, StateFailed, "job deadline exceeded", nil)
 		}
 	default:
 		if j.transition(StateCanceled, "canceled", nil) {

@@ -512,21 +512,28 @@ func TestRetryAfterEstimate(t *testing.T) {
 
 // TestRetryAfterTracksBacklog proves the 429 hint is derived, not
 // hardcoded: after slow jobs raise the duration EWMA, a saturated
-// queue's Retry-After must exceed the old constant 1.
+// queue's Retry-After must exceed the old constant 1. The server is
+// built but not Started so the scheduled dummies stay queued.
 func TestRetryAfterTracksBacklog(t *testing.T) {
-	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	s, err := New(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := s.tenants.Default()
 	// Pretend eight 10-second jobs are queued behind a slow history.
 	s.noteJobDuration(10.0)
-	s.mu.Lock()
-	s.queueLen = 8
-	s.mu.Unlock()
-	if got := s.retryAfterSeconds(); got != 60 {
+	for i := 0; i < 8; i++ {
+		if err := s.sched.Enqueue(tn, i, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.retryAfterSeconds(tn); got != 60 {
 		t.Errorf("Retry-After = %d, want 60 (9 jobs x 10s, one worker, clamped)", got)
 	}
-	s.mu.Lock()
-	s.queueLen = 2
-	s.mu.Unlock()
-	if got := s.retryAfterSeconds(); got != 30 {
+	for i := 0; i < 6; i++ {
+		s.sched.Dequeue()
+	}
+	if got := s.retryAfterSeconds(tn); got != 30 {
 		t.Errorf("Retry-After = %d, want 30 (3 jobs x 10s, one worker)", got)
 	}
 }

@@ -173,7 +173,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	points, err := req.Expand(s.specDefaults(), s.cfg.MaxSweepPoints)
+	tn := s.requestTenant(r)
+	maxPoints := s.cfg.MaxSweepPoints
+	if tn.MaxSweepPoints > 0 && tn.MaxSweepPoints < maxPoints {
+		maxPoints = tn.MaxSweepPoints
+	}
+	points, err := req.Expand(s.specDefaults(), maxPoints)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -181,8 +186,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	resp := SweepResponse{Count: len(points), Jobs: make([]JobStatus, len(points))}
 	code := http.StatusOK
+	// Shed points report the same EWMA-drain-derived Retry-After a
+	// single-job 429 would: the largest hint among the shed points (the
+	// moment the whole backlog ahead of the sweep has drained).
+	retryAfter := 0
 	for i, p := range points {
-		j, c := s.admit(p.Sim, p.Label, req.Template.TimeoutMS, otrace.ContextSpanContext(r.Context()))
+		j, c, ra := s.admit(tn, p.Sim, p.Label, req.Template.TimeoutMS, otrace.ContextSpanContext(r.Context()))
 		switch c {
 		case http.StatusOK:
 			resp.Cached++
@@ -193,18 +202,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				code = http.StatusAccepted
 			}
 			resp.Jobs[i] = j.status()
-		default: // queue full or shutting down: the point was shed
+		default: // queue full, over budget, or shutting down: the point was shed
 			resp.Rejected++
 			code = http.StatusTooManyRequests
+			if ra == 0 {
+				ra = s.retryAfterSeconds(tn)
+			}
+			if ra > retryAfter {
+				retryAfter = ra
+			}
 			resp.Jobs[i] = JobStatus{
 				State:    StateRejected,
 				SpecHash: p.Hash,
+				Tenant:   tn.Name,
 				Error:    "job queue full; resubmit this point later",
 			}
 		}
 	}
 	if code == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, code, resp)
 }

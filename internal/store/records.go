@@ -1,0 +1,238 @@
+package store
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// Event types. Job events cover the daemon's work queue; sweep events
+// cover the cluster coordinator's fan-out bookkeeping. Both are keyed
+// by the canonical spec hash, the system-wide idempotency key.
+const (
+	EvJobAccepted  = "job_accepted"
+	EvJobDone      = "job_done"
+	EvJobFailed    = "job_failed"
+	EvJobCanceled  = "job_canceled"
+	EvSweepStarted = "sweep_started"
+	EvPointDone    = "point_done"
+	EvPointFailed  = "point_failed"
+	EvSweepDone    = "sweep_done"
+)
+
+// Event is one WAL record. Exactly one of Job / Sweep is set,
+// according to Type.
+type Event struct {
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+
+	Job   *JobEvent   `json:"job,omitempty"`
+	Sweep *SweepEvent `json:"sweep,omitempty"`
+}
+
+// JobEvent carries a job lifecycle transition. Accept events carry the
+// full canonical spec (so replay can re-enqueue without any other
+// source of truth); terminal events carry only the identifiers.
+type JobEvent struct {
+	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant,omitempty"`
+	SpecHash  string          `json:"spec_hash"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Label     string          `json:"label,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// SweepEvent carries a coordinator sweep transition. The started event
+// carries every unique point; point events carry the settled hash.
+type SweepEvent struct {
+	ID     string       `json:"id"`
+	Tenant string       `json:"tenant,omitempty"`
+	Total  int          `json:"total,omitempty"`
+	Points []SweepPoint `json:"points,omitempty"`
+	Hash   string       `json:"hash,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// SweepPoint is one unique point recorded with a sweep's start event.
+type SweepPoint struct {
+	Hash  string          `json:"hash"`
+	Spec  json.RawMessage `json:"spec"`
+	Label string          `json:"label,omitempty"`
+	Count int             `json:"count,omitempty"`
+}
+
+// PendingJob is an accepted job the log holds no terminal event for:
+// work a restarted daemon owes its clients.
+type PendingJob struct {
+	JobEvent
+	Accepted time.Time
+}
+
+// PendingSweep is a started sweep the log holds no sweep_done for,
+// with the per-point settlement state folded in.
+type PendingSweep struct {
+	SweepEvent
+	Started time.Time
+
+	// Done maps settled point hashes to "" (done) or the failure
+	// message (failed). Points absent from the map are still owed.
+	Done map[string]string
+}
+
+// State is the fold of a replayed log: everything a restarted process
+// must pick back up, plus the ID high-water marks so fresh IDs do not
+// collide with replayed ones.
+type State struct {
+	PendingJobs   []PendingJob
+	PendingSweeps []PendingSweep
+	MaxJobID      uint64
+	MaxSweepID    uint64
+}
+
+// Fold reduces a replayed event stream to the live State. Duplicated
+// events (possible after an interrupted compaction) and terminal events
+// for unknown IDs (possible after a compaction dropped the accept) are
+// tolerated: the fold is idempotent and last-writer-wins.
+func Fold(events []Event) State {
+	jobs := make(map[string]*PendingJob)
+	var jobOrder []string
+	sweeps := make(map[string]*PendingSweep)
+	var sweepOrder []string
+	var st State
+	for _, ev := range events {
+		switch ev.Type {
+		case EvJobAccepted:
+			if ev.Job == nil {
+				continue
+			}
+			if n := trailingID(ev.Job.ID); n > st.MaxJobID {
+				st.MaxJobID = n
+			}
+			if _, ok := jobs[ev.Job.ID]; !ok {
+				jobOrder = append(jobOrder, ev.Job.ID)
+			}
+			jobs[ev.Job.ID] = &PendingJob{JobEvent: *ev.Job, Accepted: ev.Time}
+		case EvJobDone, EvJobFailed, EvJobCanceled:
+			if ev.Job == nil {
+				continue
+			}
+			if n := trailingID(ev.Job.ID); n > st.MaxJobID {
+				st.MaxJobID = n
+			}
+			delete(jobs, ev.Job.ID)
+		case EvSweepStarted:
+			if ev.Sweep == nil {
+				continue
+			}
+			if n := trailingID(ev.Sweep.ID); n > st.MaxSweepID {
+				st.MaxSweepID = n
+			}
+			if _, ok := sweeps[ev.Sweep.ID]; !ok {
+				sweepOrder = append(sweepOrder, ev.Sweep.ID)
+			}
+			sweeps[ev.Sweep.ID] = &PendingSweep{
+				SweepEvent: *ev.Sweep,
+				Started:    ev.Time,
+				Done:       make(map[string]string),
+			}
+		case EvPointDone:
+			if ev.Sweep == nil {
+				continue
+			}
+			if sw := sweeps[ev.Sweep.ID]; sw != nil {
+				sw.Done[ev.Sweep.Hash] = ""
+			}
+		case EvPointFailed:
+			if ev.Sweep == nil {
+				continue
+			}
+			if sw := sweeps[ev.Sweep.ID]; sw != nil {
+				msg := ev.Sweep.Error
+				if msg == "" {
+					msg = "failed"
+				}
+				sw.Done[ev.Sweep.Hash] = msg
+			}
+		case EvSweepDone:
+			if ev.Sweep == nil {
+				continue
+			}
+			if n := trailingID(ev.Sweep.ID); n > st.MaxSweepID {
+				st.MaxSweepID = n
+			}
+			delete(sweeps, ev.Sweep.ID)
+		}
+	}
+	for _, id := range jobOrder {
+		if j := jobs[id]; j != nil {
+			st.PendingJobs = append(st.PendingJobs, *j)
+		}
+	}
+	for _, id := range sweepOrder {
+		if sw := sweeps[id]; sw != nil {
+			st.PendingSweeps = append(st.PendingSweeps, *sw)
+		}
+	}
+	return st
+}
+
+// Live re-encodes a folded State as the minimal event stream that folds
+// back to it — the input to WAL.Compact.
+func (st State) Live() []Event {
+	var live []Event
+	for _, j := range st.PendingJobs {
+		je := j.JobEvent
+		live = append(live, Event{Type: EvJobAccepted, Time: j.Accepted, Job: &je})
+	}
+	for _, sw := range st.PendingSweeps {
+		se := sw.SweepEvent
+		live = append(live, Event{Type: EvSweepStarted, Time: sw.Started, Sweep: &se})
+		for _, hash := range sortedKeys(sw.Done) {
+			msg := sw.Done[hash]
+			typ := EvPointDone
+			if msg != "" {
+				typ = EvPointFailed
+			}
+			live = append(live, Event{Type: typ, Time: sw.Started,
+				Sweep: &SweepEvent{ID: sw.ID, Hash: hash, Error: msg}})
+		}
+	}
+	return live
+}
+
+// sortedKeys returns m's keys in ascending order so compaction output
+// is deterministic.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// trailingID extracts the numeric suffix of IDs like "j-000042" or
+// "s-0007"; 0 when there is none.
+func trailingID(id string) uint64 {
+	var n uint64
+	seen := false
+	for i := len(id) - 1; i >= 0; i-- {
+		c := id[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		seen = true
+	}
+	if !seen {
+		return 0
+	}
+	start := len(id)
+	for start > 0 && id[start-1] >= '0' && id[start-1] <= '9' {
+		start--
+	}
+	for _, c := range id[start:] {
+		n = n*10 + uint64(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunRecord is one finished simulation retained by the warehouse: the
+// canonical spec hash it is interchangeable under, attribution and
+// trace linkage, and the result payload. The payload is kept as raw
+// JSON so the store does not depend on the server's response schema —
+// callers that need fields (diffing, filtering beyond the indexed
+// columns) decode it themselves.
+type RunRecord struct {
+	SpecHash  string          `json:"spec_hash"`
+	Tenant    string          `json:"tenant,omitempty"`
+	Workload  string          `json:"workload,omitempty"`
+	Predictor string          `json:"predictor,omitempty"`
+	TraceID   string          `json:"trace_id,omitempty"`
+	Time      time.Time       `json:"time"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// Warehouse retains finished run results beyond any in-memory cache,
+// keyed by canonical spec hash, backed by a CRC-framed append-only
+// file. One record per hash is live (the latest); opening compacts the
+// file when superseded records dominate. Safe for concurrent use.
+type Warehouse struct {
+	mu    sync.Mutex
+	f     *os.File
+	bw    *bufio.Writer
+	path  string
+	index map[string]RunRecord
+	order []string // insertion order of live hashes, oldest first
+	dead  int      // superseded records currently on disk
+}
+
+const warehouseFile = "warehouse.log"
+
+// OpenWarehouse opens (creating if needed) the warehouse in dir and
+// loads its index. A torn tail record from a crashed append is
+// truncated away. When more than half the on-disk records are
+// superseded duplicates, the file is rewritten compacted.
+func OpenWarehouse(dir string) (*Warehouse, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating warehouse dir: %w", err)
+	}
+	path := filepath.Join(dir, warehouseFile)
+	w := &Warehouse{path: path, index: make(map[string]RunRecord)}
+	total, good, err := w.load()
+	if err != nil {
+		return nil, err
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := truncateTo(path, good); err != nil {
+			return nil, err
+		}
+	}
+	if w.dead = total - len(w.index); w.dead > len(w.index) {
+		if err := w.compact(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening warehouse: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	return w, nil
+}
+
+// load scans the file into the index, returning the record count and
+// the offset of the end of the last intact record.
+func (w *Warehouse) load() (total int, good int64, err error) {
+	f, err := os.Open(w.path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: opening warehouse: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64<<10)
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordBytes {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			break
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.SpecHash == "" {
+			break
+		}
+		w.insert(rec)
+		total++
+		good += frameHeader + int64(n)
+	}
+	return total, good, nil
+}
+
+// insert places rec in the index, tracking insertion order.
+func (w *Warehouse) insert(rec RunRecord) {
+	if _, ok := w.index[rec.SpecHash]; !ok {
+		w.order = append(w.order, rec.SpecHash)
+	}
+	w.index[rec.SpecHash] = rec
+}
+
+// compact rewrites the file with only the live records. Crash-safe:
+// the rewrite goes to a temp file that is renamed over the original.
+func (w *Warehouse) compact() error {
+	tmp := w.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating warehouse compaction file: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	for _, hash := range w.order {
+		if err := writeFramed(bw, w.index[hash]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: flushing warehouse compaction: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing warehouse compaction: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return fmt.Errorf("store: installing compacted warehouse: %w", err)
+	}
+	w.dead = 0
+	return nil
+}
+
+func writeFramed(bw *bufio.Writer, rec RunRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding warehouse record: %w", err)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: warehouse write: %w", err)
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return fmt.Errorf("store: warehouse write: %w", err)
+	}
+	return nil
+}
+
+// Put stores rec as the live result for its spec hash, durably
+// (flushed and fsynced) before returning. Re-putting a hash supersedes
+// the previous record.
+func (w *Warehouse) Put(rec RunRecord) error {
+	if rec.SpecHash == "" {
+		return fmt.Errorf("store: warehouse record needs a spec hash")
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("store: warehouse is closed")
+	}
+	if _, existed := w.index[rec.SpecHash]; existed {
+		w.dead++
+	}
+	if err := writeFramed(w.bw, rec); err != nil {
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("store: warehouse flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: warehouse fsync: %w", err)
+	}
+	w.insert(rec)
+	return nil
+}
+
+// Get returns the live record for a spec hash.
+func (w *Warehouse) Get(hash string) (RunRecord, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec, ok := w.index[hash]
+	return rec, ok
+}
+
+// Filter selects warehouse records; zero fields match everything.
+type Filter struct {
+	SpecHash  string
+	Tenant    string
+	Workload  string
+	Predictor string
+	Limit     int // 0 = no limit
+}
+
+// List returns matching records, most recently inserted first.
+func (w *Warehouse) List(f Filter) []RunRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []RunRecord
+	for i := len(w.order) - 1; i >= 0; i-- {
+		rec := w.index[w.order[i]]
+		if f.SpecHash != "" && rec.SpecHash != f.SpecHash {
+			continue
+		}
+		if f.Tenant != "" && rec.Tenant != f.Tenant {
+			continue
+		}
+		if f.Workload != "" && rec.Workload != f.Workload {
+			continue
+		}
+		if f.Predictor != "" && rec.Predictor != f.Predictor {
+			continue
+		}
+		out = append(out, rec)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Hashes returns every live spec hash, sorted (for tests and
+// diagnostics).
+func (w *Warehouse) Hashes() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.index))
+	for h := range w.index {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live records.
+func (w *Warehouse) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.index)
+}
+
+// Close flushes and closes the backing file. Further puts fail.
+func (w *Warehouse) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var firstErr error
+	if err := w.bw.Flush(); err != nil {
+		firstErr = err
+	}
+	if err := w.f.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := w.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	w.f = nil
+	return firstErr
+}

@@ -1,0 +1,16 @@
+package tenant
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext attaches the authenticated tenant to a request context.
+func NewContext(ctx context.Context, t *Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the tenant attached by NewContext, or nil.
+func FromContext(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(ctxKey{}).(*Tenant)
+	return t
+}

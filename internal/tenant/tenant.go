@@ -1,0 +1,280 @@
+// Package tenant is the multi-tenant isolation layer of the job
+// platform: API-key authentication, per-tenant quotas (queue share,
+// sweep expansion caps, a simulated-instructions-per-second admission
+// budget), and a weighted fair queueing scheduler that replaces the
+// single global FIFO between the HTTP handlers and the simulation
+// worker pool. One greedy tenant can fill its own queue share and burn
+// its own instruction budget; it cannot push another tenant's dispatch
+// share below that tenant's configured weight.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultName is the tenant every request maps to when the platform
+// runs without a tenants file (single-tenant mode, the pre-platform
+// behavior).
+const DefaultName = "default"
+
+// Tenant is one configured API client of the platform.
+type Tenant struct {
+	// Name identifies the tenant in metrics, job listings, and the WAL.
+	Name string `json:"name"`
+
+	// APIKey authenticates the tenant (Authorization: Bearer <key> or
+	// X-API-Key). Required when loaded from a tenants file.
+	APIKey string `json:"api_key"`
+
+	// Weight is the tenant's fair-queueing weight (default 1). A tenant
+	// with weight 3 gets 3× the dispatch share of a weight-1 tenant
+	// while both have work queued.
+	Weight int `json:"weight,omitempty"`
+
+	// MaxQueued caps the tenant's accepted-but-unstarted jobs. 0
+	// derives the cap from the tenant's weight share of the global
+	// queue depth.
+	MaxQueued int `json:"max_queued,omitempty"`
+
+	// MaxSweepPoints caps one sweep's expansion for this tenant. 0
+	// falls back to the server-wide cap.
+	MaxSweepPoints int `json:"max_sweep_points,omitempty"`
+
+	// InstsPerSec is the tenant's admission budget in simulated
+	// instructions per second (token bucket, burst = 10 seconds of
+	// rate). 0 = unlimited. Submissions beyond the budget are shed with
+	// 429 + Retry-After rather than queued.
+	InstsPerSec int64 `json:"insts_per_sec,omitempty"`
+
+	// Proxy marks a tenant trusted to submit work on behalf of other
+	// tenants (the cluster coordinator's worker credential): requests
+	// it authenticates may carry an X-Lvpd-Tenant header naming the
+	// tenant to attribute the work to.
+	Proxy bool `json:"proxy,omitempty"`
+}
+
+// EffectiveWeight returns the tenant's WFQ weight, defaulting to 1.
+func (t *Tenant) EffectiveWeight() int {
+	if t == nil || t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// Registry resolves API keys to tenants. Immutable after load, so
+// lookups need no locking.
+type Registry struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	list   []*Tenant
+	open   bool // single-tenant mode: no key required
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// Single returns the single-tenant registry used when no tenants file
+// is configured: every request, authenticated or not, is the default
+// tenant with weight 1 and no quotas.
+func Single() *Registry {
+	def := &Tenant{Name: DefaultName, Weight: 1}
+	return &Registry{
+		byKey:   map[string]*Tenant{},
+		byName:  map[string]*Tenant{DefaultName: def},
+		list:    []*Tenant{def},
+		open:    true,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// New builds a registry from an explicit tenant list (for tests and
+// embedding). Validation matches Load.
+func New(tenants []Tenant) (*Registry, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("tenant: registry needs at least one tenant")
+	}
+	r := &Registry{
+		byKey:   make(map[string]*Tenant, len(tenants)),
+		byName:  make(map[string]*Tenant, len(tenants)),
+		buckets: map[string]*bucket{},
+	}
+	for i := range tenants {
+		t := tenants[i]
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenant: tenant %d has no name", i)
+		}
+		if t.APIKey == "" {
+			return nil, fmt.Errorf("tenant: tenant %q has no api_key", t.Name)
+		}
+		if t.Weight < 0 || t.MaxQueued < 0 || t.MaxSweepPoints < 0 || t.InstsPerSec < 0 {
+			return nil, fmt.Errorf("tenant: tenant %q has a negative quota", t.Name)
+		}
+		if _, dup := r.byName[t.Name]; dup {
+			return nil, fmt.Errorf("tenant: duplicate tenant name %q", t.Name)
+		}
+		if _, dup := r.byKey[t.APIKey]; dup {
+			return nil, fmt.Errorf("tenant: tenants %q shares an api_key with an earlier tenant", t.Name)
+		}
+		r.byName[t.Name] = &t
+		r.byKey[t.APIKey] = &t
+		r.list = append(r.list, &t)
+	}
+	return r, nil
+}
+
+// tenantsFile is the on-disk schema of -tenants-file.
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// Load reads a tenants file: {"tenants": [{"name": ..., "api_key":
+// ..., "weight": ..., ...}]}.
+func Load(path string) (*Registry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: reading tenants file: %w", err)
+	}
+	var tf tenantsFile
+	if err := json.Unmarshal(b, &tf); err != nil {
+		return nil, fmt.Errorf("tenant: parsing tenants file %s: %w", path, err)
+	}
+	r, err := New(tf.Tenants)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Open reports whether the registry runs in single-tenant mode (no
+// authentication required).
+func (r *Registry) Open() bool { return r.open }
+
+// Authenticate resolves an API key. In single-tenant mode every key
+// (including none) resolves to the default tenant.
+func (r *Registry) Authenticate(apiKey string) (*Tenant, bool) {
+	if r.open {
+		return r.byName[DefaultName], true
+	}
+	t, ok := r.byKey[apiKey]
+	return t, ok
+}
+
+// ByName resolves a tenant name (for WAL replay and proxy
+// attribution).
+func (r *Registry) ByName(name string) (*Tenant, bool) {
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Default returns the tenant replayed or proxied work falls back to
+// when its recorded tenant no longer exists: the default tenant if
+// configured, else the first tenant.
+func (r *Registry) Default() *Tenant {
+	if t, ok := r.byName[DefaultName]; ok {
+		return t
+	}
+	return r.list[0]
+}
+
+// Tenants lists every tenant, sorted by name.
+func (r *Registry) Tenants() []*Tenant {
+	out := make([]*Tenant, len(r.list))
+	copy(out, r.list)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TotalWeight sums every tenant's effective weight.
+func (r *Registry) TotalWeight() int {
+	sum := 0
+	for _, t := range r.list {
+		sum += t.EffectiveWeight()
+	}
+	return sum
+}
+
+// QueueCap returns the tenant's queued-job cap given the global queue
+// depth: MaxQueued when set, otherwise the tenant's weight share of
+// the global depth (minimum 1). In single-tenant mode the sole tenant
+// owns the whole queue.
+func (r *Registry) QueueCap(t *Tenant, globalDepth int) int {
+	if t.MaxQueued > 0 {
+		return t.MaxQueued
+	}
+	total := r.TotalWeight()
+	if total <= 0 {
+		total = 1
+	}
+	cap := globalDepth * t.EffectiveWeight() / total
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// bucket is a token bucket in simulated instructions.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// instsBurstSeconds sizes a tenant's token bucket: a fresh (or idle)
+// tenant can submit this many seconds of its rate at once before the
+// budget gates it to the steady rate.
+const instsBurstSeconds = 10
+
+// ChargeInsts debits a job's instruction budget against the tenant's
+// insts/sec token bucket. It returns 0 when admitted, or the number of
+// seconds until enough budget accrues (the Retry-After hint) when the
+// tenant is over its rate. Unlimited tenants always admit.
+func (r *Registry) ChargeInsts(t *Tenant, insts uint64, now time.Time) (retryAfter int) {
+	if t == nil || t.InstsPerSec <= 0 {
+		return 0
+	}
+	rate := float64(t.InstsPerSec)
+	burst := rate * instsBurstSeconds
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[t.Name]
+	if !ok {
+		b = &bucket{tokens: burst, last: now}
+		r.buckets[t.Name] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	cost := float64(insts)
+	if b.tokens < cost {
+		deficit := cost - b.tokens
+		secs := int(deficit/rate) + 1
+		if secs > 3600 {
+			secs = 3600
+		}
+		return secs
+	}
+	b.tokens -= cost
+	return 0
+}
+
+// KeyFromAuth extracts the API key from Authorization ("Bearer <key>")
+// or X-API-Key header values; empty when neither is present.
+func KeyFromAuth(authorization, xAPIKey string) string {
+	if xAPIKey != "" {
+		return xAPIKey
+	}
+	const prefix = "Bearer "
+	if strings.HasPrefix(authorization, prefix) {
+		return strings.TrimSpace(authorization[len(prefix):])
+	}
+	return ""
+}

@@ -1,0 +1,335 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoadAndAuthenticate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{
+		"tenants": [
+			{"name": "alice", "api_key": "ka", "weight": 3, "insts_per_sec": 1000000},
+			{"name": "bob", "api_key": "kb"}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Open() {
+		t.Fatal("loaded registry should require keys")
+	}
+	if tn, ok := r.Authenticate("ka"); !ok || tn.Name != "alice" {
+		t.Fatalf("Authenticate(ka) = %v, %v", tn, ok)
+	}
+	if _, ok := r.Authenticate("nope"); ok {
+		t.Fatal("unknown key authenticated")
+	}
+	if tn, ok := r.ByName("bob"); !ok || tn.EffectiveWeight() != 1 {
+		t.Fatalf("ByName(bob) = %v, %v", tn, ok)
+	}
+	if w := r.TotalWeight(); w != 4 {
+		t.Fatalf("TotalWeight = %d, want 4", w)
+	}
+}
+
+func TestLoadRejectsBadConfigs(t *testing.T) {
+	cases := []string{
+		`{"tenants": []}`,
+		`{"tenants": [{"name": "", "api_key": "k"}]}`,
+		`{"tenants": [{"name": "a", "api_key": ""}]}`,
+		`{"tenants": [{"name": "a", "api_key": "k"}, {"name": "a", "api_key": "k2"}]}`,
+		`{"tenants": [{"name": "a", "api_key": "k"}, {"name": "b", "api_key": "k"}]}`,
+		`{"tenants": [{"name": "a", "api_key": "k", "weight": -1}]}`,
+	}
+	for i, body := range cases {
+		path := filepath.Join(t.TempDir(), "tenants.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("case %d: bad config loaded without error", i)
+		}
+	}
+}
+
+func TestSingleMode(t *testing.T) {
+	r := Single()
+	if !r.Open() {
+		t.Fatal("Single registry should be open")
+	}
+	tn, ok := r.Authenticate("")
+	if !ok || tn.Name != DefaultName {
+		t.Fatalf("Authenticate(\"\") = %v, %v", tn, ok)
+	}
+	if cap := r.QueueCap(tn, 64); cap != 64 {
+		t.Fatalf("single-tenant QueueCap = %d, want the whole queue", cap)
+	}
+}
+
+func TestQueueCapSharesGlobalDepth(t *testing.T) {
+	r, err := New([]Tenant{
+		{Name: "big", APIKey: "k1", Weight: 3},
+		{Name: "small", APIKey: "k2", Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _ := r.ByName("big")
+	small, _ := r.ByName("small")
+	if cap := r.QueueCap(big, 64); cap != 48 {
+		t.Fatalf("big cap = %d, want 48", cap)
+	}
+	if cap := r.QueueCap(small, 64); cap != 16 {
+		t.Fatalf("small cap = %d, want 16", cap)
+	}
+	small.MaxQueued = 5
+	if cap := r.QueueCap(small, 64); cap != 5 {
+		t.Fatalf("explicit cap = %d, want 5", cap)
+	}
+}
+
+func TestChargeInstsBudget(t *testing.T) {
+	r, err := New([]Tenant{{Name: "a", APIKey: "k", InstsPerSec: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := r.ByName("a")
+	now := time.Now()
+	// Burst = 10s of rate = 10_000 insts.
+	if ra := r.ChargeInsts(tn, 10_000, now); ra != 0 {
+		t.Fatalf("burst submission shed with retry %d", ra)
+	}
+	// Bucket empty: next charge must shed with a deficit-derived hint.
+	ra := r.ChargeInsts(tn, 2_000, now)
+	if ra < 2 || ra > 3 {
+		t.Fatalf("retry hint = %d, want ~2s for a 2000-inst deficit at 1000/s", ra)
+	}
+	// After 5 simulated seconds, 5000 tokens accrued.
+	if ra := r.ChargeInsts(tn, 5_000, now.Add(5*time.Second)); ra != 0 {
+		t.Fatalf("refilled bucket shed with retry %d", ra)
+	}
+	// Unlimited tenants never shed.
+	r2, _ := New([]Tenant{{Name: "b", APIKey: "k2"}})
+	tb, _ := r2.ByName("b")
+	if ra := r2.ChargeInsts(tb, 1<<40, now); ra != 0 {
+		t.Fatalf("unlimited tenant shed with retry %d", ra)
+	}
+}
+
+func TestKeyFromAuth(t *testing.T) {
+	if k := KeyFromAuth("Bearer abc", ""); k != "abc" {
+		t.Fatalf("bearer key = %q", k)
+	}
+	if k := KeyFromAuth("", "xyz"); k != "xyz" {
+		t.Fatalf("header key = %q", k)
+	}
+	if k := KeyFromAuth("Basic abc", ""); k != "" {
+		t.Fatalf("basic auth parsed as key: %q", k)
+	}
+}
+
+func TestWFQOrderRespectsWeights(t *testing.T) {
+	w := NewWFQ()
+	heavy := &Tenant{Name: "heavy", APIKey: "k1", Weight: 3}
+	light := &Tenant{Name: "light", APIKey: "k2", Weight: 1}
+	// Both backlogged with equal-cost items: dequeue order must serve
+	// heavy ~3x per light.
+	for i := 0; i < 40; i++ {
+		if err := w.Enqueue(heavy, "H", 100, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := w.Enqueue(light, "L", 100, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	heavyServed, lightServed := 0, 0
+	for i := 0; i < 16; i++ {
+		p, ok := w.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		if p == "H" {
+			heavyServed++
+		} else {
+			lightServed++
+		}
+	}
+	if heavyServed != 12 || lightServed != 4 {
+		t.Fatalf("first 16 dequeues served heavy=%d light=%d, want 12/4 for 3:1 weights",
+			heavyServed, lightServed)
+	}
+}
+
+// TestWFQStarvationBound is the platform's isolation guarantee: a
+// greedy tenant with an unbounded backlog cannot push a competing
+// tenant's dispatch share below its weight fraction.
+func TestWFQStarvationBound(t *testing.T) {
+	w := NewWFQ()
+	greedy := &Tenant{Name: "greedy", APIKey: "k1", Weight: 1}
+	victim := &Tenant{Name: "victim", APIKey: "k2", Weight: 1}
+	for i := 0; i < 1000; i++ {
+		if err := w.Enqueue(greedy, "G", 50, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.Enqueue(victim, "V", 50, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victimServed := 0
+	for i := 0; i < 200; i++ {
+		p, ok := w.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		if p == "V" {
+			victimServed++
+		}
+	}
+	// Equal weights: the victim's 100 items must all be served within
+	// the first 200 dequeues (its share is 1/2), despite the greedy
+	// tenant's 10x backlog.
+	if victimServed != 100 {
+		t.Fatalf("victim served %d of first 200 dequeues, want its full 100 (half share)", victimServed)
+	}
+}
+
+func TestWFQIdleTenantGetsImmediateService(t *testing.T) {
+	w := NewWFQ()
+	busy := &Tenant{Name: "busy", APIKey: "k1"}
+	idler := &Tenant{Name: "idler", APIKey: "k2"}
+	for i := 0; i < 100; i++ {
+		w.Enqueue(busy, "B", 100, 0)
+	}
+	// Drain half the backlog: the virtual clock advances far past zero.
+	for i := 0; i < 50; i++ {
+		w.Dequeue()
+	}
+	// A tenant arriving now must not owe the elapsed virtual time: its
+	// first item's finish tag starts at V, so it is served within the
+	// next two dequeues (it can tie the busy tenant's head-of-line item
+	// exactly, in which case the tie-break may serve that one first) —
+	// not after the 50-item backlog.
+	w.Enqueue(idler, "I", 100, 0)
+	p1, _ := w.Dequeue()
+	p2, _ := w.Dequeue()
+	if p1 != "I" && p2 != "I" {
+		t.Fatalf("idle tenant's first item not in the next two dequeues (%v, %v)", p1, p2)
+	}
+}
+
+func TestWFQTenantShareBound(t *testing.T) {
+	w := NewWFQ()
+	tn := &Tenant{Name: "a", APIKey: "k"}
+	for i := 0; i < 4; i++ {
+		if err := w.Enqueue(tn, i, 1, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Enqueue(tn, 99, 1, 4); err != ErrTenantFull {
+		t.Fatalf("over-share enqueue error = %v, want ErrTenantFull", err)
+	}
+	if w.TenantLen("a") != 4 {
+		t.Fatalf("TenantLen = %d", w.TenantLen("a"))
+	}
+}
+
+func TestWFQCloseDrains(t *testing.T) {
+	w := NewWFQ()
+	tn := &Tenant{Name: "a", APIKey: "k"}
+	w.Enqueue(tn, 1, 1, 0)
+	w.Enqueue(tn, 2, 1, 0)
+	w.Close()
+	if err := w.Enqueue(tn, 3, 1, 0); err != ErrClosed {
+		t.Fatalf("enqueue after close = %v, want ErrClosed", err)
+	}
+	if p, ok := w.Dequeue(); !ok || p != 1 {
+		t.Fatalf("first drain = %v, %v", p, ok)
+	}
+	if p, ok := w.Dequeue(); !ok || p != 2 {
+		t.Fatalf("second drain = %v, %v", p, ok)
+	}
+	if _, ok := w.Dequeue(); ok {
+		t.Fatal("dequeue on empty closed queue reported ok")
+	}
+}
+
+func TestWFQConcurrent(t *testing.T) {
+	w := NewWFQ()
+	tenants := []*Tenant{
+		{Name: "a", APIKey: "k1", Weight: 1},
+		{Name: "b", APIKey: "k2", Weight: 2},
+		{Name: "c", APIKey: "k3", Weight: 3},
+	}
+	const perTenant = 100
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(tn *Tenant) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				if err := w.Enqueue(tn, tn.Name, 10, 0); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(tn)
+	}
+	got := make(chan any, len(tenants)*perTenant)
+	var dq sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		dq.Add(1)
+		go func() {
+			defer dq.Done()
+			for {
+				p, ok := w.Dequeue()
+				if !ok {
+					return
+				}
+				got <- p
+			}
+		}()
+	}
+	wg.Wait()
+	for w.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	w.Close()
+	dq.Wait()
+	close(got)
+	counts := map[any]int{}
+	for p := range got {
+		counts[p]++
+	}
+	for _, tn := range tenants {
+		if counts[tn.Name] != perTenant {
+			t.Fatalf("tenant %s: dequeued %d, want %d", tn.Name, counts[tn.Name], perTenant)
+		}
+	}
+}
+
+func TestWFQRemove(t *testing.T) {
+	w := NewWFQ()
+	tn := &Tenant{Name: "a", APIKey: "k"}
+	w.Enqueue(tn, "x", 1, 0)
+	w.Enqueue(tn, "y", 1, 0)
+	if !w.Remove(func(p any) bool { return p == "x" }) {
+		t.Fatal("Remove did not find x")
+	}
+	if w.Remove(func(p any) bool { return p == "x" }) {
+		t.Fatal("Remove found x twice")
+	}
+	if p, _ := w.Dequeue(); p != "y" {
+		t.Fatalf("dequeue after remove = %v", p)
+	}
+}
