@@ -67,8 +67,9 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 
 		// Durability and multi-tenancy (both modes).
-		dataDir     = flag.String("data-dir", "", "durable store directory (WAL + result warehouse); empty = in-memory only")
-		tenantsFile = flag.String("tenants-file", "", "JSON tenants file enabling API-key auth, quotas, and fair queueing")
+		dataDir       = flag.String("data-dir", "", "durable store directory (WAL + result warehouse); empty = in-memory only")
+		tenantsFile   = flag.String("tenants-file", "", "JSON tenants file enabling API-key auth, quotas, and fair queueing")
+		traceCacheDir = flag.String("trace-cache-dir", "", "content-addressed recorded-trace artifact cache directory; empty = in-memory recordings only")
 
 		// Coordinator mode.
 		clusterMode   = flag.Bool("cluster", false, "run as a sweep coordinator instead of a simulation worker")
@@ -117,6 +118,7 @@ func main() {
 			quarCooldown:  *quarCooldown,
 			drainTimeout:  *drainTimeout,
 			dataDir:       *dataDir,
+			traceCacheDir: *traceCacheDir,
 			workerAPIKey:  *workerAPIKey,
 			tenants:       tenants,
 		})
@@ -139,6 +141,7 @@ func main() {
 		MaxSweepPoints: *maxSweepPts,
 		ServiceName:    serviceName,
 		DataDir:        *dataDir,
+		TraceCacheDir:  *traceCacheDir,
 		Tenants:        tenants,
 		Logger:         log,
 	})
@@ -232,6 +235,7 @@ type coordinatorFlags struct {
 	quarCooldown  time.Duration
 	drainTimeout  time.Duration
 	dataDir       string
+	traceCacheDir string
 	workerAPIKey  string
 	tenants       *tenant.Registry
 }
@@ -249,6 +253,7 @@ func runCoordinator(log *slog.Logger, f coordinatorFlags) {
 		QuarantineAfter:    f.quarAfter,
 		QuarantineCooldown: f.quarCooldown,
 		DataDir:            f.dataDir,
+		TraceCacheDir:      f.traceCacheDir,
 		WorkerAPIKey:       f.workerAPIKey,
 		Tenants:            f.tenants,
 		Logger:             log,

@@ -23,6 +23,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,9 +38,12 @@ import (
 	"repro/internal/trace"
 )
 
-// buildGen returns the instruction source: a live workload generator,
-// or a recorded trace when -replay is given.
-func buildGen(workload string, insts uint64, replay string) (trace.Generator, string, error) {
+// buildGen returns the instruction source: a recorded trace when
+// -replay is given, a cursor over the content-addressed artifact cache
+// when -trace-cache-dir is set (the baseline and configured runs then
+// replay one shared recording, generated or read from disk at most
+// once), or a live workload generator.
+func buildGen(workload string, insts uint64, replay string, traces *trace.ArtifactStore) (trace.Generator, string, error) {
 	if replay != "" {
 		f, err := os.Open(replay)
 		if err != nil {
@@ -54,6 +58,16 @@ func buildGen(workload string, insts uint64, replay string) (trace.Generator, st
 	w, ok := trace.ByName(workload)
 	if !ok {
 		return nil, "", fmt.Errorf("unknown workload %q (see -workloads)", workload)
+	}
+	if traces != nil {
+		cur, err := traces.Cursor(w.Name, insts)
+		if err == nil {
+			return cur, w.Name, nil
+		}
+		if !errors.Is(err, trace.ErrOversize) {
+			return nil, "", err
+		}
+		// Too big to record under the store budget: run live.
 	}
 	return w.Build(insts), w.Name, nil
 }
@@ -146,6 +160,7 @@ func main() {
 		details   = flag.Bool("details", false, "print per-component composite statistics")
 		record    = flag.String("record", "", "record the workload's trace to this file and exit")
 		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
+		traceDir  = flag.String("trace-cache-dir", "", "content-addressed recorded-trace artifact cache; runs replay a shared recording generated (or read) at most once")
 		jsonOut   = flag.Bool("json", false, "emit the run result as one JSON object on stdout")
 		traceOut  = flag.String("trace-out", "", "write this run's spans as Chrome trace-event JSON to this file (view in Perfetto)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -214,8 +229,14 @@ func main() {
 		return
 	}
 
+	var traces *trace.ArtifactStore
+	if *traceDir != "" {
+		if traces, err = trace.NewArtifactStore(*traceDir, 0); err != nil {
+			fatal(err)
+		}
+	}
 	newGen := func() trace.Generator {
-		gen, _, err := buildGen(sim.Workload.Name, sim.Workload.Insts, *replay)
+		gen, _, err := buildGen(sim.Workload.Name, sim.Workload.Insts, *replay, traces)
 		if err != nil {
 			fatal(err)
 		}

@@ -51,6 +51,12 @@ type ITTAGE struct {
 	providerIdx int
 	providerTag uint16
 	lastPred    uint64
+
+	// Per-table index/tag caches, filled by Predict and consumed by
+	// Update (same shared-hash-chain scheme as TAGE; Predict/Update
+	// alternate with identical (pc, hist)).
+	idxCache []int32
+	tagCache []uint16
 }
 
 // NewITTAGE builds an ITTAGE predictor from cfg.
@@ -65,27 +71,28 @@ func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
 	for range cfg.HistoryLens {
 		t.tables = append(t.tables, make([]ittageEntry, cfg.TaggedEntries))
 	}
+	t.idxCache = make([]int32, len(cfg.HistoryLens))
+	t.tagCache = make([]uint16, len(cfg.HistoryLens))
 	return t
 }
 
-func (t *ITTAGE) tableIndex(i int, pc, hist uint64) int {
-	sample := hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
-	return int(mix(pc>>2, sample, uint64(i)+77) & uint64(t.cfg.TaggedEntries-1))
-}
-
-func (t *ITTAGE) tableTag(i int, pc, hist uint64) uint16 {
-	sample := hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
-	return uint16(mix(pc>>2, sample, uint64(i)^0x5555) & ((1 << t.cfg.TagBits) - 1))
-}
-
 // Predict returns the predicted target for an indirect branch at pc.
+// Predict/Update alternate with identical (pc, hist); every visited
+// table's index/tag is derived from a shared hash chain and cached for
+// Update, bit-identical to hashing each from scratch.
 func (t *ITTAGE) Predict(pc, hist uint64) uint64 {
 	t.stats.Lookups++
 	t.provider = -1
 	pred := t.base[(pc>>2)&uint64(t.cfg.BaseEntries-1)]
+	hPC := mixRound(mixInit, pc>>2)
+	idxMask := uint64(t.cfg.TaggedEntries - 1)
+	tagMask := uint64(1)<<t.cfg.TagBits - 1
 	for i := len(t.tables) - 1; i >= 0; i-- {
-		idx := t.tableIndex(i, pc, hist)
-		tag := t.tableTag(i, pc, hist)
+		sample := hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
+		hSample := mixRound(hPC, sample)
+		idx := int(mixRound(hSample, uint64(i)+77) & idxMask)
+		tag := uint16(mixRound(hSample, uint64(i)^0x5555) & tagMask)
+		t.idxCache[i], t.tagCache[i] = int32(idx), tag
 		e := &t.tables[i][idx]
 		if e.valid && e.tag == tag && e.conf >= 1 {
 			t.provider = i
@@ -126,12 +133,13 @@ func (t *ITTAGE) Update(pc, hist uint64, target uint64) {
 		}
 	}
 	if mispred {
-		// Allocate in a longer-history table.
+		// Allocate in a longer-history table (indices/tags from
+		// Predict's cache; tables above the provider are always
+		// visited).
 		for i := t.provider + 1; i < len(t.tables); i++ {
-			idx := t.tableIndex(i, pc, hist)
-			e := &t.tables[i][idx]
+			e := &t.tables[i][t.idxCache[i]]
 			if !e.valid || e.useful == 0 {
-				*e = ittageEntry{valid: true, tag: t.tableTag(i, pc, hist), target: target, conf: 1}
+				*e = ittageEntry{valid: true, tag: t.tagCache[i], target: target, conf: 1}
 				break
 			}
 			e.useful = 0

@@ -68,6 +68,15 @@ type TAGE struct {
 	altPred     bool
 	provPred    bool
 	provWeak    bool
+
+	// Per-table index/tag caches, filled by Predict for every table it
+	// visits and consumed by Update. Predict/Update alternate with
+	// identical (pc, hist) — see Predict's contract — and Predict's
+	// descending scan always visits every table Update's allocation and
+	// decay paths touch (tables above the provider), so Update never
+	// recomputes a hash.
+	idxCache []int32
+	tagCache []uint16
 }
 
 // Stats counts branch predictor outcomes.
@@ -107,40 +116,36 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	for range cfg.HistoryLens {
 		t.tables = append(t.tables, make([]tageEntry, cfg.TaggedEntries))
 	}
+	t.idxCache = make([]int32, len(cfg.HistoryLens))
+	t.tagCache = make([]uint16, len(cfg.HistoryLens))
 	return t
 }
 
-func mix(words ...uint64) uint64 {
-	h := uint64(0x9E3779B97F4A7C15)
-	for _, w := range words {
-		h ^= w
-		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
-		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
-		h ^= h >> 31
-	}
-	return h
-}
+// mixInit is the mix chain's initial state.
+const mixInit = uint64(0x9E3779B97F4A7C15)
 
-func (t *TAGE) tableIndex(i int, pc, hist uint64) int {
-	sample := hist
-	if t.cfg.HistoryLens[i] < 64 {
-		sample = hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
-	}
-	return int(mix(pc>>2, sample, uint64(i)) & uint64(t.cfg.TaggedEntries-1))
-}
-
-func (t *TAGE) tableTag(i int, pc, hist uint64) uint16 {
-	sample := hist
-	if t.cfg.HistoryLens[i] < 64 {
-		sample = hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
-	}
-	return uint16(mix(pc>>2, sample, uint64(i)^0xABCD) & ((1 << t.cfg.TagBits) - 1))
+// mixRound absorbs one word into the mix chain (the splitmix64
+// finalizer applied to h^w). The historical hash mix(a, b, c) is
+// exactly mixRound(mixRound(mixRound(mixInit, a), b), c), so hot paths
+// that hash many values sharing a common prefix (every TAGE table
+// hashes the same pc, and a table's index and tag hashes share pc and
+// history sample) absorb the shared words once and fork the chain,
+// producing bit-identical hashes at a fraction of the rounds.
+func mixRound(h, w uint64) uint64 {
+	h ^= w
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
 }
 
 // Predict returns the taken/not-taken prediction for a conditional
 // branch at pc under global history hist. The provider metadata is
 // retained for the next Update call; Predict/Update must alternate per
-// branch, as they do in the fetch/execute pipeline.
+// branch with identical (pc, hist), as they do in the fetch/execute
+// pipeline. Each visited table's index and tag come from one shared
+// hash chain (the pc round is absorbed once, the history-sample round
+// once per table) and are cached for Update — bit-identical to hashing
+// (pc, sample, salt) from scratch per lookup, at under half the rounds.
 func (t *TAGE) Predict(pc, hist uint64) bool {
 	t.stats.Lookups++
 	t.provider = -1
@@ -148,9 +153,18 @@ func (t *TAGE) Predict(pc, hist uint64) bool {
 	basePred := t.base[baseIdx] >= 0
 	pred, alt := basePred, basePred
 	found := 0
+	hPC := mixRound(mixInit, pc>>2)
+	idxMask := uint64(t.cfg.TaggedEntries - 1)
+	tagMask := uint64(1)<<t.cfg.TagBits - 1
 	for i := len(t.tables) - 1; i >= 0; i-- {
-		idx := t.tableIndex(i, pc, hist)
-		tag := t.tableTag(i, pc, hist)
+		sample := hist
+		if t.cfg.HistoryLens[i] < 64 {
+			sample = hist & ((uint64(1) << t.cfg.HistoryLens[i]) - 1)
+		}
+		hSample := mixRound(hPC, sample)
+		idx := int(mixRound(hSample, uint64(i)) & idxMask)
+		tag := uint16(mixRound(hSample, uint64(i)^0xABCD) & tagMask)
+		t.idxCache[i], t.tagCache[i] = int32(idx), tag
 		e := &t.tables[i][idx]
 		if !e.valid || e.tag != tag {
 			continue
@@ -219,15 +233,17 @@ func (t *TAGE) Update(pc, hist uint64, taken bool) {
 		}
 	}
 
-	// Allocate a longer-history entry on a misprediction.
+	// Allocate a longer-history entry on a misprediction. Indices and
+	// tags come from Predict's per-table cache (same (pc, hist) by the
+	// Predict/Update contract; every table above the provider was
+	// visited and cached).
 	if finalPred != taken && t.provider < len(t.tables)-1 {
 		start := t.provider + 1
 		allocated := false
 		for i := start; i < len(t.tables); i++ {
-			idx := t.tableIndex(i, pc, hist)
-			e := &t.tables[i][idx]
+			e := &t.tables[i][t.idxCache[i]]
 			if !e.valid || e.useful == 0 {
-				*e = tageEntry{valid: true, tag: t.tableTag(i, pc, hist)}
+				*e = tageEntry{valid: true, tag: t.tagCache[i]}
 				if taken {
 					e.ctr = 0
 				} else {
@@ -240,8 +256,7 @@ func (t *TAGE) Update(pc, hist uint64, taken bool) {
 		if !allocated {
 			// Decay usefulness so future allocations can succeed.
 			for i := start; i < len(t.tables); i++ {
-				idx := t.tableIndex(i, pc, hist)
-				if e := &t.tables[i][idx]; e.useful > 0 {
+				if e := &t.tables[i][t.idxCache[i]]; e.useful > 0 {
 					e.useful--
 				}
 			}

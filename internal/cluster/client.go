@@ -104,6 +104,31 @@ func (a apiClient) do(ctx context.Context, method, path string, body any) (int, 
 	return resp.StatusCode, b, nil
 }
 
+// putTrace uploads a recorded-trace artifact to the worker under its
+// content address. Unlike the other calls, the body is the raw encoded
+// artifact, not JSON.
+func (a apiClient) putTrace(ctx context.Context, hash string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, a.base+"/v1/traces/"+hash, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if a.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+a.apiKey)
+	}
+	otrace.Inject(req)
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return &workerError{err}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusNoContent {
+		return &workerError{fmt.Errorf("trace upload returned %d: %s", resp.StatusCode, errorMessage(body))}
+	}
+	return nil
+}
+
 // submitJob posts one canonical spec to the worker and returns the
 // created (or cache-answered) job status.
 func (a apiClient) submitJob(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {

@@ -45,6 +45,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/tenant"
+	"repro/internal/trace"
 )
 
 // Config tunes the coordinator. Zero values select the defaults noted
@@ -125,6 +126,14 @@ type Config struct {
 	// list it there as a Proxy-flagged tenant so dispatched points keep
 	// their submitting tenant's attribution (X-Lvpd-Tenant).
 	WorkerAPIKey string
+
+	// TraceCacheDir backs the coordinator's recorded-trace artifact
+	// store with a content-addressed directory shared across restarts.
+	// Empty keeps the store memory-only. Either way, the coordinator
+	// records each sweep's workload streams once and pre-ships the
+	// artifacts to its workers, so a sweep's fan-out replays shared
+	// recordings instead of generating the stream once per worker.
+	TraceCacheDir string
 
 	// Tenants authenticates the coordinator's own API clients and
 	// attributes sweeps. nil runs single-tenant (no key required).
@@ -252,6 +261,10 @@ type Coordinator struct {
 	// Retries and duplicate points across sweeps resolve here first.
 	cache *server.ResultCache
 
+	// traces records each sweep's workload streams once; StartSweep
+	// ships the artifacts to active workers before dispatching.
+	traces *trace.ArtifactStore
+
 	mDispatched  *obs.Counter
 	mRetried     *obs.Counter
 	mStolen      *obs.Counter
@@ -262,6 +275,9 @@ type Coordinator struct {
 	mPtsCached   *obs.Counter
 	mPtsDeduped  *obs.Counter
 	mAuthFailed  *obs.Counter
+
+	mTraceShipped    *obs.Counter
+	mTraceShipFailed *obs.Counter
 
 	// Per-tenant fan-out attribution, keyed by tenant name.
 	mTenantSweeps map[string]*obs.Counter
@@ -310,6 +326,10 @@ func New(cfg Config) (*Coordinator, error) {
 		mPtsCached:   reg.Counter("lvpc_points_total", "Sweep points by outcome.", "state", "cached"),
 		mPtsDeduped:  reg.Counter("lvpc_points_total", "Sweep points by outcome.", "state", "deduped"),
 		mAuthFailed:  reg.Counter("lvpc_auth_failures_total", "Requests rejected for a missing or unknown API key."),
+		mTraceShipped: reg.Counter("lvpc_trace_artifacts_shipped_total",
+			"Trace artifacts successfully pre-shipped to workers (one per artifact per worker)."),
+		mTraceShipFailed: reg.Counter("lvpc_trace_artifact_ship_failures_total",
+			"Trace artifact uploads that failed (the worker falls back to live generation)."),
 
 		mTenantSweeps: make(map[string]*obs.Counter),
 		mTenantPoints: make(map[string]*obs.Counter),
@@ -319,6 +339,14 @@ func New(cfg Config) (*Coordinator, error) {
 		c.mTenantSweeps[name] = reg.Counter("lvpc_tenant_sweeps_total", "Sweeps accepted by tenant.", "tenant", name)
 		c.mTenantPoints[name] = reg.Counter("lvpc_tenant_points_done_total", "Sweep points finished by tenant.", "tenant", name)
 	}
+	traces, err := trace.NewArtifactStore(cfg.TraceCacheDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	c.traces = traces
+	reg.GaugeFunc("lvpc_trace_artifacts_generated_total",
+		"Workload streams the coordinator recorded for pre-shipping.",
+		func() float64 { return float64(c.traces.Stats().Generated) })
 	c.lifeCtx, c.lifeStop = context.WithCancel(context.Background())
 	c.routes()
 	if cfg.DataDir != "" {

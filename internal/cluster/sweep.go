@@ -265,6 +265,12 @@ func (c *Coordinator) StartSweep(ctx context.Context, req server.SweepRequest) (
 		ctr.Inc()
 	}
 
+	// Pre-ship the sweep's recorded-trace artifacts before any point is
+	// dispatched, so workers replay a stream the coordinator recorded
+	// once instead of each generating it. Shipping failures only cost
+	// the optimization: a worker without the artifact generates live.
+	c.shipTraces(sw, launch)
+
 	for _, pt := range launch {
 		go c.runPoint(sw, pt)
 	}

@@ -41,7 +41,7 @@ func NewCAP(entries int, seed uint64) *CAP {
 func (c *CAP) Component() Component { return CompCAP }
 
 func (c *CAP) hash(pc, loadPath uint64) uint64 {
-	return hashMix(pc>>2, loadPath)
+	return hashMix2(pc>>2, loadPath)
 }
 
 // Predict implements Predictor.

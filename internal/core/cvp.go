@@ -91,18 +91,21 @@ func (c *CVP) setValue(e *entry[cvpPayload], v uint64) bool {
 // Component implements Predictor.
 func (c *CVP) Component() Component { return CompCVP }
 
-// hash combines the load PC with a geometric sample of the branch path
-// history for table i.
-func (c *CVP) hash(pc, branchHist uint64, i int) uint64 {
+// hash combines a pre-absorbed load-PC chain state (hashMix1(pc>>2))
+// with a geometric sample of the branch path history for table i.
+// Equivalent to the historical hashMix(pc>>2, sample, i), with the pc
+// round shared across the three tables.
+func (c *CVP) hash(hPC, branchHist uint64, i int) uint64 {
 	sample := branchHist & ((uint64(1) << c.histLens[i]) - 1)
-	return hashMix(pc>>2, sample, uint64(i))
+	return hashWord(hashWord(hPC, sample), uint64(i))
 }
 
 // Predict implements Predictor: the longest-history confident hit wins.
 func (c *CVP) Predict(p Probe) (Prediction, bool) {
+	hPC := hashMix1(p.PC >> 2)
 	for i := len(c.tables) - 1; i >= 0; i-- {
 		t := c.tables[i]
-		h := c.hash(p.PC, p.BranchHist, i)
+		h := c.hash(hPC, p.BranchHist, i)
 		e := t.lookup(t.index(h), t.tag(h))
 		if e != nil && e.conf >= c.threshold {
 			return Prediction{
@@ -118,8 +121,9 @@ func (c *CVP) Predict(p Probe) (Prediction, bool) {
 // Train implements Predictor: all three tables are updated in the same
 // manner as LVP (Section III-B-2).
 func (c *CVP) Train(o Outcome) {
+	hPC := hashMix1(o.PC >> 2)
 	for i, t := range c.tables {
-		h := c.hash(o.PC, o.BranchHist, i)
+		h := c.hash(hPC, o.BranchHist, i)
 		idx, tag := t.index(h), t.tag(h)
 		e := t.lookup(idx, tag)
 		if e == nil {
@@ -144,8 +148,9 @@ func (c *CVP) Train(o Outcome) {
 
 // Invalidate implements Predictor.
 func (c *CVP) Invalidate(o Outcome) {
+	hPC := hashMix1(o.PC >> 2)
 	for i, t := range c.tables {
-		h := c.hash(o.PC, o.BranchHist, i)
+		h := c.hash(hPC, o.BranchHist, i)
 		t.invalidate(t.index(h), t.tag(h))
 	}
 }

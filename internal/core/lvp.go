@@ -75,7 +75,7 @@ func (l *LVP) Component() Component { return CompLVP }
 
 // Predict implements Predictor. LVP consults only the load PC.
 func (l *LVP) Predict(p Probe) (Prediction, bool) {
-	h := hashMix(p.PC >> 2)
+	h := hashMix1(p.PC >> 2)
 	e := l.tbl.lookup(l.tbl.index(h), l.tbl.tag(h))
 	if e == nil || e.conf < l.threshold {
 		return Prediction{}, false
@@ -91,7 +91,7 @@ func (l *LVP) Predict(p Probe) (Prediction, bool) {
 // probabilistically increased; otherwise the entry is overwritten with
 // the new value and the confidence resets to zero.
 func (l *LVP) Train(o Outcome) {
-	h := hashMix(o.PC >> 2)
+	h := hashMix1(o.PC >> 2)
 	idx, tag := l.tbl.index(h), l.tbl.tag(h)
 	e := l.tbl.lookup(idx, tag)
 	if e == nil {
@@ -115,7 +115,7 @@ func (l *LVP) Train(o Outcome) {
 
 // Invalidate implements Predictor.
 func (l *LVP) Invalidate(o Outcome) {
-	h := hashMix(o.PC >> 2)
+	h := hashMix1(o.PC >> 2)
 	l.tbl.invalidate(l.tbl.index(h), l.tbl.tag(h))
 }
 

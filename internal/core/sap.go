@@ -56,7 +56,7 @@ func (s *SAP) Component() Component { return CompSAP }
 // oldest in-flight instance lands on the next element and this fetch on
 // its own slot.
 func (s *SAP) Predict(p Probe) (Prediction, bool) {
-	h := hashMix(p.PC >> 2)
+	h := hashMix1(p.PC >> 2)
 	e := s.tbl.lookup(s.tbl.index(h), s.tbl.tag(h))
 	if e == nil || e.conf < s.threshold || !e.payload.strideValid {
 		return Prediction{}, false
@@ -76,7 +76,7 @@ func (s *SAP) Predict(p Probe) (Prediction, bool) {
 // matching stride raises confidence; a changed stride (or one that does
 // not fit the 10-bit field) resets it.
 func (s *SAP) Train(o Outcome) {
-	h := hashMix(o.PC >> 2)
+	h := hashMix1(o.PC >> 2)
 	idx, tag := s.tbl.index(h), s.tbl.tag(h)
 	e := s.tbl.lookup(idx, tag)
 	if e == nil {
@@ -110,7 +110,7 @@ func (s *SAP) Train(o Outcome) {
 // training: skipping training would break the stored stride anyway, so
 // the entry is rendered useless and is freed instead (Section V-D).
 func (s *SAP) Invalidate(o Outcome) {
-	h := hashMix(o.PC >> 2)
+	h := hashMix1(o.PC >> 2)
 	s.tbl.invalidate(s.tbl.index(h), s.tbl.tag(h))
 }
 

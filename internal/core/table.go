@@ -2,29 +2,37 @@ package core
 
 import "math/bits"
 
-// hashMix mixes an arbitrary number of 64-bit words into one well-mixed
-// hash using the splitmix64 finalizer. It is the common indexing/tag
-// hash for all predictor tables.
-func hashMix(words ...uint64) uint64 {
-	h := uint64(0x9E3779B97F4A7C15)
-	for _, w := range words {
-		h = SplitMix64(h ^ w)
-	}
-	return h
-}
+// hashSeed is the initial state of the predictor-table hash chain. The
+// historical variadic hash, hashMix(w0, w1, ...), unrolled to
+// hashWord(hashWord(hashSeed, w0), w1)... — the fixed-arity helpers
+// below produce bit-identical hashes without the variadic loop, and let
+// hot paths absorb a shared prefix once (CVP's three tables all hash
+// the same pc before their per-table words).
+const hashSeed = uint64(0x9E3779B97F4A7C15)
 
-// fold compresses a 64-bit hash into width bits by XOR-folding.
+// hashWord absorbs one word into a hash chain state.
+func hashWord(h, w uint64) uint64 { return SplitMix64(h ^ w) }
+
+// hashMix1 hashes a single word (≡ historical hashMix(a)).
+func hashMix1(a uint64) uint64 { return hashWord(hashSeed, a) }
+
+// hashMix2 hashes two words (≡ historical hashMix(a, b)).
+func hashMix2(a, b uint64) uint64 { return hashWord(hashMix1(a), b) }
+
+// fold compresses a 64-bit hash into width bits by XOR-folding: the
+// result is the XOR of all width-bit chunks of h. Chunks are combined
+// by shift doubling (h ^ h>>w covers chunks {0,1} of every position,
+// then ^ h>>2w covers {0..3}, …), which is branch-free in the chunk
+// count; since (a&m)^(b&m) == (a^b)&m this equals the original
+// serial chunk loop bit for bit.
 func fold(h uint64, width uint) uint64 {
 	if width == 0 || width >= 64 {
 		return h
 	}
-	mask := (uint64(1) << width) - 1
-	out := uint64(0)
-	for h != 0 {
-		out ^= h & mask
-		h >>= width
+	for s := width; s < 64; s <<= 1 {
+		h ^= h >> s
 	}
-	return out
+	return h & ((uint64(1) << width) - 1)
 }
 
 // entry is one slot of a predictor table. The payload layout differs per

@@ -1,0 +1,245 @@
+package cpu
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Probe batching (see DESIGN.md §13.3). When the instruction stream is
+// already in memory (the slice fast path of RunCtx) and the engine
+// implements BatchEngine, the pipeline probes a group of upcoming
+// predictable loads in a single ProbeBatch call instead of one virtual
+// Probe dispatch per load. The batched lookups are computed against the
+// engine's state at batch time and adopted one by one as their loads
+// reach the probe stage.
+//
+// A batched lookup is only valid while the engine state is unchanged,
+// and the engine mutates often: every predictable load enqueues one
+// training, delivered by applyTrains immediately before a later probe
+// once the fetch cycle reaches the training's cycle. Batching blindly
+// across that boundary thrashes — in steady state roughly one train
+// matures per fetch group, so a fixed lookahead is nearly always stale
+// by its second entry. fillBatch therefore predicts how far the batch
+// can safely reach: trains pop in FIFO order and only once the fetch
+// cycle reaches the queue *head's* train cycle, so the head at fill
+// time bounds every batched probe; the batch extends while the
+// predicted fetch cycle of the next load stays below that bound (and
+// below fc+FetchToExec, which keeps the loads probed by this batch —
+// whose own trainings mature at execDone > fc+FetchToExec — from
+// maturing inside the batch either). Future fetch cycles are replayed
+// from the same timing-ring state the real steps will read, assuming
+// instruction-cache hits and no intervening redirect.
+//
+// Two guards keep adoption bit-identical to serial probing even when
+// that prediction is wrong (an icache miss or redirect stalling a load
+// past the train horizon, or the 4096-instret epoch flush landing
+// mid-batch):
+//
+//  1. Engine generation: p.engineGen is bumped after every engine
+//     mutation (Train, Instret). A batch from an older generation is
+//     discarded — the engine's answer could have changed.
+//  2. Input equality: the probe inputs predicted at batch time (branch
+//     history, load path, in-flight count replayed from the trace) are
+//     compared against the real inputs at adoption time.
+//
+// A failed guard costs only the wasted lookups; the load falls back to
+// a fresh batch or a serial probe.
+const (
+	// probeBatchMax is the number of upcoming predictable loads
+	// gathered into one ProbeBatch call.
+	probeBatchMax = 8
+
+	// probeBatchScan bounds how far ahead of the current instruction
+	// the trace is examined while gathering a batch.
+	probeBatchScan = 48
+
+	// probeBatchCooldown is how many instructions batching is suspended
+	// after a failed fill or an invalidated batch: both mean trains are
+	// maturing densely, and scanning again right away mostly re-buys
+	// the same failure.
+	probeBatchCooldown = 24
+)
+
+// probeBatch holds lookups precomputed by BatchEngine.ProbeBatch for
+// upcoming predictable loads, plus the probe inputs they were computed
+// from. Entries are consumed in order.
+type probeBatch struct {
+	probes [probeBatchMax]core.Probe
+	lks    [probeBatchMax]core.Lookup
+	seqs   [probeBatchMax]uint64
+	n, pos int
+	gen    uint64 // p.engineGen the batch was computed under
+}
+
+// probeLoad delivers the engine probe for one predictable load, serving
+// it from the pending batch when one is still valid, and starting a new
+// batch (or degrading to a serial probe) otherwise.
+func (p *Pipeline) probeLoad(seq, fc uint64, probe core.Probe) (uint64, core.Prediction, bool) {
+	if p.batchEng == nil || p.lookahead == nil {
+		return p.engine.Probe(probe)
+	}
+	b := &p.batch
+	if b.pos < b.n && b.gen == p.engineGen && b.seqs[b.pos] == seq && b.probes[b.pos] == probe {
+		lk := &b.lks[b.pos]
+		b.pos++
+		return p.batchEng.AdoptProbe(lk)
+	}
+	if b.pos < b.n {
+		// An invalidated batch means the horizon prediction missed;
+		// hold off batching briefly rather than refilling into the
+		// same conditions.
+		b.n, b.pos = 0, 0
+		p.batchCool = seq + probeBatchCooldown
+	}
+	if seq < p.batchCool {
+		return p.engine.Probe(probe)
+	}
+	if p.fillBatch(seq, fc, probe) {
+		b.pos = 1
+		return p.batchEng.AdoptProbe(&b.lks[0])
+	}
+	b.n, b.pos = 0, 0
+	p.batchCool = seq + probeBatchCooldown
+	return p.engine.Probe(probe)
+}
+
+// fillBatch gathers the current predictable load (whose real probe is
+// given) and the predictable loads expected to probe before the next
+// pending training matures into one ProbeBatch call. It reports false —
+// leaving the batch empty — when no further load fits, in which case a
+// serial probe is cheaper.
+//
+// Future probe inputs are replayed from the trace exactly as the front
+// end will compute them: the global branch history shifts on every
+// branch (the recorded outcome for conditionals, taken for the
+// unconditional kinds — mirroring predictBranch), the load path shifts
+// on every load after that load's own probe, and the in-flight count is
+// the live table's value plus the same-PC loads probed earlier in the
+// batch (each will inc before the later load probes; decs only happen
+// in trainOne, which kills the batch via the generation guard). Future
+// fetch cycles replay step's window-backpressure and fetch-bandwidth
+// arithmetic against ring entries that are already written (the scan
+// horizon is far smaller than the ROB/IQ/LDQ/STQ windows in any
+// realistic configuration; a mispredicted cycle in a tiny-window sweep
+// config only wastes the batch, it cannot corrupt it).
+func (p *Pipeline) fillBatch(seq, fc uint64, probe core.Probe) bool {
+	// No batched probe may reach the fetch cycle where the oldest
+	// pending training matures, nor cross the fc+FetchToExec horizon
+	// that keeps this batch's own trainings out of reach.
+	limitC := fc + uint64(p.cfg.FetchToExec)
+	if t, ok := p.pending.peek(); ok && t.trainC <= limitC {
+		if t.trainC <= fc {
+			// Cannot happen (applyTrains ran at fc just before this
+			// call), but guard the subtraction below.
+			return false
+		}
+		limitC = t.trainC - 1
+	}
+	insts := p.lookahead
+	end := seq + probeBatchScan
+	// Stop before the 4096-instret epoch flush fires mid-batch.
+	if left := instretEvery - p.instretBatch; seq+left < end {
+		end = seq + left
+	}
+	if end > uint64(len(insts)) {
+		end = uint64(len(insts))
+	}
+
+	b := &p.batch
+	b.probes[0], b.seqs[0] = probe, seq
+	n := 1
+	hist, path := probe.BranchHist, probe.LoadPath
+	// Predicted front-end state after the current instruction.
+	simFC, simUsed := fc, p.fetchUsed
+	simNL, simNS := p.nLoads, p.nStores
+
+	for j := seq; n < probeBatchMax && j+1 < end; j++ {
+		// Apply inst j's front-end updates, then consider inst j+1.
+		in := &insts[j]
+		switch in.Op {
+		case trace.OpLoad:
+			path = (path << 6) ^ ((in.PC >> 2) & 0xFFF)
+			simNL++
+		case trace.OpStore:
+			simNS++
+		case trace.OpBranch:
+			hist <<= 1
+			if in.Taken {
+				hist |= 1
+			}
+		case trace.OpJump, trace.OpCall, trace.OpRet, trace.OpIndirect:
+			hist = hist<<1 | 1
+		}
+
+		// Replay step's window backpressure and fetch placement for
+		// inst j+1 (assuming an icache hit and no redirect).
+		next := &insts[j+1]
+		s := j + 1
+		var wr uint64
+		if s >= uint64(p.cfg.ROB) {
+			if c := p.ringAt(s - uint64(p.cfg.ROB)); c != nil && c.commitC > wr {
+				wr = c.commitC
+			}
+		}
+		if s >= uint64(p.cfg.IQ) {
+			if c := p.ringAt(s - uint64(p.cfg.IQ)); c != nil && c.issueC > wr {
+				wr = c.issueC
+			}
+		}
+		switch next.Op {
+		case trace.OpLoad:
+			if simNL >= uint64(p.cfg.LDQ) {
+				if old := p.loadRing[(simNL-uint64(p.cfg.LDQ))%uint64(len(p.loadRing))]; old.commitC > wr {
+					wr = old.commitC
+				}
+			}
+		case trace.OpStore:
+			if simNS >= uint64(p.cfg.STQ) {
+				if old := p.storeRing[(simNS-uint64(p.cfg.STQ))%uint64(len(p.storeRing))]; old.commitC > wr {
+					wr = old.commitC
+				}
+			}
+		}
+		var floor uint64
+		if wr > uint64(p.cfg.FetchToExec) {
+			floor = wr - uint64(p.cfg.FetchToExec)
+		}
+		if floor > simFC {
+			simFC = floor
+			simUsed = 0
+		}
+		if simUsed >= p.cfg.FetchWidth {
+			simFC++
+			simUsed = 0
+		}
+		simUsed++
+		if simFC > limitC {
+			break
+		}
+
+		if next.Op != trace.OpLoad || next.Flags.NoPredict() {
+			continue
+		}
+		inflight := p.inflight.get(next.PC)
+		for k := 0; k < n; k++ {
+			if b.probes[k].PC == next.PC {
+				inflight++
+			}
+		}
+		b.probes[n] = core.Probe{
+			PC:         next.PC,
+			BranchHist: hist,
+			LoadPath:   path,
+			Inflight:   inflight,
+		}
+		b.seqs[n] = s
+		n++
+	}
+	if n < 2 {
+		return false
+	}
+	b.n = n
+	b.gen = p.engineGen
+	p.batchEng.ProbeBatch(b.probes[:n], b.lks[:n])
+	return true
+}

@@ -12,12 +12,38 @@ import (
 	"repro/internal/trace"
 )
 
-// ringSize bounds how far back per-instruction timing records are kept.
-// It comfortably exceeds every window resource (ROB 224, LDQ 72 ...).
-const ringSize = 8192
+// timingRingSize returns how far back per-instruction timing records
+// are kept: the next power of two past twice the largest window
+// resource (ROB, IQ). The ROB/IQ backpressure probes look back exactly
+// ROB and IQ slots; the memory-dependence probe (ringAt(depSeq)) can
+// ask about arbitrarily old stores, but a record with seq <= cur-ROB
+// can never satisfy its `execDone > rdy` test — in-order commit makes
+// commitC monotone in seq and execDone <= commitC, so such a record's
+// execDone <= commitC(cur-ROB) <= windowReady <= rdy — making a ring
+// just past the ROB indistinguishable from an unbounded history. Twice
+// the window keeps the ring small enough to stay cache-resident (the
+// former fixed 8192-slot ring streamed 320KB through the cache every
+// 8K instructions).
+func timingRingSize(cfg Config) int {
+	n := cfg.ROB
+	if cfg.IQ > n {
+		n = cfg.IQ
+	}
+	size := 256
+	for size < 2*n {
+		size <<= 1
+	}
+	return size
+}
 
+// slotTiming is one per-instruction timing record. A record is live only
+// when both seq and run match the query: tagging each record with the
+// run generation lets Reset retire the whole 256KB ring by bumping a
+// counter instead of clearing it (a stale record and an absent one are
+// indistinguishable to every ringAt consumer).
 type slotTiming struct {
 	seq      uint64
+	run      uint64
 	issueC   uint64
 	execDone uint64
 	commitC  uint64
@@ -53,6 +79,10 @@ type pendingTrain struct {
 	specSeq uint64 // the load's sequence number
 	fcAt    uint64 // fetch cycle when queued (a lower bound on probeC)
 }
+
+// instretEvery is the cadence, in retired instructions, at which the
+// pipeline flushes the batched Instret count to the engine.
+const instretEvery = 4096
 
 // trainQueue is a FIFO of pending trainings in program order.
 type trainQueue struct {
@@ -101,6 +131,17 @@ type Pipeline struct {
 	mdp    *memdep.Predictor
 	engine Engine
 
+	// Probe batching (see batch.go). batchEng is the engine's
+	// BatchEngine refinement (nil when unsupported), lookahead the
+	// in-memory remainder of the instruction stream during slice-fast-
+	// path runs, engineGen a counter bumped on every engine mutation so
+	// stale batches are discarded.
+	batchEng  BatchEngine
+	lookahead []trace.Inst
+	engineGen uint64
+	batch     probeBatch
+	batchCool uint64 // no batch fills until this sequence number
+
 	hist     branch.History
 	loadPath uint64
 
@@ -117,7 +158,9 @@ type Pipeline struct {
 
 	regReady [trace.NumRegs]uint64
 
-	ring      [ringSize]slotTiming
+	ring      []slotTiming
+	ringMask  uint64
+	runGen    uint64 // current run generation; ring records from other runs are dead
 	loadRing  []loadStoreTiming
 	storeRing []loadStoreTiming
 	nLoads    uint64
@@ -177,8 +220,14 @@ func (p *Pipeline) build(cfg Config, engine Engine) {
 	p.ras = branch.NewRAS(cfg.RASSize)
 	p.mdp = memdep.New(cfg.MemDep)
 	p.engine = engine
+	p.batchEng = nil
+	if cfg.BatchProbes {
+		p.batchEng, _ = engine.(BatchEngine)
+	}
 	p.loadRing = make([]loadStoreTiming, cfg.LDQ+1)
 	p.storeRing = make([]loadStoreTiming, cfg.STQ+1)
+	p.ring = make([]slotTiming, timingRingSize(cfg))
+	p.ringMask = uint64(len(p.ring) - 1)
 	n := cycleRingSize(cfg)
 	p.laneUse = newCycleRing(n)
 	p.lsUse = newCycleRing(n)
@@ -224,7 +273,8 @@ func configEqual(a, b Config) bool {
 		a.PAQPrefetchOnMiss == b.PAQPrefetchOnMiss &&
 		a.SuppressStoreConflicts == b.SuppressStoreConflicts &&
 		a.ReplayRecovery == b.ReplayRecovery &&
-		a.ReplayPenalty == b.ReplayPenalty
+		a.ReplayPenalty == b.ReplayPenalty &&
+		a.BatchProbes == b.BatchProbes
 }
 
 // Reset prepares the pipeline for a fresh run with cfg and engine,
@@ -247,13 +297,18 @@ func (p *Pipeline) Reset(cfg Config, engine Engine) {
 		p.lineFill.reset()
 		p.inflight.reset()
 		p.engine = engine
+		p.batchEng = nil
+		if cfg.BatchProbes {
+			p.batchEng, _ = engine.(BatchEngine)
+		}
 	}
+	p.batch.n, p.batch.pos = 0, 0
 	p.hist = branch.History{}
 	p.loadPath = 0
 	p.fetchCycle, p.fetchUsed, p.redirectC = 0, 0, 0
 	p.commitCycle, p.commitUsed = 0, 0
 	p.regReady = [trace.NumRegs]uint64{}
-	clear(p.ring[:])
+	p.runGen++ // retire all ring records without clearing 256KB
 	p.nLoads, p.nStores = 0, 0
 	p.pending.q = p.pending.q[:0]
 	p.pending.head = 0
@@ -316,6 +371,16 @@ func (p *Pipeline) resourceClobbers() uint64 {
 // simulation keeps running: one check interval at most.
 const cancelCheckInterval = 8192
 
+// instSlicer is the optional Generator refinement the run loop uses to
+// walk an in-memory instruction stream in place (implemented by
+// trace.Replay and artifact cursors). The returned slice is read-only:
+// step never writes through its *trace.Inst, so one recording can feed
+// many concurrent pipelines.
+type instSlicer interface {
+	Remaining() []trace.Inst
+	Advance(n int)
+}
+
 // Run simulates gen to completion and returns the collected metrics.
 func (p *Pipeline) Run(gen trace.Generator, workload, config string) stats.Run {
 	return p.RunCtx(context.Background(), gen, workload, config)
@@ -345,30 +410,67 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 	done := ctx.Done()
 	var seq uint64
 	var lastCommit uint64
-	for {
-		if done != nil && seq%cancelCheckInterval == 0 {
-			select {
-			case <-done:
-				p.run.Aborted = true
-			default:
+	if sl, ok := gen.(instSlicer); ok {
+		// Slice fast path: generators whose remaining stream is already
+		// in memory (Replay, artifact cursors) are walked in place — no
+		// per-instruction interface dispatch, no 64-byte copy into the
+		// scratch slot. Identical control flow to the generic loop below.
+		insts := sl.Remaining()
+		p.lookahead = insts
+		p.batch.n, p.batch.pos = 0, 0
+		p.batchCool = 0
+		for seq < uint64(len(insts)) {
+			if done != nil && seq%cancelCheckInterval == 0 {
+				select {
+				case <-done:
+					p.run.Aborted = true
+				default:
+				}
+				if p.run.Aborted {
+					break
+				}
 			}
-			if p.run.Aborted {
+			lastCommit = p.step(seq, &insts[seq])
+			seq++
+			if seq%4096 == 0 {
+				p.prune()
+			}
+			if p.progress != nil {
+				p.progLeft--
+				if p.progLeft == 0 {
+					p.progLeft = p.progEvery
+					p.publishProgress(seq, lastCommit)
+				}
+			}
+		}
+		sl.Advance(int(seq))
+		p.lookahead = nil
+	} else {
+		for {
+			if done != nil && seq%cancelCheckInterval == 0 {
+				select {
+				case <-done:
+					p.run.Aborted = true
+				default:
+				}
+				if p.run.Aborted {
+					break
+				}
+			}
+			if !gen.Next(&p.in) {
 				break
 			}
-		}
-		if !gen.Next(&p.in) {
-			break
-		}
-		lastCommit = p.step(seq, &p.in)
-		seq++
-		if seq%4096 == 0 {
-			p.prune()
-		}
-		if p.progress != nil {
-			p.progLeft--
-			if p.progLeft == 0 {
-				p.progLeft = p.progEvery
-				p.publishProgress(seq, lastCommit)
+			lastCommit = p.step(seq, &p.in)
+			seq++
+			if seq%4096 == 0 {
+				p.prune()
+			}
+			if p.progress != nil {
+				p.progLeft--
+				if p.progLeft == 0 {
+					p.progLeft = p.progEvery
+					p.publishProgress(seq, lastCommit)
+				}
 			}
 		}
 	}
@@ -377,6 +479,7 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 	if p.engine != nil && p.instretBatch > 0 {
 		p.engine.Instret(p.instretBatch)
 		p.instretBatch = 0
+		p.engineGen++
 	}
 	if p.progress != nil {
 		p.publishProgress(seq, lastCommit)
@@ -463,7 +566,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 			LoadPath:   p.loadPath,
 			Inflight:   p.inflight.get(in.PC),
 		}
-		rec, pred, delivered = p.engine.Probe(probe)
+		rec, pred, delivered = p.probeLoad(seq, fc, probe)
 		p.inflight.inc(in.PC)
 		// Even when no prediction is delivered, validation of the
 		// squashed/unchosen components resolves addresses as a probe
@@ -634,7 +737,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 	}
 	p.commitUsed++
 
-	p.ring[seq%ringSize] = slotTiming{seq: seq, issueC: issueC, execDone: execDone, commitC: cc}
+	p.ring[seq&p.ringMask] = slotTiming{seq: seq, run: p.runGen, issueC: issueC, execDone: execDone, commitC: cc}
 	switch in.Op {
 	case trace.OpLoad:
 		p.loadRing[p.nLoads%uint64(len(p.loadRing))] = loadStoreTiming{seq: seq, commitC: cc}
@@ -646,9 +749,10 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 
 	if p.engine != nil {
 		p.instretBatch++
-		if p.instretBatch >= 4096 {
+		if p.instretBatch >= instretEvery {
 			p.engine.Instret(p.instretBatch)
 			p.instretBatch = 0
+			p.engineGen++
 		}
 	}
 	return cc
@@ -822,6 +926,7 @@ func (p *Pipeline) trainOne(t pendingTrain) {
 	p.inflight.dec(t.outcome.PC)
 	p.trainSeq, p.trainProbeC = t.specSeq, t.probeC
 	p.engine.Train(t.outcome, t.rec, p.resolve)
+	p.engineGen++
 }
 
 // paqAdmit reports whether the Predicted Address Queue has room for a
@@ -886,8 +991,8 @@ func (p *Pipeline) allocLSLane(start uint64) uint64 {
 
 // ringAt returns the timing record for seq if it is still in the ring.
 func (p *Pipeline) ringAt(seq uint64) *slotTiming {
-	s := &p.ring[seq%ringSize]
-	if s.seq != seq {
+	s := &p.ring[seq&p.ringMask]
+	if s.seq != seq || s.run != p.runGen {
 		return nil
 	}
 	return s

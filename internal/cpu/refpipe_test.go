@@ -17,6 +17,12 @@ import (
 // `rec any` boxing became a uint64 handle — pure plumbing that cannot
 // affect results, since records flow opaquely from Probe to Train in
 // the same order in both implementations).
+// refRingSize is the historical fixed timing-ring size. The production
+// pipeline now derives a much smaller, cache-resident ring from the
+// window configuration (see timingRingSize); the golden differential
+// proves the two sizes indistinguishable.
+const refRingSize = 8192
+
 type refPipeline struct {
 	cfg    Config
 	hier   *mem.Hierarchy
@@ -40,7 +46,7 @@ type refPipeline struct {
 
 	regReady [trace.NumRegs]uint64
 
-	ring      [ringSize]slotTiming
+	ring      [refRingSize]slotTiming
 	loadRing  []loadStoreTiming
 	storeRing []loadStoreTiming
 	nLoads    uint64
@@ -313,7 +319,7 @@ func (p *refPipeline) step(seq uint64, in *trace.Inst) uint64 {
 	}
 	p.commitUsed++
 
-	p.ring[seq%ringSize] = slotTiming{seq: seq, issueC: issueC, execDone: execDone, commitC: cc}
+	p.ring[seq%refRingSize] = slotTiming{seq: seq, issueC: issueC, execDone: execDone, commitC: cc}
 	switch in.Op {
 	case trace.OpLoad:
 		p.loadRing[p.nLoads%uint64(len(p.loadRing))] = loadStoreTiming{seq: seq, commitC: cc}
@@ -515,7 +521,7 @@ func (p *refPipeline) allocLSLane(start uint64) uint64 {
 }
 
 func (p *refPipeline) ringAt(seq uint64) *slotTiming {
-	s := &p.ring[seq%ringSize]
+	s := &p.ring[seq%refRingSize]
 	if s.seq != seq {
 		return nil
 	}

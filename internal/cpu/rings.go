@@ -18,17 +18,22 @@ func mix64(x uint64) uint64 {
 
 // cycleRing counts resource claims per cycle over a sliding window of
 // future cycles. A slot is valid for cycle c only when its tag matches
-// c's high bits; a stale tag reads as zero, exactly like a pruned map
-// entry. Correctness needs the window (the ring size) to exceed the
-// farthest distance between two live claimed cycles — cycleRingSize
-// derives that bound from the core configuration. inc records a clobber
-// when it ever overwrites a slot tagged for a *future* cycle, so
-// undersizing is detectable rather than silent.
+// c's high bits and the current run epoch; a stale tag reads as zero,
+// exactly like a pruned map entry. Correctness needs the window (the
+// ring size) to exceed the farthest distance between two live claimed
+// cycles — cycleRingSize derives that bound from the core
+// configuration. inc records a clobber when it ever overwrites a slot
+// tagged for a *future* cycle of the same run, so undersizing is
+// detectable rather than silent. reset bumps the epoch (folded into the
+// tag's high bits) instead of clearing the arrays — the three pipeline
+// rings together span megabytes, and epoch tagging makes a pooled reset
+// constant-time.
 type cycleRing struct {
-	tags     []uint32
+	tags     []uint64 // (epoch << 32) | (cycle >> shift)
 	counts   []uint16
 	mask     uint64
 	shift    uint
+	epoch    uint64
 	clobbers uint64
 }
 
@@ -38,16 +43,17 @@ func newCycleRing(size int) cycleRing {
 		shift++
 	}
 	return cycleRing{
-		tags:   make([]uint32, size),
+		tags:   make([]uint64, size),
 		counts: make([]uint16, size),
 		mask:   uint64(size - 1),
 		shift:  shift,
+		epoch:  1, // zero-valued slots never match
 	}
 }
 
 func (r *cycleRing) get(c uint64) int {
 	i := c & r.mask
-	if r.tags[i] != uint32(c>>r.shift) {
+	if r.tags[i] != r.epoch<<32|c>>r.shift {
 		return 0
 	}
 	return int(r.counts[i])
@@ -55,7 +61,7 @@ func (r *cycleRing) get(c uint64) int {
 
 func (r *cycleRing) inc(c uint64) {
 	i := c & r.mask
-	t := uint32(c >> r.shift)
+	t := r.epoch<<32 | c>>r.shift
 	if r.tags[i] != t {
 		if r.tags[i] > t {
 			r.clobbers++
@@ -68,8 +74,7 @@ func (r *cycleRing) inc(c uint64) {
 }
 
 func (r *cycleRing) reset() {
-	clear(r.tags)
-	clear(r.counts)
+	r.epoch++
 }
 
 // cycleRingSize returns the claim window for cfg: the farthest a claimed

@@ -37,15 +37,22 @@ type Options struct {
 
 	// Parallel is the worker count (default GOMAXPROCS).
 	Parallel int
+
+	// Traces, when non-nil, supplies recorded workload streams from a
+	// content-addressed artifact store: each run replays a shared
+	// recording instead of regenerating the stream, and replays engage
+	// the pipeline's slice fast path. Nil keeps live generation.
+	Traces *trace.ArtifactStore
 }
 
 // Context caches baseline runs and fans simulation jobs out over a
 // worker pool. It is safe for concurrent use.
 type Context struct {
-	insts uint64
-	seed  uint64
-	pool  []trace.Workload
-	par   int
+	insts  uint64
+	seed   uint64
+	pool   []trace.Workload
+	par    int
+	traces *trace.ArtifactStore
 
 	mu        sync.Mutex
 	baselines map[string]stats.Run
@@ -67,9 +74,10 @@ func NewContext(opts Options) *Context {
 // names as an error instead of panicking.
 func NewContextErr(opts Options) (*Context, error) {
 	c := &Context{
-		insts: opts.Insts,
-		seed:  opts.Seed,
-		par:   opts.Parallel,
+		insts:  opts.Insts,
+		seed:   opts.Seed,
+		par:    opts.Parallel,
+		traces: opts.Traces,
 	}
 	if c.insts == 0 {
 		c.insts = 100_000
@@ -182,7 +190,7 @@ func (c *Context) BaselineMachineProgressCtx(ctx context.Context, w trace.Worklo
 			// Attach after Acquire: the pool's Reset detaches slots.
 			p.SetProgress(pr, every)
 		}
-		r := p.RunCtx(ctx, w.Build(c.insts), w.Name, "base")
+		r := p.RunCtx(ctx, c.gen(w), w.Name, "base")
 		cpu.Release(p)
 		c.mu.Lock()
 		delete(c.inflight, key)
@@ -244,7 +252,21 @@ func (c *Context) RunEngineCfgProgressCtx(ctx context.Context, w trace.Workload,
 		// Attach after Acquire: the pool's Reset detaches slots.
 		p.SetProgress(pr, every)
 	}
-	return p.RunCtx(ctx, w.Build(c.insts), w.Name, config)
+	return p.RunCtx(ctx, c.gen(w), w.Name, config)
+}
+
+// gen returns the instruction source for one run of w: a cursor over
+// the shared recorded artifact when the context has a trace store
+// (repeat runs replay one recording instead of regenerating the
+// stream), a fresh live generator otherwise. A store failure falls
+// back to live generation — a trace cache must never fail a run.
+func (c *Context) gen(w trace.Workload) trace.Generator {
+	if c.traces != nil {
+		if cur, err := c.traces.Cursor(w.Name, c.insts); err == nil {
+			return cur
+		}
+	}
+	return w.Build(c.insts)
 }
 
 // PerWorkload runs the engine configuration on every pool workload in

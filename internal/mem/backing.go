@@ -11,19 +11,68 @@
 // themselves return.
 package mem
 
+// Page geometry: 64KB pages of 8-byte words. Pages are the unit of
+// materialization and of copying between images.
+const (
+	pageWordsLog = 13 // 8192 words = 64KB of data per page
+	pageWords    = 1 << pageWordsLog
+	pageWordMask = pageWords - 1
+
+	// arenaChunkPages is how many pages one arena chunk holds. Pages are
+	// handed out from chunks so a growing image performs one allocation
+	// per chunk, not one per page, and page pointers stay stable (chunks
+	// are never reallocated, only appended).
+	arenaChunkPages = 8
+)
+
+// page is one 64KB span of the image: fully materialized word contents
+// plus a written-word bitmap. The words array always holds the correct
+// current contents for every word in the page — unwritten words carry
+// their deterministic fill values, installed when the page materializes
+// — so reads are plain array loads with no per-word validity check. The
+// bitmap exists only for Footprint accounting (distinct words written).
+type page struct {
+	words   [pageWords]uint64
+	written [pageWords / 64]uint64
+}
+
 // Backing is a sparse, byte-addressable memory. Locations never written
 // return a deterministic pseudo-random fill derived from the address and
 // the seed, so "cold" data is stable across reads but uncorrelated
 // between addresses (an unwritten region behaves like initialized,
 // unpredictable program data).
+//
+// Storage is flat-paged: the image is a set of lazily-materialized 64KB
+// pages found through an open-addressed page table with a last-page
+// memo, replacing the former map[uint64]uint64 word store (one hashed
+// map lookup per access) with a shift, a compare, and an indexed load on
+// the hot path.
 type Backing struct {
-	words map[uint64]uint64 // keyed by addr >> 3
-	seed  uint64
+	seed uint64
+
+	// Open-addressed page table: keys holds pageNum+1 (0 = empty slot),
+	// pages the corresponding page pointers. Power-of-two sized, grown
+	// at 3/4 load.
+	keys  []uint64
+	pages []*page
+	used  int
+
+	// Last-page memo: the vast majority of accesses touch the same page
+	// as their predecessor.
+	memoKey  uint64 // pageNum+1, 0 = no memo
+	memoPage *page
+
+	// Arena: pages are carved out of append-only chunks. nAlloc counts
+	// pages handed out; resetting it recycles every chunk's storage.
+	chunks [][]page
+	nAlloc int
+
+	footprint int // distinct words written (Footprint)
 }
 
 // NewBacking returns an empty backing memory with the given fill seed.
 func NewBacking(seed uint64) *Backing {
-	return &Backing{words: make(map[uint64]uint64), seed: seed}
+	return &Backing{seed: seed}
 }
 
 // fill produces the deterministic contents of an unwritten 8-byte word.
@@ -34,17 +83,114 @@ func (b *Backing) fill(wordIdx uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// pageFor returns the materialized page holding wordIdx, or nil when
+// the page has never been written.
+func (b *Backing) pageFor(wordIdx uint64) *page {
+	key := (wordIdx >> pageWordsLog) + 1
+	if key == b.memoKey {
+		return b.memoPage
+	}
+	if b.used == 0 {
+		return nil
+	}
+	mask := uint64(len(b.keys) - 1)
+	for slot := mix64(key) & mask; ; slot = (slot + 1) & mask {
+		switch b.keys[slot] {
+		case key:
+			b.memoKey, b.memoPage = key, b.pages[slot]
+			return b.memoPage
+		case 0:
+			return nil
+		}
+	}
+}
+
+// ensurePage returns the page holding wordIdx, materializing it (every
+// word set to its fill value) on first touch.
+func (b *Backing) ensurePage(wordIdx uint64) *page {
+	if p := b.pageFor(wordIdx); p != nil {
+		return p
+	}
+	p := b.newPage()
+	base := wordIdx &^ uint64(pageWordMask)
+	for i := range p.words {
+		p.words[i] = b.fill(base + uint64(i))
+	}
+	key := (wordIdx >> pageWordsLog) + 1
+	b.insert(key, p)
+	b.memoKey, b.memoPage = key, p
+	return p
+}
+
+// newPage hands out the next arena page (recycled after a reset, so
+// the written bitmap is cleared here; callers overwrite every word).
+func (b *Backing) newPage() *page {
+	ci, idx := b.nAlloc/arenaChunkPages, b.nAlloc%arenaChunkPages
+	if ci == len(b.chunks) {
+		b.chunks = append(b.chunks, make([]page, arenaChunkPages))
+	}
+	p := &b.chunks[ci][idx]
+	b.nAlloc++
+	p.written = [pageWords / 64]uint64{}
+	return p
+}
+
+// insert adds (key, p) to the page table, growing it as needed.
+func (b *Backing) insert(key uint64, p *page) {
+	if 4*(b.used+1) > 3*len(b.keys) {
+		b.grow()
+	}
+	mask := uint64(len(b.keys) - 1)
+	slot := mix64(key) & mask
+	for b.keys[slot] != 0 {
+		slot = (slot + 1) & mask
+	}
+	b.keys[slot] = key
+	b.pages[slot] = p
+	b.used++
+}
+
+func (b *Backing) grow() {
+	n := 2 * len(b.keys)
+	if n < 16 {
+		n = 16
+	}
+	oldKeys, oldPages := b.keys, b.pages
+	b.keys = make([]uint64, n)
+	b.pages = make([]*page, n)
+	mask := uint64(n - 1)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		slot := mix64(k) & mask
+		for b.keys[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		b.keys[slot] = k
+		b.pages[slot] = oldPages[i]
+	}
+}
+
+// mix64 scrambles page-table keys (splitmix64 finalizer).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // word returns the current contents of the 8-byte word containing addr.
 func (b *Backing) word(wordIdx uint64) uint64 {
-	if w, ok := b.words[wordIdx]; ok {
-		return w
+	if p := b.pageFor(wordIdx); p != nil {
+		return p.words[wordIdx&pageWordMask]
 	}
 	return b.fill(wordIdx)
 }
 
 // Read returns size bytes at addr, zero-extended, little-endian. Reads
 // may straddle an 8-byte word boundary. The access touches at most two
-// words (one or two map lookups) rather than one per byte.
+// words rather than one per byte; a word in a materialized page is a
+// single indexed load.
 func (b *Backing) Read(addr uint64, size uint8) uint64 {
 	if size == 0 || size > 8 {
 		size = 8
@@ -60,6 +206,18 @@ func (b *Backing) Read(addr uint64, size uint8) uint64 {
 		v &= (uint64(1) << nbits) - 1
 	}
 	return v
+}
+
+// setWord stores a full word, materializing its page and maintaining
+// the footprint count.
+func (b *Backing) setWord(wordIdx, val uint64) {
+	p := b.ensurePage(wordIdx)
+	i := wordIdx & pageWordMask
+	p.words[i] = val
+	if bit := uint64(1) << (i & 63); p.written[i>>6]&bit == 0 {
+		p.written[i>>6] |= bit
+		b.footprint++
+	}
 }
 
 // Write stores the low size bytes of val at addr, little-endian,
@@ -82,37 +240,86 @@ func (b *Backing) Write(addr uint64, size uint8, val uint64) {
 	if n0 < 64 {
 		mask0 = (uint64(1) << n0) - 1
 	}
-	b.words[w0] = b.word(w0)&^(mask0<<off) | (val&mask0)<<off
+	b.setWord(w0, b.word(w0)&^(mask0<<off)|(val&mask0)<<off)
 	if rem := nbits - n0; rem > 0 {
 		maskR := (uint64(1) << rem) - 1
-		b.words[w0+1] = b.word(w0+1)&^maskR | (val>>n0)&maskR
+		b.setWord(w0+1, b.word(w0+1)&^maskR|(val>>n0)&maskR)
 	}
 }
 
 // Footprint reports the number of 8-byte words explicitly written.
-func (b *Backing) Footprint() int { return len(b.words) }
+func (b *Backing) Footprint() int { return b.footprint }
 
 // Clone returns an independent copy sharing the same fill function.
 // The simulator clones the workload's architectural memory so that its
 // own copy (updated at store commit) can diverge from the generator's.
 func (b *Backing) Clone() *Backing {
-	c := &Backing{words: make(map[uint64]uint64, len(b.words)), seed: b.seed}
-	for k, v := range b.words {
-		c.words[k] = v
-	}
+	c := &Backing{}
+	c.CopyFrom(b)
 	return c
 }
 
 // CopyFrom makes b an independent copy of src (seed and contents),
-// reusing b's map storage — the allocation-free counterpart of Clone
-// for pooled pipelines.
+// reusing b's page storage — the allocation-free counterpart of Clone
+// for pooled pipelines. Copying is page-granular: one table copy plus
+// one 64KB memcpy per materialized page, instead of the former per-word
+// map rebuild.
 func (b *Backing) CopyFrom(src *Backing) {
 	b.seed = src.seed
-	clear(b.words)
-	for k, v := range src.words {
-		b.words[k] = v
+	b.footprint = src.footprint
+	b.memoKey, b.memoPage = 0, nil
+	b.nAlloc = 0
+	b.used = 0
+	// Rebuild into b's existing table when it is at least as large as
+	// src's: a pooled image that grew past its source (stores to pages
+	// outside the workload image) keeps its capacity instead of
+	// shrink-then-regrow reallocating every run.
+	n := len(b.keys)
+	if n < len(src.keys) {
+		n = len(src.keys)
+	}
+	if len(b.keys) != n {
+		b.keys = make([]uint64, n)
+		b.pages = make([]*page, n)
+	} else {
+		clear(b.keys)
+		for i := range b.pages {
+			b.pages[i] = nil
+		}
+	}
+	if n == 0 {
+		return
+	}
+	mask := uint64(n - 1)
+	for i, k := range src.keys {
+		if k == 0 {
+			continue
+		}
+		p := b.newPage()
+		*p = *src.pages[i]
+		slot := mix64(k) & mask
+		for b.keys[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		b.keys[slot] = k
+		b.pages[slot] = p
+		b.used++
 	}
 }
 
-// Reset discards all written data.
-func (b *Backing) Reset() { clear(b.words) }
+// Reset discards all written data, keeping table and arena storage for
+// reuse.
+func (b *Backing) Reset() {
+	clear(b.keys)
+	for i := range b.pages {
+		b.pages[i] = nil
+	}
+	b.used = 0
+	b.memoKey, b.memoPage = 0, nil
+	b.footprint = 0
+	b.nAlloc = 0
+}
+
+// PageCount reports the number of materialized 64KB pages (for memory
+// accounting in tests and tools).
+func (b *Backing) PageCount() int { return b.used }

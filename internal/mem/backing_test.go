@@ -1,0 +1,284 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mapBacking is the original map-backed implementation, kept verbatim
+// as the reference model for differential testing: the flat-page
+// Backing must be observationally identical to it (reads, footprint,
+// straddling behavior, cold-fill values).
+type mapBacking struct {
+	words map[uint64]uint64
+	seed  uint64
+}
+
+func newMapBacking(seed uint64) *mapBacking {
+	return &mapBacking{words: make(map[uint64]uint64), seed: seed}
+}
+
+func (b *mapBacking) fill(wordIdx uint64) uint64 {
+	z := wordIdx*0x9E3779B97F4A7C15 + b.seed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (b *mapBacking) word(wordIdx uint64) uint64 {
+	if w, ok := b.words[wordIdx]; ok {
+		return w
+	}
+	return b.fill(wordIdx)
+}
+
+func (b *mapBacking) Read(addr uint64, size uint8) uint64 {
+	if size == 0 || size > 8 {
+		size = 8
+	}
+	w0 := addr >> 3
+	off := (addr & 7) * 8
+	nbits := uint64(size) * 8
+	v := b.word(w0) >> off
+	if off+nbits > 64 {
+		v |= b.word(w0+1) << (64 - off)
+	}
+	if nbits < 64 {
+		v &= (uint64(1) << nbits) - 1
+	}
+	return v
+}
+
+func (b *mapBacking) Write(addr uint64, size uint8, val uint64) {
+	if size == 0 || size > 8 {
+		size = 8
+	}
+	w0 := addr >> 3
+	off := (addr & 7) * 8
+	nbits := uint64(size) * 8
+	if nbits < 64 {
+		val &= (uint64(1) << nbits) - 1
+	}
+	n0 := nbits
+	if n0 > 64-off {
+		n0 = 64 - off
+	}
+	mask0 := ^uint64(0)
+	if n0 < 64 {
+		mask0 = (uint64(1) << n0) - 1
+	}
+	b.words[w0] = b.word(w0)&^(mask0<<off) | (val&mask0)<<off
+	if rem := nbits - n0; rem > 0 {
+		maskR := (uint64(1) << rem) - 1
+		b.words[w0+1] = b.word(w0+1)&^maskR | (val>>n0)&maskR
+	}
+}
+
+func (b *mapBacking) Footprint() int { return len(b.words) }
+
+// pageBytes is the page data span in bytes, for boundary arithmetic in
+// the tests below.
+const pageBytes = pageWords * 8
+
+// TestBackingPageBoundaryStraddles exercises reads and writes that
+// straddle word boundaries exactly at page edges, where the two words
+// of one access live in different pages (including one materialized,
+// one cold).
+func TestBackingPageBoundaryStraddles(t *testing.T) {
+	for _, base := range []uint64{pageBytes, 3 * pageBytes, 7 * pageBytes} {
+		b := NewBacking(0xFEED)
+		ref := newMapBacking(0xFEED)
+		// Straddle the boundary: 4 bytes before, 4 after.
+		addr := base - 4
+		b.Write(addr, 8, 0x1122334455667788)
+		ref.Write(addr, 8, 0x1122334455667788)
+		for sz := uint8(1); sz <= 8; sz++ {
+			for d := uint64(0); d < 16; d++ {
+				a := base - 8 + d
+				if got, want := b.Read(a, sz), ref.Read(a, sz); got != want {
+					t.Fatalf("base %#x read(%#x,%d) = %#x, want %#x", base, a, sz, got, want)
+				}
+			}
+		}
+		if b.Footprint() != ref.Footprint() {
+			t.Fatalf("footprint %d != ref %d", b.Footprint(), ref.Footprint())
+		}
+		// Write only into the cold side; the warm side must be untouched.
+		b.Write(base+pageBytes, 2, 0xBEEF)
+		ref.Write(base+pageBytes, 2, 0xBEEF)
+		if got, want := b.Read(base-8, 8), ref.Read(base-8, 8); got != want {
+			t.Fatalf("warm side disturbed: %#x != %#x", got, want)
+		}
+	}
+}
+
+// TestBackingColdFillMatchesReference checks that never-written words,
+// in and out of materialized pages, return the reference fill.
+func TestBackingColdFillMatchesReference(t *testing.T) {
+	b := NewBacking(42)
+	ref := newMapBacking(42)
+	// Materialize one page with a single write…
+	b.Write(pageBytes+8, 8, 7)
+	ref.Write(pageBytes+8, 8, 7)
+	// …then sample cold words inside that page and far outside it.
+	addrs := []uint64{0, 8, pageBytes, pageBytes + 16, pageBytes + pageBytes/2,
+		2*pageBytes - 8, 100 * pageBytes, 1 << 40}
+	for _, a := range addrs {
+		for _, sz := range []uint8{1, 2, 4, 8} {
+			if got, want := b.Read(a, sz), ref.Read(a, sz); got != want {
+				t.Fatalf("cold read(%#x,%d) = %#x, want %#x", a, sz, got, want)
+			}
+		}
+	}
+}
+
+// TestBackingCopyFromAcrossPages checks CopyFrom with a multi-page
+// source, including subsequent divergence of the two images.
+func TestBackingCopyFromAcrossPages(t *testing.T) {
+	src := NewBacking(9)
+	for i := uint64(0); i < 5; i++ {
+		src.Write(i*pageBytes+i*8, 8, i+1)
+	}
+	dst := NewBacking(1234) // different seed, existing contents
+	dst.Write(99, 4, 0xAA)
+
+	dst.CopyFrom(src)
+	if dst.Footprint() != src.Footprint() {
+		t.Fatalf("footprint %d != %d after CopyFrom", dst.Footprint(), src.Footprint())
+	}
+	for i := uint64(0); i < 5; i++ {
+		if got := dst.Read(i*pageBytes+i*8, 8); got != i+1 {
+			t.Fatalf("page %d: got %#x", i, got)
+		}
+	}
+	// Cold fill must now follow src's seed.
+	srcCold := src.Read(10*pageBytes, 8)
+	if got := dst.Read(10*pageBytes, 8); got != srcCold {
+		t.Fatalf("cold fill after CopyFrom = %#x, want %#x", got, srcCold)
+	}
+	// Divergence: writes to dst must not leak into src.
+	dst.Write(0, 8, 0xD00D)
+	if src.Read(0, 8) == 0xD00D {
+		t.Fatal("CopyFrom aliased page storage")
+	}
+}
+
+// TestBackingCopyFromReuse checks the pooled pattern: repeated CopyFrom
+// into the same Backing from different sources stays correct as arena
+// pages are recycled.
+func TestBackingCopyFromReuse(t *testing.T) {
+	dst := NewBacking(0)
+	for round := uint64(1); round <= 4; round++ {
+		src := NewBacking(round)
+		ref := newMapBacking(round)
+		for i := uint64(0); i < 3*round; i++ {
+			a := i * (pageBytes / 2)
+			src.Write(a, 8, round<<32|i)
+			ref.Write(a, 8, round<<32|i)
+		}
+		dst.CopyFrom(src)
+		for i := uint64(0); i < 3*round; i++ {
+			a := i * (pageBytes / 2)
+			if got, want := dst.Read(a, 8), ref.Read(a, 8); got != want {
+				t.Fatalf("round %d read(%#x) = %#x, want %#x", round, a, got, want)
+			}
+		}
+		if dst.Footprint() != ref.Footprint() {
+			t.Fatalf("round %d footprint %d != %d", round, dst.Footprint(), ref.Footprint())
+		}
+	}
+}
+
+// TestBackingResetRecycles checks Reset drops contents and footprint
+// while recycled pages do not leak prior data.
+func TestBackingResetRecycles(t *testing.T) {
+	b := NewBacking(5)
+	ref := newMapBacking(5)
+	b.Write(64, 8, ^uint64(0))
+	b.Reset()
+	if b.Footprint() != 0 {
+		t.Fatalf("footprint %d after Reset", b.Footprint())
+	}
+	if got, want := b.Read(64, 8), ref.Read(64, 8); got != want {
+		t.Fatalf("read after Reset = %#x, want cold fill %#x", got, want)
+	}
+	// Re-materializing the same page must behave like a fresh image.
+	b.Write(72, 1, 3)
+	ref.Write(72, 1, 3)
+	if got, want := b.Read(64, 8), ref.Read(64, 8); got != want {
+		t.Fatalf("neighbor word after recycle = %#x, want %#x", got, want)
+	}
+	if b.Footprint() != 1 {
+		t.Fatalf("footprint %d after one word", b.Footprint())
+	}
+}
+
+// TestBackingRandomDifferential drives the flat-page implementation and
+// the map reference with an identical random operation stream and
+// demands identical observations throughout.
+func TestBackingRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBacking(0xABCDEF)
+	ref := newMapBacking(0xABCDEF)
+	// Mix tight clusters (page locality) with page starts and a bounded
+	// far region; writes stay within the far region so the test bounds
+	// how many pages it materializes, while reads also roam the full
+	// 64-bit space (cold reads never materialize).
+	randAddr := func() uint64 {
+		switch rng.Intn(3) {
+		case 0:
+			return uint64(rng.Intn(4 * pageBytes))
+		case 1:
+			return uint64(rng.Intn(64)) * pageBytes // page starts
+		default:
+			return uint64(rng.Intn(1 << 22)) // 4MB far region
+		}
+	}
+	for i := 0; i < 100_000; i++ {
+		addr := randAddr()
+		size := uint8(rng.Intn(10)) // includes 0 and 9 (clamped to 8)
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			b.Write(addr, size, v)
+			ref.Write(addr, size, v)
+		} else {
+			if rng.Intn(8) == 0 {
+				addr = rng.Uint64() >> uint(rng.Intn(24)) // roaming cold read
+			}
+			if got, want := b.Read(addr, size), ref.Read(addr, size); got != want {
+				t.Fatalf("op %d: read(%#x,%d) = %#x, want %#x", i, addr, size, got, want)
+			}
+		}
+	}
+	if b.Footprint() != ref.Footprint() {
+		t.Fatalf("footprint %d != ref %d", b.Footprint(), ref.Footprint())
+	}
+	// Clone equivalence on the final state.
+	c := b.Clone()
+	for i := 0; i < 10_000; i++ {
+		addr := randAddr()
+		if got, want := c.Read(addr, 8), ref.Read(addr, 8); got != want {
+			t.Fatalf("clone read(%#x) = %#x, want %#x", addr, got, want)
+		}
+	}
+}
+
+// FuzzBackingReadWriteEquivalence fuzzes single write-then-read pairs
+// against the map reference, covering straddles at arbitrary offsets.
+func FuzzBackingReadWriteEquivalence(f *testing.F) {
+	f.Add(uint64(0), uint8(8), uint64(1), uint64(4), uint8(4))
+	f.Add(uint64(pageBytes-4), uint8(8), ^uint64(0), uint64(pageBytes-1), uint8(2))
+	f.Add(uint64(13), uint8(3), uint64(0xCAFE), uint64(12), uint8(8))
+	f.Fuzz(func(t *testing.T, wAddr uint64, wSize uint8, val uint64, rAddr uint64, rSize uint8) {
+		b := NewBacking(0x5EED)
+		ref := newMapBacking(0x5EED)
+		b.Write(wAddr, wSize, val)
+		ref.Write(wAddr, wSize, val)
+		if got, want := b.Read(rAddr, rSize), ref.Read(rAddr, rSize); got != want {
+			t.Fatalf("read(%#x,%d) = %#x, want %#x", rAddr, rSize, got, want)
+		}
+		if b.Footprint() != ref.Footprint() {
+			t.Fatalf("footprint %d != %d", b.Footprint(), ref.Footprint())
+		}
+	})
+}

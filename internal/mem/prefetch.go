@@ -5,11 +5,12 @@ package mem
 // load addresses; when a load PC exhibits a stable line-granular stride,
 // the prefetcher requests the next few lines ahead of the demand stream.
 type StridePrefetcher struct {
-	entries []pfEntry
-	mask    uint64
-	degree  int
-	stats   PrefetchStats
-	out     []uint64 // reused Observe result buffer
+	entries  []pfEntry
+	mask     uint64
+	tagShift uint
+	degree   int
+	stats    PrefetchStats
+	out      []uint64 // reused Observe result buffer
 }
 
 type pfEntry struct {
@@ -35,10 +36,11 @@ func NewStridePrefetcher(entries, degree int) *StridePrefetcher {
 		degree = 1
 	}
 	return &StridePrefetcher{
-		entries: make([]pfEntry, entries),
-		mask:    uint64(entries - 1),
-		degree:  degree,
-		out:     make([]uint64, 0, degree),
+		entries:  make([]pfEntry, entries),
+		mask:     uint64(entries - 1),
+		tagShift: uint(len64(uint64(entries - 1))),
+		degree:   degree,
+		out:      make([]uint64, 0, degree),
 	}
 }
 
@@ -51,7 +53,7 @@ func (p *StridePrefetcher) Stats() PrefetchStats { return p.stats }
 // must be consumed before then.
 func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	idx := (pc >> 2) & p.mask
-	tag := uint32(pc >> 2 >> len64(p.mask))
+	tag := uint32(pc >> 2 >> p.tagShift)
 	e := &p.entries[idx]
 	if !e.valid || e.tag != tag {
 		*e = pfEntry{valid: true, tag: tag, lastAddr: addr}

@@ -14,22 +14,33 @@ func DefaultTLBConfig() TLBConfig {
 	return TLBConfig{Entries: 512, Ways: 8, PageBytes: 4096, WalkLatency: 24}
 }
 
+// tlbEntry is valid when its gen matches the TLB's current generation
+// (same constant-time-flush scheme as cacheLine).
 type tlbEntry struct {
-	valid   bool
+	gen     uint64
 	tag     uint64
 	lastUse uint64
 }
 
 // TLB is a set-associative translation lookaside buffer. As with the
 // caches, only residency and latency are modeled; the simulator uses
-// virtual addresses throughout.
+// virtual addresses throughout. Entries are stored flat (set-major).
 type TLB struct {
-	cfg     TLBConfig
-	sets    [][]tlbEntry
-	setMask uint64
-	shift   uint
-	clock   uint64
-	stats   CacheStats
+	cfg      TLBConfig
+	entries  []tlbEntry // nSets × Ways, set-major
+	ways     int
+	setMask  uint64
+	shift    uint
+	tagShift uint
+	gen      uint64
+	clock    uint64
+	stats    CacheStats
+
+	// Last-hit memo (same exact-replay scheme as Cache.Lookup's): only
+	// the miss-install path mutates entries, so it is the only
+	// invalidation point besides Flush.
+	memoPage  uint64
+	memoEntry *tlbEntry
 }
 
 // NewTLB builds a TLB from cfg.
@@ -42,11 +53,15 @@ func NewTLB(cfg TLBConfig) *TLB {
 	for (1 << shift) < cfg.PageBytes {
 		shift++
 	}
-	t := &TLB{cfg: cfg, sets: make([][]tlbEntry, nSets), setMask: uint64(nSets - 1), shift: shift}
-	for i := range t.sets {
-		t.sets[i] = make([]tlbEntry, cfg.Ways)
+	return &TLB{
+		cfg:      cfg,
+		entries:  make([]tlbEntry, nSets*cfg.Ways),
+		ways:     cfg.Ways,
+		setMask:  uint64(nSets - 1),
+		shift:    shift,
+		tagShift: uint(len64(uint64(nSets - 1))),
+		gen:      1, // zero-valued entries are invalid
 	}
-	return t
 }
 
 // Stats returns hit/miss counters.
@@ -57,42 +72,50 @@ func (t *TLB) Stats() CacheStats { return t.stats }
 func (t *TLB) Access(addr uint64) int {
 	t.clock++
 	page := addr >> t.shift
-	idx := int(page & t.setMask)
-	tag := page >> uint(len64(t.setMask))
+	if page == t.memoPage && t.memoEntry != nil {
+		t.memoEntry.lastUse = t.clock
+		t.stats.Hits++
+		return 0
+	}
+	base := int(page&t.setMask) * t.ways
+	set := t.entries[base : base+t.ways]
+	tag := page >> t.tagShift
 	victim := 0
-	for w := range t.sets[idx] {
-		e := &t.sets[idx][w]
-		if e.valid && e.tag == tag {
+	for w := range set {
+		e := &set[w]
+		if e.gen == t.gen && e.tag == tag {
 			e.lastUse = t.clock
 			t.stats.Hits++
+			t.memoPage, t.memoEntry = page, e
 			return 0
 		}
-		if !e.valid {
+		if e.gen != t.gen {
 			victim = w
-		} else if t.sets[idx][victim].valid && e.lastUse < t.sets[idx][victim].lastUse {
+		} else if set[victim].gen == t.gen && e.lastUse < set[victim].lastUse {
 			victim = w
 		}
 	}
 	t.stats.Misses++
-	if t.sets[idx][victim].valid {
+	if set[victim].gen == t.gen {
 		t.stats.Evictions++
 	}
-	t.sets[idx][victim] = tlbEntry{valid: true, tag: tag, lastUse: t.clock}
+	set[victim] = tlbEntry{gen: t.gen, tag: tag, lastUse: t.clock}
 	t.stats.Fills++
+	t.memoEntry = nil // the victim may have been the memoized entry
 	return t.cfg.WalkLatency
 }
 
-// Flush invalidates all translations.
+// Flush invalidates all translations (constant-time generation bump).
 func (t *TLB) Flush() {
-	for i := range t.sets {
-		clear(t.sets[i])
-	}
+	t.gen++
+	t.memoEntry = nil
 }
 
 // Reset flushes the TLB and zeroes its statistics, restoring the
 // just-constructed state.
 func (t *TLB) Reset() {
 	t.Flush()
+	t.clock = 0
 	t.stats = CacheStats{}
 }
 

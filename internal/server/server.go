@@ -102,6 +102,14 @@ type Config struct {
 	// nil = single-tenant mode (no authentication; one default tenant
 	// owns the whole queue).
 	Tenants *tenant.Registry
+
+	// TraceCacheDir backs the recorded-trace artifact store with a
+	// directory of content-addressed compressed artifacts, shared across
+	// restarts (and across processes pointed at the same directory).
+	// Empty keeps the store memory-only: streams are still recorded
+	// once per (workload, insts) and replayed by every run, but nothing
+	// survives the process.
+	TraceCacheDir string
 }
 
 // Validate rejects configurations the server cannot honor. New calls
@@ -314,6 +322,12 @@ type Server struct {
 	st      *store.Store
 	crashed atomic.Bool
 
+	// traces is the content-addressed recorded-trace store shared by
+	// every simulation context: each workload stream is generated at
+	// most once per process (or fetched from TraceCacheDir / a
+	// coordinator upload) and replayed by all runs that need it.
+	traces *trace.ArtifactStore
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []string // finished-job retention FIFO
@@ -405,6 +419,28 @@ func New(cfg Config) (*Server, error) {
 			func() float64 { return float64(s.sched.TenantLen(name)) },
 			"tenant", name)
 	}
+	traces, err := trace.NewArtifactStore(cfg.TraceCacheDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.traces = traces
+	// Artifact-store counters are snapshots of the store's own stats,
+	// published as gauges at scrape time (the store already counts under
+	// its lock; mirroring into obs counters would double-count retries).
+	reg.GaugeFunc("lvpd_trace_artifact_hits_total",
+		"Runs served from the recorded-trace artifact cache, by source.",
+		func() float64 { return float64(s.traces.Stats().MemoryHits) },
+		"source", "memory")
+	reg.GaugeFunc("lvpd_trace_artifact_hits_total",
+		"Runs served from the recorded-trace artifact cache, by source.",
+		func() float64 { return float64(s.traces.Stats().DiskHits) },
+		"source", "disk")
+	reg.GaugeFunc("lvpd_trace_artifact_generated_total",
+		"Workload streams generated live (artifact cache misses).",
+		func() float64 { return float64(s.traces.Stats().Generated) })
+	reg.GaugeFunc("lvpd_trace_artifact_received_total",
+		"Trace artifacts installed via PUT /v1/traces (coordinator pre-shipping).",
+		func() float64 { return float64(s.traces.Stats().Received) })
 	// Derived throughput: simulated instructions per wall-clock second
 	// spent simulating, in millions. Computed at scrape time from the
 	// instruction counter and the job-duration histogram sum, so it
@@ -561,6 +597,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	s.mux.HandleFunc("GET /v1/runs/diff", s.handleDiffRuns)
 	s.mux.HandleFunc("GET /v1/runs/{hash}", s.handleGetRun)
+	s.mux.HandleFunc("GET /v1/traces/{hash}", s.handleGetTrace)
+	s.mux.HandleFunc("PUT /v1/traces/{hash}", s.handlePutTrace)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -1006,7 +1044,7 @@ func (s *Server) simCtx(insts, seed uint64) *expt.Context {
 	if c, ok := s.simCtxs[key]; ok {
 		return c
 	}
-	c, err := expt.NewContextErr(expt.Options{Insts: insts, Seed: seed, Workloads: nil})
+	c, err := expt.NewContextErr(expt.Options{Insts: insts, Seed: seed, Workloads: nil, Traces: s.traces})
 	if err != nil {
 		// Unreachable: an empty workload list cannot fail.
 		panic(err)

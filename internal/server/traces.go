@@ -1,0 +1,48 @@
+package server
+
+import (
+	"io"
+	"net/http"
+)
+
+// maxTraceArtifactBytes bounds a PUT /v1/traces body. Artifacts are
+// gzip-compressed recorded streams — a few bytes per instruction — so
+// 64 MiB comfortably covers the largest admissible budgets while
+// keeping a hostile upload from ballooning memory.
+const maxTraceArtifactBytes = 64 << 20
+
+// handleGetTrace serves the encoded artifact stored under the content
+// address in the path, if this process holds it (resident or in the
+// trace cache directory). It never generates: an address alone does not
+// say which workload to run, and generation stays tied to simulation
+// demand.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	data, ok := s.traces.Export(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no artifact under this address")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handlePutTrace installs a pre-generated artifact under its content
+// address — the coordinator's pre-shipping path, which lets a sweep's
+// workers replay a stream the coordinator recorded once instead of
+// each generating it. The store verifies that the decoded content
+// hashes to the address before accepting, so a worker cannot be fed a
+// stream that doesn't match the spec it will later simulate.
+func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceArtifactBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading artifact body: "+err.Error())
+		return
+	}
+	if err := s.traces.Put(key, data); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

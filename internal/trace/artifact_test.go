@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const artTestInsts = 4000
+
+// drain consumes a generator and returns its instructions.
+func drain(g Generator) []Inst {
+	var out []Inst
+	var in Inst
+	for g.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
+func sameStream(t *testing.T, label string, got, want []Inst) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d instructions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: instruction %d differs:\n  got: %+v\n want: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	for _, name := range []string{"gcc2k", "mcf"} {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		want := Record(w.Build(artTestInsts), 0)
+
+		var buf bytes.Buffer
+		n, err := WriteArtifact(&buf, name, artTestInsts, w.Build(artTestInsts))
+		if err != nil {
+			t.Fatalf("%s: WriteArtifact: %v", name, err)
+		}
+		if n != artTestInsts {
+			t.Fatalf("%s: wrote %d instructions, want %d", name, n, artTestInsts)
+		}
+
+		gotName, gotInsts, rep, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadArtifact: %v", name, err)
+		}
+		if gotName != name || gotInsts != artTestInsts {
+			t.Fatalf("%s: decoded identity %q/%d, want %q/%d", name, gotName, gotInsts, name, artTestInsts)
+		}
+		sameStream(t, name, drain(rep.Cursor()), want.Remaining())
+
+		// The decoded Run-start memory image must match a fresh
+		// generator's, or replayed runs would diverge from live ones.
+		fresh := w.Build(artTestInsts)
+		for _, addr := range []uint64{0, 64, 4096, 1 << 20} {
+			if got, want := rep.Mem().Read(addr, 8), fresh.Mem().Read(addr, 8); got != want {
+				t.Fatalf("%s: Mem[%#x] = %#x, want %#x", name, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestArtifactRejectsCorruption(t *testing.T) {
+	w, _ := ByName("gcc2k")
+	var buf bytes.Buffer
+	if _, err := WriteArtifact(&buf, w.Name, artTestInsts, w.Build(artTestInsts)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, _, _, err := ReadArtifact(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated artifact decoded without error")
+	}
+	if _, _, _, err := ReadArtifact(bytes.NewReader([]byte("not an artifact"))); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}
+
+func TestArtifactKeyStable(t *testing.T) {
+	// The content address is a wire format shared across processes and
+	// releases; pin it so an accidental change (which would orphan every
+	// existing cache) fails loudly.
+	k := ArtifactKey("gcc2k", 20000)
+	if len(k) != 16 || strings.ToLower(k) != k {
+		t.Fatalf("ArtifactKey shape changed: %q", k)
+	}
+	if k2 := ArtifactKey("gcc2k", 20000); k2 != k {
+		t.Fatalf("ArtifactKey not deterministic: %q vs %q", k, k2)
+	}
+	for _, other := range []string{ArtifactKey("mcf", 20000), ArtifactKey("gcc2k", 20001)} {
+		if other == k {
+			t.Fatalf("distinct specs share key %q", k)
+		}
+	}
+}
+
+func TestArtifactStoreMemoryReuse(t *testing.T) {
+	s, err := NewArtifactStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ByName("gcc2k")
+	want := Record(w.Build(artTestInsts), 0)
+
+	c1, err := s.Cursor(w.Name, artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Cursor(w.Name, artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStream(t, "cursor1", drain(c1), want.Remaining())
+	sameStream(t, "cursor2", drain(c2), want.Remaining())
+
+	if st := s.Stats(); st.Generated != 1 || st.MemoryHits != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats after two cursors: %+v", st)
+	}
+}
+
+func TestArtifactStoreConcurrentCursors(t *testing.T) {
+	// Cursors share one recording (instruction slice and Run-start
+	// image); replaying them concurrently must be race-free (this test
+	// matters under -race) and produce identical streams.
+	s, _ := NewArtifactStore("", 0)
+	w, _ := ByName("mcf")
+	want := Record(w.Build(artTestInsts), 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur, err := s.Cursor(w.Name, artTestInsts)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			got := drain(cur)
+			if len(got) != want.Len() {
+				errs <- "short stream"
+				return
+			}
+			for j, in := range got {
+				if in != want.Remaining()[j] {
+					errs <- "stream diverged"
+					return
+				}
+			}
+			// Concurrent reads of the shared Run-start image go through
+			// each consumer's own copy, as the pipeline does.
+			if img := cur.Mem().Clone(); img.Read(64, 8) != want.Mem().Read(64, 8) {
+				errs <- "memory image diverged"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if st := s.Stats(); st.Generated != 1 {
+		t.Fatalf("singleflight failed: %+v", st)
+	}
+}
+
+func TestArtifactStoreDiskReuse(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := ByName("gcc2k")
+	want := Record(w.Build(artTestInsts), 0)
+
+	s1, err := NewArtifactStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Cursor(w.Name, artTestInsts); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.lvpt.gz"))
+	if len(files) != 1 {
+		t.Fatalf("cache dir holds %d artifacts, want 1", len(files))
+	}
+
+	// A second store over the same directory (a later process) must
+	// load from disk, not regenerate.
+	s2, err := NewArtifactStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := s2.Cursor(w.Name, artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStream(t, "disk cursor", drain(cur), want.Remaining())
+	if st := s2.Stats(); st.Generated != 0 || st.DiskHits != 1 {
+		t.Fatalf("second store stats: %+v", st)
+	}
+
+	// A corrupt cache file is regenerated over, not trusted.
+	if err := os.WriteFile(files[0], []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := NewArtifactStore(dir, 0)
+	cur, err = s3.Cursor(w.Name, artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStream(t, "regenerated cursor", drain(cur), want.Remaining())
+	if st := s3.Stats(); st.Generated != 1 || st.DiskHits != 0 {
+		t.Fatalf("corrupt-file store stats: %+v", st)
+	}
+}
+
+func TestArtifactStorePutExport(t *testing.T) {
+	src, _ := NewArtifactStore("", 0)
+	w, _ := ByName("mcf")
+	key, data, err := src.Artifact(w.Name, artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != ArtifactKey(w.Name, artTestInsts) {
+		t.Fatalf("Artifact returned key %q, want %q", key, ArtifactKey(w.Name, artTestInsts))
+	}
+
+	dst, _ := NewArtifactStore("", 0)
+	if err := dst.Put(key, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	cur, err := dst.Cursor(w.Name, artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record(w.Build(artTestInsts), 0)
+	sameStream(t, "received cursor", drain(cur), want.Remaining())
+	if st := dst.Stats(); st.Generated != 0 || st.Received != 1 || st.MemoryHits != 1 {
+		t.Fatalf("receiver stats: %+v", st)
+	}
+
+	if got, ok := dst.Export(key); !ok || len(got) == 0 {
+		t.Fatal("Export of resident artifact failed")
+	}
+	if _, ok := dst.Export("0000000000000000"); ok {
+		t.Fatal("Export of unknown key succeeded")
+	}
+
+	// A blob stored under the wrong address must be rejected.
+	if err := dst.Put(ArtifactKey(w.Name, artTestInsts+1), data); err == nil {
+		t.Fatal("Put accepted content under a mismatched key")
+	}
+	if err := dst.Put(key, []byte("garbage")); err == nil {
+		t.Fatal("Put accepted undecodable content")
+	}
+}
+
+func TestArtifactStoreEviction(t *testing.T) {
+	// Budget fits two recordings; the third evicts the least recently
+	// used, and re-requesting it regenerates.
+	s, err := NewArtifactStore("", 2*artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"gcc2k", "mcf", "xalancbmk"}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("unknown workload %q", n)
+		}
+		if _, err := s.Cursor(n, artTestInsts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Generated != 3 {
+		t.Fatalf("stats after three distinct cursors: %+v", st)
+	}
+	if _, err := s.Cursor(names[0], artTestInsts); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Generated != 4 || st.MemoryHits != 0 {
+		t.Fatalf("evicted recording not regenerated: %+v", st)
+	}
+	// The two resident recordings are still served from memory.
+	if _, err := s.Cursor(names[2], artTestInsts); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MemoryHits != 1 {
+		t.Fatalf("resident recording not reused: %+v", st)
+	}
+}
+
+func TestArtifactStoreOversizeRefused(t *testing.T) {
+	// Recording is eager and not cancellable, so a workload whose
+	// instruction budget exceeds the resident budget must be refused
+	// up front (callers fall back to the lazy live generator) rather
+	// than materialized.
+	s, err := NewArtifactStore("", artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cursor("gcc2k", artTestInsts+1); !errors.Is(err, ErrOversize) {
+		t.Fatalf("Cursor(insts > budget) err = %v, want ErrOversize", err)
+	}
+	if _, _, err := s.Artifact("gcc2k", artTestInsts+1); !errors.Is(err, ErrOversize) {
+		t.Fatalf("Artifact(insts > budget) err = %v, want ErrOversize", err)
+	}
+	if st := s.Stats(); st.Generated != 0 {
+		t.Fatalf("oversize request generated anyway: %+v", st)
+	}
+	// A shipped artifact past the budget is refused for the same
+	// reason a generated one is never produced.
+	small, err := NewArtifactStore("", DefaultArtifactBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, data, err := small.Artifact("gcc2k", artTestInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := NewArtifactStore("", artTestInsts-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.Put(key, data); !errors.Is(err, ErrOversize) {
+		t.Fatalf("Put(insts > budget) err = %v, want ErrOversize", err)
+	}
+}

@@ -1,0 +1,313 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrOversize reports that a workload's instruction budget exceeds the
+// store's resident budget, so the store refuses to materialize it.
+// Recording is eager and not cancellable, so an unbounded request would
+// hold a worker (and the memory for the full stream) hostage; callers
+// fall back to live generation, which is lazy and honors run
+// cancellation.
+var ErrOversize = errors.New("trace: artifact exceeds store budget")
+
+// DefaultArtifactBudget is the in-memory retention budget of an
+// ArtifactStore, in recorded instructions, when the caller passes 0. At
+// 24 bytes per recorded instruction this keeps resident recordings
+// under ~100 MB while holding dozens of sweep-sized traces.
+const DefaultArtifactBudget = 4_000_000
+
+// ArtifactStats counts how an ArtifactStore satisfied Cursor and Put
+// requests since creation.
+type ArtifactStats struct {
+	// MemoryHits counts cursors served from a resident recording.
+	MemoryHits uint64
+	// DiskHits counts cursors whose recording was loaded from the
+	// store's cache directory.
+	DiskHits uint64
+	// Generated counts recordings produced by running the workload
+	// generator live — the expensive path every other counter avoids.
+	Generated uint64
+	// Received counts artifacts installed via Put (shipped by a
+	// coordinator or uploaded through the API).
+	Received uint64
+}
+
+// artifactRec is one resident recording plus the identity it was
+// addressed under.
+type artifactRec struct {
+	key   string
+	name  string
+	insts uint64
+	rep   *Replay
+}
+
+// ArtifactStore is a content-addressed cache of recorded workload
+// streams. It layers three sources, cheapest first: resident
+// recordings (shared, handed out as independent cursors), a disk
+// directory of compressed artifacts keyed by content address, and live
+// generation from the named workload's builder. Generation is
+// singleflighted per address, so concurrent requests for the same spec
+// cost one run of the generator.
+//
+// All methods are safe for concurrent use. Generation and disk I/O run
+// outside the store lock.
+type ArtifactStore struct {
+	dir    string // "" = memory-only
+	budget uint64 // resident budget in recorded instructions
+
+	mu       sync.Mutex
+	recs     map[string]*artifactRec
+	order    []string // keys, least recently used first
+	held     uint64   // recorded instructions resident across recs
+	inflight map[string]chan struct{}
+	stats    ArtifactStats
+}
+
+// NewArtifactStore opens a store backed by dir (created if missing; ""
+// for a memory-only store). budgetInsts bounds resident recordings in
+// recorded instructions; 0 means DefaultArtifactBudget. Disk artifacts
+// are not budgeted — they are small (compressed) and shared across
+// processes, which is the point of having them.
+func NewArtifactStore(dir string, budgetInsts uint64) (*ArtifactStore, error) {
+	if budgetInsts == 0 {
+		budgetInsts = DefaultArtifactBudget
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace: artifact store: %w", err)
+		}
+	}
+	return &ArtifactStore{
+		dir:      dir,
+		budget:   budgetInsts,
+		recs:     make(map[string]*artifactRec),
+		inflight: make(map[string]chan struct{}),
+	}, nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *ArtifactStore) Stats() ArtifactStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Cursor returns a replay cursor over the recorded stream of the named
+// workload at the given budget, materializing the recording (from
+// memory, disk, or live generation, in that order) if needed. Each call
+// gets an independent position over the shared recording, so cursors
+// can replay concurrently. Requests larger than the store budget return
+// ErrOversize — callers fall back to the live generator.
+func (s *ArtifactStore) Cursor(name string, insts uint64) (*Replay, error) {
+	rec, err := s.ensure(name, insts)
+	if err != nil {
+		return nil, err
+	}
+	return rec.rep.Cursor(), nil
+}
+
+// Artifact returns the content address and encoded bytes of the named
+// workload's artifact, materializing the recording first if needed.
+// Used by coordinators to ship a trace to workers.
+func (s *ArtifactStore) Artifact(name string, insts uint64) (string, []byte, error) {
+	rec, err := s.ensure(name, insts)
+	if err != nil {
+		return "", nil, err
+	}
+	if s.dir != "" {
+		if data, err := os.ReadFile(s.path(rec.key)); err == nil {
+			return rec.key, data, nil
+		}
+	}
+	data, err := encodeArtifact(rec.name, rec.insts, rec.rep)
+	return rec.key, data, err
+}
+
+// Export returns the encoded bytes of the artifact stored under key,
+// if present in memory or on disk. Unlike Artifact it never generates:
+// a content address alone does not say which workload to run.
+func (s *ArtifactStore) Export(key string) ([]byte, bool) {
+	s.mu.Lock()
+	rec := s.recs[key]
+	s.mu.Unlock()
+	if rec != nil {
+		if data, err := encodeArtifact(rec.name, rec.insts, rec.rep); err == nil {
+			return data, true
+		}
+	}
+	if s.dir != "" {
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Put installs an externally produced artifact under key, verifying
+// that the decoded content actually hashes to that address before
+// accepting it. The recording becomes resident and, for disk-backed
+// stores, is persisted for later processes.
+func (s *ArtifactStore) Put(key string, data []byte) error {
+	name, insts, rep, err := ReadArtifact(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if got := ArtifactKey(name, insts); got != key {
+		return fmt.Errorf("trace: artifact content is %s (workload %q, %d insts), stored under %s", got, name, insts, key)
+	}
+	if insts > s.budget {
+		return fmt.Errorf("%w (%d insts > budget %d)", ErrOversize, insts, s.budget)
+	}
+	if s.dir != "" {
+		if err := s.persistBytes(key, data); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.install(&artifactRec{key: key, name: name, insts: insts, rep: rep})
+	s.stats.Received++
+	s.mu.Unlock()
+	return nil
+}
+
+// ensure returns the resident recording for (name, insts), loading or
+// generating it under a per-key singleflight so concurrent callers
+// share one materialization.
+func (s *ArtifactStore) ensure(name string, insts uint64) (*artifactRec, error) {
+	if insts > s.budget {
+		return nil, fmt.Errorf("%w (%d insts > budget %d)", ErrOversize, insts, s.budget)
+	}
+	key := ArtifactKey(name, insts)
+	for {
+		s.mu.Lock()
+		if rec, ok := s.recs[key]; ok {
+			s.touch(key)
+			s.stats.MemoryHits++
+			s.mu.Unlock()
+			return rec, nil
+		}
+		if ch, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			<-ch
+			continue // the winner installed it (or failed); re-check
+		}
+		ch := make(chan struct{})
+		s.inflight[key] = ch
+		s.mu.Unlock()
+
+		rec, fromDisk, err := s.load(key, name, insts)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		close(ch)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		s.install(rec)
+		if fromDisk {
+			s.stats.DiskHits++
+		} else {
+			s.stats.Generated++
+		}
+		s.mu.Unlock()
+		return rec, nil
+	}
+}
+
+// load materializes a recording outside the store lock: from the cache
+// directory when a valid artifact exists there, otherwise by running
+// the workload generator. Freshly generated recordings are persisted
+// best-effort — a full disk must not fail the run the recording was
+// materialized for.
+func (s *ArtifactStore) load(key, name string, insts uint64) (rec *artifactRec, fromDisk bool, err error) {
+	if s.dir != "" {
+		if f, err := os.Open(s.path(key)); err == nil {
+			gotName, gotInsts, rep, err := ReadArtifact(f)
+			f.Close()
+			if err == nil && gotName == name && gotInsts == insts {
+				return &artifactRec{key: key, name: name, insts: insts, rep: rep}, true, nil
+			}
+			// Corrupt or mismatched cache file: fall through and
+			// regenerate over it.
+		}
+	}
+	w, ok := ByName(name)
+	if !ok {
+		return nil, false, fmt.Errorf("trace: artifact store: unknown workload %q", name)
+	}
+	rep := Record(w.Build(insts), 0)
+	rec = &artifactRec{key: key, name: name, insts: insts, rep: rep}
+	if s.dir != "" {
+		if data, err := encodeArtifact(name, insts, rep); err == nil {
+			_ = s.persistBytes(key, data)
+		}
+	}
+	return rec, false, nil
+}
+
+// install makes rec resident and evicts least-recently-used recordings
+// past the budget. Outstanding cursors keep evicted recordings alive;
+// eviction only stops new cursors from sharing them. Callers hold s.mu.
+func (s *ArtifactStore) install(rec *artifactRec) {
+	if _, ok := s.recs[rec.key]; ok {
+		return // raced with another installer; keep the incumbent
+	}
+	s.recs[rec.key] = rec
+	s.order = append(s.order, rec.key)
+	s.held += uint64(rec.rep.Len())
+	for s.held > s.budget && len(s.order) > 1 {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		if old := s.recs[oldest]; old != nil {
+			s.held -= uint64(old.rep.Len())
+			delete(s.recs, oldest)
+		}
+	}
+}
+
+// touch moves key to the most-recently-used end. Callers hold s.mu.
+func (s *ArtifactStore) touch(key string) {
+	for i, k := range s.order {
+		if k == key {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = key
+			return
+		}
+	}
+}
+
+// persistBytes atomically writes an encoded artifact into the cache
+// directory (temp file + rename, so concurrent processes sharing the
+// directory never observe a partial artifact).
+func (s *ArtifactStore) persistBytes(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// path returns the cache file for a content address.
+func (s *ArtifactStore) path(key string) string {
+	return filepath.Join(s.dir, key+".lvpt.gz")
+}

@@ -48,5 +48,34 @@ func (r *Replay) Next(in *Inst) bool {
 // Rewind restarts the stream from the first instruction.
 func (r *Replay) Rewind() { r.pos = 0 }
 
+// Cursor returns an independent read position over the same recording.
+// The instruction slice and the Run-start memory image are shared, not
+// copied, so cursors are cheap enough to hand one to every run. Sharing
+// is safe for concurrent replays because both shared structures are
+// read-only by contract: the slice is never written after Record, and
+// consumers that apply stores do so on their own copy of the image (the
+// pipeline clones or CopyFroms it at Run start; Backing.CopyFrom reads
+// only the source's pages, never its internal read memo).
+func (r *Replay) Cursor() *Replay {
+	return &Replay{insts: r.insts, mem: r.mem}
+}
+
 // Len returns the number of recorded instructions.
 func (r *Replay) Len() int { return len(r.insts) }
+
+// Remaining exposes the not-yet-consumed tail of the recording as a
+// slice, letting batch consumers (the pipeline run loop) walk the
+// instructions in place instead of copying each through Next. Callers
+// must treat the slice as read-only — it is shared across rewinds and,
+// for artifact-backed replays, across concurrent cursors — and must
+// report consumption via Advance to keep Next/Remaining coherent.
+func (r *Replay) Remaining() []Inst { return r.insts[r.pos:] }
+
+// Advance consumes n instructions from the stream, as if Next had been
+// called n times. n past the end clamps to the end.
+func (r *Replay) Advance(n int) {
+	r.pos += n
+	if r.pos > len(r.insts) {
+		r.pos = len(r.insts)
+	}
+}
