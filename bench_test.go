@@ -206,6 +206,53 @@ func BenchmarkPipelineProgress(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSMT4 measures the 4-context SMT core in the same
+// pooled steady state: four salted gcc2k streams recorded once and
+// rewound, one pipeline acquired once and Reset per iteration, the
+// composite engine shared across contexts and cleared in place. The
+// total simulated instruction count matches the single-context
+// pipeline benchmarks so ms/op is comparable, and the -benchmem gate
+// asserts the multi-context path keeps the steady state at 0
+// allocs/op just like the single-context one.
+func BenchmarkPipelineSMT4(b *testing.B) {
+	const nctx = 4
+	const perCtx = benchPipelineInsts / nctx
+	streams := make([]string, nctx)
+	reps := make([]*trace.Replay, nctx)
+	gens := make([]trace.Generator, nctx)
+	for i := range streams {
+		streams[i] = trace.StreamName("gcc2k", i)
+		gen, ok := trace.BuildStream(streams[i], perCtx)
+		if !ok {
+			b.Fatalf("unknown stream %q", streams[i])
+		}
+		reps[i] = trace.Record(gen, 0)
+		gens[i] = reps[i]
+	}
+	comp := core.NewComposite(core.CompositeConfig{
+		Entries: core.HomogeneousEntries(256), Seed: 1, AM: core.NewPCAM(64),
+	})
+	eng := cpu.NewCompositeEngine(comp)
+	cfg := cpu.DefaultConfig()
+	cfg.Contexts = nctx
+	p := cpu.Acquire(cfg, eng)
+	defer cpu.Release(p)
+	b.SetBytes(benchPipelineInsts)
+	b.ReportAllocs()
+	p.RunSMT(gens, streams, "gcc2k x4", "bench") // warmup: clone the per-context memory images
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range reps {
+			rep.Rewind()
+		}
+		comp.ResetState()
+		p.Reset(cfg, eng)
+		if r := p.RunSMT(gens, streams, "gcc2k x4", "bench"); r.Instructions != benchPipelineInsts {
+			b.Fatalf("short run: %+v", r)
+		}
+	}
+}
+
 // TestReplayedPooledRunMatchesFresh guards the benchmark methodology:
 // the steady-state path the pipeline benchmarks measure (recorded
 // trace + pooled pipeline) must produce bit-identical results to the

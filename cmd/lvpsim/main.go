@@ -14,7 +14,16 @@
 //	lvpsim -spec sim.json              # run a saved spec
 //	lvpsim -preset best-9.6KB -workload gcc2k
 //	lvpsim -workload gcc2k -dump-spec  # print the canonical spec JSON
-//	lvpsim -workloads                  # list workload names
+//	lvpsim -list                       # list workload names
+//
+// Multi-context (SMT) simulation replicates the pipeline's context
+// state while sharing its predictors, caches, and TLBs (DESIGN.md
+// §14): -contexts N runs N independently-seeded streams of the
+// workload, and -workloads assigns one workload per context:
+//
+//	lvpsim -contexts 4 -workload gcc2k            # 4 salted gcc2k streams
+//	lvpsim -workloads gcc2k,mcf -predictor best   # 2-context mix
+//	lvpsim -preset smt4 -workload gcc2k           # the 4-context preset
 //
 // Predictors: none, lvp, sap, cvp, cap, composite, best (composite +
 // PC-AM + fusion), eves.
@@ -28,8 +37,11 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/expt"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/prof"
 	"repro/internal/server"
@@ -57,7 +69,7 @@ func buildGen(workload string, insts uint64, replay string, traces *trace.Artifa
 	}
 	w, ok := trace.ByName(workload)
 	if !ok {
-		return nil, "", fmt.Errorf("unknown workload %q (see -workloads)", workload)
+		return nil, "", fmt.Errorf("unknown workload %q (see -list)", workload)
 	}
 	if traces != nil {
 		cur, err := traces.Cursor(w.Name, insts)
@@ -81,8 +93,8 @@ func fatal(err error) {
 // simulation spec plus the predictor label responses echo. Explicitly
 // set flags override fields of a loaded spec or preset.
 func buildSpec(specFile, preset string, fs *flag.FlagSet,
-	workload *string, predictor *string, entries, budget *int, am *string,
-	insts, seed *uint64) (spec.Sim, string) {
+	workload, workloads *string, contexts *int, predictor *string,
+	entries, budget *int, am *string, insts, seed *uint64) (spec.Sim, string) {
 
 	var sim spec.Sim
 	switch {
@@ -109,8 +121,25 @@ func buildSpec(specFile, preset string, fs *flag.FlagSet,
 	fromFlags := specFile == "" && preset == ""
 	override := func(name string) bool { return fromFlags || set[name] }
 
-	if override("workload") || sim.Workload.Name == "" {
+	if override("workloads") && *workloads != "" {
+		sim.Workload.Names = nil
+		for _, n := range strings.Split(*workloads, ",") {
+			sim.Workload.Names = append(sim.Workload.Names, strings.TrimSpace(n))
+		}
+		// The mix's lead workload is the spec's Name; an explicit
+		// -workload must agree (Validate reports the disagreement).
+		sim.Workload.Name = sim.Workload.Names[0]
+	}
+	if set["workload"] || (fromFlags && sim.Workload.Names == nil) || sim.Workload.Name == "" {
 		sim.Workload.Name = *workload
+	}
+	if set["contexts"] || (fromFlags && *contexts > 0) {
+		sim.Machine.Contexts = *contexts
+	}
+	// A -workloads mix without an explicit context count means one
+	// context per listed workload.
+	if len(sim.Workload.Names) > 1 && !set["contexts"] && sim.Machine.Contexts == 0 {
+		sim.Machine.Contexts = len(sim.Workload.Names)
 	}
 	if override("insts") || sim.Workload.Insts == 0 {
 		sim.Workload.Insts = *insts
@@ -144,10 +173,102 @@ func buildSpec(specFile, preset string, fs *flag.FlagSet,
 	return sim, label
 }
 
+// runSMT simulates a multi-context spec: one independently-seeded
+// stream per hardware context, interleaved on a single pipeline whose
+// predictors, caches, and TLBs are shared across contexts. Output
+// mirrors the single-context path, plus one line per context.
+func runSMT(sim spec.Sim, label string, traces *trace.ArtifactStore, jsonOut bool, phaseSpan func(string) func()) {
+	streams := sim.ContextStreams()
+	newGens := func() []trace.Generator {
+		gens := make([]trace.Generator, len(streams))
+		for i, s := range streams {
+			if traces != nil {
+				cur, err := traces.Cursor(s, sim.Workload.Insts)
+				if err == nil {
+					gens[i] = cur
+					continue
+				}
+				if !errors.Is(err, trace.ErrOversize) {
+					fatal(err)
+				}
+			}
+			g, ok := trace.BuildStream(s, sim.Workload.Insts)
+			if !ok {
+				fatal(fmt.Errorf("unknown stream %q (see -list)", s))
+			}
+			gens[i] = g
+		}
+		return gens
+	}
+	collect := func(merged stats.Run, p *cpu.Pipeline) expt.SMTResult {
+		per := make([]stats.Run, p.NumContexts())
+		for i := range per {
+			per[i] = p.ContextRun(i)
+		}
+		return expt.SMTResult{Merged: merged, Per: per}
+	}
+	emitJSON := func(run, base expt.SMTResult, comp *core.Composite) {
+		res := server.NewSMTRunResult(run, base, streams, comp)
+		res.Predictor = label
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	cfg := sim.Machine.Config()
+	pipe := cpu.Acquire(cfg, nil)
+	defer cpu.Release(pipe)
+
+	endBase := phaseSpan("baseline")
+	base := collect(pipe.RunSMTCtx(ctx, newGens(), sim.ContextWorkloads(), sim.WorkloadLabel(), "baseline"), pipe)
+	endBase()
+	if !jsonOut {
+		fmt.Printf("baseline:  IPC=%.3f (%d contexts, %d instructions, %d cycles)\n",
+			base.Merged.IPC(), len(streams), base.Merged.Instructions, base.Merged.Cycles)
+		for i, r := range base.Per {
+			fmt.Printf("   ctx%d %-12s IPC=%.3f\n", i, r.Workload+":", r.IPC())
+		}
+	}
+	if sim.Predictor.Family == spec.FamilyNone {
+		if jsonOut {
+			emitJSON(base, base, nil)
+		}
+		return
+	}
+
+	engine, err := spec.NewEngine(sim.Predictor, sim.Workload.Insts, sim.Run.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	comp := server.CompositeFromEngine(engine)
+	pipe.Reset(cfg, engine)
+	endRun := phaseSpan("run")
+	run := collect(pipe.RunSMTCtx(ctx, newGens(), sim.ContextWorkloads(), sim.WorkloadLabel(), label), pipe)
+	endRun()
+	if jsonOut {
+		emitJSON(run, base, comp)
+		return
+	}
+	fmt.Printf("%-9s  IPC=%.3f  speedup=%+.2f%%  coverage=%.1f%%  accuracy=%.4f\n",
+		label+":", run.Merged.IPC(), stats.Speedup(run.Merged, base.Merged),
+		run.Merged.Coverage(), run.Merged.Accuracy())
+	for i, r := range run.Per {
+		fmt.Printf("   ctx%d %-12s IPC=%.3f  speedup=%+.2f%%  coverage=%.1f%%  accuracy=%.4f\n",
+			i, r.Workload+":", r.IPC(), stats.Speedup(r, base.Per[i]), r.Coverage(), r.Accuracy())
+	}
+	fmt.Printf("           flushes: value=%d branch=%d memorder=%d\n",
+		run.Merged.VPFlushes, run.Merged.BranchFlushes, run.Merged.MemOrderFlushes)
+}
+
 func main() {
 	var (
 		workload  = flag.String("workload", "gcc2k", "workload name")
-		listNames = flag.Bool("workloads", false, "list workload names and exit")
+		workloads = flag.String("workloads", "", "comma-separated per-context workload mix (e.g. gcc2k,mcf); implies -contexts len(mix)")
+		contexts  = flag.Int("contexts", 0, "hardware contexts to simulate (0/1 = single; >1 shares predictors, caches, and TLBs across salted streams)")
+		listNames = flag.Bool("list", false, "list workload names and exit")
 		predictor = flag.String("predictor", "composite", "none|lvp|sap|cvp|cap|composite|best|eves")
 		entries   = flag.Int("entries", 1024, "table entries per component")
 		budget    = flag.Int("budget", 32, "EVES budget in KB (0 = infinite)")
@@ -187,7 +308,7 @@ func main() {
 	}
 
 	sim, label := buildSpec(*specFile, *preset, flag.CommandLine,
-		workload, predictor, entries, budget, am, insts, seed)
+		workload, workloads, contexts, predictor, entries, budget, am, insts, seed)
 	if *replay != "" {
 		// Replayed traces are not named workloads; validate the rest.
 		if err := sim.ValidateConfig(); err != nil {
@@ -210,7 +331,7 @@ func main() {
 	if *record != "" {
 		w, ok := trace.ByName(sim.Workload.Name)
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q (see -workloads)", sim.Workload.Name))
+			fatal(fmt.Errorf("unknown workload %q (see -list)", sim.Workload.Name))
 		}
 		f, err := os.Create(*record)
 		if err != nil {
@@ -283,6 +404,14 @@ func main() {
 		}
 		_, s := tracer.StartSpan(rootCtx, phase)
 		return s.Finish
+	}
+
+	if sim.Machine.NumContexts() > 1 {
+		if *replay != "" {
+			fatal(errors.New("-replay replays one recorded stream; it cannot drive a multi-context run"))
+		}
+		runSMT(sim, label, traces, *jsonOut, phaseSpan)
+		return
 	}
 
 	// emitJSON prints the run/baseline pair in the service's response

@@ -129,14 +129,19 @@ func (c *Coordinator) warehousePut(sw *sweep, pt *point) error {
 	if err != nil {
 		return err
 	}
+	workload := pt.result.Workload // the mix label ("a+b") for SMT points
+	if workload == "" {
+		workload = pt.sim.Workload.Name
+	}
 	return c.st.Warehouse().Put(store.RunRecord{
 		SpecHash:  pt.hash,
 		Tenant:    sw.tenant,
-		Workload:  pt.sim.Workload.Name,
+		Workload:  workload,
 		Predictor: pt.label,
 		TraceID:   sw.span.TraceID,
 		Time:      time.Now().UTC(),
 		Result:    raw,
+		Contexts:  pt.result.Contexts,
 	})
 }
 

@@ -29,7 +29,11 @@ func (c *Coordinator) shipTraces(sw *sweep, launch []*point) {
 	}
 	specs := make(map[workloadSpec]struct{})
 	for _, pt := range launch {
-		specs[workloadSpec{pt.sim.Workload.Name, pt.sim.Workload.Insts}] = struct{}{}
+		// Multi-context points replay one stream per hardware context;
+		// single-context points reduce to the bare workload name.
+		for _, stream := range pt.sim.ContextStreams() {
+			specs[workloadSpec{stream, pt.sim.Workload.Insts}] = struct{}{}
+		}
 	}
 
 	c.mu.Lock()

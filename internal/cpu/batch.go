@@ -74,7 +74,7 @@ type probeBatch struct {
 // probeLoad delivers the engine probe for one predictable load, serving
 // it from the pending batch when one is still valid, and starting a new
 // batch (or degrading to a serial probe) otherwise.
-func (p *Pipeline) probeLoad(seq, fc uint64, probe core.Probe) (uint64, core.Prediction, bool) {
+func (p *Pipeline) probeLoad(s *ctxSlice, seq, fc uint64, probe core.Probe) (uint64, core.Prediction, bool) {
 	if p.batchEng == nil || p.lookahead == nil {
 		return p.engine.Probe(probe)
 	}
@@ -94,7 +94,7 @@ func (p *Pipeline) probeLoad(seq, fc uint64, probe core.Probe) (uint64, core.Pre
 	if seq < p.batchCool {
 		return p.engine.Probe(probe)
 	}
-	if p.fillBatch(seq, fc, probe) {
+	if p.fillBatch(s, seq, fc, probe) {
 		b.pos = 1
 		return p.batchEng.AdoptProbe(&b.lks[0])
 	}
@@ -122,12 +122,12 @@ func (p *Pipeline) probeLoad(seq, fc uint64, probe core.Probe) (uint64, core.Pre
 // horizon is far smaller than the ROB/IQ/LDQ/STQ windows in any
 // realistic configuration; a mispredicted cycle in a tiny-window sweep
 // config only wastes the batch, it cannot corrupt it).
-func (p *Pipeline) fillBatch(seq, fc uint64, probe core.Probe) bool {
+func (p *Pipeline) fillBatch(s *ctxSlice, seq, fc uint64, probe core.Probe) bool {
 	// No batched probe may reach the fetch cycle where the oldest
 	// pending training matures, nor cross the fc+FetchToExec horizon
 	// that keeps this batch's own trainings out of reach.
 	limitC := fc + uint64(p.cfg.FetchToExec)
-	if t, ok := p.pending.peek(); ok && t.trainC <= limitC {
+	if t, ok := s.pending.peek(); ok && t.trainC <= limitC {
 		if t.trainC <= fc {
 			// Cannot happen (applyTrains ran at fc just before this
 			// call), but guard the subtraction below.
@@ -150,8 +150,8 @@ func (p *Pipeline) fillBatch(seq, fc uint64, probe core.Probe) bool {
 	n := 1
 	hist, path := probe.BranchHist, probe.LoadPath
 	// Predicted front-end state after the current instruction.
-	simFC, simUsed := fc, p.fetchUsed
-	simNL, simNS := p.nLoads, p.nStores
+	simFC, simUsed := fc, s.fetchUsed
+	simNL, simNS := s.nLoads, s.nStores
 
 	for j := seq; n < probeBatchMax && j+1 < end; j++ {
 		// Apply inst j's front-end updates, then consider inst j+1.
@@ -174,28 +174,28 @@ func (p *Pipeline) fillBatch(seq, fc uint64, probe core.Probe) bool {
 		// Replay step's window backpressure and fetch placement for
 		// inst j+1 (assuming an icache hit and no redirect).
 		next := &insts[j+1]
-		s := j + 1
+		ns := j + 1
 		var wr uint64
-		if s >= uint64(p.cfg.ROB) {
-			if c := p.ringAt(s - uint64(p.cfg.ROB)); c != nil && c.commitC > wr {
+		if ns >= uint64(p.cfg.ROB) {
+			if c := p.ringAt(s, ns-uint64(p.cfg.ROB)); c != nil && c.commitC > wr {
 				wr = c.commitC
 			}
 		}
-		if s >= uint64(p.cfg.IQ) {
-			if c := p.ringAt(s - uint64(p.cfg.IQ)); c != nil && c.issueC > wr {
+		if ns >= uint64(p.cfg.IQ) {
+			if c := p.ringAt(s, ns-uint64(p.cfg.IQ)); c != nil && c.issueC > wr {
 				wr = c.issueC
 			}
 		}
 		switch next.Op {
 		case trace.OpLoad:
 			if simNL >= uint64(p.cfg.LDQ) {
-				if old := p.loadRing[(simNL-uint64(p.cfg.LDQ))%uint64(len(p.loadRing))]; old.commitC > wr {
+				if old := s.loadRing[(simNL-uint64(p.cfg.LDQ))%uint64(len(s.loadRing))]; old.commitC > wr {
 					wr = old.commitC
 				}
 			}
 		case trace.OpStore:
 			if simNS >= uint64(p.cfg.STQ) {
-				if old := p.storeRing[(simNS-uint64(p.cfg.STQ))%uint64(len(p.storeRing))]; old.commitC > wr {
+				if old := s.storeRing[(simNS-uint64(p.cfg.STQ))%uint64(len(s.storeRing))]; old.commitC > wr {
 					wr = old.commitC
 				}
 			}
@@ -220,7 +220,7 @@ func (p *Pipeline) fillBatch(seq, fc uint64, probe core.Probe) bool {
 		if next.Op != trace.OpLoad || next.Flags.NoPredict() {
 			continue
 		}
-		inflight := p.inflight.get(next.PC)
+		inflight := s.inflight.get(next.PC)
 		for k := 0; k < n; k++ {
 			if b.probes[k].PC == next.PC {
 				inflight++
@@ -232,7 +232,7 @@ func (p *Pipeline) fillBatch(seq, fc uint64, probe core.Probe) bool {
 			LoadPath:   path,
 			Inflight:   inflight,
 		}
-		b.seqs[n] = s
+		b.seqs[n] = ns
 		n++
 	}
 	if n < 2 {

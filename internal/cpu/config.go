@@ -72,6 +72,21 @@ type Config struct {
 	ReplayRecovery bool
 	ReplayPenalty  int
 
+	// Contexts is the number of SMT hardware contexts the pipeline
+	// replicates per-context state for (fetch/replay cursors, window
+	// rings, in-flight tables — see ctxSlice). The contexts share the
+	// value-prediction engine, the branch predictor tables and RAS, the
+	// cache hierarchy, and the TLB. 0 and 1 both mean a single context;
+	// the single-context model is bit-identical to the pre-SMT pipeline.
+	Contexts int
+
+	// SMTQuantum is the interleave policy of RunSMT: how many
+	// instructions one context runs before the round-robin moves to the
+	// next. <= 0 means 1 (per-instruction round-robin); larger quanta
+	// (e.g. 64, the "block" policy) give each context bursts of
+	// exclusive access to the shared predictor and cache state.
+	SMTQuantum int
+
 	// BatchProbes probes upcoming predictable loads in groups through
 	// the engine's BatchEngine interface when the instruction stream is
 	// replayed from memory (see batch.go). Results are bit-identical to

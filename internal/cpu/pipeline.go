@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/branch"
@@ -117,30 +118,34 @@ func (t *trainQueue) pop() pendingTrain {
 	return p
 }
 
-// Pipeline is the trace-driven core model. A pipeline serves one run at
-// a time; Reset (or the package's Acquire/Release pool) recycles it for
-// the next run without re-allocating the hierarchy, predictors, or
-// rings. The steady-state per-instruction path performs no map
-// operations and no heap allocations.
-type Pipeline struct {
-	cfg    Config
-	hier   *mem.Hierarchy
-	tage   *branch.TAGE
-	ittage *branch.ITTAGE
-	ras    *branch.RAS
-	mdp    *memdep.Predictor
-	engine Engine
+// ctxAddrShift positions a hardware context's address-space tag above
+// every address the synthetic workloads (and recorded traces) touch:
+// data regions sit at 0x1000_0000+ spaced 16MB apart and PCs below
+// 0x100_0000, all far under 2^44. OR-ing `ctx << ctxAddrShift` into the
+// addresses a context sends to the shared memory hierarchy keeps the
+// contexts' working sets disjoint in the caches and TLB — they contend
+// for capacity, as distinct programs on an SMT core do, instead of
+// constructively sharing lines because every synthetic workload reuses
+// the same virtual layout. Context 0's tag is zero, so the
+// single-context path issues bit-identical addresses to the
+// pre-refactor pipeline.
+const ctxAddrShift = 44
 
-	// Probe batching (see batch.go). batchEng is the engine's
-	// BatchEngine refinement (nil when unsupported), lookahead the
-	// in-memory remainder of the instruction stream during slice-fast-
-	// path runs, engineGen a counter bumped on every engine mutation so
-	// stale batches are discarded.
-	batchEng  BatchEngine
-	lookahead []trace.Inst
-	engineGen uint64
-	batch     probeBatch
-	batchCool uint64 // no batch fills until this sequence number
+// ctxSlice is the replicable per-context state of the pipeline: one
+// hardware context's front-end cursors, window/timing rings, in-flight
+// tables, deferred-training queue, architectural memory image, and run
+// statistics. Everything a second SMT context needs its own copy of
+// lives here; everything the contexts share — the value-prediction
+// engine, the branch predictors, the memory hierarchy, the TLB — stays
+// on Pipeline. The store-set memory-dependence predictor is per-context
+// (its state is keyed by instruction sequence numbers, which are
+// per-context streams), as are the branch histories feeding the shared
+// TAGE/ITTAGE tables.
+type ctxSlice struct {
+	id   int
+	asid uint64 // id << ctxAddrShift; OR'd into shared-hierarchy addresses
+
+	mdp *memdep.Predictor
 
 	hist     branch.History
 	loadPath uint64
@@ -160,7 +165,6 @@ type Pipeline struct {
 
 	ring      []slotTiming
 	ringMask  uint64
-	runGen    uint64 // current run generation; ring records from other runs are dead
 	loadRing  []loadStoreTiming
 	storeRing []loadStoreTiming
 	nLoads    uint64
@@ -181,22 +185,142 @@ type Pipeline struct {
 	lastStore storeTable // word → most recent store
 	lineFill  fillTable  // 64B line → cycle its PAQ prefetch completes
 
-	// Reusable address resolver: trainOne parameterizes the closure via
-	// these fields instead of allocating a fresh closure per training.
+	// Reusable address resolver parameters: trainOne parameterizes the
+	// pipeline's shared closure via these fields instead of allocating a
+	// fresh closure per training.
 	trainSeq    uint64
 	trainProbeC uint64
-	resolve     core.AddrResolver
 
-	instretBatch uint64
-	run          stats.Run
+	run stats.Run
 
 	// Scratch instruction slot for the run loop. A local would escape
 	// to the heap through the gen.Next interface call, costing one
 	// allocation per run.
 	in trace.Inst
 
-	// Progress probe (see progress.go). progLeft counts down to the
-	// next publication; zero cadence means no probe attached.
+	// Interleaved-run cursor state (RunSMT).
+	seq        uint64
+	lastCommit uint64
+	done       bool
+
+	// Per-context progress row (see SetProgressRows). progLeft counts
+	// down to the next publication.
+	progress *Progress
+	progLeft uint64
+}
+
+// build (re)constructs the slice's config-sized structures.
+func (s *ctxSlice) build(cfg Config, id int) {
+	s.id = id
+	s.asid = uint64(id) << ctxAddrShift
+	s.mdp = memdep.New(cfg.MemDep)
+	s.loadRing = make([]loadStoreTiming, cfg.LDQ+1)
+	s.storeRing = make([]loadStoreTiming, cfg.STQ+1)
+	s.ring = make([]slotTiming, timingRingSize(cfg))
+	s.ringMask = uint64(len(s.ring) - 1)
+	n := cycleRingSize(cfg)
+	s.laneUse = newCycleRing(n)
+	s.lsUse = newCycleRing(n)
+	s.paqUse = newCycleRing(n)
+	s.lastStore = newStoreTable(4096)
+	s.lineFill = newFillTable(16384)
+	s.inflight = newCountTable(4096)
+	s.simMem = nil
+	s.resetRun()
+}
+
+// reset recycles the slice's allocations for a fresh run.
+func (s *ctxSlice) reset() {
+	s.mdp.Reset()
+	s.laneUse.reset()
+	s.lsUse.reset()
+	s.paqUse.reset()
+	s.lastStore.reset()
+	s.lineFill.reset()
+	s.inflight.reset()
+	s.resetRun()
+}
+
+// resetRun clears the per-run scalar state (shared by build and reset).
+func (s *ctxSlice) resetRun() {
+	s.hist = branch.History{}
+	s.loadPath = 0
+	s.fetchCycle, s.fetchUsed, s.redirectC = 0, 0, 0
+	s.commitCycle, s.commitUsed = 0, 0
+	s.regReady = [trace.NumRegs]uint64{}
+	s.nLoads, s.nStores = 0, 0
+	s.pending.q = s.pending.q[:0]
+	s.pending.head = 0
+	s.paqQueue = s.paqQueue[:0]
+	s.paqHead = 0
+	s.trainSeq, s.trainProbeC = 0, 0
+	s.run = stats.Run{}
+	s.seq, s.lastCommit, s.done = 0, 0, false
+	s.progress, s.progLeft = nil, 0
+}
+
+// Pipeline is the trace-driven core model. A pipeline serves one run at
+// a time; Reset (or the package's Acquire/Release pool) recycles it for
+// the next run without re-allocating the hierarchy, predictors, or
+// rings. The steady-state per-instruction path performs no map
+// operations and no heap allocations.
+//
+// The pipeline is split into a shared machine core (this struct: the
+// value-prediction engine, TAGE/ITTAGE/RAS, the memory hierarchy and
+// its TLB) and cfg.Contexts replicable per-context slices (ctxSlice:
+// fetch/replay state, rings, in-flight tables, per-context stats.Run).
+// Run/RunCtx simulate context 0 alone — the single-context model,
+// bit-identical to the pre-split pipeline; RunSMT interleaves all
+// contexts over independent instruction streams, contending for the
+// shared predictor tables, caches, and TLB (see DESIGN.md §14).
+type Pipeline struct {
+	cfg    Config
+	hier   *mem.Hierarchy
+	tage   *branch.TAGE
+	ittage *branch.ITTAGE
+	ras    *branch.RAS
+	engine Engine
+
+	// Probe batching (see batch.go). batchEng is the engine's
+	// BatchEngine refinement (nil when unsupported), lookahead the
+	// in-memory remainder of the instruction stream during slice-fast-
+	// path runs, engineGen a counter bumped on every engine mutation so
+	// stale batches are discarded. Batching only engages on the
+	// single-context fast path (lookahead is never set by RunSMT:
+	// interleaved contexts mutate the shared engine between any two of
+	// one context's probes, so a batch would never survive adoption).
+	batchEng  BatchEngine
+	lookahead []trace.Inst
+	engineGen uint64
+	batch     probeBatch
+	batchCool uint64 // no batch fills until this sequence number
+
+	// one is context 0, embedded so the single-context path keeps its
+	// state inline with the pipeline (and so a fresh Pipeline is usable
+	// without a slice allocation); ctxs lists every context, ctxs[0] ==
+	// &one, with extra providing the backing for contexts 1..N-1.
+	one   ctxSlice
+	extra []ctxSlice
+	ctxs  []*ctxSlice
+
+	// cur is the context whose instruction is mid-step: the shared
+	// address resolver closure dispatches through it.
+	cur *ctxSlice
+
+	runGen uint64 // current run generation; ring records from other runs are dead
+
+	// Reusable address resolver: trainOne parameterizes the closure via
+	// cur's trainSeq/trainProbeC fields instead of allocating a fresh
+	// closure per training.
+	resolve core.AddrResolver
+
+	// instretBatch counts retirements across all contexts: the engine's
+	// epoch machinery advances on machine-wide retirement, exactly as a
+	// shared physical predictor would.
+	instretBatch uint64
+
+	// Aggregate progress probe (see progress.go). progLeft counts down
+	// to the next publication; zero cadence means no probe attached.
 	progress  *Progress
 	progEvery uint64
 	progLeft  uint64
@@ -211,6 +335,14 @@ func New(cfg Config, engine Engine) *Pipeline {
 	return p
 }
 
+// contextCount normalizes cfg.Contexts: 0 and 1 both mean one context.
+func contextCount(cfg Config) int {
+	if cfg.Contexts > 1 {
+		return cfg.Contexts
+	}
+	return 1
+}
+
 // build (re)constructs every config-sized structure.
 func (p *Pipeline) build(cfg Config, engine Engine) {
 	p.cfg = cfg
@@ -218,30 +350,28 @@ func (p *Pipeline) build(cfg Config, engine Engine) {
 	p.tage = branch.NewTAGE(cfg.TAGE)
 	p.ittage = branch.NewITTAGE(cfg.ITTAGE)
 	p.ras = branch.NewRAS(cfg.RASSize)
-	p.mdp = memdep.New(cfg.MemDep)
 	p.engine = engine
 	p.batchEng = nil
 	if cfg.BatchProbes {
 		p.batchEng, _ = engine.(BatchEngine)
 	}
-	p.loadRing = make([]loadStoreTiming, cfg.LDQ+1)
-	p.storeRing = make([]loadStoreTiming, cfg.STQ+1)
-	p.ring = make([]slotTiming, timingRingSize(cfg))
-	p.ringMask = uint64(len(p.ring) - 1)
-	n := cycleRingSize(cfg)
-	p.laneUse = newCycleRing(n)
-	p.lsUse = newCycleRing(n)
-	p.paqUse = newCycleRing(n)
-	p.lastStore = newStoreTable(4096)
-	p.lineFill = newFillTable(16384)
-	p.inflight = newCountTable(4096)
-	p.simMem = nil
+	n := contextCount(cfg)
+	p.one.build(cfg, 0)
+	p.extra = make([]ctxSlice, n-1)
+	p.ctxs = make([]*ctxSlice, n)
+	p.ctxs[0] = &p.one
+	for i := range p.extra {
+		p.extra[i].build(cfg, i+1)
+		p.ctxs[i+1] = &p.extra[i]
+	}
+	p.cur = &p.one
 	if p.resolve == nil {
 		p.resolve = func(addr uint64, size uint8) (uint64, bool) {
-			if !p.hier.L1D.Peek(addr) {
+			s := p.cur
+			if !p.hier.L1D.Peek(addr | s.asid) {
 				return 0, false
 			}
-			return p.probeRead(addr, size, p.trainSeq, p.trainProbeC), true
+			return p.probeRead(s, addr, size, s.trainSeq, s.trainProbeC), true
 		}
 	}
 }
@@ -274,7 +404,9 @@ func configEqual(a, b Config) bool {
 		a.SuppressStoreConflicts == b.SuppressStoreConflicts &&
 		a.ReplayRecovery == b.ReplayRecovery &&
 		a.ReplayPenalty == b.ReplayPenalty &&
-		a.BatchProbes == b.BatchProbes
+		a.BatchProbes == b.BatchProbes &&
+		a.Contexts == b.Contexts &&
+		a.SMTQuantum == b.SMTQuantum
 }
 
 // Reset prepares the pipeline for a fresh run with cfg and engine,
@@ -289,13 +421,9 @@ func (p *Pipeline) Reset(cfg Config, engine Engine) {
 		p.tage.Reset()
 		p.ittage.Reset()
 		p.ras.Reset()
-		p.mdp.Reset()
-		p.laneUse.reset()
-		p.lsUse.reset()
-		p.paqUse.reset()
-		p.lastStore.reset()
-		p.lineFill.reset()
-		p.inflight.reset()
+		for _, s := range p.ctxs {
+			s.reset()
+		}
 		p.engine = engine
 		p.batchEng = nil
 		if cfg.BatchProbes {
@@ -303,22 +431,20 @@ func (p *Pipeline) Reset(cfg Config, engine Engine) {
 		}
 	}
 	p.batch.n, p.batch.pos = 0, 0
-	p.hist = branch.History{}
-	p.loadPath = 0
-	p.fetchCycle, p.fetchUsed, p.redirectC = 0, 0, 0
-	p.commitCycle, p.commitUsed = 0, 0
-	p.regReady = [trace.NumRegs]uint64{}
+	p.cur = &p.one
 	p.runGen++ // retire all ring records without clearing 256KB
-	p.nLoads, p.nStores = 0, 0
-	p.pending.q = p.pending.q[:0]
-	p.pending.head = 0
-	p.paqQueue = p.paqQueue[:0]
-	p.paqHead = 0
-	p.trainSeq, p.trainProbeC = 0, 0
 	p.instretBatch = 0
-	p.run = stats.Run{}
 	p.progress, p.progEvery, p.progLeft, p.progStart = nil, 0, 0, 0
 }
+
+// NumContexts returns how many hardware contexts the pipeline was built
+// with (always at least 1).
+func (p *Pipeline) NumContexts() int { return len(p.ctxs) }
+
+// ContextRun returns context i's statistics for the most recent run.
+// After Run/RunCtx only context 0 carries a run; after RunSMT every
+// context does.
+func (p *Pipeline) ContextRun(i int) stats.Run { return p.ctxs[i].run }
 
 // SetProgress attaches a progress slot the next run publishes live
 // snapshots into, every `every` instructions (<= 0 means
@@ -326,7 +452,8 @@ func (p *Pipeline) Reset(cfg Config, engine Engine) {
 // Reset detaches the slot so pooled pipelines never publish into a
 // previous owner's slot. The probe costs one counter decrement per
 // instruction plus a fixed set of atomic stores per publication, and
-// allocates nothing.
+// allocates nothing. Under RunSMT the slot receives machine-wide
+// aggregates; SetProgressRows adds per-context rows.
 func (p *Pipeline) SetProgress(pr *Progress, every int) {
 	p.progress = pr
 	if every <= 0 {
@@ -335,15 +462,37 @@ func (p *Pipeline) SetProgress(pr *Progress, every int) {
 	p.progEvery = uint64(every)
 }
 
-// publishProgress snapshots the run so far into the attached slot.
-func (p *Pipeline) publishProgress(insts, cycles uint64) {
+// SetProgressRows attaches one progress row per hardware context:
+// rows[i] receives context i's live snapshot on the same cadence as the
+// aggregate slot (rows beyond the context count are ignored, contexts
+// beyond len(rows) publish no row). Component telemetry in a row
+// reflects the shared engine, not the single context. Call after
+// Reset/Acquire and before the run, alongside SetProgress.
+func (p *Pipeline) SetProgressRows(rows []*Progress, every int) {
+	if every <= 0 {
+		every = DefaultProgressInterval
+	}
+	for i, s := range p.ctxs {
+		if i >= len(rows) {
+			break
+		}
+		s.progress = rows[i]
+		s.progLeft = uint64(every)
+	}
+	if p.progEvery == 0 {
+		p.progEvery = uint64(every)
+	}
+}
+
+// publishProgress snapshots a run's counters into pr.
+func (p *Pipeline) publishProgress(pr *Progress, r *stats.Run, insts, cycles uint64) {
 	s := ProgressSnapshot{
 		Instructions:     insts,
 		Cycles:           cycles,
-		Loads:            p.run.Loads,
-		PredictedLoads:   p.run.PredictedLoads,
-		CorrectPredicted: p.run.CorrectPredicted,
-		VPFlushes:        p.run.VPFlushes,
+		Loads:            r.Loads,
+		PredictedLoads:   r.PredictedLoads,
+		CorrectPredicted: r.CorrectPredicted,
+		VPFlushes:        r.VPFlushes,
 		StartedNano:      p.progStart,
 		UpdatedNano:      time.Now().UnixNano(),
 	}
@@ -352,7 +501,26 @@ func (p *Pipeline) publishProgress(insts, cycles uint64) {
 		s.Used, s.Correct, s.Incorrect = t.Used, t.Correct, t.Incorrect
 		s.MPKP, s.Silenced = t.MPKP, t.Silenced
 	}
-	p.progress.publish(&s)
+	pr.publish(&s)
+}
+
+// publishSMTProgress publishes the machine-wide aggregate of an
+// interleaved run: summed counters, the maximum per-context commit
+// cycle.
+func (p *Pipeline) publishSMTProgress() {
+	var agg stats.Run
+	var insts, cycles uint64
+	for _, s := range p.ctxs {
+		insts += s.seq
+		if s.lastCommit > cycles {
+			cycles = s.lastCommit
+		}
+		agg.Loads += s.run.Loads
+		agg.PredictedLoads += s.run.PredictedLoads
+		agg.CorrectPredicted += s.run.CorrectPredicted
+		agg.VPFlushes += s.run.VPFlushes
+	}
+	p.publishProgress(p.progress, &agg, insts, cycles)
 }
 
 // Hierarchy exposes the memory system (for inspection in tests and
@@ -363,7 +531,11 @@ func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
 // future claim — always zero when the rings are sized correctly (the
 // golden test asserts this).
 func (p *Pipeline) resourceClobbers() uint64 {
-	return p.laneUse.clobbers + p.lsUse.clobbers + p.paqUse.clobbers
+	var n uint64
+	for _, s := range p.ctxs {
+		n += s.laneUse.clobbers + s.lsUse.clobbers + s.paqUse.clobbers
+	}
+	return n
 }
 
 // cancelCheckInterval is how many instructions run between context
@@ -391,18 +563,22 @@ func (p *Pipeline) Run(gen trace.Generator, workload, config string) stats.Run {
 // Cancellation is checked every cancelCheckInterval instructions (and
 // once before the first), so a cancelled run returns within one
 // interval with Aborted set and metrics covering the simulated prefix.
+// RunCtx always simulates context 0, regardless of cfg.Contexts — use
+// RunSMT to drive every context.
 func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, config string) stats.Run {
+	s := &p.one
+	p.cur = s
 	// The simulator's memory image starts equal to the workload's: the
 	// backing fill function is shared via Clone, and stores are applied
 	// as they execute. A reused pipeline copies into its existing image
 	// instead of allocating a new one.
-	if p.simMem == nil {
-		p.simMem = gen.Mem().Clone()
+	if s.simMem == nil {
+		s.simMem = gen.Mem().Clone()
 	} else {
-		p.simMem.CopyFrom(gen.Mem())
+		s.simMem.CopyFrom(gen.Mem())
 	}
 
-	p.run = stats.Run{Workload: workload, Config: config}
+	s.run = stats.Run{Workload: workload, Config: config}
 	if p.progress != nil {
 		p.progStart = time.Now().UnixNano()
 		p.progLeft = p.progEvery
@@ -423,23 +599,23 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 			if done != nil && seq%cancelCheckInterval == 0 {
 				select {
 				case <-done:
-					p.run.Aborted = true
+					s.run.Aborted = true
 				default:
 				}
-				if p.run.Aborted {
+				if s.run.Aborted {
 					break
 				}
 			}
-			lastCommit = p.step(seq, &insts[seq])
+			lastCommit = p.step(s, seq, &insts[seq])
 			seq++
 			if seq%4096 == 0 {
-				p.prune()
+				p.prune(s)
 			}
 			if p.progress != nil {
 				p.progLeft--
 				if p.progLeft == 0 {
 					p.progLeft = p.progEvery
-					p.publishProgress(seq, lastCommit)
+					p.publishProgress(p.progress, &s.run, seq, lastCommit)
 				}
 			}
 		}
@@ -450,46 +626,164 @@ func (p *Pipeline) RunCtx(ctx context.Context, gen trace.Generator, workload, co
 			if done != nil && seq%cancelCheckInterval == 0 {
 				select {
 				case <-done:
-					p.run.Aborted = true
+					s.run.Aborted = true
 				default:
 				}
-				if p.run.Aborted {
+				if s.run.Aborted {
 					break
 				}
 			}
-			if !gen.Next(&p.in) {
+			if !gen.Next(&s.in) {
 				break
 			}
-			lastCommit = p.step(seq, &p.in)
+			lastCommit = p.step(s, seq, &s.in)
 			seq++
 			if seq%4096 == 0 {
-				p.prune()
+				p.prune(s)
 			}
 			if p.progress != nil {
 				p.progLeft--
 				if p.progLeft == 0 {
 					p.progLeft = p.progEvery
-					p.publishProgress(seq, lastCommit)
+					p.publishProgress(p.progress, &s.run, seq, lastCommit)
 				}
 			}
 		}
 	}
-	p.run.Instructions = seq
-	p.run.Cycles = lastCommit
+	s.run.Instructions = seq
+	s.run.Cycles = lastCommit
 	if p.engine != nil && p.instretBatch > 0 {
 		p.engine.Instret(p.instretBatch)
 		p.instretBatch = 0
 		p.engineGen++
 	}
 	if p.progress != nil {
-		p.publishProgress(seq, lastCommit)
+		p.publishProgress(p.progress, &s.run, seq, lastCommit)
 	}
-	return p.run
+	return s.run
 }
 
-// step processes one instruction through every pipeline stage and
-// returns its commit cycle.
-func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
+// RunSMT simulates one generator per hardware context to completion,
+// interleaving the contexts round-robin with cfg.SMTQuantum
+// instructions per turn (<= 0 means one — per-instruction round-robin).
+// See RunSMTCtx.
+func (p *Pipeline) RunSMT(gens []trace.Generator, workloads []string, label, config string) stats.Run {
+	return p.RunSMTCtx(context.Background(), gens, workloads, label, config)
+}
+
+// RunSMTCtx simulates len(gens) == NumContexts() instruction streams,
+// one per hardware context, until every stream is exhausted or ctx is
+// cancelled. The contexts share the value-prediction engine, the branch
+// predictor tables and the RAS (each context keeps its own history
+// registers; cross-context call/return interleaving corrupts the shared
+// RAS exactly as on a real shared-RAS SMT core), the cache hierarchy,
+// and the TLB; each context's addresses are tagged
+// with its context ID above the workloads' address space, so contexts
+// contend for cache and TLB capacity instead of constructively sharing
+// the synthetic workloads' identical virtual layout.
+//
+// workloads[i] labels context i's stats.Run (retrieve them with
+// ContextRun); the returned Run is the machine-wide merge — summed
+// counters, Cycles the maximum per-context commit cycle — labeled with
+// label. Cancellation marks every unfinished context's run (and the
+// merged run) Aborted.
+func (p *Pipeline) RunSMTCtx(ctx context.Context, gens []trace.Generator, workloads []string, label, config string) stats.Run {
+	if len(gens) != len(p.ctxs) {
+		panic(fmt.Sprintf("cpu: RunSMT: %d generators for a %d-context pipeline", len(gens), len(p.ctxs)))
+	}
+	for i, s := range p.ctxs {
+		if s.simMem == nil {
+			s.simMem = gens[i].Mem().Clone()
+		} else {
+			s.simMem.CopyFrom(gens[i].Mem())
+		}
+		s.run = stats.Run{Workload: workloads[i], Config: config}
+	}
+	if p.progress != nil {
+		p.progStart = time.Now().UnixNano()
+		p.progLeft = p.progEvery
+	}
+	quantum := p.cfg.SMTQuantum
+	if quantum <= 0 {
+		quantum = 1
+	}
+	done := ctx.Done()
+	var total, checkAt uint64
+	aborted := false
+	active := len(p.ctxs)
+	for active > 0 && !aborted {
+		for i, s := range p.ctxs {
+			if s.done {
+				continue
+			}
+			if done != nil && total >= checkAt {
+				select {
+				case <-done:
+					aborted = true
+				default:
+				}
+				checkAt = total + cancelCheckInterval
+				if aborted {
+					break
+				}
+			}
+			p.cur = s
+			gen := gens[i]
+			for q := 0; q < quantum; q++ {
+				if !gen.Next(&s.in) {
+					s.done = true
+					active--
+					break
+				}
+				s.lastCommit = p.step(s, s.seq, &s.in)
+				s.seq++
+				total++
+				if s.seq%4096 == 0 {
+					p.prune(s)
+				}
+				if s.progress != nil {
+					s.progLeft--
+					if s.progLeft == 0 {
+						s.progLeft = p.progEvery
+						p.publishProgress(s.progress, &s.run, s.seq, s.lastCommit)
+					}
+				}
+				if p.progress != nil {
+					p.progLeft--
+					if p.progLeft == 0 {
+						p.progLeft = p.progEvery
+						p.publishSMTProgress()
+					}
+				}
+			}
+		}
+	}
+	merged := stats.Run{Workload: label, Config: config, Aborted: aborted}
+	for _, s := range p.ctxs {
+		s.run.Instructions = s.seq
+		s.run.Cycles = s.lastCommit
+		s.run.Aborted = aborted && !s.done
+		stats.Accumulate(&merged, s.run)
+	}
+	if p.engine != nil && p.instretBatch > 0 {
+		p.engine.Instret(p.instretBatch)
+		p.instretBatch = 0
+		p.engineGen++
+	}
+	for _, s := range p.ctxs {
+		if s.progress != nil {
+			p.publishProgress(s.progress, &s.run, s.seq, s.lastCommit)
+		}
+	}
+	if p.progress != nil {
+		p.publishSMTProgress()
+	}
+	return merged
+}
+
+// step processes one of context s's instructions through every pipeline
+// stage and returns its commit cycle.
+func (p *Pipeline) step(s *ctxSlice, seq uint64, in *trace.Inst) uint64 {
 	// ---- Window backpressure ----
 	// An instruction cannot dispatch until the ROB/IQ/LDQ/STQ have
 	// space; a stalled rename stage backpressures fetch, so the stall
@@ -498,26 +792,26 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 	// there) would run unboundedly ahead of execution.
 	var windowReady uint64
 	if seq >= uint64(p.cfg.ROB) {
-		if c := p.ringAt(seq - uint64(p.cfg.ROB)); c != nil && c.commitC > windowReady {
+		if c := p.ringAt(s, seq-uint64(p.cfg.ROB)); c != nil && c.commitC > windowReady {
 			windowReady = c.commitC
 		}
 	}
 	if seq >= uint64(p.cfg.IQ) {
-		if c := p.ringAt(seq - uint64(p.cfg.IQ)); c != nil && c.issueC > windowReady {
+		if c := p.ringAt(s, seq-uint64(p.cfg.IQ)); c != nil && c.issueC > windowReady {
 			windowReady = c.issueC
 		}
 	}
 	switch in.Op {
 	case trace.OpLoad:
-		if p.nLoads >= uint64(p.cfg.LDQ) {
-			old := p.loadRing[(p.nLoads-uint64(p.cfg.LDQ))%uint64(len(p.loadRing))]
+		if s.nLoads >= uint64(p.cfg.LDQ) {
+			old := s.loadRing[(s.nLoads-uint64(p.cfg.LDQ))%uint64(len(s.loadRing))]
 			if old.commitC > windowReady {
 				windowReady = old.commitC
 			}
 		}
 	case trace.OpStore:
-		if p.nStores >= uint64(p.cfg.STQ) {
-			old := p.storeRing[(p.nStores-uint64(p.cfg.STQ))%uint64(len(p.storeRing))]
+		if s.nStores >= uint64(p.cfg.STQ) {
+			old := s.storeRing[(s.nStores-uint64(p.cfg.STQ))%uint64(len(s.storeRing))]
 			if old.commitC > windowReady {
 				windowReady = old.commitC
 			}
@@ -529,7 +823,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 	}
 
 	// ---- Fetch ----
-	fc := p.fetch(in.PC, fetchFloor)
+	fc := p.fetch(s, in.PC, fetchFloor)
 
 	// ---- Rename/dispatch ----
 	dC := fc + uint64(p.cfg.FetchToExec)
@@ -540,7 +834,7 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 	// ---- Branch prediction (front end) ----
 	brMispred := false
 	if in.IsBranch() {
-		brMispred = p.predictBranch(in)
+		brMispred = p.predictBranch(s, in)
 	}
 
 	// ---- Value prediction probe (fetch stage, Figure 1 step 1) ----
@@ -556,18 +850,18 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 	)
 	isPredictableLoad := in.Op == trace.OpLoad && !in.Flags.NoPredict() && p.engine != nil
 	if in.Op == trace.OpLoad {
-		p.run.Loads++
+		s.run.Loads++
 	}
 	if isPredictableLoad {
-		p.applyTrains(fc)
+		p.applyTrains(s, fc)
 		probe = core.Probe{
 			PC:         in.PC,
-			BranchHist: p.hist.Global,
-			LoadPath:   p.loadPath,
-			Inflight:   p.inflight.get(in.PC),
+			BranchHist: s.hist.Global,
+			LoadPath:   s.loadPath,
+			Inflight:   s.inflight.get(in.PC),
 		}
-		rec, pred, delivered = p.probeLoad(seq, fc, probe)
-		p.inflight.inc(in.PC)
+		rec, pred, delivered = p.probeLoad(s, seq, fc, probe)
+		s.inflight.inc(in.PC)
 		// Even when no prediction is delivered, validation of the
 		// squashed/unchosen components resolves addresses as a probe
 		// issued shortly after fetch would have.
@@ -588,24 +882,24 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 				// conflicting-store hazard DLVP mitigates).
 				conflict := false
 				if p.cfg.SuppressStoreConflicts {
-					_, conflict = p.mdp.LoadDependence(in.PC)
+					_, conflict = s.mdp.LoadDependence(in.PC)
 				}
-				if !conflict && p.paqAdmit(fc) {
+				if !conflict && p.paqAdmit(s, fc) {
 					// Enters the PAQ; waits for a load-pipe bubble,
 					// then probes the L1D (steps 2-4 of Figure 1).
-					probeC = p.allocLSLane(fc + 2)
-					lat, hit := p.hier.ProbeD(pred.Addr)
-					p.paqRecord(probeC + uint64(lat))
+					probeC = p.allocLSLane(s, fc+2)
+					lat, hit := p.hier.ProbeD(pred.Addr | s.asid)
+					p.paqRecord(s, probeC+uint64(lat))
 					if hit {
 						specOK = true
-						specValue = p.probeRead(pred.Addr, pred.Size, seq, probeC)
+						specValue = p.probeRead(s, pred.Addr, pred.Size, seq, probeC)
 						specReady = probeC + uint64(lat)
 					} else if p.cfg.PAQPrefetchOnMiss {
 						// Probe miss: no speculative value, but the
 						// miss generates a data prefetch (Figure 1
 						// step 5) that accelerates the load itself.
-						fillLat := p.hier.PrefetchAccess(pred.Addr)
-						p.lineFill.putMin(pred.Addr>>6, probeC+uint64(fillLat))
+						fillLat := p.hier.PrefetchAccess(pred.Addr | s.asid)
+						s.lineFill.putMin(pred.Addr>>6, probeC+uint64(fillLat))
 					}
 				}
 			}
@@ -615,43 +909,43 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 		// The load path history shifts in each fetched load's PC,
 		// after the probe (CAP predicts from the path *leading to* the
 		// load).
-		p.loadPath = (p.loadPath << 6) ^ ((in.PC >> 2) & 0xFFF)
+		s.loadPath = (s.loadPath << 6) ^ ((in.PC >> 2) & 0xFFF)
 	}
 
 	// ---- Source readiness ----
 	rdy := dC
-	if in.Src1 != 0 && p.regReady[in.Src1] > rdy {
-		rdy = p.regReady[in.Src1]
+	if in.Src1 != 0 && s.regReady[in.Src1] > rdy {
+		rdy = s.regReady[in.Src1]
 	}
-	if in.Src2 != 0 && p.regReady[in.Src2] > rdy {
-		rdy = p.regReady[in.Src2]
+	if in.Src2 != 0 && s.regReady[in.Src2] > rdy {
+		rdy = s.regReady[in.Src2]
 	}
 
 	// Store-set dependence: a load predicted to conflict waits for the
 	// flagged store's execution.
 	if in.Op == trace.OpLoad {
-		if depSeq, ok := p.mdp.LoadDependence(in.PC); ok {
-			if c := p.ringAt(depSeq); c != nil && c.execDone > rdy {
+		if depSeq, ok := s.mdp.LoadDependence(in.PC); ok {
+			if c := p.ringAt(s, depSeq); c != nil && c.execDone > rdy {
 				rdy = c.execDone
 			}
 		}
 	}
 	if in.Op == trace.OpStore {
-		p.mdp.StoreFetched(in.PC, seq)
+		s.mdp.StoreFetched(in.PC, seq)
 	}
 
 	// ---- Issue ----
 	isLS := in.Op == trace.OpLoad || in.Op == trace.OpStore
-	issueC := p.allocIssue(rdy, isLS)
+	issueC := p.allocIssue(s, rdy, isLS)
 
 	// ---- Execute ----
 	var execDone uint64
 	flush := false
 	switch in.Op {
 	case trace.OpLoad:
-		execDone, flush = p.executeLoad(seq, in, issueC)
+		execDone, flush = p.executeLoad(s, seq, in, issueC)
 	case trace.OpStore:
-		p.executeStore(seq, in, issueC)
+		p.executeStore(s, seq, in, issueC)
 		execDone = issueC + 1
 	default:
 		lat := uint64(in.Lat)
@@ -666,13 +960,13 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 	if delivered {
 		vpCorrect = specOK && specValue == in.Value
 		if specOK {
-			p.run.PredictedLoads++
+			s.run.PredictedLoads++
 			if vpCorrect {
-				p.run.CorrectPredicted++
+				s.run.CorrectPredicted++
 			}
 		}
 		if specOK && !vpCorrect {
-			p.run.VPFlushes++
+			s.run.VPFlushes++
 			if p.cfg.ReplayRecovery {
 				// Selective replay: consumers of the load re-execute
 				// with the correct value after a replay penalty; the
@@ -692,21 +986,21 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 		if vpCorrect && specReady < ready {
 			ready = specReady
 		}
-		p.regReady[in.Dst] = ready
+		s.regReady[in.Dst] = ready
 	}
 
 	// ---- Redirects ----
 	if brMispred {
-		p.run.BranchFlushes++
+		s.run.BranchFlushes++
 		flush = true
 	}
-	if flush && execDone+1 > p.redirectC {
-		p.redirectC = execDone + 1
+	if flush && execDone+1 > s.redirectC {
+		s.redirectC = execDone + 1
 	}
 
 	// ---- Train the value predictor at execute ----
 	if isPredictableLoad {
-		p.pending.push(pendingTrain{
+		s.pending.push(pendingTrain{
 			trainC: execDone,
 			outcome: core.Outcome{
 				PC:         in.PC,
@@ -725,26 +1019,26 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 
 	// ---- Commit (in order, width-limited) ----
 	cc := execDone + 1
-	if cc < p.commitCycle {
-		cc = p.commitCycle
+	if cc < s.commitCycle {
+		cc = s.commitCycle
 	}
-	if cc == p.commitCycle && p.commitUsed >= p.cfg.CommitWidth {
+	if cc == s.commitCycle && s.commitUsed >= p.cfg.CommitWidth {
 		cc++
 	}
-	if cc != p.commitCycle {
-		p.commitCycle = cc
-		p.commitUsed = 0
+	if cc != s.commitCycle {
+		s.commitCycle = cc
+		s.commitUsed = 0
 	}
-	p.commitUsed++
+	s.commitUsed++
 
-	p.ring[seq&p.ringMask] = slotTiming{seq: seq, run: p.runGen, issueC: issueC, execDone: execDone, commitC: cc}
+	s.ring[seq&s.ringMask] = slotTiming{seq: seq, run: p.runGen, issueC: issueC, execDone: execDone, commitC: cc}
 	switch in.Op {
 	case trace.OpLoad:
-		p.loadRing[p.nLoads%uint64(len(p.loadRing))] = loadStoreTiming{seq: seq, commitC: cc}
-		p.nLoads++
+		s.loadRing[s.nLoads%uint64(len(s.loadRing))] = loadStoreTiming{seq: seq, commitC: cc}
+		s.nLoads++
 	case trace.OpStore:
-		p.storeRing[p.nStores%uint64(len(p.storeRing))] = loadStoreTiming{seq: seq, commitC: cc}
-		p.nStores++
+		s.storeRing[s.nStores%uint64(len(s.storeRing))] = loadStoreTiming{seq: seq, commitC: cc}
+		s.nStores++
 	}
 
 	if p.engine != nil {
@@ -761,57 +1055,57 @@ func (p *Pipeline) step(seq uint64, in *trace.Inst) uint64 {
 // fetch returns this instruction's fetch cycle, honoring redirects,
 // window backpressure (floor), fetch width, and instruction cache
 // misses.
-func (p *Pipeline) fetch(pc uint64, floor uint64) uint64 {
-	start := p.fetchCycle
-	if p.redirectC > start {
-		start = p.redirectC
+func (p *Pipeline) fetch(s *ctxSlice, pc uint64, floor uint64) uint64 {
+	start := s.fetchCycle
+	if s.redirectC > start {
+		start = s.redirectC
 	}
 	if floor > start {
 		start = floor
 	}
-	iLat := p.hier.InstAccess(pc)
+	iLat := p.hier.InstAccess(pc | s.asid)
 	if base := p.cfg.Hierarchy.L1I.Latency; iLat > base {
 		// I-cache miss: front-end bubble for the extra latency.
 		start += uint64(iLat - base)
 	}
-	if start != p.fetchCycle {
-		p.fetchCycle = start
-		p.fetchUsed = 0
+	if start != s.fetchCycle {
+		s.fetchCycle = start
+		s.fetchUsed = 0
 	}
-	if p.fetchUsed >= p.cfg.FetchWidth {
-		p.fetchCycle++
-		p.fetchUsed = 0
+	if s.fetchUsed >= p.cfg.FetchWidth {
+		s.fetchCycle++
+		s.fetchUsed = 0
 	}
-	p.fetchUsed++
-	return p.fetchCycle
+	s.fetchUsed++
+	return s.fetchCycle
 }
 
 // executeLoad computes a load's completion, modeling store forwarding,
 // memory-ordering violations, and the data cache.
-func (p *Pipeline) executeLoad(seq uint64, in *trace.Inst, issueC uint64) (execDone uint64, flush bool) {
+func (p *Pipeline) executeLoad(s *ctxSlice, seq uint64, in *trace.Inst, issueC uint64) (execDone uint64, flush bool) {
 	word := in.Addr >> 3
-	ls, haveStore := p.lastStore.get(word)
+	ls, haveStore := s.lastStore.get(word)
 	if haveStore && ls.seq < seq {
 		if issueC < ls.execDone {
 			// The load issued before an older conflicting store
 			// executed: memory-ordering violation. Flush, replay after
 			// the store, and train the store-set predictor.
-			p.run.MemOrderFlushes++
-			p.mdp.Violation(in.PC, ls.pc)
+			s.run.MemOrderFlushes++
+			s.mdp.Violation(in.PC, ls.pc)
 			execDone = ls.execDone + uint64(p.cfg.StoreForwardLat)
 			return execDone, true
 		}
-		if recent := p.nStores > 0 && seq-ls.seq <= uint64(p.cfg.STQ)*4; recent {
+		if recent := s.nStores > 0 && seq-ls.seq <= uint64(p.cfg.STQ)*4; recent {
 			// Store-to-load forwarding from the STQ.
 			return issueC + uint64(p.cfg.StoreForwardLat), false
 		}
 	}
-	lat := p.hier.DataAccess(in.PC, in.Addr)
+	lat := p.hier.DataAccess(in.PC, in.Addr|s.asid)
 	done := issueC + uint64(lat)
 	// A PAQ prefetch in flight for this line bounds the completion: the
 	// demand access cannot finish before the fill arrives, but benefits
 	// from it afterwards.
-	if fd, ok := p.lineFill.get(in.Addr >> 6); ok {
+	if fd, ok := s.lineFill.get(in.Addr >> 6); ok {
 		earliest := fd
 		if hitDone := issueC + uint64(p.cfg.Hierarchy.L1D.Latency); hitDone > earliest {
 			earliest = hitDone
@@ -828,45 +1122,45 @@ func (p *Pipeline) executeLoad(seq uint64, in *trace.Inst, issueC uint64) (execD
 // issue/probe cycles, and queued trainings' probe cycles are bounded
 // below by the oldest queued training's fetch cycle (trainings drain in
 // FIFO order and each probeC is >= its own fetch cycle).
-func (p *Pipeline) storeFloor() uint64 {
-	floor := p.fetchCycle
-	if t, ok := p.pending.peek(); ok && t.fcAt < floor {
+func (p *Pipeline) storeFloor(s *ctxSlice) uint64 {
+	floor := s.fetchCycle
+	if t, ok := s.pending.peek(); ok && t.fcAt < floor {
 		floor = t.fcAt
 	}
 	return floor
 }
 
 // executeStore applies the store's memory effects and bookkeeping.
-func (p *Pipeline) executeStore(seq uint64, in *trace.Inst, issueC uint64) {
-	if p.lastStore.crowded() {
+func (p *Pipeline) executeStore(s *ctxSlice, seq uint64, in *trace.Inst, issueC uint64) {
+	if s.lastStore.crowded() {
 		// Evict records no future read can observe: the store executed
 		// at or before every future comparison cycle (no violation, no
 		// stale-probe window) and is too old to forward from the STQ.
-		floor := p.storeFloor()
+		floor := p.storeFloor(s)
 		stq4 := uint64(p.cfg.STQ) * 4
-		p.lastStore.compact(func(r storeRecord) bool {
+		s.lastStore.compact(func(r storeRecord) bool {
 			return r.execDone > floor || seq-r.seq <= stq4
 		})
 	}
 	word := in.Addr >> 3
-	p.lastStore.put(word, storeRecord{
+	s.lastStore.put(word, storeRecord{
 		seq:      seq,
 		pc:       in.PC,
 		execDone: issueC + 1,
-		prevWord: p.simMem.Read(in.Addr&^uint64(7), 8),
+		prevWord: s.simMem.Read(in.Addr&^uint64(7), 8),
 	})
-	p.simMem.Write(in.Addr, in.Size, in.Value)
+	s.simMem.Write(in.Addr, in.Size, in.Value)
 	// The store's cache access shapes hierarchy state (write-allocate).
-	p.hier.DataAccess(in.PC, in.Addr)
+	p.hier.DataAccess(in.PC, in.Addr|s.asid)
 }
 
 // probeRead models what the PAQ's data-cache probe returns at probeC
 // for the load at loadSeq: normally the current memory image, but if an
 // older conflicting store executes only after the probe, the probe saw
 // the word's previous contents.
-func (p *Pipeline) probeRead(addr uint64, size uint8, loadSeq, probeC uint64) uint64 {
+func (p *Pipeline) probeRead(s *ctxSlice, addr uint64, size uint8, loadSeq, probeC uint64) uint64 {
 	word := addr >> 3
-	if ls, ok := p.lastStore.get(word); ok && ls.seq < loadSeq && ls.execDone > probeC {
+	if ls, ok := s.lastStore.get(word); ok && ls.seq < loadSeq && ls.execDone > probeC {
 		off := addr & 7
 		if size == 0 || size > 8 {
 			size = 8
@@ -879,52 +1173,57 @@ func (p *Pipeline) probeRead(addr uint64, size uint8, loadSeq, probeC uint64) ui
 			return v
 		}
 	}
-	return p.simMem.Read(addr, size)
+	return s.simMem.Read(addr, size)
 }
 
 // predictBranch runs the front-end predictors and returns whether the
 // branch was mispredicted. Histories advance with the actual outcome.
-func (p *Pipeline) predictBranch(in *trace.Inst) bool {
+// The TAGE/ITTAGE tables and the RAS are shared across contexts (each
+// context keeps its own history registers): cross-context aliasing in
+// the tables — and RAS corruption under interleaved call/return streams
+// — is part of the SMT contention model.
+func (p *Pipeline) predictBranch(s *ctxSlice, in *trace.Inst) bool {
 	mispred := false
 	switch in.Op {
 	case trace.OpBranch:
-		predTaken := p.tage.Predict(in.PC, p.hist.Global)
-		p.tage.Update(in.PC, p.hist.Global, in.Taken)
+		predTaken := p.tage.Predict(in.PC, s.hist.Global)
+		p.tage.Update(in.PC, s.hist.Global, in.Taken)
 		mispred = predTaken != in.Taken
-		p.hist.Update(in.PC, in.Taken)
+		s.hist.Update(in.PC, in.Taken)
 	case trace.OpJump:
-		p.hist.Update(in.PC, true)
+		s.hist.Update(in.PC, true)
 	case trace.OpCall:
 		p.ras.Push(in.PC + 4)
-		p.hist.Update(in.PC, true)
+		s.hist.Update(in.PC, true)
 	case trace.OpRet:
 		mispred = p.ras.Pop() != in.Target
-		p.hist.Update(in.PC, true)
+		s.hist.Update(in.PC, true)
 	case trace.OpIndirect:
-		predTarget := p.ittage.Predict(in.PC, p.hist.Global)
-		p.ittage.Update(in.PC, p.hist.Global, in.Target)
+		predTarget := p.ittage.Predict(in.PC, s.hist.Global)
+		p.ittage.Update(in.PC, s.hist.Global, in.Target)
 		mispred = predTarget != in.Target
-		p.hist.Update(in.PC, true)
+		s.hist.Update(in.PC, true)
 	}
 	return mispred
 }
 
-// applyTrains delivers pending predictor trainings, in program order,
-// whose loads have completed by cycle c — the prediction-to-update
-// latency model.
-func (p *Pipeline) applyTrains(c uint64) {
+// applyTrains delivers context s's pending predictor trainings, in
+// program order, whose loads have completed by cycle c — the
+// prediction-to-update latency model.
+func (p *Pipeline) applyTrains(s *ctxSlice, c uint64) {
 	for {
-		t, ok := p.pending.peek()
+		t, ok := s.pending.peek()
 		if !ok || t.trainC > c {
 			return
 		}
-		p.trainOne(p.pending.pop())
+		p.trainOne(s, s.pending.pop())
 	}
 }
 
-func (p *Pipeline) trainOne(t pendingTrain) {
-	p.inflight.dec(t.outcome.PC)
-	p.trainSeq, p.trainProbeC = t.specSeq, t.probeC
+func (p *Pipeline) trainOne(s *ctxSlice, t pendingTrain) {
+	s.inflight.dec(t.outcome.PC)
+	p.cur = s
+	s.trainSeq, s.trainProbeC = t.specSeq, t.probeC
 	p.engine.Train(t.outcome, t.rec, p.resolve)
 	p.engineGen++
 }
@@ -932,45 +1231,45 @@ func (p *Pipeline) trainOne(t pendingTrain) {
 // paqAdmit reports whether the Predicted Address Queue has room for a
 // new probe at fetch cycle fc: probes whose completion is still in the
 // future occupy entries.
-func (p *Pipeline) paqAdmit(fc uint64) bool {
+func (p *Pipeline) paqAdmit(s *ctxSlice, fc uint64) bool {
 	if p.cfg.PAQDepth <= 0 {
 		return true
 	}
 	// Drain completed probes.
-	for p.paqHead < len(p.paqQueue) && p.paqQueue[p.paqHead] <= fc {
-		p.paqHead++
+	for s.paqHead < len(s.paqQueue) && s.paqQueue[s.paqHead] <= fc {
+		s.paqHead++
 	}
-	if p.paqHead == len(p.paqQueue) {
-		p.paqQueue = p.paqQueue[:0]
-		p.paqHead = 0
+	if s.paqHead == len(s.paqQueue) {
+		s.paqQueue = s.paqQueue[:0]
+		s.paqHead = 0
 	}
-	return len(p.paqQueue)-p.paqHead < p.cfg.PAQDepth
+	return len(s.paqQueue)-s.paqHead < p.cfg.PAQDepth
 }
 
 // paqRecord notes an admitted probe's completion cycle.
-func (p *Pipeline) paqRecord(done uint64) {
+func (p *Pipeline) paqRecord(s *ctxSlice, done uint64) {
 	if p.cfg.PAQDepth <= 0 {
 		return
 	}
-	if n := len(p.paqQueue); n > p.paqHead && p.paqQueue[n-1] > done {
-		done = p.paqQueue[n-1] // keep the queue monotonic
+	if n := len(s.paqQueue); n > s.paqHead && s.paqQueue[n-1] > done {
+		done = s.paqQueue[n-1] // keep the queue monotonic
 	}
-	p.paqQueue = append(p.paqQueue, done)
+	s.paqQueue = append(s.paqQueue, done)
 }
 
 // allocIssue finds the first cycle at or after start with issue
 // bandwidth (and a load/store lane when needed) and claims it.
-func (p *Pipeline) allocIssue(start uint64, isLS bool) uint64 {
+func (p *Pipeline) allocIssue(s *ctxSlice, start uint64, isLS bool) uint64 {
 	for c := start; ; c++ {
-		if p.laneUse.get(c) >= p.cfg.IssueWidth {
+		if s.laneUse.get(c) >= p.cfg.IssueWidth {
 			continue
 		}
-		if isLS && p.lsUse.get(c) >= p.cfg.LSLanes {
+		if isLS && s.lsUse.get(c) >= p.cfg.LSLanes {
 			continue
 		}
-		p.laneUse.inc(c)
+		s.laneUse.inc(c)
 		if isLS {
-			p.lsUse.inc(c)
+			s.lsUse.inc(c)
 		}
 		return c
 	}
@@ -980,22 +1279,22 @@ func (p *Pipeline) allocIssue(start uint64, isLS bool) uint64 {
 // never displace demand accesses (the PAQ "waits for bubbles in the
 // load pipeline", Section III-A); we model that as a separate probe
 // port budget of LSLanes per cycle, queued behind earlier probes.
-func (p *Pipeline) allocLSLane(start uint64) uint64 {
+func (p *Pipeline) allocLSLane(s *ctxSlice, start uint64) uint64 {
 	for c := start; ; c++ {
-		if p.paqUse.get(c) < p.cfg.LSLanes {
-			p.paqUse.inc(c)
+		if s.paqUse.get(c) < p.cfg.LSLanes {
+			s.paqUse.inc(c)
 			return c
 		}
 	}
 }
 
 // ringAt returns the timing record for seq if it is still in the ring.
-func (p *Pipeline) ringAt(seq uint64) *slotTiming {
-	s := &p.ring[seq&p.ringMask]
-	if s.seq != seq || s.run != p.runGen {
+func (p *Pipeline) ringAt(s *ctxSlice, seq uint64) *slotTiming {
+	r := &s.ring[seq&s.ringMask]
+	if r.seq != seq || r.run != p.runGen {
 		return nil
 	}
-	return s
+	return r
 }
 
 // prune runs on the historical 4096-instruction cadence. The cycle
@@ -1003,6 +1302,6 @@ func (p *Pipeline) ringAt(seq uint64) *slotTiming {
 // the line-fill table must evict here, because its stale entries are
 // architecturally visible and the map implementation dropped them
 // exactly at this cadence.
-func (p *Pipeline) prune() {
-	p.lineFill.compactBelow(p.fetchCycle)
+func (p *Pipeline) prune(s *ctxSlice) {
+	s.lineFill.compactBelow(s.fetchCycle)
 }

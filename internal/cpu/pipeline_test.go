@@ -186,7 +186,7 @@ func TestEveryProbedLoadEventuallyTrains(t *testing.T) {
 	ce := &countingEngine{}
 	p := New(DefaultConfig(), ce)
 	p.Run(w.Build(testInsts), "linpack", "count")
-	p.applyTrains(^uint64(0)) // drain
+	p.applyTrains(&p.one, ^uint64(0)) // drain
 	if ce.trains != ce.probes {
 		t.Errorf("probes=%d trains=%d: trainings lost", ce.probes, ce.trains)
 	}
@@ -270,12 +270,12 @@ func TestCommitCyclesMonotonic(t *testing.T) {
 	w, _ := trace.ByName("gzip")
 	p := New(DefaultConfig(), nil)
 	gen := w.Build(20_000)
-	p.simMem = gen.Mem().Clone()
-	p.run = stats.Run{}
+	p.one.simMem = gen.Mem().Clone()
+	p.one.run = stats.Run{}
 	var in trace.Inst
 	var seq, prev uint64
 	for gen.Next(&in) {
-		cc := p.step(seq, &in)
+		cc := p.step(&p.one, seq, &in)
 		if cc < prev {
 			t.Fatalf("commit cycle regressed at seq %d: %d < %d", seq, cc, prev)
 		}

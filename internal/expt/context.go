@@ -54,9 +54,10 @@ type Context struct {
 	par    int
 	traces *trace.ArtifactStore
 
-	mu        sync.Mutex
-	baselines map[string]stats.Run
-	inflight  map[string]chan struct{}
+	mu           sync.Mutex
+	baselines    map[string]stats.Run
+	smtBaselines map[string]SMTResult
+	inflight     map[string]chan struct{}
 }
 
 // NewContext builds a context from opts. It panics on an unknown
@@ -100,6 +101,7 @@ func NewContextErr(opts Options) (*Context, error) {
 		}
 	}
 	c.baselines = make(map[string]stats.Run)
+	c.smtBaselines = make(map[string]SMTResult)
 	c.inflight = make(map[string]chan struct{})
 	return c, nil
 }

@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func smtSim(t *testing.T, contexts int, names ...string) spec.Sim {
+	t.Helper()
+	sim := spec.Sim{
+		Machine:  spec.MachineSpec{Contexts: contexts},
+		Workload: spec.WorkloadSpec{Names: names},
+	}
+	n, _, err := sim.Canonical(spec.Defaults{Insts: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunSMTDeterministicAcrossTraceSources(t *testing.T) {
+	sim := smtSim(t, 2, "gcc2k", "mcf")
+	c := NewContext(Options{Insts: 10_000, Workloads: []string{"gcc2k"}})
+	mk := c.Factory(sim.Predictor)
+	seed := c.EngineSeedLabel(sim.WorkloadLabel())
+	live := c.RunSMTCtx(context.Background(), sim, "smt", mk(seed))
+
+	// The same spec replayed from recorded artifacts must match.
+	store, err := trace.NewArtifactStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := NewContext(Options{Insts: 10_000, Workloads: []string{"gcc2k"}, Traces: store})
+	replayed := ct.RunSMTCtx(context.Background(), sim, "smt", mk(seed))
+	if live.Merged != replayed.Merged {
+		t.Fatalf("artifact-replayed SMT run diverged:\n got: %+v\nwant: %+v", replayed.Merged, live.Merged)
+	}
+	for i := range live.Per {
+		if live.Per[i] != replayed.Per[i] {
+			t.Fatalf("context %d diverged:\n got: %+v\nwant: %+v", i, replayed.Per[i], live.Per[i])
+		}
+	}
+	if st := store.Stats(); st.Generated != 2 {
+		t.Errorf("store generated %d artifacts, want 2 (one per context stream)", st.Generated)
+	}
+}
+
+func TestSMTBaselineCachedPerMixAndMachine(t *testing.T) {
+	c := NewContext(Options{Insts: 10_000, Workloads: []string{"gcc2k"}})
+	sim := smtSim(t, 2, "gcc2k", "gcc2k")
+	a := c.SMTBaselineCtx(context.Background(), sim)
+	b := c.SMTBaselineCtx(context.Background(), sim)
+	if a.Merged != b.Merged || len(a.Per) != 2 {
+		t.Fatalf("cached SMT baseline diverged:\n%+v\n%+v", a, b)
+	}
+	// The single-context baseline of the same workload must live under a
+	// different key — the SMT baseline's contention must not leak into it.
+	w, _ := trace.ByName("gcc2k")
+	solo := c.Baseline(w)
+	if solo == a.Merged {
+		t.Error("single-context baseline equals the 2-context merged baseline")
+	}
+	if solo.Instructions != 10_000 || a.Merged.Instructions != 20_000 {
+		t.Errorf("budgets wrong: solo=%d merged=%d", solo.Instructions, a.Merged.Instructions)
+	}
+	// A 4-context baseline of the same mix label is keyed by its machine.
+	sim4 := smtSim(t, 4, "gcc2k", "gcc2k", "gcc2k", "gcc2k")
+	d := c.SMTBaselineCtx(context.Background(), sim4)
+	if d.Merged == a.Merged {
+		t.Error("4-context baseline collided with the 2-context cache entry")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/expt"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
@@ -158,9 +159,32 @@ type ComponentResult struct {
 	Incorrect uint64 `json:"incorrect"`
 }
 
+// ContextResult is one hardware context's slice of a multi-context
+// (SMT) run: the context's own metrics against its slice of the SMT
+// baseline (both runs shared the machine with the other contexts, so
+// the speedup isolates the predictor's effect under contention).
+type ContextResult struct {
+	Context      int     `json:"context"`
+	Workload     string  `json:"workload"`
+	Stream       string  `json:"stream"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	BaselineIPC  float64 `json:"baseline_ipc"`
+	SpeedupPct   float64 `json:"speedup_pct"`
+	CoveragePct  float64 `json:"coverage_pct"`
+	Accuracy     float64 `json:"accuracy"`
+
+	Flushes FlushCounts `json:"flushes"`
+}
+
 // RunResult is the outcome of one simulation: headline metrics against
 // the no-VP baseline plus the optional per-component breakdown. It is
-// the payload of GET /v1/jobs/{id} and of lvpsim -json.
+// the payload of GET /v1/jobs/{id} and of lvpsim -json. Multi-context
+// (SMT) results carry machine-wide merged metrics in the headline
+// fields — Workload is the mix label ("a+b"), Instructions/Cycles and
+// the flush counts are summed over contexts, IPC is the machine
+// aggregate — plus the per-context breakdown in PerContext.
 type RunResult struct {
 	Workload     string  `json:"workload"`
 	Predictor    string  `json:"predictor"`
@@ -173,6 +197,13 @@ type RunResult struct {
 	Accuracy     float64 `json:"accuracy"`
 
 	Flushes FlushCounts `json:"flushes"`
+
+	// Contexts is the simulated hardware context count; omitted (0) for
+	// single-context runs.
+	Contexts int `json:"contexts,omitempty"`
+
+	// PerContext breaks a multi-context run out by hardware context.
+	PerContext []ContextResult `json:"per_context,omitempty"`
 
 	// Components is the per-component breakdown (composite families
 	// only).
@@ -231,6 +262,41 @@ func NewRunResult(run, base stats.Run, comp *core.Composite) RunResult {
 	return res
 }
 
+// NewSMTRunResult assembles the response payload of a multi-context
+// run: merged headline metrics plus one ContextResult per context,
+// each speedup computed against the matching context of the SMT
+// baseline. streams names each context's instruction stream.
+func NewSMTRunResult(run, base expt.SMTResult, streams []string, comp *core.Composite) RunResult {
+	res := NewRunResult(run.Merged, base.Merged, comp)
+	res.Contexts = len(run.Per)
+	res.PerContext = make([]ContextResult, len(run.Per))
+	for i, r := range run.Per {
+		cr := ContextResult{
+			Context:      i,
+			Workload:     r.Workload,
+			Instructions: r.Instructions,
+			Cycles:       r.Cycles,
+			IPC:          r.IPC(),
+			CoveragePct:  r.Coverage(),
+			Accuracy:     r.Accuracy(),
+			Flushes: FlushCounts{
+				Value:    r.VPFlushes,
+				Branch:   r.BranchFlushes,
+				MemOrder: r.MemOrderFlushes,
+			},
+		}
+		if i < len(streams) {
+			cr.Stream = streams[i]
+		}
+		if i < len(base.Per) {
+			cr.BaselineIPC = base.Per[i].IPC()
+			cr.SpeedupPct = stats.Speedup(r, base.Per[i])
+		}
+		res.PerContext[i] = cr
+	}
+	return res
+}
+
 // CompositeFromEngine unwraps the composite behind an engine, when
 // there is one (for the per-component breakdown).
 func CompositeFromEngine(eng cpu.Engine) *core.Composite {
@@ -267,6 +333,21 @@ type ProgressView struct {
 	SimMIPS           float64 `json:"sim_mips"`
 
 	Components []ComponentProgress `json:"components,omitempty"`
+
+	// PerContext is the per-context live progress of a multi-context
+	// run: one row per hardware context, published by the pipeline's
+	// seqlock rows on the same cadence as the machine-wide aggregate
+	// above.
+	PerContext []ContextProgress `json:"per_context,omitempty"`
+}
+
+// ContextProgress is one hardware context's live progress row.
+type ContextProgress struct {
+	Context      int     `json:"context"`
+	Workload     string  `json:"workload"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	Pct          float64 `json:"pct"`
 }
 
 // NewProgressView renders one progress snapshot for a phase with the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/spec"
 	"repro/internal/store"
 )
@@ -62,14 +63,19 @@ func (s *Server) warehousePut(j *job, res *RunResult) error {
 	j.mu.Lock()
 	traceID := j.traceID
 	j.mu.Unlock()
+	workload := res.Workload // the mix label ("a+b") for SMT runs
+	if workload == "" {
+		workload = j.sim.Workload.Name
+	}
 	return s.st.Warehouse().Put(store.RunRecord{
 		SpecHash:  j.key,
 		Tenant:    j.tenant,
-		Workload:  j.sim.Workload.Name,
+		Workload:  workload,
 		Predictor: j.label,
 		TraceID:   traceID,
 		Time:      time.Now().UTC(),
 		Result:    raw,
+		Contexts:  res.Contexts,
 	})
 }
 
@@ -150,6 +156,9 @@ func (s *Server) restoreJob(id, tenantName string, sim spec.Sim, label string, t
 		state:     StateQueued,
 		created:   time.Now(),
 		done:      make(chan struct{}),
+	}
+	if n := sim.Machine.NumContexts(); n > 1 {
+		j.progRows = make([]cpu.Progress, n)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)

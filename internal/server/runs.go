@@ -18,6 +18,7 @@ type RunView struct {
 	Tenant    string     `json:"tenant,omitempty"`
 	Workload  string     `json:"workload,omitempty"`
 	Predictor string     `json:"predictor,omitempty"`
+	Contexts  int        `json:"contexts,omitempty"`
 	TraceID   string     `json:"trace_id,omitempty"`
 	Time      string     `json:"time"`
 	Result    *RunResult `json:"result,omitempty"`
@@ -38,12 +39,44 @@ type RunDiff struct {
 }
 
 // DiffDelta holds B-minus-A deltas of the comparable result metrics.
+// When the two runs simulate different context counts (an SMT run
+// against its single-context composite, the main use of the contexts
+// dimension) the headline deltas compare merged machine-wide metrics;
+// PerContext appears only when both sides break out the same contexts.
 type DiffDelta struct {
 	SpeedupPct  float64 `json:"speedup_pct"`
 	IPC         float64 `json:"ipc"`
 	CoveragePct float64 `json:"coverage_pct"`
 	Accuracy    float64 `json:"accuracy"`
 	Cycles      int64   `json:"cycles"`
+
+	// Contexts flags a comparison across context counts: 0 when both
+	// runs simulate the same number of contexts, B-minus-A otherwise.
+	// Single-context results count as 1 whether they predate the
+	// contexts column (0) or spell it out.
+	Contexts int `json:"contexts,omitempty"`
+
+	// PerContext is the per-context delta breakdown, present when both
+	// runs carry per-context results for the same context count.
+	PerContext []ContextDelta `json:"per_context,omitempty"`
+}
+
+// ContextDelta is one hardware context's B-minus-A metric deltas.
+type ContextDelta struct {
+	Context     int     `json:"context"`
+	SpeedupPct  float64 `json:"speedup_pct"`
+	IPC         float64 `json:"ipc"`
+	CoveragePct float64 `json:"coverage_pct"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
+// numContexts folds a result's context count into the filter's class
+// convention: 0 and 1 are both the single-context class.
+func numContexts(r *RunResult) int {
+	if r.Contexts > 1 {
+		return r.Contexts
+	}
+	return 1
 }
 
 // warehouse returns the result warehouse, or nil with a rendered error
@@ -62,6 +95,7 @@ func newRunView(rec store.RunRecord) RunView {
 		Tenant:    rec.Tenant,
 		Workload:  rec.Workload,
 		Predictor: rec.Predictor,
+		Contexts:  rec.Contexts,
 		TraceID:   rec.TraceID,
 		Time:      rec.Time.Format(time.RFC3339),
 	}
@@ -74,7 +108,9 @@ func newRunView(rec store.RunRecord) RunView {
 
 // handleListRuns implements GET /v1/runs: the warehouse listing, most
 // recent first, filterable by ?spec_hash=, ?tenant=, ?workload=,
-// ?predictor=, and bounded by ?limit= (default 50, max 500).
+// ?predictor=, ?contexts= (1 also matches records from before the
+// contexts column existed), and bounded by ?limit= (default 50, max
+// 500).
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	wh := s.warehouse(w)
 	if wh == nil {
@@ -90,11 +126,21 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	q := r.URL.Query()
+	var contexts *int
+	if v := q.Get("contexts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "contexts must be a non-negative integer")
+			return
+		}
+		contexts = &n
+	}
 	recs := wh.List(store.Filter{
 		SpecHash:  q.Get("spec_hash"),
 		Tenant:    q.Get("tenant"),
 		Workload:  q.Get("workload"),
 		Predictor: q.Get("predictor"),
+		Contexts:  contexts,
 		Limit:     limit,
 	})
 	list := RunList{Runs: make([]RunView, 0, len(recs)), Total: wh.Len()}
@@ -154,6 +200,20 @@ func (s *Server) handleDiffRuns(w http.ResponseWriter, r *http.Request) {
 		CoveragePct: rb.CoveragePct - ra.CoveragePct,
 		Accuracy:    rb.Accuracy - ra.Accuracy,
 		Cycles:      int64(rb.Cycles) - int64(ra.Cycles),
+		Contexts:    numContexts(rb) - numContexts(ra),
+	}
+	if n := len(ra.PerContext); n > 0 && n == len(rb.PerContext) {
+		diff.Delta.PerContext = make([]ContextDelta, n)
+		for i := range diff.Delta.PerContext {
+			ca, cb := ra.PerContext[i], rb.PerContext[i]
+			diff.Delta.PerContext[i] = ContextDelta{
+				Context:     ca.Context,
+				SpeedupPct:  cb.SpeedupPct - ca.SpeedupPct,
+				IPC:         cb.IPC - ca.IPC,
+				CoveragePct: cb.CoveragePct - ca.CoveragePct,
+				Accuracy:    cb.Accuracy - ca.Accuracy,
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, diff)
 }

@@ -181,8 +181,12 @@ type job struct {
 	parent otrace.SpanContext
 
 	// prog is the live progress slot the job's simulations publish
-	// into; one slot serves both phases (Clear between them).
-	prog cpu.Progress
+	// into; one slot serves both phases (Clear between them). For
+	// multi-context jobs progRows adds one row per hardware context
+	// (allocated at submit, so status snapshots need no job lock
+	// coordination with the simulation).
+	prog     cpu.Progress
+	progRows []cpu.Progress
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -205,6 +209,9 @@ type job struct {
 // only, between simulations, so clearing cannot race a publisher.
 func (j *job) startPhase(phase string) {
 	j.prog.Clear()
+	for i := range j.progRows {
+		j.progRows[i].Clear()
+	}
 	j.mu.Lock()
 	j.phase = phase
 	j.mu.Unlock()
@@ -250,7 +257,30 @@ func (j *job) status() JobStatus {
 	}
 	if j.state == StateRunning && j.phase != "" {
 		if snap, ok := j.prog.Load(); ok {
-			pv := NewProgressView(j.phase, j.sim.Workload.Insts, snap)
+			total := j.sim.Workload.Insts
+			if n := len(j.progRows); n > 0 {
+				total *= uint64(n) // aggregate slot counts all contexts
+			}
+			pv := NewProgressView(j.phase, total, snap)
+			if len(j.progRows) > 0 {
+				names := j.sim.ContextWorkloads()
+				for i := range j.progRows {
+					rs, ok := j.progRows[i].Load()
+					if !ok {
+						continue
+					}
+					cp := ContextProgress{
+						Context:      i,
+						Workload:     names[i],
+						Instructions: rs.Instructions,
+						Cycles:       rs.Cycles,
+					}
+					if j.sim.Workload.Insts > 0 {
+						cp.Pct = 100 * float64(rs.Instructions) / float64(j.sim.Workload.Insts)
+					}
+					pv.PerContext = append(pv.PerContext, cp)
+				}
+			}
 			st.Progress = &pv
 		}
 	}
@@ -879,6 +909,9 @@ func (s *Server) newJob(tn *tenant.Tenant, sim spec.Sim, label string, timeoutMS
 		created:   time.Now(),
 		done:      make(chan struct{}),
 	}
+	if n := sim.Machine.NumContexts(); n > 1 {
+		j.progRows = make([]cpu.Progress, n)
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	// Forget the oldest retained jobs beyond the cap; skip any still
@@ -1095,8 +1128,13 @@ func (s *Server) runJob(j *job) {
 	j.traceID = span.TraceID
 	j.mu.Unlock()
 
-	w, _ := trace.ByName(j.sim.Workload.Name) // validated at submit
 	sctx := s.simCtx(j.sim.Workload.Insts, j.sim.Run.Seed)
+	if j.sim.Machine.NumContexts() > 1 {
+		s.runSMTJob(j, ctx, sctx, start)
+		return
+	}
+
+	w, _ := trace.ByName(j.sim.Workload.Name) // validated at submit
 
 	baseCached := sctx.HasBaselineMachine(w.Name, j.sim.Machine)
 	j.startPhase("baseline")
@@ -1164,6 +1202,83 @@ func (s *Server) runJob(j *job) {
 		s.log.InfoContext(ctx, "job done", "id", j.id, "workload", j.sim.Workload.Name,
 			"predictor", j.label, "spec", j.key, "speedup_pct", res.SpeedupPct,
 			"dur_ms", time.Since(start).Milliseconds())
+	}
+}
+
+// runSMTJob executes a multi-context job: SMT baseline (deduplicated
+// per mix × machine), configured SMT run, cache fill, and metrics —
+// the multi-context twin of runJob's tail. The job's per-context
+// progress rows receive each context's live snapshot alongside the
+// machine-wide aggregate in j.prog.
+func (s *Server) runSMTJob(j *job, ctx context.Context, sctx *expt.Context, start time.Time) {
+	rows := make([]*cpu.Progress, len(j.progRows))
+	for i := range j.progRows {
+		rows[i] = &j.progRows[i]
+	}
+
+	baseCached := sctx.HasSMTBaseline(j.sim)
+	j.startPhase("baseline")
+	bctx, bspan := s.tracer.StartSpan(ctx, "baseline",
+		otrace.String("cached", strconv.FormatBool(baseCached)))
+	base := sctx.SMTBaselineProgressCtx(bctx, j.sim, &j.prog, rows, s.cfg.ProgressInterval)
+	bspan.Finish()
+	if base.Aborted() {
+		s.settleAborted(j, ctx)
+		return
+	}
+	var simInsts uint64
+	if !baseCached {
+		s.mSimInsts.Add(base.Merged.Instructions)
+		simInsts += base.Merged.Instructions
+	}
+	defer func() {
+		if c := s.mTenantSimInsts[j.tenant]; c != nil && simInsts > 0 {
+			c.Add(simInsts)
+		}
+	}()
+
+	var res RunResult
+	if j.sim.Predictor.Family == spec.FamilyNone {
+		res = NewSMTRunResult(base, base, j.sim.ContextStreams(), nil)
+	} else {
+		eng, err := spec.NewEngine(j.sim.Predictor, j.sim.Workload.Insts, sctx.EngineSeedLabel(j.sim.WorkloadLabel()))
+		if err != nil {
+			// Unreachable: the spec was validated at submit.
+			if j.transition(StateFailed, err.Error(), nil) {
+				s.mFailed.Inc()
+				s.persistTerminal(j, StateFailed, err.Error(), nil)
+			}
+			return
+		}
+		j.startPhase("run")
+		rctx, rspan := s.tracer.StartSpan(ctx, "run")
+		run := sctx.RunSMTProgressCtx(rctx, j.sim, j.label, eng, &j.prog, rows, s.cfg.ProgressInterval)
+		rspan.Finish()
+		s.mSimInsts.Add(run.Merged.Instructions)
+		simInsts += run.Merged.Instructions
+		if run.Aborted() {
+			s.settleAborted(j, ctx)
+			return
+		}
+		res = NewSMTRunResult(run, base, j.sim.ContextStreams(), CompositeFromEngine(eng))
+	}
+
+	res.Predictor = j.label
+	if res.StorageKB == 0 {
+		res.StorageKB = spec.StorageKB(j.sim.Predictor)
+	}
+	res.SimInstructions = simInsts
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		res.SimMIPS = float64(simInsts) / 1e6 / secs
+	}
+
+	s.cache.Put(j.key, res)
+	if j.transition(StateDone, "", &res) {
+		s.mDone.Inc()
+		s.persistTerminal(j, StateDone, "", &res)
+		s.log.InfoContext(ctx, "job done", "id", j.id, "workload", res.Workload,
+			"predictor", j.label, "spec", j.key, "contexts", res.Contexts,
+			"speedup_pct", res.SpeedupPct, "dur_ms", time.Since(start).Milliseconds())
 	}
 }
 

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSMTJobEndToEnd drives a heterogeneous 4-context job through the
+// full daemon path: accept, SMT baseline, configured run, per-context
+// result assembly, warehouse retention, the contexts listing filter,
+// and the diff endpoint against a single-context run.
+func TestSMTJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, DataDir: t.TempDir()})
+
+	smtSpec := `{"spec":{
+		"workload":{"name":"gcc2k","names":["gcc2k","mcf","sjeng","omnetpp"],"insts":20000},
+		"machine":{"contexts":4},
+		"predictor":{"family":"composite","am":"pc"}}}`
+	resp, body := postJSON(t, ts, "/v1/jobs", smtSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("SMT submit status = %d (%s), want 202", resp.StatusCode, body)
+	}
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	final := waitState(t, ts, st.ID, 60*time.Second, StateDone)
+	r := final.Result
+	if r == nil {
+		t.Fatal("done SMT job has no result")
+	}
+	if r.Contexts != 4 || len(r.PerContext) != 4 {
+		t.Fatalf("Contexts = %d, PerContext len %d, want 4/4", r.Contexts, len(r.PerContext))
+	}
+	if r.Workload != "gcc2k+mcf+sjeng+omnetpp" {
+		t.Errorf("merged workload label = %q", r.Workload)
+	}
+	if r.Instructions != 80_000 {
+		t.Errorf("merged instructions = %d, want 80000 (4 x 20k)", r.Instructions)
+	}
+	if r.IPC <= 0 || r.BaselineIPC <= 0 {
+		t.Errorf("implausible merged result: %+v", r)
+	}
+	wantStreams := []string{"gcc2k", "mcf#1", "sjeng#2", "omnetpp#3"}
+	wantNames := []string{"gcc2k", "mcf", "sjeng", "omnetpp"}
+	for i, cr := range r.PerContext {
+		if cr.Context != i || cr.Workload != wantNames[i] || cr.Stream != wantStreams[i] {
+			t.Errorf("context %d = %d/%s/%s, want %d/%s/%s",
+				i, cr.Context, cr.Workload, cr.Stream, i, wantNames[i], wantStreams[i])
+		}
+		if cr.Instructions != 20_000 {
+			t.Errorf("context %d instructions = %d, want 20000", i, cr.Instructions)
+		}
+		if cr.IPC <= 0 || cr.BaselineIPC <= 0 {
+			t.Errorf("context %d has implausible IPC: %+v", i, cr)
+		}
+	}
+
+	// Re-posting the identical spec hits the result cache.
+	resp2, body2 := postJSON(t, ts, "/v1/jobs", smtSpec)
+	var st2 JobStatus
+	json.Unmarshal(body2, &st2)
+	if resp2.StatusCode != http.StatusOK || !st2.CacheHit || st2.SpecHash != final.SpecHash {
+		t.Errorf("SMT resubmit: status=%d hit=%v hash=%q, want 200/hit/%q",
+			resp2.StatusCode, st2.CacheHit, st2.SpecHash, final.SpecHash)
+	}
+
+	// A single-context run of the lead workload for the diff.
+	_, stS := submit(t, ts, JobRequest{Workload: "gcc2k", Predictor: "composite", Insts: 20_000})
+	single := waitState(t, ts, stS.ID, 60*time.Second, StateDone)
+
+	// The warehouse filter splits the two records by context count.
+	listRuns := func(query string) RunList {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/runs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/runs%s: status %d", query, resp.StatusCode)
+		}
+		var list RunList
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		return list
+	}
+	smtRuns := listRuns("?contexts=4")
+	if len(smtRuns.Runs) != 1 || smtRuns.Runs[0].SpecHash != final.SpecHash {
+		t.Fatalf("runs?contexts=4 = %+v, want just the SMT record", smtRuns.Runs)
+	}
+	if smtRuns.Runs[0].Contexts != 4 || smtRuns.Runs[0].Workload != "gcc2k+mcf+sjeng+omnetpp" {
+		t.Errorf("SMT run view = %+v", smtRuns.Runs[0])
+	}
+	singleRuns := listRuns("?contexts=1")
+	if len(singleRuns.Runs) != 1 || singleRuns.Runs[0].SpecHash != single.SpecHash {
+		t.Fatalf("runs?contexts=1 = %+v, want just the single-context record", singleRuns.Runs)
+	}
+	if got := listRuns(""); len(got.Runs) != 2 {
+		t.Fatalf("unfiltered runs = %d records, want 2", len(got.Runs))
+	}
+
+	// Diff across context counts: merged-metric deltas plus the count
+	// delta, no per-context rows (the sides disagree on contexts).
+	dresp, err := ts.Client().Get(fmt.Sprintf("%s/v1/runs/diff?a=%s&b=%s", ts.URL, single.SpecHash, final.SpecHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff RunDiff
+	if err := json.NewDecoder(dresp.Body).Decode(&diff); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d", dresp.StatusCode)
+	}
+	if diff.Delta.Contexts != 3 {
+		t.Errorf("diff contexts delta = %d, want 3 (4 minus 1)", diff.Delta.Contexts)
+	}
+	if len(diff.Delta.PerContext) != 0 {
+		t.Errorf("cross-context-count diff produced per-context rows: %+v", diff.Delta.PerContext)
+	}
+	if diff.Delta.Cycles != int64(r.Cycles)-int64(single.Result.Cycles) {
+		t.Errorf("diff cycles delta = %d", diff.Delta.Cycles)
+	}
+}
+
+// TestSMTDiffPerContext diffs two 2-context runs that differ only in
+// predictor family and expects the per-context delta breakdown.
+func TestSMTDiffPerContext(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, DataDir: t.TempDir()})
+
+	post := func(family string) JobStatus {
+		t.Helper()
+		body := fmt.Sprintf(`{"spec":{
+			"workload":{"name":"gcc2k","names":["gcc2k","mcf"],"insts":20000},
+			"machine":{"contexts":2},
+			"predictor":{"family":%q}}}`, family)
+		resp, raw := postJSON(t, ts, "/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d (%s)", family, resp.StatusCode, raw)
+		}
+		var st JobStatus
+		json.Unmarshal(raw, &st)
+		return waitState(t, ts, st.ID, 60*time.Second, StateDone)
+	}
+	lvp := post("lvp")
+	comp := post("composite")
+
+	dresp, err := ts.Client().Get(fmt.Sprintf("%s/v1/runs/diff?a=%s&b=%s", ts.URL, lvp.SpecHash, comp.SpecHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var diff RunDiff
+	if err := json.NewDecoder(dresp.Body).Decode(&diff); err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d", dresp.StatusCode)
+	}
+	if diff.Delta.Contexts != 0 {
+		t.Errorf("same-count diff contexts delta = %d, want 0", diff.Delta.Contexts)
+	}
+	if len(diff.Delta.PerContext) != 2 {
+		t.Fatalf("per-context deltas = %d rows, want 2", len(diff.Delta.PerContext))
+	}
+	for i, cd := range diff.Delta.PerContext {
+		if cd.Context != i {
+			t.Errorf("delta row %d labels context %d", i, cd.Context)
+		}
+		want := diff.B.Result.PerContext[i].SpeedupPct - diff.A.Result.PerContext[i].SpeedupPct
+		if cd.SpeedupPct != want {
+			t.Errorf("context %d speedup delta = %g, want %g", i, cd.SpeedupPct, want)
+		}
+	}
+}

@@ -38,6 +38,12 @@ type SweepAxes struct {
 
 	// Machines overrides the whole machine spec per point.
 	Machines []spec.MachineSpec `json:"machines,omitempty"`
+
+	// Contexts overrides the machine's hardware context count (applied
+	// after any Machines value, so the two axes compose). A template
+	// without per-context workload names runs its workload on every
+	// context.
+	Contexts []int `json:"contexts,omitempty"`
 }
 
 // SweepRequest expands a job template across axis lists into one
@@ -149,6 +155,9 @@ func (r SweepRequest) expand(max int) ([]sweepPoint, error) {
 	})
 	mul(len(r.Axes.Machines), func(p *sweepPoint, i int) {
 		p.sim.Machine = r.Axes.Machines[i]
+	})
+	mul(len(r.Axes.Contexts), func(p *sweepPoint, i int) {
+		p.sim.Machine.Contexts = r.Axes.Contexts[i]
 	})
 	if len(points) > max {
 		return nil, fmt.Errorf("sweep expands to %d jobs, max %d", len(points), max)

@@ -60,6 +60,12 @@ func (m MachineSpec) Config() cpu.Config {
 	if m.PrefetchEnabled != nil {
 		cfg.Hierarchy.PrefetchEnabled = *m.PrefetchEnabled
 	}
+	if n := m.NumContexts(); n > 1 {
+		cfg.Contexts = n
+		if m.Interleave == InterleaveBlock {
+			cfg.SMTQuantum = blockQuantum
+		}
+	}
 	return cfg
 }
 

@@ -116,7 +116,23 @@ type MachineSpec struct {
 	MemLatency      int   `json:"mem_latency,omitempty"`      // 200 cycles
 	PrefetchDegree  int   `json:"prefetch_degree,omitempty"`  // 4
 	PrefetchEnabled *bool `json:"prefetch_enabled,omitempty"` // true
+
+	// SMT (DESIGN.md §14). Contexts is the hardware context count; 0 and
+	// 1 both mean the paper's single-context core and normalize to 0, so
+	// existing specs hash unchanged. Interleave picks the fetch
+	// interleave policy: "rr" (the default, one instruction per context
+	// per turn) or "block" (64-instruction quanta, coarser sharing).
+	Contexts   int    `json:"contexts,omitempty"`
+	Interleave string `json:"interleave,omitempty"`
 }
+
+// The interleave policies and the block policy's quantum.
+const (
+	InterleaveRR    = "rr"
+	InterleaveBlock = "block"
+
+	blockQuantum = 64
+)
 
 // Normalize erases fields that restate a Table III default, so a spec
 // that spells out the baseline hashes identically to the zero spec.
@@ -143,6 +159,21 @@ func (m *MachineSpec) Normalize() {
 	zeroIf(&m.MemLatency, 200)
 	zeroIf(&m.PrefetchDegree, 4)
 	nilIfBool(&m.PrefetchEnabled, true)
+	zeroIf(&m.Contexts, 1)
+	if m.Contexts <= 1 {
+		// Interleave policy is meaningless on a single-context core.
+		m.Interleave = ""
+	} else if m.Interleave == InterleaveRR {
+		m.Interleave = ""
+	}
+}
+
+// NumContexts returns the simulated hardware context count (at least 1).
+func (m MachineSpec) NumContexts() int {
+	if m.Contexts <= 1 {
+		return 1
+	}
+	return m.Contexts
 }
 
 func zeroIf(v *int, def int) {
@@ -222,8 +253,21 @@ func (m MachineSpec) Validate() error {
 			return fmt.Errorf("machine: %s (%dKB) must give a power-of-two set count, got %d sets", c.name, c.kb, sets)
 		}
 	}
+	if m.Contexts < 0 || m.Contexts > MaxContexts {
+		return fmt.Errorf("machine: contexts must be in [0, %d]", MaxContexts)
+	}
+	switch m.Interleave {
+	case "", InterleaveRR, InterleaveBlock:
+	default:
+		return fmt.Errorf("machine: unknown interleave policy %q (want rr|block)", m.Interleave)
+	}
 	return nil
 }
+
+// MaxContexts bounds the simulated SMT width. Eight covers every
+// shipped SMT design with headroom; the bound mostly protects the
+// per-context ring allocations from absurd sweep axes.
+const MaxContexts = 8
 
 // PredictorSpec describes the load value predictor: a family plus the
 // composite's per-component sizing and filter/optimization knobs, or
@@ -351,9 +395,21 @@ func (p PredictorSpec) Validate() error {
 // WorkloadSpec names the workload and its instruction budget.
 type WorkloadSpec struct {
 	// Name is a workload from trace.Workloads (see GET /v1/workloads).
+	// On a multi-context machine it is the workload every context runs
+	// (each on its own independently-seeded stream) unless Names assigns
+	// them individually.
 	Name string `json:"name"`
 
-	// Insts is the instruction budget (0 = the caller's default).
+	// Names assigns one workload per hardware context, for heterogeneous
+	// SMT mixes. When set, its length must equal the machine's context
+	// count and Names[0] must equal Name (Normalize enforces both: it
+	// fills Name from Names[0], and collapses a homogeneous Names back to
+	// the bare Name so equivalent spellings hash identically).
+	Names []string `json:"names,omitempty"`
+
+	// Insts is the per-context instruction budget (0 = the caller's
+	// default). A multi-context run simulates Insts instructions on
+	// every context.
 	Insts uint64 `json:"insts,omitempty"`
 }
 
@@ -391,6 +447,21 @@ type Defaults struct {
 func (s *Sim) Normalize(d Defaults) {
 	s.Machine.Normalize()
 	s.Predictor.Normalize()
+	if len(s.Workload.Names) > 0 {
+		if s.Workload.Name == "" {
+			s.Workload.Name = s.Workload.Names[0]
+		}
+		homogeneous := true
+		for _, n := range s.Workload.Names {
+			if n != s.Workload.Name {
+				homogeneous = false
+				break
+			}
+		}
+		if homogeneous {
+			s.Workload.Names = nil
+		}
+	}
 	if s.Workload.Insts == 0 {
 		s.Workload.Insts = d.Insts
 	}
@@ -408,7 +479,62 @@ func (s Sim) Validate() error {
 	if _, ok := trace.ByName(s.Workload.Name); !ok {
 		return fmt.Errorf("unknown workload %q", s.Workload.Name)
 	}
+	for _, n := range s.Workload.Names {
+		if _, ok := trace.ByName(n); !ok {
+			return fmt.Errorf("unknown workload %q", n)
+		}
+	}
+	if len(s.Workload.Names) > 0 {
+		if got, want := len(s.Workload.Names), s.Machine.NumContexts(); got != want {
+			return fmt.Errorf("workload names %d entries for a %d-context machine", got, want)
+		}
+		if s.Workload.Names[0] != s.Workload.Name {
+			return fmt.Errorf("workload name %q disagrees with names[0] %q", s.Workload.Name, s.Workload.Names[0])
+		}
+	}
 	return s.ValidateConfig()
+}
+
+// ContextWorkloads returns the per-context workload names, one per
+// hardware context: the explicit Names assignment, or Name replicated
+// across every context. The spec must be normalized.
+func (s Sim) ContextWorkloads() []string {
+	n := s.Machine.NumContexts()
+	if len(s.Workload.Names) == n {
+		return s.Workload.Names
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = s.Workload.Name
+	}
+	return names
+}
+
+// ContextStreams returns the per-context stream names: context i runs
+// stream trace.StreamName(workload_i, i), so every context — including
+// two contexts of the same workload — executes an independently-seeded
+// stream, with context 0 on the canonical single-context stream.
+func (s Sim) ContextStreams() []string {
+	names := s.ContextWorkloads()
+	streams := make([]string, len(names))
+	for i, n := range names {
+		streams[i] = trace.StreamName(n, i)
+	}
+	return streams
+}
+
+// WorkloadLabel returns the run label of the spec's workload mix: the
+// bare workload name single-context and for homogeneous SMT mixes,
+// "a+b+c" for heterogeneous ones.
+func (s Sim) WorkloadLabel() string {
+	if len(s.Workload.Names) == 0 {
+		return s.Workload.Name
+	}
+	label := s.Workload.Names[0]
+	for _, n := range s.Workload.Names[1:] {
+		label += "+" + n
+	}
+	return label
 }
 
 // ValidateConfig validates everything except the workload name, for
@@ -493,6 +619,20 @@ var presets = map[string]preset{
 	"eves-inf": {
 		desc: "EVES with unbounded storage (limit study)",
 		sim:  Sim{Predictor: PredictorSpec{Family: FamilyEVES, BudgetKB: -1}},
+	},
+	"smt2": {
+		desc: "2-context SMT core, default composite shared across contexts",
+		sim: Sim{
+			Machine:   MachineSpec{Contexts: 2},
+			Predictor: PredictorSpec{Family: FamilyComposite},
+		},
+	},
+	"smt4": {
+		desc: "4-context SMT core, default composite shared across contexts",
+		sim: Sim{
+			Machine:   MachineSpec{Contexts: 4},
+			Predictor: PredictorSpec{Family: FamilyComposite},
+		},
 	},
 }
 

@@ -351,3 +351,154 @@ func sortedStrings(s []string) bool {
 	}
 	return true
 }
+
+// TestSMTSpecNormalization pins the hash-stability contract of the SMT
+// fields: a spec that spells out the single-context default must hash
+// identically to a pre-SMT spec, and equivalent SMT spellings collapse.
+func TestSMTSpecNormalization(t *testing.T) {
+	w := WorkloadSpec{Name: "gcc2k", Insts: 20_000}
+	cases := []struct {
+		name string
+		a, b Sim
+	}{
+		{"contexts 1 is the single-context default",
+			Sim{Workload: w},
+			Sim{Machine: MachineSpec{Contexts: 1}, Workload: w}},
+		{"interleave meaningless single-context",
+			Sim{Workload: w},
+			Sim{Machine: MachineSpec{Contexts: 1, Interleave: InterleaveBlock}, Workload: w}},
+		{"rr is the default interleave",
+			Sim{Machine: MachineSpec{Contexts: 4}, Workload: w},
+			Sim{Machine: MachineSpec{Contexts: 4, Interleave: InterleaveRR}, Workload: w}},
+		{"homogeneous names collapse to the bare name",
+			Sim{Machine: MachineSpec{Contexts: 2}, Workload: w},
+			Sim{Machine: MachineSpec{Contexts: 2}, Workload: WorkloadSpec{
+				Name: "gcc2k", Names: []string{"gcc2k", "gcc2k"}, Insts: 20_000}}},
+		{"name filled from names[0]",
+			Sim{Machine: MachineSpec{Contexts: 2}, Workload: WorkloadSpec{
+				Name: "gcc2k", Names: []string{"gcc2k", "mcf"}, Insts: 20_000}},
+			Sim{Machine: MachineSpec{Contexts: 2}, Workload: WorkloadSpec{
+				Names: []string{"gcc2k", "mcf"}, Insts: 20_000}}},
+	}
+	for _, c := range cases {
+		na, nb := norm(c.a), norm(c.b)
+		if !reflect.DeepEqual(na, nb) {
+			t.Errorf("%s: normalized specs differ:\n%+v\n%+v", c.name, na, nb)
+		}
+		if na.CanonicalHash() != nb.CanonicalHash() {
+			t.Errorf("%s: canonical hashes differ", c.name)
+		}
+		again := na
+		again.Normalize(Defaults{})
+		if !reflect.DeepEqual(na, again) {
+			t.Errorf("%s: Normalize is not idempotent: %+v vs %+v", c.name, na, again)
+		}
+	}
+	// The context count and the mix must change the hash.
+	base := norm(Sim{Workload: w}).CanonicalHash()
+	smt2 := norm(Sim{Machine: MachineSpec{Contexts: 2}, Workload: w})
+	if smt2.CanonicalHash() == base {
+		t.Error("2-context spec hashes like the single-context spec")
+	}
+	mix := norm(Sim{Machine: MachineSpec{Contexts: 2}, Workload: WorkloadSpec{
+		Names: []string{"gcc2k", "mcf"}, Insts: 20_000}})
+	if mix.CanonicalHash() == smt2.CanonicalHash() {
+		t.Error("heterogeneous mix hashes like the homogeneous spec")
+	}
+	if (MachineSpec{Contexts: 2}).Hash() == (MachineSpec{}).Hash() {
+		t.Error("SMT machine hash matches the baseline machine (baseline caches would collide)")
+	}
+}
+
+func TestSMTSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		sim  Sim
+		want string
+	}{
+		{"valid smt4", Sim{Machine: MachineSpec{Contexts: 4}, Workload: WorkloadSpec{Name: "gcc2k"}}, ""},
+		{"valid mix", Sim{Machine: MachineSpec{Contexts: 2},
+			Workload: WorkloadSpec{Names: []string{"gcc2k", "mcf"}}}, ""},
+		{"too many contexts", Sim{Machine: MachineSpec{Contexts: 99}, Workload: WorkloadSpec{Name: "gcc2k"}}, "contexts"},
+		{"negative contexts", Sim{Machine: MachineSpec{Contexts: -1}, Workload: WorkloadSpec{Name: "gcc2k"}}, "contexts"},
+		{"unknown interleave", Sim{Machine: MachineSpec{Contexts: 2, Interleave: "magic"}, Workload: WorkloadSpec{Name: "gcc2k"}}, "interleave"},
+		{"names wrong length", Sim{Machine: MachineSpec{Contexts: 4},
+			Workload: WorkloadSpec{Names: []string{"gcc2k", "mcf"}}}, "entries"},
+		{"names on single-context", Sim{
+			Workload: WorkloadSpec{Names: []string{"gcc2k", "mcf"}}}, "entries"},
+		{"unknown name in mix", Sim{Machine: MachineSpec{Contexts: 2},
+			Workload: WorkloadSpec{Names: []string{"gcc2k", "nope"}}}, "unknown workload"},
+		{"name disagrees with names[0]", Sim{Machine: MachineSpec{Contexts: 2},
+			Workload: WorkloadSpec{Name: "mcf", Names: []string{"gcc2k", "mcf"}}}, "disagrees"},
+	}
+	for _, c := range cases {
+		sim := c.sim
+		sim.Normalize(Defaults{Insts: 20_000})
+		err := sim.Validate()
+		switch {
+		case c.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		case c.want != "" && err == nil:
+			t.Errorf("%s: validation passed, want error containing %q", c.name, c.want)
+		case c.want != "" && !strings.Contains(err.Error(), c.want):
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSMTSpecConfigAndStreams(t *testing.T) {
+	m := MachineSpec{Contexts: 4}
+	cfg := m.Config()
+	if cfg.Contexts != 4 || cfg.SMTQuantum != 0 {
+		t.Errorf("rr smt4 config: contexts=%d quantum=%d", cfg.Contexts, cfg.SMTQuantum)
+	}
+	m.Interleave = InterleaveBlock
+	if cfg := m.Config(); cfg.SMTQuantum != blockQuantum {
+		t.Errorf("block interleave quantum = %d, want %d", cfg.SMTQuantum, blockQuantum)
+	}
+	// Single-context specs must produce exactly the default config so
+	// pooled pipelines are shared with pre-SMT callers.
+	if got := (MachineSpec{}).Config(); !reflect.DeepEqual(got, cpu.DefaultConfig()) {
+		t.Errorf("zero machine config drifted: %+v", got)
+	}
+
+	sim := norm(Sim{Machine: MachineSpec{Contexts: 2}, Workload: WorkloadSpec{Name: "gcc2k", Insts: 20_000}})
+	if got := sim.ContextWorkloads(); !reflect.DeepEqual(got, []string{"gcc2k", "gcc2k"}) {
+		t.Errorf("homogeneous ContextWorkloads = %v", got)
+	}
+	if got := sim.ContextStreams(); !reflect.DeepEqual(got, []string{"gcc2k", "gcc2k#1"}) {
+		t.Errorf("homogeneous ContextStreams = %v", got)
+	}
+	if got := sim.WorkloadLabel(); got != "gcc2k" {
+		t.Errorf("homogeneous label = %q", got)
+	}
+	mix := norm(Sim{Machine: MachineSpec{Contexts: 2}, Workload: WorkloadSpec{
+		Names: []string{"gcc2k", "mcf"}, Insts: 20_000}})
+	if got := mix.ContextStreams(); !reflect.DeepEqual(got, []string{"gcc2k", "mcf#1"}) {
+		t.Errorf("mix ContextStreams = %v", got)
+	}
+	if got := mix.WorkloadLabel(); got != "gcc2k+mcf" {
+		t.Errorf("mix label = %q", got)
+	}
+	sc := norm(Sim{Workload: WorkloadSpec{Name: "gcc2k", Insts: 20_000}})
+	if got := sc.ContextStreams(); !reflect.DeepEqual(got, []string{"gcc2k"}) {
+		t.Errorf("single-context ContextStreams = %v", got)
+	}
+}
+
+func TestSMTPresets(t *testing.T) {
+	for name, want := range map[string]int{"smt2": 2, "smt4": 4} {
+		sim, ok := Preset(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		sim.Workload = WorkloadSpec{Name: "gcc2k"}
+		n, _, err := sim.Canonical(Defaults{Insts: 20_000})
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if n.Machine.NumContexts() != want {
+			t.Errorf("preset %q simulates %d contexts, want %d", name, n.Machine.NumContexts(), want)
+		}
+	}
+}

@@ -99,6 +99,37 @@ func GeoMeanSpeedup(ratios []float64) float64 {
 	return 100 * (math.Exp(logSum/float64(n)) - 1)
 }
 
+// Accumulate folds r into the machine-wide aggregate dst: counters are
+// summed, Cycles takes the maximum (the contexts of an SMT run share
+// wall-clock cycles — the machine is done when its slowest context is),
+// and an aborted contributor marks the aggregate aborted. dst keeps its
+// own Workload/Config labels. Allocation-free, so the pipeline's SMT
+// hot path can merge per-context runs in place.
+func Accumulate(dst *Run, r Run) {
+	dst.Instructions += r.Instructions
+	if r.Cycles > dst.Cycles {
+		dst.Cycles = r.Cycles
+	}
+	dst.Loads += r.Loads
+	dst.PredictedLoads += r.PredictedLoads
+	dst.CorrectPredicted += r.CorrectPredicted
+	dst.VPFlushes += r.VPFlushes
+	dst.BranchFlushes += r.BranchFlushes
+	dst.MemOrderFlushes += r.MemOrderFlushes
+	dst.Aborted = dst.Aborted || r.Aborted
+}
+
+// Merge aggregates the per-context runs of one SMT simulation into a
+// machine-wide summary labeled workload/config. See Accumulate for the
+// merge semantics.
+func Merge(workload, config string, runs []Run) Run {
+	m := Run{Workload: workload, Config: config}
+	for _, r := range runs {
+		Accumulate(&m, r)
+	}
+	return m
+}
+
 // String implements fmt.Stringer with the headline numbers.
 func (r Run) String() string {
 	return fmt.Sprintf("%s/%s: IPC=%.3f coverage=%.1f%% accuracy=%.4f flushes(vp=%d br=%d mo=%d)",

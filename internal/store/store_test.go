@@ -265,6 +265,47 @@ func TestWarehousePersistsAndSupersedes(t *testing.T) {
 	}
 }
 
+func TestWarehouseContextsFilter(t *testing.T) {
+	dir := t.TempDir()
+	wh, err := OpenWarehouse(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	res, _ := json.Marshal(map[string]any{"ipc": 1.0})
+	put := func(hash string, contexts int) {
+		t.Helper()
+		if err := wh.Put(RunRecord{SpecHash: hash, Result: res, Contexts: contexts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("old", 0) // record from before the contexts column existed
+	put("one", 1)
+	put("smt2", 2)
+	put("smt4", 4)
+
+	want := func(f Filter, hashes ...string) {
+		t.Helper()
+		got := wh.List(f)
+		if len(got) != len(hashes) {
+			t.Fatalf("List(%+v) returned %d records, want %d", f, len(got), len(hashes))
+		}
+		for i, h := range hashes {
+			if got[i].SpecHash != h {
+				t.Fatalf("List(%+v)[%d] = %s, want %s", f, i, got[i].SpecHash, h)
+			}
+		}
+	}
+	ctx := func(n int) *int { return &n }
+	// Single-context is one class: 0 and 1 select pre-column records too.
+	want(Filter{Contexts: ctx(1)}, "one", "old")
+	want(Filter{Contexts: ctx(0)}, "one", "old")
+	want(Filter{Contexts: ctx(2)}, "smt2")
+	want(Filter{Contexts: ctx(4)}, "smt4")
+	want(Filter{Contexts: ctx(3)})
+	want(Filter{}, "smt4", "smt2", "one", "old")
+}
+
 func TestWarehouseTornTail(t *testing.T) {
 	dir := t.TempDir()
 	wh, err := OpenWarehouse(dir)

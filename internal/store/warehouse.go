@@ -28,6 +28,11 @@ type RunRecord struct {
 	TraceID   string          `json:"trace_id,omitempty"`
 	Time      time.Time       `json:"time"`
 	Result    json.RawMessage `json:"result"`
+
+	// Contexts is the simulated hardware context count; 0 on
+	// single-context records (including every record written before the
+	// column existed, which decode with the same meaning).
+	Contexts int `json:"contexts,omitempty"`
 }
 
 // Warehouse retains finished run results beyond any in-memory cache,
@@ -222,7 +227,23 @@ type Filter struct {
 	Tenant    string
 	Workload  string
 	Predictor string
-	Limit     int // 0 = no limit
+
+	// Contexts, when non-nil, selects by hardware context count. Values
+	// <= 1 select single-context records — including records written
+	// before the contexts column existed, which carry 0.
+	Contexts *int
+
+	Limit int // 0 = no limit
+}
+
+// matchContexts reports whether a record's context count satisfies the
+// filter, treating 0 and 1 as the same single-context class on both
+// sides.
+func matchContexts(want, got int) bool {
+	if want <= 1 {
+		return got <= 1
+	}
+	return got == want
 }
 
 // List returns matching records, most recently inserted first.
@@ -242,6 +263,9 @@ func (w *Warehouse) List(f Filter) []RunRecord {
 			continue
 		}
 		if f.Predictor != "" && rec.Predictor != f.Predictor {
+			continue
+		}
+		if f.Contexts != nil && !matchContexts(*f.Contexts, rec.Contexts) {
 			continue
 		}
 		out = append(out, rec)

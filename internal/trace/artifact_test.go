@@ -71,6 +71,52 @@ func TestArtifactRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaltedArtifactRoundTrip pins the salted-stream codec contract:
+// an encode/decode round trip of a "name#salt" stream reproduces both
+// the instruction sequence and the Run-start memory image of the live
+// salted generator. The memory image is the regression surface — load
+// values come from the backing image, so a fill seed derived from the
+// bare name instead of the salted construction seed replays the wrong
+// values while leaving the instruction sequence (and thus baselines)
+// intact.
+func TestSaltedArtifactRoundTrip(t *testing.T) {
+	for _, stream := range []string{"gcc2k#1", "mcf#3"} {
+		gen, ok := BuildStream(stream, artTestInsts)
+		if !ok {
+			t.Fatalf("unknown stream %q", stream)
+		}
+		want := Record(gen, 0)
+
+		live, _ := BuildStream(stream, artTestInsts)
+		var buf bytes.Buffer
+		if _, err := WriteArtifact(&buf, stream, artTestInsts, live); err != nil {
+			t.Fatalf("%s: WriteArtifact: %v", stream, err)
+		}
+		gotName, _, rep, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadArtifact: %v", stream, err)
+		}
+		if gotName != stream {
+			t.Fatalf("decoded identity %q, want %q", gotName, stream)
+		}
+		sameStream(t, stream, drain(rep.Cursor()), want.Remaining())
+
+		fresh, _ := BuildStream(stream, artTestInsts)
+		for _, addr := range []uint64{0, 64, 4096, 1 << 20} {
+			if got, want := rep.Mem().Read(addr, 8), fresh.Mem().Read(addr, 8); got != want {
+				t.Fatalf("%s: Mem[%#x] = %#x, want %#x (fill seed ignores the salt?)", stream, addr, got, want)
+			}
+		}
+
+		// Distinct salts are distinct artifacts: content addresses must
+		// not collide with the canonical stream's.
+		if ArtifactKey(stream, artTestInsts) == ArtifactKey("gcc2k", artTestInsts) &&
+			stream != "gcc2k" {
+			t.Fatalf("salted stream %q shares the canonical artifact key", stream)
+		}
+	}
+}
+
 func TestArtifactRejectsCorruption(t *testing.T) {
 	w, _ := ByName("gcc2k")
 	var buf bytes.Buffer

@@ -238,11 +238,11 @@ func (s *ArtifactStore) load(key, name string, insts uint64) (rec *artifactRec, 
 			// regenerate over it.
 		}
 	}
-	w, ok := ByName(name)
+	gen, ok := BuildStream(name, insts)
 	if !ok {
 		return nil, false, fmt.Errorf("trace: artifact store: unknown workload %q", name)
 	}
-	rep := Record(w.Build(insts), 0)
+	rep := Record(gen, 0)
 	rec = &artifactRec{key: key, name: name, insts: insts, rep: rep}
 	if s.dir != "" {
 		if data, err := encodeArtifact(name, insts, rep); err == nil {

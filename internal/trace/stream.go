@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Stream naming. A multi-context (SMT) simulation runs one instruction
+// stream per hardware context; when several contexts run the same
+// workload they must not be lockstep clones, so context k runs the
+// workload's salt-k stream — the same kernel-mix recipe, independently
+// seeded. A stream is addressed by "<workload>" (salt 0, the canonical
+// single-context stream) or "<workload>#<salt>". Stream names flow
+// through the whole artifact machinery: ArtifactKey hashes them, the
+// artifact store generates them on demand, and coordinators ship them
+// to workers like any other recorded trace.
+
+// StreamName returns the stream name of workload name for hardware
+// context ctx: the bare workload name for context 0, "name#ctx" beyond.
+func StreamName(name string, ctx int) string {
+	if ctx <= 0 {
+		return name
+	}
+	return fmt.Sprintf("%s#%d", name, ctx)
+}
+
+// SplitStreamName parses a stream name into its workload name and salt.
+// Names without a "#<salt>" suffix are salt 0.
+func SplitStreamName(stream string) (name string, salt int) {
+	i := strings.LastIndexByte(stream, '#')
+	if i < 0 {
+		return stream, 0
+	}
+	n, err := strconv.Atoi(stream[i+1:])
+	if err != nil || n < 0 {
+		return stream, 0
+	}
+	return stream[:i], n
+}
+
+// BuildStream constructs a generator for a stream name, resolving the
+// "<workload>#<salt>" form to the named workload's independently-seeded
+// salt stream. Reports false when the workload is unknown.
+func BuildStream(stream string, n uint64) (Generator, bool) {
+	name, salt := SplitStreamName(stream)
+	w, ok := ByName(name)
+	if !ok {
+		return nil, false
+	}
+	if salt == 0 {
+		return w.Build(n), true
+	}
+	return buildProfile(w.Name, w.Profile, salt, n), true
+}

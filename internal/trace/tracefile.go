@@ -303,6 +303,13 @@ func (t *TraceReader) fail(err error) {
 	t.err = fmt.Errorf("trace: decode: %w", err)
 }
 
-// FillSeed returns the fill seed a workload's backing memory uses, for
-// recording its trace.
-func FillSeed(name string) uint64 { return fnv1a(name) }
+// FillSeed returns the fill seed a stream's backing memory uses, for
+// recording its trace. The argument is a stream name: salted streams
+// ("name#salt") resolve to the salted construction seed, so a replayed
+// artifact reconstructs the exact memory image its live generator
+// presented. For bare workload names this is fnv1a(name), unchanged
+// from before salted streams existed — old artifacts stay valid.
+func FillSeed(stream string) uint64 {
+	name, salt := SplitStreamName(stream)
+	return streamSeed(name, salt)
+}

@@ -109,7 +109,7 @@ func newWorkload(name, profile string) Workload {
 		Name:    name,
 		Profile: profile,
 		Build: func(n uint64) Generator {
-			return buildProfile(name, profile, n)
+			return buildProfile(name, profile, 0, n)
 		},
 	}
 }
@@ -118,12 +118,43 @@ func newWorkload(name, profile string) Workload {
 // Regions are 16MB apart, comfortably exceeding any working set.
 func region(i int) uint64 { return 0x1000_0000 + uint64(i)*(16<<20) }
 
+// saltMix finalizes a salted seed (SplitMix64's finalizer): every bit
+// of the salt perturbs every bit of the seed, so salted streams share
+// nothing with the base stream beyond the kernel-mix recipe.
+func saltMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// streamSeed derives the construction seed of a workload's salt-k
+// stream. It seeds everything the stream touches — kernel jitter,
+// value sequences, AND the backing memory's fill image — so it is also
+// what FillSeed must return for the stream's name: a trace artifact
+// records this seed, and replay reconstructs the same memory image a
+// live generator would present.
+func streamSeed(name string, salt int) uint64 {
+	seed := fnv1a(name)
+	if salt != 0 {
+		seed = saltMix(seed ^ uint64(salt)*0x9E3779B97F4A7C15)
+	}
+	return seed
+}
+
 // buildProfile instantiates the kernel mix for a workload. The name
 // hash jitters working-set sizes, trip counts and weights so the 85
 // workloads form a spread of behaviours rather than six identical
 // clones — matching the per-workload variance in the paper's Figure 12.
-func buildProfile(name, profile string, n uint64) Generator {
-	seed := fnv1a(name)
+// A non-zero salt re-seeds the whole construction (kernel jitter,
+// memory contents, value sequences), producing an independent stream of
+// the same behaviour class — SMT contexts running "the same" workload
+// each get their own salt so they are not lockstep clones. Salt 0 is
+// the canonical stream, bit-identical to what Build always produced.
+func buildProfile(name, profile string, salt int, n uint64) Generator {
+	seed := streamSeed(name, salt)
 	r := xs(seed | 1)
 	jit := func(lo, hi int) int { return lo + r.intn(hi-lo+1) }
 
