@@ -7,14 +7,23 @@
 //	lvpgen                       # summary table for all 85 workloads
 //	lvpgen -workload mcf         # one workload in detail
 //	lvpgen -workload mcf -dump 40
+//	lvpgen -workload mcf -insts 200000 -encode mcf.lvpx
+//
+// -encode exports a workload as a CVP-1-style external trace file
+// (internal/tracein format), the same container the daemon's
+// POST /v1/workloads upload endpoint and lvpsim -trace consume — handy
+// for exercising the ingestion path end to end with a known-good
+// stream.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/oracle"
 	"repro/internal/trace"
+	"repro/internal/tracein"
 )
 
 func main() {
@@ -22,8 +31,32 @@ func main() {
 		workload = flag.String("workload", "", "inspect a single workload (default: all)")
 		insts    = flag.Uint64("insts", 100_000, "instructions to analyze")
 		dump     = flag.Int("dump", 0, "print the first N instructions")
+		encode   = flag.String("encode", "", "export the workload as a CVP-1-style trace file (requires -workload)")
 	)
 	flag.Parse()
+
+	if *encode != "" {
+		w, ok := trace.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-encode requires a known -workload (got %q)\n", *workload)
+			os.Exit(2)
+		}
+		f, err := os.Create(*encode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := tracein.Encode(f, w.Build(*insts))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("encoded %d instructions of %s to %s\n", n, w.Name, *encode)
+		return
+	}
 
 	if *workload != "" {
 		w, ok := trace.ByName(*workload)

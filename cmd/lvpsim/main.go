@@ -48,6 +48,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/tracein"
 )
 
 // buildGen returns the instruction source: a recorded trace when
@@ -281,6 +282,8 @@ func main() {
 		details   = flag.Bool("details", false, "print per-component composite statistics")
 		record    = flag.String("record", "", "record the workload's trace to this file and exit")
 		replay    = flag.String("replay", "", "simulate a recorded trace file instead of a workload")
+		traceFile = flag.String("trace", "", "simulate an external CVP-1-style trace file (LVPX): convert, register as ext:<hash>, run")
+		traceInfo = flag.String("trace-info", "", "print an external trace file's header and conversion report, then exit")
 		traceDir  = flag.String("trace-cache-dir", "", "content-addressed recorded-trace artifact cache; runs replay a shared recording generated (or read) at most once")
 		jsonOut   = flag.Bool("json", false, "emit the run result as one JSON object on stdout")
 		traceOut  = flag.String("trace-out", "", "write this run's spans as Chrome trace-event JSON to this file (view in Perfetto)")
@@ -307,8 +310,60 @@ func main() {
 		return
 	}
 
+	if *traceInfo != "" {
+		data, err := os.ReadFile(*traceInfo)
+		if err != nil {
+			fatal(err)
+		}
+		name, _, info, err := tracein.ConvertBytes(data, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload:           %s\n", name)
+		fmt.Printf("format version:     %d\n", info.Header.Version)
+		fmt.Printf("instructions:       %d\n", info.Insts)
+		fmt.Printf("fill seed:          %#x\n", info.Header.Seed)
+		fmt.Printf("payload checksum:   %08x\n", info.Header.Checksum)
+		classes := []string{"alu", "load", "store", "condBranch", "uncondDirect", "uncondIndirect", "fp", "slowAlu"}
+		for c, n := range info.Classes {
+			if n > 0 {
+				fmt.Printf("  %-16s  %d\n", classes[c], n)
+			}
+		}
+		fmt.Printf("pre-image words:    %d (backfilled %d bytes)\n", info.FootprintWords, info.BackfilledBytes)
+		if info.InconsistentLoads > 0 {
+			fmt.Printf("inconsistent loads: %d\n", info.InconsistentLoads)
+		}
+		if info.DroppedSrcRegs > 0 {
+			fmt.Printf("dropped src regs:   %d\n", info.DroppedSrcRegs)
+		}
+		return
+	}
+
 	sim, label := buildSpec(*specFile, *preset, flag.CommandLine,
 		workload, workloads, contexts, predictor, entries, budget, am, insts, seed)
+	if *traceFile != "" {
+		// An external trace becomes a first-class workload: convert,
+		// register under its content address, and point the spec at it.
+		// Validation then runs the normal named-workload path.
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		extName, rep, info, err := tracein.ConvertBytes(data, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := trace.RegisterExternal(extName, rep, true); err != nil {
+			fatal(err)
+		}
+		sim.Workload.Name = extName
+		sim.Workload.Names = nil
+		if sim.Workload.Insts > info.Insts {
+			sim.Workload.Insts = info.Insts
+		}
+		fmt.Fprintf(os.Stderr, "trace %s: %d instructions registered as %s\n", *traceFile, info.Insts, extName)
+	}
 	if *replay != "" {
 		// Replayed traces are not named workloads; validate the rest.
 		if err := sim.ValidateConfig(); err != nil {
@@ -338,7 +393,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		n, err := trace.WriteTrace(f, w.Build(sim.Workload.Insts), trace.FillSeed(w.Name))
+		n, err := trace.WriteTrace(f, w.Build(sim.Workload.Insts))
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

@@ -93,6 +93,7 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("GET /v1/cluster/workers", c.handleListWorkers)
 	c.mux.HandleFunc("DELETE /v1/cluster/workers/{id}", c.handleDrainWorker)
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleStartSweep)
+	c.mux.HandleFunc("POST /v1/workloads", c.handleUploadWorkload)
 	c.mux.HandleFunc("GET /v1/sweeps", c.handleListSweeps)
 	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleSweepStatus)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)

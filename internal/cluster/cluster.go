@@ -278,6 +278,7 @@ type Coordinator struct {
 
 	mTraceShipped    *obs.Counter
 	mTraceShipFailed *obs.Counter
+	mUploads         *obs.Counter
 
 	// Per-tenant fan-out attribution, keyed by tenant name.
 	mTenantSweeps map[string]*obs.Counter
@@ -330,6 +331,8 @@ func New(cfg Config) (*Coordinator, error) {
 			"Trace artifacts successfully pre-shipped to workers (one per artifact per worker)."),
 		mTraceShipFailed: reg.Counter("lvpc_trace_artifact_ship_failures_total",
 			"Trace artifact uploads that failed (the worker falls back to live generation)."),
+		mUploads: reg.Counter("lvpc_trace_uploads_total",
+			"External trace files accepted via POST /v1/workloads."),
 
 		mTenantSweeps: make(map[string]*obs.Counter),
 		mTenantPoints: make(map[string]*obs.Counter),
@@ -343,7 +346,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	traces.SetLogger(c.log)
 	c.traces = traces
+	if n, err := traces.RehydrateExternal(); err != nil {
+		c.log.Warn("rehydrating external traces", "err", err)
+	} else if n > 0 {
+		c.log.Info("rehydrated external trace workloads from disk", "count", n)
+	}
 	reg.GaugeFunc("lvpc_trace_artifacts_generated_total",
 		"Workload streams the coordinator recorded for pre-shipping.",
 		func() float64 { return float64(c.traces.Stats().Generated) })

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/server"
+	"repro/internal/tenant"
+	"repro/internal/trace"
+	"repro/internal/tracein"
+)
+
+// maxUploadBytes bounds POST /v1/workloads bodies on the coordinator —
+// the same 64 MiB ceiling lvpd applies to trace artifacts, far above
+// any recordable stream.
+const maxUploadBytes = 64 << 20
+
+// handleUploadWorkload implements POST /v1/workloads on the
+// coordinator: the same conversion flow as lvpd's endpoint, landing in
+// the coordinator's artifact store so StartSweep pre-ships the
+// recording to every worker exactly like a recorded synthetic stream.
+// Specs in subsequent sweeps reference the returned "ext:<hash>" name.
+func (c *Coordinator) handleUploadWorkload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading trace body: %v", err)
+		return
+	}
+	name, rep, info, err := tracein.ConvertBytes(data, trace.DefaultArtifactBudget)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "converting trace: %v", err)
+		return
+	}
+	if _, err := trace.RegisterExternal(name, rep, true); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := c.traces.PutRecording(name, rep)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "persisting trace: %v", err)
+		return
+	}
+	var tn string
+	if t := tenant.FromContext(r.Context()); t != nil {
+		tn = t.Name
+	}
+	c.mUploads.Inc()
+	c.log.Info("external trace uploaded",
+		"workload", name, "insts", info.Insts, "artifact", key,
+		"tenant", tn, "backfilled_bytes", info.BackfilledBytes,
+		"inconsistent_loads", info.InconsistentLoads)
+	writeJSON(w, http.StatusCreated, server.WorkloadUpload{
+		Workload:          name,
+		Insts:             info.Insts,
+		Artifact:          key,
+		BackfilledBytes:   info.BackfilledBytes,
+		InconsistentLoads: info.InconsistentLoads,
+		DroppedSrcRegs:    info.DroppedSrcRegs,
+	})
+}

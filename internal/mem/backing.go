@@ -11,6 +11,11 @@
 // themselves return.
 package mem
 
+import (
+	"math/bits"
+	"sort"
+)
+
 // Page geometry: 64KB pages of 8-byte words. Pages are the unit of
 // materialization and of copying between images.
 const (
@@ -249,6 +254,41 @@ func (b *Backing) Write(addr uint64, size uint8, val uint64) {
 
 // Footprint reports the number of 8-byte words explicitly written.
 func (b *Backing) Footprint() int { return b.footprint }
+
+// Seed returns the fill seed: the value that determines the contents of
+// every never-written word. Two backings with equal seeds and equal
+// written words hold identical images.
+func (b *Backing) Seed() uint64 { return b.seed }
+
+// WrittenWords calls fn for every explicitly written word, in ascending
+// word-index order, with the word's current contents. Together with
+// Seed this is a complete serialization of the image: replaying the
+// (wordIdx, val) pairs over NewBacking(Seed()) reconstructs it exactly.
+// Trace ingestion uses this to embed a non-trivial start-of-run image
+// in an artifact (a live synthetic workload starts with an empty
+// footprint, but an external trace's pre-image does not).
+func (b *Backing) WrittenWords(fn func(wordIdx, val uint64)) {
+	type entry struct {
+		base uint64
+		p    *page
+	}
+	pages := make([]entry, 0, b.used)
+	for i, k := range b.keys {
+		if k != 0 {
+			pages = append(pages, entry{base: (k - 1) << pageWordsLog, p: b.pages[i]})
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].base < pages[j].base })
+	for _, e := range pages {
+		for wi, bm := range e.p.written {
+			for bm != 0 {
+				idx := uint64(wi)<<6 + uint64(bits.TrailingZeros64(bm))
+				fn(e.base+idx, e.p.words[idx])
+				bm &= bm - 1
+			}
+		}
+	}
+}
 
 // Clone returns an independent copy sharing the same fill function.
 // The simulator clones the workload's architectural memory so that its

@@ -109,8 +109,9 @@ func newRunView(rec store.RunRecord) RunView {
 // handleListRuns implements GET /v1/runs: the warehouse listing, most
 // recent first, filterable by ?spec_hash=, ?tenant=, ?workload=,
 // ?predictor=, ?contexts= (1 also matches records from before the
-// contexts column existed), and bounded by ?limit= (default 50, max
-// 500).
+// contexts column existed), ?source= ("external" for uploaded ext:
+// traces, "synthetic" for generated workloads), and bounded by ?limit=
+// (default 50, max 500).
 func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	wh := s.warehouse(w)
 	if wh == nil {
@@ -135,11 +136,17 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 		}
 		contexts = &n
 	}
+	source := q.Get("source")
+	if source != "" && source != "external" && source != "synthetic" {
+		writeError(w, http.StatusBadRequest, `source must be "external" or "synthetic"`)
+		return
+	}
 	recs := wh.List(store.Filter{
 		SpecHash:  q.Get("spec_hash"),
 		Tenant:    q.Get("tenant"),
 		Workload:  q.Get("workload"),
 		Predictor: q.Get("predictor"),
+		Source:    source,
 		Contexts:  contexts,
 		Limit:     limit,
 	})

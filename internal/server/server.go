@@ -384,6 +384,7 @@ type Server struct {
 	mSimInsts   *obs.Counter
 	mThrottled  *obs.Counter
 	mAuthFailed *obs.Counter
+	mUploads    *obs.Counter
 
 	// Per-tenant counters, keyed by tenant name (registry is immutable,
 	// so the maps are built once in New and read without locking).
@@ -432,6 +433,7 @@ func New(cfg Config) (*Server, error) {
 		mSimInsts:   reg.Counter("lvpd_sim_instructions_total", "Instructions simulated (rate gives sim instructions/sec)."),
 		mThrottled:  reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "throttled"),
 		mAuthFailed: reg.Counter("lvpd_auth_failures_total", "Requests rejected for a missing or unknown API key."),
+		mUploads:    reg.Counter("lvpd_trace_uploads_total", "External trace files accepted via POST /v1/workloads."),
 
 		mTenantDispatched: make(map[string]*obs.Counter),
 		mTenantAccepted:   make(map[string]*obs.Counter),
@@ -453,7 +455,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	traces.SetLogger(s.log)
 	s.traces = traces
+	// Uploaded external traces persisted by a previous process register
+	// their names again, so specs referencing "ext:<hash>" keep
+	// validating across restarts.
+	if n, err := traces.RehydrateExternal(); err != nil {
+		s.log.Warn("scanning trace cache for external workloads failed", "err", err)
+	} else if n > 0 {
+		s.log.Info("external workloads rehydrated from trace cache", "count", n)
+	}
 	// Artifact-store counters are snapshots of the store's own stats,
 	// published as gauges at scrape time (the store already counts under
 	// its lock; mirroring into obs counters would double-count retries).
@@ -471,6 +482,9 @@ func New(cfg Config) (*Server, error) {
 	reg.GaugeFunc("lvpd_trace_artifact_received_total",
 		"Trace artifacts installed via PUT /v1/traces (coordinator pre-shipping).",
 		func() float64 { return float64(s.traces.Stats().Received) })
+	reg.GaugeFunc("lvpd_trace_artifact_corrupt_total",
+		"Disk cache artifacts that failed to decode and were regenerated or skipped.",
+		func() float64 { return float64(s.traces.Stats().CorruptRegens) })
 	// Derived throughput: simulated instructions per wall-clock second
 	// spent simulating, in millions. Computed at scrape time from the
 	// instruction counter and the job-duration histogram sum, so it
@@ -631,6 +645,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("PUT /v1/traces/{hash}", s.handlePutTrace)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/workloads", s.handleUploadWorkload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/traces", s.tracer.IndexHandler())
@@ -1038,7 +1053,11 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"workloads": trace.Names()})
+	resp := map[string]any{"workloads": trace.Names()}
+	if ext := trace.ExternalNames(); len(ext) > 0 {
+		resp["external"] = ext
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/tracein"
+)
+
+// encodeWorkload returns a tracein container holding the first n
+// instructions of a synthetic workload — the stand-in for a real
+// CVP-1 trace in upload tests.
+func encodeWorkload(t *testing.T, name string, n uint64) []byte {
+	t.Helper()
+	w, ok := trace.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	var buf bytes.Buffer
+	if _, err := tracein.Encode(&buf, w.Build(n)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestUploadWorkload covers POST /v1/workloads end to end: a trace
+// file uploads to a content-addressed "ext:" workload, the workload is
+// immediately runnable by the job engine, results carry the external
+// name through the warehouse ?source= filter, and malformed bodies are
+// rejected without registering anything.
+func TestUploadWorkload(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, TraceCacheDir: dir, DataDir: dir})
+
+	const insts = 20_000
+	data := encodeWorkload(t, "gcc2k", insts)
+	resp, err := ts.Client().Post(ts.URL+"/v1/workloads", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up WorkloadUpload
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d, want 201", resp.StatusCode)
+	}
+	t.Cleanup(func() { trace.UnregisterExternal(up.Workload) })
+	if !strings.HasPrefix(up.Workload, trace.ExternalPrefix) {
+		t.Fatalf("workload %q lacks %q prefix", up.Workload, trace.ExternalPrefix)
+	}
+	if up.Insts != insts {
+		t.Fatalf("insts = %d, want %d", up.Insts, insts)
+	}
+	// Encodes of synthetic generators carry the fill seed, so the
+	// pre-image reconstructs without a single backfilled byte.
+	if up.BackfilledBytes != 0 || up.InconsistentLoads != 0 {
+		t.Fatalf("reconstruction not clean: %+v", up)
+	}
+	if up.Artifact != trace.ArtifactKey(up.Workload, insts) {
+		t.Fatalf("artifact = %q, want %q", up.Artifact, trace.ArtifactKey(up.Workload, insts))
+	}
+
+	// Re-uploading the same bytes lands on the same content address.
+	resp, err = ts.Client().Post(ts.URL+"/v1/workloads", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again WorkloadUpload
+	json.NewDecoder(resp.Body).Decode(&again)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || again.Workload != up.Workload {
+		t.Fatalf("re-upload: status %d workload %q, want 201 %q", resp.StatusCode, again.Workload, up.Workload)
+	}
+
+	// The workload list now advertises the external name.
+	lresp, err := ts.Client().Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing map[string]json.RawMessage
+	json.NewDecoder(lresp.Body).Decode(&listing)
+	lresp.Body.Close()
+	if _, ok := listing["external"]; !ok {
+		t.Fatalf("GET /v1/workloads missing external section: %v", listing)
+	}
+
+	// The uploaded workload runs like any synthetic one.
+	jresp, st := submit(t, ts, JobRequest{Workload: up.Workload, Predictor: "lvp", Insts: insts})
+	if jresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit external workload: status %d", jresp.StatusCode)
+	}
+	waitState(t, ts, st.ID, 30*time.Second, StateDone)
+
+	// And its result is selectable by provenance.
+	for q, wantN := range map[string]int{"external": 1, "synthetic": 0} {
+		rresp, err := ts.Client().Get(ts.URL + "/v1/runs?source=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rl RunList
+		json.NewDecoder(rresp.Body).Decode(&rl)
+		rresp.Body.Close()
+		if len(rl.Runs) != wantN {
+			t.Fatalf("runs?source=%s returned %d, want %d", q, len(rl.Runs), wantN)
+		}
+	}
+	if rresp, err := ts.Client().Get(ts.URL + "/v1/runs?source=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		rresp.Body.Close()
+		if rresp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("runs?source=bogus: status %d, want 400", rresp.StatusCode)
+		}
+	}
+
+	text := metricsText(t, ts)
+	if !strings.Contains(text, "lvpd_trace_uploads_total 2") {
+		t.Fatalf("metrics missing upload counter:\n%s", text)
+	}
+
+	// Garbage is rejected before anything registers.
+	before := len(trace.ExternalNames())
+	gresp, err := ts.Client().Post(ts.URL+"/v1/workloads", "application/octet-stream", strings.NewReader("not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage upload: status %d, want 422", gresp.StatusCode)
+	}
+	if after := len(trace.ExternalNames()); after != before {
+		t.Fatalf("garbage upload registered a workload: %d -> %d", before, after)
+	}
+}
+
+// TestUploadWorkloadSurvivesRestart pins persistence: a server
+// restarted over the same trace cache dir rehydrates uploaded traces
+// and runs them without re-upload.
+func TestUploadWorkloadSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, TraceCacheDir: dir})
+
+	const insts = 20_000
+	data := encodeWorkload(t, "mcf", insts)
+	resp, err := ts.Client().Post(ts.URL+"/v1/workloads", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up WorkloadUpload
+	json.NewDecoder(resp.Body).Decode(&up)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d, want 201", resp.StatusCode)
+	}
+	t.Cleanup(func() { trace.UnregisterExternal(up.Workload) })
+
+	// Simulate a restart: drop the in-process registration, then boot a
+	// fresh server over the same cache dir.
+	trace.UnregisterExternal(up.Workload)
+	_, ts2 := newTestServer(t, Config{Workers: 1, TraceCacheDir: dir})
+	_, st := submit(t, ts2, JobRequest{Workload: up.Workload, Predictor: "lvp", Insts: insts})
+	waitState(t, ts2, st.ID, 30*time.Second, StateDone)
+	text := metricsText(t, ts2)
+	if !strings.Contains(text, "lvpd_trace_artifact_generated_total 0") {
+		t.Fatalf("restarted server regenerated the external stream:\n%s", text)
+	}
+}

@@ -394,10 +394,17 @@ func (p PredictorSpec) Validate() error {
 
 // WorkloadSpec names the workload and its instruction budget.
 type WorkloadSpec struct {
-	// Name is a workload from trace.Workloads (see GET /v1/workloads).
+	// Name is a workload from trace.Workloads (see GET /v1/workloads),
+	// or an uploaded external trace referenced by content address as
+	// "ext:<hash>" (see POST /v1/workloads and internal/tracein). Both
+	// kinds resolve through the same registry, so spec hashing, the
+	// result warehouse, and sweep idempotency treat them identically —
+	// the hash pins the exact trace content, making results keyed by
+	// this spec reproducible across processes that hold the same trace.
 	// On a multi-context machine it is the workload every context runs
 	// (each on its own independently-seeded stream) unless Names assigns
-	// them individually.
+	// them individually; external traces are a single recording, so
+	// salted context streams replay lockstep copies (DESIGN.md §15).
 	Name string `json:"name"`
 
 	// Names assigns one workload per hardware context, for heterogeneous

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func intp(v int) *int    { return &v }
@@ -500,5 +502,35 @@ func TestSMTPresets(t *testing.T) {
 		if n.Machine.NumContexts() != want {
 			t.Errorf("preset %q simulates %d contexts, want %d", name, n.Machine.NumContexts(), want)
 		}
+	}
+}
+
+// TestValidateExternalWorkload proves specs referencing an uploaded
+// trace by content address ("ext:<hash>") resolve through the same
+// registry path as synthetic workloads: validation fails while the
+// trace is unknown and passes once it is registered.
+func TestValidateExternalWorkload(t *testing.T) {
+	const name = "ext:specvalidate"
+	sim := Sim{Workload: WorkloadSpec{Name: name}}
+	sim.Normalize(Defaults{Insts: 1_000})
+	if err := sim.Validate(); err == nil {
+		t.Fatal("unregistered external workload validated")
+	}
+
+	rep := trace.NewReplay(
+		[]trace.Inst{{PC: 1, Op: trace.OpALU, Dst: 1, Lat: 1}},
+		mem.NewBacking(0))
+	if _, err := trace.RegisterExternal(name, rep, true); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { trace.UnregisterExternal(name) })
+
+	if err := sim.Validate(); err != nil {
+		t.Fatalf("registered external workload failed validation: %v", err)
+	}
+	// External traces hash like any workload name: same content, same
+	// canonical spec hash.
+	if sim.CanonicalHash() == "" {
+		t.Fatal("external spec has no canonical hash")
 	}
 }

@@ -306,6 +306,47 @@ func TestWarehouseContextsFilter(t *testing.T) {
 	want(Filter{}, "smt4", "smt2", "one", "old")
 }
 
+func TestWarehouseSourceFilter(t *testing.T) {
+	dir := t.TempDir()
+	wh, err := OpenWarehouse(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Close()
+	res, _ := json.Marshal(map[string]any{"ipc": 1.0})
+	put := func(hash, workload string) {
+		t.Helper()
+		if err := wh.Put(RunRecord{SpecHash: hash, Workload: workload, Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("syn", "gcc2k")
+	put("synsalt", "gcc2k#3")
+	put("ext", "ext:0123456789abcdef")
+	put("extsalt", "ext:0123456789abcdef#2")
+
+	want := func(f Filter, hashes ...string) {
+		t.Helper()
+		got := wh.List(f)
+		if len(got) != len(hashes) {
+			t.Fatalf("List(%+v) returned %d records, want %d", f, len(got), len(hashes))
+		}
+		for i, h := range hashes {
+			if got[i].SpecHash != h {
+				t.Fatalf("List(%+v)[%d] = %s, want %s", f, i, got[i].SpecHash, h)
+			}
+		}
+	}
+	// Salted external streams are still external: the salt changes the
+	// replay offset, not the provenance.
+	want(Filter{Source: "external"}, "extsalt", "ext")
+	want(Filter{Source: "synthetic"}, "synsalt", "syn")
+	want(Filter{}, "extsalt", "ext", "synsalt", "syn")
+	// Source composes with the other columns.
+	want(Filter{Source: "external", SpecHash: "ext"}, "ext")
+	want(Filter{Source: "synthetic", SpecHash: "ext"})
+}
+
 func TestWarehouseTornTail(t *testing.T) {
 	dir := t.TempDir()
 	wh, err := OpenWarehouse(dir)

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -228,12 +229,34 @@ type Filter struct {
 	Workload  string
 	Predictor string
 
+	// Source selects by workload provenance: "external" matches records
+	// whose workload is an uploaded trace (an "ext:" content address,
+	// possibly salted), "synthetic" matches everything else. Empty
+	// matches both.
+	Source string
+
 	// Contexts, when non-nil, selects by hardware context count. Values
 	// <= 1 select single-context records — including records written
 	// before the contexts column existed, which carry 0.
 	Contexts *int
 
 	Limit int // 0 = no limit
+}
+
+// matchSource reports whether a record's workload provenance satisfies
+// the filter. Salted stream names ("ext:<hash>#2") count as external:
+// the salt varies the replay offset, not where the instructions came
+// from.
+func matchSource(want, workload string) bool {
+	external := strings.HasPrefix(workload, "ext:")
+	switch want {
+	case "external":
+		return external
+	case "synthetic":
+		return !external
+	default:
+		return false
+	}
 }
 
 // matchContexts reports whether a record's context count satisfies the
@@ -263,6 +286,9 @@ func (w *Warehouse) List(f Filter) []RunRecord {
 			continue
 		}
 		if f.Predictor != "" && rec.Predictor != f.Predictor {
+			continue
+		}
+		if f.Source != "" && !matchSource(f.Source, rec.Workload) {
 			continue
 		}
 		if f.Contexts != nil && !matchContexts(*f.Contexts, rec.Contexts) {

@@ -39,6 +39,10 @@ const (
 	// workload names are a handful of bytes, so anything larger is a
 	// corrupt or hostile header.
 	maxArtifactNameLen = 256
+
+	// artifactFileSuffix is the cache-directory filename suffix:
+	// "<content address>" + suffix.
+	artifactFileSuffix = ".lvpt.gz"
 )
 
 // ArtifactKey returns the content address for the recorded stream of
@@ -54,9 +58,10 @@ func ArtifactKey(name string, insts uint64) string {
 
 // WriteArtifact drains gen into w as a compressed artifact for the
 // named workload and returns the number of instructions written. The
-// embedded LVPT stream uses FillSeed(name) as its memory fill seed, the
-// same seed named workload builders use, so the reader's reconstructed
-// Run-start image matches a fresh generator's.
+// embedded LVPT stream records the generator's own memory image — seed
+// only for synthetic streams (whose Run-start footprint is empty), seed
+// plus explicit pre-image words for external traces — so the reader's
+// reconstructed Run-start image matches the generator's exactly.
 func WriteArtifact(w io.Writer, name string, insts uint64, gen Generator) (uint64, error) {
 	if len(name) == 0 || len(name) > maxArtifactNameLen {
 		return 0, fmt.Errorf("trace: artifact name %q out of range", name)
@@ -71,7 +76,7 @@ func WriteArtifact(w io.Writer, name string, insts uint64, gen Generator) (uint6
 	if _, err := zw.Write(hdr); err != nil {
 		return 0, err
 	}
-	n, err := WriteTrace(zw, gen, FillSeed(name))
+	n, err := WriteTrace(zw, gen)
 	if err != nil {
 		return 0, err
 	}
@@ -129,6 +134,43 @@ func ReadArtifact(r io.Reader) (name string, insts uint64, rep *Replay, err erro
 		return "", 0, nil, err
 	}
 	return name, insts, rep, nil
+}
+
+// peekArtifactName decodes just far enough of an artifact to return the
+// embedded workload name, without materializing the recording. Used to
+// cheaply filter a cache directory for external traces at startup.
+func peekArtifactName(r io.Reader) (string, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return "", err
+	}
+	defer zr.Close()
+	br := bufio.NewReader(zr)
+	magic := make([]byte, len(artifactMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return "", err
+	}
+	if string(magic) != artifactMagic {
+		return "", errors.New("trace: bad artifact magic")
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // version
+		return "", err
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // insts
+		return "", err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if nameLen == 0 || nameLen > maxArtifactNameLen {
+		return "", fmt.Errorf("trace: artifact name length %d out of range", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return "", err
+	}
+	return string(nameBytes), nil
 }
 
 // encodeArtifact serializes a recording back to artifact bytes. Used

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -259,6 +261,7 @@ func TestArtifactStoreDiskReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	s3, _ := NewArtifactStore(dir, 0)
+	s3.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
 	cur, err = s3.Cursor(w.Name, artTestInsts)
 	if err != nil {
 		t.Fatal(err)

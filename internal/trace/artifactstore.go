@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -37,6 +39,12 @@ type ArtifactStats struct {
 	// Received counts artifacts installed via Put (shipped by a
 	// coordinator or uploaded through the API).
 	Received uint64
+	// CorruptRegens counts disk cache files that failed to decode (or
+	// decoded to a different identity than their address) and were
+	// regenerated over. A non-zero value means the cache directory is
+	// losing integrity — disk fault, torn write from a foreign process,
+	// or a mismatched artifact copied in by hand.
+	CorruptRegens uint64
 }
 
 // artifactRec is one resident recording plus the identity it was
@@ -68,6 +76,10 @@ type ArtifactStore struct {
 	held     uint64   // recorded instructions resident across recs
 	inflight map[string]chan struct{}
 	stats    ArtifactStats
+
+	// log receives warnings the store would otherwise swallow (corrupt
+	// cache files). Defaults to the process logger; SetLogger overrides.
+	log *slog.Logger
 }
 
 // NewArtifactStore opens a store backed by dir (created if missing; ""
@@ -89,7 +101,16 @@ func NewArtifactStore(dir string, budgetInsts uint64) (*ArtifactStore, error) {
 		budget:   budgetInsts,
 		recs:     make(map[string]*artifactRec),
 		inflight: make(map[string]chan struct{}),
+		log:      slog.Default(),
 	}, nil
+}
+
+// SetLogger directs the store's warnings (corrupt cache files) to log.
+// Call before the store sees traffic.
+func (s *ArtifactStore) SetLogger(log *slog.Logger) {
+	if log != nil {
+		s.log = log
+	}
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -170,11 +191,104 @@ func (s *ArtifactStore) Put(key string, data []byte) error {
 			return err
 		}
 	}
+	// A shipped external stream also registers the workload name, so a
+	// sweep point referencing "ext:<hash>" validates on this node after
+	// pre-shipping even though the node never saw the original upload.
+	// An artifact that recorded fewer instructions than its addressed
+	// budget is the whole trace (the stream ended early); one that
+	// exactly fills the budget may be a prefix of a longer trace, so it
+	// registers as incomplete and yields to longer recordings.
+	if base, _ := SplitStreamName(name); IsExternalName(base) {
+		if _, err := RegisterExternal(base, rep, insts > uint64(rep.Len())); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	s.install(&artifactRec{key: key, name: name, insts: insts, rep: rep})
 	s.stats.Received++
 	s.mu.Unlock()
 	return nil
+}
+
+// PutRecording installs an in-memory recording as the artifact of the
+// named workload at its full recorded length, persisting it for
+// disk-backed stores, and returns its content address. This is the
+// upload path: a daemon that converted an external trace registers the
+// recording here so later sweeps find it resident and restarts recover
+// it from disk.
+func (s *ArtifactStore) PutRecording(name string, rep *Replay) (string, error) {
+	insts := uint64(rep.Len())
+	if insts == 0 {
+		return "", fmt.Errorf("trace: refusing to store empty recording for %q", name)
+	}
+	if insts > s.budget {
+		return "", fmt.Errorf("%w (%d insts > budget %d)", ErrOversize, insts, s.budget)
+	}
+	key := ArtifactKey(name, insts)
+	if s.dir != "" {
+		data, err := encodeArtifact(name, insts, rep)
+		if err != nil {
+			return "", err
+		}
+		if err := s.persistBytes(key, data); err != nil {
+			return "", err
+		}
+	}
+	s.mu.Lock()
+	s.install(&artifactRec{key: key, name: name, insts: insts, rep: rep})
+	s.stats.Received++
+	s.mu.Unlock()
+	return key, nil
+}
+
+// RehydrateExternal scans the store's cache directory for artifacts of
+// external workloads and re-registers their names, so specs referencing
+// "ext:<hash>" validate again after a restart. Artifacts whose content
+// does not hash back to their filename are skipped (and counted as
+// corrupt). Returns the number of names registered.
+func (s *ArtifactStore) RehydrateExternal() (int, error) {
+	if s.dir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	registered := 0
+	for _, e := range entries {
+		key, ok := strings.CutSuffix(e.Name(), artifactFileSuffix)
+		if !ok || e.IsDir() {
+			continue
+		}
+		// Cheap pre-filter: decode only the header far enough to see the
+		// workload name, then fully decode external ones.
+		f, err := os.Open(s.path(key))
+		if err != nil {
+			continue
+		}
+		name, peekErr := peekArtifactName(f)
+		f.Close()
+		if peekErr != nil || !IsExternalName(name) {
+			continue
+		}
+		f, err = os.Open(s.path(key))
+		if err != nil {
+			continue
+		}
+		gotName, gotInsts, rep, err := ReadArtifact(f)
+		f.Close()
+		if err != nil || ArtifactKey(gotName, gotInsts) != key {
+			s.mu.Lock()
+			s.stats.CorruptRegens++
+			s.mu.Unlock()
+			s.log.Warn("external trace artifact failed rehydration", "path", s.path(key), "err", err)
+			continue
+		}
+		if ok, err := RegisterExternal(gotName, rep, gotInsts > uint64(rep.Len())); err == nil && ok {
+			registered++
+		}
+	}
+	return registered, nil
 }
 
 // ensure returns the resident recording for (name, insts), loading or
@@ -234,8 +348,18 @@ func (s *ArtifactStore) load(key, name string, insts uint64) (rec *artifactRec, 
 			if err == nil && gotName == name && gotInsts == insts {
 				return &artifactRec{key: key, name: name, insts: insts, rep: rep}, true, nil
 			}
-			// Corrupt or mismatched cache file: fall through and
-			// regenerate over it.
+			// Corrupt or mismatched cache file: count it, say which file,
+			// and fall through to regenerate over it. Without the counter
+			// this path is invisible — a flaky disk looks like a slightly
+			// colder cache.
+			if err == nil {
+				err = fmt.Errorf("content is workload %q at %d insts, expected %q at %d", gotName, gotInsts, name, insts)
+			}
+			s.mu.Lock()
+			s.stats.CorruptRegens++
+			s.mu.Unlock()
+			s.log.Warn("trace artifact cache file corrupt, regenerating",
+				"path", s.path(key), "workload", name, "insts", insts, "err", err)
 		}
 	}
 	gen, ok := BuildStream(name, insts)
@@ -309,5 +433,5 @@ func (s *ArtifactStore) persistBytes(key string, data []byte) error {
 
 // path returns the cache file for a content address.
 func (s *ArtifactStore) path(key string) string {
-	return filepath.Join(s.dir, key+".lvpt.gz")
+	return filepath.Join(s.dir, key+artifactFileSuffix)
 }

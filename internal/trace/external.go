@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// External workloads are uploaded traces, not synthetic recipes: a
+// client converts a CVP-1-style trace file (internal/tracein) into a
+// recorded stream and registers it here under the content-addressed
+// name "ext:<hash>". From that point the rest of the system treats it
+// like any workload: spec.Validate resolves it through ByName, the
+// artifact store records and ships it, and the warehouse keys results
+// by spec hashes that embed the name — so the same content hash means
+// the same results everywhere.
+//
+// The registry is process-global because workload resolution is
+// (ByName has no receiver): a daemon registers uploads at receipt and
+// re-registers persisted ones at startup, sweep workers register
+// pre-shipped artifacts as they arrive (ArtifactStore.Put), and tests
+// clean up with UnregisterExternal.
+
+// ExternalPrefix marks external workload names: "ext:" followed by the
+// content hash of the uploaded trace file.
+const ExternalPrefix = "ext:"
+
+// ProfileExternal is the Workload.Profile of registered external
+// traces. Unlike synthetic profiles it names no kernel recipe: the
+// stream is a recording, so salted (SMT) variants replay the same
+// instructions.
+const ProfileExternal = "external"
+
+// maxExternalNameLen keeps external names within the artifact header's
+// name bound (maxArtifactNameLen), with room for a "#<salt>" suffix.
+const maxExternalNameLen = 128
+
+// extEntry is one registered external trace: the longest recording seen
+// so far plus whether it is known to be the complete trace. A complete
+// registration (an upload of the whole file) is authoritative; an
+// incomplete one (a budget-bounded artifact shipped by a coordinator)
+// can be superseded by a longer or complete recording.
+type extEntry struct {
+	rep      *Replay
+	complete bool
+}
+
+var (
+	extMu  sync.RWMutex
+	extReg = make(map[string]*extEntry)
+)
+
+// IsExternalName reports whether a workload name refers to an uploaded
+// trace rather than a synthetic recipe.
+func IsExternalName(name string) bool {
+	return strings.HasPrefix(name, ExternalPrefix)
+}
+
+// RegisterExternal registers (or upgrades) the recording of an external
+// trace under name. complete marks the recording as the whole trace;
+// incomplete registrations — coordinator-shipped artifacts bounded by a
+// sweep's instruction budget — are kept only while nothing longer or
+// complete is known. Reports whether the registration took effect.
+func RegisterExternal(name string, rep *Replay, complete bool) (bool, error) {
+	if !IsExternalName(name) || len(name) <= len(ExternalPrefix) {
+		return false, fmt.Errorf("trace: external name %q must be %q followed by a content hash", name, ExternalPrefix)
+	}
+	if len(name) > maxExternalNameLen {
+		return false, fmt.Errorf("trace: external name %q exceeds %d bytes", name, maxExternalNameLen)
+	}
+	if strings.ContainsRune(name, '#') {
+		return false, fmt.Errorf("trace: external name %q must not contain '#' (reserved for stream salts)", name)
+	}
+	if rep == nil || rep.Len() == 0 {
+		return false, fmt.Errorf("trace: external trace %q is empty", name)
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	if old, ok := extReg[name]; ok {
+		if old.complete || (!complete && rep.Len() <= old.rep.Len()) {
+			return false, nil // the incumbent knows at least as much
+		}
+	}
+	extReg[name] = &extEntry{rep: rep, complete: complete}
+	return true, nil
+}
+
+// UnregisterExternal removes a registration (tests and administrative
+// cleanup).
+func UnregisterExternal(name string) {
+	extMu.Lock()
+	delete(extReg, name)
+	extMu.Unlock()
+}
+
+// ExternalNames returns the registered external workload names, sorted.
+func ExternalNames() []string {
+	extMu.RLock()
+	names := make([]string, 0, len(extReg))
+	for n := range extReg {
+		names = append(names, n)
+	}
+	extMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// ExternalLen returns the recorded instruction count of a registered
+// external trace and whether the recording is known complete.
+func ExternalLen(name string) (n uint64, complete, ok bool) {
+	extMu.RLock()
+	e, ok := extReg[name]
+	extMu.RUnlock()
+	if !ok {
+		return 0, false, false
+	}
+	return uint64(e.rep.Len()), e.complete, true
+}
+
+// externalByName resolves an external name to a Workload whose Build
+// returns a bounded cursor over the registered recording. The recording
+// is captured at resolution time: a Workload handed out before an
+// upgrade keeps replaying the stream it resolved.
+func externalByName(name string) (Workload, bool) {
+	extMu.RLock()
+	e, ok := extReg[name]
+	extMu.RUnlock()
+	if !ok {
+		return Workload{}, false
+	}
+	rep := e.rep
+	return Workload{
+		Name:    name,
+		Profile: ProfileExternal,
+		Build:   func(n uint64) Generator { return rep.CursorN(n) },
+	}, true
+}

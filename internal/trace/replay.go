@@ -48,6 +48,17 @@ func (r *Replay) Next(in *Inst) bool {
 // Rewind restarts the stream from the first instruction.
 func (r *Replay) Rewind() { r.pos = 0 }
 
+// NewReplay wraps an already-materialized instruction stream and its
+// start-of-run memory image as a Replay. It is the constructor trace
+// ingestion uses: a converter that decoded an external trace hands the
+// finished instruction slice and the reconstructed pre-image straight
+// to the replay machinery instead of re-recording through a Generator.
+// Both arguments are captured, not copied — the caller must not mutate
+// them afterwards (the same read-only contract Cursor documents).
+func NewReplay(insts []Inst, image *mem.Backing) *Replay {
+	return &Replay{insts: insts, mem: image}
+}
+
 // Cursor returns an independent read position over the same recording.
 // The instruction slice and the Run-start memory image are shared, not
 // copied, so cursors are cheap enough to hand one to every run. Sharing
@@ -58,6 +69,18 @@ func (r *Replay) Rewind() { r.pos = 0 }
 // only the source's pages, never its internal read memo).
 func (r *Replay) Cursor() *Replay {
 	return &Replay{insts: r.insts, mem: r.mem}
+}
+
+// CursorN returns an independent cursor bounded to the first n
+// instructions of the recording (0 or past-the-end means the whole
+// recording). External workloads resolve Build(n) through this: the
+// registered trace is recorded once and every budget replays a prefix.
+func (r *Replay) CursorN(n uint64) *Replay {
+	insts := r.insts
+	if n > 0 && n < uint64(len(insts)) {
+		insts = insts[:n]
+	}
+	return &Replay{insts: insts, mem: r.mem}
 }
 
 // Len returns the number of recorded instructions.

@@ -26,14 +26,22 @@ func StreamName(name string, ctx int) string {
 }
 
 // SplitStreamName parses a stream name into its workload name and salt.
-// Names without a "#<salt>" suffix are salt 0.
+// Names without a "#<salt>" suffix are salt 0. A suffix only counts as
+// a salt when it leaves a non-empty workload part and is the canonical
+// decimal form StreamName produces; anything else — "#3", "name#",
+// "name#-1", "name#x", "name#+3", "name#03" — is treated as a literal
+// (and thus unknown) workload name rather than round-tripping into a
+// salted stream of a different name. Canonical-only parsing matters for
+// content addressing: a non-canonical spelling of the same salt must
+// not mint a second artifact address for one stream.
 func SplitStreamName(stream string) (name string, salt int) {
 	i := strings.LastIndexByte(stream, '#')
-	if i < 0 {
+	if i <= 0 {
 		return stream, 0
 	}
-	n, err := strconv.Atoi(stream[i+1:])
-	if err != nil || n < 0 {
+	suffix := stream[i+1:]
+	n, err := strconv.Atoi(suffix)
+	if err != nil || n < 0 || strconv.Itoa(n) != suffix {
 		return stream, 0
 	}
 	return stream[:i], n
@@ -42,13 +50,18 @@ func SplitStreamName(stream string) (name string, salt int) {
 // BuildStream constructs a generator for a stream name, resolving the
 // "<workload>#<salt>" form to the named workload's independently-seeded
 // salt stream. Reports false when the workload is unknown.
+//
+// External (uploaded) traces are a single recorded stream: there is no
+// recipe to re-seed, so every salt of an external name replays the same
+// recording. SMT mixes over an external trace therefore run lockstep
+// copies — see DESIGN.md §15 for the caveat.
 func BuildStream(stream string, n uint64) (Generator, bool) {
 	name, salt := SplitStreamName(stream)
 	w, ok := ByName(name)
 	if !ok {
 		return nil, false
 	}
-	if salt == 0 {
+	if salt == 0 || w.Profile == ProfileExternal {
 		return w.Build(n), true
 	}
 	return buildProfile(w.Name, w.Profile, salt, n), true

@@ -22,10 +22,32 @@ import (
 // replayed trace reproduces runs bit-for-bit: the reader rebuilds the
 // memory image by replaying stores over a backing store seeded with the
 // recorded fill seed.
+//
+// Version 2 extends the header with an explicit start-of-stream image:
+//
+//	header:  magic "LVPT" | uvarint version (2) | uvarint seed |
+//	         uvarint nWords | nWords × (uvarint wordIdx delta, uvarint value)
+//
+// Synthetic workloads never need it — their generators begin with an
+// empty footprint (kernels write memory only while emitting), so the
+// seed alone reconstructs the Run-start image and the writer keeps
+// emitting version 1, byte-identical to every artifact recorded before
+// version 2 existed. External (uploaded) traces do need it: their
+// pre-image holds the load values the converter reconstructed, which no
+// fill seed can regenerate. Word indices are delta-encoded in ascending
+// order, so dense images cost ~2 bytes of index per word before gzip.
 
 const (
-	traceMagic   = "LVPT"
-	traceVersion = 1
+	traceMagic        = "LVPT"
+	traceVersion      = 1
+	traceVersionImage = 2
+
+	// maxImageWords and maxImagePages bound a version-2 pre-image (128
+	// MiB of words, 1 GiB of materialized pages): far beyond any
+	// admissible trace, small enough that a hostile header cannot
+	// balloon memory through page materialization.
+	maxImageWords = 1 << 24
+	maxImagePages = 1 << 14
 )
 
 // field-presence mask bits.
@@ -40,10 +62,17 @@ const (
 )
 
 // WriteTrace records every instruction from gen to w. It returns the
-// number of instructions written. The generator's memory fill seed must
-// be supplied so replay can reconstruct load values for never-written
-// locations.
-func WriteTrace(w io.Writer, gen Generator, fillSeed uint64) (uint64, error) {
+// number of instructions written. The recorded header carries the
+// generator's memory fill seed (gen.Mem().Seed()) so replay can
+// reconstruct load values for never-written locations.
+//
+// When the generator's memory image already holds written words at the
+// start of the stream — an external trace's reconstructed pre-image —
+// the writer emits a version-2 trace carrying the image explicitly (no
+// fill seed can describe written words). Generators starting from an
+// empty footprint, which is every live synthetic generator, produce
+// version 1, byte-identical to before version 2 existed.
+func WriteTrace(w io.Writer, gen Generator) (uint64, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
 		return 0, err
@@ -54,11 +83,38 @@ func WriteTrace(w io.Writer, gen Generator, fillSeed uint64) (uint64, error) {
 		_, err := bw.Write(scratch[:n])
 		return err
 	}
-	if err := writeU(traceVersion); err != nil {
-		return 0, err
-	}
-	if err := writeU(fillSeed); err != nil {
-		return 0, err
+	img := gen.Mem()
+	if img.Footprint() > 0 {
+		if err := writeU(traceVersionImage); err != nil {
+			return 0, err
+		}
+		if err := writeU(img.Seed()); err != nil {
+			return 0, err
+		}
+		if err := writeU(uint64(img.Footprint())); err != nil {
+			return 0, err
+		}
+		var werr error
+		prev := uint64(0)
+		img.WrittenWords(func(wordIdx, val uint64) {
+			if werr != nil {
+				return
+			}
+			if werr = writeU(wordIdx - prev); werr == nil {
+				werr = writeU(val)
+			}
+			prev = wordIdx
+		})
+		if werr != nil {
+			return 0, werr
+		}
+	} else {
+		if err := writeU(traceVersion); err != nil {
+			return 0, err
+		}
+		if err := writeU(img.Seed()); err != nil {
+			return 0, err
+		}
 	}
 
 	// Instruction count is unknown up front with a streaming writer;
@@ -189,14 +245,40 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading version: %w", err)
 	}
-	if version != traceVersion {
+	if version != traceVersion && version != traceVersionImage {
 		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	seed, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading seed: %w", err)
 	}
-	return &TraceReader{br: br, memory: mem.NewBacking(seed)}, nil
+	memory := mem.NewBacking(seed)
+	if version == traceVersionImage {
+		nWords, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading image size: %w", err)
+		}
+		if nWords > maxImageWords {
+			return nil, fmt.Errorf("trace: pre-image of %d words exceeds limit %d", nWords, maxImageWords)
+		}
+		wordIdx := uint64(0)
+		for i := uint64(0); i < nWords; i++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: reading image word index: %w", err)
+			}
+			val, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: reading image word value: %w", err)
+			}
+			wordIdx += delta
+			memory.Write(wordIdx<<3, 8, val)
+			if memory.PageCount() > maxImagePages {
+				return nil, fmt.Errorf("trace: pre-image materializes more than %d pages", maxImagePages)
+			}
+		}
+	}
+	return &TraceReader{br: br, memory: memory}, nil
 }
 
 // Mem implements Generator.

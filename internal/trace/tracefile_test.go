@@ -9,7 +9,7 @@ import (
 func TestTraceRoundTrip(t *testing.T) {
 	w, _ := ByName("gcc2k")
 	var buf bytes.Buffer
-	n, err := WriteTrace(&buf, w.Build(20_000), FillSeed("gcc2k"))
+	n, err := WriteTrace(&buf, w.Build(20_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestTraceReplayMemoryImage(t *testing.T) {
 	// generators provide).
 	w, _ := ByName("v8")
 	var buf bytes.Buffer
-	if _, err := WriteTrace(&buf, w.Build(20_000), FillSeed("v8")); err != nil {
+	if _, err := WriteTrace(&buf, w.Build(20_000)); err != nil {
 		t.Fatal(err)
 	}
 	rd, err := NewTraceReader(&buf)
@@ -67,7 +67,7 @@ func TestTraceReplayMemoryImage(t *testing.T) {
 func TestTraceCompactness(t *testing.T) {
 	w, _ := ByName("linpack")
 	var buf bytes.Buffer
-	n, _ := WriteTrace(&buf, w.Build(20_000), FillSeed("linpack"))
+	n, _ := WriteTrace(&buf, w.Build(20_000))
 	perInst := float64(buf.Len()) / float64(n)
 	if perInst > 16 {
 		t.Errorf("trace uses %.1f bytes/instruction, want <= 16", perInst)
@@ -85,7 +85,7 @@ func TestTraceBadInput(t *testing.T) {
 	// panic.
 	w, _ := ByName("gzip")
 	var buf bytes.Buffer
-	if _, err := WriteTrace(&buf, w.Build(1000), FillSeed("gzip")); err != nil {
+	if _, err := WriteTrace(&buf, w.Build(1000)); err != nil {
 		t.Fatal(err)
 	}
 	cut := buf.Bytes()[:buf.Len()/2]
@@ -104,7 +104,7 @@ func TestTraceBadInput(t *testing.T) {
 func TestTraceFlaggedInstructionsSurvive(t *testing.T) {
 	w, _ := ByName("perlbench")
 	var buf bytes.Buffer
-	if _, err := WriteTrace(&buf, w.Build(60_000), FillSeed("perlbench")); err != nil {
+	if _, err := WriteTrace(&buf, w.Build(60_000)); err != nil {
 		t.Fatal(err)
 	}
 	rd, _ := NewTraceReader(&buf)

@@ -84,8 +84,13 @@ func Workloads() []Workload {
 	return out
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload: one of the 85 synthetic recipes,
+// or a registered external (uploaded) trace under its "ext:<hash>"
+// name.
 func ByName(name string) (Workload, bool) {
+	if IsExternalName(name) {
+		return externalByName(name)
+	}
 	for _, row := range workloadTable {
 		if row.name == name {
 			return newWorkload(row.name, row.profile), true

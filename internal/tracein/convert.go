@@ -1,0 +1,338 @@
+package tracein
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file turns decoded trace records into the repository's native
+// stream form: a trace.Replay (instruction slice + architecturally
+// consistent start-of-run memory image) that registers as an external
+// workload and flows through the artifact store, spec validation, and
+// the cluster exactly like a recorded synthetic stream.
+//
+// # Instruction mapping
+//
+// CVP-1 classes map onto the micro-op vocabulary the pipeline model
+// executes:
+//
+//	class            op         notes
+//	alu              OpALU      latency byte honored, default 1
+//	load             OpLoad     EA/size/value carried through
+//	store            OpStore    EA/size/value carried through
+//	condBranch       OpBranch   taken/target carried through
+//	uncondDirect     OpJump     subtype 1 → OpCall
+//	uncondIndirect   OpIndirect subtype 1 → OpRet
+//	fp               OpALU      decode-only; default latency 3
+//	slowAlu          OpALU      decode-only; default latency 12
+//
+// The encoder never emits fp/slowAlu (the internal Op vocabulary folds
+// them into OpALU with an explicit latency), so an encode/decode round
+// trip is exact; foreign traces using those classes decode to ALU ops
+// with representative latencies.
+//
+// Register ids fold into the model's 32-register file: ids below
+// NumRegs map identically (so round trips are exact), larger ids fold
+// to 1+(id mod 31), preserving "same id ⇒ same register" within the
+// folded range so dependence chains survive even when absolute names
+// do not. Records carrying more than two sources keep the first two
+// (the micro-op has two source slots) and the converter counts the
+// drops in Info.
+//
+// # Memory image reconstruction
+//
+// The pipeline's address predictors (SAP/CAP) probe the simulated
+// D-cache, so replayed loads must observe a memory image consistent
+// with the values the trace says they returned. The converter rebuilds
+// a start-of-run pre-image by walking the trace with a shadow image:
+//
+//   - Every byte touched by a processed load or store is pinned: its
+//     shadow content is now architectural history and may not change.
+//   - A load whose unpinned bytes already match the shadow (fill values
+//     or earlier writes) just pins them.
+//   - A load whose unpinned bytes disagree backfills those bytes into
+//     both the pre-image and the shadow, then pins them — the value
+//     existed before the trace began.
+//   - A load that disagrees on a pinned byte is architecturally
+//     inconsistent (the trace contradicts its own earlier accesses);
+//     the converter keeps the recorded value (the trace is the ground
+//     truth for what the load returned) and counts it.
+//
+// Stores write the shadow and pin, never the pre-image.
+type Info struct {
+	Header Header
+	Insts  uint64
+	// Classes counts records per CVP-1 class.
+	Classes [NumClasses]uint64
+	// BackfilledBytes is how many pre-image bytes were reconstructed
+	// from load values (bytes the fill seed did not already explain).
+	BackfilledBytes uint64
+	// InconsistentLoads counts loads whose value contradicts a pinned
+	// byte of architectural history. Nonzero means the source trace is
+	// internally inconsistent; replay keeps the recorded load values.
+	InconsistentLoads uint64
+	// DroppedSrcRegs counts source-register ids beyond the micro-op's
+	// two source slots.
+	DroppedSrcRegs uint64
+	// FootprintWords is the reconstructed pre-image size in 8-byte
+	// words (what a version-2 LVPT artifact will carry explicitly).
+	FootprintWords int
+}
+
+// Hash returns the content address of a trace file: the first eight
+// bytes, hex encoded, of the SHA-256 of the raw file bytes. The
+// derived workload name is trace.ExternalPrefix + Hash.
+func Hash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// WorkloadName returns the registry stream name for a trace file's
+// content ("ext:<hash>").
+func WorkloadName(data []byte) string {
+	return trace.ExternalPrefix + Hash(data)
+}
+
+// Convert decodes a complete trace stream into a replayable recording
+// and its reconstruction report. maxInsts bounds the accepted
+// instruction count (0 = unbounded); the header count is checked before
+// any record is materialized, so a hostile header cannot balloon
+// memory.
+func Convert(r io.Reader, maxInsts uint64) (*trace.Replay, *Info, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr := rd.Header()
+	if hdr.Count == 0 {
+		return nil, nil, ErrEmptyTrace
+	}
+	if maxInsts > 0 && hdr.Count > maxInsts {
+		return nil, nil, fmt.Errorf("%w: %d instructions, limit %d", ErrTraceTooBig, hdr.Count, maxInsts)
+	}
+
+	info := &Info{Header: hdr}
+	image := mem.NewBacking(hdr.Seed)  // reconstructed pre-image
+	shadow := mem.NewBacking(hdr.Seed) // current architectural memory
+	pinned := make(map[uint64]uint8)   // wordIdx → mask of pinned bytes
+
+	insts := make([]trace.Inst, 0, hdr.Count)
+	var rec Record
+	for rd.Next(&rec) {
+		info.Classes[rec.Class]++
+		var in trace.Inst
+		info.DroppedSrcRegs += uint64(recordToInst(&rec, &in))
+
+		switch in.Op {
+		case trace.OpLoad:
+			size := effSize(in.Size)
+			want := in.Value
+			if size < 8 {
+				want &= (uint64(1) << (8 * uint64(size))) - 1
+			}
+			inconsistent := false
+			for i := uint8(0); i < size; i++ {
+				a := in.Addr + uint64(i)
+				wb := a >> 3
+				bit := uint8(1) << (a & 7)
+				wantB := uint64(byte(want >> (8 * i)))
+				curB := shadow.Read(a, 1)
+				if pinned[wb]&bit != 0 {
+					if curB != wantB {
+						inconsistent = true
+					}
+					continue
+				}
+				if curB != wantB {
+					image.Write(a, 1, wantB)
+					shadow.Write(a, 1, wantB)
+					info.BackfilledBytes++
+				}
+				pinned[wb] |= bit
+			}
+			if inconsistent {
+				info.InconsistentLoads++
+			}
+		case trace.OpStore:
+			size := effSize(in.Size)
+			shadow.Write(in.Addr, size, in.Value)
+			for i := uint8(0); i < size; i++ {
+				a := in.Addr + uint64(i)
+				pinned[a>>3] |= uint8(1) << (a & 7)
+			}
+		}
+		insts = append(insts, in)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, nil, err
+	}
+	info.Insts = rd.Decoded()
+	info.FootprintWords = image.Footprint()
+	return trace.NewReplay(insts, image), info, nil
+}
+
+// ConvertBytes converts an in-memory trace file and derives its
+// content-addressed workload name in one step.
+func ConvertBytes(data []byte, maxInsts uint64) (string, *trace.Replay, *Info, error) {
+	rep, info, err := Convert(bytes.NewReader(data), maxInsts)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return WorkloadName(data), rep, info, nil
+}
+
+// Encode drains gen into w as a trace file and returns the number of
+// instructions written. The header records the generator's memory fill
+// seed, so re-importing a synthetic workload's trace reconstructs the
+// identical memory image (zero backfill) and round-trips runs
+// bit-identically. Any start-of-stream pre-image footprint is not
+// carried by the format — the load values in the records let Convert
+// reconstruct it on the other side.
+func Encode(w io.Writer, gen trace.Generator) (uint64, error) {
+	seed := gen.Mem().Seed()
+	var (
+		payload []byte
+		count   uint64
+		in      trace.Inst
+		rec     Record
+	)
+	for gen.Next(&in) {
+		instToRecord(&in, &rec)
+		payload = appendRecord(payload, &rec)
+		count++
+	}
+	if err := writeContainer(w, count, seed, payload); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// effSize normalizes an access size the way mem.Backing does: 0 and
+// anything over 8 mean a full word.
+func effSize(size uint8) uint8 {
+	if size == 0 || size > 8 {
+		return 8
+	}
+	return size
+}
+
+// mapReg folds an external register id into the model's register file.
+// Ids below NumRegs map identically; larger ids fold to 1+(id mod 31),
+// never landing on the zero/none register.
+func mapReg(e uint8) trace.Reg {
+	if e < trace.NumRegs {
+		return trace.Reg(e)
+	}
+	return trace.Reg(1 + e%31)
+}
+
+// recordToInst maps a decoded record onto a micro-op, returning how
+// many source registers were dropped for exceeding the two source
+// slots.
+func recordToInst(rec *Record, in *trace.Inst) int {
+	*in = trace.Inst{PC: rec.PC, Lat: 1, Flags: trace.Flags(rec.Flags)}
+	if rec.HasDst {
+		in.Dst = mapReg(rec.Dst)
+	}
+	if rec.NSrc > 0 {
+		in.Src1 = mapReg(rec.Src[0])
+	}
+	if rec.NSrc > 1 {
+		in.Src2 = mapReg(rec.Src[1])
+	}
+	dropped := 0
+	if rec.NSrc > 2 {
+		dropped = int(rec.NSrc) - 2
+	}
+	switch rec.Class {
+	case ClassALU:
+		in.Op = trace.OpALU
+	case ClassSlowALU:
+		in.Op = trace.OpALU
+		in.Lat = 12
+	case ClassFP:
+		in.Op = trace.OpALU
+		in.Lat = 3
+	case ClassLoad:
+		in.Op = trace.OpLoad
+		in.Addr, in.Size, in.Value = rec.EA, rec.Size, rec.Value
+	case ClassStore:
+		in.Op = trace.OpStore
+		in.Addr, in.Size, in.Value = rec.EA, rec.Size, rec.Value
+	case ClassCondBranch:
+		in.Op = trace.OpBranch
+		in.Taken, in.Target = rec.Taken, rec.Target
+	case ClassUncondDirect:
+		in.Op = trace.OpJump
+		if rec.SubOp == 1 {
+			in.Op = trace.OpCall
+		}
+		in.Taken, in.Target = rec.Taken, rec.Target
+	case ClassUncondIndirect:
+		in.Op = trace.OpIndirect
+		if rec.SubOp == 1 {
+			in.Op = trace.OpRet
+		}
+		in.Taken, in.Target = rec.Taken, rec.Target
+	}
+	if rec.Lat != 0 {
+		in.Lat = rec.Lat
+	}
+	return dropped
+}
+
+// instToRecord maps a micro-op onto the wire record. Internal register
+// ids are below NumRegs, so the identity mapping holds on both sides
+// and round trips are exact.
+func instToRecord(in *trace.Inst, rec *Record) {
+	*rec = Record{PC: in.PC, Flags: uint8(in.Flags) & auxFlagsMsk}
+	if in.Dst != 0 {
+		rec.HasDst = true
+		rec.Dst = uint8(in.Dst)
+	}
+	// Trailing-zero trimming only: an explicit none in the first slot
+	// with a live second slot must keep its position.
+	if in.Src2 != 0 {
+		rec.NSrc = 2
+		rec.Src[0], rec.Src[1] = uint8(in.Src1), uint8(in.Src2)
+	} else if in.Src1 != 0 {
+		rec.NSrc = 1
+		rec.Src[0] = uint8(in.Src1)
+	}
+	switch in.Op {
+	case trace.OpALU:
+		rec.Class = ClassALU
+	case trace.OpLoad:
+		rec.Class = ClassLoad
+		rec.EA, rec.Size, rec.Value = in.Addr, in.Size, in.Value
+	case trace.OpStore:
+		rec.Class = ClassStore
+		rec.EA, rec.Size, rec.Value = in.Addr, in.Size, in.Value
+	case trace.OpBranch:
+		rec.Class = ClassCondBranch
+		rec.Taken, rec.Target = in.Taken, in.Target
+	case trace.OpJump:
+		rec.Class = ClassUncondDirect
+		rec.Taken, rec.Target = in.Taken, in.Target
+	case trace.OpCall:
+		rec.Class = ClassUncondDirect
+		rec.SubOp = 1
+		rec.Taken, rec.Target = in.Taken, in.Target
+	case trace.OpIndirect:
+		rec.Class = ClassUncondIndirect
+		rec.Taken, rec.Target = in.Taken, in.Target
+	case trace.OpRet:
+		rec.Class = ClassUncondIndirect
+		rec.SubOp = 1
+		rec.Taken, rec.Target = in.Taken, in.Target
+	}
+	if in.Lat > 1 {
+		rec.Lat = in.Lat
+	}
+}

@@ -1,0 +1,192 @@
+package tracein
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestEncodeConvertExact proves a synthetic workload survives the
+// encode → convert round trip exactly: same instruction stream, zero
+// backfill (the header's fill seed already explains every load value),
+// and a pre-image whose seed matches the live generator's.
+func TestEncodeConvertExact(t *testing.T) {
+	const insts = 5_000
+	for _, name := range []string{"gcc2k", "mcf", "xalancbmk"} {
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		var buf bytes.Buffer
+		n, err := Encode(&buf, w.Build(insts))
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		rep, info, err := Convert(bytes.NewReader(buf.Bytes()), 0)
+		if err != nil {
+			t.Fatalf("%s: convert: %v", name, err)
+		}
+		if info.Insts != n || uint64(rep.Len()) != n {
+			t.Fatalf("%s: converted %d/%d instructions, encoded %d", name, info.Insts, rep.Len(), n)
+		}
+		if info.BackfilledBytes != 0 || info.FootprintWords != 0 {
+			t.Errorf("%s: round trip should need no backfill, got %d bytes (%d words)",
+				name, info.BackfilledBytes, info.FootprintWords)
+		}
+		if info.InconsistentLoads != 0 || info.DroppedSrcRegs != 0 {
+			t.Errorf("%s: round trip reported inconsistencies: %+v", name, info)
+		}
+		if got, want := rep.Mem().Seed(), trace.FillSeed(name); got != want {
+			t.Errorf("%s: pre-image seed %#x, want fill seed %#x", name, got, want)
+		}
+		gen := w.Build(insts)
+		var live, conv trace.Inst
+		for i := 0; gen.Next(&live); i++ {
+			if !rep.Next(&conv) {
+				t.Fatalf("%s: converted stream ended at %d", name, i)
+			}
+			if live != conv {
+				t.Fatalf("%s: instruction %d diverges:\nlive %+v\nconv %+v", name, i, live, conv)
+			}
+		}
+	}
+}
+
+// TestConvertBackfill hand-builds a trace whose load values cannot come
+// from the fill seed, and checks the reconstructed pre-image supplies
+// them while respecting architectural history.
+func TestConvertBackfill(t *testing.T) {
+	fill := mem.NewBacking(42)
+	surprising := ^fill.Read(0x8000, 8) // differs from fill in every byte
+
+	recs := []Record{
+		// Load of a value the seed cannot explain: must backfill.
+		{PC: 1, Class: ClassLoad, HasDst: true, Dst: 1, EA: 0x8000, Size: 8, Value: surprising},
+		// Same location again, same value: consistent, no new backfill.
+		{PC: 2, Class: ClassLoad, HasDst: true, Dst: 2, EA: 0x8000, Size: 8, Value: surprising},
+		// Store pins new contents...
+		{PC: 3, Class: ClassStore, NSrc: 1, Src: [3]uint8{1}, EA: 0x8000, Size: 8, Value: 7},
+		// ...and a later load contradicting the store is inconsistent.
+		{PC: 4, Class: ClassLoad, HasDst: true, Dst: 3, EA: 0x8000, Size: 8, Value: 9},
+		// A load matching the fill seed needs no backfill.
+		{PC: 5, Class: ClassLoad, HasDst: true, Dst: 4, EA: 0x9000, Size: 8, Value: fill.Read(0x9000, 8)},
+	}
+	var payload []byte
+	for i := range recs {
+		payload = appendRecord(payload, &recs[i])
+	}
+	data := container(t, uint64(len(recs)), 42, payload, false)
+
+	rep, info, err := Convert(bytes.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BackfilledBytes != 8 {
+		t.Errorf("BackfilledBytes = %d, want 8 (one surprising word)", info.BackfilledBytes)
+	}
+	if info.InconsistentLoads != 1 {
+		t.Errorf("InconsistentLoads = %d, want 1", info.InconsistentLoads)
+	}
+	if got := rep.Mem().Read(0x8000, 8); got != surprising {
+		t.Errorf("pre-image[0x8000] = %#x, want backfilled %#x", got, surprising)
+	}
+	if got := rep.Mem().Read(0x9000, 8); got != fill.Read(0x9000, 8) {
+		t.Errorf("pre-image[0x9000] = %#x, want fill value", got)
+	}
+	// The pre-image is start-of-run state: the store must NOT be in it.
+	if info.FootprintWords != 1 {
+		t.Errorf("FootprintWords = %d, want 1 (only the backfilled word)", info.FootprintWords)
+	}
+}
+
+// TestConvertRegisterFolding checks foreign register ids fold into the
+// 32-register file deterministically and extra sources are counted.
+func TestConvertRegisterFolding(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Class: ClassALU, HasDst: true, Dst: 200, NSrc: 3, Src: [3]uint8{40, 31, 99}},
+	}
+	var payload []byte
+	payload = appendRecord(payload, &recs[0])
+	data := container(t, 1, 0, payload, false)
+
+	rep, info, err := Convert(bytes.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DroppedSrcRegs != 1 {
+		t.Errorf("DroppedSrcRegs = %d, want 1", info.DroppedSrcRegs)
+	}
+	var in trace.Inst
+	if !rep.Next(&in) {
+		t.Fatal("empty conversion")
+	}
+	if in.Dst != trace.Reg(1+200%31) {
+		t.Errorf("Dst = %d, want folded %d", in.Dst, 1+200%31)
+	}
+	if in.Src1 != trace.Reg(1+40%31) || in.Src2 != 31 {
+		t.Errorf("sources = %d,%d; want %d,31", in.Src1, in.Src2, 1+40%31)
+	}
+	if in.Dst == 0 || in.Src1 == 0 {
+		t.Error("folded registers must never land on the zero register")
+	}
+}
+
+// TestConvertDefaults checks the decode-only classes get representative
+// latencies and the size/value normalization holds.
+func TestConvertDefaults(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Class: ClassFP, HasDst: true, Dst: 1},
+		{PC: 2, Class: ClassSlowALU, HasDst: true, Dst: 2},
+		{PC: 3, Class: ClassALU, HasDst: true, Dst: 3},
+	}
+	var payload []byte
+	for i := range recs {
+		payload = appendRecord(payload, &recs[i])
+	}
+	data := container(t, uint64(len(recs)), 0, payload, false)
+	rep, _, err := Convert(bytes.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in trace.Inst
+	for _, want := range []uint8{3, 12, 1} {
+		if !rep.Next(&in) {
+			t.Fatal("stream ended early")
+		}
+		if in.Op != trace.OpALU || in.Lat != want {
+			t.Errorf("pc %#x: op=%v lat=%d, want alu lat=%d", in.PC, in.Op, in.Lat, want)
+		}
+	}
+}
+
+func TestConvertLimits(t *testing.T) {
+	payload, recs := sampleRecords(t)
+	data := container(t, uint64(len(recs)), 0, payload, false)
+
+	if _, _, err := Convert(bytes.NewReader(data), 2); !errors.Is(err, ErrTraceTooBig) {
+		t.Errorf("maxInsts=2: err = %v, want ErrTraceTooBig", err)
+	}
+	if _, _, err := Convert(bytes.NewReader(container(t, 0, 0, nil, false)), 0); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty trace: err = %v, want ErrEmptyTrace", err)
+	}
+	if _, _, err := Convert(bytes.NewReader(data), uint64(len(recs))); err != nil {
+		t.Errorf("at the limit: %v", err)
+	}
+}
+
+func TestWorkloadName(t *testing.T) {
+	data := []byte("some trace bytes")
+	name := WorkloadName(data)
+	if !trace.IsExternalName(name) {
+		t.Fatalf("WorkloadName(%q) = %q, not an external name", data, name)
+	}
+	if name != trace.ExternalPrefix+Hash(data) {
+		t.Fatalf("name %q does not embed the content hash", name)
+	}
+	if len(Hash(data)) != 16 {
+		t.Fatalf("Hash length %d, want 16 hex chars", len(Hash(data)))
+	}
+}

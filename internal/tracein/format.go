@@ -1,0 +1,400 @@
+// Package tracein ingests external instruction traces: a CVP-1-style
+// binary trace format (the substrate the EVES championship predictor
+// was built on), a streaming decoder that keeps the repository's
+// zero-allocation hot-path discipline, and a converter that turns a
+// trace file into the recorded workload streams the rest of the system
+// (spec registry, artifact store, daemon, cluster) already understands.
+//
+// # Container
+//
+// A trace file is a single gzip stream holding a fixed 26-byte header
+// followed by the record payload:
+//
+//	offset size  field
+//	0      4     magic "LVPX"
+//	4      2     version (little-endian u16, currently 1)
+//	6      8     instruction count (little-endian u64)
+//	14     8     memory fill seed (little-endian u64; 0 = unknown)
+//	22     4     CRC-32C of the uncompressed record payload (LE u32)
+//
+// The fill seed is a fidelity hint for tools that re-export traces from
+// this repository's synthetic workloads: it lets the converter seed the
+// reconstructed memory image identically to the original generator, so
+// a synthetic workload survives an encode/decode round trip
+// bit-identically (including the fill values SAP/CAP D-cache probes
+// observe at addresses the trace itself never touches). Traces captured
+// from real programs carry 0 and accept the documented substitution
+// caveat (DESIGN.md §15).
+//
+// # Records
+//
+// One record per instruction, fixed-width little-endian fields gated by
+// the class and an aux bitfield — the field set mirrors the CVP-1
+// per-instruction shape (PC, instruction class, source/destination
+// registers, effective address + access size + memory value, branch
+// direction + target):
+//
+//	u64 PC
+//	u8  class          CVP-1 instruction class (0-7, below)
+//	u8  aux            bit 0    subtype: call/return variant of the
+//	                            unconditional branch classes
+//	                   bits 1-3 memory-ordering flags (atomic,
+//	                            exclusive, ordered)
+//	                   bit 4    latency byte trails the record
+//	                   bit 5    destination register byte present
+//	                   bits 6-7 source register count (0-3)
+//	[u8 dst]           if aux bit 5
+//	nSrc × u8          source register ids
+//	u64 EA, u8 size,   loads and stores only; stores carry the stored
+//	u64 value          value (a deliberate extension over strict CVP-1,
+//	                   which derives it — the converter needs store data
+//	                   to keep the memory image consistent)
+//	u8 taken, u64 tgt  branch classes only
+//	[u8 lat]           if aux bit 4: intrinsic execute latency
+package tracein
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// CVP-1 instruction classes.
+const (
+	ClassALU            = 0
+	ClassLoad           = 1
+	ClassStore          = 2
+	ClassCondBranch     = 3
+	ClassUncondDirect   = 4
+	ClassUncondIndirect = 5
+	ClassFP             = 6
+	ClassSlowALU        = 7
+
+	// NumClasses bounds the class byte; anything >= is a decode error.
+	NumClasses = 8
+)
+
+// Container constants.
+const (
+	Magic   = "LVPX"
+	Version = 1
+
+	headerLen = 26
+
+	// maxSrcRegs is the per-record source-register capacity (2 bits in
+	// aux). CVP-1 traces can carry more; the converter folds extras away
+	// and counts them.
+	maxSrcRegs = 3
+
+	// maxRecordLen is the widest possible record: header fields plus
+	// every optional group present.
+	maxRecordLen = 10 + 1 + maxSrcRegs + 17 + 9 + 1
+)
+
+// aux bitfield layout.
+const (
+	auxSubOp    = 1 << 0
+	auxFlagsSh  = 1
+	auxFlagsMsk = 0x7
+	auxHasLat   = 1 << 4
+	auxHasDst   = 1 << 5
+	auxNSrcSh   = 6
+)
+
+// crcTable is the Castagnoli polynomial, matching the repository's WAL
+// framing (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. Reader.Err wraps these so callers can classify
+// failures without string matching.
+var (
+	ErrBadMagic    = errors.New("tracein: bad magic")
+	ErrBadVersion  = errors.New("tracein: unsupported version")
+	ErrBadClass    = errors.New("tracein: record class out of range")
+	ErrChecksum    = errors.New("tracein: payload checksum mismatch")
+	ErrTruncated   = errors.New("tracein: truncated trace")
+	ErrTrailing    = errors.New("tracein: trailing bytes after final record")
+	ErrEmptyTrace  = errors.New("tracein: trace holds no instructions")
+	ErrTraceTooBig = errors.New("tracein: trace exceeds instruction limit")
+)
+
+// Header is the decoded container header.
+type Header struct {
+	Version  uint16
+	Count    uint64 // instruction records in the payload
+	Seed     uint64 // memory fill seed hint (0 = unknown)
+	Checksum uint32 // CRC-32C of the uncompressed payload
+}
+
+// Record is one decoded instruction record. It is a fixed-size value —
+// no slices, no pointers — so the decode loop stays allocation-free.
+type Record struct {
+	PC     uint64
+	EA     uint64
+	Value  uint64
+	Target uint64
+	Class  uint8
+	SubOp  uint8 // 1 = call (uncond direct) / return (uncond indirect)
+	Flags  uint8 // memory-ordering flag bits (trace.Flags layout)
+	HasDst bool
+	Dst    uint8
+	NSrc   uint8
+	Src    [maxSrcRegs]uint8
+	Size   uint8
+	Taken  bool
+	Lat    uint8 // 0 = class default
+}
+
+// IsMem reports whether the record's class carries the EA/size/value
+// group.
+func (r *Record) IsMem() bool { return r.Class == ClassLoad || r.Class == ClassStore }
+
+// IsBranch reports whether the record's class carries the taken/target
+// group.
+func (r *Record) IsBranch() bool {
+	return r.Class == ClassCondBranch || r.Class == ClassUncondDirect || r.Class == ClassUncondIndirect
+}
+
+// Reader is a streaming trace decoder. Open with NewReader, then call
+// Next until it returns false; Err reports whether the stream ended
+// cleanly (count reached, checksum verified) or failed. After the
+// initial open, Reset lets a consumer re-decode another (or the same)
+// stream without new allocations — the gzip window, the buffered
+// reader, and the scratch buffer are all reused, which is what keeps
+// the steady-state decode path at zero allocations per record.
+type Reader struct {
+	zr      *gzip.Reader
+	br      *bufio.Reader
+	hdr     Header
+	n       uint64 // records decoded so far
+	crc     uint32 // running payload CRC
+	err     error
+	done    bool
+	scratch [maxRecordLen]byte
+}
+
+// NewReader opens a trace stream and decodes its header.
+func NewReader(r io.Reader) (*Reader, error) {
+	d := &Reader{}
+	if err := d.Reset(r); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Reset re-points the reader at a new stream and decodes its header,
+// reusing all internal buffers.
+func (d *Reader) Reset(r io.Reader) error {
+	if d.zr == nil {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return fmt.Errorf("tracein: gzip: %w", err)
+		}
+		d.zr = zr
+	} else if err := d.zr.Reset(r); err != nil {
+		return fmt.Errorf("tracein: gzip: %w", err)
+	}
+	if d.br == nil {
+		d.br = bufio.NewReaderSize(d.zr, 64<<10)
+	} else {
+		d.br.Reset(d.zr)
+	}
+	d.n, d.crc, d.err, d.done = 0, 0, nil, false
+
+	h := d.scratch[:headerLen]
+	if _, err := io.ReadFull(d.br, h); err != nil {
+		return fmt.Errorf("tracein: reading header: %w", noEOF(err))
+	}
+	if string(h[:4]) != Magic {
+		return ErrBadMagic
+	}
+	d.hdr = Header{
+		Version:  binary.LittleEndian.Uint16(h[4:6]),
+		Count:    binary.LittleEndian.Uint64(h[6:14]),
+		Seed:     binary.LittleEndian.Uint64(h[14:22]),
+		Checksum: binary.LittleEndian.Uint32(h[22:26]),
+	}
+	if d.hdr.Version != Version {
+		return fmt.Errorf("%w %d", ErrBadVersion, d.hdr.Version)
+	}
+	return nil
+}
+
+// Header returns the decoded container header.
+func (d *Reader) Header() Header { return d.hdr }
+
+// Err returns the first decode error, nil after a clean end of stream.
+func (d *Reader) Err() error { return d.err }
+
+// Decoded returns the number of records decoded so far.
+func (d *Reader) Decoded() uint64 { return d.n }
+
+// Next decodes the next record. It returns false at end of stream or on
+// error (check Err). The call is allocation-free.
+func (d *Reader) Next(rec *Record) bool {
+	if d.done || d.err != nil {
+		return false
+	}
+	if d.n == d.hdr.Count {
+		d.finish()
+		return false
+	}
+	// Fixed prefix: PC, class, aux.
+	head := d.scratch[:10]
+	if _, err := io.ReadFull(d.br, head); err != nil {
+		d.fail(err)
+		return false
+	}
+	d.crc = crc32.Update(d.crc, crcTable, head)
+	rec.PC = binary.LittleEndian.Uint64(head[0:8])
+	rec.Class = head[8]
+	aux := head[9]
+	if rec.Class >= NumClasses {
+		d.err = fmt.Errorf("%w: class %d at record %d", ErrBadClass, rec.Class, d.n)
+		return false
+	}
+	rec.SubOp = aux & auxSubOp
+	rec.Flags = (aux >> auxFlagsSh) & auxFlagsMsk
+	rec.HasDst = aux&auxHasDst != 0
+	rec.NSrc = aux >> auxNSrcSh
+	rec.Dst, rec.Lat, rec.Size, rec.Taken = 0, 0, 0, false
+	rec.EA, rec.Value, rec.Target = 0, 0, 0
+	rec.Src = [maxSrcRegs]uint8{}
+
+	// Everything after aux has a length fully determined by (class,
+	// aux); read it in one piece.
+	n := int(rec.NSrc)
+	if rec.HasDst {
+		n++
+	}
+	if rec.IsMem() {
+		n += 17
+	}
+	if rec.IsBranch() {
+		n += 9
+	}
+	if aux&auxHasLat != 0 {
+		n++
+	}
+	body := d.scratch[:n]
+	if n > 0 {
+		if _, err := io.ReadFull(d.br, body); err != nil {
+			d.fail(err)
+			return false
+		}
+		d.crc = crc32.Update(d.crc, crcTable, body)
+	}
+	p := 0
+	if rec.HasDst {
+		rec.Dst = body[p]
+		p++
+	}
+	for i := 0; i < int(rec.NSrc); i++ {
+		rec.Src[i] = body[p]
+		p++
+	}
+	if rec.IsMem() {
+		rec.EA = binary.LittleEndian.Uint64(body[p : p+8])
+		rec.Size = body[p+8]
+		rec.Value = binary.LittleEndian.Uint64(body[p+9 : p+17])
+		p += 17
+	}
+	if rec.IsBranch() {
+		rec.Taken = body[p] != 0
+		rec.Target = binary.LittleEndian.Uint64(body[p+1 : p+9])
+		p += 9
+	}
+	if aux&auxHasLat != 0 {
+		rec.Lat = body[p]
+	}
+	d.n++
+	return true
+}
+
+// finish runs the end-of-stream checks: payload checksum and clean
+// framing (no trailing bytes inside the gzip stream).
+func (d *Reader) finish() {
+	d.done = true
+	if d.crc != d.hdr.Checksum {
+		d.err = fmt.Errorf("%w: payload %08x, header %08x", ErrChecksum, d.crc, d.hdr.Checksum)
+		return
+	}
+	if _, err := d.br.ReadByte(); err == nil {
+		d.err = ErrTrailing
+	}
+}
+
+func (d *Reader) fail(err error) {
+	d.err = fmt.Errorf("tracein: record %d: %w", d.n, noEOF(err))
+}
+
+// noEOF converts io.EOF into the unambiguous truncation error: inside a
+// record (or header), a clean EOF still means the file is short.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncated
+	}
+	return err
+}
+
+// appendRecord serializes rec onto dst in the wire layout.
+func appendRecord(dst []byte, rec *Record) []byte {
+	var aux uint8
+	aux |= rec.SubOp & auxSubOp
+	aux |= (rec.Flags & auxFlagsMsk) << auxFlagsSh
+	if rec.Lat != 0 {
+		aux |= auxHasLat
+	}
+	if rec.HasDst {
+		aux |= auxHasDst
+	}
+	aux |= rec.NSrc << auxNSrcSh
+	dst = binary.LittleEndian.AppendUint64(dst, rec.PC)
+	dst = append(dst, rec.Class, aux)
+	if rec.HasDst {
+		dst = append(dst, rec.Dst)
+	}
+	for i := 0; i < int(rec.NSrc); i++ {
+		dst = append(dst, rec.Src[i])
+	}
+	if rec.IsMem() {
+		dst = binary.LittleEndian.AppendUint64(dst, rec.EA)
+		dst = append(dst, rec.Size)
+		dst = binary.LittleEndian.AppendUint64(dst, rec.Value)
+	}
+	if rec.IsBranch() {
+		taken := byte(0)
+		if rec.Taken {
+			taken = 1
+		}
+		dst = append(dst, taken)
+		dst = binary.LittleEndian.AppendUint64(dst, rec.Target)
+	}
+	if rec.Lat != 0 {
+		dst = append(dst, rec.Lat)
+	}
+	return dst
+}
+
+// writeContainer frames an already-built payload as a complete trace
+// file: header + payload inside one gzip stream.
+func writeContainer(w io.Writer, count, seed uint64, payload []byte) error {
+	zw := gzip.NewWriter(w)
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	binary.LittleEndian.PutUint64(hdr[6:14], count)
+	binary.LittleEndian.PutUint64(hdr[14:22], seed)
+	binary.LittleEndian.PutUint32(hdr[22:26], crc32.Checksum(payload, crcTable))
+	if _, err := zw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := zw.Write(payload); err != nil {
+		return err
+	}
+	return zw.Close()
+}

@@ -1,0 +1,236 @@
+package tracein
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// container builds a trace file from raw payload bytes, optionally
+// forcing a wrong checksum or count, so tests can construct both valid
+// and precisely-corrupted inputs.
+func container(t testing.TB, count, seed uint64, payload []byte, badCRC bool) []byte {
+	return containerTrailing(t, count, seed, payload, nil, badCRC)
+}
+
+// containerTrailing additionally appends bytes after the records, NOT
+// covered by the header checksum — the framing violation the decoder's
+// end-of-stream check must catch.
+func containerTrailing(t testing.TB, count, seed uint64, payload, trailing []byte, badCRC bool) []byte {
+	t.Helper()
+	crc := crc32.Checksum(payload, crcTable)
+	if badCRC {
+		crc ^= 0xDEADBEEF
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	binary.LittleEndian.PutUint64(hdr[6:14], count)
+	binary.LittleEndian.PutUint64(hdr[14:22], seed)
+	binary.LittleEndian.PutUint32(hdr[22:26], crc)
+	if _, err := zw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(trailing); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// errAny marks robustness cases where any decode error is acceptable —
+// e.g. byte-level truncation, which can surface as our truncation
+// sentinel or as a flate corruption error depending on where the cut
+// lands.
+var errAny = errors.New("any error")
+
+// sampleRecords returns a payload exercising every class and optional
+// field group.
+func sampleRecords(t testing.TB) ([]byte, []Record) {
+	t.Helper()
+	recs := []Record{
+		{PC: 0x1000, Class: ClassALU, HasDst: true, Dst: 3, NSrc: 2, Src: [3]uint8{1, 2}},
+		{PC: 0x1004, Class: ClassALU, Lat: 12, HasDst: true, Dst: 4, NSrc: 1, Src: [3]uint8{3}},
+		{PC: 0x1008, Class: ClassLoad, HasDst: true, Dst: 5, NSrc: 1, Src: [3]uint8{4},
+			EA: 0x8000, Size: 8, Value: 0x1122334455667788},
+		{PC: 0x100c, Class: ClassStore, NSrc: 2, Src: [3]uint8{5, 4}, EA: 0x8010, Size: 4, Value: 0xCAFE},
+		{PC: 0x1010, Class: ClassCondBranch, NSrc: 1, Src: [3]uint8{5}, Taken: true, Target: 0x1000},
+		{PC: 0x1014, Class: ClassUncondDirect, SubOp: 1, Taken: true, Target: 0x2000},
+		{PC: 0x1018, Class: ClassUncondIndirect, NSrc: 1, Src: [3]uint8{30}, Taken: true, Target: 0x1020},
+		{PC: 0x101c, Class: ClassUncondIndirect, SubOp: 1, Taken: true, Target: 0x1018},
+		{PC: 0x1020, Class: ClassFP, HasDst: true, Dst: 7, NSrc: 3, Src: [3]uint8{1, 2, 3}},
+		{PC: 0x1024, Class: ClassSlowALU, HasDst: true, Dst: 8, Flags: 0x5},
+		{PC: 0x1028, Class: ClassLoad, HasDst: true, Dst: 9, EA: 0xFFFF_FFFF_FFFF_FFF0, Size: 2, Value: 0xBEEF},
+	}
+	var payload []byte
+	for i := range recs {
+		payload = appendRecord(payload, &recs[i])
+	}
+	return payload, recs
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	payload, want := sampleRecords(t)
+	data := container(t, uint64(len(want)), 0xABCD, payload, false)
+
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := rd.Header()
+	if hdr.Count != uint64(len(want)) || hdr.Seed != 0xABCD || hdr.Version != Version {
+		t.Fatalf("header mismatch: %+v", hdr)
+	}
+	var got []Record
+	var rec Record
+	for rd.Next(&rec) {
+		got = append(got, rec)
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	payload, want := sampleRecords(t)
+	data := container(t, uint64(len(want)), 7, payload, false)
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for rd.Next(&rec) {
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Second pass over the same reader via Reset.
+	if err := rd.Reset(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rd.Next(&rec) {
+		n++
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("after Reset decoded %d records, want %d", n, len(want))
+	}
+}
+
+func TestReaderRobustness(t *testing.T) {
+	payload, recs := sampleRecords(t)
+	valid := container(t, uint64(len(recs)), 0, payload, false)
+
+	gz := func(b []byte) []byte {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(b)
+		zw.Close()
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		openErr error // expected from NewReader; nil = open succeeds
+		iterErr error // expected from Err() after draining; nil = clean
+	}{
+		{"not gzip", []byte("definitely not a gzip stream"), nil, nil},
+		{"bad magic", gz([]byte("NOPE when a header should be")), ErrBadMagic, nil},
+		{"truncated header", gz([]byte(Magic + "\x01\x00")), ErrTruncated, nil},
+		{"wrong version", func() []byte {
+			d := make([]byte, headerLen)
+			copy(d, Magic)
+			binary.LittleEndian.PutUint16(d[4:6], 99)
+			return gz(d)
+		}(), ErrBadVersion, nil},
+		{"zero instructions", container(t, 0, 0, nil, false), nil, nil},
+		{"checksum mismatch", container(t, uint64(len(recs)), 0, payload, true), nil, ErrChecksum},
+		{"truncated payload", container(t, uint64(len(recs))+3, 0, payload, false), nil, ErrTruncated},
+		{"trailing bytes", containerTrailing(t, uint64(len(recs)), 0, payload, []byte{0xAA}, false), nil, ErrTrailing},
+		{"bad class", container(t, 1, 0, appendRecord(nil, &Record{Class: NumClasses}), false), nil, ErrBadClass},
+		{"truncated mid-stream", valid[:len(valid)/2], nil, errAny},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rd, err := NewReader(bytes.NewReader(tc.data))
+			if tc.openErr != nil {
+				if !errors.Is(err, tc.openErr) {
+					t.Fatalf("NewReader err = %v, want %v", err, tc.openErr)
+				}
+				return
+			}
+			if tc.name == "not gzip" {
+				if err == nil {
+					t.Fatal("NewReader accepted non-gzip input")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			var rec Record
+			for rd.Next(&rec) {
+			}
+			if tc.iterErr == nil {
+				if err := rd.Err(); err != nil {
+					t.Fatalf("Err() = %v, want clean end", err)
+				}
+				return
+			}
+			err = rd.Err()
+			if tc.iterErr == errAny {
+				if err == nil {
+					t.Fatal("Err() = nil, want a decode error")
+				}
+				return
+			}
+			if !errors.Is(err, tc.iterErr) {
+				t.Fatalf("Err() = %v, want %v", err, tc.iterErr)
+			}
+		})
+	}
+}
+
+// FuzzReader feeds arbitrary bytes through the full decode loop: the
+// decoder must reject garbage with an error, never a panic, and must
+// never read past its record bounds.
+func FuzzReader(f *testing.F) {
+	payload, recs := sampleRecords(f)
+	f.Add(container(f, uint64(len(recs)), 1, payload, false))
+	f.Add(container(f, uint64(len(recs)), 1, payload, true))
+	f.Add(container(f, 0, 0, nil, false))
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rec Record
+		for rd.Next(&rec) {
+		}
+		_ = rd.Err()
+	})
+}

@@ -1,0 +1,134 @@
+package tracein_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracein"
+)
+
+// TestRoundTripGoldenRuns is the subsystem's end-to-end fidelity gate:
+// a synthetic workload exported to the external trace format, converted
+// back, and simulated must produce a bit-identical stats.Run to the
+// live generator — for the baseline and for predictors that lean on
+// every part of the stream (register dependences, branch outcomes, and
+// the memory image the address predictors probe through the D-cache).
+// A divergence means the format or the converter changed simulation
+// semantics, not just plumbing.
+func TestRoundTripGoldenRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 18 runs")
+	}
+	const (
+		insts = 20_000
+		seed  = 0xC0FFEE
+	)
+	predictors := map[string]spec.PredictorSpec{
+		"baseline":  {Family: spec.FamilyNone},
+		"composite": {Family: spec.FamilyComposite},
+		"eves":      {Family: spec.FamilyEVES},
+	}
+
+	for _, name := range []string{"gcc2k", "mcf", "xalancbmk"} {
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		var buf bytes.Buffer
+		if _, err := tracein.Encode(&buf, w.Build(insts)); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		rep, info, err := tracein.Convert(bytes.NewReader(buf.Bytes()), 0)
+		if err != nil {
+			t.Fatalf("%s: convert: %v", name, err)
+		}
+		if info.BackfilledBytes != 0 {
+			t.Fatalf("%s: round trip backfilled %d bytes; fill seed not carried", name, info.BackfilledBytes)
+		}
+		for label, ps := range predictors {
+			sim := spec.Sim{Predictor: ps}
+			sim.Normalize(spec.Defaults{Insts: insts})
+			mkEngine := func() cpu.Engine {
+				if sim.Predictor.Family == spec.FamilyNone {
+					return nil
+				}
+				eng, err := spec.NewEngine(sim.Predictor, insts, seed)
+				if err != nil {
+					t.Fatalf("%s/%s: engine: %v", name, label, err)
+				}
+				return eng
+			}
+			want := runOnce(w.Build(insts), name, label, mkEngine())
+			got := runOnce(rep.Cursor(), name, label, mkEngine())
+			if want != got {
+				t.Errorf("%s/%s: replayed trace diverges from live generator:\nlive   %+v\nreplay %+v",
+					name, label, want, got)
+			}
+		}
+	}
+}
+
+func runOnce(gen trace.Generator, name, label string, eng cpu.Engine) stats.Run {
+	p := cpu.Acquire(cpu.DefaultConfig(), eng)
+	defer cpu.Release(p)
+	return p.Run(gen, name, label)
+}
+
+// BenchmarkTraceinDecode measures the steady-state record decode loop —
+// the path every uploaded trace streams through — at one record per op.
+// The gate is 0 allocs/op: Record is a fixed-size value, Next reads
+// through a reused scratch buffer, and Reset reuses the gzip window and
+// the buffered reader, so per-record decode touches the heap not at
+// all (gzip's per-block table setup amortizes to zero across a file's
+// tens of thousands of records).
+func BenchmarkTraceinDecode(b *testing.B) {
+	const insts = 20_000
+	w, ok := trace.ByName("gcc2k")
+	if !ok {
+		b.Fatal("unknown workload gcc2k")
+	}
+	var buf bytes.Buffer
+	if _, err := tracein.Encode(&buf, w.Build(insts)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	br := bytes.NewReader(data)
+	rd, err := tracein.NewReader(br)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rec tracein.Record
+	// Warmup: one full pass so lazily-grown internals reach steady
+	// state before the measured region.
+	for rd.Next(&rec) {
+	}
+	if err := rd.Err(); err != nil {
+		b.Fatal(err)
+	}
+	br.Reset(data)
+	if err := rd.Reset(br); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !rd.Next(&rec) {
+			if err := rd.Err(); err != nil {
+				b.Fatal(err)
+			}
+			br.Reset(data)
+			if err := rd.Reset(br); err != nil {
+				b.Fatal(err)
+			}
+			if !rd.Next(&rec) {
+				b.Fatal("empty trace on rewind")
+			}
+		}
+	}
+}
