@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/cluster"
 	otrace "repro/internal/obs/trace"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 	"repro/internal/tenant"
 )
@@ -71,6 +72,12 @@ func main() {
 		tenantsFile   = flag.String("tenants-file", "", "JSON tenants file enabling API-key auth, quotas, and fair queueing")
 		traceCacheDir = flag.String("trace-cache-dir", "", "content-addressed recorded-trace artifact cache directory; empty = in-memory recordings only")
 
+		// Observability plane (both modes).
+		alertsFile  = flag.String("alerts-file", "", "JSON SLO alert rules evaluated over the embedded time-series store; empty disables alerting")
+		checkAlerts = flag.Bool("check-alerts", false, "validate -alerts-file and exit (0 = valid)")
+		obsScrape   = flag.Duration("obs-scrape-interval", 5*time.Second, "embedded metrics store scrape period")
+		obsRetain   = flag.Duration("obs-retention", 15*time.Minute, "embedded metrics store retention window")
+
 		// Coordinator mode.
 		clusterMode   = flag.Bool("cluster", false, "run as a sweep coordinator instead of a simulation worker")
 		workerSlots   = flag.Int("worker-slots", 4, "cluster: concurrent dispatches per worker")
@@ -92,6 +99,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *checkAlerts {
+		if *alertsFile == "" {
+			fmt.Fprintln(os.Stderr, "lvpd: -check-alerts needs -alerts-file")
+			os.Exit(2)
+		}
+		rs, err := tsdb.LoadRules(*alertsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvpd: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: %d rules ok (interval %s)\n", *alertsFile, len(rs.Rules), rs.Interval())
+		return
+	}
+	var alerts *tsdb.RuleSet
+	if *alertsFile != "" {
+		alerts, err = tsdb.LoadRules(*alertsFile)
+		if err != nil {
+			log.Error("bad alerts file", "err", err)
+			os.Exit(2)
+		}
 	}
 
 	var tenants *tenant.Registry
@@ -121,6 +150,9 @@ func main() {
 			traceCacheDir: *traceCacheDir,
 			workerAPIKey:  *workerAPIKey,
 			tenants:       tenants,
+			alerts:        alerts,
+			obsScrape:     *obsScrape,
+			obsRetain:     *obsRetain,
 		})
 		return
 	}
@@ -144,6 +176,10 @@ func main() {
 		TraceCacheDir:  *traceCacheDir,
 		Tenants:        tenants,
 		Logger:         log,
+
+		Alerts:            alerts,
+		ObsScrapeInterval: *obsScrape,
+		ObsRetention:      *obsRetain,
 	})
 	if err != nil {
 		log.Error("bad configuration", "err", err)
@@ -238,6 +274,9 @@ type coordinatorFlags struct {
 	traceCacheDir string
 	workerAPIKey  string
 	tenants       *tenant.Registry
+	alerts        *tsdb.RuleSet
+	obsScrape     time.Duration
+	obsRetain     time.Duration
 }
 
 func runCoordinator(log *slog.Logger, f coordinatorFlags) {
@@ -257,6 +296,9 @@ func runCoordinator(log *slog.Logger, f coordinatorFlags) {
 		WorkerAPIKey:       f.workerAPIKey,
 		Tenants:            f.tenants,
 		Logger:             log,
+		Alerts:             f.alerts,
+		ObsScrapeInterval:  f.obsScrape,
+		ObsRetention:       f.obsRetain,
 	})
 	if err != nil {
 		log.Error("bad configuration", "err", err)

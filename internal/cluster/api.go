@@ -28,13 +28,15 @@ import (
 //	GET    /debug/traces            recent coordinator-side traces
 //	GET    /debug/traces/{id}       one trace, merged across coordinator and workers
 //	GET    /metrics                 Prometheus-style metrics
+//	GET    /v1/metrics/query        federated range/instant queries over the fleet
+//	GET    /v1/alerts               SLO alert states (firing/pending/resolved)
 //
 // Trace propagation middleware wraps the tree, so a POST /v1/sweeps
 // carrying a traceparent header ties the whole distributed execution
 // into the submitter's trace. Tenant authentication guards the /v1/
 // surface when the coordinator runs with a tenants file.
 func (c *Coordinator) Handler() http.Handler {
-	return c.tracer.Middleware(c.authMiddleware(c.mux))
+	return c.tracer.Middleware(c.metricsMiddleware(c.authMiddleware(c.mux)))
 }
 
 // authMiddleware resolves the request's tenant and stores it in the
@@ -101,6 +103,8 @@ func (c *Coordinator) routes() {
 	c.mux.Handle("GET /debug/traces", c.tracer.IndexHandler())
 	c.mux.HandleFunc("GET /debug/traces/{id}", c.handleMergedTrace)
 	c.mux.Handle("GET /metrics", c.reg.Handler())
+	c.mux.HandleFunc("GET /v1/metrics/query", c.handleMetricsQuery)
+	c.mux.HandleFunc("GET /v1/alerts", c.handleAlerts)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -289,7 +293,7 @@ func (c *Coordinator) handleMergedTrace(w http.ResponseWriter, r *http.Request) 
 // LoggedHandler wraps the API with one structured access-log line per
 // request.
 func (c *Coordinator) LoggedHandler() http.Handler {
-	authed := c.authMiddleware(c.mux)
+	authed := c.metricsMiddleware(c.authMiddleware(c.mux))
 	return c.tracer.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		authed.ServeHTTP(w, r)

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -139,6 +140,18 @@ type Config struct {
 	// attributes sweeps. nil runs single-tenant (no key required).
 	Tenants *tenant.Registry
 
+	// ObsScrapeInterval is the federated collection period: every tick
+	// the coordinator samples its own registry and every non-drained
+	// worker's /metrics into the embedded time-series store (default
+	// 5s). ObsRetention bounds how far back range queries reach
+	// (default 15m).
+	ObsScrapeInterval time.Duration
+	ObsRetention      time.Duration
+
+	// Alerts enables SLO alerting over the federated store. nil
+	// disables evaluation; /v1/alerts then reports enabled=false.
+	Alerts *tsdb.RuleSet
+
 	// Logger receives structured coordinator logs (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -215,6 +228,12 @@ func (c *Config) applyDefaults() {
 	if c.QuarantineCooldown <= 0 {
 		c.QuarantineCooldown = 30 * time.Second
 	}
+	if c.ObsScrapeInterval <= 0 {
+		c.ObsScrapeInterval = 5 * time.Second
+	}
+	if c.ObsRetention <= 0 {
+		c.ObsRetention = 15 * time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -247,7 +266,15 @@ type Coordinator struct {
 
 	runners   sync.WaitGroup // per-point dispatch goroutines
 	probeWG   sync.WaitGroup // the health prober
+	obsWG     sync.WaitGroup // collector and alerter loops
 	accepting atomic.Bool
+
+	// Embedded observability plane: the federated time-series store,
+	// the collector feeding it (self + every worker's /metrics), and
+	// the optional SLO alerter over it.
+	tsdb      *tsdb.DB
+	collector *tsdb.Collector
+	alerter   *tsdb.Alerter
 
 	mu         sync.Mutex
 	workers    map[string]*worker // by id
@@ -279,6 +306,7 @@ type Coordinator struct {
 	mTraceShipped    *obs.Counter
 	mTraceShipFailed *obs.Counter
 	mUploads         *obs.Counter
+	mWALFsync        *obs.Histogram
 
 	// Per-tenant fan-out attribution, keyed by tenant name.
 	mTenantSweeps map[string]*obs.Counter
@@ -333,6 +361,8 @@ func New(cfg Config) (*Coordinator, error) {
 			"Trace artifact uploads that failed (the worker falls back to live generation)."),
 		mUploads: reg.Counter("lvpc_trace_uploads_total",
 			"External trace files accepted via POST /v1/workloads."),
+		mWALFsync: reg.Histogram("lvpc_wal_fsync_seconds",
+			"Group-commit fsync latency on the sweep WAL append path.", fsyncBuckets),
 
 		mTenantSweeps: make(map[string]*obs.Counter),
 		mTenantPoints: make(map[string]*obs.Counter),
@@ -353,13 +383,18 @@ func New(cfg Config) (*Coordinator, error) {
 	} else if n > 0 {
 		c.log.Info("rehydrated external trace workloads from disk", "count", n)
 	}
-	reg.GaugeFunc("lvpc_trace_artifacts_generated_total",
+	// Rendered as a counter at scrape time: artifact generations only
+	// ever accrue, and counter typing lets rate() work over them.
+	reg.CounterFunc("lvpc_trace_artifacts_generated_total",
 		"Workload streams the coordinator recorded for pre-shipping.",
 		func() float64 { return float64(c.traces.Stats().Generated) })
 	c.lifeCtx, c.lifeStop = context.WithCancel(context.Background())
+	c.initObs()
 	c.routes()
 	if cfg.DataDir != "" {
-		st, err := store.Open(cfg.DataDir, store.Options{})
+		st, err := store.Open(cfg.DataDir, store.Options{
+			WAL: store.WALOptions{FsyncObserver: c.mWALFsync.Observe},
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -402,6 +437,7 @@ func (c *Coordinator) Start() {
 	}
 	c.probeWG.Add(1)
 	go c.prober()
+	c.startObs()
 }
 
 // Shutdown stops accepting sweeps and gives in-flight points until
@@ -424,6 +460,9 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.lifeStop()
 	<-done
 	c.probeWG.Wait()
+	// The collector must stop before the store closes: a federated
+	// scrape in flight may still be observing WAL fsyncs.
+	c.obsWG.Wait()
 	if c.st != nil {
 		if cerr := c.st.Close(); cerr != nil && err == nil {
 			err = cerr

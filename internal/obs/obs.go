@@ -247,6 +247,19 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 	})
 }
 
+// CounterFunc registers a counter whose value is computed by fn at
+// scrape time. Use it for cumulative values maintained elsewhere (an
+// artifact store's hit count, say) so the exposition carries the
+// correct counter TYPE and downstream rate() works. fn must be
+// monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.lookup(name, help, "counter", Labels(labels), func(m *metric) {
+		if m.fg == nil && m.c == nil {
+			m.fg = fn
+		}
+	})
+}
+
 // Histogram registers (or fetches) a histogram with the given bucket
 // bounds (nil = DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
@@ -300,7 +313,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		for _, m := range f.series {
 			switch f.kind {
 			case "counter":
-				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.c.Value())
+				if m.fg != nil {
+					fmt.Fprintf(&b, "%s%s %g\n", f.name, m.labels, m.fg())
+				} else {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.c.Value())
+				}
 			case "gauge":
 				if m.fg != nil {
 					fmt.Fprintf(&b, "%s%s %g\n", f.name, m.labels, m.fg())

@@ -1,0 +1,325 @@
+package tsdb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Rule is one declarative SLO alert: a comparison expression over the
+// tsdb, held for ForSeconds before firing.
+type Rule struct {
+	Name       string `json:"name"`
+	Expr       string `json:"expr"`
+	ForSeconds int    `json:"for_seconds,omitempty"`
+	Severity   string `json:"severity,omitempty"` // info | warn | page
+	Summary    string `json:"summary,omitempty"`
+
+	cmp CmpExpr
+}
+
+// RuleSet is the -alerts-file document.
+type RuleSet struct {
+	IntervalSeconds int    `json:"interval_seconds,omitempty"` // evaluation cadence, default 5
+	Webhook         string `json:"webhook,omitempty"`          // optional notification POST target
+	Rules           []Rule `json:"rules"`
+}
+
+// Interval returns the evaluation cadence.
+func (rs *RuleSet) Interval() time.Duration {
+	if rs.IntervalSeconds <= 0 {
+		return 5 * time.Second
+	}
+	return time.Duration(rs.IntervalSeconds) * time.Second
+}
+
+// LoadRules reads and validates an alert rules file.
+func LoadRules(path string) (*RuleSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := ParseRules(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// ParseRules parses and validates a rules document: every rule needs a
+// unique name and a parseable comparison expression; severities are
+// constrained to the known ladder.
+func ParseRules(data []byte) (*RuleSet, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rs RuleSet
+	if err := dec.Decode(&rs); err != nil {
+		return nil, fmt.Errorf("bad alert rules: %w", err)
+	}
+	if len(rs.Rules) == 0 {
+		return nil, fmt.Errorf("alert rules file has no rules")
+	}
+	seen := make(map[string]bool, len(rs.Rules))
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		if r.Name == "" {
+			return nil, fmt.Errorf("rule %d has no name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		cmp, err := ParseCmp(r.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+		r.cmp = cmp
+		if r.ForSeconds < 0 {
+			return nil, fmt.Errorf("rule %q: for_seconds must be >= 0", r.Name)
+		}
+		switch r.Severity {
+		case "", "info", "warn", "page":
+		default:
+			return nil, fmt.Errorf("rule %q: unknown severity %q (want info, warn, or page)", r.Name, r.Severity)
+		}
+	}
+	return &rs, nil
+}
+
+// Alert lifecycle states.
+const (
+	AlertInactive = "inactive"
+	AlertPending  = "pending" // breaching, inside the for_seconds hold
+	AlertFiring   = "firing"
+	AlertResolved = "resolved"
+)
+
+// AlertStatus is one rule's externally visible state on GET /v1/alerts.
+type AlertStatus struct {
+	Name      string            `json:"name"`
+	Expr      string            `json:"expr"`
+	Severity  string            `json:"severity,omitempty"`
+	Summary   string            `json:"summary,omitempty"`
+	State     string            `json:"state"`
+	Since     time.Time         `json:"since,omitempty"`
+	Value     float64           `json:"value,omitempty"`
+	Breaching []BreachingSeries `json:"breaching,omitempty"`
+}
+
+// BreachingSeries is one label set currently violating a rule.
+type BreachingSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Notification describes a state transition handed to the log, the
+// webhook, and the in-process OnTransition hook (the flight-recorder
+// dump trigger).
+type Notification struct {
+	Rule     string    `json:"rule"`
+	State    string    `json:"state"` // firing | resolved
+	Severity string    `json:"severity,omitempty"`
+	Summary  string    `json:"summary,omitempty"`
+	Expr     string    `json:"expr"`
+	Value    float64   `json:"value"`
+	Time     time.Time `json:"time"`
+}
+
+type alertState struct {
+	state     string
+	since     time.Time
+	value     float64
+	breaching []BreachingSeries
+}
+
+// Alerter evaluates a RuleSet against a DB on a ticker and tracks
+// firing state. Evaluate is exposed with an explicit clock for
+// deterministic tests.
+type Alerter struct {
+	db      *DB
+	rules   *RuleSet
+	log     *slog.Logger
+	client  *http.Client
+	service string
+
+	// OnTransition, when set, runs synchronously on every firing or
+	// resolved transition (after logging, before the webhook).
+	OnTransition func(Notification)
+
+	mu     sync.Mutex
+	states map[string]*alertState
+	wg     sync.WaitGroup // in-flight webhook posts
+}
+
+// NewAlerter builds an alerter; rules must be pre-validated (from
+// LoadRules/ParseRules). service tags log lines and webhook payloads.
+func NewAlerter(db *DB, rules *RuleSet, log *slog.Logger, service string) *Alerter {
+	if log == nil {
+		log = slog.Default()
+	}
+	a := &Alerter{
+		db:      db,
+		rules:   rules,
+		log:     log,
+		client:  &http.Client{Timeout: 5 * time.Second},
+		service: service,
+		states:  make(map[string]*alertState, len(rules.Rules)),
+	}
+	for _, r := range rules.Rules {
+		a.states[r.Name] = &alertState{state: AlertInactive}
+	}
+	return a
+}
+
+// Evaluate runs every rule once at the given time.
+func (a *Alerter) Evaluate(now time.Time) {
+	var notify []Notification
+	a.mu.Lock()
+	for i := range a.rules.Rules {
+		r := &a.rules.Rules[i]
+		st := a.states[r.Name]
+		results := a.db.Eval(r.cmp.Expr, now)
+		var breaching []BreachingSeries
+		worst := 0.0
+		for _, res := range results {
+			if r.cmp.breached(res.Value) {
+				breaching = append(breaching, BreachingSeries{Labels: res.Labels, Value: res.Value})
+				if len(breaching) == 1 || moreExtreme(r.cmp.Op, res.Value, worst) {
+					worst = res.Value
+				}
+			}
+		}
+		st.breaching = breaching
+		if len(breaching) > 0 {
+			st.value = worst
+			switch st.state {
+			case AlertInactive, AlertResolved:
+				st.state, st.since = AlertPending, now
+				if r.ForSeconds == 0 {
+					st.state = AlertFiring
+					notify = append(notify, a.notification(r, AlertFiring, worst, now))
+				}
+			case AlertPending:
+				if now.Sub(st.since) >= time.Duration(r.ForSeconds)*time.Second {
+					st.state = AlertFiring
+					notify = append(notify, a.notification(r, AlertFiring, worst, now))
+				}
+			case AlertFiring:
+				// stay firing, value refreshed above
+			}
+		} else {
+			switch st.state {
+			case AlertPending:
+				st.state, st.since = AlertInactive, now
+			case AlertFiring:
+				st.state, st.since = AlertResolved, now
+				notify = append(notify, a.notification(r, AlertResolved, st.value, now))
+			}
+		}
+	}
+	a.mu.Unlock()
+	for _, n := range notify {
+		a.dispatch(n)
+	}
+}
+
+func moreExtreme(op string, v, cur float64) bool {
+	switch op {
+	case "<", "<=":
+		return v < cur
+	default:
+		return v > cur
+	}
+}
+
+func (a *Alerter) notification(r *Rule, state string, value float64, now time.Time) Notification {
+	return Notification{
+		Rule: r.Name, State: state, Severity: r.Severity,
+		Summary: r.Summary, Expr: r.Expr, Value: value, Time: now,
+	}
+}
+
+// dispatch logs the transition, runs the in-process hook, and posts
+// the webhook (best-effort, async).
+func (a *Alerter) dispatch(n Notification) {
+	if n.State == AlertFiring {
+		a.log.Warn("alert firing", "rule", n.Rule, "severity", n.Severity,
+			"expr", n.Expr, "value", n.Value, "summary", n.Summary)
+	} else {
+		a.log.Info("alert resolved", "rule", n.Rule, "value", n.Value)
+	}
+	if a.OnTransition != nil {
+		a.OnTransition(n)
+	}
+	if a.rules.Webhook == "" {
+		return
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		body, _ := json.Marshal(map[string]any{"service": a.service, "alert": n})
+		resp, err := a.client.Post(a.rules.Webhook, "application/json", bytes.NewReader(body))
+		if err != nil {
+			a.log.Warn("alert webhook failed", "rule", n.Rule, "err", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			a.log.Warn("alert webhook rejected", "rule", n.Rule, "status", resp.StatusCode)
+		}
+	}()
+}
+
+// Run evaluates on the rule set's cadence until ctx is canceled, then
+// waits for in-flight webhook posts.
+func (a *Alerter) Run(ctx context.Context) {
+	tick := time.NewTicker(a.rules.Interval())
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			a.wg.Wait()
+			return
+		case now := <-tick.C:
+			a.Evaluate(now)
+		}
+	}
+}
+
+// FiringCount returns the number of rules currently firing — exported
+// back into the registry as <service>_alerts_firing.
+func (a *Alerter) FiringCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, st := range a.states {
+		if st.state == AlertFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// Alerts snapshots every rule's status, sorted by name.
+func (a *Alerter) Alerts() []AlertStatus {
+	a.mu.Lock()
+	out := make([]AlertStatus, 0, len(a.rules.Rules))
+	for _, r := range a.rules.Rules {
+		st := a.states[r.Name]
+		out = append(out, AlertStatus{
+			Name: r.Name, Expr: r.Expr, Severity: r.Severity, Summary: r.Summary,
+			State: st.state, Since: st.since, Value: st.value,
+			Breaching: append([]BreachingSeries(nil), st.breaching...),
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

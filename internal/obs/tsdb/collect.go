@@ -1,0 +1,170 @@
+package tsdb
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Target is one scrape source. Key identifies it across ticks (status
+// tracking); Labels are merged into every sample it produces (the
+// federation worker label); Scrape fetches and parses one exposition.
+type Target struct {
+	Key    string
+	Labels []string
+	Scrape func(ctx context.Context) ([]Family, error)
+}
+
+// RegistryTarget scrapes a local obs registry by rendering its
+// exposition into a buffer and parsing it back — one code path with
+// remote scrapes, so federation and self-sampling behave identically.
+func RegistryTarget(key string, reg interface {
+	WriteTo(io.Writer) (int64, error)
+}, labels ...string) Target {
+	return Target{Key: key, Labels: labels, Scrape: func(ctx context.Context) ([]Family, error) {
+		var buf bytes.Buffer
+		if _, err := reg.WriteTo(&buf); err != nil {
+			return nil, err
+		}
+		return ParseExposition(&buf)
+	}}
+}
+
+// HTTPTarget scrapes a remote /metrics endpoint.
+func HTTPTarget(key, url string, client *http.Client, timeout time.Duration, labels ...string) Target {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return Target{Key: key, Labels: labels, Scrape: func(ctx context.Context) ([]Family, error) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+		}
+		return ParseExposition(io.LimitReader(resp.Body, 16<<20))
+	}}
+}
+
+// TargetStatus is one target's scrape health.
+type TargetStatus struct {
+	Key         string    `json:"key"`
+	LastScrape  time.Time `json:"last_scrape"`
+	LastSuccess time.Time `json:"last_success,omitempty"`
+	LastError   string    `json:"last_error,omitempty"`
+	Healthy     bool      `json:"healthy"`
+}
+
+// Collector periodically scrapes a dynamic target set into a DB. Each
+// tick it also synthesizes an `up{...}` series per target (1 scraped,
+// 0 failed) so staleness is queryable like any other metric.
+type Collector struct {
+	DB       *DB
+	Interval time.Duration
+	// Targets returns the current scrape set; re-evaluated each tick
+	// so workers joining or draining mid-flight are picked up.
+	Targets func() []Target
+	// OnScrape, when set, runs after each tick's scrapes — the flight
+	// recorder's sampling hook.
+	OnScrape func(now time.Time)
+
+	mu       sync.Mutex
+	statuses map[string]*TargetStatus
+}
+
+// ScrapeOnce runs one collection pass at the given time. Exposed (with
+// an explicit clock) so tests drive collection deterministically.
+func (c *Collector) ScrapeOnce(ctx context.Context, now time.Time) {
+	var targets []Target
+	if c.Targets != nil {
+		targets = c.Targets()
+	}
+	for _, t := range targets {
+		fams, err := t.Scrape(ctx)
+		up := 0.0
+		if err == nil {
+			c.DB.Append(now, fams, t.Labels...)
+			up = 1
+		}
+		c.DB.AppendSample(now, "up", up, t.Labels...)
+		c.mu.Lock()
+		if c.statuses == nil {
+			c.statuses = make(map[string]*TargetStatus)
+		}
+		st, ok := c.statuses[t.Key]
+		if !ok {
+			st = &TargetStatus{Key: t.Key}
+			c.statuses[t.Key] = st
+		}
+		st.LastScrape = now
+		st.Healthy = err == nil
+		if err == nil {
+			st.LastSuccess = now
+			st.LastError = ""
+		} else {
+			st.LastError = err.Error()
+		}
+		c.mu.Unlock()
+	}
+	if c.OnScrape != nil {
+		c.OnScrape(now)
+	}
+}
+
+// Run scrapes on a ticker until ctx is canceled.
+func (c *Collector) Run(ctx context.Context) {
+	iv := c.Interval
+	if iv <= 0 {
+		iv = c.DB.Options().ScrapeInterval
+	}
+	tick := time.NewTicker(iv)
+	defer tick.Stop()
+	c.ScrapeOnce(ctx, time.Now())
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			c.ScrapeOnce(ctx, now)
+		}
+	}
+}
+
+// Statuses returns every known target's scrape health, sorted by key.
+func (c *Collector) Statuses() []TargetStatus {
+	c.mu.Lock()
+	out := make([]TargetStatus, 0, len(c.statuses))
+	for _, st := range c.statuses {
+		out = append(out, *st)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// StatusByKey returns one target's scrape health.
+func (c *Collector) StatusByKey(key string) (TargetStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.statuses[key]
+	if !ok {
+		return TargetStatus{}, false
+	}
+	return *st, true
+}

@@ -1,0 +1,528 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The query grammar is a deliberately small subset of PromQL:
+//
+//	expr     = selector                      latest point (staleness-bounded)
+//	         | "rate"  "(" selector window ")"     per-second counter rate
+//	         | "avg"   "(" selector window ")"     over-time aggregates
+//	         | "max"   "(" selector window ")"
+//	         | "min"   "(" selector window ")"
+//	         | "sum"   "(" selector window ")"
+//	         | "quantile" "(" q "," selector window ")"  histogram quantile
+//	selector = name [ "{" k=\"v\" {"," k=\"v\"} "}" ]
+//	window   = "[" duration "]"              e.g. [30s], [5m]
+//
+// rate() is counter-reset aware (a decrease restarts accumulation from
+// the post-reset value, as in Prometheus). quantile() takes the
+// histogram family name and estimates the q-quantile from per-bucket
+// increases over the window using Prometheus' linear interpolation
+// within the owning bucket. Alert rules extend expr with a comparison:
+// `expr op number` where op is one of > >= < <= == !=.
+
+// Expr is a parsed query expression.
+type Expr struct {
+	Fn       string // "", "rate", "avg", "max", "min", "sum", "quantile"
+	Q        float64
+	Metric   string
+	Matchers []Matcher
+	Window   time.Duration
+}
+
+// String re-renders the expression canonically.
+func (e Expr) String() string {
+	var b strings.Builder
+	if e.Fn != "" {
+		b.WriteString(e.Fn)
+		b.WriteByte('(')
+		if e.Fn == "quantile" {
+			fmt.Fprintf(&b, "%g, ", e.Q)
+		}
+	}
+	b.WriteString(e.Metric)
+	if len(e.Matchers) > 0 {
+		b.WriteByte('{')
+		for i, m := range e.Matchers {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", m.Key, m.Val)
+		}
+		b.WriteByte('}')
+	}
+	if e.Window > 0 {
+		fmt.Fprintf(&b, "[%s]", e.Window)
+	}
+	if e.Fn != "" {
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// CmpExpr is an expression compared against a threshold — the alert
+// rule form.
+type CmpExpr struct {
+	Expr      Expr
+	Op        string
+	Threshold float64
+}
+
+func (c CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %g", c.Expr, c.Op, c.Threshold)
+}
+
+// breached reports whether value v violates the comparison.
+func (c CmpExpr) breached(v float64) bool {
+	switch c.Op {
+	case ">":
+		return v > c.Threshold
+	case ">=":
+		return v >= c.Threshold
+	case "<":
+		return v < c.Threshold
+	case "<=":
+		return v <= c.Threshold
+	case "==":
+		return v == c.Threshold
+	case "!=":
+		return v != c.Threshold
+	}
+	return false
+}
+
+type exprParser struct {
+	s   string
+	pos int
+}
+
+// ParseExpr parses a query expression.
+func ParseExpr(s string) (Expr, error) {
+	p := &exprParser{s: s}
+	e, err := p.expr()
+	if err != nil {
+		return Expr{}, err
+	}
+	p.ws()
+	if p.pos != len(p.s) {
+		return Expr{}, fmt.Errorf("trailing input %q in expression %q", p.s[p.pos:], s)
+	}
+	return e, nil
+}
+
+// ParseCmp parses `expr op number` (the alert rule grammar).
+func ParseCmp(s string) (CmpExpr, error) {
+	p := &exprParser{s: s}
+	e, err := p.expr()
+	if err != nil {
+		return CmpExpr{}, err
+	}
+	p.ws()
+	op := ""
+	for _, cand := range []string{">=", "<=", "==", "!=", ">", "<"} {
+		if strings.HasPrefix(p.s[p.pos:], cand) {
+			op = cand
+			p.pos += len(cand)
+			break
+		}
+	}
+	if op == "" {
+		return CmpExpr{}, fmt.Errorf("alert expression %q needs a comparison (> >= < <= == !=)", s)
+	}
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.s) && !isSpace(p.s[p.pos]) {
+		p.pos++
+	}
+	th, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+	if err != nil {
+		return CmpExpr{}, fmt.Errorf("bad threshold %q in %q", p.s[start:p.pos], s)
+	}
+	p.ws()
+	if p.pos != len(p.s) {
+		return CmpExpr{}, fmt.Errorf("trailing input %q in %q", p.s[p.pos:], s)
+	}
+	return CmpExpr{Expr: e, Op: op, Threshold: th}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' }
+
+func (p *exprParser) ws() {
+	for p.pos < len(p.s) && isSpace(p.s[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *exprParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(p.pos > start && c >= '0' && c <= '9')
+		if !ok {
+			break
+		}
+		p.pos++
+	}
+	return p.s[start:p.pos]
+}
+
+func (p *exprParser) expect(c byte) error {
+	p.ws()
+	if p.pos >= len(p.s) || p.s[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d in %q", string(c), p.pos, p.s)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *exprParser) expr() (Expr, error) {
+	p.ws()
+	id := p.ident()
+	if id == "" {
+		return Expr{}, fmt.Errorf("expected metric name or function at offset %d in %q", p.pos, p.s)
+	}
+	switch id {
+	case "rate", "avg", "max", "min", "sum", "quantile":
+		// Function application only when followed by '(' — a metric
+		// could not legally be named one of these anyway (too short
+		// for our conventions), but be precise.
+		save := p.pos
+		p.ws()
+		if p.pos < len(p.s) && p.s[p.pos] == '(' {
+			p.pos++
+			return p.call(id)
+		}
+		p.pos = save
+	}
+	return p.selector(id, false)
+}
+
+func (p *exprParser) call(fn string) (Expr, error) {
+	e := Expr{Fn: fn}
+	if fn == "quantile" {
+		p.ws()
+		start := p.pos
+		for p.pos < len(p.s) && (p.s[p.pos] == '.' || (p.s[p.pos] >= '0' && p.s[p.pos] <= '9')) {
+			p.pos++
+		}
+		q, err := strconv.ParseFloat(p.s[start:p.pos], 64)
+		if err != nil || q < 0 || q > 1 {
+			return Expr{}, fmt.Errorf("quantile argument must be a number in [0,1] at offset %d in %q", start, p.s)
+		}
+		e.Q = q
+		if err := p.expect(','); err != nil {
+			return Expr{}, err
+		}
+	}
+	p.ws()
+	id := p.ident()
+	if id == "" {
+		return Expr{}, fmt.Errorf("expected metric name at offset %d in %q", p.pos, p.s)
+	}
+	sel, err := p.selector(id, true)
+	if err != nil {
+		return Expr{}, err
+	}
+	e.Metric, e.Matchers, e.Window = sel.Metric, sel.Matchers, sel.Window
+	if err := p.expect(')'); err != nil {
+		return Expr{}, err
+	}
+	return e, nil
+}
+
+// selector parses the matchers and (when needWindow) the [duration]
+// range suffix after a metric name.
+func (p *exprParser) selector(name string, needWindow bool) (Expr, error) {
+	e := Expr{Metric: name}
+	p.ws()
+	if p.pos < len(p.s) && p.s[p.pos] == '{' {
+		end := strings.IndexByte(p.s[p.pos:], '}')
+		if end < 0 {
+			return Expr{}, fmt.Errorf("unterminated matcher set in %q", p.s)
+		}
+		inner := p.s[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		if strings.TrimSpace(inner) != "" {
+			pairs, err := parseLabels(inner)
+			if err != nil {
+				return Expr{}, err
+			}
+			for i := 0; i+1 < len(pairs); i += 2 {
+				e.Matchers = append(e.Matchers, Matcher{Key: pairs[i], Val: pairs[i+1]})
+			}
+		}
+		p.ws()
+	}
+	if p.pos < len(p.s) && p.s[p.pos] == '[' {
+		end := strings.IndexByte(p.s[p.pos:], ']')
+		if end < 0 {
+			return Expr{}, fmt.Errorf("unterminated window in %q", p.s)
+		}
+		d, err := time.ParseDuration(p.s[p.pos+1 : p.pos+end])
+		if err != nil || d <= 0 {
+			return Expr{}, fmt.Errorf("bad window %q in %q", p.s[p.pos+1:p.pos+end], p.s)
+		}
+		e.Window = d
+		p.pos += end + 1
+	}
+	if needWindow && e.Window == 0 {
+		return Expr{}, fmt.Errorf("function over %q needs a [window] in %q", name, p.s)
+	}
+	if !needWindow && e.Window != 0 {
+		return Expr{}, fmt.Errorf("bare selector %q cannot take a window (wrap it in a function) in %q", name, p.s)
+	}
+	return e, nil
+}
+
+// InstantResult is one series' value at an instant.
+type InstantResult struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// SeriesResult is one series' values over a range query.
+type SeriesResult struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
+}
+
+// Eval evaluates e at instant `at`. Series with no usable data in the
+// window (or past the staleness lookback, for bare selectors) are
+// omitted. Results are sorted by label set.
+func (db *DB) Eval(e Expr, at time.Time) []InstantResult {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	type keyed struct {
+		key string
+		r   InstantResult
+	}
+	var out []keyed
+	t := at.UnixMilli()
+	switch e.Fn {
+	case "quantile":
+		for _, g := range db.bucketGroupsLocked(e, t) {
+			if v, ok := bucketQuantile(e.Q, g.buckets); ok {
+				out = append(out, keyed{renderLabels(g.labels), InstantResult{labelMap(g.labels), v}})
+			}
+		}
+	default:
+		for _, s := range db.selectLocked(e.Metric, e.Matchers) {
+			if v, ok := evalSeries(e, s, t, db.opt.Lookback); ok {
+				out = append(out, keyed{renderLabels(s.labels), InstantResult{labelMap(s.labels), v}})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	res := make([]InstantResult, len(out))
+	for i, k := range out {
+		res[i] = k.r
+	}
+	return res
+}
+
+// EvalRange evaluates e at each step in [start, end], producing one
+// point series per matched label set.
+func (db *DB) EvalRange(e Expr, start, end time.Time, step time.Duration) []SeriesResult {
+	if step <= 0 {
+		step = db.opt.ScrapeInterval
+	}
+	acc := make(map[string]*SeriesResult)
+	var order []string
+	for t := start; !t.After(end); t = t.Add(step) {
+		for _, r := range db.Eval(e, t) {
+			key := renderLabels(flattenLabels(r.Labels))
+			sr, ok := acc[key]
+			if !ok {
+				sr = &SeriesResult{Labels: r.Labels}
+				acc[key] = sr
+				order = append(order, key)
+			}
+			sr.Points = append(sr.Points, Point{T: t.UnixMilli(), V: r.Value})
+		}
+	}
+	sort.Strings(order)
+	out := make([]SeriesResult, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	return out
+}
+
+func flattenLabels(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		out = append(out, k, m[k])
+	}
+	return out
+}
+
+// evalSeries evaluates a non-quantile expression over one series at
+// unix-milli t.
+func evalSeries(e Expr, s *series, t int64, lookback time.Duration) (float64, bool) {
+	if e.Fn == "" {
+		p, ok := s.last(t-lookback.Milliseconds(), t)
+		return p.V, ok
+	}
+	pts := s.pointsIn(t-e.Window.Milliseconds(), t, nil)
+	switch e.Fn {
+	case "rate":
+		inc, ok := increase(pts)
+		if !ok {
+			return 0, false
+		}
+		return inc / e.Window.Seconds(), true
+	case "avg", "sum", "max", "min":
+		if len(pts) == 0 {
+			return 0, false
+		}
+		sum, mx, mn := 0.0, pts[0].V, pts[0].V
+		for _, p := range pts {
+			sum += p.V
+			mx = math.Max(mx, p.V)
+			mn = math.Min(mn, p.V)
+		}
+		switch e.Fn {
+		case "avg":
+			return sum / float64(len(pts)), true
+		case "sum":
+			return sum, true
+		case "max":
+			return mx, true
+		default:
+			return mn, true
+		}
+	}
+	return 0, false
+}
+
+// increase sums the positive deltas across pts, treating a decrease as
+// a counter reset (the post-reset value counts in full, as the counter
+// restarted from zero). Needs at least two points.
+func increase(pts []Point) (float64, bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	inc := 0.0
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].V - pts[i-1].V
+		if d >= 0 {
+			inc += d
+		} else {
+			inc += pts[i].V
+		}
+	}
+	return inc, true
+}
+
+// bucketGroup is one histogram instance: the label set minus `le`, and
+// the per-bucket increase over the window keyed by upper bound.
+type bucketGroup struct {
+	labels  []string
+	buckets []bucketInc
+}
+
+type bucketInc struct {
+	le  float64
+	inc float64
+}
+
+// bucketGroupsLocked gathers `<metric>_bucket` series matching e,
+// groups them by label set (minus le), and computes each bucket's
+// increase over the window ending at t. Caller holds db.mu.
+func (db *DB) bucketGroupsLocked(e Expr, t int64) []bucketGroup {
+	groups := make(map[string]*bucketGroup)
+	var order []string
+	for _, s := range db.selectLocked(e.Metric+"_bucket", e.Matchers) {
+		var le string
+		rest := make([]string, 0, len(s.labels))
+		for i := 0; i+1 < len(s.labels); i += 2 {
+			if s.labels[i] == "le" {
+				le = s.labels[i+1]
+				continue
+			}
+			rest = append(rest, s.labels[i], s.labels[i+1])
+		}
+		bound, err := parseBound(le)
+		if err != nil {
+			continue
+		}
+		pts := s.pointsIn(t-e.Window.Milliseconds(), t, nil)
+		inc, ok := increase(pts)
+		if !ok {
+			continue
+		}
+		key := renderLabels(rest)
+		g, exists := groups[key]
+		if !exists {
+			g = &bucketGroup{labels: rest}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.buckets = append(g.buckets, bucketInc{le: bound, inc: inc})
+	}
+	out := make([]bucketGroup, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		sort.Slice(g.buckets, func(i, j int) bool { return g.buckets[i].le < g.buckets[j].le })
+		out = append(out, *g)
+	}
+	return out
+}
+
+func parseBound(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(le, 64)
+}
+
+// bucketQuantile estimates the q-quantile from cumulative per-bucket
+// increases, Prometheus histogram_quantile style: find the bucket
+// holding the q*total-th observation and interpolate linearly between
+// its bounds (the lowest bucket interpolates from zero; the +Inf
+// bucket answers with the highest finite bound).
+func bucketQuantile(q float64, buckets []bucketInc) (float64, bool) {
+	// Without a +Inf bucket the total is unknown; exposition always
+	// carries one.
+	if len(buckets) == 0 || !math.IsInf(buckets[len(buckets)-1].le, 1) {
+		return 0, false
+	}
+	total := buckets[len(buckets)-1].inc
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	prevCum, prevBound := 0.0, 0.0
+	for i, b := range buckets {
+		if b.inc >= rank || i == len(buckets)-1 {
+			if math.IsInf(b.le, 1) {
+				return prevBound, true
+			}
+			width := b.le - prevBound
+			span := b.inc - prevCum
+			if span <= 0 || width <= 0 {
+				return b.le, true
+			}
+			return prevBound + width*(rank-prevCum)/span, true
+		}
+		prevCum, prevBound = b.inc, b.le
+	}
+	return 0, false
+}

@@ -1,0 +1,95 @@
+package tsdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LintIssue is one metrics-conventions violation.
+type LintIssue struct {
+	Family  string
+	Problem string
+}
+
+func (i LintIssue) String() string {
+	return fmt.Sprintf("%s: %s", i.Family, i.Problem)
+}
+
+// LintOptions tunes the linter.
+type LintOptions struct {
+	// MaxSeriesPerFamily flags label-cardinality blowups (0 = default
+	// 512). The obs registry has its own global cap; this catches a
+	// single family eating most of it.
+	MaxSeriesPerFamily int
+}
+
+// Lint checks parsed exposition families against the repo's metric
+// naming conventions (a practical subset of Prometheus' own rules):
+//
+//   - metric and label names must be well-formed
+//   - counters end in _total; gauges and histograms must not
+//   - histograms carry a base unit suffix (_seconds or _bytes)
+//   - every typed family has HELP text
+//   - no duplicate series within a family
+//   - no family exceeds the per-family series cap
+func Lint(fams []Family, opt LintOptions) []LintIssue {
+	maxSeries := opt.MaxSeriesPerFamily
+	if maxSeries <= 0 {
+		maxSeries = 512
+	}
+	var issues []LintIssue
+	add := func(fam, format string, args ...any) {
+		issues = append(issues, LintIssue{Family: fam, Problem: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range fams {
+		if !validMetricName(f.Name) {
+			add(f.Name, "invalid metric name")
+			continue
+		}
+		switch f.Kind {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				add(f.Name, "counter must end in _total")
+			}
+		case "gauge":
+			if strings.HasSuffix(f.Name, "_total") {
+				add(f.Name, "gauge must not end in _total (reserved for counters)")
+			}
+		case "histogram":
+			if strings.HasSuffix(f.Name, "_total") {
+				add(f.Name, "histogram must not end in _total (reserved for counters)")
+			}
+			if !strings.HasSuffix(f.Name, "_seconds") && !strings.HasSuffix(f.Name, "_bytes") {
+				add(f.Name, "histogram needs a base unit suffix (_seconds or _bytes)")
+			}
+		case "untyped":
+			add(f.Name, "family has no TYPE line")
+		}
+		if f.Help == "" && f.Kind != "untyped" {
+			add(f.Name, "family has no HELP text")
+		}
+		seen := make(map[string]bool, len(f.Samples))
+		nSeries := 0
+		for _, s := range f.Samples {
+			for i := 0; i+1 < len(s.Labels); i += 2 {
+				if !validLabelName(s.Labels[i]) {
+					add(f.Name, "invalid label name %q", s.Labels[i])
+				}
+			}
+			key := s.Name + renderLabels(s.Labels)
+			if seen[key] {
+				add(f.Name, "duplicate series %s", key)
+			}
+			seen[key] = true
+			// Histogram bucket lines are one series per le; count
+			// series at the instance granularity (_count lines).
+			if f.Kind != "histogram" || strings.HasSuffix(s.Name, "_count") {
+				nSeries++
+			}
+		}
+		if nSeries > maxSeries {
+			add(f.Name, "label cardinality blowup: %d series (cap %d)", nSeries, maxSeries)
+		}
+	}
+	return issues
+}

@@ -1,0 +1,252 @@
+package tsdb
+
+import (
+	"sync"
+	"time"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultScrapeInterval = 5 * time.Second
+	DefaultRetention      = 15 * time.Minute
+	DefaultMaxSeries      = 8192
+	DefaultLookback       = 5 * time.Minute
+)
+
+// Options configures a DB.
+type Options struct {
+	// ScrapeInterval is the expected sampling cadence. It sizes the
+	// per-series ring (Retention/ScrapeInterval points) and is the
+	// collector's default ticker period.
+	ScrapeInterval time.Duration
+	// Retention is the window of history each series keeps. Older
+	// points fall off the ring as new ones arrive.
+	Retention time.Duration
+	// MaxSeries caps distinct series (the label-cardinality bound).
+	// Past the cap new series are dropped and counted, mirroring the
+	// obs registry's own cap.
+	MaxSeries int
+	// Lookback bounds how stale a point may be and still answer an
+	// instant query, Prometheus-style staleness.
+	Lookback time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ScrapeInterval <= 0 {
+		o.ScrapeInterval = DefaultScrapeInterval
+	}
+	if o.Retention <= 0 {
+		o.Retention = DefaultRetention
+	}
+	if o.MaxSeries <= 0 {
+		o.MaxSeries = DefaultMaxSeries
+	}
+	if o.Lookback <= 0 {
+		o.Lookback = DefaultLookback
+	}
+	return o
+}
+
+// Point is one sample: unix-millisecond timestamp and value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// series is one stored time series: identity plus a fixed-capacity
+// ring of points in append order.
+type series struct {
+	name   string
+	labels []string // sorted flat pairs
+	ring   []Point
+	head   int // next write slot
+	count  int // filled slots, <= len(ring)
+}
+
+func (s *series) push(p Point) {
+	s.ring[s.head] = p
+	s.head = (s.head + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+}
+
+// pointsIn appends the series' points with from <= T <= to, oldest
+// first, to dst. Windows are closed on both ends: with coarse scrape
+// cadences the sample landing exactly on the window edge must count,
+// or a [1×interval] window never holds two points.
+func (s *series) pointsIn(from, to int64, dst []Point) []Point {
+	start := s.head - s.count
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.count; i++ {
+		p := s.ring[(start+i)%len(s.ring)]
+		if p.T >= from && p.T <= to {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// last returns the newest point with T in [from, to].
+func (s *series) last(from, to int64) (Point, bool) {
+	start := s.head - s.count
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := s.count - 1; i >= 0; i-- {
+		p := s.ring[(start+i)%len(s.ring)]
+		if p.T <= to {
+			if p.T >= from {
+				return p, true
+			}
+			return Point{}, false // points only get older from here
+		}
+	}
+	return Point{}, false
+}
+
+// DB is the embedded time-series store: a map from series identity
+// (name + sorted labels) to a fixed-size point ring. All methods are
+// safe for concurrent use.
+type DB struct {
+	mu      sync.Mutex
+	opt     Options
+	cap     int // ring capacity per series
+	series  map[string]*series
+	order   []string
+	dropped uint64
+}
+
+// New returns an empty DB.
+func New(opt Options) *DB {
+	opt = opt.withDefaults()
+	n := int(opt.Retention/opt.ScrapeInterval) + 1
+	if n < 2 {
+		n = 2
+	}
+	return &DB{opt: opt, cap: n, series: make(map[string]*series)}
+}
+
+// Options returns the DB's effective (defaulted) options.
+func (db *DB) Options() Options { return db.opt }
+
+// Append records every sample in fams at time now, with extra label
+// pairs (e.g. worker="w-001") merged into each sample's label set.
+// This is the federation hook: the same worker exposition lands under
+// distinct series per worker label.
+func (db *DB) Append(now time.Time, fams []Family, extra ...string) {
+	t := now.UnixMilli()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			db.appendLocked(t, s.Name, s.Value, mergeLabels(s.Labels, extra))
+		}
+	}
+}
+
+// AppendSample records a single point (labels need not be sorted).
+// Used for synthesized series like the collector's up{...}.
+func (db *DB) AppendSample(now time.Time, name string, value float64, labels ...string) {
+	ls := append([]string(nil), labels...)
+	sortLabelPairs(ls)
+	db.mu.Lock()
+	db.appendLocked(now.UnixMilli(), name, value, ls)
+	db.mu.Unlock()
+}
+
+func (db *DB) appendLocked(t int64, name string, value float64, labels []string) {
+	key := name + renderLabels(labels)
+	s, ok := db.series[key]
+	if !ok {
+		if len(db.series) >= db.opt.MaxSeries {
+			db.dropped++
+			return
+		}
+		s = &series{name: name, labels: labels, ring: make([]Point, db.cap)}
+		db.series[key] = s
+		db.order = append(db.order, key)
+	}
+	s.push(Point{T: t, V: value})
+}
+
+// mergeLabels merges extra (unsorted pairs) into base (sorted pairs),
+// returning a new sorted slice. Extra pairs win on key collision is
+// not needed here — scraped payloads never carry the federation label
+// — so duplicates are simply both kept if they ever occur.
+func mergeLabels(base, extra []string) []string {
+	if len(extra) == 0 {
+		return base
+	}
+	out := make([]string, 0, len(base)+len(extra))
+	out = append(out, base...)
+	out = append(out, extra...)
+	sortLabelPairs(out)
+	return out
+}
+
+// SeriesCount returns the number of distinct stored series.
+func (db *DB) SeriesCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.series)
+}
+
+// DroppedSeries returns how many appends were rejected by the
+// cardinality cap.
+func (db *DB) DroppedSeries() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.dropped
+}
+
+// Matcher is one label equality constraint in a selector.
+type Matcher struct {
+	Key string
+	Val string
+}
+
+// matches reports whether the series' sorted label pairs satisfy every
+// matcher (subset semantics: extra series labels are fine).
+func matches(labels []string, ms []Matcher) bool {
+	for _, m := range ms {
+		found := false
+		for i := 0; i+1 < len(labels); i += 2 {
+			if labels[i] == m.Key && labels[i+1] == m.Val {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// selectSeries returns matching series in insertion order. Caller
+// holds db.mu.
+func (db *DB) selectLocked(name string, ms []Matcher) []*series {
+	var out []*series
+	for _, key := range db.order {
+		s := db.series[key]
+		if s.name == name && matches(s.labels, ms) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// labelMap converts sorted flat pairs to a map for JSON responses.
+func labelMap(pairs []string) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}

@@ -1,0 +1,572 @@
+package tsdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func newTestDB() *DB {
+	return New(Options{ScrapeInterval: time.Second, Retention: 10 * time.Minute})
+}
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestParseExposition(t *testing.T) {
+	input := `# HELP lvpd_jobs_total Jobs by terminal state.
+# TYPE lvpd_jobs_total counter
+lvpd_jobs_total{state="done"} 12
+lvpd_jobs_total{state="failed"} 3
+# TYPE lvpd_queue_depth gauge
+lvpd_queue_depth 5
+# HELP lvpd_http_request_duration_seconds HTTP latency.
+# TYPE lvpd_http_request_duration_seconds histogram
+lvpd_http_request_duration_seconds_bucket{route="/v1/jobs",le="0.1"} 4
+lvpd_http_request_duration_seconds_bucket{route="/v1/jobs",le="+Inf"} 6
+lvpd_http_request_duration_seconds_sum{route="/v1/jobs"} 1.25
+lvpd_http_request_duration_seconds_count{route="/v1/jobs"} 6
+untyped_thing 1 1700000000000
+`
+	fams, err := ParseExposition(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	jt := byName["lvpd_jobs_total"]
+	if jt.Kind != "counter" || len(jt.Samples) != 2 {
+		t.Fatalf("lvpd_jobs_total = %+v", jt)
+	}
+	if jt.Help != "Jobs by terminal state." {
+		t.Fatalf("help = %q", jt.Help)
+	}
+	if jt.Samples[0].Labels[0] != "state" || jt.Samples[0].Labels[1] != "done" {
+		t.Fatalf("labels = %v", jt.Samples[0].Labels)
+	}
+	h := byName["lvpd_http_request_duration_seconds"]
+	if h.Kind != "histogram" || len(h.Samples) != 4 {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	for _, s := range h.Samples {
+		if !strings.HasPrefix(s.Name, "lvpd_http_request_duration_seconds") {
+			t.Fatalf("histogram sample in wrong family: %q", s.Name)
+		}
+	}
+	if byName["untyped_thing"].Kind != "untyped" {
+		t.Fatalf("untyped family = %+v", byName["untyped_thing"])
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	cases := []string{
+		"metric",                        // no value
+		"metric{a=\"b\" 1",              // unterminated labels
+		"metric{a=b} 1",                 // unquoted value
+		"metric nope",                   // bad value
+		"1metric 2",                     // bad name
+		"# TYPE m frobnicator\nm 1",     // unknown type
+		"metric{a=\"b\"} 1 not-a-stamp", // bad timestamp
+	}
+	for _, c := range cases {
+		if _, err := ParseExposition(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseExposition(%q) = nil error, want failure", c)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	input := `# HELP a_total Things.
+# TYPE a_total counter
+a_total{q="x \"quoted\" \\ back",z="2"} 7
+# TYPE b_seconds histogram
+b_seconds_bucket{le="0.5"} 1
+b_seconds_bucket{le="+Inf"} 2
+b_seconds_sum 3.5
+b_seconds_count 2
+`
+	fams, err := ParseExposition(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var buf strings.Builder
+	if err := RenderExposition(&buf, fams); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	again, err := ParseExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("reparse rendered output: %v\n%s", err, buf.String())
+	}
+	if fmt.Sprintf("%+v", fams) != fmt.Sprintf("%+v", again) {
+		t.Fatalf("round trip diverged:\n%+v\nvs\n%+v", fams, again)
+	}
+}
+
+func TestParseExprTable(t *testing.T) {
+	good := map[string]string{
+		"lvpd_queue_depth":                                       "lvpd_queue_depth",
+		`lvpd_jobs_total{state="failed"}`:                        `lvpd_jobs_total{state="failed"}`,
+		"rate(lvpd_jobs_total[5m])":                              "rate(lvpd_jobs_total[5m0s])",
+		`rate(lvpd_jobs_total{state="done"}[90s])`:               `rate(lvpd_jobs_total{state="done"}[1m30s])`,
+		"avg( lvpd_queue_depth [60s] )":                          "avg(lvpd_queue_depth[1m0s])",
+		"quantile(0.99, lvpd_http_request_duration_seconds[5m])": "quantile(0.99, lvpd_http_request_duration_seconds[5m0s])",
+		"max(up[30s])":                                           "max(up[30s])",
+	}
+	for in, want := range good {
+		e, err := ParseExpr(in)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", in, err)
+			continue
+		}
+		if e.String() != want {
+			t.Errorf("ParseExpr(%q).String() = %q, want %q", in, e.String(), want)
+		}
+	}
+	bad := []string{
+		"",
+		"rate(lvpd_jobs_total)",     // missing window
+		"lvpd_jobs_total[5m]",       // bare selector with window
+		"rate(lvpd_jobs_total[5m]",  // unterminated call
+		"quantile(1.5, h[5m])",      // q out of range
+		"quantile(h[5m])",           // missing q
+		"rate(lvpd_jobs_total[0s])", // zero window
+		"frobnicate(lvpd_jobs[5m])", // unknown fn parses as selector; trailing junk
+		`m{a="b"} extra`,            // trailing input
+		`m{a=}`,                     // bad matcher
+	}
+	for _, in := range bad {
+		if _, err := ParseExpr(in); err == nil {
+			t.Errorf("ParseExpr(%q) = nil error, want failure", in)
+		}
+	}
+}
+
+func TestParseCmp(t *testing.T) {
+	c, err := ParseCmp("avg(lvpd_queue_depth[60s]) > 48")
+	if err != nil {
+		t.Fatalf("ParseCmp: %v", err)
+	}
+	if c.Op != ">" || c.Threshold != 48 {
+		t.Fatalf("cmp = %+v", c)
+	}
+	if !c.breached(49) || c.breached(48) {
+		t.Fatalf("breached semantics wrong")
+	}
+	for _, bad := range []string{"lvpd_queue_depth", "lvpd_queue_depth > ", "lvpd_queue_depth > x", "a > 1 zz"} {
+		if _, err := ParseCmp(bad); err == nil {
+			t.Errorf("ParseCmp(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+// TestRateHandComputed pins rate() against a hand-computed series:
+// counter at 0, 100, 250 over 20s → increase 250, rate 12.5/s. With a
+// mid-window reset (0, 100, 30) the post-reset value counts in full:
+// increase 130, rate 6.5/s.
+func TestRateHandComputed(t *testing.T) {
+	db := newTestDB()
+	db.AppendSample(t0, "c_total", 0)
+	db.AppendSample(t0.Add(10*time.Second), "c_total", 100)
+	db.AppendSample(t0.Add(20*time.Second), "c_total", 250)
+
+	e, err := ParseExpr("rate(c_total[20s])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.Eval(e, t0.Add(20*time.Second))
+	if len(res) != 1 || !almostEqual(res[0].Value, 12.5) {
+		t.Fatalf("rate = %+v, want 12.5", res)
+	}
+
+	db.AppendSample(t0, "r_total", 0)
+	db.AppendSample(t0.Add(10*time.Second), "r_total", 100)
+	db.AppendSample(t0.Add(20*time.Second), "r_total", 30) // reset
+	e2, _ := ParseExpr("rate(r_total[20s])")
+	res = db.Eval(e2, t0.Add(20*time.Second))
+	if len(res) != 1 || !almostEqual(res[0].Value, 6.5) {
+		t.Fatalf("reset-aware rate = %+v, want 6.5", res)
+	}
+
+	// A single point in the window is not enough to compute a rate.
+	db.AppendSample(t0, "one_total", 5)
+	e3, _ := ParseExpr("rate(one_total[20s])")
+	if res := db.Eval(e3, t0.Add(5*time.Second)); len(res) != 0 {
+		t.Fatalf("single-point rate = %+v, want no result", res)
+	}
+}
+
+// TestQuantileHandComputed pins histogram quantile estimation: bucket
+// increases 10 (le 0.1), 30 (le 0.5), 40 (le 1), 40 (+Inf) → total 40.
+// p50: rank 20, owning bucket (0.1, 0.5], interpolated
+// 0.1 + 0.4*(20-10)/(30-10) = 0.3. p95: rank 38, owning bucket
+// (0.5, 1]: 0.5 + 0.5*(38-30)/(40-30) = 0.9. p25: rank 10, first
+// bucket interpolates from 0: 0.1*10/10 = 0.1.
+func TestQuantileHandComputed(t *testing.T) {
+	db := newTestDB()
+	add := func(at time.Time, le string, v float64) {
+		db.AppendSample(at, "lat_seconds_bucket", v, "le", le)
+	}
+	// Cumulative bucket counts at t0 (all zero) and t0+60s.
+	for _, le := range []string{"0.1", "0.5", "1", "+Inf"} {
+		add(t0, le, 0)
+	}
+	add(t0.Add(time.Minute), "0.1", 10)
+	add(t0.Add(time.Minute), "0.5", 30)
+	add(t0.Add(time.Minute), "1", 40)
+	add(t0.Add(time.Minute), "+Inf", 40)
+
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 0.3},
+		{0.95, 0.9},
+		{0.25, 0.1},
+	} {
+		e, err := ParseExpr(fmt.Sprintf("quantile(%g, lat_seconds[60s])", tc.q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := db.Eval(e, t0.Add(time.Minute))
+		if len(res) != 1 || !almostEqual(res[0].Value, tc.want) {
+			t.Fatalf("quantile(%g) = %+v, want %g", tc.q, res, tc.want)
+		}
+	}
+
+	// Rank beyond the last finite bucket answers the highest finite
+	// bound (observations past it are unbounded).
+	add(t0.Add(2*time.Minute), "0.1", 10)
+	add(t0.Add(2*time.Minute), "0.5", 30)
+	add(t0.Add(2*time.Minute), "1", 40)
+	add(t0.Add(2*time.Minute), "+Inf", 50) // 10 observations above 1s
+	e, _ := ParseExpr("quantile(0.99, lat_seconds[60s])")
+	res := db.Eval(e, t0.Add(2*time.Minute))
+	if len(res) != 1 || !almostEqual(res[0].Value, 1) {
+		t.Fatalf("overflow quantile = %+v, want 1", res)
+	}
+}
+
+// TestQuantileGroupsByInstance checks per-group estimation: two routes'
+// histograms evaluate independently, keyed by their non-le labels.
+func TestQuantileGroupsByInstance(t *testing.T) {
+	db := newTestDB()
+	add := func(at time.Time, route, le string, v float64) {
+		db.AppendSample(at, "lat_seconds_bucket", v, "route", route, "le", le)
+	}
+	for _, le := range []string{"1", "+Inf"} {
+		add(t0, "a", le, 0)
+		add(t0, "b", le, 0)
+	}
+	add(t0.Add(time.Minute), "a", "1", 10)
+	add(t0.Add(time.Minute), "a", "+Inf", 10)
+	add(t0.Add(time.Minute), "b", "1", 0)
+	add(t0.Add(time.Minute), "b", "+Inf", 10)
+	e, _ := ParseExpr("quantile(0.5, lat_seconds[60s])")
+	res := db.Eval(e, t0.Add(time.Minute))
+	if len(res) != 2 {
+		t.Fatalf("results = %+v, want 2 groups", res)
+	}
+	for _, r := range res {
+		switch r.Labels["route"] {
+		case "a":
+			if !almostEqual(r.Value, 0.5) {
+				t.Fatalf("route a p50 = %g, want 0.5", r.Value)
+			}
+		case "b":
+			if !almostEqual(r.Value, 1) { // all observations above 1s
+				t.Fatalf("route b p50 = %g, want 1", r.Value)
+			}
+		default:
+			t.Fatalf("unexpected group %+v", r)
+		}
+	}
+}
+
+func TestOverTimeAggregates(t *testing.T) {
+	db := newTestDB()
+	for i, v := range []float64{2, 4, 9, 5} {
+		db.AppendSample(t0.Add(time.Duration(i)*time.Second), "g", v)
+	}
+	at := t0.Add(3 * time.Second)
+	for fn, want := range map[string]float64{"avg": 5, "max": 9, "min": 2, "sum": 20} {
+		e, _ := ParseExpr(fmt.Sprintf("%s(g[10s])", fn))
+		res := db.Eval(e, at)
+		if len(res) != 1 || !almostEqual(res[0].Value, want) {
+			t.Fatalf("%s = %+v, want %g", fn, res, want)
+		}
+	}
+}
+
+func TestInstantLookbackAndMatchers(t *testing.T) {
+	db := newTestDB()
+	db.AppendSample(t0, "g", 7, "w", "a")
+	db.AppendSample(t0, "g", 9, "w", "b")
+
+	e, _ := ParseExpr(`g{w="a"}`)
+	res := db.Eval(e, t0.Add(time.Minute))
+	if len(res) != 1 || res[0].Value != 7 {
+		t.Fatalf("matcher eval = %+v", res)
+	}
+	// Past the staleness lookback the point no longer answers.
+	if res := db.Eval(e, t0.Add(DefaultLookback+time.Minute)); len(res) != 0 {
+		t.Fatalf("stale eval = %+v, want empty", res)
+	}
+	// Unmatched matcher yields nothing.
+	e2, _ := ParseExpr(`g{w="zzz"}`)
+	if res := db.Eval(e2, t0.Add(time.Second)); len(res) != 0 {
+		t.Fatalf("unmatched eval = %+v", res)
+	}
+}
+
+func TestEvalRange(t *testing.T) {
+	db := newTestDB()
+	for i := 0; i <= 60; i++ {
+		db.AppendSample(t0.Add(time.Duration(i)*time.Second), "c_total", float64(i*10))
+	}
+	e, _ := ParseExpr("rate(c_total[30s])")
+	res := db.EvalRange(e, t0.Add(30*time.Second), t0.Add(60*time.Second), 10*time.Second)
+	if len(res) != 1 {
+		t.Fatalf("range results = %+v", res)
+	}
+	if len(res[0].Points) != 4 {
+		t.Fatalf("points = %+v, want 4 steps", res[0].Points)
+	}
+	for _, p := range res[0].Points {
+		if !almostEqual(p.V, 10) { // steady 10/s counter
+			t.Fatalf("rate point = %+v, want 10", p)
+		}
+	}
+}
+
+func TestRetentionRing(t *testing.T) {
+	db := New(Options{ScrapeInterval: time.Second, Retention: 10 * time.Second})
+	for i := 0; i < 100; i++ {
+		db.AppendSample(t0.Add(time.Duration(i)*time.Second), "g", float64(i))
+	}
+	// Ring capacity is retention/interval + 1 = 11: only the last 11
+	// points survive.
+	e, _ := ParseExpr("min(g[1000s])")
+	res := db.Eval(e, t0.Add(100*time.Second))
+	if len(res) != 1 || !almostEqual(res[0].Value, 89) {
+		t.Fatalf("oldest retained = %+v, want 89", res)
+	}
+}
+
+func TestCardinalityCap(t *testing.T) {
+	db := New(Options{ScrapeInterval: time.Second, Retention: time.Minute, MaxSeries: 3})
+	for i := 0; i < 10; i++ {
+		db.AppendSample(t0, "g", 1, "i", fmt.Sprint(i))
+	}
+	if db.SeriesCount() != 3 {
+		t.Fatalf("series = %d, want 3", db.SeriesCount())
+	}
+	if db.DroppedSeries() != 7 {
+		t.Fatalf("dropped = %d, want 7", db.DroppedSeries())
+	}
+}
+
+func TestCollectorUpSeries(t *testing.T) {
+	db := newTestDB()
+	healthy := true
+	col := &Collector{DB: db, Targets: func() []Target {
+		return []Target{
+			{Key: "self", Scrape: func(context.Context) ([]Family, error) {
+				return []Family{{Name: "g", Kind: "gauge", Samples: []Sample{{Name: "g", Value: 42}}}}, nil
+			}},
+			{Key: "worker/w-001", Labels: []string{"worker", "w-001"}, Scrape: func(context.Context) ([]Family, error) {
+				if healthy {
+					return []Family{{Name: "g", Kind: "gauge", Samples: []Sample{{Name: "g", Value: 7}}}}, nil
+				}
+				return nil, errors.New("connection refused")
+			}},
+		}
+	}}
+	col.ScrapeOnce(context.Background(), t0)
+
+	e, _ := ParseExpr(`up{worker="w-001"}`)
+	res := db.Eval(e, t0)
+	if len(res) != 1 || res[0].Value != 1 {
+		t.Fatalf("up after healthy scrape = %+v", res)
+	}
+	eg, _ := ParseExpr(`g{worker="w-001"}`)
+	if res := db.Eval(eg, t0); len(res) != 1 || res[0].Value != 7 {
+		t.Fatalf("federated g = %+v", res)
+	}
+
+	healthy = false
+	col.ScrapeOnce(context.Background(), t0.Add(time.Second))
+	if res := db.Eval(e, t0.Add(time.Second)); len(res) != 1 || res[0].Value != 0 {
+		t.Fatalf("up after failed scrape = %+v", res)
+	}
+	st, ok := col.StatusByKey("worker/w-001")
+	if !ok || st.Healthy || st.LastError == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.LastSuccess != t0 {
+		t.Fatalf("last success = %v, want %v", st.LastSuccess, t0)
+	}
+	// The healthy target is unaffected.
+	if st, _ := col.StatusByKey("self"); !st.Healthy {
+		t.Fatalf("self status = %+v", st)
+	}
+}
+
+func TestAlerterLifecycle(t *testing.T) {
+	db := newTestDB()
+	rs, err := ParseRules([]byte(`{
+		"rules": [
+			{"name": "deep-queue", "expr": "q > 10", "for_seconds": 10, "severity": "warn"},
+			{"name": "instant", "expr": "q > 100"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transitions []Notification
+	a := NewAlerter(db, rs, nil, "lvpd")
+	a.OnTransition = func(n Notification) { transitions = append(transitions, n) }
+
+	// Below threshold: inactive.
+	db.AppendSample(t0, "q", 5)
+	a.Evaluate(t0)
+	if got := stateOf(t, a, "deep-queue"); got != AlertInactive {
+		t.Fatalf("state = %q, want inactive", got)
+	}
+
+	// Breach: pending during the for_seconds hold.
+	db.AppendSample(t0.Add(time.Second), "q", 50)
+	a.Evaluate(t0.Add(time.Second))
+	if got := stateOf(t, a, "deep-queue"); got != AlertPending {
+		t.Fatalf("state = %q, want pending", got)
+	}
+	if len(transitions) != 0 {
+		t.Fatalf("notified during hold: %+v", transitions)
+	}
+
+	// Still breaching after the hold: firing.
+	db.AppendSample(t0.Add(12*time.Second), "q", 60)
+	a.Evaluate(t0.Add(12 * time.Second))
+	if got := stateOf(t, a, "deep-queue"); got != AlertFiring {
+		t.Fatalf("state = %q, want firing", got)
+	}
+	if a.FiringCount() != 1 {
+		t.Fatalf("firing count = %d", a.FiringCount())
+	}
+	if len(transitions) != 1 || transitions[0].State != AlertFiring || transitions[0].Rule != "deep-queue" {
+		t.Fatalf("transitions = %+v", transitions)
+	}
+	if transitions[0].Value != 60 {
+		t.Fatalf("fired value = %g, want 60", transitions[0].Value)
+	}
+
+	// Recovery: resolved, with a notification.
+	db.AppendSample(t0.Add(20*time.Second), "q", 1)
+	a.Evaluate(t0.Add(20 * time.Second))
+	if got := stateOf(t, a, "deep-queue"); got != AlertResolved {
+		t.Fatalf("state = %q, want resolved", got)
+	}
+	if a.FiringCount() != 0 {
+		t.Fatalf("firing count after resolve = %d", a.FiringCount())
+	}
+	if len(transitions) != 2 || transitions[1].State != AlertResolved {
+		t.Fatalf("transitions = %+v", transitions)
+	}
+
+	// A pending alert that recovers before the hold expires goes back
+	// to inactive without notifying.
+	db.AppendSample(t0.Add(30*time.Second), "q", 99)
+	a.Evaluate(t0.Add(30 * time.Second))
+	db.AppendSample(t0.Add(32*time.Second), "q", 1)
+	a.Evaluate(t0.Add(32 * time.Second))
+	if got := stateOf(t, a, "deep-queue"); got != AlertInactive {
+		t.Fatalf("state = %q, want inactive after short blip", got)
+	}
+	if len(transitions) != 2 {
+		t.Fatalf("blip notified: %+v", transitions)
+	}
+}
+
+func stateOf(t *testing.T, a *Alerter, rule string) string {
+	t.Helper()
+	for _, st := range a.Alerts() {
+		if st.Name == rule {
+			return st.State
+		}
+	}
+	t.Fatalf("no rule %q", rule)
+	return ""
+}
+
+func TestParseRulesValidation(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"rules": []}`,
+		`{"rules": [{"expr": "q > 1"}]}`, // no name
+		`{"rules": [{"name": "a", "expr": "q >"}]}`,                                   // bad expr
+		`{"rules": [{"name": "a", "expr": "q"}]}`,                                     // no comparison
+		`{"rules": [{"name": "a", "expr": "q > 1"}, {"name": "a", "expr": "q > 2"}]}`, // dup
+		`{"rules": [{"name": "a", "expr": "q > 1", "for_seconds": -1}]}`,              // bad hold
+		`{"rules": [{"name": "a", "expr": "q > 1", "severity": "meh"}]}`,              // bad severity
+		`{"unknown_field": 1, "rules": [{"name": "a", "expr": "q > 1"}]}`,             // strict decode
+	}
+	for _, b := range bad {
+		if _, err := ParseRules([]byte(b)); err == nil {
+			t.Errorf("ParseRules(%s) = nil error, want failure", b)
+		}
+	}
+	rs, err := ParseRules([]byte(`{"interval_seconds": 2, "rules": [{"name": "a", "expr": "rate(c_total[60s]) >= 0.5"}]}`))
+	if err != nil {
+		t.Fatalf("valid rules rejected: %v", err)
+	}
+	if rs.Interval() != 2*time.Second {
+		t.Fatalf("interval = %v", rs.Interval())
+	}
+}
+
+func TestLint(t *testing.T) {
+	clean := []Family{
+		{Name: "lvpd_jobs_total", Kind: "counter", Help: "Jobs.", Samples: []Sample{{Name: "lvpd_jobs_total", Value: 1}}},
+		{Name: "lvpd_queue_depth", Kind: "gauge", Help: "Depth.", Samples: []Sample{{Name: "lvpd_queue_depth", Value: 1}}},
+		{Name: "lvpd_wal_fsync_seconds", Kind: "histogram", Help: "Fsync.", Samples: []Sample{
+			{Name: "lvpd_wal_fsync_seconds_bucket", Labels: []string{"le", "+Inf"}, Value: 1},
+			{Name: "lvpd_wal_fsync_seconds_sum", Value: 0.1},
+			{Name: "lvpd_wal_fsync_seconds_count", Value: 1},
+		}},
+	}
+	if issues := Lint(clean, LintOptions{}); len(issues) != 0 {
+		t.Fatalf("clean exposition flagged: %v", issues)
+	}
+	dirty := []Family{
+		{Name: "requests", Kind: "counter", Help: "x", Samples: nil},  // counter w/o _total
+		{Name: "depth_total", Kind: "gauge", Help: "x", Samples: nil}, // gauge with _total
+		{Name: "latency", Kind: "histogram", Help: "x", Samples: nil}, // histogram w/o unit
+		{Name: "helpless_total", Kind: "counter", Samples: nil},       // no help
+		{Name: "untyped_thing", Kind: "untyped", Samples: nil},        // no TYPE
+		{Name: "dup_total", Kind: "counter", Help: "x", Samples: []Sample{
+			{Name: "dup_total", Value: 1}, {Name: "dup_total", Value: 2},
+		}},
+	}
+	issues := Lint(dirty, LintOptions{})
+	if len(issues) != 6 {
+		t.Fatalf("issues = %v, want 6", issues)
+	}
+
+	// Cardinality blowup.
+	blown := Family{Name: "big", Kind: "gauge", Help: "x"}
+	for i := 0; i < 600; i++ {
+		blown.Samples = append(blown.Samples, Sample{Name: "big", Labels: []string{"i", fmt.Sprint(i)}, Value: 1})
+	}
+	if issues := Lint([]Family{blown}, LintOptions{}); len(issues) != 1 ||
+		!strings.Contains(issues[0].Problem, "cardinality") {
+		t.Fatalf("blowup issues = %v", issues)
+	}
+}

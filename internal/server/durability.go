@@ -46,8 +46,10 @@ func (s *Server) persistTerminal(j *job, state, errMsg string, res *RunResult) {
 		err = s.st.AppendJobDone(j.id, j.key)
 	case StateFailed:
 		err = s.st.AppendJobFailed(j.id, j.key, errMsg)
+		s.dumpFlight(j, StateFailed)
 	case StateCanceled:
 		err = s.st.AppendJobCanceled(j.id, j.key)
+		s.dumpFlight(j, StateCanceled)
 	}
 	if err != nil {
 		s.log.Error("wal append failed", "id", j.id, "state", state, "err", err)
@@ -160,6 +162,7 @@ func (s *Server) restoreJob(id, tenantName string, sim spec.Sim, label string, t
 	if n := sim.Machine.NumContexts(); n > 1 {
 		j.progRows = make([]cpu.Progress, n)
 	}
+	j.flight.note("replayed from WAL")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()

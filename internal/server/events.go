@@ -73,10 +73,21 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	tick := time.NewTicker(s.cfg.ProgressPoll)
 	defer tick.Stop()
+	// Keepalive comment frames hold idle proxies open while a slow job
+	// produces no progress events; a client gone before the terminal
+	// event is a dropped stream, counted and noted in the job's black
+	// box (a consumer losing its observer matters in a post-mortem).
+	keep := time.NewTicker(s.cfg.SSEKeepalive)
+	defer keep.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
+			s.mSSEDropped.Inc()
+			j.flight.note("event stream dropped before terminal state")
 			return
+		case <-keep.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
 		case <-j.done:
 			send(sseEventName(j.status().State), j.status())
 			return

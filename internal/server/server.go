@@ -20,6 +20,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
+	"repro/internal/obs/tsdb"
 	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/tenant"
@@ -110,6 +111,29 @@ type Config struct {
 	// once per (workload, insts) and replayed by every run, but nothing
 	// survives the process.
 	TraceCacheDir string
+
+	// ObsScrapeInterval is the cadence at which the embedded
+	// time-series store samples the metrics registry (default 5s).
+	ObsScrapeInterval time.Duration
+
+	// ObsRetention bounds how far back GET /v1/metrics/query can see
+	// (default 15m). Together with the scrape interval it fixes each
+	// series' ring size.
+	ObsRetention time.Duration
+
+	// Alerts is the validated SLO alert rule set (from
+	// tsdb.LoadRules). nil disables alert evaluation; GET /v1/alerts
+	// then reports alerting disabled.
+	Alerts *tsdb.RuleSet
+
+	// SSEKeepalive is the cadence of ": ping" comment frames on
+	// GET /v1/jobs/{id}/events streams, keeping idle proxies from
+	// reaping slow jobs' streams (default 15s).
+	SSEKeepalive time.Duration
+
+	// FlightCap bounds retained job flight records in the durable
+	// store (default 1024). Only meaningful with DataDir set.
+	FlightCap int
 }
 
 // Validate rejects configurations the server cannot honor. New calls
@@ -164,6 +188,15 @@ func (c *Config) applyDefaults() {
 	if c.ProgressPoll <= 0 {
 		c.ProgressPoll = 150 * time.Millisecond
 	}
+	if c.ObsScrapeInterval <= 0 {
+		c.ObsScrapeInterval = 5 * time.Second
+	}
+	if c.ObsRetention <= 0 {
+		c.ObsRetention = 15 * time.Minute
+	}
+	if c.SSEKeepalive <= 0 {
+		c.SSEKeepalive = 15 * time.Second
+	}
 }
 
 // job is one tracked simulation request: a resolved canonical spec
@@ -191,6 +224,11 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// flight is the job's in-memory black box (bounded event and
+	// progress-snapshot rings); dumped to the durable flight store on
+	// failure, cancellation, or a firing SLO alert.
+	flight flightRing
+
 	mu       sync.Mutex
 	state    string
 	errMsg   string
@@ -215,6 +253,7 @@ func (j *job) startPhase(phase string) {
 	j.mu.Lock()
 	j.phase = phase
 	j.mu.Unlock()
+	j.flight.note("phase: " + phase)
 }
 
 // transition moves the job to state under its lock; it is a no-op once
@@ -237,6 +276,11 @@ func (j *job) transition(state, errMsg string, result *RunResult) bool {
 		j.finished = time.Now()
 		close(j.done)
 	}
+	msg := "state: " + state
+	if errMsg != "" {
+		msg += " (" + errMsg + ")"
+	}
+	j.flight.note(msg)
 	return true
 }
 
@@ -352,6 +396,15 @@ type Server struct {
 	st      *store.Store
 	crashed atomic.Bool
 
+	// The observability plane: the embedded time-series store sampled
+	// from the registry by the collector, and the optional SLO alerter.
+	// obsWG tracks their loops so Shutdown can stop them (via lifeStop)
+	// before the store closes under the flight recorder.
+	tsdb      *tsdb.DB
+	collector *tsdb.Collector
+	alerter   *tsdb.Alerter
+	obsWG     sync.WaitGroup
+
 	// traces is the content-addressed recorded-trace store shared by
 	// every simulation context: each workload stream is generated at
 	// most once per process (or fetched from TraceCacheDir / a
@@ -385,6 +438,8 @@ type Server struct {
 	mThrottled  *obs.Counter
 	mAuthFailed *obs.Counter
 	mUploads    *obs.Counter
+	mWALFsync   *obs.Histogram
+	mSSEDropped *obs.Counter
 
 	// Per-tenant counters, keyed by tenant name (registry is immutable,
 	// so the maps are built once in New and read without locking).
@@ -434,6 +489,8 @@ func New(cfg Config) (*Server, error) {
 		mThrottled:  reg.Counter("lvpd_jobs_total", "Jobs by terminal or entry state.", "state", "throttled"),
 		mAuthFailed: reg.Counter("lvpd_auth_failures_total", "Requests rejected for a missing or unknown API key."),
 		mUploads:    reg.Counter("lvpd_trace_uploads_total", "External trace files accepted via POST /v1/workloads."),
+		mWALFsync:   reg.Histogram("lvpd_wal_fsync_seconds", "Group-commit fsync latency on the WAL append path.", fsyncBuckets),
+		mSSEDropped: reg.Counter("lvpd_sse_streams_dropped_total", "Job event streams whose client disconnected before the terminal event."),
 
 		mTenantDispatched: make(map[string]*obs.Counter),
 		mTenantAccepted:   make(map[string]*obs.Counter),
@@ -450,6 +507,7 @@ func New(cfg Config) (*Server, error) {
 			"Accepted jobs waiting for a worker, per tenant.",
 			func() float64 { return float64(s.sched.TenantLen(name)) },
 			"tenant", name)
+		s.registerTenantStarvationGauges(name)
 	}
 	traces, err := trace.NewArtifactStore(cfg.TraceCacheDir, 0)
 	if err != nil {
@@ -466,23 +524,24 @@ func New(cfg Config) (*Server, error) {
 		s.log.Info("external workloads rehydrated from trace cache", "count", n)
 	}
 	// Artifact-store counters are snapshots of the store's own stats,
-	// published as gauges at scrape time (the store already counts under
-	// its lock; mirroring into obs counters would double-count retries).
-	reg.GaugeFunc("lvpd_trace_artifact_hits_total",
+	// rendered as counters at scrape time (the store already counts
+	// under its lock; mirroring into obs counters would double-count
+	// retries).
+	reg.CounterFunc("lvpd_trace_artifact_hits_total",
 		"Runs served from the recorded-trace artifact cache, by source.",
 		func() float64 { return float64(s.traces.Stats().MemoryHits) },
 		"source", "memory")
-	reg.GaugeFunc("lvpd_trace_artifact_hits_total",
+	reg.CounterFunc("lvpd_trace_artifact_hits_total",
 		"Runs served from the recorded-trace artifact cache, by source.",
 		func() float64 { return float64(s.traces.Stats().DiskHits) },
 		"source", "disk")
-	reg.GaugeFunc("lvpd_trace_artifact_generated_total",
+	reg.CounterFunc("lvpd_trace_artifact_generated_total",
 		"Workload streams generated live (artifact cache misses).",
 		func() float64 { return float64(s.traces.Stats().Generated) })
-	reg.GaugeFunc("lvpd_trace_artifact_received_total",
+	reg.CounterFunc("lvpd_trace_artifact_received_total",
 		"Trace artifacts installed via PUT /v1/traces (coordinator pre-shipping).",
 		func() float64 { return float64(s.traces.Stats().Received) })
-	reg.GaugeFunc("lvpd_trace_artifact_corrupt_total",
+	reg.CounterFunc("lvpd_trace_artifact_corrupt_total",
 		"Disk cache artifacts that failed to decode and were regenerated or skipped.",
 		func() float64 { return float64(s.traces.Stats().CorruptRegens) })
 	// Derived throughput: simulated instructions per wall-clock second
@@ -501,7 +560,10 @@ func New(cfg Config) (*Server, error) {
 	s.lifeCtx, s.lifeStop = context.WithCancel(context.Background())
 	s.routes()
 	if cfg.DataDir != "" {
-		st, err := store.Open(cfg.DataDir, store.Options{})
+		st, err := store.Open(cfg.DataDir, store.Options{
+			WAL:       store.WALOptions{FsyncObserver: s.mWALFsync.Observe},
+			FlightCap: cfg.FlightCap,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -511,6 +573,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -544,6 +607,7 @@ func (s *Server) Start() {
 			}
 		}()
 	}
+	s.startObs()
 }
 
 // Shutdown drains the service: no new submissions are accepted, queued
@@ -568,6 +632,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	// The workers are drained; stop the observability loops (they run
+	// on lifeCtx) and wait them out before the store closes under the
+	// flight recorder.
+	s.lifeStop()
+	s.obsWG.Wait()
 	if s.st != nil && !s.crashed.Load() {
 		if cerr := s.st.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -636,6 +705,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/flightrecord", s.handleFlightRecord)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/runs", s.handleListRuns)
@@ -648,6 +718,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/workloads", s.handleUploadWorkload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/metrics/query", s.handleMetricsQuery)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	s.mux.Handle("GET /debug/traces", s.tracer.IndexHandler())
 	s.mux.Handle("GET /debug/traces/{id}", s.tracer.ExportHandler())
 	s.mux.Handle("GET /metrics", s.reg.Handler())
@@ -684,6 +756,7 @@ func (s *Server) logMiddleware(next http.Handler) http.Handler {
 		next.ServeHTTP(rec, r)
 		s.reg.Counter("lvpd_http_requests_total", "HTTP requests by status code.",
 			"code", fmt.Sprintf("%d", rec.code)).Inc()
+		s.observeRequest(r, rec.code, time.Since(start).Seconds())
 		s.log.InfoContext(r.Context(), "http",
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -927,6 +1000,7 @@ func (s *Server) newJob(tn *tenant.Tenant, sim spec.Sim, label string, timeoutMS
 	if n := sim.Machine.NumContexts(); n > 1 {
 		j.progRows = make([]cpu.Progress, n)
 	}
+	j.flight.note("accepted")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	// Forget the oldest retained jobs beyond the cap; skip any still

@@ -1,0 +1,169 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testFlight(id string) FlightRecord {
+	return FlightRecord{
+		JobID:    id,
+		SpecHash: "abc123",
+		Tenant:   "acme",
+		State:    "failed",
+		Error:    "deadline exceeded",
+		Trigger:  "failed",
+		Created:  time.Now().UTC().Truncate(time.Millisecond),
+		Events: []FlightEvent{
+			{Time: time.Now().UTC(), Msg: "accepted"},
+			{Time: time.Now().UTC(), Msg: "running"},
+		},
+		Snapshots: []FlightSnapshot{
+			{Time: time.Now().UTC(), Phase: "run", Instructions: 12345, SimMIPS: 2.5,
+				Components: []FlightComponent{{Name: "lvp", Used: 10, Correct: 9}}},
+		},
+	}
+}
+
+func TestFlightStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFlightStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testFlight("j-001")
+	if err := fs.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	// Supersede with a later dump (more events).
+	want.Events = append(want.Events, FlightEvent{Time: time.Now().UTC(), Msg: "dumped"})
+	if err := fs.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFlightStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	got, ok := fs2.Get("j-001")
+	if !ok {
+		t.Fatal("record lost across reopen")
+	}
+	if got.State != "failed" || got.Error != "deadline exceeded" || len(got.Events) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Snapshots) != 1 || got.Snapshots[0].Components[0].Name != "lvp" {
+		t.Fatalf("snapshots = %+v", got.Snapshots)
+	}
+	if fs2.Len() != 1 {
+		t.Fatalf("len = %d", fs2.Len())
+	}
+}
+
+func TestFlightStoreCapEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFlightStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := fs.Put(testFlight(fmt.Sprintf("j-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.Len() != 3 {
+		t.Fatalf("len = %d, want 3", fs.Len())
+	}
+	if _, ok := fs.Get("j-000"); ok {
+		t.Fatal("oldest record survived past the cap")
+	}
+	if _, ok := fs.Get("j-009"); !ok {
+		t.Fatal("newest record evicted")
+	}
+	fs.Close()
+
+	// The cap holds across reopen too (and triggers compaction, since
+	// 7 of 10 on-disk records are dead).
+	fs2, err := OpenFlightStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if fs2.Len() != 3 {
+		t.Fatalf("reopened len = %d, want 3", fs2.Len())
+	}
+	if _, ok := fs2.Get("j-009"); !ok {
+		t.Fatal("newest record lost in compaction")
+	}
+}
+
+func TestFlightStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFlightStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testFlight("j-001")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testFlight("j-002")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	// Tear the tail: chop bytes off the last record.
+	path := filepath.Join(dir, flightFile)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFlightStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if _, ok := fs2.Get("j-001"); !ok {
+		t.Fatal("intact record lost to torn tail")
+	}
+	if _, ok := fs2.Get("j-002"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// Appending after the truncation still works.
+	if err := fs2.Put(testFlight("j-003")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALFsyncObserver(t *testing.T) {
+	var observed int
+	s, err := Open(t.TempDir(), Options{WAL: WALOptions{FsyncObserver: func(sec float64) {
+		if sec < 0 {
+			t.Errorf("negative fsync duration %g", sec)
+		}
+		observed++
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendJobAccepted("j-1", "", "hash1", nil, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendJobDone("j-1", "hash1"); err != nil {
+		t.Fatal(err)
+	}
+	if observed == 0 {
+		t.Fatal("fsync observer never called on the append path")
+	}
+}

@@ -7,11 +7,12 @@ import (
 	"time"
 )
 
-// Store bundles the WAL and the result warehouse under one data
-// directory:
+// Store bundles the WAL, the result warehouse, and the flight-record
+// store under one data directory:
 //
 //	<dir>/wal/wal-XXXXXXXX.log   lifecycle events (jobs, sweeps)
 //	<dir>/warehouse.log          finished run results by spec hash
+//	<dir>/flights.log            job flight records (post-mortem black boxes)
 //
 // Open replays the log, folds it to the pending State, and compacts
 // the history down to the live records. The owner reads State once at
@@ -19,14 +20,18 @@ import (
 // they happen. All append methods are durable on return and safe for
 // concurrent use.
 type Store struct {
-	wal   *WAL
-	wh    *Warehouse
-	state State
+	wal     *WAL
+	wh      *Warehouse
+	flights *FlightStore
+	state   State
 }
 
 // Options tunes Open. Zero values select defaults.
 type Options struct {
 	WAL WALOptions
+
+	// FlightCap bounds retained flight records (<= 0 = default 1024).
+	FlightCap int
 }
 
 // Open opens (creating if needed) the store rooted at dir.
@@ -53,7 +58,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		wal.Close()
 		return nil, err
 	}
-	return &Store{wal: wal, wh: wh, state: st}, nil
+	flights, err := OpenFlightStore(dir, opts.FlightCap)
+	if err != nil {
+		wal.Close()
+		wh.Close()
+		return nil, err
+	}
+	return &Store{wal: wal, wh: wh, flights: flights, state: st}, nil
 }
 
 // State returns the fold of the log as it stood at Open: the work a
@@ -63,11 +74,17 @@ func (s *Store) State() State { return s.state }
 // Warehouse exposes the result warehouse.
 func (s *Store) Warehouse() *Warehouse { return s.wh }
 
-// Close closes the WAL and warehouse.
+// Flights exposes the flight-record store.
+func (s *Store) Flights() *FlightStore { return s.flights }
+
+// Close closes the WAL, warehouse, and flight store.
 func (s *Store) Close() error {
 	err := s.wal.Close()
 	if werr := s.wh.Close(); err == nil {
 		err = werr
+	}
+	if ferr := s.flights.Close(); err == nil {
+		err = ferr
 	}
 	return err
 }

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Frame layout: 4-byte little-endian payload length, 4-byte CRC-32C of
@@ -51,6 +52,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 type WAL struct {
 	dir         string
 	maxSegBytes int64
+	observe     func(seconds float64) // fsync latency hook, may be nil
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast when syncedSeq advances
@@ -70,6 +72,12 @@ type WALOptions struct {
 	// SegmentBytes rotates the log to a fresh segment file once the
 	// current one exceeds this size (default 8 MiB).
 	SegmentBytes int64
+
+	// FsyncObserver, when set, receives the duration in seconds of
+	// every group-commit fsync on the append path — the latency every
+	// durable accept pays. Must be safe for concurrent use; it is
+	// called outside the WAL lock.
+	FsyncObserver func(seconds float64)
 }
 
 func (o *WALOptions) applyDefaults() {
@@ -139,7 +147,7 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, []Event, error) {
 			}
 		}
 	}
-	w := &WAL{dir: dir, maxSegBytes: opts.SegmentBytes}
+	w := &WAL{dir: dir, maxSegBytes: opts.SegmentBytes, observe: opts.FsyncObserver}
 	w.cond = sync.NewCond(&w.mu)
 	w.seg = 1
 	if len(segs) > 0 {
@@ -304,7 +312,11 @@ func (w *WAL) syncToLocked(seq uint64) error {
 		target := w.nextSeq // everything buffered so far
 		f := w.f
 		w.mu.Unlock()
+		start := time.Now()
 		err := f.Sync()
+		if w.observe != nil {
+			w.observe(time.Since(start).Seconds())
+		}
 		w.mu.Lock()
 		if err != nil && w.err == nil {
 			w.err = fmt.Errorf("store: wal fsync: %w", err)

@@ -333,3 +333,38 @@ func TestWFQRemove(t *testing.T) {
 		t.Fatalf("dequeue after remove = %v", p)
 	}
 }
+
+func TestWFQOldestWait(t *testing.T) {
+	w := NewWFQ()
+	tn := &Tenant{Name: "a", APIKey: "k"}
+	now := time.Now()
+	if d := w.OldestWait("a", now); d != 0 {
+		t.Fatalf("empty queue wait = %v, want 0", d)
+	}
+	w.Enqueue(tn, "first", 1, 0)
+	time.Sleep(5 * time.Millisecond)
+	w.Enqueue(tn, "second", 1, 0)
+
+	// The head-of-line item sets the wait: strictly older than the
+	// second enqueue, and measured against the caller's clock.
+	d1 := w.OldestWait("a", time.Now())
+	if d1 < 5*time.Millisecond {
+		t.Fatalf("head-of-line wait = %v, want >= 5ms", d1)
+	}
+	if future := w.OldestWait("a", time.Now().Add(time.Hour)); future <= d1 {
+		t.Fatalf("explicit clock ignored: %v <= %v", future, d1)
+	}
+
+	// Draining the head shortens the wait to the newer item's age.
+	w.Dequeue()
+	if d2 := w.OldestWait("a", time.Now()); d2 >= d1 {
+		t.Fatalf("wait after dequeue = %v, want < %v", d2, d1)
+	}
+	w.Dequeue()
+	if d := w.OldestWait("a", time.Now()); d != 0 {
+		t.Fatalf("drained queue wait = %v, want 0", d)
+	}
+	if d := w.OldestWait("missing", time.Now()); d != 0 {
+		t.Fatalf("unknown tenant wait = %v, want 0", d)
+	}
+}

@@ -3,6 +3,7 @@ package tenant
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // Enqueue errors. ErrTenantFull is the per-tenant share bound (the
@@ -44,8 +45,9 @@ type wfqQueue struct {
 }
 
 type wfqItem struct {
-	payload any
-	finish  float64
+	payload  any
+	finish   float64
+	enqueued time.Time
 }
 
 // NewWFQ returns an empty scheduler.
@@ -89,7 +91,7 @@ func (w *WFQ) Enqueue(t *Tenant, payload any, cost float64, maxQueued int) error
 	}
 	finish := start + cost/weight
 	q.lastFinish = finish
-	q.items = append(q.items, wfqItem{payload: payload, finish: finish})
+	q.items = append(q.items, wfqItem{payload: payload, finish: finish, enqueued: time.Now()})
 	w.size++
 	w.cond.Signal()
 	return nil
@@ -166,6 +168,25 @@ func (w *WFQ) Depths() map[string]int {
 		out[name] = len(q.items)
 	}
 	return out
+}
+
+// OldestWait returns how long tenant name's head-of-line item has been
+// queued as of now — the starvation signal: under fair weighted service
+// it stays bounded by the tenant's share of drain capacity, and grows
+// without bound only when the tenant is starved or the pool is wedged.
+// Zero when the tenant has nothing queued.
+func (w *WFQ) OldestWait(name string, now time.Time) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q, ok := w.queues[name]
+	if !ok || len(q.items) == 0 {
+		return 0
+	}
+	d := now.Sub(q.items[0].enqueued)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Remove deletes the first queued item for which match returns true,
